@@ -1,0 +1,34 @@
+//! Criterion wrapper around a Figure-7-style measurement at test scale:
+//! the overhead *shape* (plain < REST secure < ASan) measured with
+//! statistical rigour on two representative workloads. The full figures
+//! come from the `fig3`/`fig7`/`fig8` binaries; this bench exists so
+//! `cargo bench` exercises the same paths with confidence intervals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rest_bench::run;
+use rest_core::Mode;
+use rest_runtime::RtConfig;
+use rest_workloads::{Scale, Workload};
+
+fn bench_figure7_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_shape");
+    group.sample_size(10);
+    for w in [Workload::Lbm, Workload::Xalancbmk] {
+        for rt in [
+            RtConfig::plain(),
+            RtConfig::rest(Mode::Secure, true),
+            RtConfig::asan(),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(w.name(), rt.label()),
+                &rt,
+                |b, rt| b.iter(|| run(w, Scale::Test, rt.clone())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure7_shape);
+criterion_main!(benches);

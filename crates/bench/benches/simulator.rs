@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks of the simulator's hot paths: the token
+//! comparator (the hardware REST adds to the fill path), the armed-set
+//! overlap check, cache lookups, and end-to-end simulation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rest_core::{ArmedSet, Token, TokenWidth};
+use rest_cpu::{SimConfig, System};
+use rest_mem::{Cache, CacheConfig};
+use rest_runtime::RtConfig;
+use rest_workloads::{Scale, Workload, WorkloadParams};
+
+fn bench_token_comparator(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let token = Token::generate(TokenWidth::B64, &mut rng);
+    let clean = [0xabu8; 64];
+    let mut armed = [0u8; 64];
+    armed.copy_from_slice(token.bytes_padded());
+    c.bench_function("token_match_clean_line", |b| {
+        b.iter(|| token.match_offsets_in_line(black_box(&clean)))
+    });
+    c.bench_function("token_match_armed_line", |b| {
+        b.iter(|| token.match_offsets_in_line(black_box(&armed)))
+    });
+}
+
+fn bench_armed_set(c: &mut Criterion) {
+    let mut set = ArmedSet::new(TokenWidth::B64);
+    for i in 0..10_000u64 {
+        set.arm(0x1000 + i * 128).unwrap();
+    }
+    c.bench_function("armed_set_overlap_miss", |b| {
+        b.iter(|| set.overlaps(black_box(0x1000 + 64), 8))
+    });
+    c.bench_function("armed_set_overlap_hit", |b| {
+        b.iter(|| set.overlaps(black_box(0x1000 + 128), 8))
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache = Cache::new(CacheConfig::isca2018_l1d(), "L1D");
+    for i in 0..1024u64 {
+        cache.fill(i * 64, false, 0);
+    }
+    c.bench_function("l1d_lookup_hit", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a = (a + 64) % (1024 * 64);
+            cache.lookup(black_box(a), false)
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for (name, rt) in [
+        ("lbm_plain", RtConfig::plain()),
+        ("lbm_rest_secure", RtConfig::rest(rest_core::Mode::Secure, false)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let params = WorkloadParams::test(rest_runtime::StackScheme::None);
+                let program = Workload::Lbm.build(&params);
+                let _ = Scale::Test;
+                System::new(program, SimConfig::isca2018(rt.clone())).run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_token_comparator,
+    bench_armed_set,
+    bench_cache,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Table I: actions taken on various operations for L1-D cache hits and
+//! misses — printed from the executable specification in
+//! `rest_core::table1`, which the simulator's caches and LSQ are tested
+//! against (see `crates/mem` unit tests and `tests/table1.rs`).
+//!
+//! Usage: `cargo run -p rest-bench --bin table1`
+
+use rest_core::table1::{cache_decision, lsq_decision, Action, CacheDecision};
+
+fn describe_lsq(action: Action) -> String {
+    match action {
+        Action::Arm => {
+            let d = lsq_decision(action, false, false, false);
+            format!("Create entry in SQ, tag as {:?}.", d.insert.unwrap())
+        }
+        Action::Disarm => {
+            let bad = lsq_decision(action, false, true, false);
+            format!(
+                "Raise {} if SQ has disarm for same location; else insert entry with no store value, tag as disarm.",
+                bad.exception.unwrap()
+            )
+        }
+        Action::Load => {
+            let bad = lsq_decision(action, true, false, true);
+            format!(
+                "If value can be forwarded from armed SQ entry, raise {}. As usual otherwise.",
+                bad.exception.unwrap()
+            )
+        }
+        Action::StoreSecure | Action::StoreDebug => {
+            let bad = lsq_decision(action, true, false, false);
+            format!(
+                "Raise {} if SQ has arm for same location. As usual otherwise.",
+                bad.exception.unwrap()
+            )
+        }
+        Action::CoherenceMsg | Action::Eviction => "N/A".to_string(),
+    }
+}
+
+fn describe_cache(d: CacheDecision) -> String {
+    let mut parts = Vec::new();
+    if let Some(e) = d.exception {
+        parts.push(format!("raise {e}"));
+    }
+    if d.fetch_line {
+        parts.push("fetch line".into());
+    }
+    if d.detect_token_on_fill {
+        parts.push("detect token on fill".into());
+    }
+    if d.set_token_bit {
+        parts.push("set token bit".into());
+    }
+    if d.clear_slot_unset_bit {
+        parts.push("clear slot, unset bit".into());
+    }
+    if d.access_data {
+        parts.push("access data".into());
+    }
+    if d.delay_commit_until_ack {
+        parts.push("delay commit until L1-D ack".into());
+    }
+    if d.fill_token_in_outgoing {
+        parts.push("fill token value in outgoing packet".into());
+    }
+    if parts.is_empty() {
+        "as usual".into()
+    } else {
+        parts.join("; ")
+    }
+}
+
+fn main() {
+    println!("# Table I — actions on operations, for L1-D hits and misses");
+    println!("# (executable specification; simulator conformance is enforced");
+    println!("#  by crates/mem unit tests and tests/table1.rs)");
+    println!();
+    for action in Action::ALL {
+        println!("== {} ==", action.name());
+        println!("  LSQ       : {}", describe_lsq(action));
+        for token_bit in [false, true] {
+            let hit = describe_cache(cache_decision(action, true, token_bit));
+            println!("  hit  (token bit {}): {hit}", token_bit as u8);
+        }
+        for token_bit in [false, true] {
+            let miss = describe_cache(cache_decision(action, false, token_bit));
+            println!("  miss (token bit {}): {miss}", token_bit as u8);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,224 @@
+//! Experiment harness for the REST reproduction.
+//!
+//! One binary per table/figure of the paper regenerates that result:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `fig3` | Figure 3 — ASan overhead breakdown by component |
+//! | `fig7` | Figure 7 — runtime overheads of every configuration |
+//! | `fig8` | Figure 8 — token-width sweep (16/32/64 B) |
+//! | `table1` | Table I — cache/LSQ action matrix |
+//! | `table3` | Table III — comparison with prior hardware schemes |
+//! | `prose_stats` | §VI-B prose statistics (ROB/IQ/token traffic) |
+//! | `ablations` | design-choice ablations called out in DESIGN.md |
+//!
+//! All binaries accept `--test` to run at test scale (fast, for smoke
+//! checks); the default is the reference scale used in EXPERIMENTS.md.
+//! Run them in `--release` builds: the cycle-level simulator is ~20×
+//! slower unoptimised.
+
+use rest_core::{Mode, TokenWidth};
+use rest_cpu::{SimConfig, SimResult, StopReason, System};
+use rest_runtime::{RtConfig, Scheme, StackScheme};
+use rest_workloads::{Scale, Workload, WorkloadParams};
+
+/// Scale selected by the command line (`--test` ⇒ [`Scale::Test`]).
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--test") {
+        Scale::Test
+    } else {
+        Scale::Ref
+    }
+}
+
+/// Stack-protection scheme matching a runtime configuration.
+pub fn stack_for(rt: &RtConfig) -> StackScheme {
+    if !rt.stack_protection {
+        return StackScheme::None;
+    }
+    match rt.scheme {
+        Scheme::Plain => StackScheme::None,
+        Scheme::Asan => StackScheme::Asan,
+        Scheme::Rest => StackScheme::Rest,
+    }
+}
+
+/// Builds and simulates `workload` under `rt` on the Table II machine.
+pub fn run(workload: Workload, scale: Scale, rt: RtConfig) -> SimResult {
+    run_with(workload, scale, rt, false)
+}
+
+/// One row of a figure: a workload plus its display name and input seed
+/// (gobmk appears once per sub-input, as in the paper's Figures 7/8).
+#[derive(Debug, Clone, Copy)]
+pub struct FigureRow {
+    /// Display name for the row.
+    pub name: &'static str,
+    /// Workload kernel.
+    pub workload: Workload,
+    /// Input seed (gobmk sub-inputs vary the board position).
+    pub seed: u64,
+}
+
+/// The benchmark rows of Figures 7/8: the 12 workloads with gobmk
+/// expanded into its sub-inputs.
+pub fn figure_rows() -> Vec<FigureRow> {
+    let mut rows = Vec::new();
+    for w in Workload::ALL {
+        if w == Workload::Gobmk {
+            for &(name, seed) in rest_workloads::GOBMK_INPUTS.iter() {
+                rows.push(FigureRow {
+                    name,
+                    workload: w,
+                    seed,
+                });
+            }
+        } else {
+            rows.push(FigureRow {
+                name: w.name(),
+                workload: w,
+                seed: 0xC0FFEE,
+            });
+        }
+    }
+    rows
+}
+
+/// As [`run`], with an explicit input seed.
+pub fn run_seeded(workload: Workload, scale: Scale, rt: RtConfig, seed: u64) -> SimResult {
+    let params = WorkloadParams {
+        scale,
+        stack_scheme: stack_for(&rt),
+        token_width: rt.token_width,
+        seed,
+    };
+    let program = workload.build(&params);
+    let result = System::new(program, SimConfig::isca2018(rt)).run();
+    assert_eq!(
+        result.stop,
+        StopReason::Exit(0),
+        "{workload} (seed {seed:#x}) failed under {}",
+        result.label
+    );
+    result
+}
+
+/// As [`run`], optionally on the narrow in-order core (Figure 3 uses an
+/// in-order core in the paper).
+pub fn run_with(workload: Workload, scale: Scale, rt: RtConfig, inorder: bool) -> SimResult {
+    let params = WorkloadParams {
+        scale,
+        stack_scheme: stack_for(&rt),
+        token_width: rt.token_width,
+        seed: 0xC0FFEE,
+    };
+    let program = workload.build(&params);
+    let cfg = if inorder {
+        SimConfig::inorder(rt)
+    } else {
+        SimConfig::isca2018(rt)
+    };
+    let result = System::new(program, cfg).run();
+    assert_eq!(
+        result.stop,
+        StopReason::Exit(0),
+        "{workload} failed under {}: {:?}",
+        result.label,
+        result.stop
+    );
+    result
+}
+
+/// The seven hardened configurations of Figure 7, in figure order.
+pub fn fig7_configs() -> Vec<RtConfig> {
+    vec![
+        RtConfig::asan(),
+        RtConfig::rest(Mode::Debug, true),
+        RtConfig::rest(Mode::Secure, true),
+        RtConfig::rest_perfect(true),
+        RtConfig::rest(Mode::Debug, false),
+        RtConfig::rest(Mode::Secure, false),
+        RtConfig::rest_perfect(false),
+    ]
+}
+
+/// The token widths of Figure 8.
+pub fn fig8_widths() -> [TokenWidth; 3] {
+    [TokenWidth::B16, TokenWidth::B32, TokenWidth::B64]
+}
+
+/// Weighted arithmetic mean overhead (the paper's *WtdAriMean*,
+/// footnote 5): total hardened runtime over total plain runtime, minus
+/// one — i.e. each benchmark weighted by its plain runtime.
+pub fn wtd_ari_mean_overhead(plain_cycles: &[u64], hardened_cycles: &[u64]) -> f64 {
+    assert_eq!(plain_cycles.len(), hardened_cycles.len());
+    let p: f64 = plain_cycles.iter().map(|&c| c as f64).sum();
+    let h: f64 = hardened_cycles.iter().map(|&c| c as f64).sum();
+    if p == 0.0 {
+        return 0.0;
+    }
+    (h / p - 1.0) * 100.0
+}
+
+/// Geometric mean overhead (the paper's *GeoMean*, footnote 6).
+pub fn geo_mean_overhead(plain_cycles: &[u64], hardened_cycles: &[u64]) -> f64 {
+    assert_eq!(plain_cycles.len(), hardened_cycles.len());
+    let n = plain_cycles.len() as f64;
+    let log_sum: f64 = plain_cycles
+        .iter()
+        .zip(hardened_cycles)
+        .map(|(&p, &h)| (h as f64 / p as f64).ln())
+        .sum();
+    ((log_sum / n).exp() - 1.0) * 100.0
+}
+
+/// Prints a header identifying the simulated machine (the paper prints
+/// Table II with every result; we do the lightweight equivalent).
+pub fn print_machine_header(what: &str) {
+    println!("# {what}");
+    println!(
+        "# machine: 8-wide OoO, 192 ROB / 64 IQ / 32 LQ / 32 SQ, \
+         64kB L1I/L1D (2cy), 2MB L2 (20cy), DDR3-800 — Table II"
+    );
+    println!();
+}
+
+/// Formats one row of an overhead table.
+pub fn fmt_row(name: &str, cells: &[f64]) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("{name:<12}");
+    for c in cells {
+        let _ = write!(s, "{c:>18.2}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_match_definitions() {
+        let plain = [100, 300];
+        let hardened = [150, 300];
+        // Weighted: (450/400 - 1) = 12.5%.
+        assert!((wtd_ari_mean_overhead(&plain, &hardened) - 12.5).abs() < 1e-9);
+        // Geo: sqrt(1.5 * 1.0) - 1 ≈ 22.47%.
+        assert!((geo_mean_overhead(&plain, &hardened) - 22.474487).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fig7_has_seven_configs_in_order() {
+        let c = fig7_configs();
+        assert_eq!(c.len(), 7);
+        assert_eq!(c[0].label(), "asan");
+        assert_eq!(c[2].label(), "rest-secure-full");
+        assert_eq!(c[6].label(), "rest-perfecthw-heap");
+    }
+
+    #[test]
+    fn harness_runs_one_workload() {
+        let r = run(Workload::Lbm, Scale::Test, RtConfig::plain());
+        assert!(r.cycles() > 0);
+    }
+}

@@ -1,0 +1,190 @@
+use std::collections::HashSet;
+
+use crate::exception::RestExceptionKind;
+use crate::token::TokenWidth;
+
+/// The architectural set of armed (token-holding) locations.
+///
+/// The hardware's ground truth is content-based — a location is armed iff
+/// it holds the token value — but architecturally the two are equivalent
+/// because the token is secret and 2¹²⁸⁺ bits of entropy make accidental
+/// collisions impossible (§V-B). The functional emulator uses this set to
+/// decide program-visible REST exceptions, while the cache model performs
+/// the genuine content comparison; the two are cross-checked in tests.
+///
+/// # Example
+///
+/// ```
+/// use rest_core::{ArmedSet, TokenWidth};
+///
+/// let mut armed = ArmedSet::new(TokenWidth::B64);
+/// armed.arm(0x1000).unwrap();
+/// assert!(armed.overlaps(0x1008, 8));
+/// assert!(!armed.overlaps(0x0fc0, 64));
+/// armed.disarm(0x1000).unwrap();
+/// assert!(!armed.overlaps(0x1000, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArmedSet {
+    width: TokenWidth,
+    /// Base addresses of armed slots (each `width.bytes()` long).
+    slots: HashSet<u64>,
+    arms: u64,
+    disarms: u64,
+}
+
+impl ArmedSet {
+    /// Creates an empty set for tokens of `width`.
+    pub fn new(width: TokenWidth) -> ArmedSet {
+        ArmedSet {
+            width,
+            slots: HashSet::new(),
+            arms: 0,
+            disarms: 0,
+        }
+    }
+
+    /// Token width in force.
+    pub fn width(&self) -> TokenWidth {
+        self.width
+    }
+
+    /// Arms the slot at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`RestExceptionKind::MisalignedArm`] if `addr` is not aligned to
+    /// the token width. Re-arming an armed slot is idempotent (the store
+    /// queue sees two arm entries, but architecturally the location
+    /// simply holds the token).
+    pub fn arm(&mut self, addr: u64) -> Result<(), RestExceptionKind> {
+        if !self.width.is_aligned(addr) {
+            return Err(RestExceptionKind::MisalignedArm);
+        }
+        self.slots.insert(addr);
+        self.arms += 1;
+        Ok(())
+    }
+
+    /// Disarms the slot at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`RestExceptionKind::MisalignedDisarm`] on misalignment;
+    /// [`RestExceptionKind::DisarmUnarmed`] if the slot does not hold a
+    /// token — the rule that defeats brute-force disarm sweeps (§V-C).
+    pub fn disarm(&mut self, addr: u64) -> Result<(), RestExceptionKind> {
+        if !self.width.is_aligned(addr) {
+            return Err(RestExceptionKind::MisalignedDisarm);
+        }
+        if !self.slots.remove(&addr) {
+            return Err(RestExceptionKind::DisarmUnarmed);
+        }
+        self.disarms += 1;
+        Ok(())
+    }
+
+    /// Whether the slot at exactly `addr` is armed.
+    pub fn is_armed(&self, addr: u64) -> bool {
+        self.slots.contains(&addr)
+    }
+
+    /// Whether `[addr, addr+size)` overlaps any armed slot. This is the
+    /// architectural counterpart of "the access touches a line slot whose
+    /// token bit is set".
+    pub fn overlaps(&self, addr: u64, size: u64) -> bool {
+        self.first_overlap(addr, size).is_some()
+    }
+
+    /// Base address of the first armed slot overlapped by
+    /// `[addr, addr+size)`, if any.
+    pub fn first_overlap(&self, addr: u64, size: u64) -> Option<u64> {
+        if size == 0 {
+            return None;
+        }
+        let w = self.width.bytes();
+        let first_slot = addr / w * w;
+        let last = addr + size - 1;
+        let mut slot = first_slot;
+        loop {
+            if self.slots.contains(&slot) {
+                return Some(slot);
+            }
+            if slot + w > last {
+                return None;
+            }
+            slot += w;
+        }
+    }
+
+    /// Number of currently armed slots.
+    pub fn armed_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total arm operations performed.
+    pub fn total_arms(&self) -> u64 {
+        self.arms
+    }
+
+    /// Total successful disarm operations performed.
+    pub fn total_disarms(&self) -> u64 {
+        self.disarms
+    }
+
+    /// Iterates over armed slot base addresses (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_requires_alignment() {
+        let mut a = ArmedSet::new(TokenWidth::B64);
+        assert_eq!(a.arm(0x1001), Err(RestExceptionKind::MisalignedArm));
+        assert_eq!(a.arm(0x1040), Ok(()));
+        let mut a16 = ArmedSet::new(TokenWidth::B16);
+        assert_eq!(a16.arm(0x1010), Ok(()));
+        assert_eq!(a16.arm(0x1008), Err(RestExceptionKind::MisalignedArm));
+    }
+
+    #[test]
+    fn disarm_of_unarmed_fails() {
+        let mut a = ArmedSet::new(TokenWidth::B64);
+        assert_eq!(a.disarm(0x1000), Err(RestExceptionKind::DisarmUnarmed));
+        a.arm(0x1000).unwrap();
+        assert_eq!(a.disarm(0x1000), Ok(()));
+        assert_eq!(a.disarm(0x1000), Err(RestExceptionKind::DisarmUnarmed));
+        assert_eq!(a.disarm(0x1001), Err(RestExceptionKind::MisalignedDisarm));
+    }
+
+    #[test]
+    fn overlap_detection_across_slot_boundaries() {
+        let mut a = ArmedSet::new(TokenWidth::B64);
+        a.arm(0x1040).unwrap();
+        assert!(a.overlaps(0x1040, 1));
+        assert!(a.overlaps(0x107f, 1));
+        assert!(!a.overlaps(0x1080, 8));
+        assert!(!a.overlaps(0x103f, 1));
+        // Straddling access.
+        assert!(a.overlaps(0x1038, 16));
+        // Wide range spanning far past the slot.
+        assert!(a.overlaps(0x1000, 0x100));
+        assert_eq!(a.first_overlap(0x1000, 0x100), Some(0x1040));
+        // Zero-size never overlaps.
+        assert!(!a.overlaps(0x1040, 0));
+    }
+
+    #[test]
+    fn rearm_is_idempotent_and_counted() {
+        let mut a = ArmedSet::new(TokenWidth::B32);
+        a.arm(0x2000).unwrap();
+        a.arm(0x2000).unwrap();
+        assert_eq!(a.armed_count(), 1);
+        assert_eq!(a.total_arms(), 2);
+    }
+}

@@ -1,0 +1,151 @@
+use std::error::Error;
+use std::fmt;
+
+/// Why a REST exception was raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RestExceptionKind {
+    /// A regular load touched a line whose token bit is set.
+    TokenLoad,
+    /// A regular store touched a line whose token bit is set.
+    TokenStore,
+    /// A `disarm` targeted a location that does not currently hold a
+    /// token. This is what defeats brute-force disarming of memory the
+    /// attacker cannot see (§V-C).
+    DisarmUnarmed,
+    /// An `arm` address was not aligned to the token width (precise
+    /// *invalid REST instruction* exception, §III-A).
+    MisalignedArm,
+    /// A `disarm` address was not aligned to the token width (precise
+    /// *invalid REST instruction* exception, §III-A).
+    MisalignedDisarm,
+    /// A load would have forwarded its value from an in-flight `arm` in
+    /// the store queue, which would leak the secret token (§III-B).
+    ForwardFromArm,
+    /// A store in the LSQ hit an in-flight `arm` to the same location.
+    StoreHitInflightArm,
+    /// A `disarm` found another in-flight `disarm` to the same location
+    /// in the store queue (double disarm).
+    DoubleInflightDisarm,
+}
+
+impl RestExceptionKind {
+    /// Whether this exception is always reported precisely regardless of
+    /// operating mode (the invalid-instruction forms are; token-access
+    /// forms are precise only in debug mode).
+    pub fn always_precise(self) -> bool {
+        matches!(
+            self,
+            RestExceptionKind::MisalignedArm | RestExceptionKind::MisalignedDisarm
+        )
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RestExceptionKind::TokenLoad => "token-load",
+            RestExceptionKind::TokenStore => "token-store",
+            RestExceptionKind::DisarmUnarmed => "disarm-unarmed",
+            RestExceptionKind::MisalignedArm => "misaligned-arm",
+            RestExceptionKind::MisalignedDisarm => "misaligned-disarm",
+            RestExceptionKind::ForwardFromArm => "forward-from-arm",
+            RestExceptionKind::StoreHitInflightArm => "store-hit-inflight-arm",
+            RestExceptionKind::DoubleInflightDisarm => "double-inflight-disarm",
+        }
+    }
+}
+
+impl fmt::Display for RestExceptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A privileged REST exception.
+///
+/// Handled by the next higher privilege level; unmaskable from the
+/// faulting level. The faulting address is delivered in an existing
+/// register (modelled by the `addr` field). In [`crate::Mode::Secure`]
+/// the report may be imprecise (`precise == false`): the program may have
+/// committed instructions past the faulting one by the time the exception
+/// is delivered, which is acceptable for deployment-time monitoring where
+/// the user needs to know *that* a violation occurred, not the exact
+/// machine state when it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestException {
+    /// Classification of the violation.
+    pub kind: RestExceptionKind,
+    /// Faulting data address.
+    pub addr: u64,
+    /// PC of the faulting instruction.
+    pub pc: u64,
+    /// Whether architectural state at delivery equals the state at the
+    /// faulting instruction.
+    pub precise: bool,
+}
+
+impl RestException {
+    /// Creates an exception record.
+    pub fn new(kind: RestExceptionKind, addr: u64, pc: u64, precise: bool) -> RestException {
+        RestException {
+            kind,
+            addr,
+            pc,
+            precise,
+        }
+    }
+}
+
+impl fmt::Display for RestException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "REST exception: {} at addr {:#x} (pc {:#x}, {})",
+            self.kind,
+            self.addr,
+            self.pc,
+            if self.precise { "precise" } else { "imprecise" }
+        )
+    }
+}
+
+impl Error for RestException {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_instruction_forms_are_always_precise() {
+        assert!(RestExceptionKind::MisalignedArm.always_precise());
+        assert!(RestExceptionKind::MisalignedDisarm.always_precise());
+        assert!(!RestExceptionKind::TokenLoad.always_precise());
+        assert!(!RestExceptionKind::DisarmUnarmed.always_precise());
+    }
+
+    #[test]
+    fn display_contains_kind_addr_pc() {
+        let e = RestException::new(RestExceptionKind::TokenLoad, 0x1000, 0x40, false);
+        let s = e.to_string();
+        assert!(s.contains("token-load"), "{s}");
+        assert!(s.contains("0x1000"), "{s}");
+        assert!(s.contains("0x40"), "{s}");
+        assert!(s.contains("imprecise"), "{s}");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        use std::collections::HashSet;
+        let kinds = [
+            RestExceptionKind::TokenLoad,
+            RestExceptionKind::TokenStore,
+            RestExceptionKind::DisarmUnarmed,
+            RestExceptionKind::MisalignedArm,
+            RestExceptionKind::MisalignedDisarm,
+            RestExceptionKind::ForwardFromArm,
+            RestExceptionKind::StoreHitInflightArm,
+            RestExceptionKind::DoubleInflightDisarm,
+        ];
+        let names: HashSet<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

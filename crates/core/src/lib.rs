@@ -1,0 +1,52 @@
+//! The REST primitive (ISCA 2018).
+//!
+//! REST — *Random Embedded Secret Tokens* — blacklists memory by storing
+//! a very large random value (a [`Token`]) directly in the locations to
+//! be protected. The hardware contribution is tiny: one metadata bit per
+//! L1 data-cache line and a comparator in the fill path. When a line is
+//! filled into the L1-D, its content is compared against the token value;
+//! on a match the line's token bit is set, and any regular access to a
+//! marked line raises a privileged [`RestException`].
+//!
+//! This crate holds everything about the primitive that is independent of
+//! a particular pipeline or cache implementation:
+//!
+//! * [`Token`] / [`TokenWidth`] — token values of 16, 32 or 64 bytes and
+//!   content-based detection over cache-line bytes,
+//! * [`TokenRegister`] — the privileged token-configuration register
+//!   (token value + operating-mode bit),
+//! * [`Mode`] — `Secure` (imprecise exceptions, deployment) vs. `Debug`
+//!   (precise exceptions, development),
+//! * [`RestException`] — the new privileged exception class,
+//! * [`table1`] — the paper's Table I (cache/LSQ action matrix) as an
+//!   executable specification that the simulator crates test against,
+//! * [`policy`] — system-level token management (per-boot rotation,
+//!   per-process tokens).
+//!
+//! # Example
+//!
+//! ```
+//! use rest_core::{Token, TokenWidth};
+//!
+//! let token = Token::generate(TokenWidth::B64, &mut rand::thread_rng());
+//! let line = [0u8; 64];
+//! assert!(token.match_offsets_in_line(&line).is_empty());
+//! let mut armed = [0u8; 64];
+//! armed.copy_from_slice(token.bytes_padded());
+//! assert_eq!(token.match_offsets_in_line(&armed), vec![0]);
+//! ```
+
+mod armed;
+mod exception;
+mod mode;
+pub mod policy;
+pub mod table1;
+mod token;
+
+pub use armed::ArmedSet;
+pub use exception::{RestException, RestExceptionKind};
+pub use mode::{Mode, Privilege, PrivilegeError};
+pub use token::{Token, TokenRegister, TokenWidth};
+
+/// Cache-line size in bytes (64 B throughout the paper's system).
+pub const LINE_BYTES: usize = 64;

@@ -1,0 +1,105 @@
+use std::error::Error;
+use std::fmt;
+
+/// REST operating mode (§III-A), configured by a bit in the
+/// token-configuration register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Deployment mode: REST exceptions may be imprecise — the machine
+    /// state at delivery is not guaranteed to be the state at the
+    /// faulting instruction. Store commit is eager and loads release from
+    /// the MSHRs on the critical word, so the primitive costs nearly
+    /// nothing (paper: 2% total, all from software).
+    #[default]
+    Secure,
+    /// Development mode: exceptions are precise. Store commit is delayed
+    /// until the write completes at the L1-D, and a load whose delivered
+    /// critical word partially matches the token is held in the MSHR
+    /// until the full line is checked (paper: 23–25% overhead).
+    Debug,
+}
+
+impl Mode {
+    /// Whether REST exceptions are reported precisely in this mode.
+    pub fn precise_exceptions(self) -> bool {
+        matches!(self, Mode::Debug)
+    }
+
+    /// Whether stores may commit from the ROB before their write is
+    /// acknowledged by the L1-D.
+    pub fn eager_store_commit(self) -> bool {
+        matches!(self, Mode::Secure)
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mode::Secure => "secure",
+            Mode::Debug => "debug",
+        })
+    }
+}
+
+/// Privilege level of the agent performing an operation.
+///
+/// REST exceptions are always handled by the next higher privilege level
+/// and cannot be masked from the faulting level; the token value can only
+/// be set from supervisor mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Privilege {
+    /// User-level application code.
+    User,
+    /// Kernel / next-higher privilege level.
+    Supervisor,
+}
+
+impl Privilege {
+    /// Errors unless `self` is [`Privilege::Supervisor`].
+    pub fn require_supervisor(self) -> Result<(), PrivilegeError> {
+        match self {
+            Privilege::Supervisor => Ok(()),
+            Privilege::User => Err(PrivilegeError),
+        }
+    }
+}
+
+/// Returned when a privileged REST operation (setting the token value or
+/// mode) is attempted from user level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrivilegeError;
+
+impl fmt::Display for PrivilegeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("operation requires supervisor privilege")
+    }
+}
+
+impl Error for PrivilegeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_properties() {
+        assert!(!Mode::Secure.precise_exceptions());
+        assert!(Mode::Secure.eager_store_commit());
+        assert!(Mode::Debug.precise_exceptions());
+        assert!(!Mode::Debug.eager_store_commit());
+        assert_eq!(Mode::default(), Mode::Secure);
+    }
+
+    #[test]
+    fn privilege_gate() {
+        assert!(Privilege::Supervisor.require_supervisor().is_ok());
+        let err = Privilege::User.require_supervisor().unwrap_err();
+        assert!(err.to_string().contains("supervisor"));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mode::Secure.to_string(), "secure");
+        assert_eq!(Mode::Debug.to_string(), "debug");
+    }
+}

@@ -1,0 +1,189 @@
+//! System-level token management (§IV-B).
+//!
+//! The paper proposes two deployment models: a single system-wide token
+//! rotated periodically (e.g. at reboot), which needs no OS changes and
+//! works for legacy binaries; or a token per process, which the OS swaps
+//! on context switches. Both are modelled here so the system-level
+//! trade-offs can be exercised in tests.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::token::{Token, TokenWidth};
+
+/// Identifier of a simulated process.
+pub type Pid = u32;
+
+/// Single system-wide token, rotated on demand (e.g. per boot).
+///
+/// # Example
+///
+/// ```
+/// use rest_core::policy::SystemTokenPolicy;
+/// use rest_core::TokenWidth;
+///
+/// let mut policy = SystemTokenPolicy::new(TokenWidth::B64, &mut rand::thread_rng());
+/// let before = policy.token().clone();
+/// policy.rotate(&mut rand::thread_rng());
+/// assert_ne!(policy.token(), &before);
+/// assert_eq!(policy.rotations(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemTokenPolicy {
+    token: Token,
+    rotations: u64,
+}
+
+impl SystemTokenPolicy {
+    /// Creates the policy with a freshly generated token.
+    pub fn new<R: Rng + ?Sized>(width: TokenWidth, rng: &mut R) -> SystemTokenPolicy {
+        SystemTokenPolicy {
+            token: Token::generate(width, rng),
+            rotations: 0,
+        }
+    }
+
+    /// The current system token.
+    pub fn token(&self) -> &Token {
+        &self.token
+    }
+
+    /// Rotates the token (models a reboot-time refresh). The REST heap
+    /// design allows this without recompiling protected programs, because
+    /// no token value is ever baked into program text.
+    pub fn rotate<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.token = Token::generate(self.token.width(), rng);
+        self.rotations += 1;
+    }
+
+    /// Number of rotations performed.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+}
+
+/// Per-process tokens maintained by the OS across context switches.
+///
+/// Requires OS support: token generation at process creation and swap of
+/// the token-configuration register on context switch. Cloned processes
+/// inherit the parent token so shared pages keep a consistent meaning.
+#[derive(Debug, Clone, Default)]
+pub struct PerProcessTokenPolicy {
+    tokens: HashMap<Pid, Token>,
+    /// Currently loaded process, if any.
+    current: Option<Pid>,
+    context_switches: u64,
+}
+
+impl PerProcessTokenPolicy {
+    /// Creates an empty policy.
+    pub fn new() -> PerProcessTokenPolicy {
+        PerProcessTokenPolicy::default()
+    }
+
+    /// Registers a new process with a fresh token.
+    pub fn spawn<R: Rng + ?Sized>(&mut self, pid: Pid, width: TokenWidth, rng: &mut R) {
+        self.tokens.insert(pid, Token::generate(width, rng));
+    }
+
+    /// Clones `parent` into `child`, inheriting the parent's token (so
+    /// copy-on-write pages containing tokens stay armed for both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not registered.
+    pub fn clone_process(&mut self, parent: Pid, child: Pid) {
+        let t = self.tokens[&parent].clone();
+        self.tokens.insert(child, t);
+    }
+
+    /// Context-switches to `pid`, returning the token that must be loaded
+    /// into the token-configuration register, or `None` for unknown pids.
+    pub fn switch_to(&mut self, pid: Pid) -> Option<&Token> {
+        if self.tokens.contains_key(&pid) {
+            self.current = Some(pid);
+            self.context_switches += 1;
+            self.tokens.get(&pid)
+        } else {
+            None
+        }
+    }
+
+    /// Token of `pid`, if registered.
+    pub fn token_of(&self, pid: Pid) -> Option<&Token> {
+        self.tokens.get(&pid)
+    }
+
+    /// Currently loaded process.
+    pub fn current(&self) -> Option<Pid> {
+        self.current
+    }
+
+    /// Removes a terminated process.
+    pub fn reap(&mut self, pid: Pid) {
+        self.tokens.remove(&pid);
+        if self.current == Some(pid) {
+            self.current = None;
+        }
+    }
+
+    /// Number of context switches served.
+    pub fn context_switches(&self) -> u64 {
+        self.context_switches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rotation_changes_token_and_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = SystemTokenPolicy::new(TokenWidth::B64, &mut rng);
+        let t0 = p.token().clone();
+        p.rotate(&mut rng);
+        assert_ne!(p.token(), &t0);
+        p.rotate(&mut rng);
+        assert_eq!(p.rotations(), 2);
+        assert_eq!(p.token().width(), TokenWidth::B64);
+    }
+
+    #[test]
+    fn per_process_tokens_are_distinct_and_switchable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = PerProcessTokenPolicy::new();
+        p.spawn(1, TokenWidth::B64, &mut rng);
+        p.spawn(2, TokenWidth::B64, &mut rng);
+        assert_ne!(p.token_of(1), p.token_of(2));
+
+        assert!(p.switch_to(1).is_some());
+        assert_eq!(p.current(), Some(1));
+        assert!(p.switch_to(3).is_none());
+        assert_eq!(p.current(), Some(1));
+        assert_eq!(p.context_switches(), 1);
+    }
+
+    #[test]
+    fn cloned_processes_share_the_token() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = PerProcessTokenPolicy::new();
+        p.spawn(1, TokenWidth::B32, &mut rng);
+        p.clone_process(1, 7);
+        assert_eq!(p.token_of(1), p.token_of(7));
+    }
+
+    #[test]
+    fn reap_clears_current() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut p = PerProcessTokenPolicy::new();
+        p.spawn(5, TokenWidth::B64, &mut rng);
+        p.switch_to(5);
+        p.reap(5);
+        assert_eq!(p.current(), None);
+        assert!(p.token_of(5).is_none());
+    }
+}

@@ -1,0 +1,338 @@
+//! Executable specification of the paper's **Table I**: the actions taken
+//! by the LSQ and the L1-D cache for every REST-relevant operation, split
+//! by cache hit/miss.
+//!
+//! The timing simulator (`rest-cpu`, `rest-mem`) implements these rules;
+//! its unit tests check each implementation decision against this module,
+//! and `rest-bench`'s `table1` binary prints the full matrix alongside
+//! the observed simulator behaviour.
+
+use crate::exception::RestExceptionKind;
+
+/// Row of Table I: the operation arriving at the LSQ / L1-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// REST `arm`.
+    Arm,
+    /// REST `disarm`.
+    Disarm,
+    /// Regular load.
+    Load,
+    /// Regular store in secure mode.
+    StoreSecure,
+    /// Regular store in debug mode.
+    StoreDebug,
+    /// Incoming coherence message.
+    CoherenceMsg,
+    /// Line eviction from the L1-D.
+    Eviction,
+}
+
+impl Action {
+    /// All rows of the table, in paper order.
+    pub const ALL: [Action; 7] = [
+        Action::Arm,
+        Action::Disarm,
+        Action::Load,
+        Action::StoreSecure,
+        Action::StoreDebug,
+        Action::CoherenceMsg,
+        Action::Eviction,
+    ];
+
+    /// Row label as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Action::Arm => "Arm",
+            Action::Disarm => "Disarm",
+            Action::Load => "Load",
+            Action::StoreSecure => "Store (Secure)",
+            Action::StoreDebug => "Store (Debug)",
+            Action::CoherenceMsg => "Coherence Msgs.",
+            Action::Eviction => "Eviction",
+        }
+    }
+}
+
+/// How an entry inserted into the store queue is tagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqTag {
+    /// Ordinary store carrying a data value.
+    Store,
+    /// `arm` — value implicit (the token), never forwarded.
+    Arm,
+    /// `disarm` — value implicit (zero), never forwarded.
+    Disarm,
+}
+
+/// The "LSQ" column of Table I for one operation, given the relevant
+/// store-queue state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsqDecision {
+    /// Exception to raise instead of proceeding, if any.
+    pub exception: Option<RestExceptionKind>,
+    /// Entry to insert into the store queue (loads insert none).
+    pub insert: Option<SqTag>,
+    /// Whether a load may take a forwarded value from a matching,
+    /// ordinary store-queue entry (never from arm/disarm).
+    pub may_forward: bool,
+}
+
+/// Evaluates the LSQ column.
+///
+/// * `sq_has_arm_same_loc` — an in-flight `arm` to the same location
+///   exists in the store queue.
+/// * `sq_has_disarm_same_loc` — an in-flight `disarm` to the same
+///   location exists.
+/// * `would_forward_from_arm` — for loads only: the normal forwarding
+///   logic found its match to be an `arm` entry.
+pub fn lsq_decision(
+    action: Action,
+    sq_has_arm_same_loc: bool,
+    sq_has_disarm_same_loc: bool,
+    would_forward_from_arm: bool,
+) -> LsqDecision {
+    match action {
+        Action::Arm => LsqDecision {
+            exception: None,
+            insert: Some(SqTag::Arm),
+            may_forward: false,
+        },
+        Action::Disarm => {
+            if sq_has_disarm_same_loc {
+                LsqDecision {
+                    exception: Some(RestExceptionKind::DoubleInflightDisarm),
+                    insert: None,
+                    may_forward: false,
+                }
+            } else {
+                LsqDecision {
+                    exception: None,
+                    insert: Some(SqTag::Disarm),
+                    may_forward: false,
+                }
+            }
+        }
+        Action::Load => {
+            if would_forward_from_arm {
+                LsqDecision {
+                    exception: Some(RestExceptionKind::ForwardFromArm),
+                    insert: None,
+                    may_forward: false,
+                }
+            } else {
+                LsqDecision {
+                    exception: None,
+                    insert: None,
+                    may_forward: true,
+                }
+            }
+        }
+        Action::StoreSecure | Action::StoreDebug => {
+            if sq_has_arm_same_loc {
+                LsqDecision {
+                    exception: Some(RestExceptionKind::StoreHitInflightArm),
+                    insert: None,
+                    may_forward: false,
+                }
+            } else {
+                LsqDecision {
+                    exception: None,
+                    insert: Some(SqTag::Store),
+                    may_forward: false,
+                }
+            }
+        }
+        // Coherence and eviction never traverse the LSQ.
+        Action::CoherenceMsg | Action::Eviction => LsqDecision {
+            exception: None,
+            insert: None,
+            may_forward: false,
+        },
+    }
+}
+
+/// The "Cache Hit" / "Cache Miss" columns of Table I for one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheDecision {
+    /// Exception to raise instead of completing the access.
+    pub exception: Option<RestExceptionKind>,
+    /// Line must be fetched from the next level first (miss path).
+    pub fetch_line: bool,
+    /// After a fetch, run the token detector and set token bit(s) if the
+    /// incoming line contains the token.
+    pub detect_token_on_fill: bool,
+    /// Unconditionally set the token bit of the accessed slot (arm).
+    pub set_token_bit: bool,
+    /// Zero the accessed slot and unset its token bit (disarm).
+    pub clear_slot_unset_bit: bool,
+    /// Complete the ordinary data read/write.
+    pub access_data: bool,
+    /// Debug-mode stores: hold the ROB commit until the L1-D acks.
+    pub delay_commit_until_ack: bool,
+    /// Eviction of a token-bit line: materialise the token value in the
+    /// outgoing packet (arm writes the value lazily, on eviction).
+    pub fill_token_in_outgoing: bool,
+}
+
+/// Evaluates the cache column.
+///
+/// * `hit` — the accessed line is present in the L1-D.
+/// * `token_bit_set` — the token bit of the accessed slot is set
+///   (meaningful on hits, and on misses *after* the fill-path detector
+///   has run — pass the post-fill value).
+pub fn cache_decision(action: Action, hit: bool, token_bit_set: bool) -> CacheDecision {
+    let mut d = CacheDecision {
+        fetch_line: !hit,
+        detect_token_on_fill: !hit,
+        ..CacheDecision::default()
+    };
+    match action {
+        Action::Arm => {
+            // Arm sets the token bit but does not write the token value;
+            // the value is written when the line is evicted (§III-B).
+            d.set_token_bit = true;
+        }
+        Action::Disarm => {
+            if token_bit_set {
+                d.clear_slot_unset_bit = true;
+            } else {
+                d.exception = Some(RestExceptionKind::DisarmUnarmed);
+            }
+        }
+        Action::Load => {
+            if token_bit_set {
+                d.exception = Some(RestExceptionKind::TokenLoad);
+            } else {
+                d.access_data = true;
+            }
+        }
+        Action::StoreSecure | Action::StoreDebug => {
+            if token_bit_set {
+                d.exception = Some(RestExceptionKind::TokenStore);
+            } else {
+                d.access_data = true;
+                if action == Action::StoreDebug && !hit {
+                    d.delay_commit_until_ack = true;
+                }
+            }
+        }
+        Action::CoherenceMsg => {
+            // "As usual": coherence is unmodified.
+            d.fetch_line = false;
+            d.detect_token_on_fill = false;
+        }
+        Action::Eviction => {
+            d.fetch_line = false;
+            d.detect_token_on_fill = false;
+            if hit && token_bit_set {
+                d.fill_token_in_outgoing = true;
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_row() {
+        let l = lsq_decision(Action::Arm, false, false, false);
+        assert_eq!(l.insert, Some(SqTag::Arm));
+        assert!(l.exception.is_none());
+        assert!(!l.may_forward);
+
+        let hit = cache_decision(Action::Arm, true, false);
+        assert!(hit.set_token_bit && !hit.fetch_line);
+        let miss = cache_decision(Action::Arm, false, false);
+        assert!(miss.set_token_bit && miss.fetch_line && miss.detect_token_on_fill);
+    }
+
+    #[test]
+    fn disarm_row() {
+        // Double in-flight disarm raises.
+        let l = lsq_decision(Action::Disarm, false, true, false);
+        assert_eq!(
+            l.exception,
+            Some(RestExceptionKind::DoubleInflightDisarm)
+        );
+        // Otherwise inserted tagged, with no value.
+        let l = lsq_decision(Action::Disarm, false, false, false);
+        assert_eq!(l.insert, Some(SqTag::Disarm));
+
+        // Cache hit, token bit unset → exception.
+        let d = cache_decision(Action::Disarm, true, false);
+        assert_eq!(d.exception, Some(RestExceptionKind::DisarmUnarmed));
+        // Cache hit, token bit set → clear line, unset bit.
+        let d = cache_decision(Action::Disarm, true, true);
+        assert!(d.clear_slot_unset_bit && d.exception.is_none());
+        // Miss: fetch, detect, then proceed as hit.
+        let d = cache_decision(Action::Disarm, false, true);
+        assert!(d.fetch_line && d.detect_token_on_fill && d.clear_slot_unset_bit);
+    }
+
+    #[test]
+    fn load_row() {
+        // Forward from armed SQ entry → exception.
+        let l = lsq_decision(Action::Load, true, false, true);
+        assert_eq!(l.exception, Some(RestExceptionKind::ForwardFromArm));
+        // As usual otherwise.
+        let l = lsq_decision(Action::Load, false, false, false);
+        assert!(l.exception.is_none() && l.may_forward);
+
+        let d = cache_decision(Action::Load, true, true);
+        assert_eq!(d.exception, Some(RestExceptionKind::TokenLoad));
+        let d = cache_decision(Action::Load, true, false);
+        assert!(d.access_data);
+        let d = cache_decision(Action::Load, false, false);
+        assert!(d.fetch_line && d.detect_token_on_fill && d.access_data);
+    }
+
+    #[test]
+    fn store_rows() {
+        for action in [Action::StoreSecure, Action::StoreDebug] {
+            let l = lsq_decision(action, true, false, false);
+            assert_eq!(
+                l.exception,
+                Some(RestExceptionKind::StoreHitInflightArm),
+                "{action:?}"
+            );
+            let l = lsq_decision(action, false, false, false);
+            assert_eq!(l.insert, Some(SqTag::Store));
+
+            let d = cache_decision(action, true, true);
+            assert_eq!(d.exception, Some(RestExceptionKind::TokenStore));
+            let d = cache_decision(action, true, false);
+            assert!(d.access_data && !d.delay_commit_until_ack);
+        }
+        // Debug-mode store miss delays commit until the L1-D ack.
+        let d = cache_decision(Action::StoreDebug, false, false);
+        assert!(d.delay_commit_until_ack);
+        let d = cache_decision(Action::StoreSecure, false, false);
+        assert!(!d.delay_commit_until_ack);
+    }
+
+    #[test]
+    fn coherence_and_eviction_rows() {
+        let l = lsq_decision(Action::CoherenceMsg, false, false, false);
+        assert_eq!(l, lsq_decision(Action::Eviction, false, false, false));
+        assert!(l.exception.is_none() && l.insert.is_none());
+
+        let d = cache_decision(Action::CoherenceMsg, true, true);
+        assert_eq!(d, CacheDecision::default());
+
+        let d = cache_decision(Action::Eviction, true, true);
+        assert!(d.fill_token_in_outgoing);
+        let d = cache_decision(Action::Eviction, true, false);
+        assert!(!d.fill_token_in_outgoing);
+    }
+
+    #[test]
+    fn action_names_match_paper() {
+        assert_eq!(Action::StoreSecure.name(), "Store (Secure)");
+        assert_eq!(Action::CoherenceMsg.name(), "Coherence Msgs.");
+        assert_eq!(Action::ALL.len(), 7);
+    }
+}

@@ -1,0 +1,326 @@
+use std::fmt;
+
+use rand::Rng;
+
+use crate::mode::{Mode, Privilege, PrivilegeError};
+use crate::LINE_BYTES;
+
+/// Width of a REST token.
+///
+/// The paper's default is a full cache line (64 B = 512 bits), giving a
+/// false-positive probability below 2⁻⁵¹². Narrower 32 B and 16 B tokens
+/// are supported for finer-grained blacklisting (§III-B "Modifying Token
+/// Width", evaluated in Figure 8); they raise the number of token bits
+/// per L1-D line to 2 and 4 respectively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TokenWidth {
+    /// 16-byte (128-bit) tokens: 4 token bits per 64 B line.
+    B16,
+    /// 32-byte (256-bit) tokens: 2 token bits per 64 B line.
+    B32,
+    /// 64-byte (512-bit) tokens: 1 token bit per 64 B line (the default).
+    B64,
+}
+
+impl TokenWidth {
+    /// Token width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            TokenWidth::B16 => 16,
+            TokenWidth::B32 => 32,
+            TokenWidth::B64 => 64,
+        }
+    }
+
+    /// Number of token-aligned slots (and therefore token metadata bits)
+    /// in one 64-byte cache line.
+    pub fn slots_per_line(self) -> usize {
+        LINE_BYTES / self.bytes() as usize
+    }
+
+    /// Whether `addr` satisfies the token alignment requirement.
+    pub fn is_aligned(self, addr: u64) -> bool {
+        addr.is_multiple_of(self.bytes())
+    }
+
+    /// Rounds `len` up to a whole number of tokens.
+    pub fn round_up(self, len: u64) -> u64 {
+        len.div_ceil(self.bytes()) * self.bytes()
+    }
+
+    /// All supported widths, narrowest first.
+    pub const ALL: [TokenWidth; 3] = [TokenWidth::B16, TokenWidth::B32, TokenWidth::B64];
+}
+
+impl fmt::Display for TokenWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+/// A REST token value: `width` bytes of cryptographically-random data.
+///
+/// Detection is *content-based*: a memory location is armed exactly when
+/// its bytes equal the token value, so no out-of-band metadata ever needs
+/// to be fetched. [`Token::match_offsets_in_line`] is the comparator the
+/// L1-D fill path implements.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    width: TokenWidth,
+    /// Token value, padded with zeroes beyond `width` bytes.
+    bytes: [u8; LINE_BYTES],
+}
+
+impl Token {
+    /// Generates a fresh random token of the given width.
+    pub fn generate<R: Rng + ?Sized>(width: TokenWidth, rng: &mut R) -> Token {
+        let mut bytes = [0u8; LINE_BYTES];
+        rng.fill(&mut bytes[..width.bytes() as usize]);
+        // An all-zero token would collide with ordinary zeroed memory;
+        // the probability is 2^-128 at minimum but regenerating is free.
+        if bytes[..width.bytes() as usize].iter().all(|&b| b == 0) {
+            bytes[0] = 1;
+        }
+        Token { width, bytes }
+    }
+
+    /// Builds a token from explicit bytes (used by tests and by the
+    /// privileged memory-mapped store sequence that sets the value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value.len()` does not equal the width.
+    pub fn from_bytes(width: TokenWidth, value: &[u8]) -> Token {
+        assert_eq!(
+            value.len(),
+            width.bytes() as usize,
+            "token value length must equal token width"
+        );
+        let mut bytes = [0u8; LINE_BYTES];
+        bytes[..value.len()].copy_from_slice(value);
+        Token { width, bytes }
+    }
+
+    /// The token's width.
+    pub fn width(&self) -> TokenWidth {
+        self.width
+    }
+
+    /// The token value (exactly `width` bytes).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes[..self.width.bytes() as usize]
+    }
+
+    /// The token value padded with zeroes to a full cache line. With the
+    /// default 64 B width this *is* the line image an armed line holds.
+    pub fn bytes_padded(&self) -> &[u8; LINE_BYTES] {
+        &self.bytes
+    }
+
+    /// Whether the `width` bytes at the start of `slot` equal the token.
+    pub fn matches_slot(&self, slot: &[u8]) -> bool {
+        slot.len() >= self.width.bytes() as usize && slot[..self.width.bytes() as usize] == *self.bytes()
+    }
+
+    /// The fill-path comparator: scans a 64-byte line and returns the
+    /// byte offsets of every token-aligned slot whose content equals the
+    /// token value. One returned offset per token bit that must be set.
+    pub fn match_offsets_in_line(&self, line: &[u8; LINE_BYTES]) -> Vec<usize> {
+        let w = self.width.bytes() as usize;
+        (0..self.width.slots_per_line())
+            .filter(|&slot| line[slot * w..(slot + 1) * w] == *self.bytes())
+            .map(|slot| slot * w)
+            .collect()
+    }
+
+    /// Whether any aligned slot of `line` holds the token.
+    pub fn line_contains_token(&self, line: &[u8; LINE_BYTES]) -> bool {
+        !self.match_offsets_in_line(line).is_empty()
+    }
+}
+
+impl fmt::Debug for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the full secret; show width and a short prefix so
+        // Debug output is non-empty but the value stays unguessable.
+        write!(
+            f,
+            "Token({}, {:02x}{:02x}..)",
+            self.width, self.bytes[0], self.bytes[1]
+        )
+    }
+}
+
+/// The token-configuration register (§III-A).
+///
+/// Holds the system token value and the operating-mode bit. It is not
+/// directly accessible to user-level code: the value is set through
+/// privileged memory-mapped stores, and both mutators here therefore
+/// demand [`Privilege::Supervisor`].
+///
+/// # Example
+///
+/// ```
+/// use rest_core::{Mode, Privilege, Token, TokenRegister, TokenWidth};
+///
+/// let token = Token::generate(TokenWidth::B64, &mut rand::thread_rng());
+/// let mut reg = TokenRegister::new(token.clone(), Mode::Secure);
+/// assert!(reg.set_token(Privilege::User, token.clone()).is_err());
+/// assert!(reg.set_token(Privilege::Supervisor, token).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenRegister {
+    token: Token,
+    mode: Mode,
+}
+
+impl TokenRegister {
+    /// Creates a register holding `token` in `mode`.
+    pub fn new(token: Token, mode: Mode) -> TokenRegister {
+        TokenRegister { token, mode }
+    }
+
+    /// The current token value. Reading the register contents is a
+    /// hardware-internal operation (the comparator's input); guest code
+    /// has no instruction that reaches it.
+    pub fn token(&self) -> &Token {
+        &self.token
+    }
+
+    /// Current operating mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Replaces the token value (e.g. per-boot rotation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivilegeError`] unless called at supervisor privilege.
+    pub fn set_token(&mut self, privilege: Privilege, token: Token) -> Result<(), PrivilegeError> {
+        privilege.require_supervisor()?;
+        self.token = token;
+        Ok(())
+    }
+
+    /// Sets the operating-mode bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivilegeError`] unless called at supervisor privilege.
+    pub fn set_mode(&mut self, privilege: Privilege, mode: Mode) -> Result<(), PrivilegeError> {
+        privilege.require_supervisor()?;
+        self.mode = mode;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::mock::StepRng;
+    use rand::SeedableRng;
+
+    fn token64() -> Token {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        Token::generate(TokenWidth::B64, &mut rng)
+    }
+
+    #[test]
+    fn width_properties() {
+        assert_eq!(TokenWidth::B16.bytes(), 16);
+        assert_eq!(TokenWidth::B16.slots_per_line(), 4);
+        assert_eq!(TokenWidth::B32.slots_per_line(), 2);
+        assert_eq!(TokenWidth::B64.slots_per_line(), 1);
+        assert!(TokenWidth::B32.is_aligned(64));
+        assert!(TokenWidth::B32.is_aligned(32));
+        assert!(!TokenWidth::B32.is_aligned(16));
+        assert_eq!(TokenWidth::B64.round_up(1), 64);
+        assert_eq!(TokenWidth::B64.round_up(64), 64);
+        assert_eq!(TokenWidth::B16.round_up(17), 32);
+        assert_eq!(TokenWidth::B16.round_up(0), 0);
+    }
+
+    #[test]
+    fn generated_token_is_never_all_zero() {
+        // StepRng with increment 0 yields all-zero fills, hitting the
+        // regeneration guard.
+        let mut rng = StepRng::new(0, 0);
+        let t = Token::generate(TokenWidth::B16, &mut rng);
+        assert!(t.bytes().iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn full_line_token_matches_only_exact_content() {
+        let t = token64();
+        let mut line = [0u8; LINE_BYTES];
+        assert!(!t.line_contains_token(&line));
+        line.copy_from_slice(t.bytes_padded());
+        assert_eq!(t.match_offsets_in_line(&line), vec![0]);
+        line[63] ^= 1;
+        assert!(!t.line_contains_token(&line));
+    }
+
+    #[test]
+    fn narrow_tokens_match_per_slot() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let t = Token::generate(TokenWidth::B16, &mut rng);
+        let mut line = [0u8; LINE_BYTES];
+        line[16..32].copy_from_slice(t.bytes());
+        line[48..64].copy_from_slice(t.bytes());
+        assert_eq!(t.match_offsets_in_line(&line), vec![16, 48]);
+        // Token content at an unaligned offset is NOT detected — condition
+        // (2) of §V-B requires alignment.
+        let mut line2 = [0u8; LINE_BYTES];
+        line2[8..24].copy_from_slice(t.bytes());
+        assert!(t.match_offsets_in_line(&line2).is_empty());
+    }
+
+    #[test]
+    fn matches_slot_requires_full_width() {
+        let t = token64();
+        assert!(t.matches_slot(t.bytes_padded()));
+        assert!(!t.matches_slot(&t.bytes()[..32]));
+    }
+
+    #[test]
+    fn register_enforces_privilege() {
+        let t = token64();
+        let mut reg = TokenRegister::new(t.clone(), Mode::Secure);
+        assert_eq!(reg.mode(), Mode::Secure);
+        assert!(reg.set_mode(Privilege::User, Mode::Debug).is_err());
+        assert_eq!(reg.mode(), Mode::Secure);
+        reg.set_mode(Privilege::Supervisor, Mode::Debug).unwrap();
+        assert_eq!(reg.mode(), Mode::Debug);
+
+        let t2 = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+            Token::generate(TokenWidth::B64, &mut rng)
+        };
+        assert!(reg.set_token(Privilege::User, t2.clone()).is_err());
+        reg.set_token(Privilege::Supervisor, t2.clone()).unwrap();
+        assert_eq!(reg.token(), &t2);
+    }
+
+    #[test]
+    fn debug_output_hides_secret() {
+        let t = token64();
+        let s = format!("{t:?}");
+        assert!(s.len() < 30, "debug output leaks too much: {s}");
+        assert!(s.starts_with("Token(64B"));
+    }
+
+    #[test]
+    fn from_bytes_round_trips() {
+        let value = [0xabu8; 32];
+        let t = Token::from_bytes(TokenWidth::B32, &value);
+        assert_eq!(t.bytes(), &value);
+        assert_eq!(t.width(), TokenWidth::B32);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must equal")]
+    fn from_bytes_rejects_wrong_length() {
+        let _ = Token::from_bytes(TokenWidth::B32, &[0u8; 16]);
+    }
+}

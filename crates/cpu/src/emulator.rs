@@ -1,0 +1,749 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rest_core::{ArmedSet, Mode, RestException, RestExceptionKind, Token};
+use rest_isa::{
+    BranchInfo, Component, DynInst, EcallNum, GuestMemory, Inst, OpKind, Program, Reg, PC_STEP,
+};
+use rest_runtime::{
+    shadow, AsanReport, EcallOutcome, RtConfig, RtEnv, Runtime, Scheme, TrafficRecorder, Violation,
+};
+
+use crate::config::SimConfig;
+
+/// Why the emulated program stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// The program executed `halt`.
+    Halted,
+    /// The program called `exit(code)`.
+    Exit(i32),
+    /// A memory-safety violation was detected (REST exception or ASan
+    /// report, depending on the active scheme).
+    Violation(Violation),
+    /// The configured micro-op budget was exhausted.
+    UopLimit,
+    /// The machine faulted (bad PC, unknown ecall, …).
+    Fault(String),
+}
+
+/// The functional emulator.
+///
+/// Executes guest instructions architecturally, ahead of the timing
+/// pipeline, producing the oracle [`DynInst`] stream. Protection-scheme
+/// behaviour is applied here exactly as the hardened binary would see it:
+///
+/// * under ASan, every application load/store is preceded by the
+///   injected shadow-check micro-ops and validated against shadow
+///   memory;
+/// * under REST, every access is validated against the architectural
+///   [`ArmedSet`] (the content-equivalent of the hardware's token-bit
+///   check — see `rest_core::ArmedSet` docs), and `arm`/`disarm`
+///   instructions enforce the alignment and armed-state rules of §III-A;
+/// * `ecall`s are served by the [`Runtime`], whose recorded traffic is
+///   spliced into the stream.
+#[derive(Debug)]
+pub struct Emulator {
+    program: Program,
+    regs: [u64; Reg::COUNT],
+    pc: u64,
+    /// Functional memory image (readable by the timing model's token
+    /// detector).
+    pub mem: GuestMemory,
+    armed: ArmedSet,
+    token: Token,
+    runtime: Runtime,
+    rec: TrafficRecorder,
+    stop: Option<StopReason>,
+    insts: u64,
+    uops: u64,
+    max_uops: u64,
+    access_checks: bool,
+    check_rest: bool,
+    perfect_hw: bool,
+    naive_wide_arm: bool,
+    mode: Mode,
+}
+
+impl Emulator {
+    /// Creates an emulator for `program` under `cfg`, loading the
+    /// program's data segments and generating the system token from
+    /// `cfg.token_seed`.
+    pub fn new(program: Program, cfg: &SimConfig) -> Emulator {
+        let mut rng = StdRng::seed_from_u64(cfg.token_seed);
+        let token = Token::generate(cfg.rt.token_width, &mut rng);
+        let mut mem = GuestMemory::new();
+        for (base, bytes) in program.data_segments() {
+            mem.write_bytes(*base, bytes);
+        }
+        let entry = program.entry();
+        Emulator {
+            program,
+            regs: [0; Reg::COUNT],
+            pc: entry,
+            mem,
+            armed: ArmedSet::new(cfg.rt.token_width),
+            token,
+            runtime: Runtime::new(cfg.rt.clone()),
+            rec: TrafficRecorder::new(),
+            stop: None,
+            insts: 0,
+            uops: 0,
+            max_uops: cfg.max_uops,
+            access_checks: cfg.rt.scheme == Scheme::Asan && cfg.rt.access_checks,
+            check_rest: cfg.rt.scheme == Scheme::Rest && !cfg.rt.perfect_hw,
+            perfect_hw: cfg.rt.perfect_hw,
+            naive_wide_arm: cfg.rt.naive_wide_arm,
+            mode: cfg.rt.mode,
+        }
+    }
+
+    /// The system token.
+    pub fn token(&self) -> &Token {
+        &self.token
+    }
+
+    /// The architectural armed-location set.
+    pub fn armed(&self) -> &ArmedSet {
+        &self.armed
+    }
+
+    /// The guest runtime (for allocator stats and program output).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Why execution stopped, if it has.
+    pub fn stop_reason(&self) -> Option<&StopReason> {
+        self.stop.as_ref()
+    }
+
+    /// Current architectural value of `r` (for tests and debuggers).
+    pub fn reg_value(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Macro instructions retired so far.
+    pub fn insts(&self) -> u64 {
+        self.insts
+    }
+
+    /// Micro-ops emitted so far (including injected ones).
+    pub fn uops(&self) -> u64 {
+        self.uops
+    }
+
+    fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    fn env(&mut self) -> RtEnv<'_> {
+        RtEnv {
+            mem: &mut self.mem,
+            rec: &mut self.rec,
+            armed: &mut self.armed,
+            token: &self.token,
+            check_rest: self.check_rest,
+            check_shadow: false,
+            perfect_hw: self.perfect_hw,
+            naive_wide_arm: self.naive_wide_arm,
+        }
+    }
+
+    /// Validates an application access under the active scheme. Returns
+    /// the violation to report, if any.
+    fn check_app_access(&self, addr: u64, size: u64, store: bool, pc: u64) -> Option<Violation> {
+        if self.check_rest {
+            if let Some(slot) = self.armed.first_overlap(addr, size) {
+                let kind = if store {
+                    RestExceptionKind::TokenStore
+                } else {
+                    RestExceptionKind::TokenLoad
+                };
+                return Some(Violation::Rest(RestException::new(
+                    kind,
+                    slot,
+                    pc,
+                    self.mode.precise_exceptions(),
+                )));
+            }
+        }
+        if self.access_checks {
+            if let Err(kind) = shadow::classify_access(&self.mem, addr, size) {
+                return Some(Violation::Asan(AsanReport {
+                    kind,
+                    addr,
+                    size,
+                    pc,
+                }));
+            }
+        }
+        None
+    }
+
+    /// Emits the micro-ops of the ASan per-access check (component 3 of
+    /// Figure 3), matching the sequence LLVM's pass emits before every
+    /// instrumented access: shadow-address arithmetic (shift + add), the
+    /// shadow-byte load, the test, and the (never-taken) branch to the
+    /// report stub.
+    fn emit_asan_check(&mut self, out: &mut Vec<DynInst>, pc: u64, addr: u64) {
+        let sh = rest_runtime::shadow_addr(addr);
+        out.push(
+            DynInst::alu(pc, Some(Reg::TP), [None, None]).with_component(Component::AccessCheck),
+        );
+        out.push(
+            DynInst::alu(pc, Some(Reg::TP), [Some(Reg::TP), None])
+                .with_component(Component::AccessCheck),
+        );
+        out.push(
+            DynInst::load(pc, Some(Reg::TP), Some(Reg::TP), sh, 1)
+                .with_component(Component::AccessCheck),
+        );
+        out.push(
+            DynInst::alu(pc, Some(Reg::TP), [Some(Reg::TP), None])
+                .with_component(Component::AccessCheck),
+        );
+        out.push(
+            DynInst::branch(
+                pc,
+                [Some(Reg::TP), None],
+                None,
+                BranchInfo {
+                    taken: false,
+                    target: pc + PC_STEP,
+                    conditional: true,
+                    is_call: false,
+                    is_return: false,
+                    indirect: false,
+                },
+            )
+            .with_component(Component::AccessCheck),
+        );
+    }
+
+    /// Executes one macro instruction, appending its micro-ops to `out`.
+    /// Returns `false` once the program has stopped.
+    pub fn step(&mut self, out: &mut Vec<DynInst>) -> bool {
+        if self.stop.is_some() {
+            return false;
+        }
+        if self.uops >= self.max_uops {
+            self.stop = Some(StopReason::UopLimit);
+            return false;
+        }
+        let pc = self.pc;
+        let inst = match self.program.fetch(pc) {
+            Some(i) => i,
+            None => {
+                self.stop = Some(StopReason::Fault(format!("bad pc {pc:#x}")));
+                return false;
+            }
+        };
+        let component = self.program.component_at(pc);
+        let before = out.len();
+        let mut next_pc = pc + PC_STEP;
+
+        match inst {
+            Inst::Alu { op, dst, src1, src2 } => {
+                let v = op.apply(self.reg(src1), self.reg(src2));
+                self.set_reg(dst, v);
+                let kind = alu_kind(op);
+                out.push(
+                    DynInst::alu(pc, Some(dst), [Some(src1), Some(src2)])
+                        .with_kind(kind)
+                        .with_component(component),
+                );
+            }
+            Inst::AluImm { op, dst, src, imm } => {
+                let v = op.apply(self.reg(src), imm as u64);
+                self.set_reg(dst, v);
+                out.push(
+                    DynInst::alu(pc, Some(dst), [Some(src), None])
+                        .with_kind(alu_kind(op))
+                        .with_component(component),
+                );
+            }
+            Inst::Li { dst, imm } => {
+                self.set_reg(dst, imm as u64);
+                out.push(DynInst::alu(pc, Some(dst), [None, None]).with_component(component));
+            }
+            Inst::Nop => {
+                out.push(DynInst::alu(pc, None, [None, None]).with_component(component));
+            }
+            Inst::Load {
+                dst,
+                base,
+                offset,
+                size,
+                signed,
+            } => {
+                let addr = self.reg(base).wrapping_add(offset as u64);
+                if self.access_checks && component == Component::App {
+                    self.emit_asan_check(out, pc, addr);
+                }
+                out.push(
+                    DynInst::load(pc, Some(dst), Some(base), addr, size.bytes())
+                        .with_component(component),
+                );
+                if let Some(v) = self.check_app_access(addr, size.bytes(), false, pc) {
+                    self.stop = Some(StopReason::Violation(v));
+                } else {
+                    let raw = self.mem.read_scalar(addr, size);
+                    let v = if signed {
+                        sign_extend(raw, size.bytes())
+                    } else {
+                        raw
+                    };
+                    self.set_reg(dst, v);
+                }
+            }
+            Inst::Store {
+                src,
+                base,
+                offset,
+                size,
+            } => {
+                let addr = self.reg(base).wrapping_add(offset as u64);
+                if self.access_checks && component == Component::App {
+                    self.emit_asan_check(out, pc, addr);
+                }
+                out.push(
+                    DynInst::store(pc, Some(src), Some(base), addr, size.bytes())
+                        .with_component(component),
+                );
+                if let Some(v) = self.check_app_access(addr, size.bytes(), true, pc) {
+                    self.stop = Some(StopReason::Violation(v));
+                } else {
+                    self.mem.write_scalar(addr, self.reg(src), size);
+                }
+            }
+            Inst::Arm { addr } => {
+                let a = self.reg(addr);
+                if self.perfect_hw {
+                    out.push(
+                        DynInst::store(pc, None, Some(addr), a, 8).with_component(component),
+                    );
+                } else {
+                    let w = self.token.width().bytes();
+                    out.push(DynInst::arm(pc, Some(addr), a, w).with_component(component));
+                    match self.armed.arm(a) {
+                        Ok(()) => {
+                            for line in (a & !63..a + w).step_by(64) {
+                                self.mem.snapshot_line_pre_image(line);
+                            }
+                            let bytes = self.token.bytes().to_vec();
+                            self.mem.write_bytes(a, &bytes);
+                        }
+                        Err(kind) => {
+                            self.stop = Some(StopReason::Violation(Violation::Rest(
+                                RestException::new(kind, a, pc, true),
+                            )));
+                        }
+                    }
+                }
+            }
+            Inst::Disarm { addr } => {
+                let a = self.reg(addr);
+                if self.perfect_hw {
+                    out.push(
+                        DynInst::store(pc, None, Some(addr), a, 8).with_component(component),
+                    );
+                    let w = self.token.width().bytes();
+                    self.mem.fill(a & !(w - 1), w, 0);
+                } else {
+                    let w = self.token.width().bytes();
+                    out.push(DynInst::disarm(pc, Some(addr), a, w).with_component(component));
+                    match self.armed.disarm(a) {
+                        Ok(()) => {
+                            for line in (a & !63..a + w).step_by(64) {
+                                self.mem.snapshot_line_pre_image(line);
+                            }
+                            self.mem.fill(a, w, 0)
+                        }
+                        Err(kind) => {
+                            self.stop = Some(StopReason::Violation(Violation::Rest(
+                                RestException::new(
+                                    kind,
+                                    a,
+                                    pc,
+                                    kind.always_precise() || self.mode.precise_exceptions(),
+                                ),
+                            )));
+                        }
+                    }
+                }
+            }
+            Inst::Branch {
+                cond,
+                src1,
+                src2,
+                target,
+            } => {
+                let taken = cond.eval(self.reg(src1), self.reg(src2));
+                let t = self.program.label_pc(target);
+                if taken {
+                    next_pc = t;
+                }
+                out.push(
+                    DynInst::branch(
+                        pc,
+                        [Some(src1), Some(src2)],
+                        None,
+                        BranchInfo {
+                            taken,
+                            target: if taken { t } else { pc + PC_STEP },
+                            conditional: true,
+                            is_call: false,
+                            is_return: false,
+                            indirect: false,
+                        },
+                    )
+                    .with_component(component),
+                );
+            }
+            Inst::Jal { dst, target } => {
+                let t = self.program.label_pc(target);
+                self.set_reg(dst, pc + PC_STEP);
+                next_pc = t;
+                out.push(
+                    DynInst::branch(
+                        pc,
+                        [None, None],
+                        Some(dst),
+                        BranchInfo {
+                            taken: true,
+                            target: t,
+                            conditional: false,
+                            is_call: dst == Reg::RA,
+                            is_return: false,
+                            indirect: false,
+                        },
+                    )
+                    .with_component(component),
+                );
+            }
+            Inst::Jalr { dst, base, offset } => {
+                let t = self.reg(base).wrapping_add(offset as u64);
+                let is_return = dst == Reg::ZERO && base == Reg::RA;
+                self.set_reg(dst, pc + PC_STEP);
+                next_pc = t;
+                out.push(
+                    DynInst::branch(
+                        pc,
+                        [Some(base), None],
+                        Some(dst),
+                        BranchInfo {
+                            taken: true,
+                            target: t,
+                            conditional: false,
+                            is_call: dst == Reg::RA,
+                            is_return,
+                            indirect: true,
+                        },
+                    )
+                    .with_component(component),
+                );
+            }
+            Inst::Ecall => {
+                out.push(DynInst::alu(pc, Some(Reg::A0), [Some(Reg::A7), Some(Reg::A0)])
+                    .with_component(component));
+                let num = self.reg(Reg::A7);
+                let args = [
+                    self.reg(Reg::A0),
+                    self.reg(Reg::A1),
+                    self.reg(Reg::A2),
+                    self.reg(Reg::A3),
+                    self.reg(Reg::A4),
+                    self.reg(Reg::A5),
+                ];
+                match EcallNum::from_u64(num) {
+                    None => {
+                        self.stop = Some(StopReason::Fault(format!("unknown ecall {num}")));
+                    }
+                    Some(n) => {
+                        // The runtime borrows the machine; splice its
+                        // recorded traffic into the stream afterwards.
+                        let mut runtime = std::mem::replace(
+                            &mut self.runtime,
+                            Runtime::new(RtConfig::plain()),
+                        );
+                        let outcome = {
+                            let mut env = self.env();
+                            runtime.ecall(n, args, &mut env)
+                        };
+                        self.runtime = runtime;
+                        out.extend(self.rec.drain());
+                        match outcome {
+                            EcallOutcome::Done(v) => self.set_reg(Reg::A0, v),
+                            EcallOutcome::Exit(code) => {
+                                self.stop = Some(StopReason::Exit(code));
+                            }
+                            EcallOutcome::Violation(v) => {
+                                self.stop = Some(StopReason::Violation(v));
+                            }
+                        }
+                    }
+                }
+            }
+            Inst::Halt => {
+                self.stop = Some(StopReason::Halted);
+                out.push(DynInst::alu(pc, None, [None, None]).with_component(component));
+            }
+        }
+
+        self.pc = next_pc;
+        self.insts += 1;
+        self.uops += (out.len() - before) as u64;
+        true
+    }
+
+    /// Runs the program to completion functionally, discarding the
+    /// micro-op stream (for fast architectural tests).
+    pub fn run_functional(&mut self) -> &StopReason {
+        let mut buf = Vec::with_capacity(64);
+        while self.step(&mut buf) {
+            buf.clear();
+        }
+        self.stop.as_ref().expect("stopped")
+    }
+}
+
+fn alu_kind(op: rest_isa::AluOp) -> OpKind {
+    use rest_isa::AluOp;
+    match op {
+        AluOp::Mul => OpKind::IntMul,
+        AluOp::Div | AluOp::Rem => OpKind::IntDiv,
+        _ => OpKind::IntAlu,
+    }
+}
+
+fn sign_extend(v: u64, bytes: u64) -> u64 {
+    let bits = bytes * 8;
+    if bits >= 64 {
+        return v;
+    }
+    let shift = 64 - bits;
+    (((v << shift) as i64) >> shift) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rest_isa::ProgramBuilder;
+    use rest_runtime::RtConfig;
+
+    fn run(program: Program, rt: RtConfig) -> (Emulator, StopReason) {
+        let cfg = SimConfig::isca2018(rt);
+        let mut emu = Emulator::new(program, &cfg);
+        let stop = emu.run_functional().clone();
+        (emu, stop)
+    }
+
+    #[test]
+    fn arithmetic_loop_computes_sum() {
+        let mut p = ProgramBuilder::new();
+        let lp = p.new_label();
+        p.li(Reg::A0, 0);
+        p.li(Reg::T0, 100);
+        p.bind(lp);
+        p.add(Reg::A0, Reg::A0, Reg::T0);
+        p.addi(Reg::T0, Reg::T0, -1);
+        p.bne(Reg::T0, Reg::ZERO, lp);
+        p.halt();
+        let (emu, stop) = run(p.build(), RtConfig::plain());
+        assert_eq!(stop, StopReason::Halted);
+        assert_eq!(emu.regs[Reg::A0.index()], 5050);
+        assert_eq!(emu.insts(), 2 + 3 * 100 + 1);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip_with_sign_extension() {
+        let mut p = ProgramBuilder::new();
+        p.li(Reg::T0, 0x30_0000);
+        p.li(Reg::T1, -2);
+        p.store(Reg::T1, Reg::T0, 0, rest_isa::MemSize::B2);
+        p.load_signed(Reg::A0, Reg::T0, 0, rest_isa::MemSize::B2);
+        p.load(Reg::A1, Reg::T0, 0, rest_isa::MemSize::B2);
+        p.halt();
+        let (emu, _) = run(p.build(), RtConfig::plain());
+        assert_eq!(emu.regs[Reg::A0.index()], (-2i64) as u64);
+        assert_eq!(emu.regs[Reg::A1.index()], 0xfffe);
+    }
+
+    #[test]
+    fn malloc_ecall_allocates_and_programs_can_use_it() {
+        let mut p = ProgramBuilder::new();
+        p.li(Reg::A0, 64);
+        p.ecall(EcallNum::Malloc);
+        p.mv(Reg::S0, Reg::A0);
+        p.li(Reg::T0, 42);
+        p.sd(Reg::T0, Reg::S0, 0);
+        p.ld(Reg::A0, Reg::S0, 0);
+        p.li(Reg::A0, 0);
+        p.ecall(EcallNum::Exit);
+        let (emu, stop) = run(p.build(), RtConfig::rest(Mode::Secure, false));
+        assert_eq!(stop, StopReason::Exit(0));
+        assert_eq!(emu.runtime().allocator().stats().allocs, 1);
+    }
+
+    #[test]
+    fn rest_catches_heap_overflow_in_guest_code() {
+        // Allocate 64 bytes, then walk past the end one dword at a time.
+        let mut p = ProgramBuilder::new();
+        let lp = p.new_label();
+        p.li(Reg::A0, 64);
+        p.ecall(EcallNum::Malloc);
+        p.mv(Reg::S0, Reg::A0);
+        p.li(Reg::T0, 0); // index
+        p.bind(lp);
+        p.add(Reg::T1, Reg::S0, Reg::T0);
+        p.ld(Reg::A1, Reg::T1, 0);
+        p.addi(Reg::T0, Reg::T0, 8);
+        p.li(Reg::T2, 4096);
+        p.blt(Reg::T0, Reg::T2, lp);
+        p.halt();
+        let (_, stop) = run(p.build(), RtConfig::rest(Mode::Secure, false));
+        match stop {
+            StopReason::Violation(Violation::Rest(e)) => {
+                assert_eq!(e.kind, RestExceptionKind::TokenLoad);
+                assert!(!e.precise, "secure mode reports imprecisely");
+            }
+            other => panic!("expected REST violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn asan_catches_the_same_overflow_with_injected_checks() {
+        let mut p = ProgramBuilder::new();
+        let lp = p.new_label();
+        p.li(Reg::A0, 64);
+        p.ecall(EcallNum::Malloc);
+        p.mv(Reg::S0, Reg::A0);
+        p.li(Reg::T0, 0);
+        p.bind(lp);
+        p.add(Reg::T1, Reg::S0, Reg::T0);
+        p.ld(Reg::A1, Reg::T1, 0);
+        p.addi(Reg::T0, Reg::T0, 8);
+        p.li(Reg::T2, 4096);
+        p.blt(Reg::T0, Reg::T2, lp);
+        p.halt();
+        let cfg = SimConfig::isca2018(RtConfig::asan());
+        let mut emu = Emulator::new(p.build(), &cfg);
+        let mut uops = Vec::new();
+        while emu.step(&mut uops) {}
+        match emu.stop_reason() {
+            Some(StopReason::Violation(Violation::Asan(r))) => {
+                assert_eq!(r.kind, rest_runtime::AsanReportKind::HeapRedzone);
+            }
+            other => panic!("expected ASan violation, got {other:?}"),
+        }
+        // The injected check uops must be present and attributed.
+        assert!(uops
+            .iter()
+            .any(|u| u.component == Component::AccessCheck));
+    }
+
+    #[test]
+    fn plain_build_lets_the_overflow_through() {
+        let mut p = ProgramBuilder::new();
+        p.li(Reg::A0, 64);
+        p.ecall(EcallNum::Malloc);
+        p.mv(Reg::S0, Reg::A0);
+        p.ld(Reg::A1, Reg::S0, 256); // straight past the end
+        p.halt();
+        let (_, stop) = run(p.build(), RtConfig::plain());
+        assert_eq!(stop, StopReason::Halted);
+    }
+
+    #[test]
+    fn guest_arm_disarm_work_and_misalignment_faults() {
+        let mut p = ProgramBuilder::new();
+        p.li(Reg::T0, 0x30_0040);
+        p.arm(Reg::T0);
+        p.disarm(Reg::T0);
+        p.li(Reg::T0, 0x30_0041); // misaligned
+        p.arm(Reg::T0);
+        p.halt();
+        let (_, stop) = run(p.build(), RtConfig::rest(Mode::Secure, true));
+        match stop {
+            StopReason::Violation(Violation::Rest(e)) => {
+                assert_eq!(e.kind, RestExceptionKind::MisalignedArm);
+                assert!(e.precise, "invalid REST instruction exceptions are precise");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn disarm_of_unarmed_location_faults() {
+        let mut p = ProgramBuilder::new();
+        p.li(Reg::T0, 0x30_0040);
+        p.disarm(Reg::T0);
+        p.halt();
+        let (_, stop) = run(p.build(), RtConfig::rest(Mode::Secure, true));
+        match stop {
+            StopReason::Violation(Violation::Rest(e)) => {
+                assert_eq!(e.kind, RestExceptionKind::DisarmUnarmed);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn perfect_hw_turns_arms_into_stores_and_disables_detection() {
+        let mut p = ProgramBuilder::new();
+        p.li(Reg::T0, 0x30_0040);
+        p.arm(Reg::T0);
+        p.ld(Reg::A0, Reg::T0, 0); // would fault on real REST hardware
+        p.halt();
+        let cfg = SimConfig::isca2018(RtConfig::rest_perfect(true));
+        let mut emu = Emulator::new(p.build(), &cfg);
+        let mut uops = Vec::new();
+        while emu.step(&mut uops) {}
+        assert_eq!(emu.stop_reason(), Some(&StopReason::Halted));
+        assert!(uops.iter().all(|u| u.kind != OpKind::Arm));
+    }
+
+    #[test]
+    fn uop_limit_stops_infinite_loops() {
+        let mut p = ProgramBuilder::new();
+        let lp = p.label_here();
+        p.j(lp);
+        let mut cfg = SimConfig::isca2018(RtConfig::plain());
+        cfg.max_uops = 1000;
+        let mut emu = Emulator::new(p.build(), &cfg);
+        let mut buf = Vec::new();
+        while emu.step(&mut buf) {
+            buf.clear();
+        }
+        assert_eq!(emu.stop_reason(), Some(&StopReason::UopLimit));
+    }
+
+    #[test]
+    fn ecall_traffic_is_spliced_with_allocator_attribution() {
+        let mut p = ProgramBuilder::new();
+        p.li(Reg::A0, 128);
+        p.ecall(EcallNum::Malloc);
+        p.halt();
+        let cfg = SimConfig::isca2018(RtConfig::rest(Mode::Secure, false));
+        let mut emu = Emulator::new(p.build(), &cfg);
+        let mut uops = Vec::new();
+        while emu.step(&mut uops) {}
+        let arms = uops.iter().filter(|u| u.kind == OpKind::Arm).count();
+        assert!(arms >= 2, "redzone arms must appear in the stream: {arms}");
+        assert!(uops
+            .iter()
+            .any(|u| u.component == Component::Allocator && u.kind == OpKind::Arm));
+    }
+}

@@ -1,0 +1,305 @@
+//! Multi-programmed simulation (§IV-B): several guest processes
+//! time-sliced on one machine, with the OS swapping the per-process
+//! token in the token-configuration register at every context switch.
+//!
+//! Each process has its own architectural state (emulator, runtime,
+//! armed-set, token) and a private physical-memory partition; the
+//! pipeline, caches, and branch predictors are **shared**, so context
+//! switches pollute microarchitectural state exactly as on real
+//! hardware. The active process's token is what the fill-path detector
+//! compares against — process A's tokens are inert while process B runs
+//! (content mismatch), which is why shared memory between processes
+//! needs the single-system-token model instead (see
+//! `rest_core::policy`).
+
+use rest_isa::{DynInst, GuestMemory, Program};
+use rest_mem::{Hierarchy, LineReader};
+
+use crate::config::SimConfig;
+use crate::emulator::{Emulator, StopReason};
+use crate::pipeline::Pipeline;
+use crate::stats::SimResult;
+
+/// Physical-partition stride: process *i*'s addresses are relocated by
+/// `i * PARTITION`. Large enough that no guest region crosses partitions.
+const PARTITION: u64 = 0x100_0000_0000;
+
+/// A guest address relocated into a process's physical partition.
+fn relocate(pid: usize, addr: u64) -> u64 {
+    addr + pid as u64 * PARTITION
+}
+
+struct RelocatedView<'a> {
+    mem: &'a GuestMemory,
+    pid: usize,
+}
+
+impl LineReader for RelocatedView<'_> {
+    fn read_line(&self, line_addr: u64) -> [u8; 64] {
+        // Translate back into the process's virtual space.
+        let virt = line_addr - self.pid as u64 * PARTITION;
+        self.mem.read_line(virt)
+    }
+}
+
+/// One process's slot in the machine.
+struct Proc {
+    emulator: Emulator,
+    done: bool,
+    label: String,
+    insts_at_done: u64,
+}
+
+/// A time-sliced multi-process machine with per-process tokens.
+///
+/// # Example
+///
+/// ```
+/// use rest_cpu::{MultiSystem, SimConfig};
+/// use rest_isa::{ProgramBuilder, Reg};
+/// use rest_runtime::RtConfig;
+///
+/// let prog = |n: i64| {
+///     let mut p = ProgramBuilder::new();
+///     p.li(Reg::T0, n);
+///     let lp = p.label_here();
+///     p.addi(Reg::T0, Reg::T0, -1);
+///     p.bne(Reg::T0, Reg::ZERO, lp);
+///     p.halt();
+///     p.build()
+/// };
+/// let mut cfg = SimConfig::isca2018(RtConfig::plain());
+/// cfg.token_seed = 1;
+/// let results = MultiSystem::new(
+///     vec![(prog(500), cfg.clone()), (prog(800), cfg)],
+///     1000,
+/// )
+/// .run();
+/// assert_eq!(results.len(), 2);
+/// ```
+pub struct MultiSystem {
+    procs: Vec<Proc>,
+    pipeline: Pipeline,
+    /// Macro instructions per scheduling quantum.
+    slice_insts: u64,
+    context_switches: u64,
+}
+
+impl MultiSystem {
+    /// Builds a machine running `programs` round-robin with
+    /// `slice_insts` instructions per quantum. Each process gets a
+    /// distinct token (derived from its config's `token_seed` plus its
+    /// pid), its own runtime, and a private memory partition; the
+    /// pipeline and caches are shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty. The shared pipeline uses the first
+    /// process's core/memory configuration and exception mode.
+    pub fn new(programs: Vec<(Program, SimConfig)>, slice_insts: u64) -> MultiSystem {
+        assert!(!programs.is_empty(), "need at least one process");
+        let first_cfg = programs[0].1.clone();
+        let hier = Hierarchy::new(first_cfg.mem.clone());
+        let pipeline = Pipeline::new(first_cfg.core.clone(), hier, first_cfg.rt.mode);
+        let procs = programs
+            .into_iter()
+            .enumerate()
+            .map(|(pid, (program, mut cfg))| {
+                // Per-process token: distinct value per pid (§IV-B).
+                cfg.token_seed = cfg.token_seed.wrapping_add(pid as u64 * 0x9e37_79b9);
+                let label = cfg.rt.label();
+                Proc {
+                    emulator: Emulator::new(program, &cfg),
+                    done: false,
+                    label,
+                    insts_at_done: 0,
+                }
+            })
+            .collect();
+        MultiSystem {
+            procs,
+            pipeline,
+            slice_insts: slice_insts.max(1),
+            context_switches: 0,
+        }
+    }
+
+    /// Number of context switches performed so far.
+    pub fn context_switches(&self) -> u64 {
+        self.context_switches
+    }
+
+    /// Runs all processes to completion, returning one result per
+    /// process in submission order. Pipeline/memory statistics are
+    /// machine-wide and reported identically in every result.
+    pub fn run(mut self) -> Vec<SimResult> {
+        let mut batch: Vec<DynInst> = Vec::with_capacity(64);
+        loop {
+            let mut any_progress = false;
+            for pid in 0..self.procs.len() {
+                if self.procs[pid].done {
+                    continue;
+                }
+                // One scheduling quantum for this process.
+                let mut executed = 0u64;
+                loop {
+                    batch.clear();
+                    let proc = &mut self.procs[pid];
+                    if !proc.emulator.step(&mut batch) {
+                        proc.done = true;
+                        proc.insts_at_done = proc.emulator.insts();
+                        break;
+                    }
+                    any_progress = true;
+                    executed += 1;
+                    // Replay through the shared pipeline with the
+                    // process's token and relocated addresses.
+                    let token = self.procs[pid].emulator.token().clone();
+                    let view = RelocatedView {
+                        mem: &self.procs[pid].emulator.mem,
+                        pid,
+                    };
+                    for d in &batch {
+                        let mut d = *d;
+                        d.pc = relocate(pid, d.pc);
+                        if let Some(mem) = &mut d.mem {
+                            mem.addr = relocate(pid, mem.addr);
+                        }
+                        if let Some(b) = &mut d.branch {
+                            b.target = relocate(pid, b.target);
+                        }
+                        self.pipeline.process(&d, &view, &token);
+                    }
+                    self.procs[pid].emulator.mem.clear_pre_images();
+                    if executed >= self.slice_insts {
+                        break;
+                    }
+                }
+                self.context_switches += 1;
+            }
+            if !any_progress {
+                break;
+            }
+        }
+        let core = self.pipeline.finish();
+        let mem = *self.pipeline.mem_stats();
+        self.procs
+            .into_iter()
+            .map(|p| {
+                let mut core = core;
+                core.insts = p.insts_at_done;
+                SimResult {
+                    trace: None,
+                    core,
+                    mem,
+                    alloc: *p.emulator.runtime().allocator().stats(),
+                    stop: p
+                        .emulator
+                        .stop_reason()
+                        .cloned()
+                        .unwrap_or(StopReason::Halted),
+                    output: p.emulator.runtime().output().to_vec(),
+                    label: p.label,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rest_core::Mode;
+    use rest_isa::{EcallNum, ProgramBuilder, Reg};
+    use rest_runtime::{RtConfig, Violation};
+
+    fn heap_prog(iters: i64) -> Program {
+        let mut p = ProgramBuilder::new();
+        let lp = p.new_label();
+        p.li(Reg::S1, iters);
+        p.bind(lp);
+        p.li(Reg::A0, 64);
+        p.ecall(EcallNum::Malloc);
+        p.sd(Reg::S1, Reg::A0, 0);
+        p.ecall(EcallNum::Free);
+        p.addi(Reg::S1, Reg::S1, -1);
+        p.bne(Reg::S1, Reg::ZERO, lp);
+        p.li(Reg::A0, 0);
+        p.ecall(EcallNum::Exit);
+        p.build()
+    }
+
+    #[test]
+    fn two_processes_run_to_completion_with_distinct_tokens() {
+        let cfg = SimConfig::isca2018(RtConfig::rest(Mode::Secure, false));
+        let ms = MultiSystem::new(
+            vec![(heap_prog(40), cfg.clone()), (heap_prog(60), cfg)],
+            50,
+        );
+        let results = ms.run();
+        assert_eq!(results.len(), 2);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.stop, StopReason::Exit(0), "process {i}");
+        }
+        assert!(results[1].core.insts > results[0].core.insts);
+        // Machine-wide cycle count is shared.
+        assert_eq!(results[0].core.cycles, results[1].core.cycles);
+    }
+
+    #[test]
+    fn per_process_violations_stop_only_the_faulting_process() {
+        let bad = {
+            let mut p = ProgramBuilder::new();
+            p.li(Reg::A0, 64);
+            p.ecall(EcallNum::Malloc);
+            p.ld(Reg::A1, Reg::A0, 64); // into the redzone
+            p.li(Reg::A0, 0);
+            p.ecall(EcallNum::Exit);
+            p.build()
+        };
+        let cfg = SimConfig::isca2018(RtConfig::rest(Mode::Secure, false));
+        let results = MultiSystem::new(
+            vec![(bad, cfg.clone()), (heap_prog(30), cfg)],
+            25,
+        )
+        .run();
+        assert!(
+            matches!(results[0].stop, StopReason::Violation(Violation::Rest(_))),
+            "{:?}",
+            results[0].stop
+        );
+        assert_eq!(results[1].stop, StopReason::Exit(0), "the victim's crash must not take down its neighbour");
+    }
+
+    #[test]
+    fn single_process_machine_matches_system_results_in_shape() {
+        // A one-process MultiSystem is just a System with scheduling
+        // bookkeeping: it must complete with the same stop reason and a
+        // comparable cycle count.
+        let cfg = SimConfig::isca2018(RtConfig::rest(Mode::Secure, false));
+        let multi = MultiSystem::new(vec![(heap_prog(30), cfg.clone())], 10).run();
+        let single = crate::System::new(heap_prog(30), cfg).run();
+        assert_eq!(multi[0].stop, single.stop);
+        let ratio = multi[0].core.cycles as f64 / single.core.cycles as f64;
+        assert!((0.95..1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn shared_caches_make_co_running_slower_than_solo() {
+        // The same process pair, alone vs co-scheduled: sharing the
+        // machine must not be free.
+        let cfg = SimConfig::isca2018(RtConfig::plain());
+        let solo = MultiSystem::new(vec![(heap_prog(60), cfg.clone())], 50).run();
+        let duo = MultiSystem::new(
+            vec![(heap_prog(60), cfg.clone()), (heap_prog(60), cfg)],
+            50,
+        )
+        .run();
+        assert!(
+            duo[0].core.cycles > solo[0].core.cycles,
+            "duo {} vs solo {}",
+            duo[0].core.cycles,
+            solo[0].core.cycles
+        );
+    }
+}

@@ -1,0 +1,613 @@
+use std::collections::VecDeque;
+
+use rest_core::{Mode, Token};
+use rest_isa::{DynInst, MemAccessKind, OpKind};
+use rest_mem::{Hierarchy, LineReader, MemStats};
+
+use crate::bpred::BranchPredictor;
+use crate::config::CoreConfig;
+use crate::stats::CoreStats;
+use crate::trace::{PipelineTrace, TraceEntry};
+
+/// An in-flight (not yet drained) store tracked for memory
+/// disambiguation and the REST LSQ rules.
+#[derive(Debug, Clone, Copy)]
+struct StoreRec {
+    addr: u64,
+    size: u64,
+    kind: MemAccessKind,
+    /// Cycle its address/data were ready (forwardable from here).
+    exec_done: u64,
+    /// Cycle its write completed at the L1-D (leaves the SQ here).
+    drain_done: u64,
+}
+
+impl StoreRec {
+    fn overlaps(&self, addr: u64, size: u64) -> bool {
+        self.addr < addr + size && addr < self.addr + self.size
+    }
+
+    fn contains(&self, addr: u64, size: u64) -> bool {
+        self.addr <= addr && addr + size <= self.addr + self.size
+    }
+}
+
+/// The out-of-order timing model.
+///
+/// Replays the oracle micro-op stream using timestamp algebra: each
+/// micro-op's fetch, dispatch, issue, completion, and commit cycles are
+/// computed against scoreboards for every structural resource of the
+/// Table II core (ROB/IQ/LQ/SQ occupancy, dispatch and commit width,
+/// functional units, L1-D ports, branch redirects, I-cache stalls).
+/// Younger independent micro-ops may issue before stalled older ones —
+/// out-of-order issue — while dispatch and commit remain in order, as in
+/// hardware.
+///
+/// Memory micro-ops walk the [`Hierarchy`]; the REST interactions
+/// (token-bit checks, arm/disarm handling, debug-mode store-commit
+/// delay, forwarding exceptions) happen on exactly the paths Table I
+/// modifies.
+#[derive(Debug)]
+pub struct Pipeline {
+    cfg: CoreConfig,
+    hier: Hierarchy,
+    bpred: BranchPredictor,
+    mode: Mode,
+
+    // Fetch state.
+    next_fetch_cycle: u64,
+    fetch_slots_used: usize,
+    redirect_at: u64,
+    cur_fetch_line: u64,
+
+    // Scoreboards.
+    reg_ready: [u64; 32],
+    disp_ring: Vec<u64>,
+    commit_ring: Vec<u64>,
+    rob_ring: Vec<u64>,
+    iq_ring: Vec<u64>,
+    lq_ring: Vec<u64>,
+    sq_ring: Vec<u64>,
+    alu_ring: Vec<u64>,
+    mul_ring: Vec<u64>,
+    port_ring: Vec<u64>,
+    div_free: u64,
+    sq_drain_free: u64,
+
+    // Counters.
+    n: u64,
+    n_load: u64,
+    n_store: u64,
+    n_alu: u64,
+    n_mul: u64,
+    n_mem: u64,
+    last_commit: u64,
+    /// Dispatch barrier used by the serialise-rest-ops ablation.
+    barrier_at: u64,
+
+    store_window: VecDeque<StoreRec>,
+    stats: CoreStats,
+    tracer: Option<PipelineTrace>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline over a fresh hierarchy.
+    pub fn new(cfg: CoreConfig, hier: Hierarchy, mode: Mode) -> Pipeline {
+        let bpred = BranchPredictor::new(cfg.bpred_history_bits, cfg.btb_entries, cfg.ras_depth);
+        Pipeline {
+            disp_ring: vec![0; cfg.issue_width],
+            commit_ring: vec![0; cfg.commit_width],
+            rob_ring: vec![0; cfg.rob_entries],
+            iq_ring: vec![0; cfg.iq_entries],
+            lq_ring: vec![0; cfg.lq_entries],
+            sq_ring: vec![0; cfg.sq_entries],
+            alu_ring: vec![0; cfg.alu_units],
+            mul_ring: vec![0; cfg.mul_units],
+            port_ring: vec![0; cfg.mem_ports],
+            div_free: 0,
+            sq_drain_free: 0,
+            next_fetch_cycle: 0,
+            fetch_slots_used: 0,
+            redirect_at: 0,
+            cur_fetch_line: u64::MAX,
+            reg_ready: [0; 32],
+            n: 0,
+            n_load: 0,
+            n_store: 0,
+            n_alu: 0,
+            n_mul: 0,
+            n_mem: 0,
+            last_commit: 0,
+            barrier_at: 0,
+            store_window: VecDeque::new(),
+            stats: CoreStats::default(),
+            tracer: None,
+            hier,
+            bpred,
+            mode,
+            cfg,
+        }
+    }
+
+    /// Enables stage-timestamp tracing for the first `uops` micro-ops.
+    pub fn enable_trace(&mut self, uops: usize) {
+        if uops > 0 {
+            self.tracer = Some(PipelineTrace::new(uops));
+        }
+    }
+
+    /// The recorded pipeline trace, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<PipelineTrace> {
+        self.tracer.take()
+    }
+
+    /// Current pipeline statistics (cycles valid after [`Pipeline::finish`]).
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Memory-hierarchy statistics.
+    pub fn mem_stats(&self) -> &MemStats {
+        self.hier.stats()
+    }
+
+    /// Processes one micro-op of the oracle stream.
+    pub fn process(&mut self, d: &DynInst, mem: &dyn LineReader, token: &Token) {
+        let i = self.n as usize;
+        self.stats.uops += 1;
+        self.stats.note_component(d.component);
+
+        // ---- Fetch ----
+        if self.fetch_slots_used >= self.cfg.fetch_width {
+            self.next_fetch_cycle += 1;
+            self.fetch_slots_used = 0;
+        }
+        let mut f = self.next_fetch_cycle.max(self.redirect_at);
+        if f > self.next_fetch_cycle {
+            self.fetch_slots_used = 0;
+        }
+        let line = d.pc / 64;
+        if line != self.cur_fetch_line {
+            let ready = self.hier.fetch_inst(f, d.pc, mem, token);
+            let hit_time = f + 2;
+            if ready > hit_time {
+                self.stats.fetch_stall_cycles += ready - hit_time;
+                f = ready;
+                self.fetch_slots_used = 0;
+            }
+            self.cur_fetch_line = line;
+        }
+        self.next_fetch_cycle = f;
+        self.fetch_slots_used += 1;
+
+        // ---- Dispatch ----
+        let mut disp = (f + self.cfg.frontend_depth).max(self.barrier_at);
+        let rob_limit = self.rob_ring[i % self.cfg.rob_entries];
+        if rob_limit > disp {
+            self.stats.rob_stall_cycles += rob_limit - disp;
+            disp = rob_limit;
+        }
+        let iq_limit = self.iq_ring[i % self.cfg.iq_entries];
+        if iq_limit > disp {
+            self.stats.iq_stall_cycles += iq_limit - disp;
+            disp = iq_limit;
+        }
+        if d.kind == OpKind::Load {
+            let lim = self.lq_ring[self.n_load as usize % self.cfg.lq_entries];
+            if lim > disp {
+                self.stats.lsq_stall_cycles += lim - disp;
+                disp = lim;
+            }
+        } else if d.kind.is_store_like() {
+            let lim = self.sq_ring[self.n_store as usize % self.cfg.sq_entries];
+            if lim > disp {
+                self.stats.lsq_stall_cycles += lim - disp;
+                disp = lim;
+            }
+        }
+        let width_limit = self.disp_ring[i % self.cfg.issue_width] + 1;
+        disp = disp.max(width_limit);
+        self.disp_ring[i % self.cfg.issue_width] = disp;
+
+        // ---- Issue readiness ----
+        let mut ready = disp + 1;
+        for src in d.srcs.iter().flatten() {
+            ready = ready.max(self.reg_ready[src.index()]);
+        }
+        let serialized = self.cfg.serialize_rest_ops
+            && matches!(d.kind, OpKind::Arm | OpKind::Disarm);
+        if serialized {
+            // The arm/disarm must be the only in-flight instruction:
+            // wait for everything older to commit.
+            ready = ready.max(self.last_commit);
+        }
+
+        // ---- Execute ----
+        let (issue, complete, drained): (u64, u64, Option<StoreRec>) = match d.kind {
+            OpKind::IntAlu | OpKind::Branch => {
+                let u = self.n_alu as usize % self.cfg.alu_units;
+                let issue = ready.max(self.alu_ring[u]);
+                self.alu_ring[u] = issue + 1;
+                self.n_alu += 1;
+                (issue, issue + 1, None)
+            }
+            OpKind::IntMul => {
+                let u = self.n_mul as usize % self.cfg.mul_units;
+                let issue = ready.max(self.mul_ring[u]);
+                self.mul_ring[u] = issue + 1;
+                self.n_mul += 1;
+                (issue, issue + self.cfg.mul_latency, None)
+            }
+            OpKind::IntDiv => {
+                let issue = ready.max(self.div_free);
+                let complete = issue + self.cfg.div_latency;
+                self.div_free = complete;
+                (issue, complete, None)
+            }
+            OpKind::Load => {
+                let mem_ref = d.mem.expect("load has a memory reference");
+                let (issue, complete) = self.issue_load(ready, mem_ref.addr, mem_ref.size, mem, token);
+                (issue, complete, None)
+            }
+            OpKind::Store | OpKind::Arm | OpKind::Disarm => {
+                let mem_ref = d.mem.expect("store-like has a memory reference");
+                // Table I LSQ rules against in-flight entries.
+                self.check_store_lsq_rules(d.kind, mem_ref.addr, mem_ref.size, ready);
+                let exec_done = ready + 1;
+                let rec = StoreRec {
+                    addr: mem_ref.addr,
+                    size: mem_ref.size,
+                    kind: mem_ref.kind,
+                    exec_done,
+                    drain_done: u64::MAX, // filled at drain below
+                };
+                (ready, exec_done, Some(rec))
+            }
+        };
+
+        // IQ entry frees at issue.
+        self.iq_ring[i % self.cfg.iq_entries] = issue;
+
+        // ---- Branch resolution ----
+        if let Some(info) = d.branch {
+            self.stats.branch_lookups += 1;
+            let correct = self.bpred.predict_and_train(d.pc, &info);
+            if !correct {
+                self.stats.branch_mispredicts += 1;
+                self.redirect_at = complete + self.cfg.mispredict_penalty;
+            }
+        }
+
+        // ---- Commit (in order, width-limited) ----
+        let commit_floor = self
+            .last_commit
+            .max(self.commit_ring[i % self.cfg.commit_width] + 1);
+        let mut commit = commit_floor.max(complete + 1);
+        // Cycles this store holds the ROB head beyond the in-order floor
+        // (its own execution latency; debug mode adds the drain wait
+        // below). This is the §VI-B "ROB blocked by store" statistic.
+        if d.kind.is_store_like() && commit > commit_floor {
+            self.stats.rob_blocked_store_cycles += commit - commit_floor;
+        }
+
+        // ---- Store drain & commit policy ----
+        if let Some(mut rec) = drained {
+            let mem_ref = d.mem.expect("store-like has a memory reference");
+            if self.mode.eager_store_commit() {
+                // Secure: commit first, write drains afterwards.
+                let u = self.n_mem as usize % self.cfg.mem_ports;
+                let drain_start = commit.max(self.sq_drain_free).max(self.port_ring[u]);
+                self.port_ring[u] = drain_start + 1;
+                self.n_mem += 1;
+                let out =
+                    self.hier
+                        .access_data(drain_start, mem_ref.kind, mem_ref.addr, mem_ref.size, mem, token, self.mode);
+                rec.drain_done = out.complete_at;
+                self.sq_drain_free = drain_start + 1;
+            } else {
+                // Debug: the write is issued when the store reaches the
+                // ROB head, and commit waits for its completion.
+                let oldest_at = (complete + 1).max(self.last_commit);
+                let u = self.n_mem as usize % self.cfg.mem_ports;
+                let drain_start = oldest_at.max(self.sq_drain_free).max(self.port_ring[u]);
+                self.port_ring[u] = drain_start + 1;
+                self.n_mem += 1;
+                let out =
+                    self.hier
+                        .access_data(drain_start, mem_ref.kind, mem_ref.addr, mem_ref.size, mem, token, self.mode);
+                rec.drain_done = out.complete_at;
+                self.sq_drain_free = drain_start + 1;
+                if rec.drain_done > commit {
+                    self.stats.rob_blocked_store_cycles += rec.drain_done - commit;
+                    commit = rec.drain_done;
+                }
+            }
+            // SQ entry frees when the write has drained.
+            self.sq_ring[self.n_store as usize % self.cfg.sq_entries] = rec.drain_done;
+            self.n_store += 1;
+            self.store_window.push_back(rec);
+            while self.store_window.len() > self.cfg.sq_entries {
+                self.store_window.pop_front();
+            }
+        }
+
+        if serialized {
+            // ...and nothing younger may dispatch until it commits.
+            self.barrier_at = self.barrier_at.max(commit);
+        }
+        self.commit_ring[i % self.cfg.commit_width] = commit;
+        self.rob_ring[i % self.cfg.rob_entries] = commit;
+        if d.kind == OpKind::Load {
+            self.lq_ring[self.n_load as usize % self.cfg.lq_entries] = commit;
+            self.n_load += 1;
+        }
+        self.last_commit = commit;
+
+        if let Some(dst) = d.dst {
+            if !dst.is_zero() {
+                self.reg_ready[dst.index()] = complete;
+            }
+        }
+        if let Some(tracer) = &mut self.tracer {
+            tracer.record(TraceEntry {
+                seq: self.n,
+                pc: d.pc,
+                kind: d.kind,
+                component: d.component,
+                fetch: f,
+                dispatch: disp,
+                issue,
+                complete,
+                commit,
+            });
+        }
+        self.n += 1;
+    }
+
+    /// Load issue: memory disambiguation against the in-flight store
+    /// window, store-to-load forwarding (with the REST arm/disarm
+    /// exception rule), then the cache access.
+    fn issue_load(
+        &mut self,
+        ready: u64,
+        addr: u64,
+        size: u64,
+        mem: &dyn LineReader,
+        token: &Token,
+    ) -> (u64, u64) {
+        let mut ready = ready;
+        let mut forwarded: Option<u64> = None;
+        // Scan younger-to-older among in-flight stores.
+        for s in self.store_window.iter().rev() {
+            if s.drain_done <= ready || !s.overlaps(addr, size) {
+                continue;
+            }
+            match s.kind {
+                MemAccessKind::Arm | MemAccessKind::Disarm => {
+                    // The load's match is an arm/disarm entry: raising
+                    // instead of forwarding keeps the token secret
+                    // (§III-B). Timing-wise the load completes (into the
+                    // exception path) one cycle after issue.
+                    self.stats.lsq_rest_exceptions += 1;
+                    forwarded = Some(ready.max(s.exec_done) + 1);
+                }
+                MemAccessKind::Store | MemAccessKind::Load => {
+                    if s.contains(addr, size) {
+                        self.stats.store_forwards += 1;
+                        forwarded = Some(ready.max(s.exec_done) + 1);
+                    } else {
+                        // Partial overlap: wait until the store drains,
+                        // then read the cache.
+                        self.stats.load_partial_stalls += 1;
+                        ready = ready.max(s.drain_done);
+                    }
+                }
+            }
+            break; // youngest matching store decides
+        }
+        if let Some(complete) = forwarded {
+            return (ready, complete);
+        }
+        let u = self.n_mem as usize % self.cfg.mem_ports;
+        let issue = ready.max(self.port_ring[u]);
+        self.port_ring[u] = issue + 1;
+        self.n_mem += 1;
+        let out = self
+            .hier
+            .access_data(issue, MemAccessKind::Load, addr, size, mem, token, self.mode);
+        (issue, out.complete_at)
+    }
+
+    /// Table I LSQ-column checks for store-like micro-ops entering the
+    /// store queue.
+    fn check_store_lsq_rules(&mut self, kind: OpKind, addr: u64, size: u64, at: u64) {
+        for s in self.store_window.iter().rev() {
+            if s.drain_done <= at || !s.overlaps(addr, size) {
+                continue;
+            }
+            match (kind, s.kind) {
+                // Store hits an in-flight arm to the same location.
+                (OpKind::Store, MemAccessKind::Arm)
+                // Double in-flight disarm.
+                | (OpKind::Disarm, MemAccessKind::Disarm) => {
+                    self.stats.lsq_rest_exceptions += 1;
+                }
+                _ => {}
+            }
+            break;
+        }
+    }
+
+    /// Finalises the statistics (total cycle count, predictor counters).
+    pub fn finish(&mut self) -> CoreStats {
+        self.stats.cycles = self.last_commit;
+        self.stats.branch_lookups = self.bpred.lookups();
+        self.stats.branch_mispredicts = self.bpred.mispredicts();
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rest_core::TokenWidth;
+    use rest_isa::{BranchInfo, GuestMemory, Reg};
+    use rest_mem::MemConfig;
+
+    fn pipe(mode: Mode) -> (Pipeline, GuestMemory, Token) {
+        let hier = Hierarchy::new(MemConfig::isca2018());
+        let p = Pipeline::new(CoreConfig::isca2018(), hier, mode);
+        let mem = GuestMemory::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let token = Token::generate(TokenWidth::B64, &mut rng);
+        (p, mem, token)
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_high_ipc() {
+        let (mut p, mem, tok) = pipe(Mode::Secure);
+        for i in 0..10_000u64 {
+            let d = DynInst::alu(0x1_0000 + (i % 16) * 4, Some(Reg::A0), [None, None]);
+            p.process(&d, &mem, &tok);
+        }
+        let s = p.finish();
+        assert!(s.uipc() > 4.0, "8-wide core must exceed 4 uipc on independent ALU ops, got {}", s.uipc());
+    }
+
+    #[test]
+    fn dependent_chain_limits_to_one_per_cycle() {
+        let (mut p, mem, tok) = pipe(Mode::Secure);
+        for i in 0..10_000u64 {
+            let d = DynInst::alu(0x1_0000 + (i % 16) * 4, Some(Reg::A0), [Some(Reg::A0), None]);
+            p.process(&d, &mem, &tok);
+        }
+        let s = p.finish();
+        assert!(s.uipc() < 1.2, "dependent chain cannot exceed 1 uipc, got {}", s.uipc());
+        assert!(s.uipc() > 0.8);
+    }
+
+    #[test]
+    fn store_to_load_forwarding_beats_cache_latency() {
+        let (mut p, mem, tok) = pipe(Mode::Secure);
+        // Alternating store/load to the same address: loads forward.
+        for i in 0..1000u64 {
+            let st = DynInst::store(0x1_0000 + (i % 8) * 8, None, None, 0x5000, 8);
+            p.process(&st, &mem, &tok);
+            let ld = DynInst::load(0x1_0020, Some(Reg::A1), None, 0x5000, 8);
+            p.process(&ld, &mem, &tok);
+        }
+        let s = p.finish();
+        assert!(s.store_forwards > 900, "forwards: {}", s.store_forwards);
+    }
+
+    #[test]
+    fn forwarding_from_inflight_arm_raises_lsq_exception() {
+        let (mut p, mem, tok) = pipe(Mode::Secure);
+        let arm = DynInst::arm(0x1_0000, None, 0x6000, 64);
+        p.process(&arm, &mem, &tok);
+        let ld = DynInst::load(0x1_0004, Some(Reg::A0), None, 0x6010, 8);
+        p.process(&ld, &mem, &tok);
+        let s = p.finish();
+        assert_eq!(s.lsq_rest_exceptions, 1);
+    }
+
+    #[test]
+    fn debug_mode_store_misses_block_the_rob() {
+        // Stores to distinct lines (all misses). In debug mode, commit
+        // waits for each write; in secure mode it does not.
+        let run = |mode: Mode| {
+            let (mut p, mem, tok) = pipe(mode);
+            for i in 0..2000u64 {
+                let st = DynInst::store(0x1_0000 + (i % 8) * 4, None, None, 0x10_0000 + i * 64, 8);
+                p.process(&st, &mem, &tok);
+            }
+            p.finish()
+        };
+        let secure = run(Mode::Secure);
+        let debug = run(Mode::Debug);
+        assert!(
+            debug.cycles > secure.cycles * 2,
+            "debug {} vs secure {}",
+            debug.cycles,
+            secure.cycles
+        );
+        assert!(
+            debug.rob_blocked_store_cycles > 3 * secure.rob_blocked_store_cycles.max(1),
+            "debug blocked {} vs secure blocked {}",
+            debug.rob_blocked_store_cycles,
+            secure.rob_blocked_store_cycles
+        );
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_cycles() {
+        let mk = |taken: bool, i: u64| {
+            DynInst::branch(
+                0x1_0000 + (i % 4) * 4,
+                [None, None],
+                None,
+                BranchInfo {
+                    taken,
+                    target: 0x1_0000,
+                    conditional: true,
+                    is_call: false,
+                    is_return: false,
+                    indirect: false,
+                },
+            )
+        };
+        // Pseudo-random outcomes: unpredictable.
+        let (mut p, mem, tok) = pipe(Mode::Secure);
+        let mut x = 12345u64;
+        for i in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            p.process(&mk(x >> 63 == 1, i), &mem, &tok);
+        }
+        let random = p.finish();
+
+        let (mut p2, mem2, tok2) = pipe(Mode::Secure);
+        for i in 0..5000 {
+            p2.process(&mk(true, i), &mem2, &tok2);
+        }
+        let steady = p2.finish();
+        assert!(random.branch_mispredicts > steady.branch_mispredicts * 5);
+        assert!(random.cycles > steady.cycles);
+    }
+
+    #[test]
+    fn cache_misses_slow_the_stream_down() {
+        let run = |stride: u64| {
+            let (mut p, mem, tok) = pipe(Mode::Secure);
+            for i in 0..5000u64 {
+                let ld = DynInst::load(0x1_0000 + (i % 8) * 4, Some(Reg::A0), [None, None][0], 0x20_0000 + i * stride, 8)
+                    ;
+                // Dependent chain so latency is exposed.
+                let ld = DynInst {
+                    srcs: [Some(Reg::A0), None],
+                    ..ld
+                };
+                p.process(&ld, &mem, &tok);
+            }
+            p.finish().cycles
+        };
+        let hits = run(0); // same address: always hits after first
+        let misses = run(4096); // new page every time: L2+DRAM misses
+        assert!(misses > hits * 3, "misses {misses} vs hits {hits}");
+    }
+
+    #[test]
+    fn iq_and_rob_stalls_are_counted_under_pressure() {
+        let (mut p, mem, tok) = pipe(Mode::Secure);
+        // A long dependent divide chain backs everything up.
+        for i in 0..5000u64 {
+            let d = DynInst::alu(0x1_0000 + (i % 8) * 4, Some(Reg::A0), [Some(Reg::A0), None])
+                .with_kind(OpKind::IntDiv);
+            p.process(&d, &mem, &tok);
+        }
+        let s = p.finish();
+        assert!(s.iq_stall_cycles + s.rob_stall_cycles > 0);
+        assert!(s.uipc() < 0.1);
+    }
+}

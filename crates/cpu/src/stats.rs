@@ -1,0 +1,159 @@
+use rest_isa::Component;
+use rest_mem::MemStats;
+use rest_runtime::AllocStats;
+
+use crate::emulator::StopReason;
+use crate::trace::PipelineTrace;
+
+/// Pipeline-side statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreStats {
+    /// Total cycles (commit time of the last micro-op).
+    pub cycles: u64,
+    /// Macro instructions retired.
+    pub insts: u64,
+    /// Micro-ops processed (including injected instrumentation and
+    /// runtime traffic).
+    pub uops: u64,
+    /// Micro-ops per software component (Figure 3 attribution), indexed
+    /// by [`Component::ALL`] order.
+    pub uops_by_component: [u64; 5],
+    /// Conditional/indirect branch predictions made.
+    pub branch_lookups: u64,
+    /// Mispredictions (direction or target).
+    pub branch_mispredicts: u64,
+    /// Loads served by store-to-load forwarding.
+    pub store_forwards: u64,
+    /// Loads delayed by a partial overlap with an in-flight store.
+    pub load_partial_stalls: u64,
+    /// Cycles the ROB head was blocked waiting for a store's write to
+    /// complete (debug mode's dominant cost; §VI-B reports this an order
+    /// of magnitude higher in debug than secure).
+    pub rob_blocked_store_cycles: u64,
+    /// Aggregate dispatch-stall cycles charged to a full IQ.
+    pub iq_stall_cycles: u64,
+    /// Aggregate dispatch-stall cycles charged to a full ROB.
+    pub rob_stall_cycles: u64,
+    /// Aggregate dispatch-stall cycles charged to full LQ/SQ.
+    pub lsq_stall_cycles: u64,
+    /// REST exceptions detected by the LSQ forwarding rules (loads that
+    /// would have forwarded from an in-flight arm, stores hitting an
+    /// in-flight arm, double in-flight disarms).
+    pub lsq_rest_exceptions: u64,
+    /// I-cache fetch stalls (cycles).
+    pub fetch_stall_cycles: u64,
+}
+
+impl CoreStats {
+    /// Micro-ops per cycle.
+    pub fn uipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.uops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Records a micro-op's component attribution.
+    pub fn note_component(&mut self, c: Component) {
+        let idx = Component::ALL.iter().position(|&x| x == c).expect("known");
+        self.uops_by_component[idx] += 1;
+    }
+}
+
+/// Complete result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Pipeline-stage trace of the first N micro-ops, when enabled via
+    /// [`crate::SimConfig::trace_uops`].
+    pub trace: Option<PipelineTrace>,
+    /// Pipeline statistics.
+    pub core: CoreStats,
+    /// Memory-hierarchy statistics.
+    pub mem: MemStats,
+    /// Allocator statistics.
+    pub alloc: AllocStats,
+    /// Why the program stopped.
+    pub stop: StopReason,
+    /// Program output (PutChar bytes).
+    pub output: Vec<u8>,
+    /// Configuration label (e.g. `"rest-secure-full"`).
+    pub label: String,
+}
+
+impl SimResult {
+    /// Total cycles.
+    pub fn cycles(&self) -> u64 {
+        self.core.cycles
+    }
+
+    /// Slowdown of this run relative to `baseline`, as a ratio (1.0 =
+    /// equal).
+    pub fn slowdown_vs(&self, baseline: &SimResult) -> f64 {
+        if baseline.core.cycles == 0 {
+            return 0.0;
+        }
+        self.core.cycles as f64 / baseline.core.cycles as f64
+    }
+
+    /// Overhead percentage relative to `baseline` (paper's figures).
+    pub fn overhead_pct_vs(&self, baseline: &SimResult) -> f64 {
+        (self.slowdown_vs(baseline) - 1.0) * 100.0
+    }
+
+    /// Tokens crossing the L2/memory interface per kilo-instruction
+    /// (§VI-B prose statistic).
+    pub fn tokens_per_kiloinst_l2_mem(&self) -> f64 {
+        if self.core.insts == 0 {
+            0.0
+        } else {
+            self.mem.token_lines_l2_mem as f64 * 1000.0 / self.core.insts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_attribution_indexes_align() {
+        let mut s = CoreStats::default();
+        s.note_component(Component::App);
+        s.note_component(Component::Allocator);
+        s.note_component(Component::Allocator);
+        assert_eq!(s.uops_by_component[0], 1);
+        assert_eq!(s.uops_by_component[1], 2);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let mut a = SimResult {
+            trace: None,
+            core: CoreStats {
+                cycles: 1000,
+                insts: 2000,
+                uops: 2500,
+                ..CoreStats::default()
+            },
+            mem: MemStats::default(),
+            alloc: AllocStats::default(),
+            stop: StopReason::Halted,
+            output: Vec::new(),
+            label: "plain".into(),
+        };
+        let b = SimResult {
+            core: CoreStats {
+                cycles: 1400,
+                ..a.core
+            },
+            label: "asan".into(),
+            ..a.clone()
+        };
+        assert!((b.slowdown_vs(&a) - 1.4).abs() < 1e-12);
+        assert!((b.overhead_pct_vs(&a) - 40.0).abs() < 1e-9);
+        assert!((a.core.uipc() - 2.5).abs() < 1e-12);
+        a.mem.token_lines_l2_mem = 4;
+        assert!((a.tokens_per_kiloinst_l2_mem() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,248 @@
+use rest_isa::Program;
+use rest_mem::Hierarchy;
+
+use crate::config::SimConfig;
+use crate::emulator::{Emulator, StopReason};
+use crate::pipeline::Pipeline;
+use crate::stats::SimResult;
+
+/// A complete simulated machine: functional emulator + timing pipeline.
+///
+/// # Example
+///
+/// ```
+/// use rest_cpu::{SimConfig, System};
+/// use rest_isa::{ProgramBuilder, Reg};
+/// use rest_runtime::RtConfig;
+///
+/// let mut p = ProgramBuilder::new();
+/// p.li(Reg::A0, 2);
+/// p.addi(Reg::A0, Reg::A0, 40);
+/// p.halt();
+/// let result = System::new(p.build(), SimConfig::isca2018(RtConfig::plain())).run();
+/// assert!(result.cycles() > 0);
+/// ```
+#[derive(Debug)]
+pub struct System {
+    emulator: Emulator,
+    pipeline: Pipeline,
+    label: String,
+}
+
+impl System {
+    /// Builds the machine for `program` under `cfg`.
+    pub fn new(program: Program, cfg: SimConfig) -> System {
+        let emulator = Emulator::new(program, &cfg);
+        let hier = Hierarchy::new(cfg.mem.clone());
+        let mut pipeline = Pipeline::new(cfg.core.clone(), hier, cfg.rt.mode);
+        pipeline.enable_trace(cfg.trace_uops);
+        System {
+            emulator,
+            pipeline,
+            label: cfg.rt.label(),
+        }
+    }
+
+    /// Runs the program to completion (halt, exit, violation, or uop
+    /// budget) and returns the full result.
+    pub fn run(mut self) -> SimResult {
+        let mut batch = Vec::with_capacity(64);
+        loop {
+            batch.clear();
+            if !self.emulator.step(&mut batch) {
+                break;
+            }
+            // The emulator runs one macro instruction ahead; replay its
+            // micro-ops through the timing model. Lines modified by this
+            // instruction's arm/disarm effects carry pre-update
+            // snapshots (see GuestMemory::snapshot_line_pre_image), so
+            // the token detector observes exactly what a hardware fill
+            // would.
+            for d in &batch {
+                self.pipeline
+                    .process(d, &self.emulator.mem, self.emulator.token());
+            }
+            // The timing model has consumed this instruction's micro-ops;
+            // its pre-update line snapshots are no longer needed.
+            self.emulator.mem.clear_pre_images();
+        }
+        let core = self.pipeline.finish();
+        let mut core = core;
+        core.insts = self.emulator.insts();
+        let trace = self.pipeline.take_trace();
+        SimResult {
+            trace,
+            core,
+            mem: *self.pipeline.mem_stats(),
+            alloc: *self.emulator.runtime().allocator().stats(),
+            stop: self
+                .emulator
+                .stop_reason()
+                .cloned()
+                .unwrap_or(StopReason::Halted),
+            output: self.emulator.runtime().output().to_vec(),
+            label: self.label,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rest_core::Mode;
+    use rest_isa::{EcallNum, ProgramBuilder, Reg};
+    use rest_runtime::{RtConfig, Violation};
+
+    fn sum_loop_program(n: i64) -> Program {
+        let mut p = ProgramBuilder::new();
+        let lp = p.new_label();
+        p.li(Reg::A0, 0);
+        p.li(Reg::T0, n);
+        p.bind(lp);
+        p.add(Reg::A0, Reg::A0, Reg::T0);
+        p.addi(Reg::T0, Reg::T0, -1);
+        p.bne(Reg::T0, Reg::ZERO, lp);
+        p.halt();
+        p.build()
+    }
+
+    #[test]
+    fn runs_to_halt_with_sane_ipc() {
+        let r = System::new(sum_loop_program(10_000), SimConfig::isca2018(RtConfig::plain())).run();
+        assert_eq!(r.stop, StopReason::Halted);
+        assert_eq!(r.core.insts, 3 + 3 * 10_000);
+        assert!(r.core.uipc() > 1.0, "tight loop should exceed 1 uipc, got {}", r.core.uipc());
+        assert!(r.core.uipc() < 8.0);
+    }
+
+    #[test]
+    fn heap_workload_runs_under_all_schemes_with_expected_ordering() {
+        // malloc/free churn: plain must be fastest, ASan slowest of the
+        // three schemes, REST secure in between but close to plain.
+        let prog = || {
+            let mut p = ProgramBuilder::new();
+            let lp = p.new_label();
+            p.li(Reg::S1, 200); // iterations
+            p.bind(lp);
+            p.li(Reg::A0, 256);
+            p.ecall(EcallNum::Malloc);
+            p.mv(Reg::S0, Reg::A0);
+            // Work over the allocation: this is where ASan's per-access
+            // checks bite while REST's hardware checks are free.
+            let inner = p.new_label();
+            p.li(Reg::T0, 0);
+            p.bind(inner);
+            p.add(Reg::T1, Reg::S0, Reg::T0);
+            p.sd(Reg::T0, Reg::T1, 0);
+            p.ld(Reg::T2, Reg::T1, 0);
+            p.addi(Reg::T0, Reg::T0, 8);
+            p.slti(Reg::T3, Reg::T0, 256);
+            p.bne(Reg::T3, Reg::ZERO, inner);
+            p.mv(Reg::A0, Reg::S0);
+            p.ecall(EcallNum::Free);
+            p.addi(Reg::S1, Reg::S1, -1);
+            p.bne(Reg::S1, Reg::ZERO, lp);
+            p.halt();
+            p.build()
+        };
+        let plain = System::new(prog(), SimConfig::isca2018(RtConfig::plain())).run();
+        let asan = System::new(prog(), SimConfig::isca2018(RtConfig::asan())).run();
+        let rest = System::new(prog(), SimConfig::isca2018(RtConfig::rest(Mode::Secure, false))).run();
+        assert_eq!(plain.stop, StopReason::Halted);
+        assert_eq!(asan.stop, StopReason::Halted);
+        assert_eq!(rest.stop, StopReason::Halted);
+        assert!(asan.cycles() > plain.cycles(), "asan {} plain {}", asan.cycles(), plain.cycles());
+        assert!(rest.cycles() > plain.cycles(), "rest {} plain {}", rest.cycles(), plain.cycles());
+        assert!(
+            rest.cycles() < asan.cycles(),
+            "REST secure must beat ASan: rest {} asan {}",
+            rest.cycles(),
+            asan.cycles()
+        );
+    }
+
+    #[test]
+    fn violation_stops_the_run_and_is_reported() {
+        let mut p = ProgramBuilder::new();
+        p.li(Reg::A0, 64);
+        p.ecall(EcallNum::Malloc);
+        p.ld(Reg::A1, Reg::A0, 64); // first byte past the buffer: redzone
+        p.halt();
+        let r = System::new(p.build(), SimConfig::isca2018(RtConfig::rest(Mode::Secure, false))).run();
+        assert!(matches!(r.stop, StopReason::Violation(Violation::Rest(_))), "{:?}", r.stop);
+        // The hardware detects it too — at the cache (token bit) or in
+        // the LSQ (the allocator's arm may still be in flight, in which
+        // case the forwarding rule fires instead).
+        assert!(
+            r.mem.rest_exceptions + r.core.lsq_rest_exceptions >= 1,
+            "hardware detector must fire too"
+        );
+    }
+
+    #[test]
+    fn debug_mode_is_slower_than_secure() {
+        let prog = || {
+            let mut p = ProgramBuilder::new();
+            let lp = p.new_label();
+            p.li(Reg::S1, 100);
+            p.bind(lp);
+            p.li(Reg::A0, 512);
+            p.ecall(EcallNum::Malloc);
+            p.mv(Reg::A0, Reg::A0);
+            p.ecall(EcallNum::Free);
+            p.addi(Reg::S1, Reg::S1, -1);
+            p.bne(Reg::S1, Reg::ZERO, lp);
+            p.halt();
+            p.build()
+        };
+        let secure = System::new(prog(), SimConfig::isca2018(RtConfig::rest(Mode::Secure, false))).run();
+        let debug = System::new(prog(), SimConfig::isca2018(RtConfig::rest(Mode::Debug, false))).run();
+        assert!(
+            debug.cycles() > secure.cycles(),
+            "debug {} vs secure {}",
+            debug.cycles(),
+            secure.cycles()
+        );
+        assert!(debug.core.rob_blocked_store_cycles > secure.core.rob_blocked_store_cycles);
+    }
+
+    #[test]
+    fn perfect_hw_tracks_secure_closely() {
+        let prog = || {
+            let mut p = ProgramBuilder::new();
+            let lp = p.new_label();
+            p.li(Reg::S1, 100);
+            p.bind(lp);
+            p.li(Reg::A0, 256);
+            p.ecall(EcallNum::Malloc);
+            p.ecall(EcallNum::Free);
+            p.addi(Reg::S1, Reg::S1, -1);
+            p.bne(Reg::S1, Reg::ZERO, lp);
+            p.halt();
+            p.build()
+        };
+        let secure = System::new(prog(), SimConfig::isca2018(RtConfig::rest(Mode::Secure, false))).run();
+        let perfect = System::new(prog(), SimConfig::isca2018(RtConfig::rest_perfect(false))).run();
+        let ratio = secure.cycles() as f64 / perfect.cycles() as f64;
+        assert!(
+            (0.9..1.25).contains(&ratio),
+            "REST hardware cost must be near zero: secure {} perfect {}",
+            secure.cycles(),
+            perfect.cycles()
+        );
+    }
+
+    #[test]
+    fn output_and_exit_code_propagate() {
+        let mut p = ProgramBuilder::new();
+        p.li(Reg::A0, b'o' as i64);
+        p.ecall(EcallNum::PutChar);
+        p.li(Reg::A0, b'k' as i64);
+        p.ecall(EcallNum::PutChar);
+        p.li(Reg::A0, 7);
+        p.ecall(EcallNum::Exit);
+        let r = System::new(p.build(), SimConfig::isca2018(RtConfig::plain())).run();
+        assert_eq!(r.stop, StopReason::Exit(7));
+        assert_eq!(r.output, b"ok");
+    }
+}

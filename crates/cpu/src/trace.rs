@@ -1,0 +1,175 @@
+//! Pipeline tracing: per-micro-op stage timestamps and an ASCII
+//! pipeline diagram, in the spirit of gem5's O3 pipeline viewer.
+//!
+//! Enable with [`crate::SimConfig::trace_uops`]; the first N micro-ops
+//! of the run are recorded and the rendered diagram shows, per op,
+//! when it was **F**etched, **D**ispatched, **I**ssued, completed
+//! e**X**ecution, and **C**ommitted:
+//!
+//! ```text
+//! seq pc       op     F....D.I..X...C
+//!   0 0x10000  IntAlu F.....DIX.C
+//!   1 0x10004  Load   F.....D.I......X..C
+//! ```
+
+use std::fmt;
+
+use rest_isa::{Component, OpKind};
+
+/// Stage timestamps of one traced micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Sequence number (program order).
+    pub seq: u64,
+    /// PC of the producing (macro) instruction.
+    pub pc: u64,
+    /// Execution class.
+    pub kind: OpKind,
+    /// Software-component attribution.
+    pub component: Component,
+    /// Cycle fetched.
+    pub fetch: u64,
+    /// Cycle dispatched into the window.
+    pub dispatch: u64,
+    /// Cycle issued to a functional unit / the cache.
+    pub issue: u64,
+    /// Cycle the result was available.
+    pub complete: u64,
+    /// Cycle committed.
+    pub commit: u64,
+}
+
+/// A bounded recording of the first N micro-ops' pipeline timing.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineTrace {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+}
+
+impl PipelineTrace {
+    /// Creates a trace that keeps the first `capacity` micro-ops.
+    pub fn new(capacity: usize) -> PipelineTrace {
+        PipelineTrace {
+            entries: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+        }
+    }
+
+    /// Records one micro-op (ignored once the capacity is reached).
+    pub fn record(&mut self, entry: TraceEntry) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        }
+    }
+
+    /// The recorded entries, in program order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Whether the trace reached its capacity (later ops were dropped).
+    pub fn truncated(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Renders the ASCII pipeline diagram.
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let Some(first) = self.entries.first() else {
+            return "  (empty trace)\n".to_string();
+        };
+        let base = first.fetch;
+        let _ = writeln!(
+            out,
+            "{:>4} {:<10} {:<8} {:<13} timeline (F=fetch D=dispatch I=issue X=complete C=commit)",
+            "seq", "pc", "op", "component"
+        );
+        for e in &self.entries {
+            let mut lane = String::new();
+            let marks = [
+                (e.fetch, 'F'),
+                (e.dispatch, 'D'),
+                (e.issue, 'I'),
+                (e.complete, 'X'),
+                (e.commit, 'C'),
+            ];
+            let width = (e.commit.saturating_sub(base) + 1).min(120) as usize;
+            lane.extend(std::iter::repeat_n('.', width));
+            let mut lane: Vec<char> = lane.chars().collect();
+            for (cycle, ch) in marks {
+                let pos = (cycle.saturating_sub(base)).min(119) as usize;
+                if pos < lane.len() {
+                    lane[pos] = ch;
+                }
+            }
+            let lane: String = lane.into_iter().collect();
+            let _ = writeln!(
+                out,
+                "{:>4} {:<#10x} {:<8} {:<13} {lane}",
+                e.seq,
+                e.pc,
+                format!("{:?}", e.kind),
+                e.component.name()
+            );
+        }
+        if self.truncated() {
+            let _ = writeln!(out, "  … trace capacity reached");
+        }
+        out
+    }
+}
+
+impl fmt::Display for PipelineTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64, fetch: u64) -> TraceEntry {
+        TraceEntry {
+            seq,
+            pc: 0x1_0000 + seq * 4,
+            kind: OpKind::IntAlu,
+            component: Component::App,
+            fetch,
+            dispatch: fetch + 6,
+            issue: fetch + 7,
+            complete: fetch + 8,
+            commit: fetch + 9,
+        }
+    }
+
+    #[test]
+    fn records_up_to_capacity() {
+        let mut t = PipelineTrace::new(2);
+        t.record(entry(0, 0));
+        t.record(entry(1, 1));
+        t.record(entry(2, 2));
+        assert_eq!(t.entries().len(), 2);
+        assert!(t.truncated());
+    }
+
+    #[test]
+    fn render_contains_stage_letters_in_order() {
+        let mut t = PipelineTrace::new(4);
+        t.record(entry(0, 0));
+        let s = t.render();
+        let f = s.find('F').unwrap();
+        let d = s.rfind('D').unwrap();
+        let i = s.rfind('I').unwrap();
+        let x = s.rfind('X').unwrap();
+        let c = s.rfind('C').unwrap();
+        assert!(f < d && d < i && i < x && x < c, "{s}");
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let t = PipelineTrace::new(4);
+        assert!(t.render().contains("empty trace"));
+    }
+}

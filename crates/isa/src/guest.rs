@@ -1,0 +1,243 @@
+use std::collections::HashMap;
+
+use crate::inst::MemSize;
+
+/// Size of one page of guest memory.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// The functional memory image of the simulated machine.
+///
+/// A sparse, paged, byte-addressable 64-bit address space. Reads of
+/// never-written locations return zero, matching demand-zero pages of a
+/// real OS. The timing model keeps *cache state* separately; this type is
+/// the architectural contents of memory, shared by the emulator, the
+/// runtime allocators, and the L1-D token detector (which compares actual
+/// line bytes against the token value on fill).
+///
+/// # Example
+///
+/// ```
+/// use rest_isa::GuestMemory;
+///
+/// let mut mem = GuestMemory::new();
+/// mem.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x2000), 0); // demand-zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GuestMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    bytes_written: u64,
+    /// Pre-update images of cache lines about to be modified by
+    /// `arm`/`disarm` effects within the current macro instruction. The
+    /// timing model's token detector reads these so a line fill observes
+    /// the content hardware would fetch (the functional emulator runs
+    /// one instruction ahead of the pipeline). Cleared after each batch.
+    pre_line_images: HashMap<u64, [u8; 64]>,
+}
+
+impl GuestMemory {
+    /// Creates an empty (all-zero) address space.
+    pub fn new() -> GuestMemory {
+        GuestMemory::default()
+    }
+
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
+        self.pages.get(&(addr / PAGE_SIZE)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages
+            .entry(addr / PAGE_SIZE)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, val: u8) {
+        self.bytes_written += 1;
+        self.page_mut(addr)[(addr % PAGE_SIZE) as usize] = val;
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+    }
+
+    /// Writes `bytes` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Reads a little-endian scalar of the given width.
+    pub fn read_scalar(&self, addr: u64, size: MemSize) -> u64 {
+        let mut buf = [0u8; 8];
+        let n = size.bytes() as usize;
+        self.read_bytes(addr, &mut buf[..n]);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes the low `size` bytes of `val`, little-endian.
+    pub fn write_scalar(&mut self, addr: u64, val: u64, size: MemSize) {
+        let bytes = val.to_le_bytes();
+        self.write_bytes(addr, &bytes[..size.bytes() as usize]);
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        self.read_scalar(addr, MemSize::B2) as u16
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read_scalar(addr, MemSize::B4) as u32
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_scalar(addr, MemSize::B8)
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, val: u32) {
+        self.write_scalar(addr, val as u64, MemSize::B4);
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, val: u64) {
+        self.write_scalar(addr, val, MemSize::B8);
+    }
+
+    /// Fills `len` bytes starting at `addr` with `byte`.
+    pub fn fill(&mut self, addr: u64, len: u64, byte: u8) {
+        for i in 0..len {
+            self.write_u8(addr.wrapping_add(i), byte);
+        }
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (handles overlap like
+    /// `memmove`).
+    pub fn copy(&mut self, dst: u64, src: u64, len: u64) {
+        let mut buf = vec![0u8; len as usize];
+        self.read_bytes(src, &mut buf);
+        self.write_bytes(dst, &buf);
+    }
+
+    /// Whether `len` bytes at `addr` equal `expect`.
+    pub fn bytes_equal(&self, addr: u64, expect: &[u8]) -> bool {
+        expect
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| self.read_u8(addr.wrapping_add(i as u64)) == b)
+    }
+
+    /// Number of pages actually materialised.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total bytes written over the lifetime of this memory (a cheap
+    /// activity counter used by tests).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Records the pre-update image of the 64-byte line containing
+    /// `addr`, if not already recorded, for the timing model's benefit.
+    /// Call *before* applying an `arm`/`disarm` functional effect.
+    pub fn snapshot_line_pre_image(&mut self, addr: u64) {
+        let line = addr & !63;
+        if self.pre_line_images.contains_key(&line) {
+            return;
+        }
+        let mut buf = [0u8; 64];
+        self.read_bytes(line, &mut buf);
+        self.pre_line_images.insert(line, buf);
+    }
+
+    /// The recorded pre-update image of the line containing `addr`.
+    pub fn pre_line_image(&self, addr: u64) -> Option<&[u8; 64]> {
+        self.pre_line_images.get(&(addr & !63))
+    }
+
+    /// Drops all recorded pre-images (done after the timing model has
+    /// consumed the current instruction's micro-ops).
+    pub fn clear_pre_images(&mut self) {
+        self.pre_line_images.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_zero_reads() {
+        let mem = GuestMemory::new();
+        assert_eq!(mem.read_u8(0), 0);
+        assert_eq!(mem.read_u64(0xffff_ffff_0000), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn scalar_round_trip_all_sizes() {
+        let mut mem = GuestMemory::new();
+        for (size, mask) in [
+            (MemSize::B1, 0xffu64),
+            (MemSize::B2, 0xffff),
+            (MemSize::B4, 0xffff_ffff),
+            (MemSize::B8, u64::MAX),
+        ] {
+            let val = 0x1122_3344_5566_7788u64;
+            mem.write_scalar(0x500, val, size);
+            assert_eq!(mem.read_scalar(0x500, size), val & mask);
+        }
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = GuestMemory::new();
+        let addr = PAGE_SIZE - 4;
+        mem.write_u64(addr, 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.read_u64(addr), 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn copy_handles_overlap() {
+        let mut mem = GuestMemory::new();
+        mem.write_bytes(0x100, &[1, 2, 3, 4, 5]);
+        mem.copy(0x102, 0x100, 5);
+        let mut out = [0u8; 5];
+        mem.read_bytes(0x102, &mut out);
+        assert_eq!(out, [1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn fill_writes_every_byte() {
+        let mut mem = GuestMemory::new();
+        mem.fill(0x10, 64, 0xaa);
+        assert!(mem.bytes_equal(0x10, &[0xaa; 64]));
+        assert_eq!(mem.read_u8(0x0f), 0);
+        assert_eq!(mem.read_u8(0x50), 0);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut mem = GuestMemory::new();
+        mem.write_u32(0x40, 0x0403_0201);
+        assert_eq!(mem.read_u8(0x40), 1);
+        assert_eq!(mem.read_u8(0x43), 4);
+    }
+}

@@ -1,0 +1,156 @@
+use std::fmt;
+
+/// An architectural register of the mini-ISA.
+///
+/// There are 32 general-purpose 64-bit registers, `x0`–`x31`, following
+/// RISC-V-style ABI conventions. `x0` ([`Reg::ZERO`]) is hard-wired to
+/// zero: writes to it are discarded.
+///
+/// # Example
+///
+/// ```
+/// use rest_isa::Reg;
+///
+/// assert_eq!(Reg::A0.index(), 10);
+/// assert_eq!(Reg::A0.to_string(), "a0");
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero register (`x0`).
+    pub const ZERO: Reg = Reg(0);
+    /// Return address (`x1`).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer (`x2`).
+    pub const SP: Reg = Reg(2);
+    /// Global pointer (`x3`).
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer (`x4`); repurposed as a scratch register by the
+    /// instrumentation passes, which must not disturb ABI registers.
+    pub const TP: Reg = Reg(4);
+    /// Temporary registers.
+    pub const T0: Reg = Reg(5);
+    pub const T1: Reg = Reg(6);
+    pub const T2: Reg = Reg(7);
+    /// Callee-saved registers.
+    pub const S0: Reg = Reg(8);
+    pub const S1: Reg = Reg(9);
+    /// Argument / return-value registers.
+    pub const A0: Reg = Reg(10);
+    pub const A1: Reg = Reg(11);
+    pub const A2: Reg = Reg(12);
+    pub const A3: Reg = Reg(13);
+    pub const A4: Reg = Reg(14);
+    pub const A5: Reg = Reg(15);
+    pub const A6: Reg = Reg(16);
+    /// Ecall service-number register (`a7`).
+    pub const A7: Reg = Reg(17);
+    /// More callee-saved registers.
+    pub const S2: Reg = Reg(18);
+    pub const S3: Reg = Reg(19);
+    pub const S4: Reg = Reg(20);
+    pub const S5: Reg = Reg(21);
+    pub const S6: Reg = Reg(22);
+    pub const S7: Reg = Reg(23);
+    pub const S8: Reg = Reg(24);
+    pub const S9: Reg = Reg(25);
+    pub const S10: Reg = Reg(26);
+    pub const S11: Reg = Reg(27);
+    /// More temporaries.
+    pub const T3: Reg = Reg(28);
+    pub const T4: Reg = Reg(29);
+    pub const T5: Reg = Reg(30);
+    pub const T6: Reg = Reg(31);
+
+    /// Total number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < Reg::COUNT,
+            "register index {index} out of range"
+        );
+        Reg(index)
+    }
+
+    /// The register's architectural index, `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// ABI name of the register (e.g. `"a0"`, `"sp"`).
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.index()]
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Reg::COUNT as u8).map(Reg)
+    }
+}
+
+impl Default for Reg {
+    fn default() -> Self {
+        Reg::ZERO
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_abi_layout() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::RA.index(), 1);
+        assert_eq!(Reg::SP.index(), 2);
+        assert_eq!(Reg::A0.index(), 10);
+        assert_eq!(Reg::A7.index(), 17);
+        assert_eq!(Reg::T6.index(), 31);
+    }
+
+    #[test]
+    fn display_uses_abi_names() {
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::S11.to_string(), "s11");
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+}

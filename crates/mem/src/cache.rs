@@ -1,0 +1,382 @@
+use crate::config::CacheConfig;
+
+/// One way (line frame) of a set.
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    valid: bool,
+    tag: u64,
+    dirty: bool,
+    /// LRU stamp (monotonic use counter).
+    stamp: u64,
+    /// REST token bits for the slots of this line (bit *i* = slot *i*).
+    /// Only meaningful in the L1-D; other levels keep it zero.
+    token_mask: u8,
+}
+
+/// A line evicted by a fill or invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Base address of the evicted line.
+    pub addr: u64,
+    /// Whether the line was dirty (requires a writeback).
+    pub dirty: bool,
+    /// Token bits the line carried. Non-zero means the outgoing packet
+    /// must have the token value materialised into the armed slots
+    /// (Table I, "Eviction" row) — arm never wrote the value into the
+    /// data array.
+    pub token_mask: u8,
+}
+
+/// A set-associative, write-back, write-allocate cache with true-LRU
+/// replacement and per-line REST token bits.
+///
+/// Only tags and metadata are stored; data lives in the functional guest
+/// memory. This is the standard timing/functional split and is what lets
+/// the token detector compare genuine line contents at fill time.
+///
+/// # Example
+///
+/// ```
+/// use rest_mem::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::isca2018_l1d(), "L1D");
+/// assert!(!c.lookup(0x1000, false));      // cold miss
+/// c.fill(0x1000, false, 0);
+/// assert!(c.lookup(0x1000, false));       // now hits
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    next_stamp: u64,
+    name: &'static str,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig, name: &'static str) -> Cache {
+        let sets = vec![vec![Way::default(); cfg.assoc]; cfg.sets()];
+        Cache {
+            cfg,
+            sets,
+            next_stamp: 0,
+            name,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Human-readable name (e.g. `"L1D"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Base address of the line containing `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line_bytes - 1)
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.cfg.line_bytes) % self.sets.len() as u64) as usize
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        addr / self.cfg.line_bytes / self.sets.len() as u64
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.next_stamp += 1;
+        self.next_stamp
+    }
+
+    fn find(&self, addr: u64) -> Option<(usize, usize)> {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        self.sets[set]
+            .iter()
+            .position(|w| w.valid && w.tag == tag)
+            .map(|way| (set, way))
+    }
+
+    /// Looks up `addr`, updating LRU state. Marks the line dirty when
+    /// `is_write`. Returns whether the access hit.
+    pub fn lookup(&mut self, addr: u64, is_write: bool) -> bool {
+        let stamp = self.bump();
+        match self.find(addr) {
+            Some((set, way)) => {
+                let w = &mut self.sets[set][way];
+                w.stamp = stamp;
+                if is_write {
+                    w.dirty = true;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `addr`'s line is resident, without touching LRU state.
+    pub fn probe(&self, addr: u64) -> bool {
+        self.find(addr).is_some()
+    }
+
+    /// Token bits of `addr`'s line, or `None` if not resident.
+    pub fn token_mask(&self, addr: u64) -> Option<u8> {
+        self.find(addr).map(|(s, w)| self.sets[s][w].token_mask)
+    }
+
+    /// Whether the token bit covering `addr` (given `slot_bytes`-wide
+    /// slots) is set. `false` when the line is absent.
+    pub fn token_bit_covering(&self, addr: u64, slot_bytes: u64) -> bool {
+        match self.find(addr) {
+            Some((s, w)) => {
+                let slot = (addr % self.cfg.line_bytes) / slot_bytes;
+                self.sets[s][w].token_mask & (1u8 << slot) != 0
+            }
+            None => false,
+        }
+    }
+
+    /// Whether any byte of `[addr, addr+size)` lies in an armed slot of a
+    /// resident line. (A scalar access of ≤ 8 bytes touches at most two
+    /// slots.)
+    pub fn access_touches_token(&self, addr: u64, size: u64, slot_bytes: u64) -> bool {
+        let last = addr + size.max(1) - 1;
+        self.token_bit_covering(addr, slot_bytes)
+            || (last / self.cfg.line_bytes == addr / self.cfg.line_bytes
+                && self.token_bit_covering(last, slot_bytes))
+            || (last / self.cfg.line_bytes != addr / self.cfg.line_bytes
+                && self.token_bit_covering(last, slot_bytes))
+    }
+
+    /// ORs `mask` into the token bits of `addr`'s line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident (callers fill first).
+    pub fn set_token_bits(&mut self, addr: u64, mask: u8) {
+        let (s, w) = self
+            .find(addr)
+            .unwrap_or_else(|| panic!("{}: set_token_bits on absent line {addr:#x}", self.name));
+        self.sets[s][w].token_mask |= mask;
+    }
+
+    /// Clears the token bit for the slot containing `addr` and marks the
+    /// line dirty (the disarm zeroes the slot in the data array).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident.
+    pub fn clear_token_bit(&mut self, addr: u64, slot_bytes: u64) {
+        let (s, w) = self
+            .find(addr)
+            .unwrap_or_else(|| panic!("{}: clear_token_bit on absent line {addr:#x}", self.name));
+        let slot = (addr % self.cfg.line_bytes) / slot_bytes;
+        self.sets[s][w].token_mask &= !(1u8 << slot);
+        self.sets[s][w].dirty = true;
+    }
+
+    /// Marks `addr`'s resident line dirty (e.g. the arm's lazy value
+    /// write obligation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident.
+    pub fn mark_dirty(&mut self, addr: u64) {
+        let (s, w) = self
+            .find(addr)
+            .unwrap_or_else(|| panic!("{}: mark_dirty on absent line {addr:#x}", self.name));
+        self.sets[s][w].dirty = true;
+    }
+
+    /// Installs `addr`'s line (write-allocate fill), evicting the LRU way
+    /// if the set is full. `token_mask` carries the detector's result for
+    /// the incoming data. Returns the evicted line, if any.
+    pub fn fill(&mut self, addr: u64, dirty: bool, token_mask: u8) -> Option<EvictedLine> {
+        if let Some((s, w)) = self.find(addr) {
+            // Refill of a resident line (e.g. upgrade); merge state.
+            let stamp = self.bump();
+            let way = &mut self.sets[s][w];
+            way.stamp = stamp;
+            way.dirty |= dirty;
+            way.token_mask |= token_mask;
+            return None;
+        }
+        let stamp = self.bump();
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let line_bytes = self.cfg.line_bytes;
+        let sets_len = self.sets.len() as u64;
+        let ways = &mut self.sets[set];
+        // Choose an invalid way, else the LRU way.
+        let victim = match ways.iter().position(|w| !w.valid) {
+            Some(i) => i,
+            None => {
+                let (i, _) = ways
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.stamp)
+                    .expect("associativity is at least 1");
+                i
+            }
+        };
+        let evicted = if ways[victim].valid {
+            let old = ways[victim];
+            let old_addr = (old.tag * sets_len + set as u64) * line_bytes;
+            Some(EvictedLine {
+                addr: old_addr,
+                dirty: old.dirty,
+                token_mask: old.token_mask,
+            })
+        } else {
+            None
+        };
+        ways[victim] = Way {
+            valid: true,
+            tag,
+            dirty,
+            stamp,
+            token_mask,
+        };
+        evicted
+    }
+
+    /// Invalidates `addr`'s line, returning its state if it was resident.
+    pub fn invalidate(&mut self, addr: u64) -> Option<EvictedLine> {
+        let (s, w) = self.find(addr)?;
+        let way = self.sets[s][w];
+        self.sets[s][w] = Way::default();
+        Some(EvictedLine {
+            addr: self.line_addr(addr),
+            dirty: way.dirty,
+            token_mask: way.token_mask,
+        })
+    }
+
+    /// Number of valid lines (for occupancy assertions in tests).
+    pub fn resident_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|w| w.valid)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemConfig;
+
+    fn tiny() -> Cache {
+        Cache::new(MemConfig::tiny().l1d, "L1D")
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.lookup(0x1000, false));
+        assert!(c.fill(0x1000, false, 0).is_none());
+        assert!(c.lookup(0x1000, false));
+        assert!(c.lookup(0x103f, false)); // same line
+        assert!(!c.lookup(0x1040, false)); // next line
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny(); // 2-way, 8 sets, 64B lines => set stride 512
+        let a = 0x0000u64;
+        let b = a + 512; // same set
+        let d = a + 1024; // same set
+        c.fill(a, false, 0);
+        c.fill(b, false, 0);
+        c.lookup(a, false); // a is now MRU
+        let ev = c.fill(d, false, 0).expect("must evict");
+        assert_eq!(ev.addr, b);
+        assert!(c.probe(a) && c.probe(d) && !c.probe(b));
+    }
+
+    #[test]
+    fn dirty_state_tracks_writes_and_travels_on_eviction() {
+        let mut c = tiny();
+        c.fill(0x0, false, 0);
+        c.lookup(0x8, true); // write dirties the line
+        c.fill(512, false, 0);
+        let ev = c.fill(1024, false, 0).unwrap();
+        assert_eq!(ev.addr, 0x0);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn token_bits_per_slot() {
+        let mut c = tiny();
+        c.fill(0x1000, false, 0);
+        // 16-byte slots: 4 per line.
+        c.set_token_bits(0x1000, 0b0001);
+        c.set_token_bits(0x1000, 0b0100);
+        assert_eq!(c.token_mask(0x1000), Some(0b0101));
+        assert!(c.token_bit_covering(0x1000, 16));
+        assert!(!c.token_bit_covering(0x1010, 16));
+        assert!(c.token_bit_covering(0x1020, 16));
+        c.clear_token_bit(0x1020, 16);
+        assert_eq!(c.token_mask(0x1000), Some(0b0001));
+    }
+
+    #[test]
+    fn access_touching_armed_slot_detected_across_slot_boundary() {
+        let mut c = tiny();
+        c.fill(0x1000, false, 0b0010); // slot 1 (0x1010..0x1020) armed, 16B slots
+        // 8-byte access straddling slot 0 into slot 1.
+        assert!(c.access_touches_token(0x100c, 8, 16));
+        assert!(!c.access_touches_token(0x1000, 8, 16));
+        assert!(c.access_touches_token(0x101f, 1, 16));
+        assert!(!c.access_touches_token(0x1020, 1, 16));
+    }
+
+    #[test]
+    fn eviction_reports_token_mask_for_lazy_value_write() {
+        let mut c = tiny();
+        c.fill(0x0, false, 0);
+        c.set_token_bits(0x0, 0b1);
+        c.mark_dirty(0x0);
+        c.fill(512, false, 0);
+        let ev = c.fill(1024, false, 0).unwrap();
+        assert_eq!(ev.token_mask, 0b1);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn refill_of_resident_line_merges_state() {
+        let mut c = tiny();
+        c.fill(0x40, false, 0);
+        assert!(c.fill(0x40, true, 0b10).is_none());
+        assert_eq!(c.token_mask(0x40), Some(0b10));
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.fill(0x80, true, 0b1);
+        let ev = c.invalidate(0x80).unwrap();
+        assert_eq!(ev.addr, 0x80);
+        assert!(ev.dirty);
+        assert_eq!(ev.token_mask, 0b1);
+        assert!(!c.probe(0x80));
+        assert!(c.invalidate(0x80).is_none());
+    }
+
+    #[test]
+    fn isca_l1d_holds_1024_lines() {
+        let mut c = Cache::new(CacheConfig::isca2018_l1d(), "L1D");
+        for i in 0..1024u64 {
+            c.fill(i * 64, false, 0);
+        }
+        assert_eq!(c.resident_lines(), 1024);
+        // 1025th line must evict.
+        assert!(c.fill(1024 * 64, false, 0).is_some());
+    }
+}

@@ -1,0 +1,181 @@
+//! Edge-case integration tests for the memory hierarchy: structural
+//! hazards (MSHR target limits, write buffers), multi-level service
+//! paths, and the coherence/DMA interface.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rest_core::{Mode, Token, TokenWidth};
+use rest_isa::{GuestMemory, MemAccessKind};
+use rest_mem::{Hierarchy, MemConfig, ServedBy};
+
+fn setup() -> (Hierarchy, GuestMemory, Token) {
+    let mut rng = StdRng::seed_from_u64(7);
+    (
+        Hierarchy::new(MemConfig::isca2018()),
+        GuestMemory::new(),
+        Token::generate(TokenWidth::B64, &mut rng),
+    )
+}
+
+#[test]
+fn l2_serves_lines_evicted_from_l1() {
+    let (mut h, mem, tok) = setup();
+    // Fill one L1-D set (8 ways at 8 kB stride) plus one more.
+    let base = 0x10_0000u64;
+    let mut now = 0;
+    for i in 0..9u64 {
+        let out = h.access_data(now, MemAccessKind::Load, base + i * 8192, 8, &mem, &tok, Mode::Secure);
+        now = out.complete_at + 1;
+    }
+    // The first line was evicted from L1 but lives in L2.
+    let out = h.access_data(now + 100, MemAccessKind::Load, base, 8, &mem, &tok, Mode::Secure);
+    assert_eq!(out.served_by, ServedBy::L2);
+    // And an L2 hit is much faster than DRAM.
+    let l2_latency = out.complete_at - (now + 100);
+    assert!(l2_latency < 40, "L2 service took {l2_latency} cycles");
+}
+
+#[test]
+fn dram_serves_cold_lines_slowly() {
+    let (mut h, mem, tok) = setup();
+    let out = h.access_data(0, MemAccessKind::Load, 0x40_0000, 8, &mem, &tok, Mode::Secure);
+    assert_eq!(out.served_by, ServedBy::Dram);
+    assert!(out.complete_at > 60, "DRAM access too fast: {}", out.complete_at);
+    assert_eq!(h.stats().dram_accesses, 1);
+}
+
+#[test]
+fn mshr_target_limit_forces_fresh_allocation() {
+    // L1-D MSHRs merge up to 20 targets; the 21st secondary miss to the
+    // same in-flight line cannot merge. It must still complete correctly.
+    let (mut h, mem, tok) = setup();
+    let mut completions = Vec::new();
+    for i in 0..25u64 {
+        let out = h.access_data(i, MemAccessKind::Load, 0x50_0000 + i % 8, 8, &mem, &tok, Mode::Secure);
+        completions.push(out.complete_at);
+    }
+    // All complete, monotonically reasonable, and only one DRAM fetch of
+    // the line happened for the merged ones.
+    assert!(completions.iter().all(|&c| c > 0));
+    assert!(h.stats().dram_accesses <= 3);
+}
+
+#[test]
+fn writeback_pressure_engages_the_write_buffer() {
+    let (mut h, mem, tok) = setup();
+    // Dirty many lines in one set, then thrash it: every fill evicts a
+    // dirty line into the L1 write buffer.
+    let base = 0x20_0000u64;
+    let mut now = 0;
+    for i in 0..32u64 {
+        let out = h.access_data(now, MemAccessKind::Store, base + i * 8192, 8, &mem, &tok, Mode::Secure);
+        now = out.complete_at + 1;
+    }
+    assert!(
+        h.stats().l1d_writebacks >= 16,
+        "writebacks: {}",
+        h.stats().l1d_writebacks
+    );
+}
+
+#[test]
+fn coherence_invalidate_discards_token_state() {
+    let (mut h, mut mem, tok) = setup();
+    mem.write_bytes(0x3000, tok.bytes());
+    // Arm via fill-path detection.
+    let out = h.access_data(0, MemAccessKind::Load, 0x3000, 8, &mem, &tok, Mode::Secure);
+    assert!(out.exception.is_some());
+    assert!(h.l1d().token_bit_covering(0x3000, 64));
+    h.coherence_invalidate(0x3000);
+    assert!(!h.l1d().token_bit_covering(0x3000, 64));
+    // DMA rewrote memory: the refetched line is clean.
+    mem.fill(0x3000, 64, 0);
+    let out = h.access_data(1000, MemAccessKind::Load, 0x3000, 8, &mem, &tok, Mode::Secure);
+    assert!(out.exception.is_none());
+}
+
+#[test]
+fn instruction_and_data_caches_are_split() {
+    let (mut h, mem, tok) = setup();
+    // Fetch a code line, then access the same address as data: both miss
+    // independently (split L1s), but the data access hits the now-warm L2.
+    let t1 = h.fetch_inst(0, 0x1_0000, &mem, &tok);
+    assert!(t1 > 2);
+    let out = h.access_data(t1 + 10, MemAccessKind::Load, 0x1_0000, 8, &mem, &tok, Mode::Secure);
+    assert_eq!(h.stats().l1d_misses, 1, "data side must miss separately");
+    assert_eq!(out.served_by, ServedBy::L2, "but the L2 is unified");
+}
+
+#[test]
+fn narrow_token_bits_survive_partial_disarm() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let tok = Token::generate(TokenWidth::B16, &mut rng);
+    let mut h = Hierarchy::new(MemConfig::isca2018());
+    let mut mem = GuestMemory::new();
+    // Arm all four slots of one line.
+    let mut now = 0;
+    for slot in 0..4u64 {
+        let out = h.access_data(now, MemAccessKind::Arm, 0x6000 + slot * 16, 16, &mem, &tok, Mode::Secure);
+        now = out.complete_at + 1;
+        mem.write_bytes(0x6000 + slot * 16, tok.bytes());
+    }
+    // Disarm slot 1 only.
+    mem.fill(0x6010, 16, 0);
+    let out = h.access_data(now + 10, MemAccessKind::Disarm, 0x6010, 16, &mem, &tok, Mode::Secure);
+    assert!(out.exception.is_none());
+    // Slot 1 is free; slots 0/2/3 still trap.
+    let ok = h.access_data(now + 100, MemAccessKind::Load, 0x6010, 8, &mem, &tok, Mode::Secure);
+    assert!(ok.exception.is_none());
+    let bad = h.access_data(now + 200, MemAccessKind::Load, 0x6020, 8, &mem, &tok, Mode::Secure);
+    assert!(bad.exception.is_some());
+}
+
+#[test]
+fn stats_merge_roundtrip() {
+    let (mut h, mem, tok) = setup();
+    h.access_data(0, MemAccessKind::Load, 0x9000, 8, &mem, &tok, Mode::Secure);
+    let mut agg = rest_mem::MemStats::default();
+    agg.merge(h.stats());
+    agg.merge(h.stats());
+    assert_eq!(agg.l1d_misses, 2 * h.stats().l1d_misses);
+}
+
+#[test]
+fn dedicated_token_cache_speeds_armed_line_refetch() {
+    // §VIII future work: evicted armed lines parked in a dedicated
+    // buffer are re-installed at near-L1 latency — and still trap.
+    let mut rng = StdRng::seed_from_u64(77);
+    let tok = Token::generate(TokenWidth::B64, &mut rng);
+    let mut mem = GuestMemory::new();
+    mem.write_bytes(0x9000, tok.bytes());
+
+    let run = |entries: usize, mem: &GuestMemory| {
+        let mut cfg = MemConfig::isca2018();
+        cfg.token_cache_entries = entries;
+        let mut h = Hierarchy::new(cfg);
+        // Install the armed line (faults, but also fills + detects).
+        let out = h.access_data(0, MemAccessKind::Load, 0x9000, 8, mem, &tok, Mode::Secure);
+        assert!(out.exception.is_some());
+        // Thrash the set to evict it (8 kB stride, 8 ways).
+        let mut now = out.complete_at + 1;
+        for i in 1..=8u64 {
+            let o = h.access_data(now, MemAccessKind::Load, 0x9000 + i * 8192, 8, mem, &tok, Mode::Secure);
+            now = o.complete_at + 1;
+        }
+        // Refetch the armed line.
+        let start = now + 10;
+        let out = h.access_data(start, MemAccessKind::Load, 0x9000, 8, mem, &tok, Mode::Secure);
+        assert!(out.exception.is_some(), "token bit must be restored");
+        (out.complete_at - start, h.stats().token_cache_hits)
+    };
+
+    let (slow, hits0) = run(0, &mem);
+    let (fast, hits1) = run(16, &mem);
+    assert_eq!(hits0, 0);
+    assert_eq!(hits1, 1);
+    assert!(
+        fast < slow,
+        "token cache must serve refetches faster: {fast} vs {slow}"
+    );
+}

@@ -1,0 +1,318 @@
+use crate::alloc::{
+    note_alloc, note_free, redzone_for, round_up, AllocStats, Allocator, Arena, ChunkInfo,
+    ChunkState, LiveMap, Quarantine,
+};
+use crate::env::RtEnv;
+use crate::layout::{HEAP_BASE, SHADOW_GRANULE};
+use crate::shadow;
+use crate::violation::{AsanReport, AsanReportKind, Violation};
+
+/// Header size (kept inside the left redzone, as in real ASan).
+const HEADER: u64 = 32;
+
+/// The AddressSanitizer allocator model.
+///
+/// Every allocation is wrapped in shadow-poisoned redzones:
+///
+/// ```text
+/// [ header+left redzone : 0xfa ][ user : 0x00/partial ][ right rz : 0xfb ]
+/// ```
+///
+/// Freed chunks are poisoned `0xfd` and parked in a FIFO quarantine
+/// instead of the free pool, deferring reuse to widen the use-after-free
+/// detection window. This reproduces the paper's "allocator designed with
+/// security in mind … slower than other allocators" (overhead source 1).
+#[derive(Debug)]
+pub struct AsanAllocator {
+    arena: Arena,
+    quarantine: Quarantine,
+    live: LiveMap,
+    stats: AllocStats,
+}
+
+impl AsanAllocator {
+    /// Creates the allocator with the given quarantine byte budget.
+    pub fn new(quarantine_bytes: u64) -> AsanAllocator {
+        AsanAllocator {
+            arena: Arena::new(HEAP_BASE),
+            quarantine: Quarantine::new(quarantine_bytes),
+            live: LiveMap::default(),
+            stats: AllocStats::default(),
+        }
+    }
+
+    fn layout_for(size: u64) -> (u64, u64, u64) {
+        // (left redzone incl. header, padded user, right redzone)
+        let rz = redzone_for(size, SHADOW_GRANULE);
+        let left = round_up(HEADER.max(rz), SHADOW_GRANULE);
+        let user_pad = round_up(size.max(1), SHADOW_GRANULE);
+        (left, user_pad, rz)
+    }
+
+    /// Chunks currently parked in quarantine (for tests/benches).
+    pub fn quarantine_len(&self) -> usize {
+        self.quarantine.len()
+    }
+}
+
+impl Allocator for AsanAllocator {
+    fn name(&self) -> &'static str {
+        "asan"
+    }
+
+    fn malloc(&mut self, env: &mut RtEnv<'_>, size: u64) -> Result<u64, Violation> {
+        let (left, user_pad, right) = Self::layout_for(size);
+        let total = left + user_pad + right;
+        // Size classing, layout arithmetic, stats, and the security
+        // checks of a hardened malloc path (ASan's allocator runs tens
+        // of instructions per call beyond the metadata stores).
+        env.rec.alu(24);
+        let (chunk, reused) = match self.arena.pop(total) {
+            Some(c) => {
+                env.rec.load(c, 8);
+                (c, true)
+            }
+            None => match self.arena.grow(HEAP_BASE, total) {
+                Some(c) => (c, false),
+                None => return Ok(0),
+            },
+        };
+        let user_ptr = chunk + left;
+        // Header writes (inside the left redzone).
+        env.store_u64(chunk, total);
+        env.store_u64(chunk + 8, size);
+        env.store_u64(chunk + 16, ChunkState::Live as u64);
+        // Shadow: poison both redzones, unpoison the user area (with a
+        // partial tail granule when size % 8 != 0).
+        shadow::poison_region(env, chunk, left, shadow::POISON_HEAP_LEFT);
+        shadow::unpoison_region(env, user_ptr, size.max(1));
+        let tail_base = user_ptr + round_up(size.max(1), SHADOW_GRANULE);
+        shadow::poison_region(
+            env,
+            tail_base,
+            total - left - round_up(size.max(1), SHADOW_GRANULE),
+            shadow::POISON_HEAP_RIGHT,
+        );
+        self.live.insert(
+            user_ptr,
+            ChunkInfo {
+                chunk,
+                total,
+                user: size,
+                left_rz: left,
+                state: ChunkState::Live,
+            },
+        );
+        note_alloc(&mut self.stats, size, reused);
+        Ok(user_ptr)
+    }
+
+    fn free(&mut self, env: &mut RtEnv<'_>, ptr: u64) -> Result<(), Violation> {
+        if ptr == 0 {
+            return Ok(());
+        }
+        env.rec.alu(14);
+        let info = match self.live.get_mut(ptr) {
+            Some(i) if i.state == ChunkState::Live => i,
+            _ => {
+                self.stats.bad_frees += 1;
+                return Err(Violation::Asan(AsanReport {
+                    kind: AsanReportKind::BadFree,
+                    addr: ptr,
+                    size: 0,
+                    pc: 0,
+                }));
+            }
+        };
+        info.state = ChunkState::Quarantined;
+        let info = *info;
+        env.rec.load(info.chunk, 8); // header read
+        env.store_u64(info.chunk + 16, ChunkState::Quarantined as u64);
+        // Poison the entire user region as freed memory.
+        shadow::poison_region(
+            env,
+            info.chunk + info.left_rz,
+            info.total - info.left_rz,
+            shadow::POISON_FREED,
+        );
+        note_free(&mut self.stats, info.user);
+        // Quarantine, releasing the oldest chunks past the budget.
+        for (chunk, total) in self.quarantine.push(info.chunk, info.total) {
+            self.stats.quarantine_evictions += 1;
+            // Released chunks return to the bins still poisoned; the
+            // next malloc rewrites their shadow.
+            env.store_u64(chunk + 16, ChunkState::Free as u64);
+            self.arena.push(chunk, total);
+        }
+        self.stats.quarantine_bytes = self.quarantine.bytes();
+        Ok(())
+    }
+
+    fn usable_size(&self, ptr: u64) -> Option<u64> {
+        self.live
+            .get(ptr)
+            .filter(|i| i.state == ChunkState::Live)
+            .map(|i| i.user)
+    }
+
+    fn stats(&self) -> &AllocStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rest_core::{ArmedSet, Token, TokenWidth};
+    use rest_isa::GuestMemory;
+
+    use crate::traffic::TrafficRecorder;
+
+    struct Fx {
+        mem: GuestMemory,
+        rec: TrafficRecorder,
+        armed: ArmedSet,
+        token: Token,
+    }
+
+    impl Fx {
+        fn new() -> Fx {
+            let mut rng = StdRng::seed_from_u64(21);
+            Fx {
+                mem: GuestMemory::new(),
+                rec: TrafficRecorder::new(),
+                armed: ArmedSet::new(TokenWidth::B64),
+                token: Token::generate(TokenWidth::B64, &mut rng),
+            }
+        }
+
+        fn env(&mut self) -> RtEnv<'_> {
+            RtEnv {
+                mem: &mut self.mem,
+                rec: &mut self.rec,
+                armed: &mut self.armed,
+                token: &self.token,
+                check_rest: false,
+                check_shadow: false,
+                perfect_hw: false,
+                naive_wide_arm: false,
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_is_bracketed_by_poison() {
+        let mut fx = Fx::new();
+        let mut env = fx.env();
+        let mut a = AsanAllocator::new(1 << 20);
+        let p = a.malloc(&mut env, 40).unwrap();
+        // User area addressable.
+        assert!(shadow::classify_access(env.mem, p, 40).is_ok());
+        // One byte past the end: right redzone.
+        assert_eq!(
+            shadow::classify_access(env.mem, p + 40, 1),
+            Err(AsanReportKind::HeapRedzone)
+        );
+        // One byte before: left redzone.
+        assert_eq!(
+            shadow::classify_access(env.mem, p - 1, 1),
+            Err(AsanReportKind::HeapRedzone)
+        );
+    }
+
+    #[test]
+    fn freed_memory_reports_use_after_free() {
+        let mut fx = Fx::new();
+        let mut env = fx.env();
+        let mut a = AsanAllocator::new(1 << 20);
+        let p = a.malloc(&mut env, 64).unwrap();
+        a.free(&mut env, p).unwrap();
+        assert_eq!(
+            shadow::classify_access(env.mem, p, 8),
+            Err(AsanReportKind::UseAfterFree)
+        );
+    }
+
+    #[test]
+    fn quarantine_defers_reuse() {
+        let mut fx = Fx::new();
+        let mut env = fx.env();
+        let mut a = AsanAllocator::new(1 << 20);
+        let p1 = a.malloc(&mut env, 64).unwrap();
+        a.free(&mut env, p1).unwrap();
+        let p2 = a.malloc(&mut env, 64).unwrap();
+        assert_ne!(p1, p2, "quarantine must prevent immediate reuse");
+        assert_eq!(a.quarantine_len(), 1);
+    }
+
+    #[test]
+    fn quarantine_eviction_releases_chunks_for_reuse() {
+        let mut fx = Fx::new();
+        let mut env = fx.env();
+        // Budget below two chunks: the second free evicts the first.
+        let mut a = AsanAllocator::new(200);
+        let p1 = a.malloc(&mut env, 64).unwrap();
+        let p2 = a.malloc(&mut env, 64).unwrap();
+        a.free(&mut env, p1).unwrap();
+        a.free(&mut env, p2).unwrap();
+        assert!(a.stats().quarantine_evictions >= 1);
+        // New allocation of the same class reuses an evicted chunk.
+        let p3 = a.malloc(&mut env, 64).unwrap();
+        assert!(p3 == p1 || p3 == p2);
+        // And the reused chunk is addressable again.
+        assert!(shadow::classify_access(env.mem, p3, 64).is_ok());
+    }
+
+    #[test]
+    fn double_free_is_reported() {
+        let mut fx = Fx::new();
+        let mut env = fx.env();
+        let mut a = AsanAllocator::new(1 << 20);
+        let p = a.malloc(&mut env, 32).unwrap();
+        a.free(&mut env, p).unwrap();
+        let err = a.free(&mut env, p).unwrap_err();
+        assert!(matches!(
+            err,
+            Violation::Asan(r) if r.kind == AsanReportKind::BadFree
+        ));
+        assert_eq!(a.stats().bad_frees, 1);
+    }
+
+    #[test]
+    fn invalid_free_is_reported() {
+        let mut fx = Fx::new();
+        let mut env = fx.env();
+        let mut a = AsanAllocator::new(1 << 20);
+        let err = a.free(&mut env, 0xdead_0000).unwrap_err();
+        assert!(matches!(
+            err,
+            Violation::Asan(r) if r.kind == AsanReportKind::BadFree
+        ));
+    }
+
+    #[test]
+    fn usable_size_tracks_live_state() {
+        let mut fx = Fx::new();
+        let mut env = fx.env();
+        let mut a = AsanAllocator::new(1 << 20);
+        let p = a.malloc(&mut env, 33).unwrap();
+        assert_eq!(a.usable_size(p), Some(33));
+        a.free(&mut env, p).unwrap();
+        assert_eq!(a.usable_size(p), None);
+    }
+
+    #[test]
+    fn partial_tail_granule_catches_intra_granule_overflow() {
+        let mut fx = Fx::new();
+        let mut env = fx.env();
+        let mut a = AsanAllocator::new(1 << 20);
+        let p = a.malloc(&mut env, 13).unwrap();
+        assert!(shadow::classify_access(env.mem, p, 13).is_ok());
+        assert_eq!(
+            shadow::classify_access(env.mem, p + 13, 1),
+            Err(AsanReportKind::PartialGranule)
+        );
+    }
+}

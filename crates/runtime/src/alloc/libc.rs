@@ -1,0 +1,215 @@
+use crate::alloc::{
+    note_alloc, note_free, round_up, AllocStats, Allocator, Arena,
+};
+use crate::env::RtEnv;
+use crate::layout::HEAP_BASE;
+use crate::violation::Violation;
+
+/// Header size of a plain chunk (size word + state word).
+const HEADER: u64 = 16;
+/// Allocation granule.
+const GRANULE: u64 = 16;
+
+/// The plain, performance-first baseline allocator (the paper's "unsafe"
+/// binaries with the stock libc allocator).
+///
+/// Layout: `[16 B header][user data]`, 16-byte granularity, segregated
+/// free bins with immediate reuse, **no redzones, no quarantine, no
+/// validation**. A double free corrupts the free list exactly the way
+/// real fast allocators are corrupted — the attack scenarios depend on
+/// this behaviour, so do not "fix" it.
+///
+/// # Example
+///
+/// ```no_run
+/// use rest_runtime::{Allocator, LibcAllocator};
+///
+/// let mut a = LibcAllocator::new();
+/// assert_eq!(a.name(), "libc");
+/// ```
+#[derive(Debug)]
+pub struct LibcAllocator {
+    arena: Arena,
+    stats: AllocStats,
+}
+
+impl LibcAllocator {
+    /// Creates an empty allocator over the standard heap arena.
+    pub fn new() -> LibcAllocator {
+        LibcAllocator {
+            arena: Arena::new(HEAP_BASE),
+            stats: AllocStats::default(),
+        }
+    }
+
+    fn total_for(user: u64) -> u64 {
+        HEADER + round_up(user.max(1), GRANULE)
+    }
+}
+
+impl Default for LibcAllocator {
+    fn default() -> Self {
+        LibcAllocator::new()
+    }
+}
+
+impl Allocator for LibcAllocator {
+    fn name(&self) -> &'static str {
+        "libc"
+    }
+
+    fn malloc(&mut self, env: &mut RtEnv<'_>, size: u64) -> Result<u64, Violation> {
+        let total = Self::total_for(size);
+        env.rec.alu(6); // size classing + fast-path bookkeeping
+        let (chunk, reused) = match self.arena.pop(total) {
+            Some(c) => {
+                env.rec.load(c, 8); // bin-list unlink reads the header
+                (c, true)
+            }
+            None => match self.arena.grow(HEAP_BASE, total) {
+                Some(c) => (c, false),
+                None => return Ok(0),
+            },
+        };
+        // Header: total size and user size.
+        env.store_u64(chunk, total);
+        env.store_u64(chunk + 8, size);
+        note_alloc(&mut self.stats, size, reused);
+        Ok(chunk + HEADER)
+    }
+
+    fn free(&mut self, env: &mut RtEnv<'_>, ptr: u64) -> Result<(), Violation> {
+        if ptr == 0 {
+            return Ok(());
+        }
+        let chunk = ptr - HEADER;
+        let total = env.load_u64(chunk);
+        let user = env.load_u64(chunk + 8);
+        env.rec.alu(4);
+        // No validation whatsoever: a double free pushes the chunk into
+        // the bin twice, so two future mallocs alias — the classic libc
+        // corruption the hardened allocators exist to stop.
+        self.arena.push(chunk, total);
+        note_free(&mut self.stats, user);
+        Ok(())
+    }
+
+    fn usable_size(&self, _ptr: u64) -> Option<u64> {
+        // The plain allocator keeps no host-side map; callers that need
+        // the size read the header through guest memory.
+        None
+    }
+
+    fn stats(&self) -> &AllocStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rest_core::{ArmedSet, Token, TokenWidth};
+    use rest_isa::GuestMemory;
+
+    use crate::traffic::TrafficRecorder;
+
+    struct Fx {
+        mem: GuestMemory,
+        rec: TrafficRecorder,
+        armed: ArmedSet,
+        token: Token,
+    }
+
+    impl Fx {
+        fn new() -> Fx {
+            let mut rng = StdRng::seed_from_u64(3);
+            Fx {
+                mem: GuestMemory::new(),
+                rec: TrafficRecorder::new(),
+                armed: ArmedSet::new(TokenWidth::B64),
+                token: Token::generate(TokenWidth::B64, &mut rng),
+            }
+        }
+
+        fn env(&mut self) -> RtEnv<'_> {
+            RtEnv {
+                mem: &mut self.mem,
+                rec: &mut self.rec,
+                armed: &mut self.armed,
+                token: &self.token,
+                check_rest: false,
+                check_shadow: false,
+                perfect_hw: false,
+                naive_wide_arm: false,
+            }
+        }
+    }
+
+    #[test]
+    fn malloc_returns_distinct_aligned_pointers() {
+        let mut fx = Fx::new();
+        let mut env = fx.env();
+        let mut a = LibcAllocator::new();
+        let p1 = a.malloc(&mut env, 24).unwrap();
+        let p2 = a.malloc(&mut env, 24).unwrap();
+        assert_ne!(p1, p2);
+        assert_eq!(p1 % GRANULE, 0);
+        assert!(p1 >= HEAP_BASE);
+        assert_eq!(a.stats().allocs, 2);
+    }
+
+    #[test]
+    fn free_enables_immediate_reuse() {
+        let mut fx = Fx::new();
+        let mut env = fx.env();
+        let mut a = LibcAllocator::new();
+        let p1 = a.malloc(&mut env, 100).unwrap();
+        a.free(&mut env, p1).unwrap();
+        let p2 = a.malloc(&mut env, 100).unwrap();
+        assert_eq!(p1, p2, "plain allocator reuses immediately");
+        assert_eq!(a.stats().reuses, 1);
+    }
+
+    #[test]
+    fn double_free_causes_aliasing_allocations() {
+        let mut fx = Fx::new();
+        let mut env = fx.env();
+        let mut a = LibcAllocator::new();
+        let p = a.malloc(&mut env, 64).unwrap();
+        a.free(&mut env, p).unwrap();
+        a.free(&mut env, p).unwrap(); // silently corrupts the bin
+        let q1 = a.malloc(&mut env, 64).unwrap();
+        let q2 = a.malloc(&mut env, 64).unwrap();
+        assert_eq!(q1, q2, "two live allocations alias after double free");
+    }
+
+    #[test]
+    fn free_of_null_is_noop() {
+        let mut fx = Fx::new();
+        let mut env = fx.env();
+        let mut a = LibcAllocator::new();
+        a.free(&mut env, 0).unwrap();
+        assert_eq!(a.stats().frees, 0);
+    }
+
+    #[test]
+    fn traffic_is_recorded() {
+        let mut fx = Fx::new();
+        let mut env = fx.env();
+        let mut a = LibcAllocator::new();
+        a.malloc(&mut env, 32).unwrap();
+        let _ = env;
+        assert!(fx.rec.len() >= 3, "header stores + alu must be recorded");
+    }
+
+    #[test]
+    fn oom_returns_null() {
+        let mut fx = Fx::new();
+        let mut env = fx.env();
+        let mut a = LibcAllocator::new();
+        let p = a.malloc(&mut env, crate::alloc::HEAP_LIMIT).unwrap();
+        assert_eq!(p, 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Heap allocators: the plain baseline, the ASan model, and the REST
+//! allocator the paper builds (§IV-A).
+//!
+//! All three share the same arena machinery (bump allocation from
+//! [`crate::HEAP_BASE`], segregated free bins keyed by chunk size, a FIFO
+//! quarantine for the hardened schemes) so that measured differences come
+//! from the *protection work* — shadow poisoning vs. token arming vs.
+//! nothing — not from incidental implementation divergence.
+
+mod asan;
+mod libc;
+mod rest;
+
+pub use asan::AsanAllocator;
+pub use libc::LibcAllocator;
+pub use rest::RestAllocator;
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::env::RtEnv;
+use crate::violation::Violation;
+
+/// Counters every allocator maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Successful `malloc`-family calls.
+    pub allocs: u64,
+    /// Successful `free` calls.
+    pub frees: u64,
+    /// Total user bytes handed out.
+    pub bytes_requested: u64,
+    /// Live user bytes right now.
+    pub live_bytes: u64,
+    /// Peak live user bytes.
+    pub peak_live_bytes: u64,
+    /// Bytes currently parked in the quarantine pool.
+    pub quarantine_bytes: u64,
+    /// Chunks released from quarantine back to the free pool.
+    pub quarantine_evictions: u64,
+    /// Invalid/double frees detected (hardened allocators only).
+    pub bad_frees: u64,
+    /// Chunks reused from the free bins (vs. fresh arena growth).
+    pub reuses: u64,
+}
+
+/// A heap allocator operating on simulated guest memory.
+///
+/// All memory traffic the allocator performs is recorded through the
+/// [`RtEnv`] so it is charged to the simulated pipeline — this is the
+/// "Allocator" component of the paper's Figure 3.
+pub trait Allocator: std::fmt::Debug {
+    /// Scheme name (`"libc"`, `"asan"`, `"rest"`).
+    fn name(&self) -> &'static str;
+
+    /// Allocates `size` user bytes; returns the user pointer, or 0 when
+    /// the arena is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Hardened allocators may report violations discovered during
+    /// bookkeeping (none in the current designs; the `Result` keeps the
+    /// trait uniform with [`Allocator::free`]).
+    fn malloc(&mut self, env: &mut RtEnv<'_>, size: u64) -> Result<u64, Violation>;
+
+    /// Frees the allocation at `ptr`.
+    ///
+    /// # Errors
+    ///
+    /// Hardened allocators report double/invalid frees. The plain
+    /// allocator silently corrupts its free list instead, as real libc
+    /// does — attack scenarios rely on this.
+    fn free(&mut self, env: &mut RtEnv<'_>, ptr: u64) -> Result<(), Violation>;
+
+    /// User size of the live allocation at `ptr`, if `ptr` is one.
+    fn usable_size(&self, ptr: u64) -> Option<u64>;
+
+    /// Counter snapshot.
+    fn stats(&self) -> &AllocStats;
+}
+
+/// Chunk lifecycle state stored in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChunkState {
+    Free = 0,
+    Live = 1,
+    Quarantined = 2,
+}
+
+/// Arena limit: 256 MiB of heap address space.
+pub(crate) const HEAP_LIMIT: u64 = 256 * 1024 * 1024;
+
+/// Shared arena: bump pointer plus segregated free bins keyed by total
+/// chunk size.
+#[derive(Debug)]
+pub(crate) struct Arena {
+    pub brk: u64,
+    bins: HashMap<u64, Vec<u64>>,
+}
+
+impl Arena {
+    pub fn new(base: u64) -> Arena {
+        Arena {
+            brk: base,
+            bins: HashMap::new(),
+        }
+    }
+
+    /// Pops a recycled chunk of exactly `total` bytes, if any.
+    pub fn pop(&mut self, total: u64) -> Option<u64> {
+        self.bins.get_mut(&total)?.pop()
+    }
+
+    /// Returns a chunk to its bin.
+    pub fn push(&mut self, chunk: u64, total: u64) {
+        self.bins.entry(total).or_default().push(chunk);
+    }
+
+    /// Bump-allocates `total` fresh bytes, or `None` past the arena
+    /// limit.
+    pub fn grow(&mut self, base: u64, total: u64) -> Option<u64> {
+        if self.brk + total > base + HEAP_LIMIT {
+            return None;
+        }
+        let chunk = self.brk;
+        self.brk += total;
+        Some(chunk)
+    }
+}
+
+/// FIFO quarantine holding freed chunks until the byte budget overflows.
+#[derive(Debug)]
+pub(crate) struct Quarantine {
+    fifo: VecDeque<(u64, u64)>, // (chunk, total)
+    bytes: u64,
+    budget: u64,
+}
+
+impl Quarantine {
+    pub fn new(budget: u64) -> Quarantine {
+        Quarantine {
+            fifo: VecDeque::new(),
+            bytes: 0,
+            budget,
+        }
+    }
+
+    /// Parks a chunk; returns the chunks evicted to stay within budget.
+    pub fn push(&mut self, chunk: u64, total: u64) -> Vec<(u64, u64)> {
+        self.fifo.push_back((chunk, total));
+        self.bytes += total;
+        let mut evicted = Vec::new();
+        while self.bytes > self.budget {
+            let (c, t) = self.fifo.pop_front().expect("bytes>0 implies entries");
+            self.bytes -= t;
+            evicted.push((c, t));
+        }
+        evicted
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+}
+
+/// Redzone size for a `user`-byte allocation, at `granule` alignment:
+/// scales with allocation size (ASan-style), clamped to [granule·max(16),
+/// 2048], rounded up to the granule.
+pub(crate) fn redzone_for(user: u64, granule: u64) -> u64 {
+    let base = (user / 4).clamp(16.max(granule), 2048);
+    base.div_ceil(granule) * granule
+}
+
+/// Rounds `v` up to a multiple of `granule`.
+pub(crate) fn round_up(v: u64, granule: u64) -> u64 {
+    v.div_ceil(granule.max(1)) * granule.max(1)
+}
+
+/// Book-keeping helpers shared by the hardened allocators: live-pointer
+/// map plus stats updates.
+#[derive(Debug, Default)]
+pub(crate) struct LiveMap {
+    /// user pointer -> (chunk base, total size, user size, left rz).
+    map: HashMap<u64, ChunkInfo>,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChunkInfo {
+    pub chunk: u64,
+    pub total: u64,
+    pub user: u64,
+    pub left_rz: u64,
+    pub state: ChunkState,
+}
+
+impl LiveMap {
+    pub fn insert(&mut self, ptr: u64, info: ChunkInfo) {
+        self.map.insert(ptr, info);
+    }
+
+    pub fn get(&self, ptr: u64) -> Option<&ChunkInfo> {
+        self.map.get(&ptr)
+    }
+
+    pub fn get_mut(&mut self, ptr: u64) -> Option<&mut ChunkInfo> {
+        self.map.get_mut(&ptr)
+    }
+
+
+}
+
+pub(crate) fn note_alloc(stats: &mut AllocStats, size: u64, reused: bool) {
+    stats.allocs += 1;
+    stats.bytes_requested += size;
+    stats.live_bytes += size;
+    stats.peak_live_bytes = stats.peak_live_bytes.max(stats.live_bytes);
+    if reused {
+        stats.reuses += 1;
+    }
+}
+
+pub(crate) fn note_free(stats: &mut AllocStats, size: u64) {
+    stats.frees += 1;
+    stats.live_bytes = stats.live_bytes.saturating_sub(size);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redzone_scales_and_clamps() {
+        assert_eq!(redzone_for(8, 8), 16); // min 16
+        assert_eq!(redzone_for(8, 64), 64); // min one token
+        assert_eq!(redzone_for(4096, 64), 1024); // size/4
+        assert_eq!(redzone_for(1 << 20, 64), 2048); // clamped
+        assert_eq!(redzone_for(100, 8), 32); // 25 -> 32
+        // Always granule multiples.
+        for user in [0u64, 1, 7, 100, 5000, 1 << 22] {
+            for g in [8u64, 16, 32, 64] {
+                assert_eq!(redzone_for(user, g) % g, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn arena_reuses_and_grows() {
+        let mut a = Arena::new(0x1000);
+        assert_eq!(a.pop(128), None);
+        let c1 = a.grow(0x1000, 128).unwrap();
+        assert_eq!(c1, 0x1000);
+        let c2 = a.grow(0x1000, 128).unwrap();
+        assert_eq!(c2, 0x1080);
+        a.push(c1, 128);
+        assert_eq!(a.pop(128), Some(c1));
+        assert_eq!(a.pop(128), None);
+    }
+
+    #[test]
+    fn arena_limit() {
+        let mut a = Arena::new(0);
+        assert!(a.grow(0, HEAP_LIMIT + 1).is_none());
+        assert!(a.grow(0, HEAP_LIMIT).is_some());
+        assert!(a.grow(0, 1).is_none());
+    }
+
+    #[test]
+    fn quarantine_fifo_evicts_oldest_over_budget() {
+        let mut q = Quarantine::new(100);
+        assert!(q.push(1, 40).is_empty());
+        assert!(q.push(2, 40).is_empty());
+        let ev = q.push(3, 40);
+        assert_eq!(ev, vec![(1, 40)]);
+        assert_eq!(q.bytes(), 80);
+        assert_eq!(q.len(), 2);
+        // A huge chunk flushes everything including itself if needed.
+        let ev = q.push(4, 500);
+        assert_eq!(ev.len(), 3);
+        assert_eq!(q.bytes(), 0);
+    }
+}

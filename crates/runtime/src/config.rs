@@ -1,0 +1,224 @@
+use rest_core::{Mode, TokenWidth};
+
+/// Which memory-safety scheme the runtime applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No protection: stock allocator, no instrumentation (the paper's
+    /// "unsafe" baseline).
+    Plain,
+    /// AddressSanitizer: shadow memory, instrumented accesses, hardened
+    /// allocator, intercepted libc calls.
+    Asan,
+    /// REST: token redzones, hardware detection, no access
+    /// instrumentation.
+    Rest,
+}
+
+impl Scheme {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Plain => "plain",
+            Scheme::Asan => "asan",
+            Scheme::Rest => "rest",
+        }
+    }
+}
+
+/// Full runtime configuration for one simulated run.
+///
+/// The constructors produce exactly the configurations evaluated in the
+/// paper: `plain`, `asan`, and the REST crosses of
+/// {secure, debug, perfect-hw} × {full, heap-only} × token width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtConfig {
+    /// Active scheme.
+    pub scheme: Scheme,
+    /// Protect stack frames (the "Full" defensive scope) as opposed to
+    /// heap only.
+    pub stack_protection: bool,
+    /// ASan only: instrument every program load/store with a shadow
+    /// check (overhead component 3 of Figure 3).
+    pub access_checks: bool,
+    /// ASan only: intercept libc data-movement calls and range-check
+    /// their arguments (overhead component 4).
+    pub intercept_libc: bool,
+    /// REST only: model *perfect* (zero-cost) REST hardware by replacing
+    /// every arm/disarm with one regular store (the paper's PerfectHW
+    /// limit study). Disables actual protection.
+    pub perfect_hw: bool,
+    /// Ablation: model a naive arm that writes the full token value
+    /// immediately (one store per 8 bytes of token width) instead of the
+    /// paper's lazy write-on-eviction design (§III-B).
+    pub naive_wide_arm: bool,
+    /// §V-C mitigation for redzone-jumping: sprinkle decoy tokens into
+    /// the gaps between heap chunks so strided scans that leap over
+    /// redzones still land on tokens.
+    pub sprinkle_tokens: bool,
+    /// §VIII REST-aware fast pool: recycled chunks stay armed in the
+    /// free pool; reuse disarms only the user area.
+    pub fast_pool_allocator: bool,
+    /// Token width for REST redzones.
+    pub token_width: TokenWidth,
+    /// Byte budget of the quarantine pool holding freed allocations.
+    pub quarantine_bytes: u64,
+    /// REST exception precision mode (secure/debug).
+    pub mode: Mode,
+}
+
+impl RtConfig {
+    /// Default quarantine budget. The paper inherits ASan's allocator;
+    /// we scale the default to our workload footprints.
+    pub const DEFAULT_QUARANTINE: u64 = 1 << 20;
+
+    /// The unprotected baseline.
+    pub fn plain() -> RtConfig {
+        RtConfig {
+            scheme: Scheme::Plain,
+            stack_protection: false,
+            access_checks: false,
+            intercept_libc: false,
+            perfect_hw: false,
+            naive_wide_arm: false,
+            sprinkle_tokens: false,
+            fast_pool_allocator: false,
+            token_width: TokenWidth::B64,
+            quarantine_bytes: Self::DEFAULT_QUARANTINE,
+            mode: Mode::Secure,
+        }
+    }
+
+    /// Full AddressSanitizer (all four overhead components enabled).
+    pub fn asan() -> RtConfig {
+        RtConfig {
+            scheme: Scheme::Asan,
+            stack_protection: true,
+            access_checks: true,
+            intercept_libc: true,
+            perfect_hw: false,
+            naive_wide_arm: false,
+            sprinkle_tokens: false,
+            fast_pool_allocator: false,
+            token_width: TokenWidth::B64,
+            quarantine_bytes: Self::DEFAULT_QUARANTINE,
+            mode: Mode::Secure,
+        }
+    }
+
+    /// REST in the given exception `mode`; `full` enables stack
+    /// protection in addition to heap protection.
+    pub fn rest(mode: Mode, full: bool) -> RtConfig {
+        RtConfig {
+            scheme: Scheme::Rest,
+            stack_protection: full,
+            access_checks: false,
+            intercept_libc: false,
+            perfect_hw: false,
+            naive_wide_arm: false,
+            sprinkle_tokens: false,
+            fast_pool_allocator: false,
+            token_width: TokenWidth::B64,
+            quarantine_bytes: Self::DEFAULT_QUARANTINE,
+            mode,
+        }
+    }
+
+    /// The PerfectHW limit study: REST software with every arm/disarm
+    /// replaced by one regular store on stock hardware.
+    pub fn rest_perfect(full: bool) -> RtConfig {
+        RtConfig {
+            perfect_hw: true,
+            ..RtConfig::rest(Mode::Secure, full)
+        }
+    }
+
+    /// Returns a copy with a different token width.
+    pub fn with_token_width(mut self, width: TokenWidth) -> RtConfig {
+        self.token_width = width;
+        self
+    }
+
+    /// Returns a copy with a different quarantine budget.
+    pub fn with_quarantine(mut self, bytes: u64) -> RtConfig {
+        self.quarantine_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with decoy-token sprinkling enabled (§V-C).
+    pub fn with_sprinkle(mut self) -> RtConfig {
+        self.sprinkle_tokens = true;
+        self
+    }
+
+    /// Returns a copy with the §VIII REST-aware fast pool enabled.
+    pub fn with_fast_pool(mut self) -> RtConfig {
+        self.fast_pool_allocator = true;
+        self
+    }
+
+    /// Short label used by the benchmark harness (e.g. `"rest-secure-full"`).
+    pub fn label(&self) -> String {
+        match self.scheme {
+            Scheme::Plain => "plain".to_string(),
+            Scheme::Asan => "asan".to_string(),
+            Scheme::Rest => {
+                let hw = if self.perfect_hw {
+                    "perfecthw".to_string()
+                } else {
+                    self.mode.to_string()
+                };
+                let scope = if self.stack_protection { "full" } else { "heap" };
+                format!("rest-{hw}-{scope}")
+            }
+        }
+    }
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig::plain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_match_paper_configurations() {
+        let p = RtConfig::plain();
+        assert!(!p.access_checks && !p.stack_protection);
+
+        let a = RtConfig::asan();
+        assert!(a.access_checks && a.intercept_libc && a.stack_protection);
+
+        let r = RtConfig::rest(Mode::Secure, true);
+        assert!(!r.access_checks && !r.intercept_libc);
+        assert!(r.stack_protection && !r.perfect_hw);
+
+        let rh = RtConfig::rest(Mode::Debug, false);
+        assert!(!rh.stack_protection);
+        assert_eq!(rh.mode, Mode::Debug);
+
+        let ph = RtConfig::rest_perfect(true);
+        assert!(ph.perfect_hw);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RtConfig::plain().label(), "plain");
+        assert_eq!(RtConfig::asan().label(), "asan");
+        assert_eq!(RtConfig::rest(Mode::Secure, true).label(), "rest-secure-full");
+        assert_eq!(RtConfig::rest(Mode::Debug, false).label(), "rest-debug-heap");
+        assert_eq!(RtConfig::rest_perfect(false).label(), "rest-perfecthw-heap");
+    }
+
+    #[test]
+    fn with_modifiers() {
+        let c = RtConfig::rest(Mode::Secure, true)
+            .with_token_width(TokenWidth::B16)
+            .with_quarantine(4096);
+        assert_eq!(c.token_width, TokenWidth::B16);
+        assert_eq!(c.quarantine_bytes, 4096);
+    }
+}

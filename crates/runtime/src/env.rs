@@ -1,0 +1,313 @@
+use rest_core::{ArmedSet, RestException, RestExceptionKind, Token, TokenWidth};
+use rest_isa::{GuestMemory, MemSize};
+
+use crate::layout::RUNTIME_PC_BASE;
+
+/// Scratch line used to charge the extra store beats of the
+/// naive-wide-arm ablation (outside every real data region).
+const NAIVE_ARM_SCRATCH: u64 = 0x3f00_0000;
+use crate::shadow;
+use crate::traffic::TrafficRecorder;
+use crate::violation::{AsanReport, Violation};
+
+/// The mutable machine context runtime services operate in.
+///
+/// Bundles the functional memory, the traffic recorder, and the
+/// architectural armed-set so allocators and libc models can perform
+/// *recorded, checked* guest-memory operations through one interface.
+#[derive(Debug)]
+pub struct RtEnv<'a> {
+    /// Functional guest memory.
+    pub mem: &'a mut GuestMemory,
+    /// Micro-op recorder for the timing pipeline.
+    pub rec: &'a mut TrafficRecorder,
+    /// Architectural armed-location set.
+    pub armed: &'a mut ArmedSet,
+    /// The system token.
+    pub token: &'a Token,
+    /// Check recorded accesses against the armed set (REST scheme with
+    /// real hardware).
+    pub check_rest: bool,
+    /// Check recorded accesses against shadow memory (ASan interception
+    /// paths).
+    pub check_shadow: bool,
+    /// PerfectHW limit study: arms/disarms degrade to single stores.
+    pub perfect_hw: bool,
+    /// Ablation: arms write the token value eagerly (w/8 stores) instead
+    /// of the paper's lazy write-on-eviction single-cycle arm.
+    pub naive_wide_arm: bool,
+}
+
+impl<'a> RtEnv<'a> {
+    /// Token width in force.
+    pub fn token_width(&self) -> TokenWidth {
+        self.token.width()
+    }
+
+    // --- unchecked (trusted, allocator-internal) recorded accesses ---
+
+    /// Recorded 8-byte load of allocator metadata.
+    pub fn load_u64(&mut self, addr: u64) -> u64 {
+        self.rec.load(addr, 8);
+        self.mem.read_u64(addr)
+    }
+
+    /// Recorded 8-byte store of allocator metadata.
+    pub fn store_u64(&mut self, addr: u64, val: u64) {
+        self.rec.store(addr, 8);
+        self.mem.write_u64(addr, val);
+    }
+
+    // --- checked (untrusted-range) recorded accesses ---
+
+    fn check(&mut self, addr: u64, size: u64) -> Result<(), Violation> {
+        if self.check_rest {
+            if let Some(slot) = self.armed.first_overlap(addr, size) {
+                return Err(Violation::Rest(RestException::new(
+                    RestExceptionKind::TokenLoad,
+                    slot,
+                    RUNTIME_PC_BASE,
+                    false,
+                )));
+            }
+        }
+        if self.check_shadow {
+            if let Err(kind) = shadow::classify_access(self.mem, addr, size) {
+                return Err(Violation::Asan(AsanReport {
+                    kind,
+                    addr,
+                    size,
+                    pc: RUNTIME_PC_BASE,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Recorded load through the active safety checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scheme's violation if `[addr, addr+size)` touches a
+    /// token slot (REST) or poisoned shadow (ASan interception).
+    pub fn checked_load(&mut self, addr: u64, size: MemSize) -> Result<u64, Violation> {
+        self.check(addr, size.bytes())?;
+        self.rec.load(addr, size.bytes());
+        Ok(self.mem.read_scalar(addr, size))
+    }
+
+    /// Recorded store through the active safety checks.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RtEnv::checked_load`], with `TokenStore` for REST.
+    pub fn checked_store(&mut self, addr: u64, val: u64, size: MemSize) -> Result<(), Violation> {
+        self.check(addr, size.bytes()).map_err(|v| match v {
+            Violation::Rest(e) => {
+                Violation::Rest(RestException::new(RestExceptionKind::TokenStore, e.addr, e.pc, e.precise))
+            }
+            other => other,
+        })?;
+        self.rec.store(addr, size.bytes());
+        self.mem.write_scalar(addr, val, size);
+        Ok(())
+    }
+
+    // --- token operations ---
+
+    /// Arms the token slot at `addr`: records the `arm`, writes the token
+    /// bytes into functional memory, and updates the armed set. Under
+    /// PerfectHW this degrades to one recorded 8-byte store.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned `addr` — the allocator always arms aligned
+    /// slots; guest-code misalignment is handled by the emulator.
+    pub fn arm_slot(&mut self, addr: u64) {
+        let w = self.token_width().bytes();
+        if self.perfect_hw {
+            self.rec.store(addr, 8);
+            return;
+        }
+        for line in (addr & !63..addr + w).step_by(64) {
+            self.mem.snapshot_line_pre_image(line);
+        }
+        self.rec.arm(addr, w);
+        if self.naive_wide_arm {
+            // Eager value write (the naive wide-store arm the paper's
+            // lazy design avoids): charge the extra w/8−1 store beats as
+            // store-port/SQ occupancy against a scratch line, so the
+            // cost is modelled without perturbing token-bit state.
+            for _ in 1..w / 8 {
+                self.rec.store(NAIVE_ARM_SCRATCH, 8);
+            }
+        }
+        self.armed
+            .arm(addr)
+            .unwrap_or_else(|e| panic!("runtime armed misaligned slot {addr:#x}: {e}"));
+        self.mem.write_bytes(addr, self.token.bytes());
+    }
+
+    /// Disarms the token slot at `addr`, zeroing it (the hardware zeroes
+    /// the slot as part of the disarm). Under PerfectHW this degrades to
+    /// one recorded 8-byte store that still zeroes the slot functionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not armed — the allocator only disarms slots
+    /// it armed, so this indicates an allocator bug, not a guest error.
+    pub fn disarm_slot(&mut self, addr: u64) {
+        let w = self.token_width().bytes();
+        if self.perfect_hw {
+            self.rec.store(addr, 8);
+            self.mem.fill(addr, w, 0);
+            return;
+        }
+        for line in (addr & !63..addr + w).step_by(64) {
+            self.mem.snapshot_line_pre_image(line);
+        }
+        self.rec.disarm(addr, w);
+        if self.naive_wide_arm {
+            for _ in 1..w / 8 {
+                self.rec.store(NAIVE_ARM_SCRATCH, 8);
+            }
+        }
+        self.armed
+            .disarm(addr)
+            .unwrap_or_else(|e| panic!("runtime disarmed bad slot {addr:#x}: {e}"));
+        self.mem.fill(addr, w, 0);
+    }
+
+    /// Arms every token slot in `[addr, addr+len)`. Both ends must be
+    /// token-aligned.
+    pub fn arm_range(&mut self, addr: u64, len: u64) {
+        let w = self.token_width().bytes();
+        debug_assert_eq!(addr % w, 0, "arm_range base misaligned");
+        debug_assert_eq!(len % w, 0, "arm_range length misaligned");
+        let mut a = addr;
+        while a < addr + len {
+            self.arm_slot(a);
+            a += w;
+        }
+    }
+
+    /// Disarms (and zeroes) every token slot in `[addr, addr+len)`.
+    pub fn disarm_range(&mut self, addr: u64, len: u64) {
+        let w = self.token_width().bytes();
+        debug_assert_eq!(addr % w, 0, "disarm_range base misaligned");
+        debug_assert_eq!(len % w, 0, "disarm_range length misaligned");
+        let mut a = addr;
+        while a < addr + len {
+            self.disarm_slot(a);
+            a += w;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        mem: GuestMemory,
+        rec: TrafficRecorder,
+        armed: ArmedSet,
+        token: Token,
+    }
+
+    impl Fixture {
+        fn new() -> Fixture {
+            let mut rng = StdRng::seed_from_u64(11);
+            let token = Token::generate(TokenWidth::B64, &mut rng);
+            Fixture {
+                mem: GuestMemory::new(),
+                rec: TrafficRecorder::new(),
+                armed: ArmedSet::new(TokenWidth::B64),
+                token,
+            }
+        }
+
+        fn env(&mut self, check_rest: bool, perfect_hw: bool) -> RtEnv<'_> {
+            RtEnv {
+                mem: &mut self.mem,
+                rec: &mut self.rec,
+                armed: &mut self.armed,
+                token: &self.token,
+                check_rest,
+                check_shadow: false,
+                perfect_hw,
+                naive_wide_arm: false,
+            }
+        }
+    }
+
+    #[test]
+    fn arm_slot_writes_token_and_updates_set() {
+        let mut f = Fixture::new();
+        let mut env = f.env(true, false);
+        env.arm_slot(0x4000_0000);
+        assert!(env.armed.is_armed(0x4000_0000));
+        assert!(env.mem.bytes_equal(0x4000_0000, env.token.bytes()));
+        let _ = env;
+        let ops = f.rec.drain();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].kind, rest_isa::OpKind::Arm);
+    }
+
+    #[test]
+    fn checked_access_faults_on_armed_slot() {
+        let mut f = Fixture::new();
+        let mut env = f.env(true, false);
+        env.arm_slot(0x4000_0040);
+        let err = env.checked_load(0x4000_0040, MemSize::B8).unwrap_err();
+        assert!(matches!(err, Violation::Rest(e) if e.kind == RestExceptionKind::TokenLoad));
+        let err = env
+            .checked_store(0x4000_0078, 1, MemSize::B8)
+            .unwrap_err();
+        assert!(matches!(err, Violation::Rest(e) if e.kind == RestExceptionKind::TokenStore));
+        // Adjacent unarmed memory is fine.
+        assert!(env.checked_load(0x4000_0080, MemSize::B8).is_ok());
+    }
+
+    #[test]
+    fn disarm_zeroes_slot() {
+        let mut f = Fixture::new();
+        let mut env = f.env(true, false);
+        env.arm_slot(0x4000_0000);
+        env.disarm_slot(0x4000_0000);
+        assert!(!env.armed.is_armed(0x4000_0000));
+        assert!(env.mem.bytes_equal(0x4000_0000, &[0u8; 64]));
+        assert!(env.checked_load(0x4000_0000, MemSize::B8).is_ok());
+    }
+
+    #[test]
+    fn perfect_hw_degrades_to_single_stores_without_protection() {
+        let mut f = Fixture::new();
+        let mut env = f.env(true, true);
+        env.arm_slot(0x4000_0000);
+        assert!(!env.armed.is_armed(0x4000_0000));
+        assert!(env.checked_load(0x4000_0000, MemSize::B8).is_ok());
+        env.disarm_slot(0x4000_0000);
+        let _ = env;
+        let ops = f.rec.drain();
+        // arm -> store, checked_load -> load, disarm -> store.
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].kind, rest_isa::OpKind::Store);
+        assert_eq!(ops[1].kind, rest_isa::OpKind::Load);
+        assert_eq!(ops[2].kind, rest_isa::OpKind::Store);
+    }
+
+    #[test]
+    fn range_helpers_cover_every_slot() {
+        let mut f = Fixture::new();
+        let mut env = f.env(true, false);
+        env.arm_range(0x4000_0000, 256);
+        assert_eq!(env.armed.armed_count(), 4);
+        env.disarm_range(0x4000_0000, 256);
+        assert_eq!(env.armed.armed_count(), 0);
+        let _ = env;
+        assert_eq!(f.rec.drain().len(), 8);
+    }
+}

@@ -1,0 +1,47 @@
+//! Guest runtime for the REST simulator: heap allocators, shadow memory,
+//! stack-protection passes, and the `ecall` service layer.
+//!
+//! The paper's software contribution (§IV) is an AddressSanitizer-derived
+//! stack: a hardened heap allocator whose redzones are REST tokens
+//! instead of shadow-memory poison, plus compiler instrumentation for
+//! stack frames. This crate implements all three schemes side by side so
+//! every figure's baselines come from the same machinery:
+//!
+//! * [`LibcAllocator`] — the plain, performance-first baseline (paper's
+//!   "unsafe" binaries with the stock libc allocator),
+//! * [`AsanAllocator`] + [`shadow`] — the ASan model: shadow-memory
+//!   poisoning, redzones, quarantine, per-access checks
+//!   and libc-call interception (the paper's four overhead components of
+//!   Figure 3),
+//! * [`RestAllocator`] — the REST allocator: token redzones, quarantined
+//!   frees filled with tokens, and the relaxed invariant that free-pool
+//!   chunks are *zeroed* rather than blacklisted (§IV-A),
+//! * [`FrameGuard`] — the stack-protection pass, emitting either
+//!   shadow-poisoning stores (ASan) or `arm`/`disarm` instructions (REST)
+//!   at function prologues/epilogues,
+//! * [`Runtime`] — the `ecall` dispatcher gluing it all to the emulator,
+//!   including the `memcpy`/`memset` models that ASan intercepts.
+//!
+//! All runtime work is *recorded* as dynamic micro-ops through a
+//! [`TrafficRecorder`], so every metadata store, shadow poke, and token
+//! arm flows through the simulated pipeline and caches and shows up in
+//! the measured overhead, exactly as in the paper's evaluation.
+
+pub mod alloc;
+mod config;
+mod env;
+mod layout;
+mod services;
+pub mod shadow;
+mod stackguard;
+mod traffic;
+mod violation;
+
+pub use alloc::{AllocStats, Allocator, AsanAllocator, LibcAllocator, RestAllocator};
+pub use config::{RtConfig, Scheme};
+pub use env::RtEnv;
+pub use layout::*;
+pub use services::{EcallOutcome, Runtime};
+pub use stackguard::{FrameGuard, FrameLayout, StackScheme};
+pub use traffic::TrafficRecorder;
+pub use violation::{AsanReport, AsanReportKind, Violation};

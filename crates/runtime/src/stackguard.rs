@@ -1,0 +1,345 @@
+use rest_core::TokenWidth;
+use rest_isa::{Component, ProgramBuilder, Reg};
+
+use crate::alloc::redzone_for;
+use crate::layout::SHADOW_BASE;
+use crate::shadow::{POISON_STACK_LEFT, POISON_STACK_RIGHT};
+
+/// Stack-protection flavour applied at function prologues/epilogues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackScheme {
+    /// No stack hardening (plain builds, and REST/ASan "heap only").
+    None,
+    /// ASan: poison shadow of frame redzones in the prologue, unpoison in
+    /// the epilogue (the paper's overhead component 2, "stack frame
+    /// setup").
+    Asan,
+    /// REST: `arm` redzones in the prologue, `disarm` in the epilogue
+    /// (§IV-A, Figure 6A).
+    Rest,
+}
+
+/// One protected buffer inside a laid-out frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferSlot {
+    /// Offset of the buffer's first byte from the post-prologue SP.
+    pub offset: u64,
+    /// Requested buffer size in bytes.
+    pub size: u64,
+    /// Padding after the buffer up to the trailing redzone (the §V-C
+    /// false-negative window).
+    pub padding: u64,
+}
+
+/// Computed stack-frame layout: buffer placement plus redzone positions.
+#[derive(Debug, Clone)]
+pub struct FrameLayout {
+    /// Total frame size (SP is decremented by this much).
+    pub frame_size: u64,
+    /// Locations of the protected buffers, in declaration order.
+    pub buffers: Vec<BufferSlot>,
+    /// `(offset, len)` of each redzone, relative to the post-prologue SP.
+    pub redzones: Vec<(u64, u64)>,
+    /// Offset of the unprotected locals area (always at the frame base).
+    pub locals_offset: u64,
+}
+
+/// The stack-protection pass.
+///
+/// Given the buffer sizes a function declares, [`FrameGuard::layout`]
+/// computes a frame with redzones bracketing each vulnerable buffer, and
+/// [`FrameGuard::emit_prologue`] / [`FrameGuard::emit_epilogue`] emit the
+/// hardening code — `arm`/`disarm` for REST, shadow poisoning stores for
+/// ASan, nothing for plain builds. Scratch registers `tp` and `t6` are
+/// reserved for instrumentation; `gp` must hold [`SHADOW_BASE`] (set up
+/// by [`FrameGuard::emit_startup`]).
+///
+/// # Example
+///
+/// ```
+/// use rest_isa::ProgramBuilder;
+/// use rest_core::TokenWidth;
+/// use rest_runtime::{FrameGuard, StackScheme};
+///
+/// let guard = FrameGuard::new(StackScheme::Rest, TokenWidth::B64);
+/// let layout = guard.layout(&[16], 32);
+/// let mut p = ProgramBuilder::new();
+/// guard.emit_prologue(&mut p, &layout);
+/// guard.emit_epilogue(&mut p, &layout);
+/// assert!(p.len() > 2, "prologue/epilogue emit arm/disarm code");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FrameGuard {
+    scheme: StackScheme,
+    width: TokenWidth,
+}
+
+impl FrameGuard {
+    /// Creates a pass for `scheme`; `width` governs REST redzone
+    /// alignment (ASan uses its 8-byte shadow granule).
+    pub fn new(scheme: StackScheme, width: TokenWidth) -> FrameGuard {
+        FrameGuard { scheme, width }
+    }
+
+    /// The active scheme.
+    pub fn scheme(&self) -> StackScheme {
+        self.scheme
+    }
+
+    fn granule(&self) -> u64 {
+        match self.scheme {
+            StackScheme::None => 8,
+            StackScheme::Asan => 8,
+            StackScheme::Rest => self.width.bytes(),
+        }
+    }
+
+    /// Emits process-startup code: SP, and the shadow base in `gp` for
+    /// ASan instrumentation. Call once at the program entry.
+    pub fn emit_startup(&self, p: &mut ProgramBuilder) {
+        p.li(Reg::SP, crate::layout::STACK_TOP as i64);
+        p.li(Reg::GP, SHADOW_BASE as i64);
+    }
+
+    /// Computes the frame layout for a function with the given protected
+    /// buffer sizes plus `locals` bytes of unprotected locals.
+    pub fn layout(&self, buffer_sizes: &[u64], locals: u64) -> FrameLayout {
+        let g = self.granule();
+        let mut off = round(locals, 16); // locals at the frame base
+        let mut buffers = Vec::new();
+        let mut redzones = Vec::new();
+        for &size in buffer_sizes {
+            if self.scheme == StackScheme::None {
+                let slot = round(size.max(1), 8);
+                buffers.push(BufferSlot {
+                    offset: off,
+                    size,
+                    padding: slot - size,
+                });
+                off += slot;
+            } else {
+                let rz = redzone_for(size, g);
+                // Redzones must sit at granule-aligned offsets (token
+                // alignment under REST), whatever the locals size was.
+                off = round(off, g);
+                redzones.push((off, rz));
+                off += rz;
+                let padded = round(size.max(1), g);
+                buffers.push(BufferSlot {
+                    offset: off,
+                    size,
+                    padding: padded - size,
+                });
+                off += padded;
+                redzones.push((off, rz));
+                off += rz;
+            }
+        }
+        // Keep SP aligned to the protection granule so redzone addresses
+        // are token-aligned under REST.
+        let frame_size = round(off.max(16), self.granule().max(16));
+        FrameLayout {
+            frame_size,
+            buffers,
+            redzones,
+            locals_offset: 0,
+        }
+    }
+
+    /// Emits the frame prologue: the SP adjustment (application work)
+    /// followed by redzone hardening (attributed to
+    /// [`Component::StackProtect`]).
+    pub fn emit_prologue(&self, p: &mut ProgramBuilder, l: &FrameLayout) {
+        p.addi(Reg::SP, Reg::SP, -(l.frame_size as i64));
+        match self.scheme {
+            StackScheme::None => {}
+            StackScheme::Rest => {
+                let prev = p.current_component();
+                p.set_component(Component::StackProtect);
+                let w = self.width.bytes();
+                for &(off, len) in &l.redzones {
+                    let mut a = off;
+                    while a < off + len {
+                        p.addi(Reg::TP, Reg::SP, a as i64);
+                        p.arm(Reg::TP);
+                        a += w;
+                    }
+                }
+                p.set_component(prev);
+            }
+            StackScheme::Asan => {
+                let prev = p.current_component();
+                p.set_component(Component::StackProtect);
+                for (i, &(off, len)) in l.redzones.iter().enumerate() {
+                    let poison = if i % 2 == 0 {
+                        POISON_STACK_LEFT
+                    } else {
+                        POISON_STACK_RIGHT
+                    };
+                    self.emit_shadow_fill(p, off, len, poison_pattern(poison));
+                }
+                p.set_component(prev);
+            }
+        }
+    }
+
+    /// Emits the frame epilogue: redzone cleanup then the SP restore.
+    pub fn emit_epilogue(&self, p: &mut ProgramBuilder, l: &FrameLayout) {
+        match self.scheme {
+            StackScheme::None => {}
+            StackScheme::Rest => {
+                let prev = p.current_component();
+                p.set_component(Component::StackProtect);
+                let w = self.width.bytes();
+                for &(off, len) in &l.redzones {
+                    let mut a = off;
+                    while a < off + len {
+                        p.addi(Reg::TP, Reg::SP, a as i64);
+                        p.disarm(Reg::TP);
+                        a += w;
+                    }
+                }
+                p.set_component(prev);
+            }
+            StackScheme::Asan => {
+                let prev = p.current_component();
+                p.set_component(Component::StackProtect);
+                for &(off, len) in &l.redzones {
+                    self.emit_shadow_fill(p, off, len, 0);
+                }
+                p.set_component(prev);
+            }
+        }
+        p.addi(Reg::SP, Reg::SP, l.frame_size as i64);
+    }
+
+    /// Emits code writing `pattern` over the shadow of
+    /// `[sp+off, sp+off+len)` using 8-byte stores (each covering 64 app
+    /// bytes).
+    fn emit_shadow_fill(&self, p: &mut ProgramBuilder, off: u64, len: u64, pattern: u64) {
+        // tp = shadow(sp + off) = gp + (sp + off) >> 3
+        p.addi(Reg::TP, Reg::SP, off as i64);
+        p.srli(Reg::TP, Reg::TP, 3);
+        p.add(Reg::TP, Reg::TP, Reg::GP);
+        p.li(Reg::T6, pattern as i64);
+        let shadow_bytes = len.div_ceil(8);
+        let mut s = 0u64;
+        while s < shadow_bytes {
+            let w = (shadow_bytes - s).min(8);
+            p.store(
+                Reg::T6,
+                Reg::TP,
+                s as i64,
+                match w {
+                    8 => rest_isa::MemSize::B8,
+                    4..=7 => rest_isa::MemSize::B4,
+                    2..=3 => rest_isa::MemSize::B2,
+                    _ => rest_isa::MemSize::B1,
+                },
+            );
+            s += w;
+        }
+    }
+}
+
+fn poison_pattern(b: u8) -> u64 {
+    u64::from_le_bytes([b; 8])
+}
+
+fn round(v: u64, g: u64) -> u64 {
+    v.div_ceil(g) * g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rest_isa::Inst;
+
+    #[test]
+    fn plain_layout_has_no_redzones() {
+        let g = FrameGuard::new(StackScheme::None, TokenWidth::B64);
+        let l = g.layout(&[16, 100], 24);
+        assert!(l.redzones.is_empty());
+        assert_eq!(l.buffers.len(), 2);
+        assert_eq!(l.buffers[0].offset, 32); // locals rounded to 16
+        assert_eq!(l.frame_size % 16, 0);
+    }
+
+    #[test]
+    fn rest_layout_brackets_each_buffer_with_aligned_redzones() {
+        let g = FrameGuard::new(StackScheme::Rest, TokenWidth::B64);
+        let l = g.layout(&[16], 0);
+        assert_eq!(l.redzones.len(), 2);
+        for &(off, len) in &l.redzones {
+            assert_eq!(off % 64, 0, "redzone offset must be token-aligned");
+            assert_eq!(len % 64, 0, "redzone length must be token multiple");
+        }
+        let b = l.buffers[0];
+        assert_eq!(b.offset, l.redzones[0].0 + l.redzones[0].1);
+        assert_eq!(b.padding, 64 - 16);
+        assert_eq!(l.frame_size % 64, 0);
+    }
+
+    #[test]
+    fn rest_prologue_emits_one_arm_per_redzone_slot() {
+        let g = FrameGuard::new(StackScheme::Rest, TokenWidth::B64);
+        let l = g.layout(&[16], 0);
+        let mut p = ProgramBuilder::new();
+        g.emit_prologue(&mut p, &l);
+        let arms = p_count(&p, |i| matches!(i, Inst::Arm { .. }));
+        assert_eq!(arms, 2); // two 64 B redzones, one slot each
+        g.emit_epilogue(&mut p, &l);
+        let disarms = p_count(&p, |i| matches!(i, Inst::Disarm { .. }));
+        assert_eq!(disarms, 2);
+    }
+
+    #[test]
+    fn narrow_tokens_mean_more_arms() {
+        let g = FrameGuard::new(StackScheme::Rest, TokenWidth::B16);
+        let l = g.layout(&[16], 0);
+        let mut p = ProgramBuilder::new();
+        g.emit_prologue(&mut p, &l);
+        let arms = p_count(&p, |i| matches!(i, Inst::Arm { .. }));
+        // 16 B redzones at 16 B tokens: one arm per redzone.
+        assert_eq!(arms, 2);
+        // But the false-negative pad shrinks to zero for 16 B buffers.
+        assert_eq!(l.buffers[0].padding, 0);
+    }
+
+    #[test]
+    fn asan_prologue_emits_shadow_stores_not_arms() {
+        let g = FrameGuard::new(StackScheme::Asan, TokenWidth::B64);
+        let l = g.layout(&[16], 0);
+        let mut p = ProgramBuilder::new();
+        g.emit_prologue(&mut p, &l);
+        assert_eq!(p_count(&p, |i| matches!(i, Inst::Arm { .. })), 0);
+        assert!(p_count(&p, |i| matches!(i, Inst::Store { .. })) >= 2);
+    }
+
+    #[test]
+    fn hardening_code_is_attributed_to_stack_protect() {
+        let g = FrameGuard::new(StackScheme::Rest, TokenWidth::B64);
+        let l = g.layout(&[16], 0);
+        let mut p = ProgramBuilder::new();
+        g.emit_prologue(&mut p, &l);
+        p.halt();
+        let prog = p.build();
+        // First instruction: SP adjust = App; the arm code = StackProtect;
+        // trailing halt = App again (component restored).
+        assert_eq!(prog.component_at(prog.entry()), Component::App);
+        let mut saw_protect = false;
+        for i in 0..prog.len() as u64 {
+            let pc = prog.entry() + i * 4;
+            if prog.component_at(pc) == Component::StackProtect {
+                saw_protect = true;
+            }
+        }
+        assert!(saw_protect);
+        let last = prog.entry() + (prog.len() as u64 - 1) * 4;
+        assert_eq!(prog.component_at(last), Component::App);
+    }
+
+    fn p_count(p: &ProgramBuilder, f: impl Fn(&Inst) -> bool) -> usize {
+        p.instructions().iter().filter(|i| f(i)).count()
+    }
+}

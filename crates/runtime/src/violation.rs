@@ -1,0 +1,123 @@
+use std::error::Error;
+use std::fmt;
+
+use rest_core::RestException;
+
+/// Class of an ASan-detected violation, derived from the poison value in
+/// the shadow byte the faulting access mapped to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AsanReportKind {
+    /// Access landed in a heap redzone (out-of-bounds heap access).
+    HeapRedzone,
+    /// Access landed in freed (quarantined) memory — use after free.
+    UseAfterFree,
+    /// Access landed in a stack redzone (out-of-bounds stack access).
+    StackRedzone,
+    /// `free` of a pointer that is not a live allocation (double free or
+    /// invalid free), detected by the allocator.
+    BadFree,
+    /// Access landed in a partially-addressable granule beyond the valid
+    /// prefix.
+    PartialGranule,
+}
+
+impl AsanReportKind {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AsanReportKind::HeapRedzone => "heap-buffer-overflow",
+            AsanReportKind::UseAfterFree => "heap-use-after-free",
+            AsanReportKind::StackRedzone => "stack-buffer-overflow",
+            AsanReportKind::BadFree => "bad-free",
+            AsanReportKind::PartialGranule => "partial-granule-overflow",
+        }
+    }
+}
+
+impl fmt::Display for AsanReportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An AddressSanitizer error report (the software analogue of a REST
+/// exception — but produced by same-privilege instrumentation, which is
+/// why §V-C argues it is weaker as a *security* mechanism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsanReport {
+    /// Violation class.
+    pub kind: AsanReportKind,
+    /// Faulting data address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u64,
+    /// PC of the faulting instruction (0 when raised inside an
+    /// intercepted libc call).
+    pub pc: u64,
+}
+
+impl fmt::Display for AsanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ASan: {} on address {:#x} (size {}, pc {:#x})",
+            self.kind, self.addr, self.size, self.pc
+        )
+    }
+}
+
+impl Error for AsanReport {}
+
+/// A memory-safety violation detected by whichever scheme is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// Hardware-detected REST exception.
+    Rest(RestException),
+    /// Software-detected ASan report.
+    Asan(AsanReport),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Rest(e) => e.fmt(f),
+            Violation::Asan(r) => r.fmt(f),
+        }
+    }
+}
+
+impl Error for Violation {}
+
+impl From<RestException> for Violation {
+    fn from(e: RestException) -> Violation {
+        Violation::Rest(e)
+    }
+}
+
+impl From<AsanReport> for Violation {
+    fn from(r: AsanReport) -> Violation {
+        Violation::Asan(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rest_core::RestExceptionKind;
+
+    #[test]
+    fn display_formats() {
+        let v: Violation = AsanReport {
+            kind: AsanReportKind::UseAfterFree,
+            addr: 0x4000_0040,
+            size: 8,
+            pc: 0x1_0010,
+        }
+        .into();
+        assert!(v.to_string().contains("heap-use-after-free"));
+
+        let v: Violation =
+            RestException::new(RestExceptionKind::TokenStore, 0x40, 0x10, true).into();
+        assert!(v.to_string().contains("token-store"));
+    }
+}

@@ -1,0 +1,94 @@
+//! `astar`-like kernel: pathfinding stand-in — repeated best-first grid
+//! searches, each with its own node-pool and distance-array allocations.
+//!
+//! Profile: medium allocation rate (a pair of allocations and frees per
+//! search), data-dependent neighbour expansion over a cost grid.
+
+use rest_isa::{MemSize, Program, Reg};
+
+use crate::common::{Ctx, WorkloadParams};
+
+const GRID: i64 = 64 * 64; // cost bytes
+const EXPANSIONS: i64 = 2800;
+
+pub fn build(params: &WorkloadParams) -> Program {
+    let searches = params.pick(3, 16);
+    let mut c = Ctx::new(params);
+
+    // Cost grid (1 long-lived allocation).
+    c.malloc_imm(GRID);
+    c.p.mv(Reg::S0, Reg::A0);
+    c.p.li(Reg::S6, 0xa57a_4242);
+    c.p.li(Reg::S2, 0);
+    let fill = c.p.label_here();
+    c.lcg(Reg::S6, Reg::T0);
+    c.p.add(Reg::T1, Reg::S0, Reg::S2);
+    c.p.sd(Reg::S6, Reg::T1, 0);
+    c.p.addi(Reg::S2, Reg::S2, 8);
+    c.p.li(Reg::T0, GRID);
+    c.p.blt(Reg::S2, Reg::T0, fill);
+
+    let main = c.loop_head(Reg::S4, searches);
+    {
+        // Per-search allocations: a distance window + open list. (Small
+        // relative to search compute, as in the original.)
+        c.malloc_imm(1024 * 2);
+        c.p.mv(Reg::S1, Reg::A0); // dist (u16 per cell, windowed)
+        c.malloc_imm(256 * 8);
+        c.p.mv(Reg::S3, Reg::A0); // open list
+        // Start cell from the search seed.
+        c.lcg(Reg::S6, Reg::T0);
+        c.p.andi(Reg::S7, Reg::S6, GRID - 1); // current cell
+        c.p.li(Reg::S9, 0); // open-list cursor
+        // Expansion loop.
+        c.p.li(Reg::S5, EXPANSIONS);
+        let expand = c.p.label_here();
+        {
+            // Read the cell's cost and relax 4 neighbours.
+            c.p.add(Reg::T1, Reg::S0, Reg::S7);
+            c.p.load(Reg::S8, Reg::T1, 0, MemSize::B1);
+            for delta in [1i64, -1, 64, -64] {
+                c.p.addi(Reg::T2, Reg::S7, delta);
+                c.p.andi(Reg::T2, Reg::T2, GRID - 1);
+                // dist[n & 1023] += cost (windowed relaxation stand-in).
+                c.p.andi(Reg::T3, Reg::T2, 1023);
+                c.p.slli(Reg::T3, Reg::T3, 1);
+                c.p.add(Reg::T3, Reg::S1, Reg::T3);
+                c.p.load(Reg::T4, Reg::T3, 0, MemSize::B2);
+                c.p.add(Reg::T4, Reg::T4, Reg::S8);
+                c.p.store(Reg::T4, Reg::T3, 0, MemSize::B2);
+            }
+            // Push the best neighbour on the open list and move there.
+            c.p.andi(Reg::T1, Reg::S9, 255);
+            c.p.slli(Reg::T1, Reg::T1, 3);
+            c.p.add(Reg::T1, Reg::S3, Reg::T1);
+            c.p.sd(Reg::S7, Reg::T1, 0);
+            c.p.addi(Reg::S9, Reg::S9, 1);
+            // Next cell: data-dependent walk.
+            c.p.add(Reg::S7, Reg::S7, Reg::S8);
+            c.p.addi(Reg::S7, Reg::S7, 17);
+            c.p.andi(Reg::S7, Reg::S7, GRID - 1);
+        }
+        c.p.addi(Reg::S5, Reg::S5, -1);
+        c.p.bne(Reg::S5, Reg::ZERO, expand);
+        c.free_reg(Reg::S1);
+        c.free_reg(Reg::S3);
+    }
+    c.loop_end(Reg::S4, main);
+
+    c.free_reg(Reg::S0);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::common::testutil::calibrate;
+    use crate::Workload;
+
+    #[test]
+    fn calibration() {
+        // 3 searches × 2800 expansions × ~31 insts ≈ 260 k; 1 + 2×3 = 7
+        // allocations (medium class).
+        calibrate(Workload::Astar, 150_000..400_000, 6..9);
+    }
+}

@@ -1,0 +1,105 @@
+//! `bzip2`-like kernel: block-compression stand-in — per-block buffer
+//! allocation, byte-granular run-length/frequency compression with a
+//! stack-resident frequency table, and libc data movement.
+//!
+//! Profile: a few allocations per block (low rate overall), streaming
+//! byte accesses, stack buffer in the hot function, `memset`/`memcpy`
+//! through the runtime.
+
+use rest_isa::{EcallNum, MemSize, Program, Reg};
+
+use crate::common::{Ctx, WorkloadParams};
+
+pub fn build(params: &WorkloadParams) -> Program {
+    let block = params.pick(4096, 16384);
+    let blocks = params.pick(2, 6);
+    let mut c = Ctx::new(params);
+
+    c.p.li(Reg::S6, 0xb21b_00b5); // data generator state
+
+    let compress = c.p.new_label();
+    let after = c.p.new_label();
+
+    let main = c.loop_head(Reg::S4, blocks);
+    {
+        // Source and destination buffers for this block.
+        c.malloc_imm(block);
+        c.p.mv(Reg::S0, Reg::A0);
+        c.malloc_imm(2 * block);
+        c.p.mv(Reg::S1, Reg::A0);
+        // Fill the source with pseudo-random bytes, 8 at a time.
+        c.p.li(Reg::S2, 0);
+        c.p.li(Reg::S5, block);
+        let fill = c.p.label_here();
+        c.lcg(Reg::S6, Reg::T0);
+        c.p.add(Reg::T1, Reg::S0, Reg::S2);
+        c.p.sd(Reg::S6, Reg::T1, 0);
+        c.p.addi(Reg::S2, Reg::S2, 8);
+        c.p.blt(Reg::S2, Reg::S5, fill);
+        // Compress.
+        c.p.call(compress);
+        // Shuffle the first 256 output bytes back over the source
+        // (models bzip2's block reuse; exercises memcpy interception).
+        c.memcpy(Reg::S0, Reg::S1, 256);
+        c.free_reg(Reg::S0);
+        c.free_reg(Reg::S1);
+    }
+    c.loop_end(Reg::S4, main);
+    c.p.j(after);
+
+    // fn compress(src = S0, dst = S1, len = S5)
+    c.p.symbol("compress");
+    c.p.bind(compress);
+    let layout = c.guard.layout(&[256], 32);
+    let boff = layout.buffers[0].offset as i64;
+    c.guard.emit_prologue(&mut c.p, &layout);
+    c.p.sd(Reg::RA, Reg::SP, 0);
+    // Zero the frequency table (stack buffer) via runtime memset.
+    c.p.addi(Reg::A0, Reg::SP, boff);
+    c.p.li(Reg::A1, 0);
+    c.p.li(Reg::A2, 256);
+    c.p.ecall(EcallNum::Memset);
+    // Byte loop: frequency count + run-length emit.
+    c.p.li(Reg::S2, 0); // src index
+    c.p.li(Reg::S3, 0); // dst index
+    c.p.li(Reg::S9, -1); // prev byte
+    let byte = c.p.label_here();
+    c.p.add(Reg::T1, Reg::S0, Reg::S2);
+    c.p.load(Reg::T2, Reg::T1, 0, MemSize::B1);
+    // freq[byte & 63] += 1 (4-byte counters on the stack).
+    c.p.andi(Reg::T3, Reg::T2, 63);
+    c.p.slli(Reg::T3, Reg::T3, 2);
+    c.p.addi(Reg::T4, Reg::SP, boff);
+    c.p.add(Reg::T4, Reg::T4, Reg::T3);
+    c.p.load(Reg::T5, Reg::T4, 0, MemSize::B4);
+    c.p.addi(Reg::T5, Reg::T5, 1);
+    c.p.store(Reg::T5, Reg::T4, 0, MemSize::B4);
+    // Emit on run break.
+    let same = c.p.new_label();
+    c.p.beq(Reg::T2, Reg::S9, same);
+    c.p.add(Reg::T4, Reg::S1, Reg::S3);
+    c.p.store(Reg::T2, Reg::T4, 0, MemSize::B1);
+    c.p.addi(Reg::S3, Reg::S3, 1);
+    c.p.mv(Reg::S9, Reg::T2);
+    c.p.bind(same);
+    c.p.addi(Reg::S2, Reg::S2, 1);
+    c.p.blt(Reg::S2, Reg::S5, byte);
+    c.p.ld(Reg::RA, Reg::SP, 0);
+    c.guard.emit_epilogue(&mut c.p, &layout);
+    c.p.ret();
+
+    c.p.bind(after);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::common::testutil::calibrate;
+    use crate::Workload;
+
+    #[test]
+    fn calibration() {
+        // 2 blocks × 4096 bytes × ~17 insts ≈ 145 k; 4 allocations.
+        calibrate(Workload::Bzip2, 100_000..300_000, 4..5);
+    }
+}

@@ -1,0 +1,220 @@
+use rest_core::TokenWidth;
+use rest_isa::{EcallNum, Label, Program, ProgramBuilder, Reg};
+use rest_runtime::{FrameGuard, StackScheme};
+
+use crate::Scale;
+
+/// Parameters shared by all workload builders.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadParams {
+    /// Input-set scale.
+    pub scale: Scale,
+    /// Stack-protection scheme to compile with (None / ASan / REST).
+    pub stack_scheme: StackScheme,
+    /// Token width (governs REST stack-redzone alignment).
+    pub token_width: TokenWidth,
+    /// Seed for compile-time pseudo-random choices (e.g. gobmk's
+    /// sub-input variations).
+    pub seed: u64,
+}
+
+impl WorkloadParams {
+    /// Test-scale parameters.
+    pub fn test(stack_scheme: StackScheme) -> WorkloadParams {
+        WorkloadParams {
+            scale: Scale::Test,
+            stack_scheme,
+            token_width: TokenWidth::B64,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Benchmark-scale parameters.
+    pub fn reference(stack_scheme: StackScheme) -> WorkloadParams {
+        WorkloadParams {
+            scale: Scale::Ref,
+            ..WorkloadParams::test(stack_scheme)
+        }
+    }
+
+    /// The stack-protection pass for these parameters.
+    pub fn guard(&self) -> FrameGuard {
+        FrameGuard::new(self.stack_scheme, self.token_width)
+    }
+
+    /// Picks `(test, ref)` by scale.
+    pub fn pick(&self, test: i64, reference: i64) -> i64 {
+        match self.scale {
+            Scale::Test => test,
+            Scale::Ref => reference,
+        }
+    }
+}
+
+/// Shared builder context for workload kernels: a [`ProgramBuilder`]
+/// plus the stack-protection pass and guest-code idioms (LCG random
+/// numbers, runtime calls).
+#[derive(Debug)]
+pub struct Ctx {
+    /// The underlying assembler.
+    pub p: ProgramBuilder,
+    /// Stack-protection pass.
+    pub guard: FrameGuard,
+}
+
+impl Ctx {
+    /// Starts a program: stack pointer and shadow base setup.
+    pub fn new(params: &WorkloadParams) -> Ctx {
+        let guard = params.guard();
+        let mut p = ProgramBuilder::new();
+        p.symbol("_start");
+        guard.emit_startup(&mut p);
+        Ctx { p, guard }
+    }
+
+    /// Terminates the program with `exit(0)` and assembles it.
+    pub fn finish(mut self) -> Program {
+        self.p.li(Reg::A0, 0);
+        self.p.ecall(EcallNum::Exit);
+        self.p.build()
+    }
+
+    /// `A0 = malloc(size)`. Clobbers `A0`, `A7`.
+    pub fn malloc_imm(&mut self, size: i64) {
+        self.p.li(Reg::A0, size);
+        self.p.ecall(EcallNum::Malloc);
+    }
+
+    /// `A0 = malloc(A0)`.
+    pub fn malloc_a0(&mut self) {
+        self.p.ecall(EcallNum::Malloc);
+    }
+
+    /// `free(r)`. Clobbers `A0`, `A7`.
+    pub fn free_reg(&mut self, r: Reg) {
+        if r != Reg::A0 {
+            self.p.mv(Reg::A0, r);
+        }
+        self.p.ecall(EcallNum::Free);
+    }
+
+    /// `memcpy(dst, src, len)` through the runtime (exercises ASan's
+    /// libc interception). Clobbers `A0..A2`, `A7`.
+    pub fn memcpy(&mut self, dst: Reg, src: Reg, len: i64) {
+        if dst != Reg::A0 {
+            self.p.mv(Reg::A0, dst);
+        }
+        if src != Reg::A1 {
+            self.p.mv(Reg::A1, src);
+        }
+        self.p.li(Reg::A2, len);
+        self.p.ecall(EcallNum::Memcpy);
+    }
+
+    /// `memset(dst, byte, len)` through the runtime. Clobbers `A0..A2`,
+    /// `A7`.
+    pub fn memset(&mut self, dst: Reg, byte: i64, len: i64) {
+        if dst != Reg::A0 {
+            self.p.mv(Reg::A0, dst);
+        }
+        self.p.li(Reg::A1, byte);
+        self.p.li(Reg::A2, len);
+        self.p.ecall(EcallNum::Memset);
+    }
+
+    /// `A0 = sbrk(n)`: carve a static array out of the data break.
+    pub fn sbrk_imm(&mut self, n: i64) {
+        self.p.li(Reg::A0, n);
+        self.p.ecall(EcallNum::Sbrk);
+    }
+
+    /// Advances an in-guest linear congruential generator:
+    /// `state = state * K + C`. Clobbers `tmp`.
+    pub fn lcg(&mut self, state: Reg, tmp: Reg) {
+        self.p.li(tmp, 0x5851_F42D_4C95_7F2D_u64 as i64);
+        self.p.mul(state, state, tmp);
+        self.p.li(tmp, 0x1405_7B7E_F767_814F_u64 as i64);
+        self.p.add(state, state, tmp);
+    }
+
+    /// Emits a counted loop head: `li counter, n; <label>:`. Pair with
+    /// [`Ctx::loop_end`].
+    pub fn loop_head(&mut self, counter: Reg, n: i64) -> Label {
+        self.p.li(counter, n);
+        self.p.label_here()
+    }
+
+    /// Emits the loop tail: `addi counter, counter, -1; bne counter, x0, head`.
+    pub fn loop_end(&mut self, counter: Reg, head: Label) {
+        self.p.addi(counter, counter, -1);
+        self.p.bne(counter, Reg::ZERO, head);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_respects_scale() {
+        let t = WorkloadParams::test(StackScheme::None);
+        let r = WorkloadParams::reference(StackScheme::None);
+        assert_eq!(t.pick(3, 9), 3);
+        assert_eq!(r.pick(3, 9), 9);
+    }
+
+    #[test]
+    fn loop_helpers_produce_runnable_loop() {
+        let params = WorkloadParams::test(StackScheme::None);
+        let mut c = Ctx::new(&params);
+        let head = c.loop_head(Reg::S0, 5);
+        c.p.addi(Reg::S1, Reg::S1, 1);
+        c.loop_end(Reg::S0, head);
+        let prog = c.finish();
+        assert!(prog.len() > 5);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use rest_core::Mode;
+    use rest_cpu::{Emulator, SimConfig, StopReason};
+    use rest_runtime::{RtConfig, StackScheme};
+
+    use crate::{Workload, WorkloadParams};
+
+    /// Runs `w` functionally at test scale under `rt`, returning the
+    /// stop reason, retired macro instructions, and allocation count.
+    pub fn run(w: Workload, stack: StackScheme, rt: RtConfig) -> (StopReason, u64, u64) {
+        let params = WorkloadParams::test(stack);
+        let program = w.build(&params);
+        let cfg = SimConfig::isca2018(rt);
+        let mut emu = Emulator::new(program, &cfg);
+        let stop = emu.run_functional().clone();
+        let allocs = emu.runtime().allocator().stats().allocs;
+        (stop, emu.insts(), allocs)
+    }
+
+    /// Asserts the workload completes under plain, ASan, and REST (both
+    /// scopes), and that its instruction/allocation counts at test scale
+    /// sit in the given bands under the plain build.
+    pub fn calibrate(w: Workload, insts: std::ops::Range<u64>, allocs: std::ops::Range<u64>) {
+        let (stop, n, a) = run(w, StackScheme::None, RtConfig::plain());
+        assert_eq!(stop, StopReason::Exit(0), "{w}: plain run failed");
+        assert!(
+            insts.contains(&n),
+            "{w}: {n} insts outside calibration band {insts:?}"
+        );
+        assert!(
+            allocs.contains(&a),
+            "{w}: {a} allocs outside calibration band {allocs:?}"
+        );
+
+        let (stop, _, _) = run(w, StackScheme::Asan, RtConfig::asan());
+        assert_eq!(stop, StopReason::Exit(0), "{w}: asan run failed");
+        let (stop, _, _) = run(w, StackScheme::Rest, RtConfig::rest(Mode::Secure, true));
+        assert_eq!(stop, StopReason::Exit(0), "{w}: rest full run failed");
+        let (stop, _, _) = run(w, StackScheme::None, RtConfig::rest(Mode::Secure, false));
+        assert_eq!(stop, StopReason::Exit(0), "{w}: rest heap run failed");
+    }
+}

@@ -1,0 +1,124 @@
+//! `gcc`-like kernel: compiler stand-in — frequent small variable-size
+//! node allocations hung off a pointer table, interleaved with
+//! token-stream "compilation passes".
+//!
+//! Profile: one of the two allocation-heaviest benchmarks (paper Figure
+//! 3/7: gcc and xalancbmk dominate allocator overhead), short-lived
+//! nodes of mixed sizes, pointer-table scatter.
+
+use rest_isa::{MemSize, Program, Reg};
+
+use crate::common::{Ctx, WorkloadParams};
+
+const TABLE_SLOTS: i64 = 128;
+
+pub fn build(params: &WorkloadParams) -> Program {
+    let iters = params.pick(55, 430);
+    let pass_len = 120;
+    let mut c = Ctx::new(params);
+
+    // Node pointer table.
+    c.malloc_imm(TABLE_SLOTS * 8);
+    c.p.mv(Reg::S0, Reg::A0);
+    // Token stream in static data.
+    c.sbrk_imm(2048);
+    c.p.mv(Reg::S1, Reg::A0);
+    c.p.li(Reg::S6, 0x6cc0_11ec);
+    // Fill the token stream.
+    c.p.li(Reg::S2, 0);
+    let fill = c.p.label_here();
+    c.lcg(Reg::S6, Reg::T0);
+    c.p.add(Reg::T1, Reg::S1, Reg::S2);
+    c.p.sd(Reg::S6, Reg::T1, 0);
+    c.p.addi(Reg::S2, Reg::S2, 8);
+    c.p.li(Reg::T0, 2048);
+    c.p.blt(Reg::S2, Reg::T0, fill);
+
+    c.p.li(Reg::S7, 0); // stream cursor
+    let main = c.loop_head(Reg::S4, iters);
+    {
+        // Allocate an AST node: 16 + (r & 0x70) bytes.
+        c.lcg(Reg::S6, Reg::T0);
+        c.p.andi(Reg::A0, Reg::S6, 0x70);
+        c.p.addi(Reg::A0, Reg::A0, 16);
+        c.malloc_a0();
+        c.p.mv(Reg::T5, Reg::A0);
+        c.p.sd(Reg::S6, Reg::T5, 0);
+        c.p.sd(Reg::S4, Reg::T5, 8);
+        // Hang it in a pseudo-random table slot, freeing the evictee.
+        c.p.srli(Reg::T1, Reg::S6, 8);
+        c.p.andi(Reg::T1, Reg::T1, TABLE_SLOTS - 1);
+        c.p.slli(Reg::T1, Reg::T1, 3);
+        c.p.add(Reg::T1, Reg::S0, Reg::T1);
+        c.p.ld(Reg::S9, Reg::T1, 0);
+        c.p.sd(Reg::T5, Reg::T1, 0);
+        let no_evict = c.p.new_label();
+        c.p.beq(Reg::S9, Reg::ZERO, no_evict);
+        c.free_reg(Reg::S9);
+        c.p.bind(no_evict);
+        // Compilation pass: fold the token stream into a checksum with
+        // data-dependent branching, chasing pointers through the AST
+        // node table as a compiler walking its IR would.
+        c.p.li(Reg::S3, pass_len);
+        let pass = c.p.label_here();
+        c.p.andi(Reg::T1, Reg::S7, 2047 - 7);
+        c.p.add(Reg::T1, Reg::S1, Reg::T1);
+        c.p.ld(Reg::T2, Reg::T1, 0);
+        // Visit the node the token hashes to.
+        c.p.andi(Reg::T4, Reg::T2, TABLE_SLOTS - 1);
+        c.p.slli(Reg::T4, Reg::T4, 3);
+        c.p.add(Reg::T4, Reg::S0, Reg::T4);
+        c.p.ld(Reg::T5, Reg::T4, 0); // node pointer
+        let no_node = c.p.new_label();
+        c.p.beq(Reg::T5, Reg::ZERO, no_node);
+        c.p.ld(Reg::T4, Reg::T5, 0); // node field
+        c.p.add(Reg::S8, Reg::S8, Reg::T4);
+        c.p.sd(Reg::S8, Reg::T5, 8); // annotate the node
+        c.p.bind(no_node);
+        c.p.andi(Reg::T3, Reg::T2, 1);
+        let odd = c.p.new_label();
+        let join = c.p.new_label();
+        c.p.bne(Reg::T3, Reg::ZERO, odd);
+        c.p.add(Reg::S8, Reg::S8, Reg::T2);
+        c.p.j(join);
+        c.p.bind(odd);
+        c.p.xor(Reg::S8, Reg::S8, Reg::T2);
+        c.p.bind(join);
+        c.p.addi(Reg::S7, Reg::S7, 8);
+        c.p.addi(Reg::S3, Reg::S3, -1);
+        c.p.bne(Reg::S3, Reg::ZERO, pass);
+    }
+    c.loop_end(Reg::S4, main);
+
+    // Drain the table.
+    c.p.li(Reg::S2, 0);
+    let drain = c.p.label_here();
+    c.p.slli(Reg::T1, Reg::S2, 3);
+    c.p.add(Reg::T1, Reg::S0, Reg::T1);
+    c.p.ld(Reg::S9, Reg::T1, 0);
+    let empty = c.p.new_label();
+    c.p.beq(Reg::S9, Reg::ZERO, empty);
+    c.free_reg(Reg::S9);
+    c.p.bind(empty);
+    c.p.addi(Reg::S2, Reg::S2, 1);
+    c.p.li(Reg::T0, TABLE_SLOTS);
+    c.p.blt(Reg::S2, Reg::T0, drain);
+    c.free_reg(Reg::S0);
+
+    // Keep the checksum live so nothing is dead code.
+    c.p.store(Reg::S8, Reg::S1, 0, MemSize::B8);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::common::testutil::calibrate;
+    use crate::Workload;
+
+    #[test]
+    fn calibration() {
+        // 55 iters × (120-token pass × ~16 insts + node churn) ≈ 120 k;
+        // 56 allocations (≈ 0.45/kinst — the "high" class).
+        calibrate(Workload::Gcc, 90_000..250_000, 50..60);
+    }
+}

@@ -1,0 +1,124 @@
+//! `gobmk`-like kernel: Go-engine stand-in — candidate-move evaluation
+//! that copies a board region into a stack buffer (via `memcpy`),
+//! flood-fills influence, and writes a few cells back.
+//!
+//! Profile: low allocation rate (an arena plus occasional tree nodes),
+//! stack buffers on the hot path, `memcpy` through the runtime. The
+//! paper's Figures 7/8 run gobmk with several sub-inputs; the `seed`
+//! parameter reproduces that as input variation.
+
+use rest_isa::{MemSize, Program, Reg};
+
+use crate::common::{Ctx, WorkloadParams};
+
+pub fn build(params: &WorkloadParams) -> Program {
+    let moves = params.pick(280, 2200);
+    let mut c = Ctx::new(params);
+
+    // Board in static data (19×19 padded to 512 B).
+    c.sbrk_imm(512);
+    c.p.mv(Reg::S0, Reg::A0);
+    // Initialise the board from the sub-input seed.
+    c.p.li(Reg::S6, params.seed as i64);
+    c.p.li(Reg::S2, 0);
+    c.p.li(Reg::S5, 361);
+    let init = c.p.label_here();
+    c.lcg(Reg::S6, Reg::T0);
+    c.p.andi(Reg::T1, Reg::S6, 3); // empty/black/white/edge
+    c.p.add(Reg::T2, Reg::S0, Reg::S2);
+    c.p.store(Reg::T1, Reg::T2, 0, MemSize::B1);
+    c.p.addi(Reg::S2, Reg::S2, 1);
+    c.p.blt(Reg::S2, Reg::S5, init);
+
+    // Game-tree node list head.
+    c.p.li(Reg::S1, 0);
+
+    let try_move = c.p.new_label();
+    let after = c.p.new_label();
+    let main = c.loop_head(Reg::S4, moves);
+    {
+        c.lcg(Reg::S6, Reg::T0);
+        c.p.mv(Reg::A0, Reg::S6);
+        c.p.call(try_move);
+        // Every 64th move, allocate a tree node; free the previous one
+        // (keeps live size flat, low allocation rate).
+        c.p.andi(Reg::T1, Reg::S4, 63);
+        let skip = c.p.new_label();
+        c.p.bne(Reg::T1, Reg::ZERO, skip);
+        c.malloc_imm(96);
+        c.p.sd(Reg::S4, Reg::A0, 0);
+        c.p.mv(Reg::T5, Reg::A0);
+        let no_old = c.p.new_label();
+        c.p.beq(Reg::S1, Reg::ZERO, no_old);
+        c.free_reg(Reg::S1);
+        c.p.bind(no_old);
+        c.p.mv(Reg::S1, Reg::T5);
+        c.p.bind(skip);
+    }
+    c.loop_end(Reg::S4, main);
+    c.p.j(after);
+
+    // fn try_move(rand in A0)
+    c.p.symbol("try_move");
+    c.p.bind(try_move);
+    let layout = c.guard.layout(&[128], 32);
+    let boff = layout.buffers[0].offset as i64;
+    c.guard.emit_prologue(&mut c.p, &layout);
+    c.p.sd(Reg::RA, Reg::SP, 0);
+    c.p.mv(Reg::S9, Reg::A0);
+    // Copy a board region into the frame buffer (libc memcpy).
+    c.p.addi(Reg::A0, Reg::SP, boff);
+    c.p.mv(Reg::A1, Reg::S0);
+    c.p.li(Reg::A2, 128);
+    c.p.ecall(rest_isa::EcallNum::Memcpy);
+    // Flood-fill-ish influence propagation inside the buffer.
+    c.p.andi(Reg::T1, Reg::S9, 63);
+    c.p.li(Reg::S10, 32);
+    let flood = c.p.label_here();
+    c.p.addi(Reg::T2, Reg::SP, boff);
+    c.p.add(Reg::T2, Reg::T2, Reg::T1);
+    c.p.load(Reg::T3, Reg::T2, 0, MemSize::B1);
+    c.p.addi(Reg::T3, Reg::T3, 1);
+    c.p.store(Reg::T3, Reg::T2, 0, MemSize::B1);
+    c.p.muli(Reg::T3, Reg::T3, 7);
+    c.p.add(Reg::T1, Reg::T1, Reg::T3);
+    c.p.andi(Reg::T1, Reg::T1, 127);
+    c.p.addi(Reg::S10, Reg::S10, -1);
+    c.p.bne(Reg::S10, Reg::ZERO, flood);
+    // Commit a few cells back to the board.
+    c.p.li(Reg::S10, 8);
+    let commit = c.p.label_here();
+    c.p.muli(Reg::T1, Reg::S10, 13);
+    c.p.andi(Reg::T1, Reg::T1, 127);
+    c.p.addi(Reg::T2, Reg::SP, boff);
+    c.p.add(Reg::T2, Reg::T2, Reg::T1);
+    c.p.load(Reg::T3, Reg::T2, 0, MemSize::B1);
+    c.p.andi(Reg::T4, Reg::T1, 255);
+    c.p.add(Reg::T4, Reg::S0, Reg::T4);
+    c.p.store(Reg::T3, Reg::T4, 0, MemSize::B1);
+    c.p.addi(Reg::S10, Reg::S10, -1);
+    c.p.bne(Reg::S10, Reg::ZERO, commit);
+    c.p.ld(Reg::RA, Reg::SP, 0);
+    c.guard.emit_epilogue(&mut c.p, &layout);
+    c.p.ret();
+
+    c.p.bind(after);
+    let no_node = c.p.new_label();
+    c.p.beq(Reg::S1, Reg::ZERO, no_node);
+    c.free_reg(Reg::S1);
+    c.p.bind(no_node);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::common::testutil::calibrate;
+    use crate::Workload;
+
+    #[test]
+    fn calibration() {
+        // 280 moves × ~420 guest insts ≈ 120 k + init; a handful of tree
+        // nodes (280/64 ≈ 5 mallocs).
+        calibrate(Workload::Gobmk, 80_000..200_000, 3..10);
+    }
+}

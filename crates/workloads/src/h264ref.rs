@@ -1,0 +1,137 @@
+//! `h264ref`-like kernel: video-encoder stand-in — block motion
+//! estimation: each macroblock is copied into a stack buffer and SAD
+//! (sum of absolute differences) is evaluated against candidate offsets
+//! in the reference frame.
+//!
+//! Profile: large static frames, byte-granular compute, stack buffer in
+//! the hot function, `memcpy` through the runtime, few allocations.
+
+use rest_isa::{EcallNum, MemSize, Program, Reg};
+
+use crate::common::{Ctx, WorkloadParams};
+
+const FRAME_BYTES: i64 = 16384;
+
+pub fn build(params: &WorkloadParams) -> Program {
+    let macroblocks = params.pick(30, 280);
+    let mut c = Ctx::new(params);
+
+    // Reference and current frames in static data.
+    c.sbrk_imm(FRAME_BYTES);
+    c.p.mv(Reg::S0, Reg::A0);
+    c.sbrk_imm(FRAME_BYTES);
+    c.p.mv(Reg::S1, Reg::A0);
+    // Motion-vector output array (1 allocation).
+    c.malloc_imm(macroblocks * 8);
+    c.p.mv(Reg::S10, Reg::A0);
+
+    // Fill both frames.
+    c.p.li(Reg::S6, 0x264_2642);
+    for frame in [Reg::S0, Reg::S1] {
+        c.p.li(Reg::S2, 0);
+        let fill = c.p.label_here();
+        c.lcg(Reg::S6, Reg::T0);
+        c.p.add(Reg::T1, frame, Reg::S2);
+        c.p.sd(Reg::S6, Reg::T1, 0);
+        c.p.addi(Reg::S2, Reg::S2, 8);
+        c.p.li(Reg::T0, FRAME_BYTES);
+        c.p.blt(Reg::S2, Reg::T0, fill);
+    }
+
+    let estimate = c.p.new_label();
+    let after = c.p.new_label();
+
+    c.p.li(Reg::S7, 0); // macroblock index
+    let main = c.loop_head(Reg::S4, macroblocks);
+    {
+        c.p.call(estimate);
+        c.p.addi(Reg::S7, Reg::S7, 1);
+    }
+    c.loop_end(Reg::S4, main);
+    c.p.j(after);
+
+    // fn estimate(): block for macroblock S7, frames S0/S1, mv out S10.
+    c.p.symbol("estimate");
+    c.p.bind(estimate);
+    let layout = c.guard.layout(&[256], 32);
+    let boff = layout.buffers[0].offset as i64;
+    c.guard.emit_prologue(&mut c.p, &layout);
+    c.p.sd(Reg::RA, Reg::SP, 0);
+    // Copy the current block into the stack buffer.
+    c.p.slli(Reg::T1, Reg::S7, 6);
+    c.p.andi(Reg::T1, Reg::T1, FRAME_BYTES - 256);
+    c.p.add(Reg::A1, Reg::S1, Reg::T1);
+    c.p.addi(Reg::A0, Reg::SP, boff);
+    c.p.li(Reg::A2, 256);
+    c.p.ecall(EcallNum::Memcpy);
+    // Evaluate 9 candidate offsets; keep the best SAD.
+    c.p.li(Reg::S9, i64::MAX); // best SAD
+    c.p.li(Reg::S11, 0); // best candidate
+    c.p.li(Reg::S3, 0); // candidate index
+    let cand = c.p.label_here();
+    {
+        // Reference base = ref + ((mb*64 + cand*48) & mask).
+        c.p.slli(Reg::T1, Reg::S7, 6);
+        c.p.muli(Reg::T2, Reg::S3, 48);
+        c.p.add(Reg::T1, Reg::T1, Reg::T2);
+        c.p.andi(Reg::T1, Reg::T1, FRAME_BYTES - 256);
+        c.p.add(Reg::S8, Reg::S0, Reg::T1);
+        // SAD over 32 sample points of the block.
+        c.p.li(Reg::S5, 0); // sad
+        c.p.li(Reg::S2, 0); // sample
+        let sad = c.p.label_here();
+        c.p.slli(Reg::T1, Reg::S2, 3);
+        c.p.addi(Reg::T2, Reg::SP, boff);
+        c.p.add(Reg::T2, Reg::T2, Reg::T1);
+        c.p.load(Reg::T3, Reg::T2, 0, MemSize::B1);
+        c.p.add(Reg::T2, Reg::S8, Reg::T1);
+        c.p.load(Reg::T4, Reg::T2, 0, MemSize::B1);
+        c.p.sub(Reg::T3, Reg::T3, Reg::T4);
+        // |x| branch-free: (x ^ (x >> 63)) - (x >> 63).
+        c.p.push(rest_isa::Inst::AluImm {
+            op: rest_isa::AluOp::Sra,
+            dst: Reg::T4,
+            src: Reg::T3,
+            imm: 63,
+        });
+        c.p.xor(Reg::T3, Reg::T3, Reg::T4);
+        c.p.sub(Reg::T3, Reg::T3, Reg::T4);
+        c.p.add(Reg::S5, Reg::S5, Reg::T3);
+        c.p.addi(Reg::S2, Reg::S2, 1);
+        c.p.li(Reg::T0, 32);
+        c.p.blt(Reg::S2, Reg::T0, sad);
+        // best = min(best, sad)
+        let not_better = c.p.new_label();
+        c.p.bge(Reg::S5, Reg::S9, not_better);
+        c.p.mv(Reg::S9, Reg::S5);
+        c.p.mv(Reg::S11, Reg::S3);
+        c.p.bind(not_better);
+    }
+    c.p.addi(Reg::S3, Reg::S3, 1);
+    c.p.li(Reg::T0, 9);
+    c.p.blt(Reg::S3, Reg::T0, cand);
+    // Record the winning motion vector.
+    c.p.slli(Reg::T1, Reg::S7, 3);
+    c.p.add(Reg::T1, Reg::S10, Reg::T1);
+    c.p.sd(Reg::S11, Reg::T1, 0);
+    c.p.ld(Reg::RA, Reg::SP, 0);
+    c.guard.emit_epilogue(&mut c.p, &layout);
+    c.p.ret();
+
+    c.p.bind(after);
+    c.free_reg(Reg::S10);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::common::testutil::calibrate;
+    use crate::Workload;
+
+    #[test]
+    fn calibration() {
+        // 30 macroblocks × 9 candidates × 32 samples × ~13 insts ≈ 115 k
+        // + frame init ≈ 30 k; 1 allocation.
+        calibrate(Workload::H264ref, 100_000..300_000, 1..2);
+    }
+}

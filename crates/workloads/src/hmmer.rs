@@ -1,0 +1,86 @@
+//! `hmmer`-like kernel: profile-HMM search stand-in — Viterbi dynamic
+//! programming over a state row per sequence symbol.
+//!
+//! Profile: a few long-lived arrays, branch-light max/add inner loop,
+//! negligible allocator traffic.
+
+use rest_isa::{MemSize, Program, Reg};
+
+use crate::common::{Ctx, WorkloadParams};
+
+const STATES: i64 = 32;
+
+pub fn build(params: &WorkloadParams) -> Program {
+    let seq_len = params.pick(400, 2600);
+    let mut c = Ctx::new(params);
+
+    // Previous and current DP rows (2 allocations).
+    c.malloc_imm(STATES * 8);
+    c.p.mv(Reg::S0, Reg::A0); // prev
+    c.malloc_imm(STATES * 8);
+    c.p.mv(Reg::S1, Reg::A0); // cur
+    // Sequence in static data.
+    c.sbrk_imm(seq_len + 8);
+    c.p.mv(Reg::S2, Reg::A0);
+    c.p.li(Reg::S6, 0x44dd_a11a);
+    c.p.li(Reg::S3, 0);
+    let fill = c.p.label_here();
+    c.lcg(Reg::S6, Reg::T0);
+    c.p.add(Reg::T1, Reg::S2, Reg::S3);
+    c.p.store(Reg::S6, Reg::T1, 0, MemSize::B1);
+    c.p.addi(Reg::S3, Reg::S3, 1);
+    c.p.li(Reg::T0, seq_len);
+    c.p.blt(Reg::S3, Reg::T0, fill);
+
+    // DP over the sequence.
+    c.p.li(Reg::S5, 0); // t
+    let symbol = c.p.label_here();
+    c.p.add(Reg::T1, Reg::S2, Reg::S5);
+    c.p.load(Reg::S9, Reg::T1, 0, MemSize::B1); // emission symbol
+    c.p.li(Reg::S3, 1); // state s
+    let state = c.p.label_here();
+    // stay = prev[s] + em(sym, s)
+    c.p.slli(Reg::T1, Reg::S3, 3);
+    c.p.add(Reg::T2, Reg::S0, Reg::T1);
+    c.p.ld(Reg::T3, Reg::T2, 0);
+    c.p.xor(Reg::T4, Reg::S9, Reg::S3);
+    c.p.add(Reg::T3, Reg::T3, Reg::T4);
+    // move = prev[s-1] + 3
+    c.p.ld(Reg::T5, Reg::T2, -8);
+    c.p.addi(Reg::T5, Reg::T5, 3);
+    // cur[s] = max(stay, move), branch-free.
+    c.p.slt(Reg::T0, Reg::T3, Reg::T5);
+    c.p.sub(Reg::T5, Reg::T5, Reg::T3);
+    c.p.mul(Reg::T5, Reg::T5, Reg::T0);
+    c.p.add(Reg::T3, Reg::T3, Reg::T5);
+    c.p.add(Reg::T2, Reg::S1, Reg::T1);
+    c.p.sd(Reg::T3, Reg::T2, 0);
+    c.p.addi(Reg::S3, Reg::S3, 1);
+    c.p.li(Reg::T0, STATES);
+    c.p.blt(Reg::S3, Reg::T0, state);
+    // Swap rows, next symbol.
+    c.p.mv(Reg::T0, Reg::S0);
+    c.p.mv(Reg::S0, Reg::S1);
+    c.p.mv(Reg::S1, Reg::T0);
+    c.p.addi(Reg::S5, Reg::S5, 1);
+    c.p.li(Reg::T0, seq_len);
+    c.p.blt(Reg::S5, Reg::T0, symbol);
+
+    // Like the SPEC originals, the long-lived grids are never freed —
+    // the OS reclaims them at exit. (Freeing here would charge an
+    // unrepresentative quarantine arm-sweep to the last instant of the
+    // run.)
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::common::testutil::calibrate;
+    use crate::Workload;
+
+    #[test]
+    fn calibration() {
+        // 400 symbols × 31 states × ~17 insts ≈ 215 k; 2 allocations.
+        calibrate(Workload::Hmmer, 150_000..350_000, 2..3);
+    }
+}

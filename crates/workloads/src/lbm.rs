@@ -1,0 +1,80 @@
+//! `lbm`-like kernel: lattice-Boltzmann stand-in — a streaming 3-point
+//! stencil swept repeatedly over a large array.
+//!
+//! Matches the paper's profile for lbm: fewer than 10 allocation calls
+//! in the whole run, large sequential working set, negligible allocator
+//! overhead under every scheme.
+
+use rest_isa::{Program, Reg};
+
+use crate::common::{Ctx, WorkloadParams};
+
+pub fn build(params: &WorkloadParams) -> Program {
+    let cells = params.pick(4096, 16384);
+    let sweeps = params.pick(4, 8);
+    let mut c = Ctx::new(params);
+
+    // Two grids (2 allocations total — "minimal" class).
+    c.malloc_imm(8 * cells);
+    c.p.mv(Reg::S0, Reg::A0); // src
+    c.malloc_imm(8 * cells);
+    c.p.mv(Reg::S1, Reg::A0); // dst
+
+    // Initialise src[i] = i * 2654435761 (knuth hash-ish).
+    c.p.li(Reg::S2, 0);
+    c.p.li(Reg::S5, cells);
+    let init = c.p.label_here();
+    c.p.slli(Reg::T1, Reg::S2, 3);
+    c.p.add(Reg::T1, Reg::S0, Reg::T1);
+    c.p.li(Reg::T2, 2654435761);
+    c.p.mul(Reg::T2, Reg::T2, Reg::S2);
+    c.p.sd(Reg::T2, Reg::T1, 0);
+    c.p.addi(Reg::S2, Reg::S2, 1);
+    c.p.blt(Reg::S2, Reg::S5, init);
+
+    // Sweeps: dst[i] = (src[i-1] + 2*src[i] + src[i+1]) / 4, then swap.
+    let sweep = c.loop_head(Reg::S4, sweeps);
+    {
+        c.p.li(Reg::S2, 1);
+        c.p.addi(Reg::S5, Reg::S5, 0); // bound stays in S5
+        let cell = c.p.label_here();
+        c.p.slli(Reg::T1, Reg::S2, 3);
+        c.p.add(Reg::T2, Reg::S0, Reg::T1);
+        c.p.ld(Reg::T3, Reg::T2, -8);
+        c.p.ld(Reg::T4, Reg::T2, 0);
+        c.p.ld(Reg::T5, Reg::T2, 8);
+        c.p.add(Reg::T3, Reg::T3, Reg::T5);
+        c.p.slli(Reg::T4, Reg::T4, 1);
+        c.p.add(Reg::T3, Reg::T3, Reg::T4);
+        c.p.srli(Reg::T3, Reg::T3, 2);
+        c.p.add(Reg::T4, Reg::S1, Reg::T1);
+        c.p.sd(Reg::T3, Reg::T4, 0);
+        c.p.addi(Reg::S2, Reg::S2, 1);
+        c.p.addi(Reg::T0, Reg::S5, -1);
+        c.p.blt(Reg::S2, Reg::T0, cell);
+        // Swap grids.
+        c.p.mv(Reg::T0, Reg::S0);
+        c.p.mv(Reg::S0, Reg::S1);
+        c.p.mv(Reg::S1, Reg::T0);
+    }
+    c.loop_end(Reg::S4, sweep);
+
+    // Like the SPEC originals, the long-lived grids are never freed —
+    // the OS reclaims them at exit. (Freeing here would charge an
+    // unrepresentative quarantine arm-sweep to the last instant of the
+    // run.)
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::common::testutil::calibrate;
+    use crate::Workload;
+
+    #[test]
+    fn calibration() {
+        // ~14 insts per cell × 4096 cells × 4 sweeps ≈ 230 k; exactly 2
+        // allocations.
+        calibrate(Workload::Lbm, 150_000..400_000, 2..3);
+    }
+}

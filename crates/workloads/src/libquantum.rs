@@ -1,0 +1,74 @@
+//! `libquantum`-like kernel: quantum-register simulation stand-in — bit
+//! manipulation gates swept across a large amplitude array.
+//!
+//! Profile: one long-lived allocation, streaming 64-bit accesses, heavy
+//! logical ops, almost no allocator traffic.
+
+use rest_isa::{Program, Reg};
+
+use crate::common::{Ctx, WorkloadParams};
+
+pub fn build(params: &WorkloadParams) -> Program {
+    let words = params.pick(2048, 8192);
+    let gates = params.pick(6, 20);
+    let mut c = Ctx::new(params);
+
+    // The quantum register (1 allocation).
+    c.malloc_imm(8 * words);
+    c.p.mv(Reg::S0, Reg::A0);
+
+    // Seed register state: reg[i] = i ^ (i << 13).
+    c.p.li(Reg::S2, 0);
+    c.p.li(Reg::S5, words);
+    let init = c.p.label_here();
+    c.p.slli(Reg::T1, Reg::S2, 13);
+    c.p.xor(Reg::T1, Reg::T1, Reg::S2);
+    c.p.slli(Reg::T2, Reg::S2, 3);
+    c.p.add(Reg::T2, Reg::S0, Reg::T2);
+    c.p.sd(Reg::T1, Reg::T2, 0);
+    c.p.addi(Reg::S2, Reg::S2, 1);
+    c.p.blt(Reg::S2, Reg::S5, init);
+
+    // Gate loop: each gate applies sigma-x-like toggles of a
+    // pseudo-random target bit plus a controlled phase mix.
+    c.p.li(Reg::S6, 0x9e37_79b9);
+    let gate = c.loop_head(Reg::S4, gates);
+    {
+        // Target bit = lcg(S6) & 63.
+        c.lcg(Reg::S6, Reg::T0);
+        c.p.andi(Reg::S7, Reg::S6, 63);
+        c.p.li(Reg::T4, 1);
+        c.p.sll(Reg::S8, Reg::T4, Reg::S7); // mask
+
+        c.p.li(Reg::S2, 0);
+        let word = c.p.label_here();
+        c.p.slli(Reg::T1, Reg::S2, 3);
+        c.p.add(Reg::T1, Reg::S0, Reg::T1);
+        c.p.ld(Reg::T2, Reg::T1, 0);
+        c.p.xor(Reg::T2, Reg::T2, Reg::S8); // sigma-x on target bit
+        c.p.srli(Reg::T3, Reg::T2, 7);
+        c.p.xor(Reg::T2, Reg::T2, Reg::T3); // phase mix
+        c.p.sd(Reg::T2, Reg::T1, 0);
+        c.p.addi(Reg::S2, Reg::S2, 1);
+        c.p.blt(Reg::S2, Reg::S5, word);
+    }
+    c.loop_end(Reg::S4, gate);
+
+    // Like the SPEC originals, the long-lived grids are never freed —
+    // the OS reclaims them at exit. (Freeing here would charge an
+    // unrepresentative quarantine arm-sweep to the last instant of the
+    // run.)
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::common::testutil::calibrate;
+    use crate::Workload;
+
+    #[test]
+    fn calibration() {
+        // ~11 insts/word × 2048 × 6 gates ≈ 135 k; 1 allocation.
+        calibrate(Workload::Libquantum, 100_000..300_000, 1..2);
+    }
+}

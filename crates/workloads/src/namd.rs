@@ -1,0 +1,89 @@
+//! `namd`-like kernel: molecular-dynamics stand-in — a multiply-heavy
+//! pairwise force loop over a particle array with a cutoff window.
+//!
+//! Profile: a couple of long-lived arrays, dense compute with high ILP,
+//! negligible allocator traffic.
+
+use rest_isa::{Program, Reg};
+
+use crate::common::{Ctx, WorkloadParams};
+
+pub fn build(params: &WorkloadParams) -> Program {
+    let particles = params.pick(256, 512);
+    let window = params.pick(16, 24);
+    let steps = params.pick(3, 8);
+    let mask = particles - 1; // particles is a power of two
+    let mut c = Ctx::new(params);
+
+    // Positions and forces (2 allocations).
+    c.malloc_imm(8 * particles);
+    c.p.mv(Reg::S0, Reg::A0);
+    c.malloc_imm(8 * particles);
+    c.p.mv(Reg::S1, Reg::A0);
+
+    // Positions: pos[i] = i * 0x2545F4914F6CDD1D.
+    c.p.li(Reg::S2, 0);
+    c.p.li(Reg::S5, particles);
+    let init = c.p.label_here();
+    c.p.li(Reg::T1, 0x2545_F491_4F6C_DD1D_u64 as i64);
+    c.p.mul(Reg::T1, Reg::T1, Reg::S2);
+    c.p.slli(Reg::T2, Reg::S2, 3);
+    c.p.add(Reg::T2, Reg::S0, Reg::T2);
+    c.p.sd(Reg::T1, Reg::T2, 0);
+    c.p.addi(Reg::S2, Reg::S2, 1);
+    c.p.blt(Reg::S2, Reg::S5, init);
+
+    let step = c.loop_head(Reg::S4, steps);
+    {
+        c.p.li(Reg::S2, 0); // i
+        let outer = c.p.label_here();
+        c.p.slli(Reg::T1, Reg::S2, 3);
+        c.p.add(Reg::T1, Reg::S0, Reg::T1);
+        c.p.ld(Reg::S7, Reg::T1, 0); // pos[i]
+        c.p.li(Reg::S8, 0); // force accumulator
+        c.p.li(Reg::S3, 1); // j offset
+        let inner = c.p.label_here();
+        // neighbour index = (i + j) & mask
+        c.p.add(Reg::T2, Reg::S2, Reg::S3);
+        c.p.andi(Reg::T2, Reg::T2, mask);
+        c.p.slli(Reg::T2, Reg::T2, 3);
+        c.p.add(Reg::T2, Reg::S0, Reg::T2);
+        c.p.ld(Reg::T3, Reg::T2, 0); // pos[j]
+        c.p.sub(Reg::T3, Reg::S7, Reg::T3); // dx
+        c.p.mul(Reg::T4, Reg::T3, Reg::T3); // dx^2
+        c.p.mul(Reg::T4, Reg::T4, Reg::T3); // dx^3 (Lennard-Jones-ish)
+        c.p.srli(Reg::T4, Reg::T4, 16);
+        c.p.add(Reg::S8, Reg::S8, Reg::T4);
+        c.p.addi(Reg::S3, Reg::S3, 1);
+        c.p.li(Reg::T0, window);
+        c.p.blt(Reg::S3, Reg::T0, inner);
+        // force[i] += acc
+        c.p.slli(Reg::T1, Reg::S2, 3);
+        c.p.add(Reg::T1, Reg::S1, Reg::T1);
+        c.p.ld(Reg::T2, Reg::T1, 0);
+        c.p.add(Reg::T2, Reg::T2, Reg::S8);
+        c.p.sd(Reg::T2, Reg::T1, 0);
+        c.p.addi(Reg::S2, Reg::S2, 1);
+        c.p.blt(Reg::S2, Reg::S5, outer);
+    }
+    c.loop_end(Reg::S4, step);
+
+    // Like the SPEC originals, the long-lived grids are never freed —
+    // the OS reclaims them at exit. (Freeing here would charge an
+    // unrepresentative quarantine arm-sweep to the last instant of the
+    // run.)
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::common::testutil::calibrate;
+    use crate::Workload;
+
+    #[test]
+    fn calibration() {
+        // 256 particles × 15 window × ~13 insts × 3 steps ≈ 160 k; 2
+        // allocations.
+        calibrate(Workload::Namd, 100_000..350_000, 2..3);
+    }
+}

@@ -1,0 +1,91 @@
+//! `sjeng`-like kernel: chess-engine stand-in — recursive game-tree
+//! search with a per-frame move buffer and a global transposition table.
+//!
+//! Profile: fewer than 10 allocation calls total, deep recursion with
+//! stack buffers (the stack-protection pass arms/disarms redzones on
+//! every call in "full" configurations), hash-table scatter accesses.
+
+use rest_isa::{MemSize, Program, Reg};
+
+use crate::common::{Ctx, WorkloadParams};
+
+pub fn build(params: &WorkloadParams) -> Program {
+    let depth = params.pick(5, 7);
+    let moves = 4i64;
+    let mut c = Ctx::new(params);
+
+    // Transposition table (the run's only allocation).
+    c.malloc_imm(4096);
+    c.p.mv(Reg::S0, Reg::A0);
+    // Zobrist-ish hash state.
+    c.p.li(Reg::S6, 0x0b5e_55ed);
+
+    let rec = c.p.new_label();
+    let done = c.p.new_label();
+    c.p.li(Reg::A0, depth);
+    c.p.call(rec);
+    c.p.j(done);
+
+    // fn rec(depth in A0)
+    c.p.symbol("rec");
+    c.p.bind(rec);
+    let layout = c.guard.layout(&[32], 32);
+    let boff = layout.buffers[0].offset as i64;
+    c.guard.emit_prologue(&mut c.p, &layout);
+    c.p.sd(Reg::RA, Reg::SP, 0);
+    c.p.sd(Reg::A0, Reg::SP, 8);
+    c.p.sd(Reg::S3, Reg::SP, 16);
+    let leaf = c.p.new_label();
+    c.p.beq(Reg::A0, Reg::ZERO, leaf);
+    c.p.li(Reg::S3, moves);
+    let move_loop = c.p.label_here();
+    // Generate a pseudo-random move and record it in the frame buffer.
+    c.lcg(Reg::S6, Reg::T0);
+    c.p.andi(Reg::T1, Reg::S6, 31);
+    c.p.addi(Reg::T2, Reg::SP, boff);
+    c.p.add(Reg::T2, Reg::T2, Reg::T1);
+    c.p.andi(Reg::T3, Reg::S6, 0xff);
+    c.p.store(Reg::T3, Reg::T2, 0, MemSize::B1);
+    // Position evaluation: several rounds of hash mixing + table probes.
+    c.p.li(Reg::S10, 6);
+    let eval = c.p.label_here();
+    c.p.srli(Reg::T1, Reg::S6, 8);
+    c.p.andi(Reg::T1, Reg::T1, 511);
+    c.p.slli(Reg::T1, Reg::T1, 3);
+    c.p.add(Reg::T1, Reg::S0, Reg::T1);
+    c.p.ld(Reg::T2, Reg::T1, 0);
+    c.p.xor(Reg::T2, Reg::T2, Reg::S6);
+    c.p.sd(Reg::T2, Reg::T1, 0);
+    c.p.mul(Reg::S6, Reg::S6, Reg::T2);
+    c.p.addi(Reg::S6, Reg::S6, 0x51ed);
+    c.p.addi(Reg::S10, Reg::S10, -1);
+    c.p.bne(Reg::S10, Reg::ZERO, eval);
+    // Recurse.
+    c.p.ld(Reg::A0, Reg::SP, 8);
+    c.p.addi(Reg::A0, Reg::A0, -1);
+    c.p.call(rec);
+    c.p.addi(Reg::S3, Reg::S3, -1);
+    c.p.bne(Reg::S3, Reg::ZERO, move_loop);
+    c.p.bind(leaf);
+    c.p.ld(Reg::RA, Reg::SP, 0);
+    c.p.ld(Reg::S3, Reg::SP, 16);
+    c.guard.emit_epilogue(&mut c.p, &layout);
+    c.p.ret();
+
+    c.p.bind(done);
+    c.free_reg(Reg::S0);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::common::testutil::calibrate;
+    use crate::Workload;
+
+    #[test]
+    fn calibration() {
+        // (4^6−1)/3 ≈ 1365 nodes × ~95 insts ≈ 130 k; exactly 1
+        // allocation (the transposition table).
+        calibrate(Workload::Sjeng, 90_000..220_000, 1..2);
+    }
+}

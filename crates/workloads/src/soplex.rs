@@ -1,0 +1,118 @@
+//! `soplex`-like kernel: LP-solver stand-in — sparse matrix–vector
+//! products over CSR-style arrays with periodic working-vector
+//! reallocation.
+//!
+//! Profile: medium allocation activity (setup arrays plus `realloc`
+//! calls during iteration), indirect indexed loads.
+
+use rest_isa::{EcallNum, MemSize, Program, Reg};
+
+use crate::common::{Ctx, WorkloadParams};
+
+const ROWS: i64 = 256;
+const NNZ_PER_ROW: i64 = 8;
+
+pub fn build(params: &WorkloadParams) -> Program {
+    let passes = params.pick(6, 42);
+    let mut c = Ctx::new(params);
+
+    // CSR arrays + vectors (5 setup allocations).
+    c.malloc_imm(ROWS * NNZ_PER_ROW * 4);
+    c.p.mv(Reg::S0, Reg::A0); // col indices (u32)
+    c.malloc_imm(ROWS * NNZ_PER_ROW * 8);
+    c.p.mv(Reg::S1, Reg::A0); // values
+    c.malloc_imm(ROWS * 8);
+    c.p.mv(Reg::S2, Reg::A0); // x
+    c.malloc_imm(ROWS * 8);
+    c.p.mv(Reg::S3, Reg::A0); // y
+    c.malloc_imm(ROWS * 8);
+    c.p.mv(Reg::S10, Reg::A0); // work vector (realloc'd while solving)
+
+    // Build the matrix and x.
+    c.p.li(Reg::S6, 0x50_1e50); // seed
+    c.p.li(Reg::S5, 0);
+    c.p.li(Reg::T0, ROWS * NNZ_PER_ROW);
+    let build_mat = c.p.label_here();
+    c.lcg(Reg::S6, Reg::T1);
+    c.p.andi(Reg::T2, Reg::S6, ROWS - 1);
+    c.p.slli(Reg::T3, Reg::S5, 2);
+    c.p.add(Reg::T3, Reg::S0, Reg::T3);
+    c.p.store(Reg::T2, Reg::T3, 0, MemSize::B4);
+    c.p.slli(Reg::T3, Reg::S5, 3);
+    c.p.add(Reg::T3, Reg::S1, Reg::T3);
+    c.p.sd(Reg::S6, Reg::T3, 0);
+    c.p.addi(Reg::S5, Reg::S5, 1);
+    c.p.li(Reg::T0, ROWS * NNZ_PER_ROW);
+    c.p.blt(Reg::S5, Reg::T0, build_mat);
+    c.p.li(Reg::S5, 0);
+    let build_x = c.p.label_here();
+    c.p.slli(Reg::T3, Reg::S5, 3);
+    c.p.add(Reg::T3, Reg::S2, Reg::T3);
+    c.p.sd(Reg::S5, Reg::T3, 0);
+    c.p.addi(Reg::S5, Reg::S5, 1);
+    c.p.li(Reg::T0, ROWS);
+    c.p.blt(Reg::S5, Reg::T0, build_x);
+
+    let main = c.loop_head(Reg::S4, passes);
+    {
+        // y = A·x over all rows.
+        c.p.li(Reg::S5, 0); // row
+        let row = c.p.label_here();
+        c.p.li(Reg::S8, 0); // accumulator
+        c.p.li(Reg::S9, 0); // k
+        let nz = c.p.label_here();
+        c.p.muli(Reg::T1, Reg::S5, NNZ_PER_ROW);
+        c.p.add(Reg::T1, Reg::T1, Reg::S9);
+        c.p.slli(Reg::T2, Reg::T1, 2);
+        c.p.add(Reg::T2, Reg::S0, Reg::T2);
+        c.p.load(Reg::T3, Reg::T2, 0, MemSize::B4); // col
+        c.p.slli(Reg::T2, Reg::T1, 3);
+        c.p.add(Reg::T2, Reg::S1, Reg::T2);
+        c.p.ld(Reg::T4, Reg::T2, 0); // val
+        c.p.slli(Reg::T3, Reg::T3, 3);
+        c.p.add(Reg::T3, Reg::S2, Reg::T3);
+        c.p.ld(Reg::T5, Reg::T3, 0); // x[col]
+        c.p.mul(Reg::T4, Reg::T4, Reg::T5);
+        c.p.add(Reg::S8, Reg::S8, Reg::T4);
+        c.p.addi(Reg::S9, Reg::S9, 1);
+        c.p.li(Reg::T0, NNZ_PER_ROW);
+        c.p.blt(Reg::S9, Reg::T0, nz);
+        c.p.slli(Reg::T1, Reg::S5, 3);
+        c.p.add(Reg::T1, Reg::S3, Reg::T1);
+        c.p.sd(Reg::S8, Reg::T1, 0);
+        c.p.addi(Reg::S5, Reg::S5, 1);
+        c.p.li(Reg::T0, ROWS);
+        c.p.blt(Reg::S5, Reg::T0, row);
+        // Every third pass, grow the work vector (simplex basis change).
+        c.p.andi(Reg::T1, Reg::S4, 3);
+        let no_regrow = c.p.new_label();
+        c.p.bne(Reg::T1, Reg::ZERO, no_regrow);
+        c.p.mv(Reg::A0, Reg::S10);
+        c.p.slli(Reg::T2, Reg::S4, 6);
+        c.p.addi(Reg::A1, Reg::T2, ROWS * 8);
+        c.p.ecall(EcallNum::Realloc);
+        c.p.mv(Reg::S10, Reg::A0);
+        c.p.bind(no_regrow);
+    }
+    c.loop_end(Reg::S4, main);
+
+    c.free_reg(Reg::S0);
+    c.free_reg(Reg::S1);
+    c.free_reg(Reg::S2);
+    c.free_reg(Reg::S3);
+    c.free_reg(Reg::S10);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::common::testutil::calibrate;
+    use crate::Workload;
+
+    #[test]
+    fn calibration() {
+        // 6 passes × 256 rows × 8 nnz × ~15 insts ≈ 190 k; 5 setup
+        // allocations + realloc-driven churn.
+        calibrate(Workload::Soplex, 130_000..400_000, 5..12);
+    }
+}

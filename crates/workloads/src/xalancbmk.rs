@@ -1,0 +1,114 @@
+//! `xalancbmk`-like kernel: XML-transformation stand-in — text scanning
+//! punctuated by constant small-node allocation with a bounded element
+//! stack, plus string copies through the runtime.
+//!
+//! Profile: **the allocation-heaviest benchmark** (the paper singles out
+//! xalancbmk at ≈ 0.2 allocations per kilo-instruction, with allocator
+//! overhead dominating its Figure 3 breakdown and Figure 7 overheads).
+
+use rest_isa::{MemSize, Program, Reg};
+
+use crate::common::{Ctx, WorkloadParams};
+
+const TEXT_BYTES: i64 = 8192;
+const STACK_CAP: i64 = 16;
+
+pub fn build(params: &WorkloadParams) -> Program {
+    let events = params.pick(75, 600);
+    let scan_bytes = 260;
+    let mut c = Ctx::new(params);
+
+    // Document text in static data.
+    c.sbrk_imm(TEXT_BYTES);
+    c.p.mv(Reg::S1, Reg::A0);
+    c.p.li(Reg::S6, 0xd0c5_ca1e);
+    c.p.li(Reg::S2, 0);
+    let fill = c.p.label_here();
+    c.lcg(Reg::S6, Reg::T0);
+    c.p.add(Reg::T1, Reg::S1, Reg::S2);
+    c.p.sd(Reg::S6, Reg::T1, 0);
+    c.p.addi(Reg::S2, Reg::S2, 8);
+    c.p.li(Reg::T0, TEXT_BYTES);
+    c.p.blt(Reg::S2, Reg::T0, fill);
+
+    // Element stack.
+    c.malloc_imm(STACK_CAP * 8);
+    c.p.mv(Reg::S0, Reg::A0);
+    c.p.li(Reg::S7, 0); // depth
+    c.p.li(Reg::S5, 0); // text cursor
+
+    let main = c.loop_head(Reg::S4, events);
+    {
+        // Scan a text segment (SAX-parser stand-in).
+        c.p.li(Reg::S3, scan_bytes);
+        let scan = c.p.label_here();
+        c.p.andi(Reg::T1, Reg::S5, TEXT_BYTES - 1);
+        c.p.add(Reg::T1, Reg::S1, Reg::T1);
+        c.p.load(Reg::T2, Reg::T1, 0, MemSize::B1);
+        c.p.add(Reg::S8, Reg::S8, Reg::T2); // checksum
+        c.p.addi(Reg::S5, Reg::S5, 1);
+        c.p.addi(Reg::S3, Reg::S3, -1);
+        c.p.bne(Reg::S3, Reg::ZERO, scan);
+        // Element event: allocate a DOM node (24 + (r & 0x38) bytes).
+        c.lcg(Reg::S6, Reg::T0);
+        c.p.andi(Reg::A0, Reg::S6, 0x38);
+        c.p.addi(Reg::A0, Reg::A0, 24);
+        c.malloc_a0();
+        c.p.mv(Reg::T5, Reg::A0);
+        c.p.sd(Reg::S6, Reg::T5, 0);
+        // Copy a 16-byte name string into the node.
+        c.p.mv(Reg::A0, Reg::T5);
+        c.p.andi(Reg::T1, Reg::S5, TEXT_BYTES - 64);
+        c.p.add(Reg::A1, Reg::S1, Reg::T1);
+        c.p.li(Reg::A2, 16);
+        c.p.ecall(rest_isa::EcallNum::Memcpy);
+        // Push onto the element stack.
+        c.p.slli(Reg::T1, Reg::S7, 3);
+        c.p.add(Reg::T1, Reg::S0, Reg::T1);
+        c.p.sd(Reg::T5, Reg::T1, 0);
+        c.p.addi(Reg::S7, Reg::S7, 1);
+        // End-of-element flush: pop and free half the stack when full.
+        c.p.li(Reg::T0, STACK_CAP);
+        let no_flush = c.p.new_label();
+        c.p.blt(Reg::S7, Reg::T0, no_flush);
+        c.p.li(Reg::S9, STACK_CAP / 2);
+        let pop = c.p.label_here();
+        c.p.addi(Reg::S7, Reg::S7, -1);
+        c.p.slli(Reg::T1, Reg::S7, 3);
+        c.p.add(Reg::T1, Reg::S0, Reg::T1);
+        c.p.ld(Reg::A0, Reg::T1, 0);
+        c.p.ecall(rest_isa::EcallNum::Free);
+        c.p.addi(Reg::S9, Reg::S9, -1);
+        c.p.bne(Reg::S9, Reg::ZERO, pop);
+        c.p.bind(no_flush);
+    }
+    c.loop_end(Reg::S4, main);
+
+    // Drain remaining elements.
+    let drained = c.p.new_label();
+    let drain = c.p.label_here();
+    c.p.beq(Reg::S7, Reg::ZERO, drained);
+    c.p.addi(Reg::S7, Reg::S7, -1);
+    c.p.slli(Reg::T1, Reg::S7, 3);
+    c.p.add(Reg::T1, Reg::S0, Reg::T1);
+    c.p.ld(Reg::A0, Reg::T1, 0);
+    c.p.ecall(rest_isa::EcallNum::Free);
+    c.p.j(drain);
+    c.p.bind(drained);
+    c.free_reg(Reg::S0);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::common::testutil::calibrate;
+    use crate::Workload;
+
+    #[test]
+    fn calibration() {
+        // 75 events × (260-byte scan × 7 insts + node churn) ≈ 160 k;
+        // 76 allocations (≈ 0.5/kinst — the top of the range, as in the
+        // paper).
+        calibrate(Workload::Xalancbmk, 110_000..300_000, 70..85);
+    }
+}

@@ -1,0 +1,53 @@
+//! Legacy-binary heap protection (§IV-A): REST secures the heap of a
+//! program that was **never recompiled** — the same binary runs under
+//! the plain and REST configurations; only the allocator underneath it
+//! changes (the paper's `LD_PRELOAD` deployment).
+//!
+//! Run with: `cargo run --example legacy_heap`
+
+use rest::prelude::*;
+
+/// A "legacy binary": built once, with no REST instrumentation, no
+/// stack-protection pass, no knowledge of tokens. It has a use-after-free
+/// bug in its cache-recycling logic.
+fn legacy_binary() -> Program {
+    let mut p = ProgramBuilder::new();
+    // cache_entry = malloc(128); use it; free it...
+    p.li(Reg::A0, 128);
+    p.ecall(EcallNum::Malloc);
+    p.mv(Reg::S0, Reg::A0);
+    p.li(Reg::T0, 0xCAFE);
+    p.sd(Reg::T0, Reg::S0, 0);
+    p.mv(Reg::A0, Reg::S0);
+    p.ecall(EcallNum::Free);
+    // ...and then use it again through the stale pointer.
+    p.ld(Reg::A1, Reg::S0, 0);
+    p.li(Reg::A0, 0);
+    p.ecall(EcallNum::Exit);
+    p.build()
+}
+
+fn main() {
+    println!("== Heap safety for legacy binaries (no recompilation) ==\n");
+    let program = legacy_binary(); // built exactly once
+
+    for rt in [RtConfig::plain(), RtConfig::rest(Mode::Secure, false)] {
+        let label = rt.label();
+        let r = rest::simulate(program.clone(), rt);
+        match r.stop {
+            StopReason::Violation(v) => {
+                println!("  {label:<18} use-after-free DETECTED: {v}");
+            }
+            ref s => println!("  {label:<18} bug ran silently ({s:?})"),
+        }
+    }
+
+    println!("\nThe binary contains zero REST instructions — `disassembly` proof:");
+    let has_rest_insts = program
+        .instructions()
+        .iter()
+        .any(|i| matches!(i, Inst::Arm { .. } | Inst::Disarm { .. }));
+    println!("  arm/disarm in program text: {has_rest_insts}");
+    println!("\nAll arming happens inside the swapped-in allocator, so heap");
+    println!("protection needs only LD_PRELOAD, exactly as §IV-A describes.");
+}

@@ -1,0 +1,40 @@
+//! Mini evaluation sweep: run a subset of the paper's workloads under
+//! every scheme and print a Figure-7-style overhead table.
+//!
+//! Run with: `cargo run --release --example workload_sweep`
+//! (use `--release`; the cycle-level simulator is slow in debug builds)
+
+use rest::prelude::*;
+
+fn main() {
+    let workloads = [Workload::Lbm, Workload::Gcc, Workload::Xalancbmk, Workload::Sjeng];
+    let configs = [
+        RtConfig::asan(),
+        RtConfig::rest(Mode::Debug, true),
+        RtConfig::rest(Mode::Secure, true),
+        RtConfig::rest(Mode::Secure, false),
+    ];
+
+    println!("== overhead over plain (%), test-scale inputs ==\n");
+    print!("{:<12}", "workload");
+    for c in &configs {
+        print!("{:>20}", c.label());
+    }
+    println!();
+
+    for w in workloads {
+        let plain = rest::simulate_workload(w, Scale::Test, RtConfig::plain());
+        assert_eq!(plain.stop, StopReason::Exit(0), "{w}: baseline failed");
+        print!("{:<12}", w.name());
+        for c in &configs {
+            let r = rest::simulate_workload(w, Scale::Test, c.clone());
+            assert_eq!(r.stop, StopReason::Exit(0), "{w} under {}", c.label());
+            print!("{:>19.1}%", r.overhead_pct_vs(&plain));
+        }
+        println!();
+    }
+
+    println!("\nExpected shape (paper, Figure 7): ASan highest; REST debug in");
+    println!("between; REST secure lowest, with alloc-heavy workloads (gcc,");
+    println!("xalancbmk) above streaming ones (lbm, sjeng ~0%).");
+}

@@ -1,0 +1,14 @@
+//! `rest-sim`: command-line front end for the REST simulator.
+//!
+//! See `rest::cli::USAGE` or run `rest-sim help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rest::cli::parse_args(args).and_then(rest::cli::execute) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

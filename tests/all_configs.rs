@@ -1,0 +1,40 @@
+//! Exhaustive configuration matrix: every workload under every Figure 7
+//! configuration. Slow in debug builds, so ignored by default — run with
+//!
+//! ```bash
+//! cargo test --release --test all_configs -- --ignored
+//! ```
+
+use rest::prelude::*;
+
+#[test]
+#[ignore = "broad matrix; run explicitly with --release -- --ignored"]
+fn every_workload_under_every_configuration() {
+    let configs = [
+        RtConfig::plain(),
+        RtConfig::asan(),
+        RtConfig::rest(Mode::Debug, true),
+        RtConfig::rest(Mode::Secure, true),
+        RtConfig::rest_perfect(true),
+        RtConfig::rest(Mode::Debug, false),
+        RtConfig::rest(Mode::Secure, false),
+        RtConfig::rest_perfect(false),
+        RtConfig::rest(Mode::Secure, true).with_token_width(TokenWidth::B16),
+        RtConfig::rest(Mode::Secure, true).with_token_width(TokenWidth::B32),
+        RtConfig::rest(Mode::Secure, false).with_sprinkle(),
+        RtConfig::rest(Mode::Secure, false).with_fast_pool(),
+    ];
+    for w in Workload::ALL {
+        for cfg in &configs {
+            let r = rest::simulate_workload(w, Scale::Test, cfg.clone());
+            assert_eq!(
+                r.stop,
+                StopReason::Exit(0),
+                "{w} under {}: {:?}",
+                cfg.label(),
+                r.stop
+            );
+            assert!(r.core.cycles > 0);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration: end-to-end timing runs across protection schemes,
+//! asserting the *shape* of the paper's headline results on test-scale
+//! inputs:
+//!
+//! * ASan costs the most; REST secure the least (Figure 7),
+//! * REST debug sits between secure and ASan, driven by store-commit
+//!   delay (ROB blocked-by-store cycles an order of magnitude up, §VI-B),
+//! * PerfectHW ≈ REST secure (hardware cost ≈ zero),
+//! * full ≈ heap-only for REST (stack protection is nearly free),
+//! * token width does not significantly change performance (Figure 8).
+
+use rest::prelude::*;
+
+fn run(w: Workload, rt: RtConfig) -> SimResult {
+    let r = rest::simulate_workload(w, Scale::Test, rt);
+    assert_eq!(r.stop, StopReason::Exit(0), "{w} failed under {}", r.label);
+    r
+}
+
+#[test]
+fn scheme_ordering_on_alloc_heavy_workload() {
+    let w = Workload::Xalancbmk;
+    let plain = run(w, RtConfig::plain());
+    let asan = run(w, RtConfig::asan());
+    let secure = run(w, RtConfig::rest(Mode::Secure, true));
+    let debug = run(w, RtConfig::rest(Mode::Debug, true));
+
+    assert!(
+        asan.cycles() > secure.cycles(),
+        "ASan ({}) must cost more than REST secure ({})",
+        asan.cycles(),
+        secure.cycles()
+    );
+    assert!(
+        debug.cycles() >= secure.cycles(),
+        "debug ({}) must cost at least secure ({})",
+        debug.cycles(),
+        secure.cycles()
+    );
+    assert!(secure.cycles() > plain.cycles());
+}
+
+#[test]
+fn rest_secure_is_cheap_on_low_alloc_workloads() {
+    // lbm/sjeng make almost no allocations: REST secure overhead must be
+    // very small (the paper shows ~0%).
+    for w in [Workload::Lbm, Workload::Sjeng] {
+        let plain = run(w, RtConfig::plain());
+        let secure = run(w, RtConfig::rest(Mode::Secure, false));
+        let pct = secure.overhead_pct_vs(&plain);
+        assert!(
+            pct < 5.0,
+            "{w}: REST secure heap overhead {pct:.2}% too high"
+        );
+    }
+}
+
+#[test]
+fn asan_overhead_is_substantial_on_memory_heavy_workloads() {
+    // The whole point of REST: ASan's per-access checks are expensive.
+    let w = Workload::Hmmer;
+    let plain = run(w, RtConfig::plain());
+    let asan = run(w, RtConfig::asan());
+    let pct = asan.overhead_pct_vs(&plain);
+    assert!(pct > 15.0, "{w}: ASan overhead only {pct:.2}%");
+}
+
+#[test]
+fn perfect_hw_tracks_rest_secure() {
+    for w in [Workload::Gcc, Workload::Lbm] {
+        let secure = run(w, RtConfig::rest(Mode::Secure, true));
+        let perfect = run(w, RtConfig::rest_perfect(true));
+        let ratio = secure.cycles() as f64 / perfect.cycles() as f64;
+        assert!(
+            (0.9..1.15).contains(&ratio),
+            "{w}: secure/perfect ratio {ratio:.3} — REST hardware must be ~free"
+        );
+    }
+}
+
+#[test]
+fn stack_protection_adds_little_on_top_of_heap() {
+    // Figure 7: Full and Heap differ by ~0.16% on average. Allow a few
+    // percent at test scale, on the most stack-intensive workload.
+    let w = Workload::Sjeng;
+    let heap = run(w, RtConfig::rest(Mode::Secure, false));
+    let full = run(w, RtConfig::rest(Mode::Secure, true));
+    let extra = full.cycles() as f64 / heap.cycles() as f64;
+    assert!(
+        extra < 1.25,
+        "{w}: full/heap ratio {extra:.3} — stack arms too expensive"
+    );
+    assert!(full.cycles() >= heap.cycles());
+}
+
+#[test]
+fn debug_mode_multiplies_rob_blocked_store_cycles() {
+    let w = Workload::Xalancbmk;
+    let secure = run(w, RtConfig::rest(Mode::Secure, true));
+    let debug = run(w, RtConfig::rest(Mode::Debug, true));
+    assert!(
+        debug.core.rob_blocked_store_cycles
+            > 5 * secure.core.rob_blocked_store_cycles.max(1),
+        "debug blocked {} vs secure {}",
+        debug.core.rob_blocked_store_cycles,
+        secure.core.rob_blocked_store_cycles
+    );
+}
+
+#[test]
+fn token_width_is_performance_neutral(){
+    // Figure 8: 16/32/64 B tokens perform alike.
+    let w = Workload::Gcc;
+    let mut cycles = Vec::new();
+    for width in [TokenWidth::B16, TokenWidth::B32, TokenWidth::B64] {
+        let r = run(w, RtConfig::rest(Mode::Secure, true).with_token_width(width));
+        cycles.push(r.cycles() as f64);
+    }
+    let max = cycles.iter().cloned().fold(0.0f64, f64::max);
+    let min = cycles.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max / min < 1.15,
+        "token width changed performance by {:.1}% ({cycles:?})",
+        (max / min - 1.0) * 100.0
+    );
+}
+
+#[test]
+fn workload_results_are_deterministic() {
+    let a = run(Workload::Astar, RtConfig::rest(Mode::Secure, true));
+    let b = run(Workload::Astar, RtConfig::rest(Mode::Secure, true));
+    assert_eq!(a.cycles(), b.cycles());
+    assert_eq!(a.core.uops, b.core.uops);
+    assert_eq!(a.mem.l1d_misses, b.mem.l1d_misses);
+}
+
+#[test]
+fn token_traffic_at_l2_interface_is_rare() {
+    // §VI-B: ~0.04 token lines per kilo-instruction even for xalanc.
+    // Test-scale footprints are smaller than L1+L2, so token lines
+    // should almost never reach memory.
+    let r = run(Workload::Xalancbmk, RtConfig::rest(Mode::Secure, true));
+    assert!(
+        r.tokens_per_kiloinst_l2_mem() < 2.0,
+        "tokens/kinst at L2/mem = {:.3}",
+        r.tokens_per_kiloinst_l2_mem()
+    );
+}

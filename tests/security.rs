@@ -1,0 +1,103 @@
+//! Integration: the full attack × scheme matrix (§V of the paper),
+//! end-to-end through the public API — every attack is run under every
+//! scheme and checked against the paper's expectation, including the
+//! documented REST false negative and the leaks the plain build allows.
+
+use rest::attacks::{verify, Attack, Expectation};
+use rest::prelude::*;
+
+fn configs() -> Vec<RtConfig> {
+    vec![
+        RtConfig::plain(),
+        RtConfig::asan(),
+        RtConfig::rest(Mode::Secure, true),
+        RtConfig::rest(Mode::Debug, true),
+    ]
+}
+
+#[test]
+fn full_attack_matrix_matches_paper_expectations() {
+    let mut lines = Vec::new();
+    for attack in Attack::ALL {
+        for cfg in configs() {
+            match verify(attack, cfg) {
+                Ok(line) => lines.push(line),
+                Err(e) => panic!("matrix mismatch: {e}\nso far:\n{}", lines.join("\n")),
+            }
+        }
+    }
+    // Every attack × configuration pair verified.
+    assert_eq!(lines.len(), Attack::ALL.len() * 4);
+}
+
+#[test]
+fn rest_detection_is_consistent_between_secure_and_debug() {
+    // Mode affects precision and performance, never *whether* a
+    // violation is detected.
+    for attack in Attack::ALL {
+        let secure = attack.run(RtConfig::rest(Mode::Secure, true));
+        let debug = attack.run(RtConfig::rest(Mode::Debug, true));
+        assert_eq!(
+            secure.detected, debug.detected,
+            "{attack}: secure/debug detection diverged"
+        );
+        assert_eq!(secure.leaked_secret, debug.leaked_secret, "{attack}");
+    }
+}
+
+#[test]
+fn debug_mode_reports_precisely_secure_does_not() {
+    let secure = Attack::UseAfterFree.run(RtConfig::rest(Mode::Secure, false));
+    match secure.stop {
+        StopReason::Violation(Violation::Rest(e)) => assert!(!e.precise),
+        ref other => panic!("{other:?}"),
+    }
+    let debug = Attack::UseAfterFree.run(RtConfig::rest(Mode::Debug, false));
+    match debug.stop {
+        StopReason::Violation(Violation::Rest(e)) => assert!(e.precise),
+        ref other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn narrow_tokens_shrink_the_padding_false_negative() {
+    // §V-C: the padding gap can be reduced with narrower tokens. A
+    // 100-byte allocation pads to 128 under 64 B tokens (28-byte gap)
+    // but only to 112 under 16 B tokens (12-byte gap): the overread at
+    // offset 104+8 that 64 B tokens miss is inside the 16 B token zone.
+    let wide = Attack::PaddingGapOverread.run(RtConfig::rest(Mode::Secure, false));
+    assert!(!wide.detected, "64B tokens miss the pad overread");
+    let narrow = Attack::PaddingGapOverread
+        .run(RtConfig::rest(Mode::Secure, false).with_token_width(TokenWidth::B16));
+    assert!(
+        narrow.detected,
+        "16B tokens must catch the same overread: {:?}",
+        narrow.stop
+    );
+}
+
+#[test]
+fn perfect_hw_provides_no_protection() {
+    // The limit study replaces arms with stores: the Heartbleed read
+    // must sail through, confirming PerfectHW is overhead-only.
+    let out = Attack::Heartbleed.run(RtConfig::rest_perfect(true));
+    assert!(!out.detected);
+    assert!(out.leaked_secret);
+}
+
+#[test]
+fn expectation_table_is_total() {
+    for attack in Attack::ALL {
+        for scheme in [Scheme::Plain, Scheme::Asan, Scheme::Rest] {
+            // Must not panic, and NotApplicable only where documented.
+            let e = attack.expectation(scheme);
+            if e == Expectation::NotApplicable {
+                assert!(
+                    matches!(attack, Attack::BruteForceDisarm),
+                    "{attack} unexpectedly n/a under {scheme:?}"
+                );
+            }
+            let _ = e;
+        }
+    }
+}

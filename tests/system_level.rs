@@ -1,0 +1,164 @@
+//! Integration: system-level token management (§IV-B), the detector-
+//! placement limitation (§V-B), and the setjmp/longjmp limitation
+//! (§V-C) — the parts of the design the paper discusses but does not
+//! benchmark, exercised end-to-end.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rest::core::policy::{PerProcessTokenPolicy, SystemTokenPolicy};
+use rest::core::{Mode, RestExceptionKind, Token, TokenWidth};
+use rest::mem::{Hierarchy, MemConfig};
+use rest::prelude::*;
+use rest_isa::{GuestMemory, MemAccessKind};
+
+fn fixture() -> (Hierarchy, GuestMemory, StdRng) {
+    (
+        Hierarchy::new(MemConfig::isca2018()),
+        GuestMemory::new(),
+        StdRng::seed_from_u64(99),
+    )
+}
+
+#[test]
+fn token_rotation_orphans_previously_armed_lines() {
+    // §IV-B: the system token can be rotated (e.g. at reboot) without
+    // recompilation. The flip side, demonstrated here: lines armed under
+    // the OLD token are no longer detected once the register holds the
+    // new value — rotation is only safe when no tokens are live, which
+    // is why the paper rotates at reboot.
+    let (mut h, mut mem, mut rng) = fixture();
+    let mut policy = SystemTokenPolicy::new(TokenWidth::B64, &mut rng);
+    let old = policy.token().clone();
+    mem.write_bytes(0x1000, old.bytes());
+    // Detected under the old token…
+    let out = h.access_data(0, MemAccessKind::Load, 0x1000, 8, &mem, &old, Mode::Secure);
+    assert_eq!(out.exception, Some(RestExceptionKind::TokenLoad));
+
+    policy.rotate(&mut rng);
+    let new = policy.token().clone();
+    assert_ne!(old.bytes(), new.bytes());
+    // …but on a fresh boot (cold caches) with the rotated register, the
+    // same line content no longer matches: the stale token is orphaned.
+    let (mut h2, _, _) = fixture();
+    let out = h2.access_data(0, MemAccessKind::Load, 0x1000, 8, &mem, &new, Mode::Secure);
+    assert!(out.exception.is_none());
+}
+
+#[test]
+fn per_process_tokens_isolate_and_shared_token_protects_across_processes() {
+    // §IV-B's two deployment models, at the detector level.
+    let (mut h, mut mem, mut rng) = fixture();
+    let mut policy = PerProcessTokenPolicy::new();
+    policy.spawn(1, TokenWidth::B64, &mut rng);
+    policy.spawn(2, TokenWidth::B64, &mut rng);
+
+    // Process 1 arms a (shared) page with ITS token.
+    let t1 = policy.switch_to(1).unwrap().clone();
+    mem.write_bytes(0x8000, t1.bytes());
+    let out = h.access_data(0, MemAccessKind::Load, 0x8000, 8, &mem, &t1, Mode::Secure);
+    assert_eq!(out.exception, Some(RestExceptionKind::TokenLoad));
+
+    // Context switch: process 2's register holds a different value, so
+    // process 1's token does not trap process 2 (per-process isolation —
+    // and the reason cross-process shared memory needs the single-token
+    // model instead).
+    let t2 = policy.switch_to(2).unwrap().clone();
+    let (mut h2, _, _) = fixture();
+    let out = h2.access_data(0, MemAccessKind::Load, 0x8000, 8, &mem, &t2, Mode::Secure);
+    assert!(out.exception.is_none());
+
+    // Cloned processes inherit the parent token, so COW pages containing
+    // tokens stay armed for both sides.
+    policy.clone_process(1, 3);
+    let t3 = policy.switch_to(3).unwrap().clone();
+    let (mut h3, _, _) = fixture();
+    let out = h3.access_data(0, MemAccessKind::Load, 0x8000, 8, &mem, &t3, Mode::Secure);
+    assert_eq!(out.exception, Some(RestExceptionKind::TokenLoad));
+}
+
+#[test]
+fn dma_sidesteps_the_detector() {
+    // §V-B "Detector Placement": the detector sits at the L1-D, so
+    // traffic that bypasses the cache (DMA) can destroy a token without
+    // raising anything.
+    let (mut h, mut mem, mut rng) = fixture();
+    let token = Token::generate(TokenWidth::B64, &mut rng);
+    mem.write_bytes(0x2000, token.bytes());
+    // Armed and detected through the normal path.
+    let out = h.access_data(0, MemAccessKind::Load, 0x2000, 8, &mem, &token, Mode::Secure);
+    assert_eq!(out.exception, Some(RestExceptionKind::TokenLoad));
+
+    // A DMA engine overwrites the line and invalidates the cached copy.
+    mem.fill(0x2000, 64, 0x41);
+    h.coherence_invalidate(0x2000);
+
+    // The token is gone; no exception was ever raised for the DMA write
+    // itself, and subsequent CPU accesses read the DMA data freely.
+    let out = h.access_data(1000, MemAccessKind::Load, 0x2000, 8, &mem, &token, Mode::Secure);
+    assert!(out.exception.is_none(), "token destroyed silently by DMA");
+}
+
+#[test]
+fn longjmp_leaves_stale_stack_tokens_behind() {
+    // §V-C: REST cannot support setjmp/longjmp — disarms happen at fixed
+    // frame offsets, and a longjmp that skips an epilogue strands armed
+    // tokens on the stack. A later, innocent frame then trips over them.
+    // This test demonstrates exactly that failure mode end-to-end.
+    let mut p = ProgramBuilder::new();
+    let guard = rest::runtime::FrameGuard::new(StackScheme::Rest, TokenWidth::B64);
+    guard.emit_startup(&mut p);
+
+    let f = p.new_label();
+    let after_longjmp = p.new_label();
+    // "setjmp": remember SP in S0, call f.
+    p.mv(Reg::S0, Reg::SP);
+    p.call(f);
+
+    // f: arms its frame redzones, then "longjmp"s out without running
+    // the epilogue (restore SP from S0 and jump).
+    p.bind(f);
+    let layout = guard.layout(&[32], 16);
+    guard.emit_prologue(&mut p, &layout);
+    p.mv(Reg::SP, Reg::S0); // longjmp: tear down the frame the fast way
+    p.j(after_longjmp);
+
+    p.bind(after_longjmp);
+    // An innocent function now runs in the same stack region WITHOUT
+    // REST instrumentation (unprotected leaf): its ordinary local write
+    // lands on a stranded token.
+    let frame = layout.frame_size as i64;
+    p.addi(Reg::SP, Reg::SP, -frame);
+    let rz_off = layout.redzones[0].0 as i64;
+    p.li(Reg::T0, 7);
+    p.sd(Reg::T0, Reg::SP, rz_off); // plain store onto the stale token
+    p.addi(Reg::SP, Reg::SP, frame);
+    p.li(Reg::A0, 0);
+    p.ecall(EcallNum::Exit);
+
+    let r = rest::simulate(p.build(), RtConfig::rest(Mode::Secure, true));
+    match r.stop {
+        StopReason::Violation(Violation::Rest(e)) => {
+            assert_eq!(
+                e.kind,
+                RestExceptionKind::TokenStore,
+                "the stale token must trip the innocent frame"
+            );
+        }
+        other => panic!("expected the §V-C longjmp false positive, got {other:?}"),
+    }
+}
+
+#[test]
+fn sprinkled_decoys_do_not_perturb_correct_programs() {
+    // Sprinkling only adds tokens to gaps no correct program touches:
+    // every workload must still run cleanly with it enabled.
+    for w in [Workload::Gcc, Workload::Xalancbmk] {
+        let r = rest::simulate_workload(
+            w,
+            Scale::Test,
+            RtConfig::rest(Mode::Secure, false).with_sprinkle(),
+        );
+        assert_eq!(r.stop, StopReason::Exit(0), "{w} under sprinkling");
+    }
+}

@@ -1,0 +1,182 @@
+//! Integration: Table I conformance — the timing hierarchy's observable
+//! behaviour is checked cell-by-cell against the executable
+//! specification in `rest_core::table1`, and the LSQ rules are exercised
+//! through the pipeline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rest::core::table1::{cache_decision, lsq_decision, Action, SqTag};
+use rest::core::{Mode, RestExceptionKind, Token, TokenWidth};
+use rest::mem::{Hierarchy, MemConfig};
+use rest_isa::{GuestMemory, MemAccessKind};
+
+fn fixture() -> (Hierarchy, GuestMemory, Token) {
+    let mut rng = StdRng::seed_from_u64(0xdead);
+    (
+        Hierarchy::new(MemConfig::isca2018()),
+        GuestMemory::new(),
+        Token::generate(TokenWidth::B64, &mut rng),
+    )
+}
+
+/// Makes `addr`'s line resident (and optionally armed) in the L1-D, past
+/// all fill latency, returning a quiet cycle to continue from.
+fn warm(
+    h: &mut Hierarchy,
+    mem: &mut GuestMemory,
+    tok: &Token,
+    addr: u64,
+    armed: bool,
+) -> u64 {
+    if armed {
+        mem.write_bytes(addr & !63, tok.bytes());
+    }
+    let out = h.access_data(0, MemAccessKind::Arm, addr & !63, 64, mem, tok, Mode::Secure);
+    if !armed {
+        // Undo: disarm (zeroes) so only residency remains.
+        mem.fill(addr & !63, 64, 0);
+        let out2 = h.access_data(
+            out.complete_at + 1,
+            MemAccessKind::Disarm,
+            addr & !63,
+            64,
+            mem,
+            tok,
+            Mode::Secure,
+        );
+        return out2.complete_at + 10;
+    }
+    out.complete_at + 10
+}
+
+#[test]
+fn cache_hit_cells_match_spec() {
+    for action in [
+        Action::Load,
+        Action::StoreSecure,
+        Action::StoreDebug,
+        Action::Disarm,
+        Action::Arm,
+    ] {
+        for token_bit in [false, true] {
+            let (mut h, mut mem, tok) = fixture();
+            let addr = 0x9000u64;
+            let t = warm(&mut h, &mut mem, &tok, addr, token_bit);
+            let (kind, mode) = match action {
+                Action::Load => (MemAccessKind::Load, Mode::Secure),
+                Action::StoreSecure => (MemAccessKind::Store, Mode::Secure),
+                Action::StoreDebug => (MemAccessKind::Store, Mode::Debug),
+                Action::Arm => (MemAccessKind::Arm, Mode::Secure),
+                Action::Disarm => (MemAccessKind::Disarm, Mode::Secure),
+                _ => unreachable!(),
+            };
+            let expected = cache_decision(action, true, token_bit);
+            let out = h.access_data(t, kind, addr, 8, &mem, &tok, mode);
+            assert_eq!(
+                out.exception, expected.exception,
+                "{action:?} hit token_bit={token_bit}"
+            );
+            if expected.set_token_bit {
+                assert!(h.l1d().token_bit_covering(addr, 64));
+            }
+            if expected.clear_slot_unset_bit {
+                assert!(!h.l1d().token_bit_covering(addr, 64));
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_miss_cells_fetch_detect_then_proceed_as_hit() {
+    // Miss path with an armed line in memory: every regular access must
+    // fault after the fill-path detector marks the line.
+    for (kind, expected) in [
+        (MemAccessKind::Load, RestExceptionKind::TokenLoad),
+        (MemAccessKind::Store, RestExceptionKind::TokenStore),
+    ] {
+        let (mut h, mut mem, tok) = fixture();
+        mem.write_bytes(0xa000, tok.bytes());
+        let out = h.access_data(0, kind, 0xa008, 8, &mem, &tok, Mode::Secure);
+        assert_eq!(out.exception, Some(expected), "{kind:?} miss on armed line");
+        assert_eq!(h.stats().token_detections_on_fill, 1);
+    }
+    // Disarm miss on an armed line succeeds (fetch, detect, clear).
+    let (mut h, mut mem, tok) = fixture();
+    mem.write_bytes(0xb000, tok.bytes());
+    let out = h.access_data(0, MemAccessKind::Disarm, 0xb000, 64, &mem, &tok, Mode::Secure);
+    assert!(out.exception.is_none());
+    assert!(!h.l1d().token_bit_covering(0xb000, 64));
+    // Disarm miss on an unarmed line faults.
+    let (mut h, mem, tok) = fixture();
+    let out = h.access_data(0, MemAccessKind::Disarm, 0xc000, 64, &mem, &tok, Mode::Secure);
+    assert_eq!(out.exception, Some(RestExceptionKind::DisarmUnarmed));
+}
+
+#[test]
+fn store_debug_miss_delays_commit_decision_in_spec() {
+    // The spec cell distinguishing debug from secure stores.
+    let d = cache_decision(Action::StoreDebug, false, false);
+    assert!(d.delay_commit_until_ack);
+    let d = cache_decision(Action::StoreSecure, false, false);
+    assert!(!d.delay_commit_until_ack);
+}
+
+#[test]
+fn eviction_cell_materialises_token_value() {
+    let (mut h, mut mem, tok) = fixture();
+    // Arm a line, then thrash its set (L1-D 64 kB 8-way: 8 kB stride).
+    let base = 0x2_0000u64;
+    let t = warm(&mut h, &mut mem, &tok, base, true);
+    let mut now = t;
+    for i in 1..=8u64 {
+        let out = h.access_data(
+            now,
+            MemAccessKind::Load,
+            base + i * 8192,
+            8,
+            &mem,
+            &tok,
+            Mode::Secure,
+        );
+        now = out.complete_at + 1;
+    }
+    assert!(
+        h.stats().token_lines_evicted_l1d >= 1,
+        "armed-line eviction must be recorded"
+    );
+}
+
+#[test]
+fn lsq_spec_cells_cover_all_actions() {
+    // Arm always inserts tagged, never forwards.
+    let d = lsq_decision(Action::Arm, false, false, false);
+    assert_eq!(d.insert, Some(SqTag::Arm));
+    assert!(!d.may_forward);
+    // Store over in-flight arm raises.
+    let d = lsq_decision(Action::StoreSecure, true, false, false);
+    assert_eq!(d.exception, Some(RestExceptionKind::StoreHitInflightArm));
+    // Load forwarding from an arm raises.
+    let d = lsq_decision(Action::Load, true, false, true);
+    assert_eq!(d.exception, Some(RestExceptionKind::ForwardFromArm));
+    // Double in-flight disarm raises.
+    let d = lsq_decision(Action::Disarm, false, true, false);
+    assert_eq!(d.exception, Some(RestExceptionKind::DoubleInflightDisarm));
+}
+
+#[test]
+fn pipeline_enforces_lsq_forwarding_rule_end_to_end() {
+    use rest::prelude::*;
+    // Guest program: arm a slot then immediately load from it — close
+    // enough that the arm is still in flight in the store queue.
+    let mut p = ProgramBuilder::new();
+    p.li(Reg::T0, 0x30_0000);
+    p.arm(Reg::T0);
+    p.ld(Reg::A0, Reg::T0, 8);
+    p.halt();
+    let r = rest::simulate(p.build(), RtConfig::rest(Mode::Secure, true));
+    // Architecturally this is a token load; microarchitecturally the LSQ
+    // forwarding rule fires (or the cache token bit if the arm drained).
+    assert!(matches!(r.stop, StopReason::Violation(Violation::Rest(_))));
+    assert!(r.core.lsq_rest_exceptions + r.mem.rest_exceptions >= 1);
+}
