@@ -12,56 +12,103 @@
 //!    and the REST-aware fast-pool allocator, measured against the
 //!    paper's evaluated design.
 //!
-//! Usage: `cargo run --release -p rest-bench --bin ablations [--test]`
+//! All three sweeps share one engine, so each benchmark's plain
+//! baseline is simulated once (gcc and xalancbmk appear in several
+//! sections).
+//!
+//! Usage: `cargo run --release -p rest-bench --bin ablations -- \
+//!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
 
-use rest_bench::{run, scale_from_args, stack_for};
+use rest_bench::cli::BenchCli;
+use rest_bench::engine::{ColumnSpec, Engine, MatrixSpec};
+use rest_bench::sink::ResultSink;
+use rest_bench::FigureRow;
 use rest_core::Mode;
-use rest_cpu::{SimConfig, StopReason, System};
 use rest_runtime::RtConfig;
-use rest_workloads::{Workload, WorkloadParams};
-
-fn run_serialized(w: Workload, scale: rest_workloads::Scale, rt: RtConfig) -> rest_cpu::SimResult {
-    let params = WorkloadParams {
-        scale,
-        stack_scheme: stack_for(&rt),
-        token_width: rt.token_width,
-        seed: 0xC0FFEE,
-    };
-    let program = w.build(&params);
-    let mut cfg = SimConfig::isca2018(rt);
-    cfg.core.serialize_rest_ops = true;
-    let r = System::new(program, cfg).run();
-    assert_eq!(r.stop, StopReason::Exit(0));
-    r
-}
+use rest_workloads::Workload;
 
 fn main() {
-    let scale = scale_from_args();
-    let subjects = [Workload::Gcc, Workload::Xalancbmk, Workload::Sjeng];
+    let cli = BenchCli::parse("ablations");
+    let engine = Engine::new(cli.jobs);
+
+    // Ablation 1+2: arm/disarm design alternatives.
+    let secure_full = RtConfig::rest(Mode::Secure, true);
+    let arm_spec = MatrixSpec::new(
+        cli.filter_rows(
+            [Workload::Gcc, Workload::Xalancbmk, Workload::Sjeng]
+                .into_iter()
+                .map(FigureRow::of)
+                .collect(),
+        ),
+        vec![
+            ColumnSpec::new("paper-design", secure_full.clone()),
+            ColumnSpec::new(
+                "naive-wide-arm",
+                RtConfig {
+                    naive_wide_arm: true,
+                    ..secure_full.clone()
+                },
+            ),
+            ColumnSpec {
+                serialize_rest_ops: true,
+                ..ColumnSpec::new("serialized", secure_full.clone())
+            },
+        ],
+        cli.scale,
+    );
+
+    // Ablation 3: quarantine budget sweep on xalancbmk (secure heap).
+    let budgets = [4u64 << 10, 64 << 10, 1 << 20];
+    let budget_spec = MatrixSpec::new(
+        cli.filter_rows(vec![FigureRow::of(Workload::Xalancbmk)]),
+        budgets
+            .iter()
+            .map(|&b| {
+                ColumnSpec::new(
+                    format!("{}K", b >> 10),
+                    RtConfig::rest(Mode::Secure, false).with_quarantine(b),
+                )
+            })
+            .collect(),
+        cli.scale,
+    );
+
+    // Ablation 4: §VIII future-work optimisations.
+    let base_cfg = RtConfig::rest(Mode::Secure, false).with_quarantine(16 << 10);
+    let future_spec = MatrixSpec::new(
+        cli.filter_rows(
+            [Workload::Xalancbmk, Workload::Gcc]
+                .into_iter()
+                .map(FigureRow::of)
+                .collect(),
+        ),
+        vec![
+            ColumnSpec::new("paper-design", base_cfg.clone()),
+            ColumnSpec::new("fast-pool", base_cfg.clone().with_fast_pool()),
+            ColumnSpec {
+                token_cache_entries: 16,
+                ..ColumnSpec::new("+token-cache", base_cfg.clone().with_fast_pool())
+            },
+        ],
+        cli.scale,
+    );
+
+    let arm = engine.run_matrix(&arm_spec);
+    let budget = engine.run_matrix(&budget_spec);
+    let future = engine.run_matrix(&future_spec);
 
     println!("# Ablation 1+2 — arm/disarm design alternatives, overhead over plain (%)");
     println!(
         "{:<12}{:>16}{:>16}{:>16}",
         "benchmark", "paper-design", "naive-wide-arm", "serialized"
     );
-    for w in subjects {
-        let plain = run(w, scale, RtConfig::plain());
-        let lazy = run(w, scale, RtConfig::rest(Mode::Secure, true));
-        let naive = run(
-            w,
-            scale,
-            RtConfig {
-                naive_wide_arm: true,
-                ..RtConfig::rest(Mode::Secure, true)
-            },
-        );
-        let serial = run_serialized(w, scale, RtConfig::rest(Mode::Secure, true));
+    for row in &arm.rows {
         println!(
             "{:<12}{:>15.2}%{:>15.2}%{:>15.2}%",
-            w.name(),
-            lazy.overhead_pct_vs(&plain),
-            naive.overhead_pct_vs(&plain),
-            serial.overhead_pct_vs(&plain),
+            row.row.name,
+            row.overhead_pct(0),
+            row.overhead_pct(1),
+            row.overhead_pct(2),
         );
     }
 
@@ -71,20 +118,20 @@ fn main() {
         "{:<12}{:>14}{:>16}{:>18}",
         "budget", "overhead %", "evictions", "quarantined-bytes"
     );
-    let plain = run(Workload::Xalancbmk, scale, RtConfig::plain());
-    for budget in [4u64 << 10, 64 << 10, 1 << 20] {
-        let r = run(
-            Workload::Xalancbmk,
-            scale,
-            RtConfig::rest(Mode::Secure, false).with_quarantine(budget),
-        );
-        println!(
-            "{:<12}{:>13.2}%{:>16}{:>18}",
-            format!("{}K", budget >> 10),
-            r.overhead_pct_vs(&plain),
-            r.alloc.quarantine_evictions,
-            r.alloc.quarantine_bytes,
-        );
+    for row in &budget.rows {
+        for (c, col) in budget.columns.iter().enumerate() {
+            let Some(r) = row.cell(c) else {
+                println!("{:<12}  (failed; see stderr)", col.label);
+                continue;
+            };
+            println!(
+                "{:<12}{:>13.2}%{:>16}{:>18}",
+                col.label,
+                row.overhead_pct(c),
+                r.alloc.quarantine_evictions,
+                r.alloc.quarantine_bytes,
+            );
+        }
     }
     println!();
     println!("# larger budgets widen the use-after-free detection window (fewer");
@@ -96,36 +143,23 @@ fn main() {
         "{:<12}{:>16}{:>16}{:>16}",
         "benchmark", "paper-design", "fast-pool", "+token-cache"
     );
-    for w in [Workload::Xalancbmk, Workload::Gcc] {
-        let plain = run(w, scale, RtConfig::plain());
-        let base_cfg = RtConfig::rest(Mode::Secure, false).with_quarantine(16 << 10);
-        let base = run(w, scale, base_cfg.clone());
-        let fast = run(w, scale, base_cfg.clone().with_fast_pool());
-        // Token cache on top of the fast pool.
-        let tc = {
-            let params = WorkloadParams {
-                scale,
-                stack_scheme: stack_for(&base_cfg),
-                token_width: base_cfg.token_width,
-                seed: 0xC0FFEE,
-            };
-            let program = w.build(&params);
-            let mut cfg = SimConfig::isca2018(base_cfg.clone().with_fast_pool());
-            cfg.mem.token_cache_entries = 16;
-            let r = System::new(program, cfg).run();
-            assert_eq!(r.stop, StopReason::Exit(0));
-            r
-        };
+    for row in &future.rows {
         println!(
             "{:<12}{:>15.2}%{:>15.2}%{:>15.2}%",
-            w.name(),
-            base.overhead_pct_vs(&plain),
-            fast.overhead_pct_vs(&plain),
-            tc.overhead_pct_vs(&plain),
+            row.row.name,
+            row.overhead_pct(0),
+            row.overhead_pct(1),
+            row.overhead_pct(2),
         );
     }
     println!();
     println!("# the fast pool removes release-time disarm sweeps and redzone");
     println!("# re-arming; the dedicated token cache accelerates armed-line");
     println!("# refetches (both proposed as future work in §VIII).");
+
+    let mut sink = ResultSink::new(&cli);
+    sink.push_matrix("arm_design", &arm);
+    sink.push_matrix("quarantine_budget", &budget);
+    sink.push_matrix("future_work", &future);
+    sink.finish();
 }

@@ -3,9 +3,13 @@
 //! interception — measured, as in the paper, on an in-order core by
 //! enabling the components cumulatively.
 //!
-//! Usage: `cargo run --release -p rest-bench --bin fig3 [--test]`
+//! Usage: `cargo run --release -p rest-bench --bin fig3 -- \
+//!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
 
-use rest_bench::{fmt_row, run_with, scale_from_args};
+use rest_bench::cli::BenchCli;
+use rest_bench::engine::{ColumnSpec, CoreKind, Engine, MatrixSpec};
+use rest_bench::sink::{Json, ResultSink};
+use rest_bench::{fmt_row, FigureRow};
 use rest_runtime::{RtConfig, Scheme};
 use rest_workloads::Workload;
 
@@ -40,34 +44,87 @@ fn stages() -> Vec<(&'static str, RtConfig)> {
 }
 
 fn main() {
-    let scale = scale_from_args();
+    let cli = BenchCli::parse("fig3");
+    let columns: Vec<ColumnSpec> = stages()
+        .into_iter()
+        .map(|(name, rt)| ColumnSpec::new(name, rt))
+        .collect();
+    let rows: Vec<FigureRow> = Workload::ALL.into_iter().map(FigureRow::of).collect();
+    let spec = MatrixSpec {
+        core: CoreKind::InOrder,
+        ..MatrixSpec::new(cli.filter_rows(rows), columns, cli.scale)
+    };
+
+    let engine = Engine::new(cli.jobs);
+    let matrix = engine.run_matrix(&spec);
+
     println!("# Figure 3 — ASan overhead breakdown (%, incremental per component)");
     println!("# core: narrow in-order (as in the paper's Figure 3 measurement)");
     println!();
     print!("{:<12}", "benchmark");
-    for (name, _) in stages() {
-        print!("{:>18}", name);
+    for col in &matrix.columns {
+        print!("{:>18}", col.label);
     }
     print!("{:>18}", "total");
     println!();
 
-    for w in Workload::ALL {
-        let plain = run_with(w, scale, RtConfig::plain(), true);
-        let mut prev = plain.cycles() as f64;
-        let mut cells = Vec::new();
-        let mut total = 0.0;
-        for (_, cfg) in stages() {
-            let r = run_with(w, scale, cfg, true);
-            let inc = (r.cycles() as f64 - prev) / plain.cycles() as f64 * 100.0;
-            cells.push(inc);
-            total = (r.cycles() as f64 / plain.cycles() as f64 - 1.0) * 100.0;
-            prev = r.cycles() as f64;
-        }
-        cells.push(total);
-        println!("{}", fmt_row(w.name(), &cells));
+    // The matrix cells are cumulative; the figure reports each
+    // component's *incremental* contribution over the previous stage,
+    // normalised to plain cycles.
+    let mut incremental_rows = Vec::new();
+    for row in &matrix.rows {
+        let cells = incremental_cells(row, matrix.columns.len());
+        println!("{}", fmt_row(row.row.name, &cells));
+        let stages = matrix
+            .columns
+            .iter()
+            .map(|c| c.label.clone())
+            .chain(["total".to_string()])
+            .zip(&cells)
+            .map(|(label, &pct)| (label, Json::Num(pct)))
+            .collect();
+        incremental_rows.push(Json::obj(vec![
+            ("benchmark", Json::from(row.row.name)),
+            ("stages_pct", Json::Obj(stages)),
+        ]));
     }
 
     println!();
     println!("# paper: access validation dominates everywhere; the allocator");
     println!("# contributes heavily for alloc-heavy benchmarks (gcc, xalancbmk).");
+
+    let mut sink = ResultSink::new(&cli);
+    sink.push("core", Json::from("inorder"));
+    sink.push_matrix("matrix", &matrix);
+    sink.push("incremental", Json::Arr(incremental_rows));
+    sink.finish();
+}
+
+/// Per-stage incremental overhead percentages plus the cumulative
+/// total, from the row's cumulative cycle counts. NaN where a run
+/// failed.
+fn incremental_cells(row: &rest_bench::engine::RowResults, ncols: usize) -> Vec<f64> {
+    let Some(plain) = row.plain_result() else {
+        return vec![f64::NAN; ncols + 1];
+    };
+    let plain_cycles = plain.cycles() as f64;
+    let mut prev = plain_cycles;
+    let mut cells = Vec::new();
+    let mut total = f64::NAN;
+    for c in 0..ncols {
+        match row.cell(c) {
+            Some(r) => {
+                let cycles = r.cycles() as f64;
+                cells.push((cycles - prev) / plain_cycles * 100.0);
+                total = (cycles / plain_cycles - 1.0) * 100.0;
+                prev = cycles;
+            }
+            None => {
+                cells.push(f64::NAN);
+                total = f64::NAN;
+            }
+        }
+    }
+    cells.push(total);
+    cells
 }

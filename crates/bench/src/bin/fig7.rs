@@ -2,52 +2,32 @@
 //! × full/heap) over the plain baseline, per benchmark, with the
 //! weighted arithmetic mean and geometric mean the paper reports.
 //!
-//! Usage: `cargo run --release -p rest-bench --bin fig7 [--test]`
+//! Usage: `cargo run --release -p rest-bench --bin fig7 -- \
+//!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
 
-use rest_bench::{
-    fig7_configs, figure_rows, fmt_row, geo_mean_overhead, print_machine_header, run_seeded,
-    scale_from_args, wtd_ari_mean_overhead,
-};
-use rest_runtime::RtConfig;
+use rest_bench::cli::BenchCli;
+use rest_bench::engine::{ColumnSpec, Engine, MatrixSpec};
+use rest_bench::sink::ResultSink;
+use rest_bench::{fig7_configs, figure_rows, print_machine_header};
 
 fn main() {
-    let scale = scale_from_args();
-    let configs = fig7_configs();
+    let cli = BenchCli::parse("fig7");
+    let columns: Vec<ColumnSpec> = fig7_configs()
+        .into_iter()
+        .map(|rt| ColumnSpec::new(rt.label(), rt))
+        .collect();
+    let spec = MatrixSpec::new(cli.filter_rows(figure_rows()), columns, cli.scale);
+
+    let engine = Engine::new(cli.jobs);
+    let matrix = engine.run_matrix(&spec);
+
     print_machine_header("Figure 7 — runtime overhead over plain (%)");
-
-    print!("{:<12}", "benchmark");
-    for c in &configs {
-        print!("{:>18}", c.label());
-    }
-    println!();
-
-    let mut plain_cycles = Vec::new();
-    let mut hardened_cycles: Vec<Vec<u64>> = vec![Vec::new(); configs.len()];
-
-    for row in figure_rows() {
-        let plain = run_seeded(row.workload, scale, RtConfig::plain(), row.seed);
-        plain_cycles.push(plain.cycles());
-        let mut cells = Vec::new();
-        for (i, c) in configs.iter().enumerate() {
-            let r = run_seeded(row.workload, scale, c.clone(), row.seed);
-            hardened_cycles[i].push(r.cycles());
-            cells.push(r.overhead_pct_vs(&plain));
-        }
-        println!("{}", fmt_row(row.name, &cells));
-    }
-
-    let wtd: Vec<f64> = hardened_cycles
-        .iter()
-        .map(|h| wtd_ari_mean_overhead(&plain_cycles, h))
-        .collect();
-    let geo: Vec<f64> = hardened_cycles
-        .iter()
-        .map(|h| geo_mean_overhead(&plain_cycles, h))
-        .collect();
-    println!("{}", fmt_row("WtdAriMean", &wtd));
-    println!("{}", fmt_row("GeoMean", &geo));
-
+    matrix.print_text_table();
     println!();
     println!("# paper (WtdAriMean): ASan ≈ 40%, REST debug ≈ 23–25%, REST secure ≈ 2%,");
     println!("# PerfectHW within 0.2% of secure; Full ≈ Heap + 0.16%.");
+
+    let mut sink = ResultSink::new(&cli);
+    sink.push_matrix("matrix", &matrix);
+    sink.finish();
 }

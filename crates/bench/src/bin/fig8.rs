@@ -3,61 +3,40 @@
 //! width makes no significant performance difference, so users can pick
 //! the most robust (widest) token for free.
 //!
-//! Usage: `cargo run --release -p rest-bench --bin fig8 [--test]`
+//! Usage: `cargo run --release -p rest-bench --bin fig8 -- \
+//!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
 
-use rest_bench::{
-    fig8_widths, figure_rows, fmt_row, geo_mean_overhead, print_machine_header, run_seeded,
-    scale_from_args, wtd_ari_mean_overhead,
-};
+use rest_bench::cli::BenchCli;
+use rest_bench::engine::{ColumnSpec, Engine, MatrixSpec};
+use rest_bench::sink::ResultSink;
+use rest_bench::{fig8_widths, figure_rows, print_machine_header};
 use rest_core::Mode;
 use rest_runtime::RtConfig;
 
 fn main() {
-    let scale = scale_from_args();
-    print_machine_header("Figure 8 — token-width sweep, secure mode, overhead over plain (%)");
-
-    let mut configs = Vec::new();
+    let cli = BenchCli::parse("fig8");
+    let mut columns = Vec::new();
     for full in [true, false] {
         for width in fig8_widths() {
             let scope = if full { "full" } else { "heap" };
-            configs.push((
+            columns.push(ColumnSpec::new(
                 format!("{width}-{scope}"),
                 RtConfig::rest(Mode::Secure, full).with_token_width(width),
             ));
         }
     }
+    let spec = MatrixSpec::new(cli.filter_rows(figure_rows()), columns, cli.scale);
 
-    print!("{:<12}", "benchmark");
-    for (name, _) in &configs {
-        print!("{name:>18}");
-    }
-    println!();
+    let engine = Engine::new(cli.jobs);
+    let matrix = engine.run_matrix(&spec);
 
-    let mut plain_cycles = Vec::new();
-    let mut hardened: Vec<Vec<u64>> = vec![Vec::new(); configs.len()];
-    for row in figure_rows() {
-        let plain = run_seeded(row.workload, scale, RtConfig::plain(), row.seed);
-        plain_cycles.push(plain.cycles());
-        let mut cells = Vec::new();
-        for (i, (_, cfg)) in configs.iter().enumerate() {
-            let r = run_seeded(row.workload, scale, cfg.clone(), row.seed);
-            hardened[i].push(r.cycles());
-            cells.push(r.overhead_pct_vs(&plain));
-        }
-        println!("{}", fmt_row(row.name, &cells));
-    }
-
-    let wtd: Vec<f64> = hardened
-        .iter()
-        .map(|h| wtd_ari_mean_overhead(&plain_cycles, h))
-        .collect();
-    let geo: Vec<f64> = hardened
-        .iter()
-        .map(|h| geo_mean_overhead(&plain_cycles, h))
-        .collect();
-    println!("{}", fmt_row("WtdAriMean", &wtd));
-    println!("{}", fmt_row("GeoMean", &geo));
+    print_machine_header("Figure 8 — token-width sweep, secure mode, overhead over plain (%)");
+    matrix.print_text_table();
     println!();
     println!("# paper: no single token width makes a significant difference;");
     println!("# wider tokens buy robustness without a performance cost.");
+
+    let mut sink = ResultSink::new(&cli);
+    sink.push_matrix("matrix", &matrix);
+    sink.finish();
 }

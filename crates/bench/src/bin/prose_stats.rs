@@ -8,15 +8,34 @@
 //!   ≈ 0.04 for xalancbmk secure-full (tokens almost always stay in the
 //!   caches).
 //!
-//! Usage: `cargo run --release -p rest-bench --bin prose_stats [--test]`
+//! Usage: `cargo run --release -p rest-bench --bin prose_stats -- \
+//!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
 
-use rest_bench::{print_machine_header, run, scale_from_args};
+use rest_bench::cli::BenchCli;
+use rest_bench::engine::{ColumnSpec, Engine, MatrixSpec};
+use rest_bench::sink::{Json, ResultSink};
+use rest_bench::{print_machine_header, FigureRow};
 use rest_core::Mode;
 use rest_runtime::RtConfig;
 use rest_workloads::Workload;
 
 fn main() {
-    let scale = scale_from_args();
+    let cli = BenchCli::parse("prose_stats");
+    let columns = vec![
+        ColumnSpec::new("rest-secure-full", RtConfig::rest(Mode::Secure, true)),
+        ColumnSpec::new("rest-debug-full", RtConfig::rest(Mode::Debug, true)),
+    ];
+    let rows: Vec<FigureRow> = Workload::ALL.into_iter().map(FigureRow::of).collect();
+    let spec = MatrixSpec {
+        // The prose statistics compare secure vs debug directly; no
+        // plain baseline is involved.
+        include_plain: false,
+        ..MatrixSpec::new(cli.filter_rows(rows), columns, cli.scale)
+    };
+
+    let engine = Engine::new(cli.jobs);
+    let matrix = engine.run_matrix(&spec);
+
     print_machine_header("§VI-B prose statistics — secure vs debug (full protection)");
     println!(
         "{:<12}{:>16}{:>16}{:>10}{:>14}{:>14}{:>14}",
@@ -29,14 +48,17 @@ fn main() {
         "tok/kinst"
     );
 
-    for w in Workload::ALL {
-        let secure = run(w, scale, RtConfig::rest(Mode::Secure, true));
-        let debug = run(w, scale, RtConfig::rest(Mode::Debug, true));
+    let mut derived = Vec::new();
+    for row in &matrix.rows {
+        let (Some(secure), Some(debug)) = (row.cell(0), row.cell(1)) else {
+            println!("{:<12}  (failed; see stderr)", row.row.name);
+            continue;
+        };
         let ratio = debug.core.rob_blocked_store_cycles as f64
             / secure.core.rob_blocked_store_cycles.max(1) as f64;
         println!(
             "{:<12}{:>16}{:>16}{:>10.1}{:>14}{:>14}{:>14.4}",
-            w.name(),
+            row.row.name,
             secure.core.rob_blocked_store_cycles,
             debug.core.rob_blocked_store_cycles,
             ratio,
@@ -44,9 +66,36 @@ fn main() {
             debug.core.iq_stall_cycles,
             secure.tokens_per_kiloinst_l2_mem(),
         );
+        derived.push(Json::obj(vec![
+            ("benchmark", Json::from(row.row.name)),
+            (
+                "rob_blocked_store_cycles",
+                Json::obj(vec![
+                    ("secure", Json::UInt(secure.core.rob_blocked_store_cycles)),
+                    ("debug", Json::UInt(debug.core.rob_blocked_store_cycles)),
+                ]),
+            ),
+            ("debug_over_secure_ratio", Json::Num(ratio)),
+            (
+                "iq_stall_cycles",
+                Json::obj(vec![
+                    ("secure", Json::UInt(secure.core.iq_stall_cycles)),
+                    ("debug", Json::UInt(debug.core.iq_stall_cycles)),
+                ]),
+            ),
+            (
+                "tokens_per_kiloinst_l2_mem",
+                Json::Num(secure.tokens_per_kiloinst_l2_mem()),
+            ),
+        ]));
     }
 
     println!();
     println!("# paper: robblk ratio ~10x; xalanc IQ-full gap >100x; xalanc");
     println!("# secure-full token traffic at L2/mem = 0.04 lines/kinst.");
+
+    let mut sink = ResultSink::new(&cli);
+    sink.push_matrix("matrix", &matrix);
+    sink.push("derived", Json::Arr(derived));
+    sink.finish();
 }

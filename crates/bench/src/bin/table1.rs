@@ -3,8 +3,13 @@
 //! `rest_core::table1`, which the simulator's caches and LSQ are tested
 //! against (see `crates/mem` unit tests and `tests/table1.rs`).
 //!
-//! Usage: `cargo run -p rest-bench --bin table1`
+//! No simulation runs: `--test`, `--jobs` and `--filter` are accepted
+//! for CLI uniformity but have no effect.
+//!
+//! Usage: `cargo run -p rest-bench --bin table1 -- [--json PATH]`
 
+use rest_bench::cli::BenchCli;
+use rest_bench::sink::{Json, ResultSink};
 use rest_core::table1::{cache_decision, lsq_decision, Action, CacheDecision};
 
 fn describe_lsq(action: Action) -> String {
@@ -72,21 +77,33 @@ fn describe_cache(d: CacheDecision) -> String {
 }
 
 fn main() {
+    let cli = BenchCli::parse("table1");
     println!("# Table I — actions on operations, for L1-D hits and misses");
     println!("# (executable specification; simulator conformance is enforced");
     println!("#  by crates/mem unit tests and tests/table1.rs)");
     println!();
+    let mut actions = Vec::new();
     for action in Action::ALL {
         println!("== {} ==", action.name());
         println!("  LSQ       : {}", describe_lsq(action));
-        for token_bit in [false, true] {
-            let hit = describe_cache(cache_decision(action, true, token_bit));
-            println!("  hit  (token bit {}): {hit}", token_bit as u8);
+        let mut members = vec![
+            ("action", Json::from(action.name())),
+            ("lsq", Json::from(describe_lsq(action))),
+        ];
+        for (hit, key) in [(true, "hit"), (false, "miss")] {
+            let mut arm = Vec::new();
+            for token_bit in [false, true] {
+                let desc = describe_cache(cache_decision(action, hit, token_bit));
+                println!("  {key:<4} (token bit {}): {desc}", token_bit as u8);
+                arm.push((format!("token_bit_{}", token_bit as u8), Json::from(desc)));
+            }
+            members.push((key, Json::Obj(arm)));
         }
-        for token_bit in [false, true] {
-            let miss = describe_cache(cache_decision(action, false, token_bit));
-            println!("  miss (token bit {}): {miss}", token_bit as u8);
-        }
+        actions.push(Json::obj(members));
         println!();
     }
+
+    let mut sink = ResultSink::new(&cli);
+    sink.push("actions", Json::Arr(actions));
+    sink.finish();
 }

@@ -2,9 +2,13 @@
 //! rows are the paper's qualitative assessment (reproduced verbatim);
 //! the REST row's performance class is *measured* by this binary.
 //!
-//! Usage: `cargo run --release -p rest-bench --bin table3 [--test]`
+//! Usage: `cargo run --release -p rest-bench --bin table3 -- \
+//!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
 
-use rest_bench::{run, scale_from_args, wtd_ari_mean_overhead};
+use rest_bench::cli::BenchCli;
+use rest_bench::engine::{ColumnSpec, Engine, MatrixSpec};
+use rest_bench::sink::{Json, ResultSink};
+use rest_bench::FigureRow;
 use rest_core::Mode;
 use rest_runtime::RtConfig;
 use rest_workloads::Workload;
@@ -47,17 +51,19 @@ fn prior_rows() -> Vec<Row> {
 }
 
 fn main() {
-    let scale = scale_from_args();
+    let cli = BenchCli::parse("table3");
 
     // Measure REST's overhead class on a representative subset.
     let subset = [Workload::Lbm, Workload::Gcc, Workload::Xalancbmk, Workload::Hmmer];
-    let mut plain = Vec::new();
-    let mut secure = Vec::new();
-    for w in subset {
-        plain.push(run(w, scale, RtConfig::plain()).cycles());
-        secure.push(run(w, scale, RtConfig::rest(Mode::Secure, true)).cycles());
-    }
-    let pct = wtd_ari_mean_overhead(&plain, &secure);
+    let rows = cli.filter_rows(subset.into_iter().map(FigureRow::of).collect());
+    let columns = vec![ColumnSpec::new(
+        "rest-secure-full",
+        RtConfig::rest(Mode::Secure, true),
+    )];
+    let engine = Engine::new(cli.jobs);
+    let matrix = engine.run_matrix(&MatrixSpec::new(rows, columns, cli.scale));
+
+    let (pct, _) = matrix.summary()[0];
     let class = match pct {
         p if p < 1.0 => "Negligible",
         p if p < 10.0 => "Low",
@@ -89,4 +95,31 @@ fn main() {
     );
     println!();
     println!("# prior rows: paper's qualitative assessment; REST row measured here.");
+
+    let prior = prior_rows()
+        .into_iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("proposal", Json::from(r.proposal)),
+                ("spatial", Json::from(r.spatial)),
+                ("temporal", Json::from(r.temporal)),
+                ("shadow", Json::from(r.shadow)),
+                ("composable", Json::from(r.composable)),
+                ("overhead", Json::from(r.overhead)),
+                ("hardware", Json::from(r.hardware)),
+            ])
+        })
+        .collect();
+    let mut sink = ResultSink::new(&cli);
+    sink.push("prior_rows", Json::Arr(prior));
+    sink.push(
+        "rest_measured",
+        Json::obj(vec![
+            ("wtd_ari_mean_pct", Json::Num(pct)),
+            ("overhead_class", Json::from(class)),
+            ("hardware", Json::from("1 metadata bit per L1-D line, 1 comparator")),
+        ]),
+    );
+    sink.push_matrix("matrix", &matrix);
+    sink.finish();
 }

@@ -1,0 +1,197 @@
+//! Shared command-line layer for every harness binary.
+//!
+//! All seven experiment binaries accept the same flags:
+//!
+//! ```text
+//! --test                 run at test scale (fast; default is reference scale)
+//! --jobs N               worker threads (default: available parallelism)
+//! --json PATH            JSON output path (default: results/<experiment>.json)
+//! --filter SUBSTRING     keep only benchmark rows whose name contains SUBSTRING
+//! --help                 usage
+//! ```
+
+use std::path::PathBuf;
+
+use rest_workloads::Scale;
+
+use crate::FigureRow;
+
+/// Parsed common command line of one experiment binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchCli {
+    /// Experiment name (`"fig7"`, …): names the default JSON output.
+    pub experiment: String,
+    /// Simulation scale (`--test` ⇒ [`Scale::Test`]).
+    pub scale: Scale,
+    /// Worker threads for the job runner.
+    pub jobs: usize,
+    /// Explicit JSON output path (`--json`), if any.
+    pub json: Option<PathBuf>,
+    /// Row filter (`--filter`), a case-insensitive substring.
+    pub filter: Option<String>,
+}
+
+impl BenchCli {
+    /// Default worker count: the machine's available parallelism.
+    pub fn default_jobs() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Parses the process arguments; prints usage and exits on `--help`
+    /// or a malformed command line.
+    pub fn parse(experiment: &str) -> BenchCli {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::from_args(experiment, &args) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                if msg == "help" {
+                    eprintln!("{}", Self::usage(experiment));
+                    std::process::exit(0);
+                }
+                eprintln!("{experiment}: {msg}");
+                eprintln!("{}", Self::usage(experiment));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Pure parser (testable). `Err("help")` signals a `--help` request.
+    pub fn from_args(experiment: &str, args: &[String]) -> Result<BenchCli, String> {
+        let mut cli = BenchCli {
+            experiment: experiment.to_string(),
+            scale: Scale::Ref,
+            jobs: Self::default_jobs(),
+            json: None,
+            filter: None,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--test" => cli.scale = Scale::Test,
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs needs a value")?;
+                    cli.jobs = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--jobs: invalid worker count {v:?}"))?;
+                }
+                "--json" => {
+                    let v = it.next().ok_or("--json needs a path")?;
+                    cli.json = Some(PathBuf::from(v));
+                }
+                "--filter" => {
+                    let v = it.next().ok_or("--filter needs a substring")?;
+                    cli.filter = Some(v.to_string());
+                }
+                "--help" | "-h" => return Err("help".to_string()),
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// The JSON output path: `--json` if given, else
+    /// `results/<experiment>.json`.
+    pub fn json_path(&self) -> PathBuf {
+        self.json
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(format!("results/{}.json", self.experiment)))
+    }
+
+    /// Applies `--filter` to a row list (case-insensitive substring on
+    /// the row's display name).
+    pub fn filter_rows(&self, rows: Vec<FigureRow>) -> Vec<FigureRow> {
+        match &self.filter {
+            None => rows,
+            Some(f) => {
+                let needle = f.to_ascii_lowercase();
+                rows.into_iter()
+                    .filter(|r| r.name.to_ascii_lowercase().contains(&needle))
+                    .collect()
+            }
+        }
+    }
+
+    /// Scale name as serialized into results (`"test"` / `"ref"`).
+    pub fn scale_name(&self) -> &'static str {
+        match self.scale {
+            Scale::Test => "test",
+            Scale::Ref => "ref",
+        }
+    }
+
+    fn usage(experiment: &str) -> String {
+        format!(
+            "usage: {experiment} [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]\n\
+             \n\
+             --test             run at test scale (fast smoke check)\n\
+             --jobs N           worker threads (default: available parallelism)\n\
+             --json PATH        write JSON results to PATH\n\
+             \x20                  (default: results/{experiment}.json)\n\
+             --filter SUBSTRING keep only rows whose benchmark name contains SUBSTRING\n\
+             --help             this message"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = BenchCli::from_args("fig7", &[]).unwrap();
+        assert_eq!(cli.scale, Scale::Ref);
+        assert_eq!(cli.jobs, BenchCli::default_jobs());
+        assert!(cli.jobs >= 1);
+        assert_eq!(cli.json, None);
+        assert_eq!(cli.filter, None);
+        assert_eq!(cli.json_path(), PathBuf::from("results/fig7.json"));
+        assert_eq!(cli.scale_name(), "ref");
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let cli = BenchCli::from_args(
+            "fig8",
+            &argv(&["--test", "--jobs", "3", "--json", "/tmp/x.json", "--filter", "gobmk"]),
+        )
+        .unwrap();
+        assert_eq!(cli.scale, Scale::Test);
+        assert_eq!(cli.jobs, 3);
+        assert_eq!(cli.json_path(), PathBuf::from("/tmp/x.json"));
+        assert_eq!(cli.filter.as_deref(), Some("gobmk"));
+        assert_eq!(cli.scale_name(), "test");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(BenchCli::from_args("fig7", &argv(&["--jobs"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--jobs", "0"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--jobs", "x"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--frobnicate"])).is_err());
+        assert_eq!(
+            BenchCli::from_args("fig7", &argv(&["--help"])).unwrap_err(),
+            "help"
+        );
+    }
+
+    #[test]
+    fn filter_selects_rows_case_insensitively() {
+        let cli = BenchCli::from_args("fig7", &argv(&["--filter", "GOBMK"])).unwrap();
+        let rows = cli.filter_rows(crate::figure_rows());
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r.name.starts_with("gobmk")));
+        let none = BenchCli::from_args("fig7", &argv(&["--filter", "zzz"]))
+            .unwrap()
+            .filter_rows(crate::figure_rows());
+        assert!(none.is_empty());
+    }
+}

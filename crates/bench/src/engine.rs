@@ -1,0 +1,516 @@
+//! Shared experiment engine: declarative simulation jobs, a
+//! deterministic thread-pool runner, and job matrices.
+//!
+//! Every harness binary describes its experiment as a [`MatrixSpec`]
+//! (benchmark rows × hardened configurations) or a list of [`SimJob`]s
+//! and hands it to an [`Engine`]. The engine:
+//!
+//! * fans independent `System::run()` calls across `--jobs N` worker
+//!   threads (each simulation is single-threaded and independent),
+//! * caches results by job identity, so the plain baseline for a
+//!   benchmark is simulated once even when several matrices or columns
+//!   share it,
+//! * converts panicking or failing simulations into structured
+//!   [`JobError`]s instead of aborting the whole sweep,
+//! * reports per-job progress and wall time on **stderr** only —
+//!   results (stdout tables, JSON) contain no timing, so the same job
+//!   matrix produces byte-identical output at any `--jobs` level.
+//!
+//! Results are assembled strictly in job-submission order; worker
+//! scheduling affects only wall-clock time.
+
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use rest_cpu::{SimConfig, SimResult, StopReason, System};
+use rest_runtime::RtConfig;
+use rest_workloads::{Scale, Workload, WorkloadParams};
+
+use crate::{stack_for, FigureRow};
+
+/// Which pipeline model a job runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreKind {
+    /// The paper's Table II 8-wide out-of-order core.
+    OutOfOrder,
+    /// The narrow in-order core (Figure 3's measurement platform).
+    InOrder,
+}
+
+/// One simulation to run: a benchmark row under one configuration.
+///
+/// The job is pure data; [`SimJob::execute`] performs the simulation.
+/// Two jobs with identical simulation-relevant fields (everything
+/// except the display `label`) are the same experiment and share one
+/// cached result in the [`Engine`].
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// Row display name (`"gobmk-capture"`, `"lbm"`, …).
+    pub name: String,
+    /// Column display label (`"asan"`, `"rest-secure-full"`, …).
+    pub label: String,
+    /// Workload kernel.
+    pub workload: Workload,
+    /// Input seed (gobmk sub-inputs vary the board position).
+    pub seed: u64,
+    /// Runtime / protection-scheme configuration.
+    pub rt: RtConfig,
+    /// Pipeline model.
+    pub core: CoreKind,
+    /// Input-set scale.
+    pub scale: Scale,
+    /// Ablation: serialise arm/disarm execution (§III-B's rejected
+    /// alternative).
+    pub serialize_rest_ops: bool,
+    /// Dedicated token-cache entries (0 = paper's evaluated design).
+    pub token_cache_entries: usize,
+    /// Micro-op budget override; `None` keeps the generous default.
+    /// (Small values force [`StopReason::UopLimit`] — used by tests to
+    /// inject failing jobs.)
+    pub max_uops: Option<u64>,
+}
+
+impl SimJob {
+    /// A job running `row` under `rt` on the out-of-order core.
+    pub fn new(row: &FigureRow, label: impl Into<String>, rt: RtConfig, scale: Scale) -> SimJob {
+        SimJob {
+            name: row.name.to_string(),
+            label: label.into(),
+            workload: row.workload,
+            seed: row.seed,
+            rt,
+            core: CoreKind::OutOfOrder,
+            scale,
+            serialize_rest_ops: false,
+            token_cache_entries: 0,
+            max_uops: None,
+        }
+    }
+
+    /// The unprotected baseline job for `row`.
+    pub fn plain(row: &FigureRow, core: CoreKind, scale: Scale) -> SimJob {
+        SimJob {
+            core,
+            ..SimJob::new(row, "plain", RtConfig::plain(), scale)
+        }
+    }
+
+    /// The job for `row` under matrix column `col`.
+    pub fn for_column(row: &FigureRow, col: &ColumnSpec, core: CoreKind, scale: Scale) -> SimJob {
+        SimJob {
+            core,
+            serialize_rest_ops: col.serialize_rest_ops,
+            token_cache_entries: col.token_cache_entries,
+            ..SimJob::new(row, col.label.clone(), col.rt.clone(), scale)
+        }
+    }
+
+    /// Identity of the simulation this job performs. Everything that
+    /// influences the simulated outcome participates; display strings
+    /// do not.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "{:?}|{:#x}|{:?}|{:?}|{:?}|{}|{}|{:?}",
+            self.workload,
+            self.seed,
+            self.rt,
+            self.core,
+            self.scale,
+            self.serialize_rest_ops,
+            self.token_cache_entries,
+            self.max_uops,
+        )
+    }
+
+    /// Builds the workload and simulates it, mapping panics and
+    /// abnormal stops to [`JobError`].
+    pub fn execute(&self) -> Result<SimResult, JobError> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let params = WorkloadParams {
+                scale: self.scale,
+                stack_scheme: stack_for(&self.rt),
+                token_width: self.rt.token_width,
+                seed: self.seed,
+            };
+            let program = self.workload.build(&params);
+            let mut cfg = match self.core {
+                CoreKind::OutOfOrder => SimConfig::isca2018(self.rt.clone()),
+                CoreKind::InOrder => SimConfig::inorder(self.rt.clone()),
+            };
+            cfg.core.serialize_rest_ops = self.serialize_rest_ops;
+            cfg.mem.token_cache_entries = self.token_cache_entries;
+            if let Some(budget) = self.max_uops {
+                cfg.max_uops = budget;
+            }
+            System::new(program, cfg).run()
+        }));
+        let result = match outcome {
+            Err(payload) => {
+                let detail = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                return Err(JobError {
+                    kind: "panic".to_string(),
+                    detail,
+                });
+            }
+            Ok(r) => r,
+        };
+        match result.stop {
+            StopReason::Exit(0) => Ok(result),
+            ref stop => Err(JobError {
+                kind: match stop {
+                    StopReason::Halted => "halted",
+                    StopReason::Exit(_) => "nonzero-exit",
+                    StopReason::Violation(_) => "violation",
+                    StopReason::UopLimit => "uop-limit",
+                    StopReason::Fault(_) => "fault",
+                }
+                .to_string(),
+                detail: format!(
+                    "{} (seed {:#x}) stopped with {:?} under {}",
+                    self.workload, self.seed, stop, result.label
+                ),
+            }),
+        }
+    }
+}
+
+/// A simulation that did not complete normally: the guest stopped with
+/// anything other than `exit(0)`, or the simulator panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Machine-readable class: `"panic"`, `"violation"`, `"uop-limit"`,
+    /// `"fault"`, `"halted"`, or `"nonzero-exit"`.
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+/// Shared outcome of one job (cached, so cheap to clone).
+pub type JobOutcome = Arc<Result<SimResult, JobError>>;
+
+/// The job runner: a fixed-size worker pool plus a result cache keyed
+/// by [`SimJob::cache_key`].
+///
+/// One engine can serve several matrices in sequence; jobs they share
+/// (typically plain baselines) are simulated once.
+pub struct Engine {
+    workers: usize,
+    cache: Mutex<HashMap<String, JobOutcome>>,
+}
+
+impl Engine {
+    /// An engine running at most `workers` simulations concurrently.
+    pub fn new(workers: usize) -> Engine {
+        Engine {
+            workers: workers.max(1),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Runs every job not already cached, in parallel, and returns one
+    /// outcome per input job **in input order** (duplicates and cache
+    /// hits resolve to the same shared result).
+    pub fn run_all(&self, jobs: &[SimJob]) -> Vec<JobOutcome> {
+        let fresh: Vec<&SimJob> = {
+            let cache = self.cache.lock().unwrap();
+            let mut seen = HashSet::new();
+            jobs.iter()
+                .filter(|j| {
+                    let key = j.cache_key();
+                    !cache.contains_key(&key) && seen.insert(key)
+                })
+                .collect()
+        };
+        let total = fresh.len();
+        if total > 0 {
+            let started = Instant::now();
+            let next = AtomicUsize::new(0);
+            let done = AtomicUsize::new(0);
+            let workers = self.workers.min(total);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let job = fresh[i];
+                        let job_started = Instant::now();
+                        let result = job.execute();
+                        let secs = job_started.elapsed().as_secs_f64();
+                        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        match &result {
+                            Ok(r) => eprintln!(
+                                "[{n}/{total}] {} {}: {} cycles, {secs:.2}s",
+                                job.name,
+                                job.label,
+                                r.cycles()
+                            ),
+                            Err(e) => eprintln!(
+                                "[{n}/{total}] {} {}: FAILED ({e}), {secs:.2}s",
+                                job.name, job.label
+                            ),
+                        }
+                        self.cache
+                            .lock()
+                            .unwrap()
+                            .insert(job.cache_key(), Arc::new(result));
+                    });
+                }
+            });
+            eprintln!(
+                "# {total} jobs on {workers} workers in {:.2}s",
+                started.elapsed().as_secs_f64()
+            );
+        }
+        let cache = self.cache.lock().unwrap();
+        jobs.iter().map(|j| cache[&j.cache_key()].clone()).collect()
+    }
+
+    /// Runs a full experiment matrix. Plain baselines (when
+    /// `spec.include_plain`) and hardened cells all go through the same
+    /// worker pool and cache.
+    pub fn run_matrix(&self, spec: &MatrixSpec) -> MatrixResults {
+        let mut jobs = Vec::new();
+        for row in &spec.rows {
+            if spec.include_plain {
+                jobs.push(SimJob::plain(row, spec.core, spec.scale));
+            }
+            for col in &spec.columns {
+                jobs.push(SimJob::for_column(row, col, spec.core, spec.scale));
+            }
+        }
+        let outcomes = self.run_all(&jobs);
+        let stride = spec.columns.len() + usize::from(spec.include_plain);
+        let rows = spec
+            .rows
+            .iter()
+            .zip(outcomes.chunks(stride.max(1)))
+            .map(|(row, chunk)| {
+                let (plain, cells) = if spec.include_plain {
+                    (Some(chunk[0].clone()), chunk[1..].to_vec())
+                } else {
+                    (None, chunk.to_vec())
+                };
+                RowResults {
+                    row: *row,
+                    plain,
+                    cells,
+                }
+            })
+            .collect();
+        MatrixResults {
+            columns: spec.columns.clone(),
+            rows,
+        }
+    }
+}
+
+/// One hardened column of an experiment matrix.
+#[derive(Debug, Clone)]
+pub struct ColumnSpec {
+    /// Display label (also the JSON cell label).
+    pub label: String,
+    /// Runtime configuration.
+    pub rt: RtConfig,
+    /// Ablation: serialised arm/disarm execution.
+    pub serialize_rest_ops: bool,
+    /// Dedicated token-cache entries (0 = disabled).
+    pub token_cache_entries: usize,
+}
+
+impl ColumnSpec {
+    /// A plain column: `rt` on the stock machine.
+    pub fn new(label: impl Into<String>, rt: RtConfig) -> ColumnSpec {
+        ColumnSpec {
+            label: label.into(),
+            rt,
+            serialize_rest_ops: false,
+            token_cache_entries: 0,
+        }
+    }
+}
+
+/// A declarative experiment: rows × columns at one core/scale.
+#[derive(Debug, Clone)]
+pub struct MatrixSpec {
+    /// Benchmark rows.
+    pub rows: Vec<FigureRow>,
+    /// Hardened configurations.
+    pub columns: Vec<ColumnSpec>,
+    /// Pipeline model for every job in the matrix.
+    pub core: CoreKind,
+    /// Input-set scale.
+    pub scale: Scale,
+    /// Also simulate the plain baseline per row (needed for overhead
+    /// columns and mean summaries).
+    pub include_plain: bool,
+}
+
+impl MatrixSpec {
+    /// A standard overhead matrix: out-of-order core, plain baselines
+    /// included.
+    pub fn new(rows: Vec<FigureRow>, columns: Vec<ColumnSpec>, scale: Scale) -> MatrixSpec {
+        MatrixSpec {
+            rows,
+            columns,
+            core: CoreKind::OutOfOrder,
+            scale,
+            include_plain: true,
+        }
+    }
+}
+
+/// Outcomes for one matrix row.
+#[derive(Clone)]
+pub struct RowResults {
+    /// The benchmark row.
+    pub row: FigureRow,
+    /// Plain-baseline outcome (present iff the spec included it).
+    pub plain: Option<JobOutcome>,
+    /// One outcome per matrix column.
+    pub cells: Vec<JobOutcome>,
+}
+
+impl RowResults {
+    /// The plain baseline, if it ran and succeeded.
+    pub fn plain_result(&self) -> Option<&SimResult> {
+        self.plain.as_deref().and_then(|r| r.as_ref().ok())
+    }
+
+    /// Column `col`'s result, if it succeeded.
+    pub fn cell(&self, col: usize) -> Option<&SimResult> {
+        self.cells.get(col).and_then(|r| r.as_ref().as_ref().ok())
+    }
+
+    /// Column `col`'s overhead over this row's plain baseline, in
+    /// percent; NaN when either run failed.
+    pub fn overhead_pct(&self, col: usize) -> f64 {
+        match (self.plain_result(), self.cell(col)) {
+            (Some(plain), Some(cell)) => cell.overhead_pct_vs(plain),
+            _ => f64::NAN,
+        }
+    }
+}
+
+/// All outcomes of one matrix, in row-major submission order.
+pub struct MatrixResults {
+    /// The matrix's columns (labels + configurations).
+    pub columns: Vec<ColumnSpec>,
+    /// Per-row outcomes, in spec order.
+    pub rows: Vec<RowResults>,
+}
+
+impl MatrixResults {
+    /// Per-column `(WtdAriMean, GeoMean)` overhead summaries over the
+    /// rows whose plain and hardened runs both succeeded.
+    pub fn summary(&self) -> Vec<(f64, f64)> {
+        (0..self.columns.len())
+            .map(|col| {
+                let (mut plain, mut hardened) = (Vec::new(), Vec::new());
+                for row in &self.rows {
+                    if let (Some(p), Some(h)) = (row.plain_result(), row.cell(col)) {
+                        plain.push(p.cycles());
+                        hardened.push(h.cycles());
+                    }
+                }
+                (
+                    crate::wtd_ari_mean_overhead(&plain, &hardened),
+                    crate::geo_mean_overhead(&plain, &hardened),
+                )
+            })
+            .collect()
+    }
+
+    /// Prints the standard overhead table (benchmark rows, one column
+    /// per configuration, WtdAriMean/GeoMean summary rows) to stdout.
+    pub fn print_text_table(&self) {
+        print!("{:<12}", "benchmark");
+        for col in &self.columns {
+            print!("{:>18}", col.label);
+        }
+        println!();
+        for row in &self.rows {
+            let cells: Vec<f64> = (0..self.columns.len())
+                .map(|c| row.overhead_pct(c))
+                .collect();
+            println!("{}", crate::fmt_row(row.row.name, &cells));
+        }
+        let summary = self.summary();
+        let wtd: Vec<f64> = summary.iter().map(|&(w, _)| w).collect();
+        let geo: Vec<f64> = summary.iter().map(|&(_, g)| g).collect();
+        println!("{}", crate::fmt_row("WtdAriMean", &wtd));
+        println!("{}", crate::fmt_row("GeoMean", &geo));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lbm_row() -> FigureRow {
+        FigureRow {
+            name: "lbm",
+            workload: Workload::Lbm,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    #[test]
+    fn cache_key_ignores_display_label_only() {
+        let row = lbm_row();
+        let a = SimJob::new(&row, "a", RtConfig::plain(), Scale::Test);
+        let b = SimJob::new(&row, "b", RtConfig::plain(), Scale::Test);
+        assert_eq!(a.cache_key(), b.cache_key());
+        let asan = SimJob::new(&row, "a", RtConfig::asan(), Scale::Test);
+        assert_ne!(a.cache_key(), asan.cache_key());
+        let inorder = SimJob {
+            core: CoreKind::InOrder,
+            ..a.clone()
+        };
+        assert_ne!(a.cache_key(), inorder.cache_key());
+        let budget = SimJob {
+            max_uops: Some(100),
+            ..a.clone()
+        };
+        assert_ne!(a.cache_key(), budget.cache_key());
+    }
+
+    #[test]
+    fn engine_caches_identical_jobs() {
+        let row = lbm_row();
+        let engine = Engine::new(2);
+        let job = SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test);
+        let first = engine.run_all(std::slice::from_ref(&job));
+        let again = engine.run_all(&[job.clone(), job]);
+        assert!(first[0].is_ok());
+        // Same allocation: the cached Arc is reused, not re-simulated.
+        assert!(Arc::ptr_eq(&first[0], &again[0]));
+        assert!(Arc::ptr_eq(&again[0], &again[1]));
+    }
+
+    #[test]
+    fn uop_budget_becomes_job_error() {
+        let row = lbm_row();
+        let job = SimJob {
+            max_uops: Some(50),
+            ..SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test)
+        };
+        let err = job.execute().unwrap_err();
+        assert_eq!(err.kind, "uop-limit");
+        assert!(err.detail.contains("lbm"));
+    }
+}

@@ -12,24 +12,41 @@
 //! | `prose_stats` | §VI-B prose statistics (ROB/IQ/token traffic) |
 //! | `ablations` | design-choice ablations called out in DESIGN.md |
 //!
-//! All binaries accept `--test` to run at test scale (fast, for smoke
-//! checks); the default is the reference scale used in EXPERIMENTS.md.
-//! Run them in `--release` builds: the cycle-level simulator is ~20×
-//! slower unoptimised.
+//! All binaries are thin wrappers over a shared experiment engine:
+//!
+//! * [`cli`] — the common command line (`--test`, `--jobs N`,
+//!   `--json PATH`, `--filter SUBSTRING`),
+//! * [`engine`] — declarative [`engine::SimJob`] matrices run on a
+//!   deterministic worker pool with a shared baseline cache; failing
+//!   jobs surface as structured [`engine::JobError`]s instead of
+//!   aborting the sweep,
+//! * [`sink`] — every experiment writes its paper-formatted table to
+//!   stdout **and** a machine-readable JSON document (schema documented
+//!   in [`sink`]) to `results/<experiment>.json`.
+//!
+//! Progress and wall-clock timing go to stderr only, so both the text
+//! table and the JSON are byte-identical at any `--jobs` level.
+//!
+//! Run the binaries in `--release` builds: the cycle-level simulator is
+//! ~20× slower unoptimised. Example:
+//!
+//! ```text
+//! cargo run --release -p rest-bench --bin fig7 -- --test --jobs 8
+//! ```
+
+pub mod cli;
+pub mod engine;
+pub mod sink;
 
 use rest_core::{Mode, TokenWidth};
 use rest_cpu::{SimConfig, SimResult, StopReason, System};
 use rest_runtime::{RtConfig, Scheme, StackScheme};
 use rest_workloads::{Scale, Workload, WorkloadParams};
 
-/// Scale selected by the command line (`--test` ⇒ [`Scale::Test`]).
-pub fn scale_from_args() -> Scale {
-    if std::env::args().any(|a| a == "--test") {
-        Scale::Test
-    } else {
-        Scale::Ref
-    }
-}
+/// One-line description of the simulated Table II machine, printed in
+/// table headers and recorded in every JSON document.
+pub const MACHINE: &str = "8-wide OoO, 192 ROB / 64 IQ / 32 LQ / 32 SQ, \
+                           64kB L1I/L1D (2cy), 2MB L2 (20cy), DDR3-800 — Table II";
 
 /// Stack-protection scheme matching a runtime configuration.
 pub fn stack_for(rt: &RtConfig) -> StackScheme {
@@ -44,6 +61,11 @@ pub fn stack_for(rt: &RtConfig) -> StackScheme {
 }
 
 /// Builds and simulates `workload` under `rt` on the Table II machine.
+///
+/// Panics if the run does not exit cleanly — suitable for unit tests
+/// and one-off probes; the harness binaries go through
+/// [`engine::Engine`] instead, which reports failures as
+/// [`engine::JobError`]s.
 pub fn run(workload: Workload, scale: Scale, rt: RtConfig) -> SimResult {
     run_with(workload, scale, rt, false)
 }
@@ -60,6 +82,17 @@ pub struct FigureRow {
     pub seed: u64,
 }
 
+impl FigureRow {
+    /// The standard row for `workload` (figure name, default seed).
+    pub fn of(workload: Workload) -> FigureRow {
+        FigureRow {
+            name: workload.name(),
+            workload,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
 /// The benchmark rows of Figures 7/8: the 12 workloads with gobmk
 /// expanded into its sub-inputs.
 pub fn figure_rows() -> Vec<FigureRow> {
@@ -74,11 +107,7 @@ pub fn figure_rows() -> Vec<FigureRow> {
                 });
             }
         } else {
-            rows.push(FigureRow {
-                name: w.name(),
-                workload: w,
-                seed: 0xC0FFEE,
-            });
+            rows.push(FigureRow::of(w));
         }
     }
     rows
@@ -150,6 +179,9 @@ pub fn fig8_widths() -> [TokenWidth; 3] {
 /// Weighted arithmetic mean overhead (the paper's *WtdAriMean*,
 /// footnote 5): total hardened runtime over total plain runtime, minus
 /// one — i.e. each benchmark weighted by its plain runtime.
+///
+/// Degenerate inputs (empty slices, all-zero plain cycles) yield 0.0
+/// rather than NaN, so partially failed sweeps still summarise.
 pub fn wtd_ari_mean_overhead(plain_cycles: &[u64], hardened_cycles: &[u64]) -> f64 {
     assert_eq!(plain_cycles.len(), hardened_cycles.len());
     let p: f64 = plain_cycles.iter().map(|&c| c as f64).sum();
@@ -161,25 +193,30 @@ pub fn wtd_ari_mean_overhead(plain_cycles: &[u64], hardened_cycles: &[u64]) -> f
 }
 
 /// Geometric mean overhead (the paper's *GeoMean*, footnote 6).
+///
+/// Pairs with a zero cycle count on either side carry no usable ratio
+/// and are skipped; if nothing remains (including empty inputs) the
+/// mean is 0.0 rather than NaN/∞.
 pub fn geo_mean_overhead(plain_cycles: &[u64], hardened_cycles: &[u64]) -> f64 {
     assert_eq!(plain_cycles.len(), hardened_cycles.len());
-    let n = plain_cycles.len() as f64;
-    let log_sum: f64 = plain_cycles
+    let ratios: Vec<f64> = plain_cycles
         .iter()
         .zip(hardened_cycles)
+        .filter(|&(&p, &h)| p > 0 && h > 0)
         .map(|(&p, &h)| (h as f64 / p as f64).ln())
-        .sum();
-    ((log_sum / n).exp() - 1.0) * 100.0
+        .collect();
+    if ratios.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = ratios.iter().sum();
+    ((log_sum / ratios.len() as f64).exp() - 1.0) * 100.0
 }
 
 /// Prints a header identifying the simulated machine (the paper prints
 /// Table II with every result; we do the lightweight equivalent).
 pub fn print_machine_header(what: &str) {
     println!("# {what}");
-    println!(
-        "# machine: 8-wide OoO, 192 ROB / 64 IQ / 32 LQ / 32 SQ, \
-         64kB L1I/L1D (2cy), 2MB L2 (20cy), DDR3-800 — Table II"
-    );
+    println!("# machine: {MACHINE}");
     println!();
 }
 
@@ -205,6 +242,20 @@ mod tests {
         assert!((wtd_ari_mean_overhead(&plain, &hardened) - 12.5).abs() < 1e-9);
         // Geo: sqrt(1.5 * 1.0) - 1 ≈ 22.47%.
         assert!((geo_mean_overhead(&plain, &hardened) - 22.474487).abs() < 1e-3);
+    }
+
+    #[test]
+    fn means_guard_degenerate_inputs() {
+        // Empty sweeps summarise to zero, not NaN.
+        assert_eq!(wtd_ari_mean_overhead(&[], &[]), 0.0);
+        assert_eq!(geo_mean_overhead(&[], &[]), 0.0);
+        // All plain cycles zero: no usable ratio anywhere.
+        assert_eq!(wtd_ari_mean_overhead(&[0, 0], &[5, 7]), 0.0);
+        assert_eq!(geo_mean_overhead(&[0, 0], &[5, 7]), 0.0);
+        // A zero entry on either side is skipped, not propagated as ∞.
+        assert!((geo_mean_overhead(&[0, 100], &[50, 150]) - 50.0).abs() < 1e-9);
+        assert!((geo_mean_overhead(&[100, 100], &[0, 150]) - 50.0).abs() < 1e-9);
+        assert!(geo_mean_overhead(&[0, 100], &[50, 150]).is_finite());
     }
 
     #[test]

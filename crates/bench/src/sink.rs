@@ -1,0 +1,399 @@
+//! Result sink: paper-formatted text stays on stdout; every experiment
+//! additionally serialises a machine-readable JSON document.
+//!
+//! The JSON is hand-rolled (the build environment has no registry
+//! access, so no serde): [`Json`] is a minimal value tree whose object
+//! fields keep insertion order, making the serialised output fully
+//! deterministic — the same experiment matrix produces byte-identical
+//! JSON regardless of `--jobs`.
+//!
+//! # Document schema
+//!
+//! Every document starts with the experiment identity:
+//!
+//! ```json
+//! {
+//!   "experiment": "fig7",
+//!   "scale": "test" | "ref",
+//!   "machine": "<Table II one-liner>",
+//!   "filter": null | "<substring>",
+//!   ...
+//! }
+//! ```
+//!
+//! Matrix experiments add a `"matrix"` member (see
+//! [`ResultSink::push_matrix`]):
+//!
+//! ```json
+//! "matrix": {
+//!   "columns": ["asan", "rest-debug-full", ...],
+//!   "rows": [
+//!     {
+//!       "benchmark": "bzip2", "workload": "bzip2", "seed": 12648430,
+//!       "plain": { "cycles": 123, "stats": { "core.cycles": 123, ... } },
+//!       "cells": [
+//!         { "label": "asan", "cycles": 456, "overhead_pct": 12.5,
+//!           "stats": { ... } },
+//!         { "label": "...", "error": { "kind": "uop-limit",
+//!           "detail": "..." } }
+//!       ]
+//!     }
+//!   ],
+//!   "summary": {
+//!     "wtd_ari_mean_pct": { "asan": 40.1, ... },
+//!     "geo_mean_pct": { "asan": 38.9, ... }
+//!   }
+//! }
+//! ```
+//!
+//! `"stats"` is the flat counter snapshot from
+//! [`SimResult::stats_map`](rest_cpu::SimResult::stats_map). Failed
+//! jobs serialise as `"error"` cells; non-finite floats serialise as
+//! `null`.
+
+use std::io;
+use std::path::Path;
+
+use rest_cpu::SimResult;
+
+use crate::cli::BenchCli;
+use crate::engine::{MatrixResults, RowResults};
+
+/// A JSON value. Object members keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    /// Finite floats only; non-finite values serialise as `null`.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj(members: Vec<(&str, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serialises the value as pretty-printed JSON (2-space indent,
+    /// trailing newline at the document level is the caller's choice).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out
+    }
+
+    fn render(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // f64 Display is the shortest round-trip decimal,
+                    // which is valid JSON ("1", "0.04", "22.47").
+                    out.push_str(&x.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    item.render(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    render_string(key, out);
+                    out.push_str(": ");
+                    value.render(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(u: u64) -> Json {
+        Json::UInt(u)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Accumulates an experiment's JSON document and writes it to the
+/// `--json` path (default `results/<experiment>.json`).
+pub struct ResultSink {
+    cli: BenchCli,
+    root: Vec<(String, Json)>,
+}
+
+impl ResultSink {
+    /// A sink pre-populated with the experiment identity (name, scale,
+    /// machine, filter).
+    pub fn new(cli: &BenchCli) -> ResultSink {
+        let filter = match &cli.filter {
+            Some(f) => Json::Str(f.clone()),
+            None => Json::Null,
+        };
+        ResultSink {
+            cli: cli.clone(),
+            root: vec![
+                ("experiment".to_string(), Json::Str(cli.experiment.clone())),
+                ("scale".to_string(), Json::Str(cli.scale_name().to_string())),
+                ("machine".to_string(), Json::Str(crate::MACHINE.to_string())),
+                ("filter".to_string(), filter),
+            ],
+        }
+    }
+
+    /// Appends one top-level member.
+    pub fn push(&mut self, key: &str, value: Json) {
+        self.root.push((key.to_string(), value));
+    }
+
+    /// Appends the standard serialisation of a matrix under `key`.
+    pub fn push_matrix(&mut self, key: &str, matrix: &MatrixResults) {
+        self.push(key, matrix_json(matrix));
+    }
+
+    /// The complete document as a pretty-printed string (with trailing
+    /// newline). This is what [`ResultSink::write`] persists — tests
+    /// compare it byte-for-byte across `--jobs` levels.
+    pub fn to_json_string(&self) -> String {
+        let mut s = Json::Obj(self.root.clone()).to_string_pretty();
+        s.push('\n');
+        s
+    }
+
+    /// Writes the document to `path`, creating parent directories.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json_string())
+    }
+
+    /// Writes to the CLI-selected path and reports it on stderr (never
+    /// stdout: the text tables must stay byte-stable).
+    pub fn finish(&self) {
+        let path = self.cli.json_path();
+        match self.write(&path) {
+            Ok(()) => eprintln!("# wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("# FAILED writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// A successful run as a JSON cell body: headline cycles plus the flat
+/// stats snapshot.
+pub fn result_json(result: &SimResult) -> Vec<(&'static str, Json)> {
+    let stats = result
+        .stats_map()
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), Json::UInt(v)))
+        .collect();
+    vec![
+        ("cycles", Json::UInt(result.cycles())),
+        ("stats", Json::Obj(stats)),
+    ]
+}
+
+fn outcome_json(
+    label: &str,
+    outcome: &Result<SimResult, crate::engine::JobError>,
+    overhead_pct: Option<f64>,
+) -> Json {
+    let mut members = vec![("label", Json::from(label))];
+    match outcome {
+        Ok(result) => {
+            let mut body = result_json(result);
+            if let Some(pct) = overhead_pct {
+                body.insert(1, ("overhead_pct", Json::Num(pct)));
+            }
+            members.extend(body);
+        }
+        Err(e) => {
+            members.push((
+                "error",
+                Json::obj(vec![
+                    ("kind", Json::from(e.kind.as_str())),
+                    ("detail", Json::from(e.detail.as_str())),
+                ]),
+            ));
+        }
+    }
+    Json::obj(members)
+}
+
+fn row_json(row: &RowResults, columns: &[crate::engine::ColumnSpec]) -> Json {
+    let mut members = vec![
+        ("benchmark", Json::from(row.row.name)),
+        ("workload", Json::from(row.row.workload.name())),
+        ("seed", Json::UInt(row.row.seed)),
+    ];
+    if let Some(plain) = &row.plain {
+        members.push(("plain", outcome_json("plain", plain, None)));
+    }
+    let cells = columns
+        .iter()
+        .enumerate()
+        .map(|(c, col)| {
+            let pct = row.overhead_pct(c);
+            let pct = pct.is_finite().then_some(pct);
+            outcome_json(&col.label, &row.cells[c], pct)
+        })
+        .collect();
+    members.push(("cells", Json::Arr(cells)));
+    Json::obj(members)
+}
+
+/// The standard matrix serialisation (columns, rows, mean summaries).
+pub fn matrix_json(matrix: &MatrixResults) -> Json {
+    let columns = matrix
+        .columns
+        .iter()
+        .map(|c| Json::from(c.label.as_str()))
+        .collect();
+    let rows = matrix
+        .rows
+        .iter()
+        .map(|r| row_json(r, &matrix.columns))
+        .collect();
+    let mut members = vec![("columns", Json::Arr(columns)), ("rows", Json::Arr(rows))];
+    let has_plain = matrix.rows.iter().any(|r| r.plain.is_some());
+    if has_plain {
+        let summary = matrix.summary();
+        let pair = |pick: fn(&(f64, f64)) -> f64| {
+            Json::Obj(
+                matrix
+                    .columns
+                    .iter()
+                    .zip(&summary)
+                    .map(|(c, s)| (c.label.clone(), Json::Num(pick(s))))
+                    .collect(),
+            )
+        };
+        members.push((
+            "summary",
+            Json::obj(vec![
+                ("wtd_ari_mean_pct", pair(|s| s.0)),
+                ("geo_mean_pct", pair(|s| s.1)),
+            ]),
+        ));
+    }
+    Json::obj(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_deterministic_and_escaped() {
+        let doc = Json::obj(vec![
+            ("b", Json::Int(-3)),
+            ("a", Json::from(1.5)),
+            ("nan", Json::Num(f64::NAN)),
+            ("s", Json::from("a\"b\\c\nd\u{1}")),
+            ("arr", Json::Arr(vec![Json::Null, Json::Bool(true)])),
+            ("empty", Json::obj(vec![])),
+        ]);
+        let text = doc.to_string_pretty();
+        // Insertion order preserved ("b" before "a"), NaN → null.
+        assert!(text.find("\"b\"").unwrap() < text.find("\"a\"").unwrap());
+        assert!(text.contains("\"nan\": null"));
+        assert!(text.contains(r#""a\"b\\c\nd\u0001""#));
+        assert!(text.contains("\"empty\": {}"));
+        assert_eq!(text, doc.to_string_pretty());
+    }
+
+    #[test]
+    fn floats_render_as_json_numbers() {
+        assert_eq!(Json::Num(1.0).to_string_pretty(), "1");
+        assert_eq!(Json::Num(0.04).to_string_pretty(), "0.04");
+        assert_eq!(Json::Num(-2.5).to_string_pretty(), "-2.5");
+        assert_eq!(Json::Num(f64::INFINITY).to_string_pretty(), "null");
+        assert_eq!(Json::UInt(u64::MAX).to_string_pretty(), u64::MAX.to_string());
+    }
+}

@@ -110,6 +110,69 @@ impl SimResult {
             self.mem.token_lines_l2_mem as f64 * 1000.0 / self.core.insts as f64
         }
     }
+
+    /// Flat, deterministically ordered `name → value` snapshot of every
+    /// counter in the result (core, memory hierarchy, allocator), for
+    /// machine-readable result sinks. Keys are stable
+    /// `<subsystem>.<counter>` identifiers; per-component micro-op
+    /// counters expand to one key per [`Component`].
+    pub fn stats_map(&self) -> Vec<(&'static str, u64)> {
+        let c = &self.core;
+        let m = &self.mem;
+        let a = &self.alloc;
+        let mut map = vec![
+            ("core.cycles", c.cycles),
+            ("core.insts", c.insts),
+            ("core.uops", c.uops),
+            ("core.branch_lookups", c.branch_lookups),
+            ("core.branch_mispredicts", c.branch_mispredicts),
+            ("core.store_forwards", c.store_forwards),
+            ("core.load_partial_stalls", c.load_partial_stalls),
+            ("core.rob_blocked_store_cycles", c.rob_blocked_store_cycles),
+            ("core.iq_stall_cycles", c.iq_stall_cycles),
+            ("core.rob_stall_cycles", c.rob_stall_cycles),
+            ("core.lsq_stall_cycles", c.lsq_stall_cycles),
+            ("core.lsq_rest_exceptions", c.lsq_rest_exceptions),
+            ("core.fetch_stall_cycles", c.fetch_stall_cycles),
+        ];
+        const COMPONENT_KEYS: [&str; 5] = [
+            "core.uops_app",
+            "core.uops_allocator",
+            "core.uops_stack_protect",
+            "core.uops_access_check",
+            "core.uops_api_intercept",
+        ];
+        for (key, count) in COMPONENT_KEYS.iter().zip(c.uops_by_component) {
+            map.push((key, count));
+        }
+        map.extend([
+            ("mem.l1i_hits", m.l1i_hits),
+            ("mem.l1i_misses", m.l1i_misses),
+            ("mem.l1d_hits", m.l1d_hits),
+            ("mem.l1d_misses", m.l1d_misses),
+            ("mem.l2_hits", m.l2_hits),
+            ("mem.l2_misses", m.l2_misses),
+            ("mem.dram_accesses", m.dram_accesses),
+            ("mem.l1d_writebacks", m.l1d_writebacks),
+            ("mem.l2_writebacks", m.l2_writebacks),
+            ("mem.token_detections_on_fill", m.token_detections_on_fill),
+            ("mem.token_lines_evicted_l1d", m.token_lines_evicted_l1d),
+            ("mem.token_lines_l2_mem", m.token_lines_l2_mem),
+            ("mem.rest_exceptions", m.rest_exceptions),
+            ("mem.debug_load_holds", m.debug_load_holds),
+            ("mem.token_cache_hits", m.token_cache_hits),
+            ("alloc.allocs", a.allocs),
+            ("alloc.frees", a.frees),
+            ("alloc.bytes_requested", a.bytes_requested),
+            ("alloc.live_bytes", a.live_bytes),
+            ("alloc.peak_live_bytes", a.peak_live_bytes),
+            ("alloc.quarantine_bytes", a.quarantine_bytes),
+            ("alloc.quarantine_evictions", a.quarantine_evictions),
+            ("alloc.bad_frees", a.bad_frees),
+            ("alloc.reuses", a.reuses),
+        ]);
+        map
+    }
 }
 
 #[cfg(test)]
@@ -155,5 +218,52 @@ mod tests {
         assert!((a.core.uipc() - 2.5).abs() < 1e-12);
         a.mem.token_lines_l2_mem = 4;
         assert!((a.tokens_per_kiloinst_l2_mem() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_map_is_complete_ordered_and_keyed_uniquely() {
+        let mut r = SimResult {
+            trace: None,
+            core: CoreStats {
+                cycles: 123,
+                insts: 456,
+                ..CoreStats::default()
+            },
+            mem: MemStats::default(),
+            alloc: AllocStats::default(),
+            stop: StopReason::Halted,
+            output: Vec::new(),
+            label: "plain".into(),
+        };
+        r.core.note_component(Component::Allocator);
+        r.mem.token_lines_l2_mem = 9;
+        r.alloc.allocs = 3;
+
+        let map = r.stats_map();
+        let get = |k: &str| {
+            map.iter()
+                .find(|(n, _)| *n == k)
+                .unwrap_or_else(|| panic!("missing key {k}"))
+                .1
+        };
+        assert_eq!(get("core.cycles"), 123);
+        assert_eq!(get("core.insts"), 456);
+        assert_eq!(get("core.uops_allocator"), 1);
+        assert_eq!(get("mem.token_lines_l2_mem"), 9);
+        assert_eq!(get("alloc.allocs"), 3);
+
+        // Unique keys, deterministic order (core → mem → alloc).
+        let mut names: Vec<&str> = map.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names[0], "core.cycles");
+        let last_core = names.iter().rposition(|n| n.starts_with("core.")).unwrap();
+        let first_mem = names.iter().position(|n| n.starts_with("mem.")).unwrap();
+        let first_alloc = names.iter().position(|n| n.starts_with("alloc.")).unwrap();
+        assert!(last_core < first_mem && first_mem < first_alloc);
+        let len = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), len, "duplicate stat keys");
+        // A second call yields the identical snapshot.
+        assert_eq!(map, r.stats_map());
     }
 }

@@ -3,6 +3,8 @@
 //! program (instruction-for-instruction, with branch targets compared by
 //! resolved PC).
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use rest_isa::{parse_asm, AluOp, Inst, MemSize, Program, ProgramBuilder, Reg};

@@ -206,6 +206,26 @@ impl Workload {
         self.profile().name
     }
 
+    /// Looks a workload up by its figure name (exact, case-insensitive).
+    ///
+    /// Used by the benchmark harness's `--filter` flag and the CLI's
+    /// `workload` subcommand.
+    pub fn from_name(name: &str) -> Option<Workload> {
+        Workload::ALL
+            .into_iter()
+            .find(|w| w.name().eq_ignore_ascii_case(name))
+    }
+
+    /// All workloads whose figure name contains `pattern`
+    /// (case-insensitive substring; empty pattern matches everything).
+    pub fn matching(pattern: &str) -> Vec<Workload> {
+        let needle = pattern.to_ascii_lowercase();
+        Workload::ALL
+            .into_iter()
+            .filter(|w| w.name().contains(&needle))
+            .collect()
+    }
+
     /// Builds the workload's guest program for `params`.
     pub fn build(self, params: &WorkloadParams) -> Program {
         match self {
@@ -250,5 +270,28 @@ pub fn params_for(scale: Scale, stack: StackScheme, width: TokenWidth) -> Worklo
         stack_scheme: stack,
         token_width: width,
         seed: 0xC0FFEE,
+    }
+}
+
+#[cfg(test)]
+mod name_lookup_tests {
+    use super::*;
+
+    #[test]
+    fn from_name_round_trips_every_workload() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+            assert_eq!(Workload::from_name(&w.name().to_uppercase()), Some(w));
+        }
+        assert_eq!(Workload::from_name("perlbench"), None);
+        assert_eq!(Workload::from_name(""), None);
+    }
+
+    #[test]
+    fn matching_is_substring_and_case_insensitive() {
+        assert_eq!(Workload::matching("xalanc"), vec![Workload::Xalancbmk]);
+        assert_eq!(Workload::matching("GCC"), vec![Workload::Gcc]);
+        assert_eq!(Workload::matching("").len(), Workload::ALL.len());
+        assert!(Workload::matching("zzz").is_empty());
     }
 }

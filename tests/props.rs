@@ -1,6 +1,8 @@
 //! Property-based tests over the core data structures and the
 //! emulator/allocator invariants.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 
 use rest::core::{ArmedSet, Token, TokenWidth};
