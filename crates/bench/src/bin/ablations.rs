@@ -19,11 +19,14 @@
 //! Usage: `cargo run --release -p rest-bench --bin ablations -- \
 //!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
 
+use std::time::Instant;
+
 use rest_bench::cli::BenchCli;
 use rest_bench::engine::{ColumnSpec, Engine, MatrixSpec};
 use rest_bench::sink::ResultSink;
-use rest_bench::FigureRow;
+use rest_bench::{finish_observability, FigureRow};
 use rest_core::Mode;
+use rest_obs::HostProfile;
 use rest_runtime::RtConfig;
 use rest_workloads::Workload;
 
@@ -93,9 +96,16 @@ fn main() {
         cli.scale,
     );
 
+    // Observability flags apply to the first matrix; all three share
+    // the engine, so the profile's job log covers every sweep.
+    let arm_spec = arm_spec.with_observability(&cli);
+    let mut profile = HostProfile::new(&cli.experiment);
+    let started = Instant::now();
     let arm = engine.run_matrix(&arm_spec);
     let budget = engine.run_matrix(&budget_spec);
     let future = engine.run_matrix(&future_spec);
+    profile.add_phase("simulate", started.elapsed());
+    let started = Instant::now();
 
     println!("# Ablation 1+2 — arm/disarm design alternatives, overhead over plain (%)");
     println!(
@@ -162,4 +172,7 @@ fn main() {
     sink.push_matrix("quarantine_budget", &budget);
     sink.push_matrix("future_work", &future);
     sink.finish();
+    profile.add_phase("report", started.elapsed());
+
+    finish_observability(&cli, &engine, &arm, profile);
 }

@@ -6,10 +6,13 @@
 //! Usage: `cargo run --release -p rest-bench --bin fig3 -- \
 //!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
 
+use std::time::Instant;
+
 use rest_bench::cli::BenchCli;
 use rest_bench::engine::{ColumnSpec, CoreKind, Engine, MatrixSpec};
 use rest_bench::sink::{Json, ResultSink};
-use rest_bench::{fmt_row, FigureRow};
+use rest_bench::{finish_observability, fmt_row, FigureRow};
+use rest_obs::HostProfile;
 use rest_runtime::{RtConfig, Scheme};
 use rest_workloads::Workload;
 
@@ -53,10 +56,15 @@ fn main() {
     let spec = MatrixSpec {
         core: CoreKind::InOrder,
         ..MatrixSpec::new(cli.filter_rows(rows), columns, cli.scale)
-    };
+    }
+    .with_observability(&cli);
 
+    let mut profile = HostProfile::new(&cli.experiment);
     let engine = Engine::new(cli.jobs);
+    let started = Instant::now();
     let matrix = engine.run_matrix(&spec);
+    profile.add_phase("simulate", started.elapsed());
+    let started = Instant::now();
 
     println!("# Figure 3 — ASan overhead breakdown (%, incremental per component)");
     println!("# core: narrow in-order (as in the paper's Figure 3 measurement)");
@@ -98,6 +106,9 @@ fn main() {
     sink.push_matrix("matrix", &matrix);
     sink.push("incremental", Json::Arr(incremental_rows));
     sink.finish();
+    profile.add_phase("report", started.elapsed());
+
+    finish_observability(&cli, &engine, &matrix, profile);
 }
 
 /// Per-stage incremental overhead percentages plus the cumulative

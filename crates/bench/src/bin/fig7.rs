@@ -3,12 +3,16 @@
 //! weighted arithmetic mean and geometric mean the paper reports.
 //!
 //! Usage: `cargo run --release -p rest-bench --bin fig7 -- \
-//!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
+//!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING] \
+//!         [--sample-interval N] [--trace-out PATH] [--profile-out PATH]`
+
+use std::time::Instant;
 
 use rest_bench::cli::BenchCli;
 use rest_bench::engine::{ColumnSpec, Engine, MatrixSpec};
 use rest_bench::sink::ResultSink;
-use rest_bench::{fig7_configs, figure_rows, print_machine_header};
+use rest_bench::{fig7_configs, figure_rows, finish_observability, print_machine_header};
+use rest_obs::HostProfile;
 
 fn main() {
     let cli = BenchCli::parse("fig7");
@@ -16,11 +20,16 @@ fn main() {
         .into_iter()
         .map(|rt| ColumnSpec::new(rt.label(), rt))
         .collect();
-    let spec = MatrixSpec::new(cli.filter_rows(figure_rows()), columns, cli.scale);
+    let spec = MatrixSpec::new(cli.filter_rows(figure_rows()), columns, cli.scale)
+        .with_observability(&cli);
 
+    let mut profile = HostProfile::new(&cli.experiment);
     let engine = Engine::new(cli.jobs);
+    let started = Instant::now();
     let matrix = engine.run_matrix(&spec);
+    profile.add_phase("simulate", started.elapsed());
 
+    let started = Instant::now();
     print_machine_header("Figure 7 — runtime overhead over plain (%)");
     matrix.print_text_table();
     println!();
@@ -30,4 +39,7 @@ fn main() {
     let mut sink = ResultSink::new(&cli);
     sink.push_matrix("matrix", &matrix);
     sink.finish();
+    profile.add_phase("report", started.elapsed());
+
+    finish_observability(&cli, &engine, &matrix, profile);
 }

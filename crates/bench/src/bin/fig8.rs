@@ -6,11 +6,14 @@
 //! Usage: `cargo run --release -p rest-bench --bin fig8 -- \
 //!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
 
+use std::time::Instant;
+
 use rest_bench::cli::BenchCli;
 use rest_bench::engine::{ColumnSpec, Engine, MatrixSpec};
 use rest_bench::sink::ResultSink;
-use rest_bench::{fig8_widths, figure_rows, print_machine_header};
+use rest_bench::{fig8_widths, figure_rows, finish_observability, print_machine_header};
 use rest_core::Mode;
+use rest_obs::HostProfile;
 use rest_runtime::RtConfig;
 
 fn main() {
@@ -25,11 +28,16 @@ fn main() {
             ));
         }
     }
-    let spec = MatrixSpec::new(cli.filter_rows(figure_rows()), columns, cli.scale);
+    let spec = MatrixSpec::new(cli.filter_rows(figure_rows()), columns, cli.scale)
+        .with_observability(&cli);
 
+    let mut profile = HostProfile::new(&cli.experiment);
     let engine = Engine::new(cli.jobs);
+    let started = Instant::now();
     let matrix = engine.run_matrix(&spec);
+    profile.add_phase("simulate", started.elapsed());
 
+    let started = Instant::now();
     print_machine_header("Figure 8 — token-width sweep, secure mode, overhead over plain (%)");
     matrix.print_text_table();
     println!();
@@ -39,4 +47,7 @@ fn main() {
     let mut sink = ResultSink::new(&cli);
     sink.push_matrix("matrix", &matrix);
     sink.finish();
+    profile.add_phase("report", started.elapsed());
+
+    finish_observability(&cli, &engine, &matrix, profile);
 }

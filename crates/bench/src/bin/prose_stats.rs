@@ -11,11 +11,14 @@
 //! Usage: `cargo run --release -p rest-bench --bin prose_stats -- \
 //!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
 
+use std::time::Instant;
+
 use rest_bench::cli::BenchCli;
 use rest_bench::engine::{ColumnSpec, Engine, MatrixSpec};
 use rest_bench::sink::{Json, ResultSink};
-use rest_bench::{print_machine_header, FigureRow};
+use rest_bench::{finish_observability, print_machine_header, FigureRow};
 use rest_core::Mode;
+use rest_obs::HostProfile;
 use rest_runtime::RtConfig;
 use rest_workloads::Workload;
 
@@ -31,10 +34,15 @@ fn main() {
         // plain baseline is involved.
         include_plain: false,
         ..MatrixSpec::new(cli.filter_rows(rows), columns, cli.scale)
-    };
+    }
+    .with_observability(&cli);
 
+    let mut profile = HostProfile::new(&cli.experiment);
     let engine = Engine::new(cli.jobs);
+    let started = Instant::now();
     let matrix = engine.run_matrix(&spec);
+    profile.add_phase("simulate", started.elapsed());
+    let started = Instant::now();
 
     print_machine_header("§VI-B prose statistics — secure vs debug (full protection)");
     println!(
@@ -98,4 +106,7 @@ fn main() {
     sink.push_matrix("matrix", &matrix);
     sink.push("derived", Json::Arr(derived));
     sink.finish();
+    profile.add_phase("report", started.elapsed());
+
+    finish_observability(&cli, &engine, &matrix, profile);
 }

@@ -7,6 +7,13 @@
 //! --jobs N               worker threads (default: available parallelism)
 //! --json PATH            JSON output path (default: results/<experiment>.json)
 //! --filter SUBSTRING     keep only benchmark rows whose name contains SUBSTRING
+//! --sample-interval N    snapshot counters + occupancy gauges every N committed
+//!                        instructions into a "series" JSON section (0 = off)
+//! --trace-out PATH       write a Chrome trace-event (Perfetto) JSON of the
+//!                        first traced job's pipeline activity to PATH
+//! --trace-uops N         micro-ops to trace for --trace-out (default 512)
+//! --profile-out PATH     write host wall-time profiling (phases + per-job
+//!                        timings) to PATH (default: results/BENCH_baseline.json)
 //! --help                 usage
 //! ```
 
@@ -29,6 +36,16 @@ pub struct BenchCli {
     pub json: Option<PathBuf>,
     /// Row filter (`--filter`), a case-insensitive substring.
     pub filter: Option<String>,
+    /// Interval sampler period in committed instructions
+    /// (`--sample-interval`, 0 = off).
+    pub sample_interval: u64,
+    /// Perfetto trace output path (`--trace-out`), if any. Enables
+    /// micro-op tracing on the first job of the experiment.
+    pub trace_out: Option<PathBuf>,
+    /// Micro-ops to trace when `--trace-out` is given (`--trace-uops`).
+    pub trace_uops: usize,
+    /// Host-profiling output path (`--profile-out`), if any.
+    pub profile_out: Option<PathBuf>,
 }
 
 impl BenchCli {
@@ -65,6 +82,10 @@ impl BenchCli {
             jobs: Self::default_jobs(),
             json: None,
             filter: None,
+            sample_interval: 0,
+            trace_out: None,
+            trace_uops: 512,
+            profile_out: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -85,6 +106,28 @@ impl BenchCli {
                 "--filter" => {
                     let v = it.next().ok_or("--filter needs a substring")?;
                     cli.filter = Some(v.to_string());
+                }
+                "--sample-interval" => {
+                    let v = it.next().ok_or("--sample-interval needs a value")?;
+                    cli.sample_interval = v
+                        .parse::<u64>()
+                        .map_err(|_| format!("--sample-interval: invalid interval {v:?}"))?;
+                }
+                "--trace-out" => {
+                    let v = it.next().ok_or("--trace-out needs a path")?;
+                    cli.trace_out = Some(PathBuf::from(v));
+                }
+                "--trace-uops" => {
+                    let v = it.next().ok_or("--trace-uops needs a value")?;
+                    cli.trace_uops = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--trace-uops: invalid count {v:?}"))?;
+                }
+                "--profile-out" => {
+                    let v = it.next().ok_or("--profile-out needs a path")?;
+                    cli.profile_out = Some(PathBuf::from(v));
                 }
                 "--help" | "-h" => return Err("help".to_string()),
                 other => return Err(format!("unknown argument {other:?}")),
@@ -123,16 +166,32 @@ impl BenchCli {
         }
     }
 
+    /// The host-profiling output path: `--profile-out` if given, else
+    /// `results/BENCH_baseline.json`.
+    pub fn profile_path(&self) -> PathBuf {
+        self.profile_out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results/BENCH_baseline.json"))
+    }
+
     fn usage(experiment: &str) -> String {
         format!(
             "usage: {experiment} [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]\n\
+             \x20                 [--sample-interval N] [--trace-out PATH] [--trace-uops N]\n\
+             \x20                 [--profile-out PATH]\n\
              \n\
-             --test             run at test scale (fast smoke check)\n\
-             --jobs N           worker threads (default: available parallelism)\n\
-             --json PATH        write JSON results to PATH\n\
-             \x20                  (default: results/{experiment}.json)\n\
-             --filter SUBSTRING keep only rows whose benchmark name contains SUBSTRING\n\
-             --help             this message"
+             --test               run at test scale (fast smoke check)\n\
+             --jobs N             worker threads (default: available parallelism)\n\
+             --json PATH          write JSON results to PATH\n\
+             \x20                    (default: results/{experiment}.json)\n\
+             --filter SUBSTRING   keep only rows whose benchmark name contains SUBSTRING\n\
+             --sample-interval N  sample counters + gauges every N committed\n\
+             \x20                    instructions into the JSON \"series\" sections (0 = off)\n\
+             --trace-out PATH     write a Perfetto/Chrome trace-event JSON of the first\n\
+             \x20                    job's pipeline activity to PATH\n\
+             --trace-uops N       micro-ops to trace for --trace-out (default 512)\n\
+             --profile-out PATH   write host wall-time profiling to PATH\n\
+             --help               this message"
         )
     }
 }
@@ -155,6 +214,14 @@ mod tests {
         assert_eq!(cli.filter, None);
         assert_eq!(cli.json_path(), PathBuf::from("results/fig7.json"));
         assert_eq!(cli.scale_name(), "ref");
+        assert_eq!(cli.sample_interval, 0);
+        assert_eq!(cli.trace_out, None);
+        assert_eq!(cli.trace_uops, 512);
+        assert_eq!(cli.profile_out, None);
+        assert_eq!(
+            cli.profile_path(),
+            PathBuf::from("results/BENCH_baseline.json")
+        );
     }
 
     #[test]
@@ -172,11 +239,37 @@ mod tests {
     }
 
     #[test]
+    fn observability_flags_parse() {
+        let cli = BenchCli::from_args(
+            "fig7",
+            &argv(&[
+                "--sample-interval",
+                "5000",
+                "--trace-out",
+                "/tmp/trace.json",
+                "--trace-uops",
+                "128",
+                "--profile-out",
+                "/tmp/prof.json",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(cli.sample_interval, 5000);
+        assert_eq!(cli.trace_out, Some(PathBuf::from("/tmp/trace.json")));
+        assert_eq!(cli.trace_uops, 128);
+        assert_eq!(cli.profile_path(), PathBuf::from("/tmp/prof.json"));
+    }
+
+    #[test]
     fn errors_are_reported() {
         assert!(BenchCli::from_args("fig7", &argv(&["--jobs"])).is_err());
         assert!(BenchCli::from_args("fig7", &argv(&["--jobs", "0"])).is_err());
         assert!(BenchCli::from_args("fig7", &argv(&["--jobs", "x"])).is_err());
         assert!(BenchCli::from_args("fig7", &argv(&["--frobnicate"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--sample-interval"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--sample-interval", "x"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--trace-uops", "0"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--trace-out"])).is_err());
         assert_eq!(
             BenchCli::from_args("fig7", &argv(&["--help"])).unwrap_err(),
             "help"

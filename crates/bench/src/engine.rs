@@ -23,9 +23,10 @@ use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rest_cpu::{SimConfig, SimResult, StopReason, System};
+use rest_obs::JobTiming;
 use rest_runtime::RtConfig;
 use rest_workloads::{Scale, Workload, WorkloadParams};
 
@@ -71,6 +72,12 @@ pub struct SimJob {
     /// (Small values force [`StopReason::UopLimit`] — used by tests to
     /// inject failing jobs.)
     pub max_uops: Option<u64>,
+    /// Interval sampler period in committed instructions (0 = off);
+    /// the result then carries a [`rest_obs::TimeSeries`].
+    pub sample_interval: u64,
+    /// Pipeline-trace length in micro-ops (0 = off); the result then
+    /// carries a [`rest_cpu::PipelineTrace`].
+    pub trace_uops: usize,
 }
 
 impl SimJob {
@@ -87,6 +94,8 @@ impl SimJob {
             serialize_rest_ops: false,
             token_cache_entries: 0,
             max_uops: None,
+            sample_interval: 0,
+            trace_uops: 0,
         }
     }
 
@@ -113,7 +122,7 @@ impl SimJob {
     /// do not.
     pub fn cache_key(&self) -> String {
         format!(
-            "{:?}|{:#x}|{:?}|{:?}|{:?}|{}|{}|{:?}",
+            "{:?}|{:#x}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}",
             self.workload,
             self.seed,
             self.rt,
@@ -122,6 +131,11 @@ impl SimJob {
             self.serialize_rest_ops,
             self.token_cache_entries,
             self.max_uops,
+            // Observability settings don't change the simulated cycles,
+            // but they change what the result carries (series / trace),
+            // so results must not be shared across different settings.
+            self.sample_interval,
+            self.trace_uops,
         )
     }
 
@@ -142,6 +156,8 @@ impl SimJob {
             };
             cfg.core.serialize_rest_ops = self.serialize_rest_ops;
             cfg.mem.token_cache_entries = self.token_cache_entries;
+            cfg.sample_interval = self.sample_interval;
+            cfg.trace_uops = self.trace_uops;
             if let Some(budget) = self.max_uops {
                 cfg.max_uops = budget;
             }
@@ -209,6 +225,7 @@ pub type JobOutcome = Arc<Result<SimResult, JobError>>;
 pub struct Engine {
     workers: usize,
     cache: Mutex<HashMap<String, JobOutcome>>,
+    timings: Mutex<Vec<JobTiming>>,
 }
 
 impl Engine {
@@ -217,7 +234,16 @@ impl Engine {
         Engine {
             workers: workers.max(1),
             cache: Mutex::new(HashMap::new()),
+            timings: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Per-job wall-time records accumulated so far (submission order;
+    /// cache hits appear with `cached: true` and zero wall time).
+    /// Draining resets the log, so successive experiments on one
+    /// engine can profile separately.
+    pub fn take_timings(&self) -> Vec<JobTiming> {
+        std::mem::take(&mut self.timings.lock().unwrap())
     }
 
     /// Runs every job not already cached, in parallel, and returns one
@@ -235,6 +261,7 @@ impl Engine {
                 .collect()
         };
         let total = fresh.len();
+        let fresh_walls: Mutex<HashMap<String, Duration>> = Mutex::new(HashMap::new());
         if total > 0 {
             let started = Instant::now();
             let next = AtomicUsize::new(0);
@@ -250,7 +277,8 @@ impl Engine {
                         let job = fresh[i];
                         let job_started = Instant::now();
                         let result = job.execute();
-                        let secs = job_started.elapsed().as_secs_f64();
+                        let wall = job_started.elapsed();
+                        let secs = wall.as_secs_f64();
                         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
                         match &result {
                             Ok(r) => eprintln!(
@@ -264,6 +292,7 @@ impl Engine {
                                 job.name, job.label
                             ),
                         }
+                        fresh_walls.lock().unwrap().insert(job.cache_key(), wall);
                         self.cache
                             .lock()
                             .unwrap()
@@ -275,6 +304,28 @@ impl Engine {
                 "# {total} jobs on {workers} workers in {:.2}s",
                 started.elapsed().as_secs_f64()
             );
+        }
+        // Log per-job wall times in submission order: the first request
+        // for a key that was simulated this call gets the measured
+        // time; duplicates and pre-cached keys log as cache hits.
+        {
+            let mut walls = fresh_walls.into_inner().unwrap();
+            let mut timings = self.timings.lock().unwrap();
+            for job in jobs {
+                let label = format!("{} {}", job.name, job.label);
+                match walls.remove(&job.cache_key()) {
+                    Some(wall) => timings.push(JobTiming {
+                        label,
+                        wall,
+                        cached: false,
+                    }),
+                    None => timings.push(JobTiming {
+                        label,
+                        wall: Duration::ZERO,
+                        cached: true,
+                    }),
+                }
+            }
         }
         let cache = self.cache.lock().unwrap();
         jobs.iter().map(|j| cache[&j.cache_key()].clone()).collect()
@@ -292,6 +343,15 @@ impl Engine {
             for col in &spec.columns {
                 jobs.push(SimJob::for_column(row, col, spec.core, spec.scale));
             }
+        }
+        for job in &mut jobs {
+            job.sample_interval = spec.sample_interval;
+        }
+        // Tracing is bounded to the matrix's first job: one Perfetto
+        // document per experiment is plenty, and tracing every job
+        // would multiply memory use for no added insight.
+        if let Some(first) = jobs.first_mut() {
+            first.trace_uops = spec.trace_uops;
         }
         let outcomes = self.run_all(&jobs);
         let stride = spec.columns.len() + usize::from(spec.include_plain);
@@ -358,6 +418,12 @@ pub struct MatrixSpec {
     /// Also simulate the plain baseline per row (needed for overhead
     /// columns and mean summaries).
     pub include_plain: bool,
+    /// Interval sampler period applied to **every** job of the matrix
+    /// (0 = off).
+    pub sample_interval: u64,
+    /// Pipeline-trace length applied to the matrix's **first** job
+    /// only (0 = off).
+    pub trace_uops: usize,
 }
 
 impl MatrixSpec {
@@ -370,7 +436,21 @@ impl MatrixSpec {
             core: CoreKind::OutOfOrder,
             scale,
             include_plain: true,
+            sample_interval: 0,
+            trace_uops: 0,
         }
+    }
+
+    /// Applies the CLI's observability flags: the sampler interval to
+    /// every job, tracing (when `--trace-out` was given) to the first.
+    pub fn with_observability(mut self, cli: &crate::cli::BenchCli) -> MatrixSpec {
+        self.sample_interval = cli.sample_interval;
+        self.trace_uops = if cli.trace_out.is_some() {
+            cli.trace_uops
+        } else {
+            0
+        };
+        self
     }
 }
 
@@ -415,6 +495,16 @@ pub struct MatrixResults {
 }
 
 impl MatrixResults {
+    /// The first successful result carrying a pipeline trace (the
+    /// matrix's first job, when the spec enabled tracing).
+    pub fn first_trace(&self) -> Option<&rest_cpu::PipelineTrace> {
+        self.rows
+            .iter()
+            .flat_map(|r| r.plain.iter().chain(r.cells.iter()))
+            .filter_map(|o| o.as_ref().as_ref().ok())
+            .find_map(|r| r.trace.as_ref())
+    }
+
     /// Per-column `(WtdAriMean, GeoMean)` overhead summaries over the
     /// rows whose plain and hardened runs both succeeded.
     pub fn summary(&self) -> Vec<(f64, f64)> {

@@ -212,6 +212,58 @@ pub fn geo_mean_overhead(plain_cycles: &[u64], hardened_cycles: &[u64]) -> f64 {
     ((log_sum / ratios.len() as f64).exp() - 1.0) * 100.0
 }
 
+/// Writes the observability artefacts of one experiment run:
+///
+/// * the Perfetto/Chrome trace-event JSON of the first traced job, when
+///   `--trace-out PATH` was given (load the file at
+///   <https://ui.perfetto.dev>),
+/// * the host wall-time profile (`profile`, plus the engine's per-job
+///   timing log) to `--profile-out` (default
+///   `results/BENCH_baseline.json`).
+///
+/// Both are reported on stderr only; neither touches stdout or the
+/// experiment's deterministic JSON document.
+pub fn finish_observability(
+    cli: &cli::BenchCli,
+    eng: &engine::Engine,
+    matrix: &engine::MatrixResults,
+    mut profile: rest_obs::HostProfile,
+) {
+    if let Some(path) = &cli.trace_out {
+        match matrix.first_trace() {
+            Some(trace) => write_text_file(path, &trace.to_perfetto().render()),
+            None => eprintln!(
+                "# --trace-out: the traced job failed or recorded nothing; no trace written"
+            ),
+        }
+    }
+    for timing in eng.take_timings() {
+        profile.add_job(timing);
+    }
+    write_text_file(&cli.profile_path(), &profile.render());
+}
+
+/// Writes `text` to `path` (creating parent directories) and reports
+/// the path on stderr; exits nonzero on I/O failure, like the result
+/// sink.
+pub fn write_text_file(path: &std::path::Path, text: &str) {
+    let write = || -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, text)
+    };
+    match write() {
+        Ok(()) => eprintln!("# wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("# FAILED writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Prints a header identifying the simulated machine (the paper prints
 /// Table II with every result; we do the lightweight equivalent).
 pub fn print_machine_header(what: &str) {

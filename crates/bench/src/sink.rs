@@ -2,10 +2,11 @@
 //! additionally serialises a machine-readable JSON document.
 //!
 //! The JSON is hand-rolled (the build environment has no registry
-//! access, so no serde): [`Json`] is a minimal value tree whose object
-//! fields keep insertion order, making the serialised output fully
-//! deterministic — the same experiment matrix produces byte-identical
-//! JSON regardless of `--jobs`.
+//! access, so no serde): [`Json`] — re-exported from [`rest_obs`] — is
+//! a minimal value tree whose object fields keep insertion order,
+//! making the serialised output fully deterministic — the same
+//! experiment matrix produces byte-identical JSON regardless of
+//! `--jobs`.
 //!
 //! # Document schema
 //!
@@ -30,10 +31,11 @@
 //!   "rows": [
 //!     {
 //!       "benchmark": "bzip2", "workload": "bzip2", "seed": 12648430,
-//!       "plain": { "cycles": 123, "stats": { "core.cycles": 123, ... } },
+//!       "plain": { "cycles": 123, "stats": { "core.cycles": 123, ... },
+//!                  "derived": { ... }, "cpi": { ... } },
 //!       "cells": [
 //!         { "label": "asan", "cycles": 456, "overhead_pct": 12.5,
-//!           "stats": { ... } },
+//!           "stats": { ... }, "derived": { ... }, "cpi": { ... } },
 //!         { "label": "...", "error": { "kind": "uop-limit",
 //!           "detail": "..." } }
 //!       ]
@@ -46,10 +48,33 @@
 //! }
 //! ```
 //!
-//! `"stats"` is the flat counter snapshot from
-//! [`SimResult::stats_map`](rest_cpu::SimResult::stats_map). Failed
-//! jobs serialise as `"error"` cells; non-finite floats serialise as
-//! `null`.
+//! Per-cell members:
+//!
+//! * `"stats"` — the flat counter snapshot from
+//!   [`SimResult::stats_map`](rest_cpu::SimResult::stats_map).
+//! * `"derived"` — headline rates computed from the counters:
+//!   `"core.uipc"` (committed micro-ops per cycle),
+//!   `"mem.l1d_hit_rate"` (L1-D hits over L1-D accesses), and
+//!   `"tokens_per_kiloinst_l2_mem"` (token-line transfers crossing the
+//!   L2↔memory boundary per thousand committed instructions, the
+//!   paper's §VI-B traffic statistic).
+//! * `"cpi"` — the commit-time cycle-attribution stack
+//!   ([`rest_obs::CpiStack`]): one member per component
+//!   (`"base"`, `"fetch_stall"`, `"branch"`, `"iq"`, `"rob"`, `"lsq"`,
+//!   `"l1d_miss"`, `"l2_miss"`, `"dram"`, `"store_drain"`,
+//!   `"rest_check"`) plus `"total"`; the components sum **exactly** to
+//!   `"total"` == `stats["core.cycles"]`.
+//! * `"series"` — present only when the run sampled
+//!   (`--sample-interval N`): the [`rest_obs::TimeSeries`] document
+//!   `{"interval", "dropped", "samples": [{"insts", "cycles",
+//!   "gauges", "counters"}]}` with one sample per N committed
+//!   instructions.
+//! * `"audit"` — present only when the run recorded violations: the
+//!   [`rest_obs::AuditLog`] document `{"total", "entries": [{
+//!   "detector", "kind", "pc", "addr", ...}]}`.
+//!
+//! Failed jobs serialise as `"error"` cells; non-finite floats
+//! serialise as `null`.
 
 use std::io;
 use std::path::Path;
@@ -59,142 +84,7 @@ use rest_cpu::SimResult;
 use crate::cli::BenchCli;
 use crate::engine::{MatrixResults, RowResults};
 
-/// A JSON value. Object members keep insertion order.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    Int(i64),
-    UInt(u64),
-    /// Finite floats only; non-finite values serialise as `null`.
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Builds an object from `(key, value)` pairs, preserving order.
-    pub fn obj(members: Vec<(&str, Json)>) -> Json {
-        Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Serialises the value as pretty-printed JSON (2-space indent,
-    /// trailing newline at the document level is the caller's choice).
-    pub fn to_string_pretty(&self) -> String {
-        let mut out = String::new();
-        self.render(&mut out, 0);
-        out
-    }
-
-    fn render(&self, out: &mut String, depth: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => out.push_str(&i.to_string()),
-            Json::UInt(u) => out.push_str(&u.to_string()),
-            Json::Num(x) => {
-                if x.is_finite() {
-                    // f64 Display is the shortest round-trip decimal,
-                    // which is valid JSON ("1", "0.04", "22.47").
-                    out.push_str(&x.to_string());
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => render_string(s, out),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    newline_indent(out, depth + 1);
-                    item.render(out, depth + 1);
-                }
-                newline_indent(out, depth);
-                out.push(']');
-            }
-            Json::Obj(members) => {
-                if members.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (key, value)) in members.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    newline_indent(out, depth + 1);
-                    render_string(key, out);
-                    out.push_str(": ");
-                    value.render(out, depth + 1);
-                }
-                newline_indent(out, depth);
-                out.push('}');
-            }
-        }
-    }
-}
-
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::Str(s.to_string())
-    }
-}
-
-impl From<String> for Json {
-    fn from(s: String) -> Json {
-        Json::Str(s)
-    }
-}
-
-impl From<u64> for Json {
-    fn from(u: u64) -> Json {
-        Json::UInt(u)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(x: f64) -> Json {
-        Json::Num(x)
-    }
-}
-
-impl From<bool> for Json {
-    fn from(b: bool) -> Json {
-        Json::Bool(b)
-    }
-}
-
-fn newline_indent(out: &mut String, depth: usize) {
-    out.push('\n');
-    for _ in 0..depth {
-        out.push_str("  ");
-    }
-}
-
-fn render_string(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
+pub use rest_obs::Json;
 
 /// Accumulates an experiment's JSON document and writes it to the
 /// `--json` path (default `results/<experiment>.json`).
@@ -265,18 +155,37 @@ impl ResultSink {
     }
 }
 
-/// A successful run as a JSON cell body: headline cycles plus the flat
-/// stats snapshot.
+/// A successful run as a JSON cell body: headline cycles, the flat
+/// stats snapshot, derived rates, and the commit-time CPI stack.
+/// Optional sections (`series`, `audit`) appear only when the run
+/// carries them, keeping default documents compact.
 pub fn result_json(result: &SimResult) -> Vec<(&'static str, Json)> {
     let stats = result
         .stats_map()
         .into_iter()
         .map(|(k, v)| (k.to_string(), Json::UInt(v)))
         .collect();
-    vec![
+    let derived = Json::obj(vec![
+        ("core.uipc", Json::Num(result.core.uipc())),
+        ("mem.l1d_hit_rate", Json::Num(result.mem.l1d_hit_rate())),
+        (
+            "tokens_per_kiloinst_l2_mem",
+            Json::Num(result.tokens_per_kiloinst_l2_mem()),
+        ),
+    ]);
+    let mut body = vec![
         ("cycles", Json::UInt(result.cycles())),
         ("stats", Json::Obj(stats)),
-    ]
+        ("derived", derived),
+        ("cpi", result.core.cpi.to_json()),
+    ];
+    if let Some(series) = &result.series {
+        body.push(("series", series.to_json()));
+    }
+    if !result.audit.is_empty() {
+        body.push(("audit", result.audit.to_json()));
+    }
+    body
 }
 
 fn outcome_json(

@@ -20,6 +20,10 @@ fn test_cli() -> BenchCli {
         jobs: 1,
         json: None,
         filter: None,
+        sample_interval: 0,
+        trace_out: None,
+        trace_uops: 512,
+        profile_out: None,
     }
 }
 

@@ -1,0 +1,197 @@
+//! End-to-end observability guarantees (ISSUE 2):
+//!
+//! * every matrix cell's CPI stack sums **exactly** to its
+//!   `core.cycles`,
+//! * the interval time-series is byte-identical across `--jobs 1` and
+//!   `--jobs 8` (sampling happens inside the deterministic simulation,
+//!   never on the host clock),
+//! * the Perfetto export is valid Chrome trace-event JSON with one
+//!   slice per traced micro-op per stage track,
+//! * the engine's per-job wall-time log feeds a schema-valid
+//!   `rest-host-profile/v1` document.
+
+use rest_bench::cli::BenchCli;
+use rest_bench::engine::{ColumnSpec, Engine, MatrixSpec};
+use rest_bench::sink::ResultSink;
+use rest_bench::FigureRow;
+use rest_core::Mode;
+use rest_obs::{HostProfile, Json};
+use rest_runtime::RtConfig;
+use rest_workloads::{Scale, Workload};
+
+fn obs_cli() -> BenchCli {
+    BenchCli {
+        experiment: "obs-test".to_string(),
+        scale: Scale::Test,
+        jobs: 1,
+        json: None,
+        filter: None,
+        sample_interval: 2_000,
+        trace_out: Some(std::path::PathBuf::from("unused.json")),
+        trace_uops: 64,
+        profile_out: None,
+    }
+}
+
+fn obs_spec() -> MatrixSpec {
+    MatrixSpec::new(
+        vec![FigureRow::of(Workload::Lbm)],
+        vec![
+            ColumnSpec::new("asan", RtConfig::asan()),
+            ColumnSpec::new("rest-secure-heap", RtConfig::rest(Mode::Secure, false)),
+        ],
+        Scale::Test,
+    )
+    .with_observability(&obs_cli())
+}
+
+fn render(matrix: &rest_bench::engine::MatrixResults) -> String {
+    let mut sink = ResultSink::new(&obs_cli());
+    sink.push_matrix("matrix", matrix);
+    sink.to_json_string()
+}
+
+/// Walks every successful cell object (plain + hardened) of the
+/// document's matrix rows.
+fn each_cell(doc: &Json, mut f: impl FnMut(&Json)) {
+    let rows = doc
+        .get("matrix")
+        .and_then(|m| m.get("rows"))
+        .and_then(Json::as_arr)
+        .expect("matrix.rows");
+    for row in rows {
+        if let Some(plain) = row.get("plain") {
+            f(plain);
+        }
+        for cell in row.get("cells").and_then(Json::as_arr).unwrap() {
+            if cell.get("error").is_none() {
+                f(cell);
+            }
+        }
+    }
+}
+
+#[test]
+fn cpi_stacks_sum_to_cycles_in_every_cell() {
+    let matrix = Engine::new(2).run_matrix(&obs_spec());
+    let doc = Json::parse(&render(&matrix)).expect("sink output parses");
+    let mut cells = 0;
+    each_cell(&doc, |cell| {
+        cells += 1;
+        let cycles = cell
+            .get("stats")
+            .and_then(|s| s.get("core.cycles"))
+            .and_then(Json::as_u64)
+            .expect("core.cycles");
+        let cpi = cell.get("cpi").expect("cpi object");
+        let total = cpi.get("total").and_then(Json::as_u64).expect("cpi.total");
+        assert_eq!(total, cycles, "cpi.total must equal core.cycles");
+        let component_sum: u64 = rest_obs::CpiComponent::ALL
+            .iter()
+            .map(|c| cpi.get(c.key()).and_then(Json::as_u64).unwrap_or(0))
+            .sum();
+        assert_eq!(component_sum, cycles, "components must sum to cycles");
+        // Derived rates ride along in every cell.
+        let derived = cell.get("derived").expect("derived object");
+        assert!(derived.get("core.uipc").and_then(Json::as_f64).unwrap() > 0.0);
+        let hit_rate = derived
+            .get("mem.l1d_hit_rate")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((0.0..=1.0).contains(&hit_rate));
+        derived
+            .get("tokens_per_kiloinst_l2_mem")
+            .and_then(Json::as_f64)
+            .unwrap();
+    });
+    assert_eq!(cells, 3, "plain + two hardened cells");
+}
+
+#[test]
+fn time_series_is_byte_identical_across_worker_counts() {
+    let spec = obs_spec();
+    let sequential = render(&Engine::new(1).run_matrix(&spec));
+    let parallel = render(&Engine::new(8).run_matrix(&spec));
+    assert!(
+        sequential.contains("\"series\""),
+        "sampling must emit a series section:\n{sequential}"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "time-series (and the whole document) must not depend on --jobs"
+    );
+    // The series carries real samples with gauges and counters.
+    let doc = Json::parse(&sequential).unwrap();
+    let mut saw_samples = false;
+    each_cell(&doc, |cell| {
+        let Some(series) = cell.get("series") else {
+            return;
+        };
+        assert_eq!(series.get("interval").and_then(Json::as_u64), Some(2_000));
+        let samples = series.get("samples").and_then(Json::as_arr).unwrap();
+        if samples.is_empty() {
+            return;
+        }
+        saw_samples = true;
+        let first = &samples[0];
+        assert_eq!(first.get("insts").and_then(Json::as_u64), Some(2_000));
+        first.get("gauges").expect("gauges object");
+        assert!(
+            first
+                .get("counters")
+                .and_then(|c| c.get("core.cycles"))
+                .and_then(Json::as_u64)
+                .is_some(),
+            "counters carry the full stats map"
+        );
+    });
+    assert!(saw_samples, "test-scale lbm runs >2000 instructions");
+}
+
+#[test]
+fn perfetto_trace_covers_the_first_job() {
+    let matrix = Engine::new(2).run_matrix(&obs_spec());
+    let trace = matrix.first_trace().expect("first job was traced");
+    assert_eq!(trace.entries().len(), 64);
+    let doc = trace.to_perfetto();
+    assert_eq!(doc.slice_count(), 64 * 5, "one slice per uop per stage");
+    let parsed = Json::parse(&doc.render()).expect("valid trace-event JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents");
+    let per_track: Vec<usize> = (1..=5)
+        .map(|tid| {
+            events
+                .iter()
+                .filter(|e| {
+                    e.get("ph").and_then(Json::as_str) == Some("X")
+                        && e.get("tid").and_then(Json::as_u64) == Some(tid)
+                })
+                .count()
+        })
+        .collect();
+    assert_eq!(per_track, vec![64; 5], "every stage track has every uop");
+}
+
+#[test]
+fn engine_timings_feed_a_schema_valid_profile() {
+    let engine = Engine::new(2);
+    let spec = obs_spec();
+    engine.run_matrix(&spec);
+    engine.run_matrix(&spec); // second run: all cache hits
+    let timings = engine.take_timings();
+    // 3 jobs per matrix (plain + 2 columns), second pass fully cached.
+    assert_eq!(timings.len(), 6);
+    assert!(timings[..3].iter().all(|t| !t.cached));
+    assert!(timings[3..].iter().all(|t| t.cached));
+    assert!(engine.take_timings().is_empty(), "draining resets the log");
+
+    let mut profile = HostProfile::new("obs-test");
+    profile.add_phase("simulate", std::time::Duration::from_millis(1));
+    for t in timings {
+        profile.add_job(t);
+    }
+    let doc = Json::parse(&profile.render()).expect("profile renders as JSON");
+    HostProfile::validate(&doc).expect("rest-host-profile/v1 schema");
+}

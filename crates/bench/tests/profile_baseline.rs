@@ -1,0 +1,31 @@
+//! The repository commits `results/BENCH_baseline.json` — the host
+//! wall-time profile of a `fig7 --test` run — as the perf-trajectory
+//! baseline the ROADMAP's optimisation work diffs against. This test
+//! keeps the committed file schema-valid so the CI observability job
+//! (and future tooling) can always parse it.
+
+use rest_obs::{HostProfile, Json};
+
+#[test]
+fn committed_baseline_is_schema_valid() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_baseline.json"
+    );
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("results/BENCH_baseline.json must be committed: {e}"));
+    let doc = Json::parse(&text).expect("baseline parses as JSON");
+    HostProfile::validate(&doc).expect("baseline matches rest-host-profile/v1");
+    assert_eq!(
+        doc.get("experiment").and_then(Json::as_str),
+        Some("fig7"),
+        "the baseline is a fig7 profile"
+    );
+    // A real profile: at least the simulate phase and one job.
+    let phases = doc.get("phases").and_then(Json::as_arr).unwrap();
+    assert!(phases
+        .iter()
+        .any(|p| p.get("name").and_then(Json::as_str) == Some("simulate")));
+    let jobs = doc.get("jobs").and_then(Json::as_arr).unwrap();
+    assert!(!jobs.is_empty(), "baseline records per-job timings");
+}

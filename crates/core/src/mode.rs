@@ -20,6 +20,14 @@ pub enum Mode {
 }
 
 impl Mode {
+    /// Short static name ("secure"/"debug"), for reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Secure => "secure",
+            Mode::Debug => "debug",
+        }
+    }
+
     /// Whether REST exceptions are reported precisely in this mode.
     pub fn precise_exceptions(self) -> bool {
         matches!(self, Mode::Debug)
@@ -34,10 +42,7 @@ impl Mode {
 
 impl fmt::Display for Mode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Mode::Secure => "secure",
-            Mode::Debug => "debug",
-        })
+        f.write_str(self.name())
     }
 }
 

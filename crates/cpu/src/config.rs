@@ -122,6 +122,10 @@ pub struct SimConfig {
     /// Record pipeline-stage timestamps for the first N micro-ops
     /// (0 = tracing off). See [`crate::PipelineTrace`].
     pub trace_uops: usize,
+    /// Snapshot the full counter map plus occupancy gauges every N
+    /// committed macro instructions into the result's time-series
+    /// (0 = sampling off). See [`rest_obs::TimeSeries`].
+    pub sample_interval: u64,
 }
 
 impl SimConfig {
@@ -134,6 +138,7 @@ impl SimConfig {
             token_seed: 0x5e5f_1e1d,
             max_uops: 400_000_000,
             trace_uops: 0,
+            sample_interval: 0,
         }
     }
 

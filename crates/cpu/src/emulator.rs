@@ -113,6 +113,11 @@ impl Emulator {
         &self.runtime
     }
 
+    /// Software component owning `pc` (audit-log provenance).
+    pub fn component_at(&self, pc: u64) -> Component {
+        self.program.component_at(pc)
+    }
+
     /// Why execution stopped, if it has.
     pub fn stop_reason(&self) -> Option<&StopReason> {
         self.stop.as_ref()

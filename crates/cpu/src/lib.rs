@@ -38,6 +38,6 @@ pub use config::{CoreConfig, SimConfig};
 pub use emulator::{Emulator, StopReason};
 pub use multiproc::MultiSystem;
 pub use pipeline::Pipeline;
-pub use stats::{CoreStats, SimResult};
+pub use stats::{stats_map_parts, CoreStats, SimResult, ALLOC_KEY_COUNT, CORE_KEY_COUNT};
 pub use system::System;
 pub use trace::{PipelineTrace, TraceEntry};

@@ -200,6 +200,8 @@ impl MultiSystem {
                         .unwrap_or(StopReason::Halted),
                     output: p.emulator.runtime().output().to_vec(),
                     label: p.label,
+                    series: None,
+                    audit: Default::default(),
                 }
             })
             .collect()

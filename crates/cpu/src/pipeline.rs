@@ -1,8 +1,9 @@
 use std::collections::VecDeque;
 
-use rest_core::{Mode, Token};
+use rest_core::{Mode, RestExceptionKind, Token};
 use rest_isa::{DynInst, MemAccessKind, OpKind};
 use rest_mem::{Hierarchy, LineReader, MemStats};
+use rest_obs::{AuditEntry, AuditLog, CpiComponent, Gauges};
 
 use crate::bpred::BranchPredictor;
 use crate::config::CoreConfig;
@@ -88,6 +89,12 @@ pub struct Pipeline {
     store_window: VecDeque<StoreRec>,
     stats: CoreStats,
     tracer: Option<PipelineTrace>,
+    /// Dispatch frontier — "now" for occupancy gauges.
+    last_disp: u64,
+    /// Committed macro instructions, maintained by the driver via
+    /// [`Pipeline::note_inst`] (stamps audit entries).
+    cur_inst: u64,
+    audit: AuditLog,
 }
 
 impl Pipeline {
@@ -122,6 +129,9 @@ impl Pipeline {
             store_window: VecDeque::new(),
             stats: CoreStats::default(),
             tracer: None,
+            last_disp: 0,
+            cur_inst: 0,
+            audit: AuditLog::default(),
             hier,
             bpred,
             mode,
@@ -151,11 +161,68 @@ impl Pipeline {
         self.hier.stats()
     }
 
+    /// Commit frontier so far — total cycles if the stream ended here.
+    /// Valid mid-run, unlike `stats().cycles` (set by `finish`).
+    pub fn current_cycles(&self) -> u64 {
+        self.last_commit
+    }
+
+    /// Updates the committed macro-instruction count used to stamp
+    /// audit entries (one store per macro step; call before replaying
+    /// its micro-ops).
+    pub fn note_inst(&mut self, insts: u64) {
+        self.cur_inst = insts;
+    }
+
+    /// Hardware-detected violations recorded so far (cache token-bit
+    /// checks and LSQ forwarding rules, with PC/component provenance).
+    pub fn take_audit(&mut self) -> AuditLog {
+        std::mem::take(&mut self.audit)
+    }
+
+    /// Occupancy gauges at the current dispatch frontier. Computed
+    /// lazily by scanning the ring scoreboards — zero cost unless
+    /// sampling is enabled.
+    pub fn gauges(&mut self) -> Gauges {
+        let now = self.last_disp;
+        let count = |ring: &[u64]| ring.iter().filter(|&&c| c > now).count() as u64;
+        let mut g = Gauges {
+            rob: count(&self.rob_ring),
+            iq: count(&self.iq_ring),
+            lq: count(&self.lq_ring),
+            sq: count(&self.sq_ring),
+            ..Gauges::default()
+        };
+        self.hier.fill_gauges(now, &mut g);
+        g
+    }
+
+    fn record_rest_audit(&mut self, kind: RestExceptionKind, d: &DynInst, addr: u64) {
+        self.audit.record(AuditEntry {
+            detector: "rest",
+            kind: kind.name(),
+            pc: d.pc,
+            addr,
+            size: 0,
+            mode: self.mode.name(),
+            component: d.component.name(),
+            precise: kind.always_precise() || self.mode.precise_exceptions(),
+            insts: self.cur_inst,
+        });
+    }
+
     /// Processes one micro-op of the oracle stream.
     pub fn process(&mut self, d: &DynInst, mem: &dyn LineReader, token: &Token) {
         let i = self.n as usize;
         self.stats.uops += 1;
         self.stats.note_component(d.component);
+        // Commit frontier before this micro-op: its commit advances the
+        // frontier by a non-negative delta, attributed to the stall
+        // causes measured below (CPI-stack construction).
+        let prev_commit = self.last_commit;
+        let mut fetch_stall = 0u64;
+        let mut mem_stall = [0u64; 4]; // l1d-miss, l2-miss, dram, rest-check
+        let mut store_drain_stall = 0u64;
 
         // ---- Fetch ----
         if self.fetch_slots_used >= self.cfg.fetch_width {
@@ -163,6 +230,7 @@ impl Pipeline {
             self.fetch_slots_used = 0;
         }
         let mut f = self.next_fetch_cycle.max(self.redirect_at);
+        let branch_stall = f - self.next_fetch_cycle;
         if f > self.next_fetch_cycle {
             self.fetch_slots_used = 0;
         }
@@ -172,6 +240,7 @@ impl Pipeline {
             let hit_time = f + 2;
             if ready > hit_time {
                 self.stats.fetch_stall_cycles += ready - hit_time;
+                fetch_stall = ready - hit_time;
                 f = ready;
                 self.fetch_slots_used = 0;
             }
@@ -182,32 +251,40 @@ impl Pipeline {
 
         // ---- Dispatch ----
         let mut disp = (f + self.cfg.frontend_depth).max(self.barrier_at);
+        let mut rob_stall = 0u64;
+        let mut iq_stall = 0u64;
+        let mut lsq_stall = 0u64;
         let rob_limit = self.rob_ring[i % self.cfg.rob_entries];
         if rob_limit > disp {
             self.stats.rob_stall_cycles += rob_limit - disp;
+            rob_stall = rob_limit - disp;
             disp = rob_limit;
         }
         let iq_limit = self.iq_ring[i % self.cfg.iq_entries];
         if iq_limit > disp {
             self.stats.iq_stall_cycles += iq_limit - disp;
+            iq_stall = iq_limit - disp;
             disp = iq_limit;
         }
         if d.kind == OpKind::Load {
             let lim = self.lq_ring[self.n_load as usize % self.cfg.lq_entries];
             if lim > disp {
                 self.stats.lsq_stall_cycles += lim - disp;
+                lsq_stall = lim - disp;
                 disp = lim;
             }
         } else if d.kind.is_store_like() {
             let lim = self.sq_ring[self.n_store as usize % self.cfg.sq_entries];
             if lim > disp {
                 self.stats.lsq_stall_cycles += lim - disp;
+                lsq_stall = lim - disp;
                 disp = lim;
             }
         }
         let width_limit = self.disp_ring[i % self.cfg.issue_width] + 1;
         disp = disp.max(width_limit);
         self.disp_ring[i % self.cfg.issue_width] = disp;
+        self.last_disp = self.last_disp.max(disp);
 
         // ---- Issue readiness ----
         let mut ready = disp + 1;
@@ -245,14 +322,14 @@ impl Pipeline {
                 (issue, complete, None)
             }
             OpKind::Load => {
-                let mem_ref = d.mem.expect("load has a memory reference");
-                let (issue, complete) = self.issue_load(ready, mem_ref.addr, mem_ref.size, mem, token);
+                let (issue, complete, stall) = self.issue_load(d, ready, mem, token);
+                mem_stall = stall;
                 (issue, complete, None)
             }
             OpKind::Store | OpKind::Arm | OpKind::Disarm => {
                 let mem_ref = d.mem.expect("store-like has a memory reference");
                 // Table I LSQ rules against in-flight entries.
-                self.check_store_lsq_rules(d.kind, mem_ref.addr, mem_ref.size, ready);
+                self.check_store_lsq_rules(d, ready);
                 let exec_done = ready + 1;
                 let rec = StoreRec {
                     addr: mem_ref.addr,
@@ -288,6 +365,7 @@ impl Pipeline {
         // below). This is the §VI-B "ROB blocked by store" statistic.
         if d.kind.is_store_like() && commit > commit_floor {
             self.stats.rob_blocked_store_cycles += commit - commit_floor;
+            store_drain_stall += commit - commit_floor;
         }
 
         // ---- Store drain & commit policy ----
@@ -304,6 +382,9 @@ impl Pipeline {
                         .access_data(drain_start, mem_ref.kind, mem_ref.addr, mem_ref.size, mem, token, self.mode);
                 rec.drain_done = out.complete_at;
                 self.sq_drain_free = drain_start + 1;
+                if let Some(kind) = out.exception {
+                    self.record_rest_audit(kind, d, mem_ref.addr);
+                }
             } else {
                 // Debug: the write is issued when the store reaches the
                 // ROB head, and commit waits for its completion.
@@ -317,8 +398,12 @@ impl Pipeline {
                         .access_data(drain_start, mem_ref.kind, mem_ref.addr, mem_ref.size, mem, token, self.mode);
                 rec.drain_done = out.complete_at;
                 self.sq_drain_free = drain_start + 1;
+                if let Some(kind) = out.exception {
+                    self.record_rest_audit(kind, d, mem_ref.addr);
+                }
                 if rec.drain_done > commit {
                     self.stats.rob_blocked_store_cycles += rec.drain_done - commit;
+                    store_drain_stall += rec.drain_done - commit;
                     commit = rec.drain_done;
                 }
             }
@@ -361,22 +446,55 @@ impl Pipeline {
                 commit,
             });
         }
+
+        // ---- CPI-stack attribution ----
+        // This micro-op advanced the commit frontier by `delta` cycles
+        // (commit is monotone in program order, so delta ≥ 0 and the
+        // per-uop deltas sum exactly to the final cycle count). Fill
+        // the stall buckets most-specific-first, each clamped to what
+        // remains unexplained; the residue is useful work (base). The
+        // clamped fill keeps the exact-sum property even when stall
+        // windows overlap.
+        let delta = commit - prev_commit;
+        let mut remaining = delta;
+        let [l1d_miss, l2_miss, dram, rest_check] = mem_stall;
+        for (component, amount) in [
+            (CpiComponent::StoreDrain, store_drain_stall),
+            (CpiComponent::Dram, dram),
+            (CpiComponent::L2Miss, l2_miss),
+            (CpiComponent::L1dMiss, l1d_miss),
+            (CpiComponent::RestCheck, rest_check),
+            (CpiComponent::Lsq, lsq_stall),
+            (CpiComponent::Rob, rob_stall),
+            (CpiComponent::Iq, iq_stall),
+            (CpiComponent::Branch, branch_stall),
+            (CpiComponent::FetchStall, fetch_stall),
+        ] {
+            let take = amount.min(remaining);
+            self.stats.cpi.add(component, take);
+            remaining -= take;
+        }
+        self.stats.cpi.add(CpiComponent::Base, remaining);
         self.n += 1;
     }
 
     /// Load issue: memory disambiguation against the in-flight store
     /// window, store-to-load forwarding (with the REST arm/disarm
-    /// exception rule), then the cache access.
+    /// exception rule), then the cache access. The third return value
+    /// is the CPI-stack latency split `[l1d-miss, l2-miss, dram,
+    /// rest-check]` of the cache access (zero when forwarded).
     fn issue_load(
         &mut self,
+        d: &DynInst,
         ready: u64,
-        addr: u64,
-        size: u64,
         mem: &dyn LineReader,
         token: &Token,
-    ) -> (u64, u64) {
+    ) -> (u64, u64, [u64; 4]) {
+        let mem_ref = d.mem.expect("load has a memory reference");
+        let (addr, size) = (mem_ref.addr, mem_ref.size);
         let mut ready = ready;
         let mut forwarded: Option<u64> = None;
+        let mut forward_from_arm = false;
         // Scan younger-to-older among in-flight stores.
         for s in self.store_window.iter().rev() {
             if s.drain_done <= ready || !s.overlaps(addr, size) {
@@ -389,6 +507,7 @@ impl Pipeline {
                     // (§III-B). Timing-wise the load completes (into the
                     // exception path) one cycle after issue.
                     self.stats.lsq_rest_exceptions += 1;
+                    forward_from_arm = true;
                     forwarded = Some(ready.max(s.exec_done) + 1);
                 }
                 MemAccessKind::Store | MemAccessKind::Load => {
@@ -405,8 +524,11 @@ impl Pipeline {
             }
             break; // youngest matching store decides
         }
+        if forward_from_arm {
+            self.record_rest_audit(RestExceptionKind::ForwardFromArm, d, addr);
+        }
         if let Some(complete) = forwarded {
-            return (ready, complete);
+            return (ready, complete, [0; 4]);
         }
         let u = self.n_mem as usize % self.cfg.mem_ports;
         let issue = ready.max(self.port_ring[u]);
@@ -415,26 +537,48 @@ impl Pipeline {
         let out = self
             .hier
             .access_data(issue, MemAccessKind::Load, addr, size, mem, token, self.mode);
-        (issue, out.complete_at)
+        if let Some(kind) = out.exception {
+            self.record_rest_audit(kind, d, addr);
+        }
+        (
+            issue,
+            out.complete_at,
+            [
+                out.l1d_miss_cycles,
+                out.l2_miss_cycles,
+                out.dram_cycles,
+                out.rest_check_cycles,
+            ],
+        )
     }
 
     /// Table I LSQ-column checks for store-like micro-ops entering the
     /// store queue.
-    fn check_store_lsq_rules(&mut self, kind: OpKind, addr: u64, size: u64, at: u64) {
+    fn check_store_lsq_rules(&mut self, d: &DynInst, at: u64) {
+        let mem_ref = d.mem.expect("store-like has a memory reference");
+        let (addr, size) = (mem_ref.addr, mem_ref.size);
+        let mut detected: Option<RestExceptionKind> = None;
         for s in self.store_window.iter().rev() {
             if s.drain_done <= at || !s.overlaps(addr, size) {
                 continue;
             }
-            match (kind, s.kind) {
+            match (d.kind, s.kind) {
                 // Store hits an in-flight arm to the same location.
-                (OpKind::Store, MemAccessKind::Arm)
-                // Double in-flight disarm.
-                | (OpKind::Disarm, MemAccessKind::Disarm) => {
+                (OpKind::Store, MemAccessKind::Arm) => {
                     self.stats.lsq_rest_exceptions += 1;
+                    detected = Some(RestExceptionKind::StoreHitInflightArm);
+                }
+                // Double in-flight disarm.
+                (OpKind::Disarm, MemAccessKind::Disarm) => {
+                    self.stats.lsq_rest_exceptions += 1;
+                    detected = Some(RestExceptionKind::DoubleInflightDisarm);
                 }
                 _ => {}
             }
             break;
+        }
+        if let Some(kind) = detected {
+            self.record_rest_audit(kind, d, addr);
         }
     }
 

@@ -1,5 +1,6 @@
 use rest_isa::Component;
 use rest_mem::MemStats;
+use rest_obs::{AuditLog, CpiStack, TimeSeries};
 use rest_runtime::AllocStats;
 
 use crate::emulator::StopReason;
@@ -42,6 +43,10 @@ pub struct CoreStats {
     pub lsq_rest_exceptions: u64,
     /// I-cache fetch stalls (cycles).
     pub fetch_stall_cycles: u64,
+    /// Commit-time cycle attribution. The components always sum to
+    /// `cycles` (valid after [`crate::Pipeline::finish`]); built by the
+    /// pipeline as each micro-op advances the commit frontier.
+    pub cpi: CpiStack,
 }
 
 impl CoreStats {
@@ -79,6 +84,11 @@ pub struct SimResult {
     pub output: Vec<u8>,
     /// Configuration label (e.g. `"rest-secure-full"`).
     pub label: String,
+    /// Interval time-series, when sampling was enabled via
+    /// [`crate::SimConfig::sample_interval`].
+    pub series: Option<TimeSeries>,
+    /// Every REST/ASan violation the run detected, with provenance.
+    pub audit: AuditLog,
 }
 
 impl SimResult {
@@ -117,62 +127,78 @@ impl SimResult {
     /// `<subsystem>.<counter>` identifiers; per-component micro-op
     /// counters expand to one key per [`Component`].
     pub fn stats_map(&self) -> Vec<(&'static str, u64)> {
-        let c = &self.core;
-        let m = &self.mem;
-        let a = &self.alloc;
-        let mut map = vec![
-            ("core.cycles", c.cycles),
-            ("core.insts", c.insts),
-            ("core.uops", c.uops),
-            ("core.branch_lookups", c.branch_lookups),
-            ("core.branch_mispredicts", c.branch_mispredicts),
-            ("core.store_forwards", c.store_forwards),
-            ("core.load_partial_stalls", c.load_partial_stalls),
-            ("core.rob_blocked_store_cycles", c.rob_blocked_store_cycles),
-            ("core.iq_stall_cycles", c.iq_stall_cycles),
-            ("core.rob_stall_cycles", c.rob_stall_cycles),
-            ("core.lsq_stall_cycles", c.lsq_stall_cycles),
-            ("core.lsq_rest_exceptions", c.lsq_rest_exceptions),
-            ("core.fetch_stall_cycles", c.fetch_stall_cycles),
-        ];
-        const COMPONENT_KEYS: [&str; 5] = [
-            "core.uops_app",
-            "core.uops_allocator",
-            "core.uops_stack_protect",
-            "core.uops_access_check",
-            "core.uops_api_intercept",
-        ];
-        for (key, count) in COMPONENT_KEYS.iter().zip(c.uops_by_component) {
-            map.push((key, count));
-        }
-        map.extend([
-            ("mem.l1i_hits", m.l1i_hits),
-            ("mem.l1i_misses", m.l1i_misses),
-            ("mem.l1d_hits", m.l1d_hits),
-            ("mem.l1d_misses", m.l1d_misses),
-            ("mem.l2_hits", m.l2_hits),
-            ("mem.l2_misses", m.l2_misses),
-            ("mem.dram_accesses", m.dram_accesses),
-            ("mem.l1d_writebacks", m.l1d_writebacks),
-            ("mem.l2_writebacks", m.l2_writebacks),
-            ("mem.token_detections_on_fill", m.token_detections_on_fill),
-            ("mem.token_lines_evicted_l1d", m.token_lines_evicted_l1d),
-            ("mem.token_lines_l2_mem", m.token_lines_l2_mem),
-            ("mem.rest_exceptions", m.rest_exceptions),
-            ("mem.debug_load_holds", m.debug_load_holds),
-            ("mem.token_cache_hits", m.token_cache_hits),
-            ("alloc.allocs", a.allocs),
-            ("alloc.frees", a.frees),
-            ("alloc.bytes_requested", a.bytes_requested),
-            ("alloc.live_bytes", a.live_bytes),
-            ("alloc.peak_live_bytes", a.peak_live_bytes),
-            ("alloc.quarantine_bytes", a.quarantine_bytes),
-            ("alloc.quarantine_evictions", a.quarantine_evictions),
-            ("alloc.bad_frees", a.bad_frees),
-            ("alloc.reuses", a.reuses),
-        ]);
-        map
+        stats_map_parts(&self.core, &self.mem, &self.alloc)
     }
+}
+
+/// Number of `core.*` keys [`stats_map_parts`] emits (scalar counters
+/// plus one per [`Component`]). Guarded by the exhaustiveness test
+/// below alongside [`MemStats::FIELD_COUNT`].
+pub const CORE_KEY_COUNT: usize = 13 + Component::ALL.len();
+
+/// Number of `alloc.*` keys [`stats_map_parts`] emits.
+pub const ALLOC_KEY_COUNT: usize = 9;
+
+/// Builds the flat counter map from the three stats blocks. Free
+/// function so the interval sampler can snapshot a *running* system —
+/// [`SimResult::stats_map`] delegates here at end of run.
+pub fn stats_map_parts(
+    c: &CoreStats,
+    m: &MemStats,
+    a: &AllocStats,
+) -> Vec<(&'static str, u64)> {
+    let mut map = vec![
+        ("core.cycles", c.cycles),
+        ("core.insts", c.insts),
+        ("core.uops", c.uops),
+        ("core.branch_lookups", c.branch_lookups),
+        ("core.branch_mispredicts", c.branch_mispredicts),
+        ("core.store_forwards", c.store_forwards),
+        ("core.load_partial_stalls", c.load_partial_stalls),
+        ("core.rob_blocked_store_cycles", c.rob_blocked_store_cycles),
+        ("core.iq_stall_cycles", c.iq_stall_cycles),
+        ("core.rob_stall_cycles", c.rob_stall_cycles),
+        ("core.lsq_stall_cycles", c.lsq_stall_cycles),
+        ("core.lsq_rest_exceptions", c.lsq_rest_exceptions),
+        ("core.fetch_stall_cycles", c.fetch_stall_cycles),
+    ];
+    const COMPONENT_KEYS: [&str; 5] = [
+        "core.uops_app",
+        "core.uops_allocator",
+        "core.uops_stack_protect",
+        "core.uops_access_check",
+        "core.uops_api_intercept",
+    ];
+    for (key, count) in COMPONENT_KEYS.iter().zip(c.uops_by_component) {
+        map.push((key, count));
+    }
+    map.extend([
+        ("mem.l1i_hits", m.l1i_hits),
+        ("mem.l1i_misses", m.l1i_misses),
+        ("mem.l1d_hits", m.l1d_hits),
+        ("mem.l1d_misses", m.l1d_misses),
+        ("mem.l2_hits", m.l2_hits),
+        ("mem.l2_misses", m.l2_misses),
+        ("mem.dram_accesses", m.dram_accesses),
+        ("mem.l1d_writebacks", m.l1d_writebacks),
+        ("mem.l2_writebacks", m.l2_writebacks),
+        ("mem.token_detections_on_fill", m.token_detections_on_fill),
+        ("mem.token_lines_evicted_l1d", m.token_lines_evicted_l1d),
+        ("mem.token_lines_l2_mem", m.token_lines_l2_mem),
+        ("mem.rest_exceptions", m.rest_exceptions),
+        ("mem.debug_load_holds", m.debug_load_holds),
+        ("mem.token_cache_hits", m.token_cache_hits),
+        ("alloc.allocs", a.allocs),
+        ("alloc.frees", a.frees),
+        ("alloc.bytes_requested", a.bytes_requested),
+        ("alloc.live_bytes", a.live_bytes),
+        ("alloc.peak_live_bytes", a.peak_live_bytes),
+        ("alloc.quarantine_bytes", a.quarantine_bytes),
+        ("alloc.quarantine_evictions", a.quarantine_evictions),
+        ("alloc.bad_frees", a.bad_frees),
+        ("alloc.reuses", a.reuses),
+    ]);
+    map
 }
 
 #[cfg(test)]
@@ -204,6 +230,8 @@ mod tests {
             stop: StopReason::Halted,
             output: Vec::new(),
             label: "plain".into(),
+            series: None,
+            audit: AuditLog::default(),
         };
         let b = SimResult {
             core: CoreStats {
@@ -234,6 +262,8 @@ mod tests {
             stop: StopReason::Halted,
             output: Vec::new(),
             label: "plain".into(),
+            series: None,
+            audit: AuditLog::default(),
         };
         r.core.note_component(Component::Allocator);
         r.mem.token_lines_l2_mem = 9;
@@ -265,5 +295,53 @@ mod tests {
         assert_eq!(names.len(), len, "duplicate stat keys");
         // A second call yields the identical snapshot.
         assert_eq!(map, r.stats_map());
+    }
+
+    /// Exhaustiveness guard (paired with `MemStats::merge_covers_every_
+    /// field` in `rest-mem`): adding a counter to `CoreStats` or
+    /// `MemStats` must fail compilation or these assertions until it is
+    /// wired into `stats_map_parts`.
+    #[test]
+    fn stats_map_covers_every_counter_field() {
+        // Compile-time: naming every CoreStats field here means a new
+        // field breaks this destructuring until it is acknowledged.
+        let CoreStats {
+            cycles: _,
+            insts: _,
+            uops: _,
+            uops_by_component: _,
+            branch_lookups: _,
+            branch_mispredicts: _,
+            store_forwards: _,
+            load_partial_stalls: _,
+            rob_blocked_store_cycles: _,
+            iq_stall_cycles: _,
+            rob_stall_cycles: _,
+            lsq_stall_cycles: _,
+            lsq_rest_exceptions: _,
+            fetch_stall_cycles: _,
+            cpi: _, // emitted as its own `cpi` JSON object, not a map key
+        } = CoreStats::default();
+
+        let r = SimResult {
+            trace: None,
+            core: CoreStats::default(),
+            mem: MemStats::default(),
+            alloc: AllocStats::default(),
+            stop: StopReason::Halted,
+            output: Vec::new(),
+            label: "plain".into(),
+            series: None,
+            audit: AuditLog::default(),
+        };
+        let map = r.stats_map();
+        let count = |prefix: &str| map.iter().filter(|(k, _)| k.starts_with(prefix)).count();
+        assert_eq!(count("core."), CORE_KEY_COUNT, "core keys drifted");
+        assert_eq!(count("mem."), MemStats::FIELD_COUNT, "mem keys drifted");
+        assert_eq!(count("alloc."), ALLOC_KEY_COUNT, "alloc keys drifted");
+        assert_eq!(
+            map.len(),
+            CORE_KEY_COUNT + MemStats::FIELD_COUNT + ALLOC_KEY_COUNT
+        );
     }
 }

@@ -1,10 +1,12 @@
+use rest_core::Mode;
 use rest_isa::Program;
 use rest_mem::Hierarchy;
+use rest_obs::{IntervalSample, TimeSeries};
 
 use crate::config::SimConfig;
 use crate::emulator::{Emulator, StopReason};
 use crate::pipeline::Pipeline;
-use crate::stats::SimResult;
+use crate::stats::{stats_map_parts, SimResult};
 
 /// A complete simulated machine: functional emulator + timing pipeline.
 ///
@@ -27,6 +29,8 @@ pub struct System {
     emulator: Emulator,
     pipeline: Pipeline,
     label: String,
+    mode: Mode,
+    sample_interval: u64,
 }
 
 impl System {
@@ -40,12 +44,41 @@ impl System {
             emulator,
             pipeline,
             label: cfg.rt.label(),
+            mode: cfg.rt.mode,
+            sample_interval: cfg.sample_interval,
         }
+    }
+
+    /// Snapshots the running system's full counter map and occupancy
+    /// gauges into `series`.
+    fn take_sample(&mut self, series: &mut TimeSeries) {
+        let insts = self.emulator.insts();
+        let cycles = self.pipeline.current_cycles();
+        let mut core = *self.pipeline.stats();
+        core.cycles = cycles;
+        core.insts = insts;
+        let counters = stats_map_parts(
+            &core,
+            self.pipeline.mem_stats(),
+            self.emulator.runtime().allocator().stats(),
+        );
+        let gauges = self.pipeline.gauges();
+        series.record(IntervalSample {
+            insts,
+            cycles,
+            counters,
+            gauges,
+        });
     }
 
     /// Runs the program to completion (halt, exit, violation, or uop
     /// budget) and returns the full result.
     pub fn run(mut self) -> SimResult {
+        let mut series = if self.sample_interval > 0 {
+            Some(TimeSeries::new(self.sample_interval))
+        } else {
+            None
+        };
         let mut batch = Vec::with_capacity(64);
         loop {
             batch.clear();
@@ -58,6 +91,7 @@ impl System {
             // snapshots (see GuestMemory::snapshot_line_pre_image), so
             // the token detector observes exactly what a hardware fill
             // would.
+            self.pipeline.note_inst(self.emulator.insts());
             for d in &batch {
                 self.pipeline
                     .process(d, &self.emulator.mem, self.emulator.token());
@@ -65,23 +99,48 @@ impl System {
             // The timing model has consumed this instruction's micro-ops;
             // its pre-update line snapshots are no longer needed.
             self.emulator.mem.clear_pre_images();
+            if let Some(series) = series.as_mut() {
+                // `insts` advances by exactly one per step, so every
+                // interval boundary is hit exactly once.
+                if self.emulator.insts().is_multiple_of(self.sample_interval) {
+                    self.take_sample(series);
+                }
+            }
         }
         let core = self.pipeline.finish();
         let mut core = core;
         core.insts = self.emulator.insts();
         let trace = self.pipeline.take_trace();
+        // Hardware detections recorded by the pipeline, then the
+        // architectural violation (if the run stopped on one) with its
+        // component provenance.
+        let mut audit = self.pipeline.take_audit();
+        let stop = self
+            .emulator
+            .stop_reason()
+            .cloned()
+            .unwrap_or(StopReason::Halted);
+        if let StopReason::Violation(v) = &stop {
+            let pc = match v {
+                rest_runtime::Violation::Rest(e) => e.pc,
+                rest_runtime::Violation::Asan(r) => r.pc,
+            };
+            audit.record(v.audit_entry(
+                self.mode.name(),
+                self.emulator.component_at(pc).name(),
+                core.insts,
+            ));
+        }
         SimResult {
             trace,
             core,
             mem: *self.pipeline.mem_stats(),
             alloc: *self.emulator.runtime().allocator().stats(),
-            stop: self
-                .emulator
-                .stop_reason()
-                .cloned()
-                .unwrap_or(StopReason::Halted),
+            stop,
             output: self.emulator.runtime().output().to_vec(),
             label: self.label,
+            series,
+            audit,
         }
     }
 }
@@ -230,6 +289,104 @@ mod tests {
             secure.cycles(),
             perfect.cycles()
         );
+    }
+
+    #[test]
+    fn cpi_stack_sums_exactly_to_cycles() {
+        for rt in [
+            RtConfig::plain(),
+            RtConfig::asan(),
+            RtConfig::rest(Mode::Secure, false),
+            RtConfig::rest(Mode::Debug, false),
+        ] {
+            let r = System::new(sum_loop_program(2_000), SimConfig::isca2018(rt)).run();
+            assert_eq!(
+                r.core.cpi.total(),
+                r.core.cycles,
+                "CPI stack must sum exactly to cycles for {}",
+                r.label
+            );
+        }
+    }
+
+    #[test]
+    fn interval_sampler_fires_on_exact_boundaries() {
+        let mut cfg = SimConfig::isca2018(RtConfig::plain());
+        cfg.sample_interval = 100;
+        let r = System::new(sum_loop_program(1_000), cfg).run();
+        let series = r.series.as_ref().expect("sampling was enabled");
+        // 3 + 3*1000 = 3003 instructions → 30 samples at 100, 200, … 3000.
+        assert_eq!(series.samples().len(), 30);
+        for (i, s) in series.samples().iter().enumerate() {
+            assert_eq!(s.insts, 100 * (i as u64 + 1));
+            assert!(s.cycles > 0);
+            assert_eq!(s.counters.len(), crate::stats::stats_map_parts(
+                &r.core, &r.mem, &r.alloc
+            ).len());
+        }
+        // Cycles and instruction counts are monotone over the run.
+        for w in series.samples().windows(2) {
+            assert!(w[0].cycles <= w[1].cycles);
+            assert!(w[0].insts < w[1].insts);
+        }
+        assert_eq!(series.dropped(), 0);
+    }
+
+    #[test]
+    fn sampling_off_yields_no_series() {
+        let r = System::new(sum_loop_program(100), SimConfig::isca2018(RtConfig::plain())).run();
+        assert!(r.series.is_none());
+        assert!(r.audit.is_empty());
+    }
+
+    #[test]
+    fn violation_lands_in_audit_log_with_provenance() {
+        let mut p = ProgramBuilder::new();
+        p.li(Reg::A0, 64);
+        p.ecall(EcallNum::Malloc);
+        p.ld(Reg::A1, Reg::A0, 64); // redzone
+        p.halt();
+        let r = System::new(p.build(), SimConfig::isca2018(RtConfig::rest(Mode::Secure, false))).run();
+        assert!(!r.audit.is_empty());
+        // The last entry is the architectural violation; before it come
+        // any hardware (cache / LSQ) detections of the same event.
+        let arch = r.audit.entries().last().unwrap();
+        assert_eq!(arch.detector, "rest");
+        assert_eq!(arch.mode, "secure");
+        assert!(arch.pc != 0);
+        assert!(r.audit.total() as usize >= r.audit.entries().len());
+        let text = r.audit.render();
+        assert!(text.contains("rest"), "{text}");
+    }
+
+    #[test]
+    fn traced_uops_have_monotone_stage_timestamps() {
+        let mut cfg = SimConfig::isca2018(RtConfig::rest(Mode::Secure, false));
+        cfg.trace_uops = 64;
+        let mut p = ProgramBuilder::new();
+        let lp = p.new_label();
+        p.li(Reg::S1, 8);
+        p.bind(lp);
+        p.li(Reg::A0, 64);
+        p.ecall(EcallNum::Malloc);
+        p.sd(Reg::S1, Reg::A0, 0);
+        p.ld(Reg::T0, Reg::A0, 0);
+        p.ecall(EcallNum::Free);
+        p.addi(Reg::S1, Reg::S1, -1);
+        p.bne(Reg::S1, Reg::ZERO, lp);
+        p.halt();
+        let r = System::new(p.build(), cfg).run();
+        let trace = r.trace.as_ref().expect("tracing was enabled");
+        assert_eq!(trace.entries().len(), 64);
+        for e in trace.entries() {
+            assert!(e.fetch <= e.dispatch, "{e:?}");
+            assert!(e.dispatch <= e.issue, "{e:?}");
+            assert!(e.issue <= e.complete, "{e:?}");
+            assert!(e.complete <= e.commit, "{e:?}");
+        }
+        let doc = trace.to_perfetto();
+        assert_eq!(doc.slice_count(), 64 * 5);
+        rest_obs::Json::parse(&doc.render()).expect("perfetto export must parse");
     }
 
     #[test]

@@ -120,6 +120,53 @@ impl PipelineTrace {
     }
 }
 
+impl PipelineTrace {
+    /// Converts the trace to a Chrome trace-event document: one track
+    /// (thread) per pipeline stage, one complete ("X") slice per traced
+    /// micro-op on each track, with the software component as the slice
+    /// category. Timestamps are simulated cycles mapped 1:1 to the
+    /// trace's microsecond unit, so Perfetto's timeline reads in
+    /// cycles. Load the result at <https://ui.perfetto.dev>.
+    pub fn to_perfetto(&self) -> rest_obs::PerfettoTrace {
+        let mut trace = rest_obs::PerfettoTrace::new("rest-sim pipeline");
+        let fetch = trace.track("fetch");
+        let dispatch = trace.track("dispatch");
+        let issue = trace.track("issue");
+        let complete = trace.track("complete");
+        let commit = trace.track("commit");
+        for e in self.entries() {
+            let name = format!("{:?} {:#x}", e.kind, e.pc);
+            let category = e.component.name();
+            // Each stage slice spans from entering that stage to
+            // entering the next; commit is drawn as a single cycle. A
+            // stage crossed in zero cycles still gets a 1-cycle slice
+            // so every micro-op is visible on every track.
+            let spans = [
+                (fetch, e.fetch, e.dispatch),
+                (dispatch, e.dispatch, e.issue),
+                (issue, e.issue, e.complete),
+                (complete, e.complete, e.commit),
+                (commit, e.commit, e.commit + 1),
+            ];
+            for (track, start, end) in spans {
+                let dur = end.saturating_sub(start).max(1);
+                trace.slice(
+                    track,
+                    &name,
+                    category,
+                    start,
+                    dur,
+                    vec![
+                        ("seq", rest_obs::Json::UInt(e.seq)),
+                        ("pc", rest_obs::Json::UInt(e.pc)),
+                    ],
+                );
+            }
+        }
+        trace
+    }
+}
+
 impl fmt::Display for PipelineTrace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render())
@@ -171,5 +218,49 @@ mod tests {
     fn empty_trace_renders_placeholder() {
         let t = PipelineTrace::new(4);
         assert!(t.render().contains("empty trace"));
+        // An empty trace still exports a valid (metadata-only) document.
+        let doc = t.to_perfetto();
+        assert_eq!(doc.slice_count(), 0);
+        rest_obs::Json::parse(&doc.render()).expect("empty trace must export valid JSON");
+    }
+
+    #[test]
+    fn truncates_at_exactly_capacity() {
+        let mut t = PipelineTrace::new(3);
+        for i in 0..10 {
+            t.record(entry(i, i));
+        }
+        assert_eq!(t.entries().len(), 3);
+        assert_eq!(t.entries().last().unwrap().seq, 2);
+        assert!(t.truncated());
+        assert!(t.render().contains("trace capacity reached"));
+        // One slice per entry per stage track.
+        assert_eq!(t.to_perfetto().slice_count(), 3 * 5);
+    }
+
+    #[test]
+    fn perfetto_export_has_five_tracks_and_parses() {
+        let mut t = PipelineTrace::new(4);
+        t.record(entry(0, 0));
+        t.record(entry(1, 1));
+        let doc = t.to_perfetto();
+        assert_eq!(doc.slice_count(), 2 * 5);
+        let parsed = rest_obs::Json::parse(&doc.render()).expect("valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .expect("traceEvents array");
+        // 1 process_name + 5×(thread_name + thread_sort_index) metadata
+        // events, then the slices.
+        let meta = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .count();
+        assert_eq!(meta, 1 + 5 * 2);
+        let slices = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .count();
+        assert_eq!(slices, 2 * 5);
     }
 }

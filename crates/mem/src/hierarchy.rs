@@ -54,6 +54,17 @@ pub struct DataOutcome {
     /// Debug mode only: the load was held in the MSHR because the
     /// delivered critical word partially matched the token value.
     pub held_for_check: bool,
+    /// CPI-stack attribution of `complete_at - (now + L1D hit latency)`
+    /// — the latency *beyond* an L1-D hit, split by where it was spent.
+    /// Cycles waiting on the L2 (access served by the L2).
+    pub l1d_miss_cycles: u64,
+    /// Cycles spent in the L2 lookup on the way to DRAM.
+    pub l2_miss_cycles: u64,
+    /// Cycles waiting on DRAM beyond the L2 lookup.
+    pub dram_cycles: u64,
+    /// Extra cycles caused by REST itself: disarm's zeroing cycle,
+    /// debug-mode full-line-check holds, token-cache re-install.
+    pub rest_check_cycles: u64,
 }
 
 /// The simulated memory hierarchy: split L1s, unified L2, DRAM — with
@@ -323,6 +334,25 @@ impl Hierarchy {
         let mut complete_at = data_at;
         let mut held = false;
 
+        // CPI-stack attribution: split the latency beyond an L1-D hit
+        // by the level that caused it. For DRAM-served accesses the L2
+        // lookup happened on the miss path, so up to one L2 hit latency
+        // belongs to the L2-miss bucket and the rest to DRAM.
+        let hit_time = now + self.l1d.config().hit_latency;
+        let miss_extra = data_at.saturating_sub(hit_time);
+        let (mut l1d_miss_cycles, mut l2_miss_cycles, mut dram_cycles) = (0, 0, 0);
+        let mut rest_check_cycles = 0;
+        match served {
+            // Token-cache re-installs complete at hit latency + 1; that
+            // extra cycle is REST's, not the memory system's.
+            ServedBy::L1 => rest_check_cycles += miss_extra,
+            ServedBy::L2 => l1d_miss_cycles = miss_extra,
+            ServedBy::Dram => {
+                l2_miss_cycles = miss_extra.min(self.l2.config().hit_latency);
+                dram_cycles = miss_extra - l2_miss_cycles;
+            }
+        }
+
         // Post-fill token-bit state covering the access.
         let token_bit = match kind {
             MemAccessKind::Arm | MemAccessKind::Disarm => self.l1d.token_bit_covering(addr, w),
@@ -349,6 +379,10 @@ impl Hierarchy {
                 exception: Some(kind),
                 served_by: served,
                 held_for_check: false,
+                l1d_miss_cycles,
+                l2_miss_cycles,
+                dram_cycles,
+                rest_check_cycles,
             };
         }
         if decision.set_token_bit {
@@ -363,6 +397,7 @@ impl Hierarchy {
             // cycle of latency (§III-B).
             self.l1d.clear_token_bit(addr, w);
             complete_at += 1;
+            rest_check_cycles += 1;
         }
         // Critical-word-first vs. debug mode: a missing load whose
         // delivered word partially matches the token is not released
@@ -378,7 +413,9 @@ impl Hierarchy {
                 line_bytes[i] == tok[ti]
             });
             if partial_match {
-                complete_at = complete_at.max(checked_at);
+                let released_at = complete_at.max(checked_at);
+                rest_check_cycles += released_at - complete_at;
+                complete_at = released_at;
                 held = true;
                 self.stats.debug_load_holds += 1;
             }
@@ -389,7 +426,21 @@ impl Hierarchy {
             exception: None,
             served_by: served,
             held_for_check: held,
+            l1d_miss_cycles,
+            l2_miss_cycles,
+            dram_cycles,
+            rest_check_cycles,
         }
+    }
+
+    /// Fills the memory-side occupancy gauges (MSHRs in flight, write
+    /// buffer entries draining) at `now`. The core fills the
+    /// pipeline-side gauges.
+    pub fn fill_gauges(&mut self, now: u64, gauges: &mut rest_obs::Gauges) {
+        gauges.l1d_mshrs = self.l1d_mshrs.occupancy(now) as u64;
+        gauges.l2_mshrs = self.l2_mshrs.occupancy(now) as u64;
+        gauges.write_buffer =
+            (self.l1d_wbuf.occupancy(now) + self.l2_wbuf.occupancy(now)) as u64;
     }
 }
 

@@ -35,6 +35,11 @@ pub struct MemStats {
 }
 
 impl MemStats {
+    /// Number of counter fields. Consumers that enumerate the fields
+    /// (the sink's `stats_map`, the merge test) assert against this so
+    /// a new counter cannot be added without wiring it everywhere.
+    pub const FIELD_COUNT: usize = 15;
+
     /// Merges another stats block into this one.
     pub fn merge(&mut self, other: &MemStats) {
         self.l1i_hits += other.l1i_hits;
@@ -85,6 +90,77 @@ mod tests {
         assert_eq!(a.l1d_hits, 15);
         assert_eq!(a.l1d_misses, 3);
         assert_eq!(a.token_lines_l2_mem, 2);
+    }
+
+    /// Exhaustiveness guard: adding a field to `MemStats` must fail
+    /// this test (non-exhaustive destructuring is a compile error)
+    /// until `merge` — and the field-count assertions in
+    /// `rest-cpu`'s `stats_map` test — are updated to carry it.
+    #[test]
+    fn merge_covers_every_field() {
+        // Compile-time: the destructuring below names every field.
+        let MemStats {
+            l1i_hits,
+            l1i_misses,
+            l1d_hits,
+            l1d_misses,
+            l2_hits,
+            l2_misses,
+            dram_accesses,
+            l1d_writebacks,
+            l2_writebacks,
+            token_detections_on_fill,
+            token_lines_evicted_l1d,
+            token_lines_l2_mem,
+            rest_exceptions,
+            debug_load_holds,
+            token_cache_hits,
+        } = MemStats::default();
+        let all = [
+            l1i_hits,
+            l1i_misses,
+            l1d_hits,
+            l1d_misses,
+            l2_hits,
+            l2_misses,
+            dram_accesses,
+            l1d_writebacks,
+            l2_writebacks,
+            token_detections_on_fill,
+            token_lines_evicted_l1d,
+            token_lines_l2_mem,
+            rest_exceptions,
+            debug_load_holds,
+            token_cache_hits,
+        ];
+        assert_eq!(all.len(), MemStats::FIELD_COUNT);
+
+        // Runtime: merging a block with a distinct value in every
+        // field must propagate each one — a forgotten `+=` line in
+        // `merge` shows up as a mismatched field here.
+        let mut acc = MemStats::default();
+        let probe = MemStats {
+            l1i_hits: 1,
+            l1i_misses: 2,
+            l1d_hits: 3,
+            l1d_misses: 4,
+            l2_hits: 5,
+            l2_misses: 6,
+            dram_accesses: 7,
+            l1d_writebacks: 8,
+            l2_writebacks: 9,
+            token_detections_on_fill: 10,
+            token_lines_evicted_l1d: 11,
+            token_lines_l2_mem: 12,
+            rest_exceptions: 13,
+            debug_load_holds: 14,
+            token_cache_hits: 15,
+        };
+        acc.merge(&probe);
+        assert_eq!(acc, probe, "MemStats::merge dropped a field");
+        acc.merge(&probe);
+        assert_eq!(acc.token_cache_hits, 30);
+        assert_eq!(acc.l1i_hits, 2);
     }
 
     #[test]

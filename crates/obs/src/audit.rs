@@ -1,0 +1,190 @@
+//! Violation audit log.
+//!
+//! Both detectors in the simulator — REST token checks and the ASan
+//! reference — previously reported violations as bare counters, which
+//! answers "how many" but not "where" or "whose fault". An
+//! [`AuditLog`] records every detection as an [`AuditEntry`] carrying
+//! the faulting PC, target address, detector and kind, execution mode,
+//! and the software component the PC belongs to (app / allocator /
+//! access-check / ...), in both text and JSON form.
+//!
+//! The log is bounded ([`AuditLog::MAX_ENTRIES`]): a pathological
+//! workload that trips millions of violations keeps its precise count
+//! in `total` while retaining only the first window of full entries.
+
+use crate::json::Json;
+
+/// One recorded violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// Which detector fired: `"rest"` or `"asan"`.
+    pub detector: &'static str,
+    /// Detector-specific kind (e.g. `"heap-underflow"`,
+    /// `"heap-use-after-free"`).
+    pub kind: &'static str,
+    /// Program counter of the faulting access.
+    pub pc: u64,
+    /// Target address of the faulting access.
+    pub addr: u64,
+    /// Access size in bytes, 0 when the detector reports whole lines.
+    pub size: u64,
+    /// Execution mode at detection time: `"secure"` or `"debug"`.
+    pub mode: &'static str,
+    /// Software component owning the faulting PC (`"app"`,
+    /// `"allocator"`, ...).
+    pub component: &'static str,
+    /// Whether the detection was precise (faulting instruction
+    /// identified exactly) or delayed past commit.
+    pub precise: bool,
+    /// Committed instructions when the violation was detected.
+    pub insts: u64,
+}
+
+impl AuditEntry {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("detector", Json::from(self.detector)),
+            ("kind", Json::from(self.kind)),
+            ("pc", Json::from(format!("{:#x}", self.pc))),
+            ("addr", Json::from(format!("{:#x}", self.addr))),
+            ("size", Json::UInt(self.size)),
+            ("mode", Json::from(self.mode)),
+            ("component", Json::from(self.component)),
+            ("precise", Json::Bool(self.precise)),
+            ("insts", Json::UInt(self.insts)),
+        ])
+    }
+
+    fn render_line(&self) -> String {
+        format!(
+            "{:<5} {:<22} pc={:#010x} addr={:#010x} size={} mode={} component={} {} @inst {}",
+            self.detector,
+            self.kind,
+            self.pc,
+            self.addr,
+            self.size,
+            self.mode,
+            self.component,
+            if self.precise { "precise" } else { "delayed" },
+            self.insts,
+        )
+    }
+}
+
+/// Bounded record of every violation a run detected.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+    total: u64,
+}
+
+impl AuditLog {
+    /// Retained-entry cap; later violations only bump `total`.
+    pub const MAX_ENTRIES: usize = 1024;
+
+    /// Records a violation, retaining the entry if under the cap.
+    pub fn record(&mut self, entry: AuditEntry) {
+        self.total += 1;
+        if self.entries.len() < Self::MAX_ENTRIES {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Retained entries, in detection order.
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    /// Total violations detected, including any past the cap.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no violation was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Human-readable log, one line per retained entry.
+    pub fn render(&self) -> String {
+        if self.is_empty() {
+            return "violation audit: clean (no detections)\n".to_string();
+        }
+        let mut out = format!(
+            "violation audit: {} detection(s), {} retained\n",
+            self.total,
+            self.entries.len()
+        );
+        for e in &self.entries {
+            out.push_str("  ");
+            out.push_str(&e.render_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON object `{"total": N, "entries": [{...}, ...]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("total", Json::UInt(self.total)),
+            (
+                "entries",
+                Json::Arr(self.entries.iter().map(|e| e.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pc: u64) -> AuditEntry {
+        AuditEntry {
+            detector: "rest",
+            kind: "heap-underflow",
+            pc,
+            addr: 0x5000_0010,
+            size: 8,
+            mode: "secure",
+            component: "app",
+            precise: true,
+            insts: 42,
+        }
+    }
+
+    #[test]
+    fn records_and_serialises_entries() {
+        let mut log = AuditLog::default();
+        assert!(log.is_empty());
+        log.record(entry(0x400123));
+        assert!(!log.is_empty());
+        assert_eq!(log.total(), 1);
+
+        let j = log.to_json();
+        assert_eq!(j.get("total").unwrap().as_u64(), Some(1));
+        let entries = j.get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries[0].get("pc").unwrap().as_str(), Some("0x400123"));
+        assert_eq!(entries[0].get("detector").unwrap().as_str(), Some("rest"));
+        assert_eq!(entries[0].get("precise"), Some(&Json::Bool(true)));
+
+        let text = log.render();
+        assert!(text.contains("heap-underflow"));
+        assert!(text.contains("0x00400123"));
+    }
+
+    #[test]
+    fn cap_keeps_total_exact() {
+        let mut log = AuditLog::default();
+        for i in 0..(AuditLog::MAX_ENTRIES as u64 + 5) {
+            log.record(entry(i));
+        }
+        assert_eq!(log.entries().len(), AuditLog::MAX_ENTRIES);
+        assert_eq!(log.total(), AuditLog::MAX_ENTRIES as u64 + 5);
+    }
+
+    #[test]
+    fn clean_log_renders_clean() {
+        assert!(AuditLog::default().render().contains("clean"));
+    }
+}

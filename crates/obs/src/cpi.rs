@@ -1,0 +1,253 @@
+//! Commit-time CPI stacks.
+//!
+//! Every simulated cycle is charged to exactly one [`CpiComponent`], so
+//! the components of a [`CpiStack`] always sum to the core's total
+//! cycle count. The pipeline builds the stack at commit time: each
+//! micro-op advances the commit frontier by a non-negative delta
+//! (commit cycles are monotone in program order), and that delta is
+//! split across the stall causes the micro-op actually experienced, in
+//! specificity order, with any unexplained remainder charged to
+//! [`CpiComponent::Base`]. Because the split is a clamped fill of a
+//! known total, the exact-sum property holds by construction — there is
+//! no post-hoc normalisation step that could drift.
+
+use crate::json::Json;
+
+/// Where a committed cycle went. Ordered from most to least specific;
+/// the pipeline fills buckets in this order (skipping `Base`, which
+/// takes the remainder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpiComponent {
+    /// Useful work: cycles not explained by any stall below.
+    Base,
+    /// Frontend stalls: I-cache misses and fetch bandwidth.
+    FetchStall,
+    /// Branch redirects: cycles lost to pipeline refill after a
+    /// mispredicted or serialising control transfer.
+    Branch,
+    /// Issue-queue-full dispatch stalls.
+    Iq,
+    /// Reorder-buffer-full dispatch stalls.
+    Rob,
+    /// Load/store-queue-full dispatch stalls.
+    Lsq,
+    /// Cycles waiting on loads served by the L2 (L1D misses).
+    L1dMiss,
+    /// Cycles waiting on loads served by DRAM, up to the L2 hit
+    /// latency (the L2 lookup on the miss path).
+    L2Miss,
+    /// Cycles waiting on DRAM beyond the L2 lookup.
+    Dram,
+    /// Commit blocked draining stores (debug-mode REST: stores must
+    /// be checked before retiring past them).
+    StoreDrain,
+    /// Extra latency from REST token checks: disarm re-access delay
+    /// and debug-mode lines held for checking.
+    RestCheck,
+}
+
+impl CpiComponent {
+    /// All components, in stack-rendering order (base first).
+    pub const ALL: [CpiComponent; 11] = [
+        CpiComponent::Base,
+        CpiComponent::FetchStall,
+        CpiComponent::Branch,
+        CpiComponent::Iq,
+        CpiComponent::Rob,
+        CpiComponent::Lsq,
+        CpiComponent::L1dMiss,
+        CpiComponent::L2Miss,
+        CpiComponent::Dram,
+        CpiComponent::StoreDrain,
+        CpiComponent::RestCheck,
+    ];
+
+    /// Stable snake_case key used in JSON documents and counter maps.
+    pub const fn key(self) -> &'static str {
+        match self {
+            CpiComponent::Base => "base",
+            CpiComponent::FetchStall => "fetch_stall",
+            CpiComponent::Branch => "branch",
+            CpiComponent::Iq => "iq",
+            CpiComponent::Rob => "rob",
+            CpiComponent::Lsq => "lsq",
+            CpiComponent::L1dMiss => "l1d_miss",
+            CpiComponent::L2Miss => "l2_miss",
+            CpiComponent::Dram => "dram",
+            CpiComponent::StoreDrain => "store_drain",
+            CpiComponent::RestCheck => "rest_check",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            CpiComponent::Base => 0,
+            CpiComponent::FetchStall => 1,
+            CpiComponent::Branch => 2,
+            CpiComponent::Iq => 3,
+            CpiComponent::Rob => 4,
+            CpiComponent::Lsq => 5,
+            CpiComponent::L1dMiss => 6,
+            CpiComponent::L2Miss => 7,
+            CpiComponent::Dram => 8,
+            CpiComponent::StoreDrain => 9,
+            CpiComponent::RestCheck => 10,
+        }
+    }
+}
+
+/// Cycle counts per [`CpiComponent`]. Plain data; `Copy` so it can
+/// live inside the core's `Copy` stats block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpiStack {
+    cycles: [u64; 11],
+}
+
+impl CpiStack {
+    /// Charges `cycles` to `component`.
+    pub fn add(&mut self, component: CpiComponent, cycles: u64) {
+        self.cycles[component.index()] += cycles;
+    }
+
+    /// Cycles charged to `component`.
+    pub fn get(&self, component: CpiComponent) -> u64 {
+        self.cycles[component.index()]
+    }
+
+    /// Total cycles across all components. Equals `core.cycles` when
+    /// the stack was built by the pipeline.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Accumulates another stack into this one (engine result merge).
+    pub fn merge(&mut self, other: &CpiStack) {
+        let CpiStack { cycles } = other;
+        for (mine, theirs) in self.cycles.iter_mut().zip(cycles.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// `(key, cycles)` pairs in stack order, for counter maps.
+    pub fn entries(&self) -> Vec<(&'static str, u64)> {
+        CpiComponent::ALL
+            .iter()
+            .map(|&c| (c.key(), self.get(c)))
+            .collect()
+    }
+
+    /// JSON object `{component: cycles, ..., "total": sum}`.
+    pub fn to_json(&self) -> Json {
+        let mut members: Vec<(&str, Json)> = CpiComponent::ALL
+            .iter()
+            .map(|&c| (c.key(), Json::UInt(self.get(c))))
+            .collect();
+        members.push(("total", Json::UInt(self.total())));
+        Json::obj(members)
+    }
+
+    /// Renders the stack as aligned text with a proportional bar per
+    /// component, e.g. for `--verbose` experiment output:
+    ///
+    /// ```text
+    /// CPI stack (1200 cycles, CPI 1.20):
+    ///   base         600  50.0% ##########################
+    ///   l1d_miss     300  25.0% #############
+    ///   ...
+    /// ```
+    pub fn render(&self, instructions: u64) -> String {
+        let total = self.total();
+        let mut out = String::new();
+        if instructions > 0 {
+            out.push_str(&format!(
+                "CPI stack ({} cycles, CPI {:.2}):\n",
+                total,
+                total as f64 / instructions as f64
+            ));
+        } else {
+            out.push_str(&format!("CPI stack ({total} cycles):\n"));
+        }
+        for &c in CpiComponent::ALL.iter() {
+            let cycles = self.get(c);
+            if cycles == 0 && c != CpiComponent::Base {
+                continue;
+            }
+            let pct = if total > 0 {
+                100.0 * cycles as f64 / total as f64
+            } else {
+                0.0
+            };
+            let bar_len = (pct / 2.0).round() as usize;
+            out.push_str(&format!(
+                "  {:<12} {:>12}  {:>5.1}% {}\n",
+                c.key(),
+                cycles,
+                pct,
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_cover_all_indices_exactly_once() {
+        let mut seen = [false; 11];
+        for &c in CpiComponent::ALL.iter() {
+            assert!(!seen[c.index()], "duplicate index for {:?}", c);
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Keys are unique too.
+        let mut keys: Vec<_> = CpiComponent::ALL.iter().map(|c| c.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), CpiComponent::ALL.len());
+    }
+
+    #[test]
+    fn add_merge_total_are_consistent() {
+        let mut a = CpiStack::default();
+        a.add(CpiComponent::Base, 100);
+        a.add(CpiComponent::Dram, 40);
+        let mut b = CpiStack::default();
+        b.add(CpiComponent::Base, 10);
+        b.add(CpiComponent::RestCheck, 5);
+        a.merge(&b);
+        assert_eq!(a.get(CpiComponent::Base), 110);
+        assert_eq!(a.get(CpiComponent::Dram), 40);
+        assert_eq!(a.get(CpiComponent::RestCheck), 5);
+        assert_eq!(a.total(), 155);
+    }
+
+    #[test]
+    fn json_includes_every_component_and_total() {
+        let mut s = CpiStack::default();
+        s.add(CpiComponent::L1dMiss, 7);
+        let j = s.to_json();
+        for &c in CpiComponent::ALL.iter() {
+            assert!(j.get(c.key()).is_some(), "missing {}", c.key());
+        }
+        assert_eq!(j.get("total").unwrap().as_u64(), Some(7));
+        assert_eq!(j.get("l1d_miss").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn render_skips_empty_components_but_keeps_base() {
+        let mut s = CpiStack::default();
+        s.add(CpiComponent::Base, 90);
+        s.add(CpiComponent::StoreDrain, 10);
+        let text = s.render(50);
+        assert!(text.contains("CPI 2.00"));
+        assert!(text.contains("base"));
+        assert!(text.contains("store_drain"));
+        assert!(!text.contains("dram"));
+        // Zero-instruction render must not divide by zero.
+        let empty = CpiStack::default().render(0);
+        assert!(empty.contains("base"));
+    }
+}

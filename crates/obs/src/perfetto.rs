@@ -1,0 +1,190 @@
+//! Chrome trace-event export (loadable in `ui.perfetto.dev`).
+//!
+//! [`PerfettoTrace`] builds a document in the legacy Chrome trace-event
+//! JSON format, which Perfetto's web UI (and `chrome://tracing`)
+//! ingests directly: a top-level `{"traceEvents": [...]}` object whose
+//! events are `"ph": "M"` metadata records naming the process and its
+//! tracks, followed by `"ph": "X"` *complete* events — one slice per
+//! recorded item with a start timestamp, a duration, a category, and
+//! free-form `args`.
+//!
+//! The simulator has no wall clock, so timestamps are simulated
+//! *cycles* mapped 1:1 to the format's microsecond field: a slice from
+//! cycle 120 to 140 renders as 20 "µs" in the UI. Tracks are registered
+//! explicitly (the pipeline uses one per stage) and keep their
+//! registration order via `thread_sort_index`.
+
+use crate::json::Json;
+
+/// Opaque handle for a registered track (a "thread" in trace-event
+/// terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackId(u64);
+
+struct Slice {
+    name: String,
+    category: String,
+    track: TrackId,
+    /// Start, in cycles (rendered as µs).
+    ts: u64,
+    /// Duration, in cycles (rendered as µs).
+    dur: u64,
+    args: Vec<(String, Json)>,
+}
+
+/// Builder for a Chrome trace-event document.
+pub struct PerfettoTrace {
+    process_name: String,
+    tracks: Vec<String>,
+    slices: Vec<Slice>,
+}
+
+impl PerfettoTrace {
+    /// An empty trace for the named process (shown as the Perfetto
+    /// process label).
+    pub fn new(process_name: &str) -> PerfettoTrace {
+        PerfettoTrace {
+            process_name: process_name.to_string(),
+            tracks: Vec::new(),
+            slices: Vec::new(),
+        }
+    }
+
+    /// Registers a track; slices on it appear under this label, and
+    /// tracks display in registration order.
+    pub fn track(&mut self, name: &str) -> TrackId {
+        self.tracks.push(name.to_string());
+        // tid 0 is reserved by some importers; start at 1.
+        TrackId(self.tracks.len() as u64)
+    }
+
+    /// Records one complete slice (`ph: "X"`). `ts`/`dur` are in
+    /// simulated cycles; `args` become the slice's detail pane.
+    pub fn slice(
+        &mut self,
+        track: TrackId,
+        name: &str,
+        category: &str,
+        ts: u64,
+        dur: u64,
+        args: Vec<(&str, Json)>,
+    ) {
+        self.slices.push(Slice {
+            name: name.to_string(),
+            category: category.to_string(),
+            track,
+            ts,
+            dur,
+            args: args.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        });
+    }
+
+    /// Number of recorded slices (metadata events excluded).
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Serialises the full `{"traceEvents": [...]}` document.
+    pub fn to_json(&self) -> Json {
+        const PID: u64 = 1;
+        let mut events = Vec::new();
+        events.push(Json::obj(vec![
+            ("ph", Json::from("M")),
+            ("pid", Json::UInt(PID)),
+            ("name", Json::from("process_name")),
+            (
+                "args",
+                Json::obj(vec![("name", Json::from(self.process_name.as_str()))]),
+            ),
+        ]));
+        for (i, track) in self.tracks.iter().enumerate() {
+            let tid = i as u64 + 1;
+            events.push(Json::obj(vec![
+                ("ph", Json::from("M")),
+                ("pid", Json::UInt(PID)),
+                ("tid", Json::UInt(tid)),
+                ("name", Json::from("thread_name")),
+                ("args", Json::obj(vec![("name", Json::from(track.as_str()))])),
+            ]));
+            events.push(Json::obj(vec![
+                ("ph", Json::from("M")),
+                ("pid", Json::UInt(PID)),
+                ("tid", Json::UInt(tid)),
+                ("name", Json::from("thread_sort_index")),
+                ("args", Json::obj(vec![("sort_index", Json::UInt(tid))])),
+            ]));
+        }
+        for s in &self.slices {
+            events.push(Json::obj(vec![
+                ("ph", Json::from("X")),
+                ("pid", Json::UInt(PID)),
+                ("tid", Json::UInt(s.track.0)),
+                ("name", Json::from(s.name.as_str())),
+                ("cat", Json::from(s.category.as_str())),
+                ("ts", Json::UInt(s.ts)),
+                ("dur", Json::UInt(s.dur)),
+                (
+                    "args",
+                    Json::Obj(s.args.clone()),
+                ),
+            ]));
+        }
+        Json::obj(vec![("traceEvents", Json::Arr(events))])
+    }
+
+    /// The document as pretty-printed text, ready to write to the
+    /// `--trace-out` file.
+    pub fn render(&self) -> String {
+        let mut text = self.to_json().to_string_pretty();
+        text.push('\n');
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_has_metadata_then_one_event_per_slice() {
+        let mut t = PerfettoTrace::new("rest-sim");
+        let fetch = t.track("fetch");
+        let commit = t.track("commit");
+        t.slice(fetch, "0x400000 load", "app", 10, 2, vec![("seq", Json::UInt(0))]);
+        t.slice(commit, "0x400000 load", "app", 15, 1, vec![("seq", Json::UInt(0))]);
+        assert_eq!(t.slice_count(), 2);
+
+        let doc = t.to_json();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 process_name + 2 tracks × (thread_name + thread_sort_index) + 2 slices.
+        assert_eq!(events.len(), 1 + 4 + 2);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+        let x_events: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(x_events.len(), 2);
+        assert_eq!(x_events[0].get("tid").unwrap().as_u64(), Some(1));
+        assert_eq!(x_events[1].get("tid").unwrap().as_u64(), Some(2));
+        assert_eq!(x_events[0].get("ts").unwrap().as_u64(), Some(10));
+        assert_eq!(x_events[0].get("dur").unwrap().as_u64(), Some(2));
+        assert_eq!(x_events[0].get("cat").unwrap().as_str(), Some("app"));
+    }
+
+    #[test]
+    fn rendered_document_parses_back() {
+        let mut t = PerfettoTrace::new("p");
+        let tr = t.track("issue");
+        t.slice(tr, "uop", "allocator", 0, 0, vec![]);
+        let text = t.render();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert!(parsed.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let doc = PerfettoTrace::new("empty").to_json();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 1); // just the process_name record
+    }
+}

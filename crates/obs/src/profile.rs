@@ -1,0 +1,242 @@
+//! Host self-profiling.
+//!
+//! Simulated results are byte-deterministic, but *how long the host
+//! took to produce them* is exactly the thing the ROADMAP's perf work
+//! needs to track over time. A [`HostProfile`] records wall-clock time
+//! per coarse phase (setup / simulate / report) and per engine job, and
+//! serialises to the `rest-host-profile/v1` schema written to
+//! `--profile-out` (by convention `results/BENCH_baseline.json`, the
+//! repository's perf-trajectory baseline).
+//!
+//! Wall times are inherently nondeterministic, so this document is
+//! **never** part of the experiment result JSON — it is a separate
+//! file, keeping the PR 1 byte-determinism guarantee intact.
+
+use crate::json::Json;
+use std::time::Duration;
+
+/// Wall-clock timing for one engine job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTiming {
+    /// The job's display label (row/column in the experiment matrix).
+    pub label: String,
+    /// Host wall time spent simulating the job.
+    pub wall: Duration,
+    /// Whether the result came from the engine's job cache (wall time
+    /// then reflects the lookup, not a simulation).
+    pub cached: bool,
+}
+
+/// Wall-clock profile of one experiment binary invocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostProfile {
+    experiment: String,
+    phases: Vec<(String, Duration)>,
+    jobs: Vec<JobTiming>,
+}
+
+impl HostProfile {
+    /// Schema identifier emitted in (and required of) profile
+    /// documents.
+    pub const SCHEMA: &'static str = "rest-host-profile/v1";
+
+    /// An empty profile for the named experiment.
+    pub fn new(experiment: &str) -> HostProfile {
+        HostProfile {
+            experiment: experiment.to_string(),
+            phases: Vec::new(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Records a coarse phase (e.g. "simulate", "report"). Phases
+    /// with the same name accumulate.
+    pub fn add_phase(&mut self, name: &str, wall: Duration) {
+        if let Some((_, d)) = self.phases.iter_mut().find(|(n, _)| n == name) {
+            *d += wall;
+        } else {
+            self.phases.push((name.to_string(), wall));
+        }
+    }
+
+    /// Records one engine job's timing.
+    pub fn add_job(&mut self, timing: JobTiming) {
+        self.jobs.push(timing);
+    }
+
+    /// Recorded per-job timings.
+    pub fn jobs(&self) -> &[JobTiming] {
+        &self.jobs
+    }
+
+    /// Serialises to the `rest-host-profile/v1` document:
+    ///
+    /// ```text
+    /// {"schema": "rest-host-profile/v1", "experiment": "fig7",
+    ///  "phases": [{"name": .., "wall_s": ..}, ..],
+    ///  "jobs": [{"label": .., "wall_s": .., "cached": bool}, ..],
+    ///  "summary": {"phase_wall_s": .., "job_count": N,
+    ///              "jobs_cached": N, "job_wall_s": ..,
+    ///              "job_wall_s_max": ..}}
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let phase_total: f64 = self.phases.iter().map(|(_, d)| d.as_secs_f64()).sum();
+        let job_total: f64 = self.jobs.iter().map(|j| j.wall.as_secs_f64()).sum();
+        let job_max = self
+            .jobs
+            .iter()
+            .map(|j| j.wall.as_secs_f64())
+            .fold(0.0_f64, f64::max);
+        let cached = self.jobs.iter().filter(|j| j.cached).count() as u64;
+        Json::obj(vec![
+            ("schema", Json::from(Self::SCHEMA)),
+            ("experiment", Json::from(self.experiment.as_str())),
+            (
+                "phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|(name, d)| {
+                            Json::obj(vec![
+                                ("name", Json::from(name.as_str())),
+                                ("wall_s", Json::Num(d.as_secs_f64())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "jobs",
+                Json::Arr(
+                    self.jobs
+                        .iter()
+                        .map(|j| {
+                            Json::obj(vec![
+                                ("label", Json::from(j.label.as_str())),
+                                ("wall_s", Json::Num(j.wall.as_secs_f64())),
+                                ("cached", Json::Bool(j.cached)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "summary",
+                Json::obj(vec![
+                    ("phase_wall_s", Json::Num(phase_total)),
+                    ("job_count", Json::UInt(self.jobs.len() as u64)),
+                    ("jobs_cached", Json::UInt(cached)),
+                    ("job_wall_s", Json::Num(job_total)),
+                    ("job_wall_s_max", Json::Num(job_max)),
+                ]),
+            ),
+        ])
+    }
+
+    /// The document as pretty-printed text with a trailing newline.
+    pub fn render(&self) -> String {
+        let mut text = self.to_json().to_string_pretty();
+        text.push('\n');
+        text
+    }
+
+    /// Checks that a parsed document matches the
+    /// `rest-host-profile/v1` shape. Used by the baseline test and
+    /// the CI observability job.
+    pub fn validate(doc: &Json) -> Result<(), String> {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(s) if s == Self::SCHEMA => {}
+            Some(s) => return Err(format!("unexpected schema {s:?}")),
+            None => return Err("missing \"schema\"".to_string()),
+        }
+        doc.get("experiment")
+            .and_then(Json::as_str)
+            .ok_or("missing \"experiment\"")?;
+        let phases = doc
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"phases\" array")?;
+        for p in phases {
+            p.get("name").and_then(Json::as_str).ok_or("phase missing \"name\"")?;
+            p.get("wall_s").and_then(Json::as_f64).ok_or("phase missing \"wall_s\"")?;
+        }
+        let jobs = doc
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"jobs\" array")?;
+        for j in jobs {
+            j.get("label").and_then(Json::as_str).ok_or("job missing \"label\"")?;
+            j.get("wall_s").and_then(Json::as_f64).ok_or("job missing \"wall_s\"")?;
+            match j.get("cached") {
+                Some(Json::Bool(_)) => {}
+                _ => return Err("job missing \"cached\"".to_string()),
+            }
+        }
+        let summary = doc.get("summary").ok_or("missing \"summary\"")?;
+        for key in ["phase_wall_s", "job_count", "jobs_cached", "job_wall_s", "job_wall_s_max"] {
+            summary
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("summary missing {key:?}"))?;
+        }
+        let count = summary.get("job_count").and_then(Json::as_u64).unwrap_or(0);
+        if count != jobs.len() as u64 {
+            return Err(format!(
+                "summary.job_count {} != jobs.len() {}",
+                count,
+                jobs.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_document_validates() {
+        let mut p = HostProfile::new("fig7");
+        p.add_phase("setup", Duration::from_millis(5));
+        p.add_phase("simulate", Duration::from_millis(120));
+        p.add_phase("simulate", Duration::from_millis(30));
+        p.add_job(JobTiming {
+            label: "bzip2/secure".to_string(),
+            wall: Duration::from_millis(80),
+            cached: false,
+        });
+        p.add_job(JobTiming {
+            label: "bzip2/plain".to_string(),
+            wall: Duration::from_micros(12),
+            cached: true,
+        });
+
+        let doc = Json::parse(&p.render()).expect("valid JSON");
+        HostProfile::validate(&doc).expect("schema-valid");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(HostProfile::SCHEMA));
+        // Same-named phases accumulate.
+        let phases = doc.get("phases").unwrap().as_arr().unwrap();
+        assert_eq!(phases.len(), 2);
+        assert!(phases[1].get("wall_s").unwrap().as_f64().unwrap() > 0.14);
+        let summary = doc.get("summary").unwrap();
+        assert_eq!(summary.get("job_count").unwrap().as_u64(), Some(2));
+        assert_eq!(summary.get("jobs_cached").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        let missing = Json::obj(vec![("schema", Json::from(HostProfile::SCHEMA))]);
+        assert!(HostProfile::validate(&missing).is_err());
+        let wrong = Json::obj(vec![("schema", Json::from("other/v9"))]);
+        assert!(HostProfile::validate(&wrong).is_err());
+        assert!(HostProfile::validate(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn empty_profile_is_schema_valid() {
+        let p = HostProfile::new("smoke");
+        let doc = Json::parse(&p.render()).unwrap();
+        HostProfile::validate(&doc).expect("empty profile valid");
+    }
+}

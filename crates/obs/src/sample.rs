@@ -1,0 +1,228 @@
+//! Interval time-series sampling.
+//!
+//! End-of-run scalars hide phase behaviour: an allocation-heavy warmup
+//! followed by a streaming loop averages into a number that describes
+//! neither. When `sample_interval` is non-zero, the simulator snapshots
+//! the full counter map plus pipeline/memory occupancy gauges every N
+//! committed instructions into a [`TimeSeries`]. Counters are
+//! cumulative (consumers diff adjacent samples for per-interval rates);
+//! gauges are instantaneous occupancies at the sample point.
+//!
+//! The series is bounded ([`TimeSeries::MAX_SAMPLES`]) so a tiny
+//! interval on a long run cannot balloon the result document; overflow
+//! is counted in `dropped` rather than silently discarded. Sampling is
+//! driven by the deterministic simulated instruction stream, so the
+//! emitted series is byte-identical at any `--jobs` level.
+
+use crate::json::Json;
+
+/// Instantaneous occupancy of the simulator's queued resources at a
+/// sample point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauges {
+    /// Micro-ops dispatched but not yet committed (ROB residents).
+    pub rob: u64,
+    /// Micro-ops dispatched but not yet issued (IQ residents).
+    pub iq: u64,
+    /// Loads dispatched but not yet committed (LQ residents).
+    pub lq: u64,
+    /// Stores dispatched but not yet committed (SQ residents).
+    pub sq: u64,
+    /// L1D miss-status-holding registers in flight.
+    pub l1d_mshrs: u64,
+    /// L2 miss-status-holding registers in flight.
+    pub l2_mshrs: u64,
+    /// Store write-buffer entries not yet drained.
+    pub write_buffer: u64,
+}
+
+impl Gauges {
+    /// `(key, value)` pairs in a fixed order.
+    pub fn entries(&self) -> [(&'static str, u64); 7] {
+        // Destructure so a new gauge cannot be added without wiring
+        // it into the serialised form.
+        let Gauges {
+            rob,
+            iq,
+            lq,
+            sq,
+            l1d_mshrs,
+            l2_mshrs,
+            write_buffer,
+        } = *self;
+        [
+            ("rob", rob),
+            ("iq", iq),
+            ("lq", lq),
+            ("sq", sq),
+            ("l1d_mshrs", l1d_mshrs),
+            ("l2_mshrs", l2_mshrs),
+            ("write_buffer", write_buffer),
+        ]
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(
+            self.entries()
+                .iter()
+                .map(|&(k, v)| (k, Json::UInt(v)))
+                .collect(),
+        )
+    }
+}
+
+/// One snapshot of the run at a committed-instruction boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalSample {
+    /// Committed (macro) instructions at the sample point.
+    pub insts: u64,
+    /// Core cycles consumed so far.
+    pub cycles: u64,
+    /// Cumulative counter map (same keys/order as the end-of-run
+    /// `stats_map()`).
+    pub counters: Vec<(&'static str, u64)>,
+    /// Instantaneous occupancies.
+    pub gauges: Gauges,
+}
+
+/// A bounded, deterministic sequence of [`IntervalSample`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimeSeries {
+    /// Sampling period in committed instructions (0 = disabled).
+    pub interval: u64,
+    samples: Vec<IntervalSample>,
+    dropped: u64,
+}
+
+impl TimeSeries {
+    /// Retained-sample cap; further samples only bump `dropped`.
+    pub const MAX_SAMPLES: usize = 10_000;
+
+    /// A series sampling every `interval` committed instructions.
+    pub fn new(interval: u64) -> TimeSeries {
+        TimeSeries {
+            interval,
+            samples: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Appends a sample, or counts it as dropped past the cap.
+    pub fn record(&mut self, sample: IntervalSample) {
+        if self.samples.len() < Self::MAX_SAMPLES {
+            self.samples.push(sample);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained samples, in simulated order.
+    pub fn samples(&self) -> &[IntervalSample] {
+        &self.samples
+    }
+
+    /// Samples discarded past [`Self::MAX_SAMPLES`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// JSON object:
+    ///
+    /// ```text
+    /// {"interval": N, "dropped": D,
+    ///  "samples": [{"insts": .., "cycles": .., "gauges": {..},
+    ///               "counters": {..}}, ..]}
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("insts", Json::UInt(s.insts)),
+                    ("cycles", Json::UInt(s.cycles)),
+                    ("gauges", s.gauges.to_json()),
+                    (
+                        "counters",
+                        Json::obj(
+                            s.counters
+                                .iter()
+                                .map(|&(k, v)| (k, Json::UInt(v)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("interval", Json::UInt(self.interval)),
+            ("dropped", Json::UInt(self.dropped)),
+            ("samples", Json::Arr(samples)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(insts: u64) -> IntervalSample {
+        IntervalSample {
+            insts,
+            cycles: insts * 2,
+            counters: vec![("core.insts", insts), ("mem.l1d_hits", insts / 2)],
+            gauges: Gauges {
+                rob: 12,
+                iq: 3,
+                lq: 4,
+                sq: 2,
+                l1d_mshrs: 1,
+                l2_mshrs: 0,
+                write_buffer: 5,
+            },
+        }
+    }
+
+    #[test]
+    fn records_in_order_and_serialises() {
+        let mut ts = TimeSeries::new(100);
+        ts.record(sample(100));
+        ts.record(sample(200));
+        assert_eq!(ts.samples().len(), 2);
+        assert_eq!(ts.dropped(), 0);
+
+        let j = ts.to_json();
+        assert_eq!(j.get("interval").unwrap().as_u64(), Some(100));
+        let samples = j.get("samples").unwrap().as_arr().unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].get("insts").unwrap().as_u64(), Some(200));
+        let gauges = samples[0].get("gauges").unwrap();
+        assert_eq!(gauges.get("rob").unwrap().as_u64(), Some(12));
+        assert_eq!(gauges.get("write_buffer").unwrap().as_u64(), Some(5));
+        let counters = samples[0].get("counters").unwrap();
+        assert_eq!(counters.get("core.insts").unwrap().as_u64(), Some(100));
+    }
+
+    #[test]
+    fn cap_counts_dropped_samples() {
+        let mut ts = TimeSeries::new(1);
+        for i in 0..(TimeSeries::MAX_SAMPLES as u64 + 7) {
+            ts.record(sample(i));
+        }
+        assert_eq!(ts.samples().len(), TimeSeries::MAX_SAMPLES);
+        assert_eq!(ts.dropped(), 7);
+        assert_eq!(
+            ts.to_json().get("dropped").unwrap().as_u64(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn gauges_entries_fix_key_order() {
+        let keys: Vec<_> = Gauges::default().entries().iter().map(|&(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            ["rob", "iq", "lq", "sq", "l1d_mshrs", "l2_mshrs", "write_buffer"]
+        );
+    }
+}

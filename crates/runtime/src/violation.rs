@@ -88,6 +88,46 @@ impl fmt::Display for Violation {
 
 impl Error for Violation {}
 
+impl Violation {
+    /// Converts the violation into an observability audit entry. The
+    /// caller supplies the context the violation record itself does not
+    /// carry: the execution mode, the software component owning the
+    /// faulting PC, and the committed-instruction count at detection.
+    pub fn audit_entry(
+        &self,
+        mode: &'static str,
+        component: &'static str,
+        insts: u64,
+    ) -> rest_obs::AuditEntry {
+        match self {
+            Violation::Rest(e) => rest_obs::AuditEntry {
+                detector: "rest",
+                kind: e.kind.name(),
+                pc: e.pc,
+                addr: e.addr,
+                size: 0,
+                mode,
+                component,
+                precise: e.precise,
+                insts,
+            },
+            // ASan reports are always precise: the check runs inline,
+            // before the faulting access's instruction retires.
+            Violation::Asan(r) => rest_obs::AuditEntry {
+                detector: "asan",
+                kind: r.kind.name(),
+                pc: r.pc,
+                addr: r.addr,
+                size: r.size,
+                mode,
+                component,
+                precise: true,
+                insts,
+            },
+        }
+    }
+}
+
 impl From<RestException> for Violation {
     fn from(e: RestException) -> Violation {
         Violation::Rest(e)
@@ -104,6 +144,33 @@ impl From<AsanReport> for Violation {
 mod tests {
     use super::*;
     use rest_core::RestExceptionKind;
+
+    #[test]
+    fn audit_entries_carry_detector_specifics() {
+        let asan: Violation = AsanReport {
+            kind: AsanReportKind::HeapRedzone,
+            addr: 0x4000_0040,
+            size: 4,
+            pc: 0x1_0010,
+        }
+        .into();
+        let e = asan.audit_entry("secure", "app", 900);
+        assert_eq!(e.detector, "asan");
+        assert_eq!(e.kind, "heap-buffer-overflow");
+        assert_eq!(e.size, 4);
+        assert!(e.precise);
+        assert_eq!(e.insts, 900);
+
+        let rest: Violation =
+            RestException::new(RestExceptionKind::TokenLoad, 0x5000, 0x20, false).into();
+        let e = rest.audit_entry("secure", "allocator", 12);
+        assert_eq!(e.detector, "rest");
+        assert_eq!(e.kind, "token-load");
+        assert_eq!(e.addr, 0x5000);
+        assert_eq!(e.pc, 0x20);
+        assert!(!e.precise);
+        assert_eq!(e.component, "allocator");
+    }
 
     #[test]
     fn display_formats() {
