@@ -14,6 +14,8 @@
 //! --trace-uops N         micro-ops to trace for --trace-out (default 512)
 //! --profile-out PATH     write host wall-time profiling (phases + per-job
 //!                        timings) to PATH (default: results/BENCH_baseline.json)
+//! --verify               statically lint each guest program with rest-verify
+//!                        before simulating; fail fast on error-or-worse findings
 //! --help                 usage
 //! ```
 
@@ -46,6 +48,10 @@ pub struct BenchCli {
     pub trace_uops: usize,
     /// Host-profiling output path (`--profile-out`), if any.
     pub profile_out: Option<PathBuf>,
+    /// Statically verify each program before simulating (`--verify`):
+    /// jobs fail fast with error kind `"verify"` instead of running a
+    /// program the linter can prove broken.
+    pub verify: bool,
 }
 
 impl BenchCli {
@@ -86,6 +92,7 @@ impl BenchCli {
             trace_out: None,
             trace_uops: 512,
             profile_out: None,
+            verify: false,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -129,6 +136,7 @@ impl BenchCli {
                     let v = it.next().ok_or("--profile-out needs a path")?;
                     cli.profile_out = Some(PathBuf::from(v));
                 }
+                "--verify" => cli.verify = true,
                 "--help" | "-h" => return Err("help".to_string()),
                 other => return Err(format!("unknown argument {other:?}")),
             }
@@ -178,7 +186,7 @@ impl BenchCli {
         format!(
             "usage: {experiment} [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]\n\
              \x20                 [--sample-interval N] [--trace-out PATH] [--trace-uops N]\n\
-             \x20                 [--profile-out PATH]\n\
+             \x20                 [--profile-out PATH] [--verify]\n\
              \n\
              --test               run at test scale (fast smoke check)\n\
              --jobs N             worker threads (default: available parallelism)\n\
@@ -191,6 +199,8 @@ impl BenchCli {
              \x20                    job's pipeline activity to PATH\n\
              --trace-uops N       micro-ops to trace for --trace-out (default 512)\n\
              --profile-out PATH   write host wall-time profiling to PATH\n\
+             --verify             statically lint each guest program before simulating;\n\
+             \x20                    fail fast on error-or-worse findings\n\
              --help               this message"
         )
     }
@@ -222,6 +232,7 @@ mod tests {
             cli.profile_path(),
             PathBuf::from("results/BENCH_baseline.json")
         );
+        assert!(!cli.verify);
     }
 
     #[test]
@@ -251,6 +262,7 @@ mod tests {
                 "128",
                 "--profile-out",
                 "/tmp/prof.json",
+                "--verify",
             ]),
         )
         .unwrap();
@@ -258,6 +270,7 @@ mod tests {
         assert_eq!(cli.trace_out, Some(PathBuf::from("/tmp/trace.json")));
         assert_eq!(cli.trace_uops, 128);
         assert_eq!(cli.profile_path(), PathBuf::from("/tmp/prof.json"));
+        assert!(cli.verify);
     }
 
     #[test]

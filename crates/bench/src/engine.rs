@@ -78,6 +78,10 @@ pub struct SimJob {
     /// Pipeline-trace length in micro-ops (0 = off); the result then
     /// carries a [`rest_cpu::PipelineTrace`].
     pub trace_uops: usize,
+    /// Run the static ARM/DISARM verifier over the built program before
+    /// simulating, failing fast (kind `"verify"`) on any error-or-worse
+    /// finding instead of burning cycles on a bad program.
+    pub verify: bool,
 }
 
 impl SimJob {
@@ -96,6 +100,7 @@ impl SimJob {
             max_uops: None,
             sample_interval: 0,
             trace_uops: 0,
+            verify: false,
         }
     }
 
@@ -122,7 +127,7 @@ impl SimJob {
     /// do not.
     pub fn cache_key(&self) -> String {
         format!(
-            "{:?}|{:#x}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}",
+            "{:?}|{:#x}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}|{}",
             self.workload,
             self.seed,
             self.rt,
@@ -136,6 +141,9 @@ impl SimJob {
             // so results must not be shared across different settings.
             self.sample_interval,
             self.trace_uops,
+            // The verify gate can turn a would-be simulation into a
+            // verify error, so gated and ungated runs are distinct.
+            self.verify,
         )
     }
 
@@ -150,6 +158,27 @@ impl SimJob {
                 seed: self.seed,
             };
             let program = self.workload.build(&params);
+            if self.verify {
+                let lint = rest_verify::verify_program(&program);
+                let worst: Vec<_> = lint.at_least(rest_verify::Severity::Error).collect();
+                if !worst.is_empty() {
+                    let f = worst[0];
+                    return Err(JobError {
+                        kind: "verify".to_string(),
+                        detail: format!(
+                            "{} (seed {:#x}): {} finding(s) at error or above; first: \
+                             [{}] pc {:#x} {}: {}",
+                            self.workload,
+                            self.seed,
+                            worst.len(),
+                            f.severity.name(),
+                            f.pc,
+                            f.pass,
+                            f.message
+                        ),
+                    });
+                }
+            }
             let mut cfg = match self.core {
                 CoreKind::OutOfOrder => SimConfig::isca2018(self.rt.clone()),
                 CoreKind::InOrder => SimConfig::inorder(self.rt.clone()),
@@ -161,7 +190,7 @@ impl SimJob {
             if let Some(budget) = self.max_uops {
                 cfg.max_uops = budget;
             }
-            System::new(program, cfg).run()
+            Ok(System::new(program, cfg).run())
         }));
         let result = match outcome {
             Err(payload) => {
@@ -175,7 +204,8 @@ impl SimJob {
                     detail,
                 });
             }
-            Ok(r) => r,
+            Ok(Err(e)) => return Err(e),
+            Ok(Ok(r)) => r,
         };
         match result.stop {
             StopReason::Exit(0) => Ok(result),
@@ -346,6 +376,7 @@ impl Engine {
         }
         for job in &mut jobs {
             job.sample_interval = spec.sample_interval;
+            job.verify = spec.verify;
         }
         // Tracing is bounded to the matrix's first job: one Perfetto
         // document per experiment is plenty, and tracing every job
@@ -424,6 +455,9 @@ pub struct MatrixSpec {
     /// Pipeline-trace length applied to the matrix's **first** job
     /// only (0 = off).
     pub trace_uops: usize,
+    /// Run the static verifier over every program before simulating
+    /// (`--verify`): jobs with error-or-worse lint findings fail fast.
+    pub verify: bool,
 }
 
 impl MatrixSpec {
@@ -438,11 +472,13 @@ impl MatrixSpec {
             include_plain: true,
             sample_interval: 0,
             trace_uops: 0,
+            verify: false,
         }
     }
 
     /// Applies the CLI's observability flags: the sampler interval to
-    /// every job, tracing (when `--trace-out` was given) to the first.
+    /// every job, tracing (when `--trace-out` was given) to the first,
+    /// and the `--verify` pre-run lint gate to every job.
     pub fn with_observability(mut self, cli: &crate::cli::BenchCli) -> MatrixSpec {
         self.sample_interval = cli.sample_interval;
         self.trace_uops = if cli.trace_out.is_some() {
@@ -450,6 +486,7 @@ impl MatrixSpec {
         } else {
             0
         };
+        self.verify = cli.verify;
         self
     }
 }
@@ -577,6 +614,28 @@ mod tests {
             ..a.clone()
         };
         assert_ne!(a.cache_key(), budget.cache_key());
+        let gated = SimJob {
+            verify: true,
+            ..a.clone()
+        };
+        assert_ne!(a.cache_key(), gated.cache_key());
+    }
+
+    #[test]
+    fn verify_gate_passes_clean_programs() {
+        let row = lbm_row();
+        let job = SimJob {
+            verify: true,
+            ..SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test)
+        };
+        // lbm lints clean, so the gated run simulates normally and
+        // matches the ungated result.
+        let gated = job.execute().expect("clean program must pass the gate");
+        let plain = SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test)
+            .execute()
+            .unwrap();
+        assert_eq!(gated.core.insts, plain.core.insts);
+        assert_eq!(gated.core.cycles, plain.core.cycles);
     }
 
     #[test]

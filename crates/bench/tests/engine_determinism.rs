@@ -24,6 +24,7 @@ fn test_cli() -> BenchCli {
         trace_out: None,
         trace_uops: 512,
         profile_out: None,
+        verify: false,
     }
 }
 

@@ -30,6 +30,7 @@ fn obs_cli() -> BenchCli {
         trace_out: Some(std::path::PathBuf::from("unused.json")),
         trace_uops: 64,
         profile_out: None,
+        verify: false,
     }
 }
 

@@ -231,8 +231,11 @@ pub fn parse_asm(src: &str) -> Result<Program, AsmError> {
             if name.is_empty() || name.contains(char::is_whitespace) {
                 break; // not a label — let instruction parsing complain
             }
-            if defined.insert(name.to_string(), line_no).is_some() {
-                return Err(err(line_no, format!("label '{name}' defined twice")));
+            if let Some(first) = defined.insert(name.to_string(), line_no) {
+                return Err(err(
+                    line_no,
+                    format!("label '{name}' defined twice (first defined on line {first})"),
+                ));
             }
             let l = p.label_for(name);
             p.builder.bind(l);
@@ -448,11 +451,15 @@ pub fn parse_asm(src: &str) -> Result<Program, AsmError> {
         }
     }
 
-    // Every referenced label must be defined.
-    for (name, line) in &referenced {
-        if !defined.contains_key(name) {
-            return Err(err(*line, format!("label '{name}' is never defined")));
-        }
+    // Every referenced label must be defined. Report the earliest
+    // offending reference (ties broken by name) so the error is
+    // deterministic regardless of map iteration order.
+    if let Some((name, line)) = referenced
+        .iter()
+        .filter(|(name, _)| !defined.contains_key(*name))
+        .min_by_key(|(name, line)| (**line, (*name).clone()))
+    {
+        return Err(err(*line, format!("label '{name}' is never defined")));
     }
     Ok(p.builder.build())
 }
@@ -637,6 +644,34 @@ mod tests {
 
         let e = parse_asm("add t0, t1").unwrap_err();
         assert!(e.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn duplicate_label_error_names_both_lines() {
+        let e = parse_asm("nop\nx: nop\nnop\nx: halt").unwrap_err();
+        assert_eq!(e.line, 4, "error is anchored at the re-definition");
+        assert!(
+            e.message.contains("first defined on line 2"),
+            "message should point at the first definition: {}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn undefined_label_error_is_deterministic() {
+        // Several undefined labels: the diagnostic must consistently
+        // pick the earliest reference, whatever the map iteration order.
+        let src = "beq t0, t1, zeta\nbeq t0, t1, alpha\nbeq t0, t1, mid\nhalt";
+        for _ in 0..16 {
+            let e = parse_asm(src).unwrap_err();
+            assert_eq!(e.line, 1);
+            assert!(e.message.contains("'zeta'"), "got: {}", e.message);
+        }
+        // Earliest reference wins even when a lexicographically smaller
+        // name appears later.
+        let e = parse_asm("j beta\nj alpha\nhalt").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("'beta'"), "got: {}", e.message);
     }
 
     #[test]

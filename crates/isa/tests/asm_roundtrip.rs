@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 
-use rest_isa::{parse_asm, AluOp, Inst, MemSize, Program, ProgramBuilder, Reg};
+use rest_isa::{parse_asm, AluOp, BranchCond, Inst, MemSize, Program, ProgramBuilder, Reg};
 
 /// A generatable instruction template (labels handled separately).
 #[derive(Debug, Clone)]
@@ -20,7 +20,12 @@ enum Tpl {
     Arm(u8),
     Disarm(u8),
     Nop,
-    BranchBack(u8, u8), // beq to the program start
+    BranchBack(u8, u8),             // beq to the program start
+    BranchFwd(BranchCond, u8, u8),  // any condition, to the program end
+    Call(u8),                       // jal to the program end (forward label)
+    Jump,                           // jal zero to the program end
+    Jalr(u8, u8, i64),              // indirect jump/return form
+    Ecall,
 }
 
 fn alu_op() -> impl Strategy<Value = AluOp> {
@@ -50,6 +55,17 @@ fn mem_size() -> impl Strategy<Value = MemSize> {
     ]
 }
 
+fn branch_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu),
+    ]
+}
+
 fn tpl() -> impl Strategy<Value = Tpl> {
     prop_oneof![
         (alu_op(), 0u8..32, 0u8..32, 0u8..32).prop_map(|(o, d, a, b)| Tpl::Alu(o, d, a, b)),
@@ -64,12 +80,18 @@ fn tpl() -> impl Strategy<Value = Tpl> {
         (0u8..32).prop_map(Tpl::Disarm),
         Just(Tpl::Nop),
         (0u8..32, 0u8..32).prop_map(|(a, b)| Tpl::BranchBack(a, b)),
+        (branch_cond(), 0u8..32, 0u8..32).prop_map(|(c, a, b)| Tpl::BranchFwd(c, a, b)),
+        (0u8..32).prop_map(Tpl::Call),
+        Just(Tpl::Jump),
+        (0u8..32, 0u8..32, -256i64..256).prop_map(|(d, b, o)| Tpl::Jalr(d, b, o)),
+        Just(Tpl::Ecall),
     ]
 }
 
 fn build(tpls: &[Tpl]) -> Program {
     let mut p = ProgramBuilder::new();
     let start = p.label_here();
+    let end = p.new_label();
     for t in tpls {
         match *t {
             Tpl::Alu(op, d, a, b) => {
@@ -120,8 +142,32 @@ fn build(tpls: &[Tpl]) -> Program {
             Tpl::BranchBack(a, b) => {
                 p.beq(Reg::new(a), Reg::new(b), start);
             }
+            Tpl::BranchFwd(cond, a, b) => {
+                p.push(Inst::Branch {
+                    cond,
+                    src1: Reg::new(a),
+                    src2: Reg::new(b),
+                    target: end,
+                });
+            }
+            Tpl::Call(d) => {
+                p.push(Inst::Jal {
+                    dst: Reg::new(d),
+                    target: end,
+                });
+            }
+            Tpl::Jump => {
+                p.j(end);
+            }
+            Tpl::Jalr(d, b, off) => {
+                p.jalr(Reg::new(d), Reg::new(b), off);
+            }
+            Tpl::Ecall => {
+                p.ecall_raw();
+            }
         }
     }
+    p.bind(end);
     p.halt();
     p.build()
 }

@@ -1,0 +1,1635 @@
+//! The dataflow analysis and the REST lint passes.
+//!
+//! A forward worklist analysis runs over every recovered function of the
+//! [`Cfg`], interpreting instructions over the [`domain`](crate::domain)
+//! of strided intervals, allocation-site pointers, and frame-relative
+//! addresses. On top of the fixpoint, the passes report:
+//!
+//! * **arm/disarm balance** — a path from an `arm` to a function return
+//!   or program exit that never executes the matching `disarm` leaks
+//!   blacklisted memory (the §IV-B stack-instrumentation hazard),
+//! * **guaranteed violations** — accesses that *must* alias a still-armed
+//!   or freed (token-filled) region and would trap at runtime
+//!   (`severity: must-trap`; the differential harness cross-checks these
+//!   against the emulator),
+//! * general lints: reads of never-written registers, unreachable
+//!   blocks, stores into the code segment, unresolvable `ecall` service
+//!   numbers, stack-pointer discipline, padding-gap overreads (§V-C
+//!   false negative), cross-allocation pointer arithmetic (§V-C
+//!   predictability), and reads of never-written heap chunks.
+//!
+//! Every report is anchored on a *bounded* fact — unbounded intervals
+//! and `Top` values never produce findings — which is what keeps the
+//! workload corpus clean while every attack program is flagged.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use rest_isa::{AluOp, BranchCond, EcallNum, Inst, Program, Reg, PC_STEP};
+
+use crate::cfg::{Cfg, Succ};
+use crate::domain::{AbsVal, SInt, SiteId};
+
+/// The REST token granule the lint assumes (the paper's evaluated
+/// default; `arm`/`disarm` and the allocator redzones operate on 64-byte
+/// granules).
+pub const GRANULE: u64 = 64;
+
+/// Analysis budget: total block visits across all functions. Far above
+/// anything the in-tree corpus needs; a backstop against pathological
+/// inputs.
+const MAX_VISITS: usize = 50_000;
+/// Widening threshold: joins at a block before bounds are widened.
+const WIDEN_AFTER: usize = 4;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: suspicious but not provably wrong.
+    Warning,
+    /// A real defect (leak, discipline violation), though the run may
+    /// still complete.
+    Error,
+    /// The access is statically guaranteed to raise a REST violation at
+    /// runtime (checked by the differential harness).
+    MustTrap,
+}
+
+impl Severity {
+    /// Stable serialization name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+            Severity::MustTrap => "must-trap",
+        }
+    }
+}
+
+/// One lint finding, anchored at a PC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The pass that produced the finding (stable kebab-case name).
+    pub pass: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Anchoring program counter.
+    pub pc: u64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Everything the verifier learned about one program.
+#[derive(Debug, Clone)]
+pub struct VerifyResult {
+    /// Findings, sorted by (pc, pass).
+    pub findings: Vec<Finding>,
+    /// Instruction count.
+    pub insts: usize,
+    /// Basic-block count.
+    pub blocks: usize,
+    /// Recovered-function count.
+    pub functions: usize,
+    /// Static allocation sites discovered.
+    pub sites: usize,
+}
+
+impl VerifyResult {
+    /// Findings at or above `min`.
+    pub fn at_least(&self, min: Severity) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.severity >= min)
+    }
+
+    /// Whether any finding is a guaranteed runtime violation.
+    pub fn has_must_trap(&self) -> bool {
+        self.at_least(Severity::MustTrap).next().is_some()
+    }
+}
+
+/// Statically verifies `program`, running every pass.
+pub fn verify_program(program: &Program) -> VerifyResult {
+    Analyzer::new(program).run()
+}
+
+// ---------------------------------------------------------------------
+// Allocation sites
+// ---------------------------------------------------------------------
+
+/// Which service created an allocation site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AllocKind {
+    Malloc,
+    Calloc,
+    Realloc,
+    Sbrk,
+}
+
+#[derive(Debug, Clone)]
+struct SiteInfo {
+    pc: u64,
+    kind: AllocKind,
+    /// User size when every visit saw the same constant.
+    size: Option<u64>,
+    size_conflict: bool,
+}
+
+impl SiteInfo {
+    fn usable_size(&self) -> Option<u64> {
+        if self.size_conflict {
+            None
+        } else {
+            self.size
+        }
+    }
+
+    /// User area rounded up to the token granule (the allocator pads the
+    /// user area so the trailing redzone is granule-aligned).
+    fn padded_size(&self) -> Option<u64> {
+        self.usable_size()
+            .map(|s| s.max(1).div_ceil(GRANULE) * GRANULE)
+    }
+
+    /// Allocator redzone length on each side of a heap chunk (mirrors
+    /// `rest-runtime`'s `redzone_for`).
+    fn redzone_len(&self) -> Option<u64> {
+        self.usable_size()
+            .map(|s| (s / 4).clamp(GRANULE, 2048).div_ceil(GRANULE) * GRANULE)
+    }
+
+    /// Whether the allocator arms redzones around this site's chunks.
+    fn has_allocator_redzones(&self) -> bool {
+        !matches!(self.kind, AllocKind::Sbrk)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Abstract state
+// ---------------------------------------------------------------------
+
+/// An armable location, resolved to a singleton address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Loc {
+    /// Absolute address (main-frame or static arithmetic).
+    Abs(u64),
+    /// Function-entry `sp` + offset.
+    Sp(i64),
+    /// Allocation site + byte offset.
+    Heap(SiteId, i64),
+}
+
+impl Loc {
+    fn describe(&self) -> String {
+        match self {
+            Loc::Abs(a) => format!("address {a:#x}"),
+            Loc::Sp(o) => format!("sp{o:+}"),
+            Loc::Heap(s, o) => format!("alloc#{s}+{o}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ArmInfo {
+    /// Armed on every path (false = only on some).
+    must: bool,
+    /// PC of the arming instruction.
+    arm_pc: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct State {
+    regs: [AbsVal; Reg::COUNT],
+    armed: BTreeMap<Loc, ArmInfo>,
+    /// Freed allocation sites (true = freed on every path).
+    freed: BTreeMap<SiteId, bool>,
+    /// An `arm` executed at an address the analysis could not resolve;
+    /// suppresses disarm-of-unarmed must-trap claims downstream.
+    armed_unknown: bool,
+}
+
+impl State {
+    fn entry(is_main: bool) -> State {
+        let mut regs = [if is_main { AbsVal::Undef } else { AbsVal::Top }; Reg::COUNT];
+        regs[Reg::ZERO.index()] = AbsVal::val(0);
+        if !is_main {
+            regs[Reg::SP.index()] = AbsVal::SpRel { off: SInt::val(0) };
+        }
+        State {
+            regs,
+            armed: BTreeMap::new(),
+            freed: BTreeMap::new(),
+            armed_unknown: false,
+        }
+    }
+
+    fn get(&self, r: Reg) -> AbsVal {
+        self.regs[r.index()]
+    }
+
+    fn set(&mut self, r: Reg, v: AbsVal) {
+        if r != Reg::ZERO {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    fn join(&self, other: &State) -> State {
+        let mut regs = self.regs;
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = r.join(&other.regs[i]);
+        }
+        let mut armed = BTreeMap::new();
+        for (loc, a) in self.armed.iter().chain(other.armed.iter()) {
+            armed
+                .entry(*loc)
+                .and_modify(|e: &mut ArmInfo| {
+                    e.must = e.must && a.must;
+                    e.arm_pc = e.arm_pc.min(a.arm_pc);
+                })
+                .or_insert(ArmInfo {
+                    // Present on one side only → armed on some paths.
+                    must: a.must
+                        && self.armed.contains_key(loc)
+                        && other.armed.contains_key(loc),
+                    ..*a
+                });
+        }
+        let mut freed = BTreeMap::new();
+        for (site, must) in self.freed.iter().chain(other.freed.iter()) {
+            freed
+                .entry(*site)
+                .and_modify(|e: &mut bool| *e = *e && *must)
+                .or_insert(*must && self.freed.contains_key(site) && other.freed.contains_key(site));
+        }
+        State {
+            regs,
+            armed,
+            freed,
+            armed_unknown: self.armed_unknown || other.armed_unknown,
+        }
+    }
+
+    fn widen_from(&self, prev: &State) -> State {
+        let mut out = self.clone();
+        for (i, r) in out.regs.iter_mut().enumerate() {
+            *r = r.widen_from(&prev.regs[i]);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// The analyzer
+// ---------------------------------------------------------------------
+
+struct Analyzer<'p> {
+    program: &'p Program,
+    cfg: Cfg,
+    code_end: u64,
+    sites: Vec<SiteInfo>,
+    site_by_pc: BTreeMap<u64, SiteId>,
+    /// Every static `sbrk` request is a granule multiple, so every sbrk
+    /// result is granule-aligned (the break starts aligned).
+    sbrk_aligned: bool,
+    findings: BTreeMap<(u64, &'static str), Finding>,
+    /// Sites possibly written (stores, memcpy/memset destinations,
+    /// zeroing allocators).
+    stored_sites: BTreeSet<SiteId>,
+    /// A store through an unresolvable pointer havocs the written-set.
+    unknown_store: bool,
+    /// Site → first PC that loads from it.
+    loaded_sites: BTreeMap<SiteId, u64>,
+}
+
+impl<'p> Analyzer<'p> {
+    fn new(program: &'p Program) -> Analyzer<'p> {
+        let cfg = Cfg::build(program);
+        let code_end = Program::CODE_BASE + program.len() as u64 * PC_STEP;
+        Analyzer {
+            program,
+            cfg,
+            code_end,
+            sites: Vec::new(),
+            site_by_pc: BTreeMap::new(),
+            sbrk_aligned: true,
+            findings: BTreeMap::new(),
+            stored_sites: BTreeSet::new(),
+            unknown_store: false,
+            loaded_sites: BTreeMap::new(),
+        }
+    }
+
+    fn report(&mut self, pass: &'static str, severity: Severity, pc: u64, message: String) {
+        let entry = self
+            .findings
+            .entry((pc, pass))
+            .or_insert_with(|| Finding {
+                pass,
+                severity,
+                pc,
+                message: message.clone(),
+            });
+        if severity > entry.severity {
+            entry.severity = severity;
+            entry.message = message;
+        }
+    }
+
+    fn run(mut self) -> VerifyResult {
+        // Structural lints first.
+        for bi in self.cfg.unreachable_blocks() {
+            let b = &self.cfg.blocks[bi];
+            let (start, end) = (b.start, b.end - PC_STEP);
+            self.report(
+                "unreachable",
+                Severity::Warning,
+                start,
+                format!("block {start:#x}..={end:#x} is unreachable from every function entry"),
+            );
+        }
+
+        // One dataflow fixpoint per function, then a collection pass.
+        for fi in 0..self.cfg.functions.len() {
+            self.analyze_function(fi);
+        }
+
+        // Flow-insensitive pass: heap chunks read but never written.
+        let loads: Vec<(SiteId, u64)> = self
+            .loaded_sites
+            .iter()
+            .map(|(s, pc)| (*s, *pc))
+            .collect();
+        for (site, pc) in loads {
+            let info = &self.sites[site];
+            if info.kind == AllocKind::Malloc
+                && !self.unknown_store
+                && !self.stored_sites.contains(&site)
+            {
+                let at = info.pc;
+                self.report(
+                    "uninit-heap-read",
+                    Severity::Warning,
+                    pc,
+                    format!(
+                        "read from allocation at pc {at:#x} that no path ever writes \
+                         (uninitialised-data leak; REST's zeroed pool masks it)"
+                    ),
+                );
+            }
+        }
+
+        let mut findings: Vec<Finding> = self.findings.into_values().collect();
+        findings.sort_by(|a, b| (a.pc, a.pass).cmp(&(b.pc, b.pass)));
+        VerifyResult {
+            findings,
+            insts: self.program.len(),
+            blocks: self.cfg.blocks.len(),
+            functions: self.cfg.functions.len(),
+            sites: self.sites.len(),
+        }
+    }
+
+    fn analyze_function(&mut self, fi: usize) {
+        let func = self.cfg.functions[fi].clone();
+        let is_main = fi == 0;
+        let members: BTreeSet<usize> = func.blocks.iter().copied().collect();
+        let Some(&entry_bi) = self.cfg.index.get(&func.entry) else {
+            return;
+        };
+
+        let mut in_states: BTreeMap<usize, State> = BTreeMap::new();
+        in_states.insert(entry_bi, State::entry(is_main));
+        let mut visits: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut work: VecDeque<usize> = VecDeque::new();
+        work.push_back(entry_bi);
+        let mut budget = MAX_VISITS;
+
+        while let Some(bi) = work.pop_front() {
+            if budget == 0 {
+                self.report(
+                    "analysis-budget",
+                    Severity::Warning,
+                    func.entry,
+                    "analysis budget exceeded; results for this function are partial".into(),
+                );
+                break;
+            }
+            budget -= 1;
+            let state = in_states[&bi].clone();
+            let outs = self.transfer_block(bi, state, is_main, false);
+            for (succ_bi, out) in outs {
+                if !members.contains(&succ_bi) {
+                    continue;
+                }
+                let visit = visits.entry(succ_bi).or_insert(0);
+                let updated = match in_states.get(&succ_bi) {
+                    None => out,
+                    Some(prev) => {
+                        let joined = prev.join(&out);
+                        if &joined == prev {
+                            continue;
+                        }
+                        *visit += 1;
+                        if *visit > WIDEN_AFTER {
+                            joined.widen_from(prev)
+                        } else {
+                            joined
+                        }
+                    }
+                };
+                in_states.insert(succ_bi, updated);
+                if !work.contains(&succ_bi) {
+                    work.push_back(succ_bi);
+                }
+            }
+        }
+
+        // Narrowing: widening over-approximates loop variables to
+        // unbounded intervals, which the branch-guard refinements on the
+        // back edges can win back. A fixed number of descending
+        // iterations recomputes every in-state purely from its
+        // predecessors' (refined) out-edges; each step shrinks or keeps
+        // states, so this stays sound.
+        for _ in 0..2 {
+            let mut next: BTreeMap<usize, State> = BTreeMap::new();
+            next.insert(entry_bi, State::entry(is_main));
+            for (&bi, state) in &in_states {
+                for (succ_bi, out) in self.transfer_block(bi, state.clone(), is_main, false) {
+                    if !members.contains(&succ_bi) {
+                        continue;
+                    }
+                    next.entry(succ_bi)
+                        .and_modify(|e| *e = e.join(&out))
+                        .or_insert(out);
+                }
+            }
+            if next == in_states {
+                break;
+            }
+            in_states = next;
+        }
+
+        // Collection pass over the fixpoint states.
+        for (&bi, state) in &in_states.clone() {
+            self.transfer_block(bi, state.clone(), is_main, true);
+        }
+    }
+
+    /// Interprets one block from `state`; returns successor in-states.
+    /// With `collect`, findings are recorded (used once at fixpoint).
+    fn transfer_block(
+        &mut self,
+        bi: usize,
+        mut state: State,
+        is_main: bool,
+        collect: bool,
+    ) -> Vec<(usize, State)> {
+        let block = self.cfg.blocks[bi].clone();
+        for pc in block.pcs() {
+            let inst = self.program.fetch(pc).expect("pc in range");
+            self.transfer_inst(pc, &inst, &mut state, is_main, collect);
+        }
+        let last_pc = block.end - PC_STEP;
+        let last = self.program.fetch(last_pc).expect("pc in range");
+
+        let mut outs = Vec::new();
+        for succ in &block.succs {
+            match *succ {
+                Succ::Fall(t) | Succ::Jump(t) => {
+                    if let Some(&ni) = self.cfg.index.get(&t) {
+                        outs.push((ni, state.clone()));
+                    }
+                }
+                Succ::Taken(t) => {
+                    if let Some(refined) = self.refine_branch(&last, &state, true) {
+                        if let Some(&ni) = self.cfg.index.get(&t) {
+                            outs.push((ni, refined));
+                        }
+                    }
+                }
+                Succ::CallReturn { ret, .. } => {
+                    let mut after = state.clone();
+                    after_call(&mut after);
+                    if let Some(&ni) = self.cfg.index.get(&ret) {
+                        outs.push((ni, after));
+                    }
+                }
+                Succ::Ret => {
+                    if collect {
+                        self.check_return(last_pc, &state);
+                    }
+                }
+                Succ::Exit => {
+                    if collect {
+                        self.check_exit(last_pc, &state);
+                    }
+                }
+                Succ::Indirect => {
+                    if collect {
+                        self.report(
+                            "indirect-jump",
+                            Severity::Error,
+                            last_pc,
+                            "indirect jump through a computed register cannot be verified"
+                                .into(),
+                        );
+                    }
+                }
+                Succ::FallsOffEnd => {
+                    if collect {
+                        self.report(
+                            "falls-off-end",
+                            Severity::Error,
+                            last_pc,
+                            "execution can run past the end of the code segment".into(),
+                        );
+                    }
+                }
+            }
+        }
+        // The fallthrough of a conditional branch is its not-taken edge.
+        if let Inst::Branch { .. } = last {
+            outs = outs
+                .into_iter()
+                .filter_map(|(ni, s)| {
+                    if Some(ni) == self.fall_index(&block) {
+                        self.refine_branch(&last, &s, false).map(|r| (ni, r))
+                    } else {
+                        Some((ni, s))
+                    }
+                })
+                .collect();
+        }
+        outs
+    }
+
+    fn fall_index(&self, block: &crate::cfg::Block) -> Option<usize> {
+        block.succs.iter().find_map(|s| match s {
+            Succ::Fall(t) => self.cfg.index.get(t).copied(),
+            _ => None,
+        })
+    }
+
+    // -- instruction transfer -----------------------------------------
+
+    fn read(
+        &mut self,
+        r: Reg,
+        state: &State,
+        pc: u64,
+        is_main: bool,
+        collect: bool,
+    ) -> AbsVal {
+        let v = state.get(r);
+        if matches!(v, AbsVal::Undef) {
+            if collect && is_main {
+                self.report(
+                    "undef-register-read",
+                    Severity::Error,
+                    pc,
+                    format!("register {r} is read but never written on some path"),
+                );
+            }
+            return AbsVal::Top;
+        }
+        v
+    }
+
+    fn transfer_inst(
+        &mut self,
+        pc: u64,
+        inst: &Inst,
+        state: &mut State,
+        is_main: bool,
+        collect: bool,
+    ) {
+        match *inst {
+            Inst::Li { dst, imm } => state.set(dst, AbsVal::val(imm)),
+            Inst::Alu { op, dst, src1, src2 } => {
+                let a = self.read(src1, state, pc, is_main, collect);
+                let b = self.read(src2, state, pc, is_main, collect);
+                state.set(dst, eval_alu(op, &a, &b));
+            }
+            Inst::AluImm { op, dst, src, imm } => {
+                let a = self.read(src, state, pc, is_main, collect);
+                state.set(dst, eval_alu(op, &a, &AbsVal::val(imm)));
+            }
+            Inst::Load {
+                dst,
+                base,
+                offset,
+                size,
+                ..
+            } => {
+                let b = self.read(base, state, pc, is_main, collect);
+                self.check_access(pc, &b, offset, size.bytes(), false, state, collect);
+                state.set(dst, AbsVal::Top);
+            }
+            Inst::Store {
+                src,
+                base,
+                offset,
+                size,
+            } => {
+                let _ = self.read(src, state, pc, is_main, collect);
+                let b = self.read(base, state, pc, is_main, collect);
+                self.check_access(pc, &b, offset, size.bytes(), true, state, collect);
+            }
+            Inst::Branch { src1, src2, .. } => {
+                let _ = self.read(src1, state, pc, is_main, collect);
+                let _ = self.read(src2, state, pc, is_main, collect);
+            }
+            Inst::Jal { dst, .. } => {
+                state.set(dst, AbsVal::num(SInt::val((pc + PC_STEP) as i64)));
+            }
+            Inst::Jalr { dst, base, .. } => {
+                let _ = self.read(base, state, pc, is_main, collect);
+                state.set(dst, AbsVal::Top);
+            }
+            Inst::Arm { addr } => {
+                let v = self.read(addr, state, pc, is_main, collect);
+                self.do_arm(pc, &v, state, collect);
+            }
+            Inst::Disarm { addr } => {
+                let v = self.read(addr, state, pc, is_main, collect);
+                self.do_disarm(pc, &v, state, collect);
+            }
+            Inst::Ecall => self.do_ecall(pc, state, is_main, collect),
+            Inst::Halt | Inst::Nop => {}
+        }
+    }
+
+    // -- arm / disarm --------------------------------------------------
+
+    fn resolve_loc(&self, v: &AbsVal) -> Option<Loc> {
+        match v {
+            AbsVal::Num { val, .. } => val.singleton().map(|c| Loc::Abs(c as u64)),
+            AbsVal::SpRel { off } => off.singleton().map(Loc::Sp),
+            AbsVal::Ptr { site, off, .. } => off.singleton().map(|o| Loc::Heap(*site, o)),
+            _ => None,
+        }
+    }
+
+    fn do_arm(&mut self, pc: u64, v: &AbsVal, state: &mut State, collect: bool) {
+        match self.resolve_loc(v) {
+            Some(loc) => {
+                if collect {
+                    if let Some(prev) = state.armed.get(&loc) {
+                        if prev.must {
+                            let at = prev.arm_pc;
+                            self.report(
+                                "arm-balance",
+                                Severity::Warning,
+                                pc,
+                                format!(
+                                    "{} is re-armed while already armed (first at pc {at:#x})",
+                                    loc.describe()
+                                ),
+                            );
+                        }
+                    }
+                    if let Loc::Heap(site, off) = loc {
+                        if self.site_aligned(site) && off.rem_euclid(GRANULE as i64) != 0 {
+                            self.report(
+                                "arm-alignment",
+                                Severity::Warning,
+                                pc,
+                                format!(
+                                    "arm at {} is not {GRANULE}-byte aligned",
+                                    loc.describe()
+                                ),
+                            );
+                        }
+                    }
+                }
+                state.armed.insert(loc, ArmInfo { must: true, arm_pc: pc });
+            }
+            None => {
+                state.armed_unknown = true;
+                if collect {
+                    self.report(
+                        "arm-balance",
+                        Severity::Warning,
+                        pc,
+                        "arm at an address the analysis cannot resolve; balance checking \
+                         is suppressed downstream"
+                            .into(),
+                    );
+                }
+            }
+        }
+    }
+
+    fn do_disarm(&mut self, pc: u64, v: &AbsVal, state: &mut State, collect: bool) {
+        let Some(loc) = self.resolve_loc(v) else {
+            // A disarm over a *range* of offsets into one allocation:
+            // when no offset the range can reach is ever armed on any
+            // path, every concrete execution disarms an unarmed
+            // location, which raises a REST exception.
+            if let AbsVal::Ptr { site, off, .. } = v {
+                if !state.armed_unknown && self.range_never_armed(*site, off, state) {
+                    if collect {
+                        self.report(
+                            "disarm-unarmed",
+                            Severity::MustTrap,
+                            pc,
+                            format!(
+                                "disarm sweep over alloc#{site}+{off}: no reachable offset \
+                                 is ever armed, so the first disarm raises a REST exception"
+                            ),
+                        );
+                    }
+                    return;
+                }
+            }
+            // Unknown address: could disarm anything armed on this path.
+            for a in state.armed.values_mut() {
+                a.must = false;
+            }
+            return;
+        };
+        if let Some(info) = state.armed.remove(&loc) {
+            if collect && !info.must {
+                self.report(
+                    "disarm-unarmed",
+                    Severity::Warning,
+                    pc,
+                    format!(
+                        "{} is disarmed but only armed on some paths (unarmed paths trap)",
+                        loc.describe()
+                    ),
+                );
+            }
+            return;
+        }
+        if state.armed_unknown {
+            return;
+        }
+        // Not guest-armed: allocator-armed regions are fine to identify.
+        if let Loc::Heap(site, off) = loc {
+            let info = &self.sites[site];
+            if info.has_allocator_redzones() {
+                if let (Some(padded), Some(rz)) = (info.padded_size(), info.redzone_len()) {
+                    let (p, r) = (padded as i64, rz as i64);
+                    if (-r..0).contains(&off) || (p..p + r).contains(&off) {
+                        if collect {
+                            self.report(
+                                "disarm-unarmed",
+                                Severity::Warning,
+                                pc,
+                                format!(
+                                    "guest code disarms an allocator redzone token at {}",
+                                    loc.describe()
+                                ),
+                            );
+                        }
+                        return;
+                    }
+                } else {
+                    return; // unknown geometry: stay silent
+                }
+            }
+            if state.freed.contains_key(&site) {
+                if collect {
+                    self.report(
+                        "disarm-unarmed",
+                        Severity::Warning,
+                        pc,
+                        format!("disarm of token-filled freed memory at {}", loc.describe()),
+                    );
+                }
+                return;
+            }
+        }
+        if collect {
+            self.report(
+                "disarm-unarmed",
+                Severity::MustTrap,
+                pc,
+                format!(
+                    "{} is never armed on any path: this disarm raises a REST exception",
+                    loc.describe()
+                ),
+            );
+        }
+    }
+
+    /// Whether no offset in `off`'s range (each disarm touching one
+    /// granule) can alias a location that is armed — by the guest or by
+    /// the allocator — on any path. Requires a known lower bound;
+    /// unknown chunk geometry counts as possibly armed.
+    fn range_never_armed(&self, site: SiteId, off: &SInt, state: &State) -> bool {
+        let Some(lo) = off.lo else {
+            return false;
+        };
+        let end = off.hi.map(|h| h + GRANULE as i64);
+        let overlaps = |alo: i64, aend: i64| alo < end.unwrap_or(i64::MAX) && aend > lo;
+        for loc in state.armed.keys() {
+            if let Loc::Heap(s, o) = loc {
+                if *s == site && overlaps(*o, *o + GRANULE as i64) {
+                    return false;
+                }
+            }
+        }
+        let info = &self.sites[site];
+        if info.has_allocator_redzones() {
+            let (Some(padded), Some(rz)) = (info.padded_size(), info.redzone_len()) else {
+                return false;
+            };
+            let (p, r) = (padded as i64, rz as i64);
+            if overlaps(-r, 0) || overlaps(p, p + r) {
+                return false;
+            }
+        }
+        // Freed chunks are token-filled: a disarm there "succeeds" in
+        // clearing a token, so it is not an unarmed disarm.
+        if state.freed.contains_key(&site) {
+            return false;
+        }
+        true
+    }
+
+    fn site_aligned(&self, site: SiteId) -> bool {
+        match self.sites[site].kind {
+            AllocKind::Sbrk => self.sbrk_aligned,
+            _ => true, // the allocator token-aligns user areas
+        }
+    }
+
+    // -- ecalls --------------------------------------------------------
+
+    fn site_for(&mut self, pc: u64, kind: AllocKind, size: Option<u64>) -> SiteId {
+        if let Some(&s) = self.site_by_pc.get(&pc) {
+            let info = &mut self.sites[s];
+            if info.size != size {
+                info.size_conflict = true;
+            }
+            return s;
+        }
+        let s = self.sites.len();
+        self.sites.push(SiteInfo {
+            pc,
+            kind,
+            size,
+            size_conflict: false,
+        });
+        self.site_by_pc.insert(pc, s);
+        s
+    }
+
+    fn do_ecall(&mut self, pc: u64, state: &mut State, is_main: bool, collect: bool) {
+        let num = match state.get(Reg::A7) {
+            AbsVal::Num { val, .. } => val.singleton().and_then(|n| {
+                if n >= 0 {
+                    EcallNum::from_u64(n as u64)
+                } else {
+                    None
+                }
+            }),
+            _ => None,
+        };
+        let Some(num) = num else {
+            if collect {
+                self.report(
+                    "ecall-abi",
+                    Severity::Error,
+                    pc,
+                    "ecall with an unresolvable or invalid service number in a7".into(),
+                );
+            }
+            // Unknown service: clobber a0, assume no other effect.
+            state.set(Reg::A0, AbsVal::Top);
+            return;
+        };
+        let arg = |state: &State, r: Reg| state.get(r);
+        let size_of = |v: &AbsVal| match v {
+            AbsVal::Num { val, .. } => val.singleton().filter(|s| *s >= 0).map(|s| s as u64),
+            _ => None,
+        };
+        match num {
+            EcallNum::Malloc => {
+                let size = size_of(&arg(state, Reg::A0));
+                if collect && matches!(arg(state, Reg::A0), AbsVal::Undef) {
+                    self.report(
+                        "ecall-abi",
+                        Severity::Error,
+                        pc,
+                        "malloc size argument a0 is never written".into(),
+                    );
+                }
+                let site = self.site_for(pc, AllocKind::Malloc, size);
+                state.freed.remove(&site);
+                state.set(
+                    Reg::A0,
+                    AbsVal::Ptr {
+                        site,
+                        off: SInt::val(0),
+                        delta: false,
+                    },
+                );
+            }
+            EcallNum::Calloc => {
+                let size = match (size_of(&arg(state, Reg::A0)), size_of(&arg(state, Reg::A1))) {
+                    (Some(n), Some(sz)) => n.checked_mul(sz),
+                    _ => None,
+                };
+                let site = self.site_for(pc, AllocKind::Calloc, size);
+                self.stored_sites.insert(site); // zeroed
+                state.freed.remove(&site);
+                state.set(
+                    Reg::A0,
+                    AbsVal::Ptr {
+                        site,
+                        off: SInt::val(0),
+                        delta: false,
+                    },
+                );
+            }
+            EcallNum::Realloc => {
+                // The runtime allocates anew, copies, and frees the old
+                // chunk.
+                if let AbsVal::Ptr { site, off, .. } = arg(state, Reg::A0) {
+                    if off.singleton() == Some(0) {
+                        self.note_free(pc, site, state, collect);
+                    }
+                }
+                let size = size_of(&arg(state, Reg::A1));
+                let site = self.site_for(pc, AllocKind::Realloc, size);
+                self.stored_sites.insert(site); // holds copied contents
+                state.freed.remove(&site);
+                state.set(
+                    Reg::A0,
+                    AbsVal::Ptr {
+                        site,
+                        off: SInt::val(0),
+                        delta: false,
+                    },
+                );
+            }
+            EcallNum::Sbrk => {
+                let size = size_of(&arg(state, Reg::A0));
+                if size.is_none_or(|s| s % GRANULE != 0) {
+                    self.sbrk_aligned = false;
+                }
+                let site = self.site_for(pc, AllocKind::Sbrk, size);
+                self.stored_sites.insert(site); // fresh zero pages
+                state.set(
+                    Reg::A0,
+                    AbsVal::Ptr {
+                        site,
+                        off: SInt::val(0),
+                        delta: false,
+                    },
+                );
+            }
+            EcallNum::Free => {
+                match arg(state, Reg::A0) {
+                    AbsVal::Ptr { site, off, .. } => match off.singleton() {
+                        Some(0) => self.note_free(pc, site, state, collect),
+                        Some(o) => {
+                            if collect {
+                                self.report(
+                                    "ecall-abi",
+                                    Severity::Error,
+                                    pc,
+                                    format!(
+                                        "free of an interior pointer (allocation base {o:+} \
+                                         bytes); the allocator rejects non-base pointers"
+                                    ),
+                                );
+                            }
+                        }
+                        None => {
+                            // May free: every prior must-freed stays must;
+                            // this site becomes may-freed.
+                            state.freed.entry(site).or_insert(false);
+                        }
+                    },
+                    AbsVal::Undef => {
+                        let _ = self.read(Reg::A0, state, pc, is_main, collect);
+                    }
+                    _ => {}
+                }
+                state.set(Reg::A0, AbsVal::val(0));
+            }
+            EcallNum::Memcpy => {
+                let dst = arg(state, Reg::A0);
+                let src = arg(state, Reg::A1);
+                if let Some(len) = size_of(&arg(state, Reg::A2)).filter(|l| *l > 0) {
+                    self.check_span(pc, &src, len, false, state, collect);
+                    self.check_span(pc, &dst, len, true, state, collect);
+                } else {
+                    if let AbsVal::Ptr { site, .. } = dst {
+                        self.stored_sites.insert(site);
+                    } else if !matches!(dst, AbsVal::Num { .. } | AbsVal::SpRel { .. }) {
+                        self.unknown_store = true;
+                    }
+                }
+                // a0 (the destination) is returned unchanged.
+            }
+            EcallNum::Memset => {
+                let dst = arg(state, Reg::A0);
+                if let Some(len) = size_of(&arg(state, Reg::A2)).filter(|l| *l > 0) {
+                    self.check_span(pc, &dst, len, true, state, collect);
+                } else if let AbsVal::Ptr { site, .. } = dst {
+                    self.stored_sites.insert(site);
+                } else if !matches!(dst, AbsVal::Num { .. } | AbsVal::SpRel { .. }) {
+                    self.unknown_store = true;
+                }
+            }
+            EcallNum::PutChar => {
+                let _ = self.read(Reg::A0, state, pc, is_main, collect);
+                state.set(Reg::A0, AbsVal::val(0));
+            }
+            EcallNum::Exit => {
+                let _ = self.read(Reg::A0, state, pc, is_main, collect);
+            }
+        }
+    }
+
+    fn note_free(&mut self, pc: u64, site: SiteId, state: &mut State, collect: bool) {
+        if collect && state.freed.get(&site) == Some(&true) {
+            let at = self.sites[site].pc;
+            self.report(
+                "double-free",
+                Severity::MustTrap,
+                pc,
+                format!(
+                    "allocation from pc {at:#x} is freed twice on this path; the freed \
+                     chunk is token-filled, so the second free raises"
+                ),
+            );
+        }
+        state.freed.insert(site, true);
+    }
+
+    // -- memory accesses ----------------------------------------------
+
+    /// A contiguous `len`-byte span starting at `base` (memcpy/memset).
+    fn check_span(
+        &mut self,
+        pc: u64,
+        base: &AbsVal,
+        len: u64,
+        store: bool,
+        state: &State,
+        collect: bool,
+    ) {
+        self.check_access(pc, base, 0, len, store, state, collect);
+    }
+
+    /// Checks one access of `width` bytes at `base + offset`.
+    #[allow(clippy::too_many_arguments)]
+    fn check_access(
+        &mut self,
+        pc: u64,
+        base: &AbsVal,
+        offset: i64,
+        width: u64,
+        store: bool,
+        state: &State,
+        collect: bool,
+    ) {
+        let what = if store { "store" } else { "load" };
+        match base {
+            AbsVal::Ptr { site, off, delta } => {
+                let site = *site;
+                if store {
+                    self.stored_sites.insert(site);
+                } else {
+                    self.loaded_sites.entry(site).or_insert(pc);
+                }
+                if collect && *delta {
+                    self.report(
+                        "cross-alloc",
+                        Severity::Warning,
+                        pc,
+                        format!(
+                            "{what} through pointer arithmetic spanning distinct allocations \
+                             (redzone-jumping stride; REST detects it only with decoy-token \
+                             sprinkling)"
+                        ),
+                    );
+                }
+                if !collect {
+                    return;
+                }
+                let off = off.add(&SInt::val(offset));
+                let (Some(lo), Some(hi)) = (off.lo, off.hi) else {
+                    return; // unbounded: never report
+                };
+                let end = hi + width as i64;
+                let contiguous = off.stride <= width; // the accesses tile [lo, end)
+                let info = self.sites[site].clone();
+                // Freed chunks are token-filled over their whole extent.
+                if let Some(&must) = state.freed.get(&site) {
+                    let at = info.pc;
+                    let (sev, detail) = if must {
+                        (Severity::MustTrap, "freed on every path")
+                    } else {
+                        (Severity::Warning, "freed on some paths")
+                    };
+                    self.report(
+                        "use-after-free",
+                        sev,
+                        pc,
+                        format!(
+                            "{what} through a dangling pointer into the allocation from pc \
+                             {at:#x} ({detail}); freed chunks are token-filled"
+                        ),
+                    );
+                    return;
+                }
+                // Armed byte ranges for this site: guest arms + the
+                // allocator's redzones.
+                let mut armed_ranges: Vec<(i64, i64, bool)> = state
+                    .armed
+                    .iter()
+                    .filter_map(|(loc, a)| match loc {
+                        Loc::Heap(s, o) if *s == site => {
+                            Some((*o, *o + GRANULE as i64, a.must))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                if info.has_allocator_redzones() {
+                    if let (Some(padded), Some(rz)) = (info.padded_size(), info.redzone_len()) {
+                        let (p, r) = (padded as i64, rz as i64);
+                        armed_ranges.push((-r, 0, true));
+                        armed_ranges.push((p, p + r, true));
+                    }
+                }
+                for (alo, aend, must) in armed_ranges {
+                    if lo < aend && end > alo {
+                        let sev = if must && contiguous {
+                            Severity::MustTrap
+                        } else {
+                            Severity::Warning
+                        };
+                        let at = info.pc;
+                        self.report(
+                            "armed-access",
+                            sev,
+                            pc,
+                            format!(
+                                "{what} at offsets {off}+{width} of the allocation from pc \
+                                 {at:#x} overlaps the armed region [{alo}, {aend}) and raises \
+                                 a REST exception"
+                            ),
+                        );
+                        return;
+                    }
+                }
+                // In the token-alignment padding: the §V-C false
+                // negative. Only meaningful for allocator chunks — sbrk
+                // regions are contiguous data-segment growth with no
+                // padding contract.
+                if let (true, Some(size), Some(padded)) = (
+                    info.has_allocator_redzones(),
+                    info.usable_size(),
+                    info.padded_size(),
+                ) {
+                    if end > size as i64 && lo < padded as i64 {
+                        let at = info.pc;
+                        self.report(
+                            "padding-gap",
+                            Severity::Warning,
+                            pc,
+                            format!(
+                                "{what} at offsets {off}+{width} runs past the {size}-byte \
+                                 allocation from pc {at:#x} but stays inside its token-alignment \
+                                 padding — undetectable by {GRANULE} B tokens (§V-C)"
+                            ),
+                        );
+                    }
+                }
+            }
+            AbsVal::SpRel { off } => {
+                if !collect {
+                    return;
+                }
+                let off = off.add(&SInt::val(offset));
+                let (Some(lo), Some(hi)) = (off.lo, off.hi) else {
+                    return;
+                };
+                let end = hi + width as i64;
+                let contiguous = off.stride <= width;
+                for (loc, a) in &state.armed {
+                    if let Loc::Sp(o) = loc {
+                        if lo < *o + GRANULE as i64 && end > *o {
+                            let sev = if a.must && contiguous {
+                                Severity::MustTrap
+                            } else {
+                                Severity::Warning
+                            };
+                            let at = a.arm_pc;
+                            self.report(
+                                "armed-access",
+                                sev,
+                                pc,
+                                format!(
+                                    "{what} at sp offsets {off}+{width} overlaps the frame \
+                                     redzone armed at pc {at:#x} and raises a REST exception"
+                                ),
+                            );
+                            return;
+                        }
+                    }
+                }
+            }
+            AbsVal::Num { val, .. } => {
+                if !collect {
+                    return;
+                }
+                let off = val.add(&SInt::val(offset));
+                let (Some(lo), Some(hi)) = (off.lo, off.hi) else {
+                    return;
+                };
+                let end = hi + width as i64;
+                if store && lo < self.code_end as i64 && end > Program::CODE_BASE as i64 {
+                    self.report(
+                        "store-to-code",
+                        Severity::Error,
+                        pc,
+                        format!("store at {off} overlaps the code segment"),
+                    );
+                    return;
+                }
+                let contiguous = off.stride <= width;
+                for (loc, a) in &state.armed {
+                    if let Loc::Abs(addr) = loc {
+                        let (alo, aend) = (*addr as i64, *addr as i64 + GRANULE as i64);
+                        if lo < aend && end > alo {
+                            let sev = if a.must && contiguous {
+                                Severity::MustTrap
+                            } else {
+                                Severity::Warning
+                            };
+                            let at = a.arm_pc;
+                            self.report(
+                                "armed-access",
+                                sev,
+                                pc,
+                                format!(
+                                    "{what} at {off}+{width} overlaps the region armed at pc \
+                                     {at:#x} and raises a REST exception"
+                                ),
+                            );
+                            return;
+                        }
+                    }
+                }
+            }
+            AbsVal::Top | AbsVal::Undef => {
+                if store {
+                    self.unknown_store = true;
+                }
+            }
+        }
+    }
+
+    // -- function / program exits -------------------------------------
+
+    fn check_return(&mut self, pc: u64, state: &State) {
+        match state.get(Reg::SP) {
+            AbsVal::SpRel { off } if off.singleton() == Some(0) => {}
+            AbsVal::SpRel { off } => {
+                self.report(
+                    "stack-discipline",
+                    Severity::Error,
+                    pc,
+                    format!("sp is off by {off} at function return"),
+                );
+            }
+            _ => {
+                self.report(
+                    "stack-discipline",
+                    Severity::Error,
+                    pc,
+                    "sp does not derive from the entry sp at function return".into(),
+                );
+            }
+        }
+        for (loc, a) in &state.armed {
+            if matches!(loc, Loc::Sp(_)) {
+                let at = a.arm_pc;
+                let path = if a.must { "every path" } else { "a path" };
+                self.report(
+                    "arm-balance",
+                    Severity::Error,
+                    pc,
+                    format!(
+                        "frame token at {} armed at pc {at:#x} is still armed on {path} \
+                         reaching this return: the frame leaks blacklisted stack memory",
+                        loc.describe()
+                    ),
+                );
+            }
+        }
+    }
+
+    fn check_exit(&mut self, pc: u64, state: &State) {
+        for (loc, a) in &state.armed {
+            let at = a.arm_pc;
+            match loc {
+                Loc::Sp(_) | Loc::Abs(_) => {
+                    self.report(
+                        "arm-balance",
+                        Severity::Error,
+                        pc,
+                        format!(
+                            "stack token at {} armed at pc {at:#x} is still armed at program \
+                             exit (leaked blacklisted memory)",
+                            loc.describe()
+                        ),
+                    );
+                }
+                Loc::Heap(..) => {
+                    self.report(
+                        "arm-balance",
+                        Severity::Warning,
+                        pc,
+                        format!(
+                            "heap token at {} armed at pc {at:#x} is never disarmed before \
+                             program exit",
+                            loc.describe()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // -- branch refinement --------------------------------------------
+
+    /// Refines `state` along the `taken`/not-taken edge of `branch`;
+    /// `None` means the edge is infeasible.
+    fn refine_branch(&self, branch: &Inst, state: &State, taken: bool) -> Option<State> {
+        let Inst::Branch {
+            cond, src1, src2, ..
+        } = *branch
+        else {
+            return Some(state.clone());
+        };
+        let mut out = state.clone();
+        let v1 = state.get(src1);
+        let v2 = state.get(src2);
+        if let (AbsVal::Num { val: a, delta }, Some(c)) = (v1, num_singleton(&v2)) {
+            let refined = refine_int(&a, cond, c, taken, true)?;
+            out.set(src1, AbsVal::Num { val: refined, delta });
+        }
+        if let (Some(c), AbsVal::Num { val: b, delta }) = (num_singleton(&v1), v2) {
+            let refined = refine_int(&b, cond, c, taken, false)?;
+            out.set(src2, AbsVal::Num { val: refined, delta });
+        }
+        Some(out)
+    }
+}
+
+fn num_singleton(v: &AbsVal) -> Option<i64> {
+    match v {
+        AbsVal::Num { val, .. } => val.singleton(),
+        _ => None,
+    }
+}
+
+/// Refines interval `a` under `a <cond> c` (when `a_is_lhs`) or
+/// `c <cond> a`, on the taken or fall-through edge.
+fn refine_int(a: &SInt, cond: BranchCond, c: i64, taken: bool, a_is_lhs: bool) -> Option<SInt> {
+    match rel_kind(cond, a_is_lhs, taken) {
+        RefKind::Eq => {
+            if a.contains(c) {
+                Some(SInt::val(c))
+            } else {
+                None
+            }
+        }
+        RefKind::Ne => {
+            if a.singleton() == Some(c) {
+                return None;
+            }
+            let mut out = *a;
+            if out.lo == Some(c) {
+                out = out.clamp(Some(c + 1), None)?;
+            }
+            if out.hi == Some(c) {
+                out = out.clamp(None, Some(c - 1))?;
+            }
+            Some(out)
+        }
+        RefKind::Lt => a.clamp(None, Some(c.checked_sub(1)?)),
+        RefKind::Le => a.clamp(None, Some(c)),
+        RefKind::Gt => a.clamp(Some(c.checked_add(1)?), None),
+        RefKind::Ge => a.clamp(Some(c), None),
+        RefKind::LtuNonNeg => {
+            // a <u c with c ≥ 0 pins a into [0, c-1] regardless of the
+            // prior signed bounds (the high bit must be clear).
+            if c == 0 {
+                return None;
+            }
+            a.clamp(Some(0), Some(c - 1))
+        }
+        RefKind::GeuNonNeg => {
+            // a ≥u c: only usable when a is already known non-negative.
+            if a.lo.is_some_and(|l| l >= 0) {
+                a.clamp(Some(c), None)
+            } else {
+                Some(*a)
+            }
+        }
+        RefKind::None => Some(*a),
+    }
+}
+
+enum RefKind {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LtuNonNeg,
+    GeuNonNeg,
+    None,
+}
+
+fn rel_kind(cond: BranchCond, a_is_lhs: bool, taken: bool) -> RefKind {
+    use BranchCond::*;
+    match (cond, a_is_lhs, taken) {
+        (Eq, _, true) | (Ne, _, false) => RefKind::Eq,
+        (Eq, _, false) | (Ne, _, true) => RefKind::Ne,
+        (Lt, true, true) | (Ge, true, false) => RefKind::Lt,
+        (Lt, true, false) | (Ge, true, true) => RefKind::Ge,
+        (Lt, false, true) | (Ge, false, false) => RefKind::Gt,
+        (Lt, false, false) | (Ge, false, true) => RefKind::Le,
+        (Ltu, true, true) | (Geu, true, false) => RefKind::LtuNonNeg,
+        (Ltu, true, false) | (Geu, true, true) => RefKind::GeuNonNeg,
+        (Ltu, false, _) | (Geu, false, _) => RefKind::None,
+    }
+}
+
+/// Register effects of a call on the caller's state: the standard
+/// calling convention clobbers `ra`, `tp`, `t0–t6`, and `a0–a7`,
+/// preserves `sp`/`gp`/`s0–s11`. Must-freed facts are demoted to may —
+/// a callee can recycle a site's static allocation.
+fn after_call(state: &mut State) {
+    for r in Reg::all() {
+        let i = r.index();
+        let caller_saved = matches!(i, 1 | 4..=7 | 10..=17 | 28..=31);
+        if caller_saved {
+            state.regs[i] = AbsVal::Top;
+        }
+    }
+    for must in state.freed.values_mut() {
+        *must = false;
+    }
+}
+
+fn eval_alu(op: AluOp, a: &AbsVal, b: &AbsVal) -> AbsVal {
+    use AbsVal::*;
+    let delta = a.is_delta() || b.is_delta();
+    match op {
+        AluOp::Add => match (a, b) {
+            (Num { val: x, .. }, Num { val: y, .. }) => Num {
+                val: x.add(y),
+                delta,
+            },
+            (Ptr { site, off, .. }, Num { val, .. })
+            | (Num { val, .. }, Ptr { site, off, .. }) => Ptr {
+                site: *site,
+                off: off.add(val),
+                delta,
+            },
+            (SpRel { off }, Num { val, .. }) | (Num { val, .. }, SpRel { off }) => SpRel {
+                off: off.add(val),
+            },
+            _ => Top,
+        },
+        AluOp::Sub => match (a, b) {
+            (Num { val: x, .. }, Num { val: y, .. }) => Num {
+                val: x.sub(y),
+                delta,
+            },
+            (Ptr { site, off, .. }, Num { val, .. }) => Ptr {
+                site: *site,
+                off: off.sub(val),
+                delta,
+            },
+            (SpRel { off }, Num { val, .. }) => SpRel { off: off.sub(val) },
+            (
+                Ptr {
+                    site: s1, off: o1, ..
+                },
+                Ptr {
+                    site: s2, off: o2, ..
+                },
+            ) => {
+                if s1 == s2 {
+                    Num {
+                        val: o1.sub(o2),
+                        delta,
+                    }
+                } else {
+                    // Distance between distinct allocations: the §V-C
+                    // redzone-jumping stride. Numerically unknown.
+                    Num {
+                        val: SInt::top(),
+                        delta: true,
+                    }
+                }
+            }
+            _ => Top,
+        },
+        AluOp::Mul => match (a, b) {
+            (Num { val: x, .. }, Num { val: y, .. }) => Num {
+                val: x.mul(y),
+                delta,
+            },
+            _ => Top,
+        },
+        AluOp::And => match (a, b) {
+            (Num { val: x, .. }, Num { val: y, .. }) => {
+                let v = if let Some(m) = y.singleton() {
+                    x.and_mask(m)
+                } else if let Some(m) = x.singleton() {
+                    y.and_mask(m)
+                } else {
+                    SInt::top()
+                };
+                Num { val: v, delta }
+            }
+            // Pointer align-down: sound when the base is granule-aligned.
+            (Ptr { site, off, .. }, Num { val, .. })
+            | (Num { val, .. }, Ptr { site, off, .. }) => match val.singleton() {
+                Some(m) if m < 0 && (m.wrapping_neg() as u64).is_power_of_two() => {
+                    let g = m.wrapping_neg() as u64;
+                    if g <= GRANULE {
+                        Ptr {
+                            site: *site,
+                            off: off.and_mask(m),
+                            delta,
+                        }
+                    } else {
+                        Top
+                    }
+                }
+                _ => Top,
+            },
+            _ => Top,
+        },
+        AluOp::Or | AluOp::Xor => match (a, b) {
+            (Num { val: x, .. }, Num { val: y, .. }) => {
+                match (x.singleton(), y.singleton()) {
+                    (Some(p), Some(q)) => Num {
+                        val: SInt::val(if op == AluOp::Or { p | q } else { p ^ q }),
+                        delta,
+                    },
+                    _ => Num {
+                        val: SInt::top(),
+                        delta,
+                    },
+                }
+            }
+            _ => Top,
+        },
+        AluOp::Div | AluOp::Rem => match (a, b) {
+            (Num { val: x, .. }, Num { val: y, .. }) => {
+                match (x.singleton(), y.singleton()) {
+                    (Some(p), Some(q)) if q != 0 => Num {
+                        val: SInt::val(if op == AluOp::Div { p / q } else { p % q }),
+                        delta,
+                    },
+                    _ => Num {
+                        val: SInt::top(),
+                        delta,
+                    },
+                }
+            }
+            _ => Top,
+        },
+        AluOp::Sll => match (a, b) {
+            (Num { val: x, .. }, Num { val: y, .. }) => Num {
+                val: x.shl(y),
+                delta,
+            },
+            _ => Top,
+        },
+        AluOp::Srl | AluOp::Sra => match (a, b) {
+            (Num { val: x, .. }, Num { val: y, .. }) => Num {
+                val: x.lshr(y),
+                delta,
+            },
+            _ => Top,
+        },
+        AluOp::Slt | AluOp::Sltu => match (a, b) {
+            (Num { .. }, Num { .. }) => Num {
+                val: SInt::range(0, 1),
+                delta,
+            },
+            _ => Num {
+                val: SInt::range(0, 1),
+                delta: false,
+            },
+        },
+        // Any op the mini-ISA grows later defaults to no information.
+        #[allow(unreachable_patterns)]
+        _ => Top,
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic JSON reports for `restlint`.
+//!
+//! The schema mirrors the observability conventions from `rest-obs`:
+//! insertion-ordered objects, stable sort orders, no floats, so that two
+//! runs over the same corpus produce byte-identical `results/lint.json`
+//! files (CI diffs them).
+
+use rest_obs::Json;
+
+use crate::analysis::{Finding, Severity, VerifyResult};
+
+/// Schema version of the lint report; bump on breaking changes.
+pub const REPORT_SCHEMA: u32 = 1;
+
+/// The verdict for one linted program.
+#[derive(Debug, Clone)]
+pub struct ProgramReport {
+    /// Program name (workload row label or attack name).
+    pub name: String,
+    /// `"workload"` or `"attack"`.
+    pub kind: &'static str,
+    /// The verification result.
+    pub result: VerifyResult,
+}
+
+impl ProgramReport {
+    /// Highest severity present, if any finding exists.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.result.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// A workload is clean when it has no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.result.findings.is_empty()
+    }
+}
+
+fn finding_json(f: &Finding) -> Json {
+    Json::obj(vec![
+        ("pc", Json::UInt(f.pc)),
+        ("pass", Json::Str(f.pass.to_string())),
+        ("severity", Json::Str(f.severity.name().to_string())),
+        ("message", Json::Str(f.message.clone())),
+    ])
+}
+
+fn program_json(p: &ProgramReport) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(p.name.clone())),
+        ("kind", Json::Str(p.kind.to_string())),
+        ("insts", Json::UInt(p.result.insts as u64)),
+        ("blocks", Json::UInt(p.result.blocks as u64)),
+        ("functions", Json::UInt(p.result.functions as u64)),
+        ("alloc_sites", Json::UInt(p.result.sites as u64)),
+        (
+            "findings",
+            Json::Arr(p.result.findings.iter().map(finding_json).collect()),
+        ),
+    ])
+}
+
+/// Builds the full lint report. `differential` carries the outcome of
+/// the emulator cross-check when it ran (`None` = not requested).
+pub fn report_json(programs: &[ProgramReport], differential: Option<&[DiffOutcome]>) -> Json {
+    let total: usize = programs.iter().map(|p| p.result.findings.len()).sum();
+    let must_trap: usize = programs
+        .iter()
+        .flat_map(|p| p.result.findings.iter())
+        .filter(|f| f.severity == Severity::MustTrap)
+        .count();
+    let mut members = vec![
+        ("schema", Json::UInt(REPORT_SCHEMA as u64)),
+        ("tool", Json::Str("restlint".to_string())),
+        (
+            "summary",
+            Json::obj(vec![
+                ("programs", Json::UInt(programs.len() as u64)),
+                ("findings", Json::UInt(total as u64)),
+                ("must_trap", Json::UInt(must_trap as u64)),
+            ]),
+        ),
+        (
+            "programs",
+            Json::Arr(programs.iter().map(program_json).collect()),
+        ),
+    ];
+    if let Some(outcomes) = differential {
+        members.push((
+            "differential",
+            Json::Arr(
+                outcomes
+                    .iter()
+                    .map(|d| {
+                        Json::obj(vec![
+                            ("name", Json::Str(d.name.clone())),
+                            ("pc", Json::UInt(d.pc)),
+                            ("confirmed", Json::Bool(d.confirmed)),
+                            ("outcome", Json::Str(d.outcome.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::obj(members)
+}
+
+/// One emulator cross-check of a static must-trap verdict.
+#[derive(Debug, Clone)]
+pub struct DiffOutcome {
+    /// Program the verdict came from.
+    pub name: String,
+    /// PC of the must-trap finding.
+    pub pc: u64,
+    /// Whether the run confirmed the verdict (a REST violation, or for
+    /// attack programs any detected policy violation, was raised).
+    pub confirmed: bool,
+    /// Short description of what the emulator actually did.
+    pub outcome: String,
+}

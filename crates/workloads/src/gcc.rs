@@ -35,6 +35,7 @@ pub fn build(params: &WorkloadParams) -> Program {
     c.p.blt(Reg::S2, Reg::T0, fill);
 
     c.p.li(Reg::S7, 0); // stream cursor
+    c.p.li(Reg::S8, 0); // checksum
     let main = c.loop_head(Reg::S4, iters);
     {
         // Allocate an AST node: 16 + (r & 0x70) bytes.

@@ -36,6 +36,7 @@ pub fn build(params: &WorkloadParams) -> Program {
     c.p.mv(Reg::S0, Reg::A0);
     c.p.li(Reg::S7, 0); // depth
     c.p.li(Reg::S5, 0); // text cursor
+    c.p.li(Reg::S8, 0); // checksum
 
     let main = c.loop_head(Reg::S4, events);
     {

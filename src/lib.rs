@@ -43,6 +43,7 @@
 //! | [`runtime`] | `rest-runtime` | libc/ASan/REST allocators, stack pass |
 //! | [`workloads`] | `rest-workloads` | the 12 SPEC-like benchmarks |
 //! | [`attacks`] | `rest-attacks` | the §V security scenarios |
+//! | [`verify`] | `rest-verify` | static ARM/DISARM verifier + `restlint` |
 
 pub mod cli;
 
@@ -52,6 +53,7 @@ pub use rest_cpu as cpu;
 pub use rest_isa as isa;
 pub use rest_mem as mem;
 pub use rest_runtime as runtime;
+pub use rest_verify as verify;
 pub use rest_workloads as workloads;
 
 /// The most commonly used types, importable in one line.
