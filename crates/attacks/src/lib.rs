@@ -207,7 +207,8 @@ impl Attack {
         let program = self.build(stack);
         let cfg = SimConfig::isca2018(rt);
         let mut emu = Emulator::new(program, &cfg);
-        let stop = emu.run_functional().clone();
+        emu.run_functional();
+        let stop = emu.take_stop().expect("run_functional stops");
         let detected = matches!(stop, StopReason::Violation(_));
         let output = emu.runtime().output().to_vec();
         let leaked_secret = output

@@ -1,0 +1,58 @@
+//! Guest-throughput benchmark: guest instructions per host second on
+//! the functional emulator, decoded-uop-cache fast path versus the
+//! re-decode-every-fetch reference path, per benchmark row and
+//! protection configuration.
+//!
+//! Every cell doubles as a differential check — the two paths must
+//! retire identical instruction and micro-op counts with identical stop
+//! reasons, or the sweep fails.
+//!
+//! Writes `results/BENCH_throughput.json` (`rest-throughput/v1`); wall
+//! times are nondeterministic, so the file follows the `BENCH_` naming
+//! convention and is never byte-compared in CI.
+//!
+//! Usage: `cargo run --release -p rest-bench --bin perf -- \
+//!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
+
+use std::path::PathBuf;
+
+use rest_bench::cli::BenchCli;
+use rest_bench::throughput::{cells_for, measure_all, ThroughputReport};
+use rest_bench::{figure_rows, print_machine_header, write_text_file};
+use rest_core::Mode;
+use rest_runtime::RtConfig;
+
+fn main() {
+    let cli = BenchCli::parse("perf");
+    let rows = cli.filter_rows(figure_rows());
+    // Plain, the heaviest instrumentation (ASan injects uops per
+    // access), and the paper's headline REST configuration.
+    let configs = [
+        RtConfig::plain(),
+        RtConfig::asan(),
+        RtConfig::rest(Mode::Secure, true),
+    ];
+    let cells = cells_for(&rows, &configs, cli.scale);
+
+    let measured = match measure_all(&cells, cli.jobs) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("perf: decode paths diverged: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = ThroughputReport {
+        scale: cli.scale_name().to_string(),
+        effective_jobs: cli.jobs,
+        cells: measured,
+    };
+
+    print_machine_header("Guest throughput — fast vs reference decode path (guest-IPS)");
+    report.print_text_table();
+
+    let path = cli
+        .json
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results/BENCH_throughput.json"));
+    write_text_file(&path, &report.render());
+}

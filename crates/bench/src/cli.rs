@@ -16,8 +16,16 @@
 //!                        timings) to PATH (default: results/BENCH_baseline.json)
 //! --verify               statically lint each guest program with rest-verify
 //!                        before simulating; fail fast on error-or-worse findings
+//! --reference            simulate on the reference decode path (re-decode every
+//!                        fetch) instead of the decoded-uop cache
 //! --help                 usage
 //! ```
+//!
+//! `--jobs` is clamped to the host's available parallelism: requesting
+//! more workers than cores never helps a CPU-bound simulation and the
+//! determinism contract makes the clamp invisible in experiment output
+//! (only the host profile and throughput reports record the effective
+//! worker count).
 
 use std::path::PathBuf;
 
@@ -52,6 +60,10 @@ pub struct BenchCli {
     /// jobs fail fast with error kind `"verify"` instead of running a
     /// program the linter can prove broken.
     pub verify: bool,
+    /// Simulate on the reference decode path (`--reference`): re-decode
+    /// every instruction on every fetch instead of replaying from the
+    /// decoded-uop cache. Output must be byte-identical; CI diffs it.
+    pub reference: bool,
 }
 
 impl BenchCli {
@@ -93,6 +105,7 @@ impl BenchCli {
             trace_uops: 512,
             profile_out: None,
             verify: false,
+            reference: false,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -137,10 +150,15 @@ impl BenchCli {
                     cli.profile_out = Some(PathBuf::from(v));
                 }
                 "--verify" => cli.verify = true,
+                "--reference" => cli.reference = true,
                 "--help" | "-h" => return Err("help".to_string()),
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
+        // Oversubscribing a CPU-bound job pool only adds contention; the
+        // effective count is recorded in BENCH_* reports, never in
+        // experiment JSON, so the clamp cannot perturb result bytes.
+        cli.jobs = cli.jobs.min(Self::default_jobs());
         Ok(cli)
     }
 
@@ -186,10 +204,11 @@ impl BenchCli {
         format!(
             "usage: {experiment} [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]\n\
              \x20                 [--sample-interval N] [--trace-out PATH] [--trace-uops N]\n\
-             \x20                 [--profile-out PATH] [--verify]\n\
+             \x20                 [--profile-out PATH] [--verify] [--reference]\n\
              \n\
              --test               run at test scale (fast smoke check)\n\
-             --jobs N             worker threads (default: available parallelism)\n\
+             --jobs N             worker threads (default and upper bound:\n\
+             \x20                    available parallelism)\n\
              --json PATH          write JSON results to PATH\n\
              \x20                    (default: results/{experiment}.json)\n\
              --filter SUBSTRING   keep only rows whose benchmark name contains SUBSTRING\n\
@@ -201,6 +220,8 @@ impl BenchCli {
              --profile-out PATH   write host wall-time profiling to PATH\n\
              --verify             statically lint each guest program before simulating;\n\
              \x20                    fail fast on error-or-worse findings\n\
+             --reference          re-decode every fetch instead of using the\n\
+             \x20                    decoded-uop cache (differential/perf baseline)\n\
              --help               this message"
         )
     }
@@ -233,6 +254,7 @@ mod tests {
             PathBuf::from("results/BENCH_baseline.json")
         );
         assert!(!cli.verify);
+        assert!(!cli.reference);
     }
 
     #[test]
@@ -243,10 +265,24 @@ mod tests {
         )
         .unwrap();
         assert_eq!(cli.scale, Scale::Test);
-        assert_eq!(cli.jobs, 3);
+        assert_eq!(cli.jobs, 3.min(BenchCli::default_jobs()));
         assert_eq!(cli.json_path(), PathBuf::from("/tmp/x.json"));
         assert_eq!(cli.filter.as_deref(), Some("gobmk"));
         assert_eq!(cli.scale_name(), "test");
+    }
+
+    #[test]
+    fn jobs_clamp_to_available_parallelism() {
+        let cli = BenchCli::from_args("fig7", &argv(&["--jobs", "100000"])).unwrap();
+        assert_eq!(cli.jobs, BenchCli::default_jobs());
+        let cli = BenchCli::from_args("fig7", &argv(&["--jobs", "1"])).unwrap();
+        assert_eq!(cli.jobs, 1, "requests at or under the limit pass through");
+    }
+
+    #[test]
+    fn reference_flag_parses() {
+        let cli = BenchCli::from_args("fig7", &argv(&["--reference"])).unwrap();
+        assert!(cli.reference);
     }
 
     #[test]

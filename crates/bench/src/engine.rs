@@ -82,6 +82,10 @@ pub struct SimJob {
     /// simulating, failing fast (kind `"verify"`) on any error-or-worse
     /// finding instead of burning cycles on a bad program.
     pub verify: bool,
+    /// Simulate on the reference decode path (re-decode every fetch)
+    /// instead of the decoded-uop cache. Results are identical by
+    /// construction; CI diffs the two byte-for-byte (`--reference`).
+    pub reference_path: bool,
 }
 
 impl SimJob {
@@ -101,6 +105,7 @@ impl SimJob {
             sample_interval: 0,
             trace_uops: 0,
             verify: false,
+            reference_path: false,
         }
     }
 
@@ -127,7 +132,7 @@ impl SimJob {
     /// do not.
     pub fn cache_key(&self) -> String {
         format!(
-            "{:?}|{:#x}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}|{}",
+            "{:?}|{:#x}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}|{}|{}",
             self.workload,
             self.seed,
             self.rt,
@@ -144,6 +149,9 @@ impl SimJob {
             // The verify gate can turn a would-be simulation into a
             // verify error, so gated and ungated runs are distinct.
             self.verify,
+            // The decode paths must be measured independently — sharing
+            // a cached result would defeat the differential gate.
+            self.reference_path,
         )
     }
 
@@ -187,6 +195,7 @@ impl SimJob {
             cfg.mem.token_cache_entries = self.token_cache_entries;
             cfg.sample_interval = self.sample_interval;
             cfg.trace_uops = self.trace_uops;
+            cfg.reference_path = self.reference_path;
             if let Some(budget) = self.max_uops {
                 cfg.max_uops = budget;
             }
@@ -377,6 +386,7 @@ impl Engine {
         for job in &mut jobs {
             job.sample_interval = spec.sample_interval;
             job.verify = spec.verify;
+            job.reference_path = spec.reference_path;
         }
         // Tracing is bounded to the matrix's first job: one Perfetto
         // document per experiment is plenty, and tracing every job
@@ -458,6 +468,9 @@ pub struct MatrixSpec {
     /// Run the static verifier over every program before simulating
     /// (`--verify`): jobs with error-or-worse lint findings fail fast.
     pub verify: bool,
+    /// Simulate every job on the reference decode path (`--reference`)
+    /// instead of the decoded-uop cache; output must stay byte-identical.
+    pub reference_path: bool,
 }
 
 impl MatrixSpec {
@@ -473,12 +486,14 @@ impl MatrixSpec {
             sample_interval: 0,
             trace_uops: 0,
             verify: false,
+            reference_path: false,
         }
     }
 
     /// Applies the CLI's observability flags: the sampler interval to
     /// every job, tracing (when `--trace-out` was given) to the first,
-    /// and the `--verify` pre-run lint gate to every job.
+    /// the `--verify` pre-run lint gate to every job, and `--reference`
+    /// decode-path selection to every job.
     pub fn with_observability(mut self, cli: &crate::cli::BenchCli) -> MatrixSpec {
         self.sample_interval = cli.sample_interval;
         self.trace_uops = if cli.trace_out.is_some() {
@@ -487,6 +502,7 @@ impl MatrixSpec {
             0
         };
         self.verify = cli.verify;
+        self.reference_path = cli.reference;
         self
     }
 }
@@ -619,6 +635,28 @@ mod tests {
             ..a.clone()
         };
         assert_ne!(a.cache_key(), gated.cache_key());
+        let reference = SimJob {
+            reference_path: true,
+            ..a.clone()
+        };
+        assert_ne!(a.cache_key(), reference.cache_key());
+    }
+
+    #[test]
+    fn reference_and_fast_paths_simulate_identically() {
+        let row = lbm_row();
+        let fast = SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test)
+            .execute()
+            .unwrap();
+        let reference = SimJob {
+            reference_path: true,
+            ..SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test)
+        }
+        .execute()
+        .unwrap();
+        assert_eq!(fast.stats_map(), reference.stats_map());
+        assert_eq!(fast.stop, reference.stop);
+        assert_eq!(fast.output, reference.output);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | `table3` | Table III — comparison with prior hardware schemes |
 //! | `prose_stats` | §VI-B prose statistics (ROB/IQ/token traffic) |
 //! | `ablations` | design-choice ablations called out in DESIGN.md |
+//! | `perf` | guest-IPS throughput, fast vs reference decode path |
 //!
 //! All binaries are thin wrappers over a shared experiment engine:
 //!
@@ -37,6 +38,7 @@
 pub mod cli;
 pub mod engine;
 pub mod sink;
+pub mod throughput;
 
 use rest_core::{Mode, TokenWidth};
 use rest_cpu::{SimConfig, SimResult, StopReason, System};

@@ -1,0 +1,481 @@
+//! Guest-throughput benchmarking: how many guest instructions per host
+//! second the functional emulator sustains, on the decoded-uop-cache
+//! fast path versus the re-decode-every-fetch reference path.
+//!
+//! The `perf` binary measures every benchmark row under a small set of
+//! protection configurations, checks the two paths retire identical
+//! instruction/micro-op counts with identical stop reasons (a cheap
+//! always-on differential gate), and writes the
+//! `rest-throughput/v1` document to `results/BENCH_throughput.json`.
+//!
+//! Wall times are inherently nondeterministic, so — like the host
+//! profile — this document follows the `BENCH_` naming convention and
+//! is **never** part of an experiment's deterministic result JSON. It
+//! is the only place the effective worker count is recorded.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rest_cpu::{Emulator, SimConfig, StopReason};
+use rest_isa::DynInst;
+use rest_obs::Json;
+use rest_runtime::RtConfig;
+use rest_workloads::{Scale, Workload, WorkloadParams};
+
+use crate::{stack_for, FigureRow};
+
+/// Schema identifier emitted in (and required of) throughput documents.
+pub const SCHEMA: &str = "rest-throughput/v1";
+
+/// One (benchmark row × protection configuration) measurement to take.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Row display name.
+    pub name: String,
+    /// Workload kernel.
+    pub workload: Workload,
+    /// Input seed.
+    pub seed: u64,
+    /// Input-set scale.
+    pub scale: Scale,
+    /// Protection configuration (its label names the cell).
+    pub rt: RtConfig,
+}
+
+/// The cross product rows × configs, in row-major order.
+pub fn cells_for(rows: &[FigureRow], configs: &[RtConfig], scale: Scale) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for row in rows {
+        for rt in configs {
+            cells.push(CellSpec {
+                name: row.name.to_string(),
+                workload: row.workload,
+                seed: row.seed,
+                scale,
+                rt: rt.clone(),
+            });
+        }
+    }
+    cells
+}
+
+/// One measured cell: matching guest work on both decode paths, with
+/// each path's host wall time.
+#[derive(Debug, Clone)]
+pub struct ThroughputCell {
+    /// Row display name.
+    pub name: String,
+    /// Configuration label (`"plain"`, `"asan"`, …).
+    pub config: String,
+    /// Guest macro instructions retired (identical on both paths).
+    pub insts: u64,
+    /// Guest micro-ops emitted (identical on both paths).
+    pub uops: u64,
+    /// Host wall time of the fast-path run.
+    pub fast_wall: Duration,
+    /// Host wall time of the reference-path run.
+    pub reference_wall: Duration,
+}
+
+fn ips(insts: u64, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        insts as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+impl ThroughputCell {
+    /// Guest instructions per host second on the fast path.
+    pub fn fast_ips(&self) -> f64 {
+        ips(self.insts, self.fast_wall)
+    }
+
+    /// Guest instructions per host second on the reference path.
+    pub fn reference_ips(&self) -> f64 {
+        ips(self.insts, self.reference_wall)
+    }
+
+    /// Fast-path speedup over the reference path (>1 = faster).
+    pub fn speedup(&self) -> f64 {
+        let fast = self.fast_wall.as_secs_f64();
+        if fast > 0.0 {
+            self.reference_wall.as_secs_f64() / fast
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measures one cell: a fast-path functional run (decoded-uop cache,
+/// counting sink) and a reference-path run (re-decode every fetch,
+/// micro-ops materialised into a reused buffer — the pre-cache
+/// behaviour), failing if the two disagree on any architectural count.
+pub fn measure(spec: &CellSpec) -> Result<ThroughputCell, String> {
+    let params = WorkloadParams {
+        scale: spec.scale,
+        stack_scheme: stack_for(&spec.rt),
+        token_width: spec.rt.token_width,
+        seed: spec.seed,
+    };
+
+    let mut cfg = SimConfig::isca2018(spec.rt.clone());
+    cfg.reference_path = false;
+    let mut fast = Emulator::new(spec.workload.build(&params), &cfg);
+    let started = Instant::now();
+    fast.run_functional();
+    let fast_wall = started.elapsed();
+    let fast_stop = fast.take_stop().expect("run_functional stops");
+
+    let mut cfg = SimConfig::isca2018(spec.rt.clone());
+    cfg.reference_path = true;
+    let mut reference = Emulator::new(spec.workload.build(&params), &cfg);
+    let mut buf: Vec<DynInst> = Vec::new();
+    let started = Instant::now();
+    while reference.step(&mut buf) {
+        buf.clear();
+    }
+    let reference_wall = started.elapsed();
+    let reference_stop = reference.take_stop().expect("step loop stops");
+
+    let cell = format!("{} {}", spec.name, spec.rt.label());
+    if fast_stop != reference_stop {
+        return Err(format!(
+            "{cell}: stop reasons diverge — fast {fast_stop:?}, reference {reference_stop:?}"
+        ));
+    }
+    if fast_stop != StopReason::Exit(0) {
+        return Err(format!("{cell}: stopped with {fast_stop:?}"));
+    }
+    if fast.insts() != reference.insts() || fast.uops() != reference.uops() {
+        return Err(format!(
+            "{cell}: counts diverge — fast {}i/{}u, reference {}i/{}u",
+            fast.insts(),
+            fast.uops(),
+            reference.insts(),
+            reference.uops()
+        ));
+    }
+    Ok(ThroughputCell {
+        name: spec.name.clone(),
+        config: spec.rt.label(),
+        insts: fast.insts(),
+        uops: fast.uops(),
+        fast_wall,
+        reference_wall,
+    })
+}
+
+/// Measures every cell on a pool of `workers` threads, preserving input
+/// order and reporting per-cell progress on stderr. The first
+/// divergence fails the whole sweep.
+pub fn measure_all(cells: &[CellSpec], workers: usize) -> Result<Vec<ThroughputCell>, String> {
+    let total = cells.len();
+    let results: Vec<Mutex<Option<Result<ThroughputCell, String>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1).min(total.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let spec = &cells[i];
+                let result = measure(spec);
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                match &result {
+                    Ok(c) => eprintln!(
+                        "[{n}/{total}] {} {}: {:.2}x ({:.0} vs {:.0} guest-IPS)",
+                        c.name,
+                        c.config,
+                        c.speedup(),
+                        c.fast_ips(),
+                        c.reference_ips()
+                    ),
+                    Err(e) => eprintln!("[{n}/{total}] FAILED: {e}"),
+                }
+                *results[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every cell measured"))
+        .collect()
+}
+
+/// The full throughput report: one document per `perf` invocation.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Scale name as serialized (`"test"` / `"ref"`).
+    pub scale: String,
+    /// Effective worker count after the `--jobs` clamp — recorded here
+    /// (and only here) because experiment JSON must stay byte-identical
+    /// at any parallelism level.
+    pub effective_jobs: usize,
+    /// Measured cells, in rows × configs order.
+    pub cells: Vec<ThroughputCell>,
+}
+
+impl ThroughputReport {
+    fn totals(&self) -> (u64, Duration, Duration) {
+        let insts = self.cells.iter().map(|c| c.insts).sum();
+        let fast = self.cells.iter().map(|c| c.fast_wall).sum();
+        let reference = self.cells.iter().map(|c| c.reference_wall).sum();
+        (insts, fast, reference)
+    }
+
+    /// Sweep-wide fast-path guest-IPS (total instructions over total
+    /// fast wall time).
+    pub fn fast_ips(&self) -> f64 {
+        let (insts, fast, _) = self.totals();
+        ips(insts, fast)
+    }
+
+    /// Sweep-wide reference-path guest-IPS.
+    pub fn reference_ips(&self) -> f64 {
+        let (insts, _, reference) = self.totals();
+        ips(insts, reference)
+    }
+
+    /// Sweep-wide speedup: total reference wall over total fast wall.
+    pub fn speedup(&self) -> f64 {
+        let (_, fast, reference) = self.totals();
+        let fast = fast.as_secs_f64();
+        if fast > 0.0 {
+            reference.as_secs_f64() / fast
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialises to the `rest-throughput/v1` document:
+    ///
+    /// ```text
+    /// {"schema": "rest-throughput/v1", "scale": "test"|"ref",
+    ///  "effective_jobs": N,
+    ///  "cells": [{"benchmark": .., "config": .., "guest_insts": N,
+    ///             "guest_uops": N, "fast_wall_s": .., "reference_wall_s": ..,
+    ///             "fast_ips": .., "reference_ips": .., "speedup": ..}, ..],
+    ///  "summary": {"cells": N, "guest_insts": N, "fast_ips": ..,
+    ///              "reference_ips": .., "speedup": ..}}
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let (insts, _, _) = self.totals();
+        Json::obj(vec![
+            ("schema", Json::from(SCHEMA)),
+            ("scale", Json::from(self.scale.as_str())),
+            ("effective_jobs", Json::UInt(self.effective_jobs as u64)),
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("benchmark", Json::from(c.name.as_str())),
+                                ("config", Json::from(c.config.as_str())),
+                                ("guest_insts", Json::UInt(c.insts)),
+                                ("guest_uops", Json::UInt(c.uops)),
+                                ("fast_wall_s", Json::Num(c.fast_wall.as_secs_f64())),
+                                (
+                                    "reference_wall_s",
+                                    Json::Num(c.reference_wall.as_secs_f64()),
+                                ),
+                                ("fast_ips", Json::Num(c.fast_ips())),
+                                ("reference_ips", Json::Num(c.reference_ips())),
+                                ("speedup", Json::Num(c.speedup())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "summary",
+                Json::obj(vec![
+                    ("cells", Json::UInt(self.cells.len() as u64)),
+                    ("guest_insts", Json::UInt(insts)),
+                    ("fast_ips", Json::Num(self.fast_ips())),
+                    ("reference_ips", Json::Num(self.reference_ips())),
+                    ("speedup", Json::Num(self.speedup())),
+                ]),
+            ),
+        ])
+    }
+
+    /// The document as pretty-printed text with a trailing newline.
+    pub fn render(&self) -> String {
+        let mut text = self.to_json().to_string_pretty();
+        text.push('\n');
+        text
+    }
+
+    /// Prints the per-cell guest-IPS table and summary to stdout.
+    pub fn print_text_table(&self) {
+        println!(
+            "{:<18}{:<20}{:>14}{:>14}{:>14}{:>10}",
+            "benchmark", "config", "guest insts", "fast IPS", "ref IPS", "speedup"
+        );
+        for c in &self.cells {
+            println!(
+                "{:<18}{:<20}{:>14}{:>14.0}{:>14.0}{:>9.2}x",
+                c.name,
+                c.config,
+                c.insts,
+                c.fast_ips(),
+                c.reference_ips(),
+                c.speedup()
+            );
+        }
+        println!(
+            "{:<18}{:<20}{:>14}{:>14.0}{:>14.0}{:>9.2}x",
+            "TOTAL",
+            "",
+            self.totals().0,
+            self.fast_ips(),
+            self.reference_ips(),
+            self.speedup()
+        );
+    }
+
+    /// Checks that a parsed document matches the `rest-throughput/v1`
+    /// shape. Used by the report test and the CI throughput job.
+    pub fn validate(doc: &Json) -> Result<(), String> {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(s) if s == SCHEMA => {}
+            Some(s) => return Err(format!("unexpected schema {s:?}")),
+            None => return Err("missing \"schema\"".to_string()),
+        }
+        doc.get("scale")
+            .and_then(Json::as_str)
+            .ok_or("missing \"scale\"")?;
+        doc.get("effective_jobs")
+            .and_then(Json::as_u64)
+            .ok_or("missing \"effective_jobs\"")?;
+        let cells = doc
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"cells\" array")?;
+        for c in cells {
+            for key in ["benchmark", "config"] {
+                c.get(key)
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("cell missing {key:?}"))?;
+            }
+            for key in ["guest_insts", "guest_uops"] {
+                c.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("cell missing {key:?}"))?;
+            }
+            for key in [
+                "fast_wall_s",
+                "reference_wall_s",
+                "fast_ips",
+                "reference_ips",
+                "speedup",
+            ] {
+                c.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("cell missing {key:?}"))?;
+            }
+        }
+        let summary = doc.get("summary").ok_or("missing \"summary\"")?;
+        for key in ["cells", "guest_insts", "fast_ips", "reference_ips", "speedup"] {
+            summary
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("summary missing {key:?}"))?;
+        }
+        let count = summary.get("cells").and_then(Json::as_u64).unwrap_or(0);
+        if count != cells.len() as u64 {
+            return Err(format!(
+                "summary.cells {} != cells.len() {}",
+                count,
+                cells.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(name: &str, insts: u64, fast_ms: u64, reference_ms: u64) -> ThroughputCell {
+        ThroughputCell {
+            name: name.to_string(),
+            config: "plain".to_string(),
+            insts,
+            uops: insts + 7,
+            fast_wall: Duration::from_millis(fast_ms),
+            reference_wall: Duration::from_millis(reference_ms),
+        }
+    }
+
+    #[test]
+    fn report_document_validates() {
+        let report = ThroughputReport {
+            scale: "test".to_string(),
+            effective_jobs: 2,
+            cells: vec![cell("lbm", 1_000_000, 100, 300), cell("hmmer", 500_000, 50, 100)],
+        };
+        let doc = Json::parse(&report.render()).expect("valid JSON");
+        ThroughputReport::validate(&doc).expect("schema-valid");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(doc.get("effective_jobs").unwrap().as_u64(), Some(2));
+        let summary = doc.get("summary").unwrap();
+        assert_eq!(summary.get("cells").unwrap().as_u64(), Some(2));
+        assert_eq!(summary.get("guest_insts").unwrap().as_u64(), Some(1_500_000));
+        // Totals: 150ms fast vs 400ms reference.
+        let speedup = summary.get("speedup").unwrap().as_f64().unwrap();
+        assert!((speedup - 400.0 / 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        let missing = Json::obj(vec![("schema", Json::from(SCHEMA))]);
+        assert!(ThroughputReport::validate(&missing).is_err());
+        let wrong = Json::obj(vec![("schema", Json::from("other/v9"))]);
+        assert!(ThroughputReport::validate(&wrong).is_err());
+        assert!(ThroughputReport::validate(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn zero_wall_times_do_not_divide_by_zero() {
+        let c = cell("lbm", 100, 0, 0);
+        assert_eq!(c.fast_ips(), 0.0);
+        assert_eq!(c.speedup(), 0.0);
+    }
+
+    #[test]
+    fn cells_for_is_row_major() {
+        let rows = [FigureRow::of(Workload::Lbm), FigureRow::of(Workload::Hmmer)];
+        let configs = [RtConfig::plain(), RtConfig::asan()];
+        let cells = cells_for(&rows, &configs, Scale::Test);
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].name, "lbm");
+        assert_eq!(cells[1].name, "lbm");
+        assert_eq!(cells[1].rt.label(), "asan");
+        assert_eq!(cells[2].name, "hmmer");
+    }
+
+    #[test]
+    fn measure_agrees_across_paths() {
+        let spec = CellSpec {
+            name: "lbm".to_string(),
+            workload: Workload::Lbm,
+            seed: 0xC0FFEE,
+            scale: Scale::Test,
+            rt: RtConfig::plain(),
+        };
+        let cell = measure(&spec).expect("paths agree");
+        assert!(cell.insts > 0);
+        assert!(cell.uops >= cell.insts);
+        assert!(cell.speedup().is_finite());
+    }
+}

@@ -25,6 +25,7 @@ fn test_cli() -> BenchCli {
         trace_uops: 512,
         profile_out: None,
         verify: false,
+        reference: false,
     }
 }
 

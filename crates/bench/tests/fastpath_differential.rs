@@ -1,0 +1,121 @@
+//! Differential gate for the decoded-uop cache: the fast path (decode
+//! once, replay templates) and the reference path (re-decode every
+//! fetch) must be architecturally indistinguishable — identical micro-op
+//! streams, stats maps, violation logs, and program output — across
+//! every benchmark row and every attack scenario.
+
+use rest_attacks::Attack;
+use rest_bench::engine::{CoreKind, SimJob};
+use rest_bench::{figure_rows, stack_for};
+use rest_core::Mode;
+use rest_cpu::{Emulator, SimConfig, StopReason};
+use rest_isa::{DynInst, Program};
+use rest_runtime::{RtConfig, StackScheme};
+use rest_workloads::{Scale, WorkloadParams};
+
+/// Steps a fast-path and a reference-path emulator over the same
+/// program in lockstep, asserting each macro instruction's micro-ops
+/// match exactly, and returns the (identical) stop reason.
+fn lockstep(label: &str, program: Program, rt: RtConfig) -> StopReason {
+    let fast_cfg = SimConfig::isca2018(rt.clone());
+    let mut reference_cfg = SimConfig::isca2018(rt);
+    reference_cfg.reference_path = true;
+    let mut fast = Emulator::new(program.clone(), &fast_cfg);
+    let mut reference = Emulator::new(program, &reference_cfg);
+
+    let (mut a, mut b): (Vec<DynInst>, Vec<DynInst>) = (Vec::new(), Vec::new());
+    loop {
+        let ka = fast.step(&mut a);
+        let kb = reference.step(&mut b);
+        assert_eq!(
+            a, b,
+            "{label}: micro-op streams diverge at inst {} (pc {:#x})",
+            reference.insts(),
+            reference.pc()
+        );
+        a.clear();
+        b.clear();
+        assert_eq!(ka, kb, "{label}: one path stopped before the other");
+        if !ka {
+            break;
+        }
+    }
+    assert_eq!(fast.insts(), reference.insts(), "{label}: retired counts");
+    assert_eq!(fast.uops(), reference.uops(), "{label}: micro-op counts");
+    let fast_stop = fast.take_stop().expect("fast path stopped");
+    let reference_stop = reference.take_stop().expect("reference path stopped");
+    assert_eq!(fast_stop, reference_stop, "{label}: stop reasons");
+    fast_stop
+}
+
+#[test]
+fn workload_rows_produce_identical_uop_streams() {
+    let rows = figure_rows();
+    assert_eq!(rows.len(), 16, "figure corpus is 16 rows");
+    for row in rows {
+        let rt = RtConfig::rest(Mode::Secure, true);
+        let params = WorkloadParams {
+            scale: Scale::Test,
+            stack_scheme: stack_for(&rt),
+            token_width: rt.token_width,
+            seed: row.seed,
+        };
+        let stop = lockstep(row.name, row.workload.build(&params), rt);
+        assert_eq!(stop, StopReason::Exit(0), "{}: clean exit", row.name);
+    }
+}
+
+#[test]
+fn workload_rows_produce_identical_stats_maps() {
+    for row in figure_rows() {
+        let rt = RtConfig::rest(Mode::Secure, true);
+        let fast = SimJob::new(&row, "fast", rt.clone(), Scale::Test)
+            .execute()
+            .unwrap_or_else(|e| panic!("{} fast path: {e}", row.name));
+        let reference = SimJob {
+            reference_path: true,
+            ..SimJob::new(&row, "reference", rt, Scale::Test)
+        }
+        .execute()
+        .unwrap_or_else(|e| panic!("{} reference path: {e}", row.name));
+        assert_eq!(
+            fast.stats_map(),
+            reference.stats_map(),
+            "{}: stats maps diverge",
+            row.name
+        );
+        assert_eq!(fast.audit, reference.audit, "{}: violation logs", row.name);
+        assert_eq!(fast.output, reference.output, "{}: program output", row.name);
+        assert_eq!(fast.stop, reference.stop, "{}: stop reasons", row.name);
+    }
+}
+
+#[test]
+fn plain_core_kind_matches_on_both_paths() {
+    // The in-order core shares the emulator; spot-check it too.
+    let row = figure_rows().into_iter().next().unwrap();
+    let fast = SimJob::plain(&row, CoreKind::InOrder, Scale::Test)
+        .execute()
+        .unwrap();
+    let reference = SimJob {
+        reference_path: true,
+        ..SimJob::plain(&row, CoreKind::InOrder, Scale::Test)
+    }
+    .execute()
+    .unwrap();
+    assert_eq!(fast.stats_map(), reference.stats_map());
+}
+
+#[test]
+fn attacks_detect_identically_on_both_paths() {
+    for attack in Attack::ALL {
+        let rt = RtConfig::rest(Mode::Secure, true);
+        let stop = lockstep(attack.name(), attack.build(StackScheme::Rest), rt);
+        // Whatever each scenario does — violate, exit, leak — both
+        // paths must agree; detection parity is the point, not outcome.
+        match stop {
+            StopReason::Violation(_) | StopReason::Exit(_) | StopReason::Halted => {}
+            other => panic!("{attack}: unexpected stop {other:?}"),
+        }
+    }
+}

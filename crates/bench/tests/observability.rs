@@ -31,6 +31,7 @@ fn obs_cli() -> BenchCli {
         trace_uops: 64,
         profile_out: None,
         verify: false,
+        reference: false,
     }
 }
 

@@ -133,9 +133,25 @@ impl Token {
             .collect()
     }
 
+    /// The fill-path comparator as the hardware implements it: one pass
+    /// over a 64-byte line producing the per-slot token bit mask (bit
+    /// *i* set when token-aligned slot *i* equals the token value).
+    /// Allocation-free equivalent of [`Token::match_offsets_in_line`];
+    /// this is what runs on every L1-D fill.
+    pub fn line_token_mask(&self, line: &[u8; LINE_BYTES]) -> u8 {
+        let w = self.width.bytes() as usize;
+        let mut mask = 0u8;
+        for slot in 0..self.width.slots_per_line() {
+            if line[slot * w..(slot + 1) * w] == *self.bytes() {
+                mask |= 1u8 << slot;
+            }
+        }
+        mask
+    }
+
     /// Whether any aligned slot of `line` holds the token.
     pub fn line_contains_token(&self, line: &[u8; LINE_BYTES]) -> bool {
-        !self.match_offsets_in_line(line).is_empty()
+        self.line_token_mask(line) != 0
     }
 }
 
@@ -269,11 +285,37 @@ mod tests {
         line[16..32].copy_from_slice(t.bytes());
         line[48..64].copy_from_slice(t.bytes());
         assert_eq!(t.match_offsets_in_line(&line), vec![16, 48]);
+        assert_eq!(t.line_token_mask(&line), 0b1010);
         // Token content at an unaligned offset is NOT detected — condition
         // (2) of §V-B requires alignment.
         let mut line2 = [0u8; LINE_BYTES];
         line2[8..24].copy_from_slice(t.bytes());
         assert!(t.match_offsets_in_line(&line2).is_empty());
+        assert_eq!(t.line_token_mask(&line2), 0);
+    }
+
+    #[test]
+    fn line_token_mask_agrees_with_match_offsets() {
+        for width in TokenWidth::ALL {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+            let t = Token::generate(width, &mut rng);
+            let w = width.bytes() as usize;
+            // Every subset of armed slots produces the matching bit mask.
+            for pattern in 0u8..(1 << width.slots_per_line()) {
+                let mut line = [0u8; LINE_BYTES];
+                for slot in 0..width.slots_per_line() {
+                    if pattern & (1 << slot) != 0 {
+                        line[slot * w..(slot + 1) * w].copy_from_slice(t.bytes());
+                    }
+                }
+                assert_eq!(t.line_token_mask(&line), pattern);
+                let offsets: Vec<usize> = t.match_offsets_in_line(&line);
+                let from_offsets = offsets
+                    .iter()
+                    .fold(0u8, |m, off| m | 1 << (off / w));
+                assert_eq!(from_offsets, pattern);
+            }
+        }
     }
 
     #[test]

@@ -126,6 +126,12 @@ pub struct SimConfig {
     /// committed macro instructions into the result's time-series
     /// (0 = sampling off). See [`rest_obs::TimeSeries`].
     pub sample_interval: u64,
+    /// Use the reference decode path: re-decode every instruction on
+    /// every fetch instead of replaying from the decoded-uop cache.
+    /// Architecturally identical by construction (the differential gate
+    /// in rest-bench compares the two byte-for-byte); exists so CI can
+    /// diff results and perf can measure the speedup.
+    pub reference_path: bool,
 }
 
 impl SimConfig {
@@ -139,6 +145,7 @@ impl SimConfig {
             max_uops: 400_000_000,
             trace_uops: 0,
             sample_interval: 0,
+            reference_path: false,
         }
     }
 

@@ -3,10 +3,11 @@ use rand::SeedableRng;
 
 use rest_core::{ArmedSet, Mode, RestException, RestExceptionKind, Token};
 use rest_isa::{
-    BranchInfo, Component, DynInst, EcallNum, GuestMemory, Inst, OpKind, Program, Reg, PC_STEP,
+    BranchInfo, Component, DecodeOptions, DecodedInst, DecodedProgram, DynInst, EcallNum,
+    GuestMemory, Inst, Program, Reg, PC_STEP,
 };
 use rest_runtime::{
-    shadow, AsanReport, EcallOutcome, RtConfig, RtEnv, Runtime, Scheme, TrafficRecorder, Violation,
+    shadow, AsanReport, EcallOutcome, RtEnv, Runtime, Scheme, TrafficRecorder, Violation,
 };
 
 use crate::config::SimConfig;
@@ -54,6 +55,11 @@ pub struct Emulator {
     token: Token,
     runtime: Runtime,
     rec: TrafficRecorder,
+    /// Decoded-uop cache (`None` on the reference path, which re-decodes
+    /// every fetch). Invalidated on ARM/DISARM effects that land in the
+    /// code segment.
+    decoded: Option<DecodedProgram>,
+    decode_opts: DecodeOptions,
     stop: Option<StopReason>,
     insts: u64,
     uops: u64,
@@ -77,6 +83,15 @@ impl Emulator {
             mem.write_bytes(*base, bytes);
         }
         let entry = program.entry();
+        let decode_opts = DecodeOptions {
+            arm_width: cfg.rt.token_width.bytes(),
+            arm_as_store: cfg.rt.perfect_hw,
+        };
+        let decoded = if cfg.reference_path {
+            None
+        } else {
+            Some(DecodedProgram::new(&program, decode_opts))
+        };
         Emulator {
             program,
             regs: [0; Reg::COUNT],
@@ -86,6 +101,8 @@ impl Emulator {
             token,
             runtime: Runtime::new(cfg.rt.clone()),
             rec: TrafficRecorder::new(),
+            decoded,
+            decode_opts,
             stop: None,
             insts: 0,
             uops: 0,
@@ -123,6 +140,22 @@ impl Emulator {
         self.stop.as_ref()
     }
 
+    /// Takes ownership of the stop reason without cloning it. Call once,
+    /// after the run loop has exited; a taken emulator must not be
+    /// stepped again (clearing the reason makes `step` resume).
+    pub fn take_stop(&mut self) -> Option<StopReason> {
+        self.stop.take()
+    }
+
+    /// Decoded-uop cache statistics: `(invalidations, entries re-decoded)`.
+    /// Zeroes on the reference path, which has no cache.
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        match &self.decoded {
+            Some(c) => (c.invalidations(), c.redecoded()),
+            None => (0, 0),
+        }
+    }
+
     /// Current architectural value of `r` (for tests and debuggers).
     pub fn reg_value(&self, r: Reg) -> u64 {
         self.regs[r.index()]
@@ -150,19 +183,6 @@ impl Emulator {
     fn set_reg(&mut self, r: Reg, v: u64) {
         if !r.is_zero() {
             self.regs[r.index()] = v;
-        }
-    }
-
-    fn env(&mut self) -> RtEnv<'_> {
-        RtEnv {
-            mem: &mut self.mem,
-            rec: &mut self.rec,
-            armed: &mut self.armed,
-            token: &self.token,
-            check_rest: self.check_rest,
-            check_shadow: false,
-            perfect_hw: self.perfect_hw,
-            naive_wide_arm: self.naive_wide_arm,
         }
     }
 
@@ -202,7 +222,7 @@ impl Emulator {
     /// instrumented access: shadow-address arithmetic (shift + add), the
     /// shadow-byte load, the test, and the (never-taken) branch to the
     /// report stub.
-    fn emit_asan_check(&mut self, out: &mut Vec<DynInst>, pc: u64, addr: u64) {
+    fn emit_asan_check<S: UopSink>(&mut self, out: &mut S, pc: u64, addr: u64) {
         let sh = rest_runtime::shadow_addr(addr);
         out.push(
             DynInst::alu(pc, Some(Reg::TP), [None, None]).with_component(Component::AccessCheck),
@@ -240,6 +260,31 @@ impl Emulator {
     /// Executes one macro instruction, appending its micro-ops to `out`.
     /// Returns `false` once the program has stopped.
     pub fn step(&mut self, out: &mut Vec<DynInst>) -> bool {
+        self.step_sink(out)
+    }
+
+    /// Executes one macro instruction without materialising micro-ops
+    /// (they are counted for the uop budget, nothing more) — the
+    /// functional fast path.
+    pub fn step_quiet(&mut self) -> bool {
+        let mut sink = CountingSink::default();
+        self.step_sink(&mut sink)
+    }
+
+    /// Invalidates decoded entries covered by an ARM/DISARM-visible
+    /// guest write to `[addr, addr + len)`.
+    fn invalidate_decoded(&mut self, addr: u64, len: u64) {
+        if let Some(cache) = self.decoded.as_mut() {
+            cache.invalidate_range(&self.program, addr, len);
+        }
+    }
+
+    /// The generic step loop behind [`Emulator::step`] and
+    /// [`Emulator::step_quiet`]: fetches a [`DecodedInst`] (from the
+    /// decoded-uop cache, or freshly on the reference path), applies the
+    /// architectural effect, and replays the micro-op template with its
+    /// dynamic fields patched in.
+    fn step_sink<S: UopSink>(&mut self, out: &mut S) -> bool {
         if self.stop.is_some() {
             return false;
         }
@@ -248,43 +293,37 @@ impl Emulator {
             return false;
         }
         let pc = self.pc;
-        let inst = match self.program.fetch(pc) {
-            Some(i) => i,
+        let fetched = match &self.decoded {
+            Some(cache) => cache.entry_at(pc).copied(),
+            None => DecodedInst::decode_at(&self.program, pc, self.decode_opts),
+        };
+        let e = match fetched {
+            Some(e) => e,
             None => {
                 self.stop = Some(StopReason::Fault(format!("bad pc {pc:#x}")));
                 return false;
             }
         };
-        let component = self.program.component_at(pc);
-        let before = out.len();
+        let before = out.count();
         let mut next_pc = pc + PC_STEP;
 
-        match inst {
+        match e.inst {
             Inst::Alu { op, dst, src1, src2 } => {
                 let v = op.apply(self.reg(src1), self.reg(src2));
                 self.set_reg(dst, v);
-                let kind = alu_kind(op);
-                out.push(
-                    DynInst::alu(pc, Some(dst), [Some(src1), Some(src2)])
-                        .with_kind(kind)
-                        .with_component(component),
-                );
+                out.push(e.template);
             }
             Inst::AluImm { op, dst, src, imm } => {
                 let v = op.apply(self.reg(src), imm as u64);
                 self.set_reg(dst, v);
-                out.push(
-                    DynInst::alu(pc, Some(dst), [Some(src), None])
-                        .with_kind(alu_kind(op))
-                        .with_component(component),
-                );
+                out.push(e.template);
             }
             Inst::Li { dst, imm } => {
                 self.set_reg(dst, imm as u64);
-                out.push(DynInst::alu(pc, Some(dst), [None, None]).with_component(component));
+                out.push(e.template);
             }
             Inst::Nop => {
-                out.push(DynInst::alu(pc, None, [None, None]).with_component(component));
+                out.push(e.template);
             }
             Inst::Load {
                 dst,
@@ -294,13 +333,10 @@ impl Emulator {
                 signed,
             } => {
                 let addr = self.reg(base).wrapping_add(offset as u64);
-                if self.access_checks && component == Component::App {
+                if self.access_checks && e.template.component == Component::App {
                     self.emit_asan_check(out, pc, addr);
                 }
-                out.push(
-                    DynInst::load(pc, Some(dst), Some(base), addr, size.bytes())
-                        .with_component(component),
-                );
+                out.push(with_mem_addr(e.template, addr));
                 if let Some(v) = self.check_app_access(addr, size.bytes(), false, pc) {
                     self.stop = Some(StopReason::Violation(v));
                 } else {
@@ -320,13 +356,10 @@ impl Emulator {
                 size,
             } => {
                 let addr = self.reg(base).wrapping_add(offset as u64);
-                if self.access_checks && component == Component::App {
+                if self.access_checks && e.template.component == Component::App {
                     self.emit_asan_check(out, pc, addr);
                 }
-                out.push(
-                    DynInst::store(pc, Some(src), Some(base), addr, size.bytes())
-                        .with_component(component),
-                );
+                out.push(with_mem_addr(e.template, addr));
                 if let Some(v) = self.check_app_access(addr, size.bytes(), true, pc) {
                     self.stop = Some(StopReason::Violation(v));
                 } else {
@@ -335,20 +368,16 @@ impl Emulator {
             }
             Inst::Arm { addr } => {
                 let a = self.reg(addr);
-                if self.perfect_hw {
-                    out.push(
-                        DynInst::store(pc, None, Some(addr), a, 8).with_component(component),
-                    );
-                } else {
+                out.push(with_mem_addr(e.template, a));
+                if !self.perfect_hw {
                     let w = self.token.width().bytes();
-                    out.push(DynInst::arm(pc, Some(addr), a, w).with_component(component));
                     match self.armed.arm(a) {
                         Ok(()) => {
                             for line in (a & !63..a + w).step_by(64) {
                                 self.mem.snapshot_line_pre_image(line);
                             }
-                            let bytes = self.token.bytes().to_vec();
-                            self.mem.write_bytes(a, &bytes);
+                            self.mem.write_bytes(a, self.token.bytes());
+                            self.invalidate_decoded(a, w);
                         }
                         Err(kind) => {
                             self.stop = Some(StopReason::Violation(Violation::Rest(
@@ -360,21 +389,20 @@ impl Emulator {
             }
             Inst::Disarm { addr } => {
                 let a = self.reg(addr);
+                out.push(with_mem_addr(e.template, a));
+                let w = self.token.width().bytes();
                 if self.perfect_hw {
-                    out.push(
-                        DynInst::store(pc, None, Some(addr), a, 8).with_component(component),
-                    );
-                    let w = self.token.width().bytes();
-                    self.mem.fill(a & !(w - 1), w, 0);
+                    let base = a & !(w - 1);
+                    self.mem.fill(base, w, 0);
+                    self.invalidate_decoded(base, w);
                 } else {
-                    let w = self.token.width().bytes();
-                    out.push(DynInst::disarm(pc, Some(addr), a, w).with_component(component));
                     match self.armed.disarm(a) {
                         Ok(()) => {
                             for line in (a & !63..a + w).step_by(64) {
                                 self.mem.snapshot_line_pre_image(line);
                             }
-                            self.mem.fill(a, w, 0)
+                            self.mem.fill(a, w, 0);
+                            self.invalidate_decoded(a, w);
                         }
                         Err(kind) => {
                             self.stop = Some(StopReason::Violation(Violation::Rest(
@@ -390,79 +418,27 @@ impl Emulator {
                 }
             }
             Inst::Branch {
-                cond,
-                src1,
-                src2,
-                target,
+                cond, src1, src2, ..
             } => {
                 let taken = cond.eval(self.reg(src1), self.reg(src2));
-                let t = self.program.label_pc(target);
                 if taken {
-                    next_pc = t;
+                    next_pc = e.target;
                 }
-                out.push(
-                    DynInst::branch(
-                        pc,
-                        [Some(src1), Some(src2)],
-                        None,
-                        BranchInfo {
-                            taken,
-                            target: if taken { t } else { pc + PC_STEP },
-                            conditional: true,
-                            is_call: false,
-                            is_return: false,
-                            indirect: false,
-                        },
-                    )
-                    .with_component(component),
-                );
+                out.push(with_branch_outcome(e.template, taken, next_pc));
             }
-            Inst::Jal { dst, target } => {
-                let t = self.program.label_pc(target);
+            Inst::Jal { dst, .. } => {
                 self.set_reg(dst, pc + PC_STEP);
-                next_pc = t;
-                out.push(
-                    DynInst::branch(
-                        pc,
-                        [None, None],
-                        Some(dst),
-                        BranchInfo {
-                            taken: true,
-                            target: t,
-                            conditional: false,
-                            is_call: dst == Reg::RA,
-                            is_return: false,
-                            indirect: false,
-                        },
-                    )
-                    .with_component(component),
-                );
+                next_pc = e.target;
+                out.push(e.template);
             }
             Inst::Jalr { dst, base, offset } => {
                 let t = self.reg(base).wrapping_add(offset as u64);
-                let is_return = dst == Reg::ZERO && base == Reg::RA;
                 self.set_reg(dst, pc + PC_STEP);
                 next_pc = t;
-                out.push(
-                    DynInst::branch(
-                        pc,
-                        [Some(base), None],
-                        Some(dst),
-                        BranchInfo {
-                            taken: true,
-                            target: t,
-                            conditional: false,
-                            is_call: dst == Reg::RA,
-                            is_return,
-                            indirect: true,
-                        },
-                    )
-                    .with_component(component),
-                );
+                out.push(with_branch_outcome(e.template, true, t));
             }
             Inst::Ecall => {
-                out.push(DynInst::alu(pc, Some(Reg::A0), [Some(Reg::A7), Some(Reg::A0)])
-                    .with_component(component));
+                out.push(e.template);
                 let num = self.reg(Reg::A7);
                 let args = [
                     self.reg(Reg::A0),
@@ -477,18 +453,35 @@ impl Emulator {
                         self.stop = Some(StopReason::Fault(format!("unknown ecall {num}")));
                     }
                     Some(n) => {
-                        // The runtime borrows the machine; splice its
-                        // recorded traffic into the stream afterwards.
-                        let mut runtime = std::mem::replace(
-                            &mut self.runtime,
-                            Runtime::new(RtConfig::plain()),
-                        );
-                        let outcome = {
-                            let mut env = self.env();
-                            runtime.ecall(n, args, &mut env)
+                        // The runtime mutates the machine through
+                        // disjoint field borrows (no allocator swap);
+                        // its recorded traffic — materialised or merely
+                        // counted, matching the sink — is spliced into
+                        // the stream afterwards.
+                        self.rec.set_materialize(S::MATERIALIZE);
+                        let Emulator {
+                            runtime,
+                            mem,
+                            rec,
+                            armed,
+                            token,
+                            check_rest,
+                            perfect_hw,
+                            naive_wide_arm,
+                            ..
+                        } = self;
+                        let mut env = RtEnv {
+                            mem,
+                            rec,
+                            armed,
+                            token,
+                            check_rest: *check_rest,
+                            check_shadow: false,
+                            perfect_hw: *perfect_hw,
+                            naive_wide_arm: *naive_wide_arm,
                         };
-                        self.runtime = runtime;
-                        out.extend(self.rec.drain());
+                        let outcome = runtime.ecall(n, args, &mut env);
+                        out.splice(&mut self.rec);
                         match outcome {
                             EcallOutcome::Done(v) => self.set_reg(Reg::A0, v),
                             EcallOutcome::Exit(code) => {
@@ -503,34 +496,99 @@ impl Emulator {
             }
             Inst::Halt => {
                 self.stop = Some(StopReason::Halted);
-                out.push(DynInst::alu(pc, None, [None, None]).with_component(component));
+                out.push(e.template);
             }
         }
 
         self.pc = next_pc;
         self.insts += 1;
-        self.uops += (out.len() - before) as u64;
+        self.uops += out.count() - before;
         true
     }
 
     /// Runs the program to completion functionally, discarding the
-    /// micro-op stream (for fast architectural tests).
+    /// micro-op stream (for fast architectural tests and the perf
+    /// harness's guest-IPS measurement).
     pub fn run_functional(&mut self) -> &StopReason {
-        let mut buf = Vec::with_capacity(64);
-        while self.step(&mut buf) {
-            buf.clear();
-        }
+        let mut sink = CountingSink::default();
+        while self.step_sink(&mut sink) {}
         self.stop.as_ref().expect("stopped")
     }
 }
 
-fn alu_kind(op: rest_isa::AluOp) -> OpKind {
-    use rest_isa::AluOp;
-    match op {
-        AluOp::Mul => OpKind::IntMul,
-        AluOp::Div | AluOp::Rem => OpKind::IntDiv,
-        _ => OpKind::IntAlu,
+/// Destination for the functional micro-op stream. The timing path
+/// materialises [`DynInst`]s into a `Vec`; functional-only runs count
+/// them instead, skipping all per-uop heap traffic.
+trait UopSink {
+    /// Whether runtime services should materialise their recorded
+    /// traffic (`false` lets the recorder count instead).
+    const MATERIALIZE: bool;
+    /// Accepts one micro-op.
+    fn push(&mut self, d: DynInst);
+    /// Micro-ops accepted so far.
+    fn count(&self) -> u64;
+    /// Splices the runtime recorder's traffic into the stream.
+    fn splice(&mut self, rec: &mut TrafficRecorder);
+}
+
+impl UopSink for Vec<DynInst> {
+    const MATERIALIZE: bool = true;
+
+    #[inline]
+    fn push(&mut self, d: DynInst) {
+        Vec::push(self, d);
     }
+
+    fn count(&self) -> u64 {
+        self.len() as u64
+    }
+
+    fn splice(&mut self, rec: &mut TrafficRecorder) {
+        rec.drain_into(self);
+    }
+}
+
+/// Counts micro-ops without building them (the uop budget still needs
+/// the number).
+#[derive(Debug, Default)]
+struct CountingSink {
+    n: u64,
+}
+
+impl UopSink for CountingSink {
+    const MATERIALIZE: bool = false;
+
+    #[inline]
+    fn push(&mut self, _d: DynInst) {
+        self.n += 1;
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+
+    fn splice(&mut self, rec: &mut TrafficRecorder) {
+        self.n += rec.take_recorded();
+    }
+}
+
+/// Replay-time patch: resolves the template's memory address.
+#[inline]
+fn with_mem_addr(mut d: DynInst, addr: u64) -> DynInst {
+    if let Some(m) = d.mem.as_mut() {
+        m.addr = addr;
+    }
+    d
+}
+
+/// Replay-time patch: resolves the template's branch outcome.
+#[inline]
+fn with_branch_outcome(mut d: DynInst, taken: bool, target: u64) -> DynInst {
+    if let Some(b) = d.branch.as_mut() {
+        b.taken = taken;
+        b.target = target;
+    }
+    d
 }
 
 fn sign_extend(v: u64, bytes: u64) -> u64 {
@@ -545,13 +603,14 @@ fn sign_extend(v: u64, bytes: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rest_isa::ProgramBuilder;
+    use rest_isa::{OpKind, ProgramBuilder};
     use rest_runtime::RtConfig;
 
     fn run(program: Program, rt: RtConfig) -> (Emulator, StopReason) {
         let cfg = SimConfig::isca2018(rt);
         let mut emu = Emulator::new(program, &cfg);
-        let stop = emu.run_functional().clone();
+        emu.run_functional();
+        let stop = emu.take_stop().expect("stopped");
         (emu, stop)
     }
 

@@ -115,11 +115,7 @@ impl System {
         // architectural violation (if the run stopped on one) with its
         // component provenance.
         let mut audit = self.pipeline.take_audit();
-        let stop = self
-            .emulator
-            .stop_reason()
-            .cloned()
-            .unwrap_or(StopReason::Halted);
+        let stop = self.emulator.take_stop().unwrap_or(StopReason::Halted);
         if let StopReason::Violation(v) = &stop {
             let pc = match v {
                 rest_runtime::Violation::Rest(e) => e.pc,

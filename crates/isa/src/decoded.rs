@@ -1,0 +1,388 @@
+//! Decoded-uop cache for the functional emulator's fast path.
+//!
+//! The timing/functional split re-executes every guest instruction once
+//! per dynamic occurrence, but the *static* work of decoding — resolving
+//! branch labels, classifying ALU operations, attributing the owning
+//! [`Component`], and building the [`DynInst`] skeleton — is identical
+//! every time a PC is revisited. A [`DecodedProgram`] performs that work
+//! once per static instruction and replays it from a dense PC-indexed
+//! table; only the operand-dependent fields (resolved memory address,
+//! branch outcome and indirect target) are patched per dynamic instance.
+//!
+//! The cache is coherent with the guest's view of its own code: the
+//! only architected writes that can land in the code segment are
+//! `arm`/`disarm` functional effects, and the emulator invalidates the
+//! covered entries through [`DecodedProgram::invalidate_range`] at those
+//! boundaries. Reference mode skips the table and calls
+//! [`DecodedInst::decode_at`] on every fetch, which by construction
+//! yields the same `DecodedInst` value — the differential gate in
+//! `rest-bench` holds the two paths to byte-identical uop streams.
+
+use crate::dyninst::{BranchInfo, DynInst, OpKind};
+use crate::inst::{AluOp, Inst};
+use crate::program::Program;
+use crate::reg::Reg;
+use crate::PC_STEP;
+
+/// Static decode parameters: everything outside the [`Program`] that
+/// shapes a micro-op template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeOptions {
+    /// Token width in bytes — the access size of `arm`/`disarm`
+    /// micro-ops.
+    pub arm_width: u64,
+    /// Model `arm`/`disarm` as ordinary 8-byte stores (the paper's
+    /// "perfect hardware" ablation) instead of REST micro-ops.
+    pub arm_as_store: bool,
+}
+
+/// One pre-decoded instruction: the fetched [`Inst`], its resolved
+/// direct-branch target, and the prebuilt micro-op template.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodedInst {
+    /// The architectural instruction at this PC.
+    pub inst: Inst,
+    /// Resolved `Branch`/`Jal` label target PC (0 for other kinds).
+    pub target: u64,
+    /// Prebuilt micro-op. Static fields (kind, registers, component,
+    /// access width) are final; dynamic fields (memory address, branch
+    /// outcome/indirect target) are patched at replay time.
+    pub template: DynInst,
+}
+
+impl DecodedInst {
+    /// Decodes the instruction at `pc`, or `None` outside the code
+    /// segment (mirrors [`Program::fetch`]).
+    pub fn decode_at(p: &Program, pc: u64, opts: DecodeOptions) -> Option<DecodedInst> {
+        let inst = p.fetch(pc)?;
+        Some(Self::decode(p, pc, inst, opts))
+    }
+
+    fn decode(p: &Program, pc: u64, inst: Inst, opts: DecodeOptions) -> DecodedInst {
+        let component = p.component_at(pc);
+        let (target, template) = match inst {
+            Inst::Alu { op, dst, src1, src2 } => (
+                0,
+                DynInst::alu(pc, Some(dst), [Some(src1), Some(src2)]).with_kind(alu_kind(op)),
+            ),
+            Inst::AluImm { op, dst, src, .. } => (
+                0,
+                DynInst::alu(pc, Some(dst), [Some(src), None]).with_kind(alu_kind(op)),
+            ),
+            Inst::Li { dst, .. } => (0, DynInst::alu(pc, Some(dst), [None, None])),
+            Inst::Nop | Inst::Halt => (0, DynInst::alu(pc, None, [None, None])),
+            Inst::Load {
+                dst, base, size, ..
+            } => (0, DynInst::load(pc, Some(dst), Some(base), 0, size.bytes())),
+            Inst::Store {
+                src, base, size, ..
+            } => (
+                0,
+                DynInst::store(pc, Some(src), Some(base), 0, size.bytes()),
+            ),
+            Inst::Arm { addr } => (
+                0,
+                if opts.arm_as_store {
+                    DynInst::store(pc, None, Some(addr), 0, 8)
+                } else {
+                    DynInst::arm(pc, Some(addr), 0, opts.arm_width)
+                },
+            ),
+            Inst::Disarm { addr } => (
+                0,
+                if opts.arm_as_store {
+                    DynInst::store(pc, None, Some(addr), 0, 8)
+                } else {
+                    DynInst::disarm(pc, Some(addr), 0, opts.arm_width)
+                },
+            ),
+            Inst::Branch {
+                src1, src2, target, ..
+            } => {
+                let t = p.label_pc(target);
+                (
+                    t,
+                    DynInst::branch(
+                        pc,
+                        [Some(src1), Some(src2)],
+                        None,
+                        BranchInfo {
+                            taken: false,
+                            target: 0,
+                            conditional: true,
+                            is_call: false,
+                            is_return: false,
+                            indirect: false,
+                        },
+                    ),
+                )
+            }
+            Inst::Jal { dst, target } => {
+                let t = p.label_pc(target);
+                (
+                    t,
+                    DynInst::branch(
+                        pc,
+                        [None, None],
+                        Some(dst),
+                        BranchInfo {
+                            taken: true,
+                            target: t,
+                            conditional: false,
+                            is_call: dst == Reg::RA,
+                            is_return: false,
+                            indirect: false,
+                        },
+                    ),
+                )
+            }
+            Inst::Jalr { dst, base, .. } => (
+                0,
+                DynInst::branch(
+                    pc,
+                    [Some(base), None],
+                    Some(dst),
+                    BranchInfo {
+                        taken: true,
+                        target: 0,
+                        conditional: false,
+                        is_call: dst == Reg::RA,
+                        is_return: dst == Reg::ZERO && base == Reg::RA,
+                        indirect: true,
+                    },
+                ),
+            ),
+            Inst::Ecall => (
+                0,
+                DynInst::alu(pc, Some(Reg::A0), [Some(Reg::A7), Some(Reg::A0)]),
+            ),
+        };
+        DecodedInst {
+            inst,
+            target,
+            template: template.with_component(component),
+        }
+    }
+}
+
+/// Execution class of an ALU operation (multiplies and divides occupy
+/// the dedicated functional units).
+pub fn alu_kind(op: AluOp) -> OpKind {
+    match op {
+        AluOp::Mul => OpKind::IntMul,
+        AluOp::Div | AluOp::Rem => OpKind::IntDiv,
+        _ => OpKind::IntAlu,
+    }
+}
+
+/// A dense PC-indexed table of [`DecodedInst`]s covering the whole code
+/// segment: the emulator's decoded-uop cache.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    entries: Vec<DecodedInst>,
+    opts: DecodeOptions,
+    invalidations: u64,
+    redecoded: u64,
+}
+
+impl DecodedProgram {
+    /// Eagerly decodes every instruction of `p`.
+    pub fn new(p: &Program, opts: DecodeOptions) -> DecodedProgram {
+        let entries = (0..p.len())
+            .map(|i| {
+                let pc = Program::CODE_BASE + i as u64 * PC_STEP;
+                DecodedInst::decode_at(p, pc, opts).expect("index within code segment")
+            })
+            .collect();
+        DecodedProgram {
+            entries,
+            opts,
+            invalidations: 0,
+            redecoded: 0,
+        }
+    }
+
+    /// The cached entry at `pc`, or `None` outside the code segment or
+    /// at a misaligned PC (mirrors [`Program::fetch`]).
+    #[inline]
+    pub fn entry_at(&self, pc: u64) -> Option<&DecodedInst> {
+        let off = pc.checked_sub(Program::CODE_BASE)?;
+        if !off.is_multiple_of(PC_STEP) {
+            return None;
+        }
+        self.entries.get((off / PC_STEP) as usize)
+    }
+
+    /// Number of cached entries (static instructions).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Invalidates and re-derives every entry whose PC lies in
+    /// `[addr, addr + len)` — the ARM/DISARM-visible self-modification
+    /// boundary. Returns the number of entries re-decoded.
+    pub fn invalidate_range(&mut self, p: &Program, addr: u64, len: u64) -> usize {
+        if len == 0 || self.entries.is_empty() {
+            return 0;
+        }
+        let code_end = Program::CODE_BASE + self.entries.len() as u64 * PC_STEP;
+        let lo = addr.max(Program::CODE_BASE);
+        let hi = addr.saturating_add(len).min(code_end);
+        if lo >= hi {
+            return 0;
+        }
+        let first = ((lo - Program::CODE_BASE) / PC_STEP) as usize;
+        let last = ((hi - 1 - Program::CODE_BASE) / PC_STEP) as usize;
+        for idx in first..=last {
+            let pc = Program::CODE_BASE + idx as u64 * PC_STEP;
+            self.entries[idx] =
+                DecodedInst::decode_at(p, pc, self.opts).expect("index within code segment");
+        }
+        self.invalidations += 1;
+        self.redecoded += (last - first + 1) as u64;
+        last - first + 1
+    }
+
+    /// How many invalidation events have hit the cache.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Total entries re-decoded across all invalidations.
+    pub fn redecoded(&self) -> u64 {
+        self.redecoded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use crate::reg::Reg;
+
+    fn opts() -> DecodeOptions {
+        DecodeOptions {
+            arm_width: 64,
+            arm_as_store: false,
+        }
+    }
+
+    fn sample() -> Program {
+        let mut p = ProgramBuilder::new();
+        let lp = p.new_label();
+        p.li(Reg::A0, 0);
+        p.li(Reg::T0, 10);
+        p.bind(lp);
+        p.add(Reg::A0, Reg::A0, Reg::T0);
+        p.addi(Reg::T0, Reg::T0, -1);
+        p.bne(Reg::T0, Reg::ZERO, lp);
+        p.arm(Reg::A1);
+        p.halt();
+        p.build()
+    }
+
+    #[test]
+    fn cache_covers_whole_code_segment_and_mirrors_fetch() {
+        let p = sample();
+        let cache = DecodedProgram::new(&p, opts());
+        assert_eq!(cache.len(), p.len());
+        assert!(!cache.is_empty());
+        for i in 0..p.len() as u64 {
+            let pc = Program::CODE_BASE + i * PC_STEP;
+            let e = cache.entry_at(pc).expect("entry in range");
+            assert_eq!(Some(e.inst), p.fetch(pc));
+            assert_eq!(e.template.pc, pc);
+            // Per-fetch decode (the reference path) yields the same
+            // entry value.
+            let fresh = DecodedInst::decode_at(&p, pc, opts()).unwrap();
+            assert_eq!(fresh.inst, e.inst);
+            assert_eq!(fresh.target, e.target);
+            assert_eq!(fresh.template, e.template);
+        }
+        // Out-of-range and misaligned PCs miss exactly like fetch.
+        assert!(cache.entry_at(Program::CODE_BASE - 4).is_none());
+        assert!(cache.entry_at(Program::CODE_BASE + 1).is_none());
+        assert!(cache
+            .entry_at(Program::CODE_BASE + p.len() as u64 * PC_STEP)
+            .is_none());
+        assert!(cache.entry_at(0).is_none());
+    }
+
+    #[test]
+    fn branch_targets_resolve_to_label_pcs() {
+        let p = sample();
+        let cache = DecodedProgram::new(&p, opts());
+        // bne is the 5th instruction (index 4); its target is the bind
+        // point at index 2.
+        let bne = cache.entry_at(Program::CODE_BASE + 4 * PC_STEP).unwrap();
+        assert_eq!(bne.target, Program::CODE_BASE + 2 * PC_STEP);
+        assert!(matches!(bne.inst, Inst::Branch { .. }));
+    }
+
+    #[test]
+    fn arm_templates_follow_decode_options() {
+        let p = sample();
+        let arm_pc = Program::CODE_BASE + 5 * PC_STEP;
+        let rest = DecodedProgram::new(&p, opts());
+        assert_eq!(rest.entry_at(arm_pc).unwrap().template.kind, OpKind::Arm);
+        assert_eq!(
+            rest.entry_at(arm_pc).unwrap().template.mem.unwrap().size,
+            64
+        );
+        let perfect = DecodedProgram::new(
+            &p,
+            DecodeOptions {
+                arm_width: 64,
+                arm_as_store: true,
+            },
+        );
+        let t = perfect.entry_at(arm_pc).unwrap().template;
+        assert_eq!(t.kind, OpKind::Store);
+        assert_eq!(t.mem.unwrap().size, 8);
+    }
+
+    #[test]
+    fn invalidate_range_redecodes_only_covered_entries() {
+        let p = sample();
+        let mut cache = DecodedProgram::new(&p, opts());
+        // A write below, above, or of zero length touches nothing.
+        assert_eq!(cache.invalidate_range(&p, 0, Program::CODE_BASE), 0);
+        assert_eq!(
+            cache.invalidate_range(&p, Program::CODE_BASE + p.len() as u64 * PC_STEP, 64),
+            0
+        );
+        assert_eq!(cache.invalidate_range(&p, Program::CODE_BASE, 0), 0);
+        assert_eq!(cache.invalidations(), 0);
+        // A 5-byte write starting mid-instruction covers two entries.
+        let n = cache.invalidate_range(&p, Program::CODE_BASE + PC_STEP + 2, 5);
+        assert_eq!(n, 2);
+        assert_eq!(cache.invalidations(), 1);
+        assert_eq!(cache.redecoded(), 2);
+        // Entries are re-derived, not dropped.
+        for i in 0..p.len() as u64 {
+            let pc = Program::CODE_BASE + i * PC_STEP;
+            assert_eq!(
+                Some(cache.entry_at(pc).unwrap().inst),
+                p.fetch(pc),
+                "entry {i} must survive invalidation"
+            );
+        }
+        // A straddling range clamps to the code segment.
+        let all = cache.invalidate_range(&p, 0, u64::MAX);
+        assert_eq!(all, p.len());
+    }
+
+    #[test]
+    fn alu_kinds_classify_functional_units() {
+        assert_eq!(alu_kind(AluOp::Add), OpKind::IntAlu);
+        assert_eq!(alu_kind(AluOp::Mul), OpKind::IntMul);
+        assert_eq!(alu_kind(AluOp::Div), OpKind::IntDiv);
+        assert_eq!(alu_kind(AluOp::Rem), OpKind::IntDiv);
+        assert_eq!(alu_kind(AluOp::Xor), OpKind::IntAlu);
+    }
+}

@@ -1,9 +1,37 @@
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::inst::MemSize;
 
 /// Size of one page of guest memory.
 pub const PAGE_SIZE: u64 = 4096;
+
+/// Multiplicative hasher for the page table's `u64` keys. Every guest
+/// load, store, and instruction fetch goes through one page lookup, so
+/// the default SipHash is pure overhead here; page indices are
+/// attacker-neutral simulator state, not untrusted input, so a
+/// Fibonacci-multiply spreads them well enough. Never iterated, so the
+/// hash order can't leak into results.
+#[derive(Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.0 = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type PageMap<V> = HashMap<u64, V, BuildHasherDefault<PageHasher>>;
 
 /// The functional memory image of the simulated machine.
 ///
@@ -26,14 +54,14 @@ pub const PAGE_SIZE: u64 = 4096;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct GuestMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: PageMap<Box<[u8; PAGE_SIZE as usize]>>,
     bytes_written: u64,
     /// Pre-update images of cache lines about to be modified by
     /// `arm`/`disarm` effects within the current macro instruction. The
     /// timing model's token detector reads these so a line fill observes
     /// the content hardware would fetch (the functional emulator runs
     /// one instruction ahead of the pipeline). Cleared after each batch.
-    pre_line_images: HashMap<u64, [u8; 64]>,
+    pre_line_images: PageMap<[u8; 64]>,
 }
 
 impl GuestMemory {
@@ -66,17 +94,46 @@ impl GuestMemory {
         self.page_mut(addr)[(addr % PAGE_SIZE) as usize] = val;
     }
 
-    /// Reads `buf.len()` bytes starting at `addr`.
+    /// Largest run of addresses starting at `addr` that stays within one
+    /// page and does not wrap the address space, capped at `len`.
+    fn chunk_len(addr: u64, len: u64) -> u64 {
+        let in_page = PAGE_SIZE - addr % PAGE_SIZE;
+        // Distance to the top of the address space (saturates at
+        // `addr == 0`, where no real buffer can reach the cap anyway).
+        let to_wrap = (u64::MAX - addr).saturating_add(1);
+        len.min(in_page).min(to_wrap)
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`, a page-sized chunk at
+    /// a time (wrapping at the top of the address space like the
+    /// per-byte path did).
     pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.read_u8(addr.wrapping_add(i as u64));
+        let mut addr = addr;
+        let mut buf = buf;
+        while !buf.is_empty() {
+            let n = Self::chunk_len(addr, buf.len() as u64) as usize;
+            let (head, rest) = buf.split_at_mut(n);
+            let off = (addr % PAGE_SIZE) as usize;
+            match self.page(addr) {
+                Some(p) => head.copy_from_slice(&p[off..off + n]),
+                None => head.fill(0),
+            }
+            addr = addr.wrapping_add(n as u64);
+            buf = rest;
         }
     }
 
-    /// Writes `bytes` starting at `addr`.
+    /// Writes `bytes` starting at `addr`, a page-sized chunk at a time.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u64), b);
+        let mut addr = addr;
+        let mut bytes = bytes;
+        while !bytes.is_empty() {
+            let n = Self::chunk_len(addr, bytes.len() as u64) as usize;
+            let off = (addr % PAGE_SIZE) as usize;
+            self.page_mut(addr)[off..off + n].copy_from_slice(&bytes[..n]);
+            self.bytes_written += n as u64;
+            addr = addr.wrapping_add(n as u64);
+            bytes = &bytes[n..];
         }
     }
 
@@ -119,19 +176,40 @@ impl GuestMemory {
         self.write_scalar(addr, val, MemSize::B8);
     }
 
-    /// Fills `len` bytes starting at `addr` with `byte`.
+    /// Fills `len` bytes starting at `addr` with `byte`, a page-sized
+    /// chunk at a time.
     pub fn fill(&mut self, addr: u64, len: u64, byte: u8) {
-        for i in 0..len {
-            self.write_u8(addr.wrapping_add(i), byte);
+        let mut addr = addr;
+        let mut left = len;
+        while left > 0 {
+            let n = Self::chunk_len(addr, left);
+            let off = (addr % PAGE_SIZE) as usize;
+            self.page_mut(addr)[off..off + n as usize].fill(byte);
+            self.bytes_written += n;
+            addr = addr.wrapping_add(n);
+            left -= n;
         }
     }
 
     /// Copies `len` bytes from `src` to `dst` (handles overlap like
-    /// `memmove`).
+    /// `memmove`) without a temporary heap buffer: chunks are bounced
+    /// through a small stack buffer, copying forwards when `dst < src`
+    /// and backwards otherwise so an earlier chunk never clobbers bytes
+    /// a later chunk still has to read.
     pub fn copy(&mut self, dst: u64, src: u64, len: u64) {
-        let mut buf = vec![0u8; len as usize];
-        self.read_bytes(src, &mut buf);
-        self.write_bytes(dst, &buf);
+        const CHUNK: usize = 256;
+        let mut buf = [0u8; CHUNK];
+        let mut done = 0u64;
+        while done < len {
+            let n = (len - done).min(CHUNK as u64);
+            // Forward chunk order reads ahead of writes when dst < src;
+            // backward order does when dst > src (dst == src is a plain
+            // rewrite either way, preserving the bytes_written count).
+            let off = if dst < src { done } else { len - done - n };
+            self.read_bytes(src.wrapping_add(off), &mut buf[..n as usize]);
+            self.write_bytes(dst.wrapping_add(off), &buf[..n as usize]);
+            done += n;
+        }
     }
 
     /// Whether `len` bytes at `addr` equal `expect`.
@@ -222,6 +300,58 @@ mod tests {
         let mut out = [0u8; 5];
         mem.read_bytes(0x102, &mut out);
         assert_eq!(out, [1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn copy_overlap_both_directions_beyond_chunk_size() {
+        // Overlap distance smaller than the internal bounce buffer and
+        // length larger than it: the chunked memmove must still behave
+        // like a full-buffer copy in both directions.
+        let src_data: Vec<u8> = (0..600u32).map(|i| (i % 251) as u8).collect();
+        for (dst, src) in [(0x1010u64, 0x1000u64), (0x1000, 0x1010)] {
+            let mut mem = GuestMemory::new();
+            mem.write_bytes(src, &src_data);
+            let before = mem.bytes_written();
+            mem.copy(dst, src, 600);
+            assert_eq!(mem.bytes_written(), before + 600);
+            let mut out = vec![0u8; 600];
+            mem.read_bytes(dst, &mut out);
+            assert_eq!(out, src_data);
+        }
+        // dst == src is a plain rewrite, not a skip.
+        let mut mem = GuestMemory::new();
+        mem.write_bytes(0x2000, &src_data);
+        let before = mem.bytes_written();
+        mem.copy(0x2000, 0x2000, 600);
+        assert_eq!(mem.bytes_written(), before + 600);
+        assert!(mem.bytes_equal(0x2000, &src_data));
+    }
+
+    #[test]
+    fn bulk_ops_chunk_across_pages_and_wrap() {
+        let mut mem = GuestMemory::new();
+        // Spans three pages.
+        let data: Vec<u8> = (0..2 * PAGE_SIZE + 100).map(|i| (i % 255) as u8).collect();
+        mem.write_bytes(PAGE_SIZE - 50, &data);
+        assert_eq!(mem.bytes_written(), data.len() as u64);
+        let mut out = vec![0u8; data.len()];
+        mem.read_bytes(PAGE_SIZE - 50, &mut out);
+        assert_eq!(out, data);
+        assert_eq!(mem.resident_pages(), 4); // 50 + 4096 + 4096 + 50 bytes
+        // Wrap-around at the top of the address space, like the old
+        // per-byte path.
+        mem.write_bytes(u64::MAX - 1, &[0xaa, 0xbb, 0xcc, 0xdd]);
+        assert_eq!(mem.read_u8(u64::MAX - 1), 0xaa);
+        assert_eq!(mem.read_u8(u64::MAX), 0xbb);
+        assert_eq!(mem.read_u8(0), 0xcc);
+        assert_eq!(mem.read_u8(1), 0xdd);
+        let mut wrapped = [0u8; 4];
+        mem.read_bytes(u64::MAX - 1, &mut wrapped);
+        assert_eq!(wrapped, [0xaa, 0xbb, 0xcc, 0xdd]);
+        mem.fill(u64::MAX, 3, 0x7e);
+        assert_eq!(mem.read_u8(u64::MAX), 0x7e);
+        assert_eq!(mem.read_u8(0), 0x7e);
+        assert_eq!(mem.read_u8(1), 0x7e);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod asm;
+mod decoded;
 mod dyninst;
 mod guest;
 mod inst;
@@ -52,6 +53,7 @@ mod program;
 mod reg;
 
 pub use asm::{parse_asm, AsmError};
+pub use decoded::{alu_kind, DecodeOptions, DecodedInst, DecodedProgram};
 pub use dyninst::{BranchInfo, Component, DynInst, MemAccessKind, MemRef, OpKind};
 pub use guest::{GuestMemory, PAGE_SIZE};
 pub use inst::{AluOp, BranchCond, EcallNum, Inst, MemSize};

@@ -141,15 +141,19 @@ impl Cache {
     }
 
     /// Whether any byte of `[addr, addr+size)` lies in an armed slot of a
-    /// resident line. (A scalar access of ≤ 8 bytes touches at most two
-    /// slots.)
+    /// resident line. Walks every slot the access overlaps, so wide
+    /// accesses that straddle a slot — or a cache-line — boundary check
+    /// each covered slot in whichever line holds it.
     pub fn access_touches_token(&self, addr: u64, size: u64, slot_bytes: u64) -> bool {
         let last = addr + size.max(1) - 1;
-        self.token_bit_covering(addr, slot_bytes)
-            || (last / self.cfg.line_bytes == addr / self.cfg.line_bytes
-                && self.token_bit_covering(last, slot_bytes))
-            || (last / self.cfg.line_bytes != addr / self.cfg.line_bytes
-                && self.token_bit_covering(last, slot_bytes))
+        let mut slot = addr - addr % slot_bytes;
+        while slot <= last {
+            if self.token_bit_covering(slot, slot_bytes) {
+                return true;
+            }
+            slot += slot_bytes;
+        }
+        false
     }
 
     /// ORs `mask` into the token bits of `addr`'s line.
@@ -334,6 +338,27 @@ mod tests {
         assert!(!c.access_touches_token(0x1000, 8, 16));
         assert!(c.access_touches_token(0x101f, 1, 16));
         assert!(!c.access_touches_token(0x1020, 1, 16));
+    }
+
+    #[test]
+    fn access_touching_armed_slot_detected_across_line_boundary() {
+        let mut c = tiny();
+        // Line 0x1000: slot 3 (0x1030..0x1040) armed; line 0x1040 clean.
+        c.fill(0x1000, false, 0b1000);
+        c.fill(0x1040, false, 0);
+        // A 32-byte access spanning both lines whose first and last bytes
+        // land in clean slots but whose interior covers the armed slot.
+        assert!(c.access_touches_token(0x1028, 32, 16));
+        // The same span one line later touches nothing.
+        assert!(!c.access_touches_token(0x1068, 32, 16));
+        // A line-straddling access whose *last* slot is the armed one.
+        c.fill(0x1080, false, 0);
+        c.fill(0x10c0, false, 0b0001);
+        assert!(c.access_touches_token(0x10b8, 16, 16));
+        assert!(!c.access_touches_token(0x10a8, 16, 16));
+        // Wide access fully inside one line with only an interior armed
+        // slot (first/last slots clean).
+        assert!(c.access_touches_token(0x1000, 64, 16));
     }
 
     #[test]

@@ -260,13 +260,7 @@ impl Hierarchy {
         let alloc_start = self.l1d_mshrs.allocate(line, now, data_at);
         let data_at = data_at + (alloc_start - now);
         // Token detector runs as the line streams in.
-        let line_bytes = mem.read_line(line);
-        let offsets = token.match_offsets_in_line(&line_bytes);
-        let mut mask = 0u8;
-        let w = token.width().bytes();
-        for off in &offsets {
-            mask |= 1u8 << (*off as u64 / w);
-        }
+        let mask = token.line_token_mask(&mem.read_line(line));
         if mask != 0 {
             self.stats.token_detections_on_fill += 1;
         }

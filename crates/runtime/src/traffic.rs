@@ -10,17 +10,50 @@ use crate::layout::{RUNTIME_PC_BASE, RUNTIME_PC_SPAN};
 /// [`Component`] responsible — the mechanism behind the paper's Figure 3
 /// overhead breakdown. Synthetic PCs cycle through a small window so the
 /// injected stream behaves like a resident runtime loop in the front end.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TrafficRecorder {
     ops: Vec<DynInst>,
     component: Component,
     pc_cursor: u64,
+    /// When `false`, micro-ops are counted instead of built — the
+    /// functional-only fast path, where the stream is never replayed.
+    /// Synthetic PCs still advance identically so a later materialising
+    /// call observes the same cursor state.
+    materialize: bool,
+    /// Micro-ops recorded while `materialize` was off.
+    counted: u64,
+}
+
+impl Default for TrafficRecorder {
+    fn default() -> TrafficRecorder {
+        TrafficRecorder {
+            ops: Vec::new(),
+            component: Component::default(),
+            pc_cursor: 0,
+            materialize: true,
+            counted: 0,
+        }
+    }
 }
 
 impl TrafficRecorder {
     /// Creates an empty recorder attributing to [`Component::App`].
     pub fn new() -> TrafficRecorder {
         TrafficRecorder::default()
+    }
+
+    /// Switches between materialising micro-ops (the timing path) and
+    /// merely counting them (the functional fast path).
+    pub fn set_materialize(&mut self, materialize: bool) {
+        self.materialize = materialize;
+    }
+
+    fn record(&mut self, d: DynInst) {
+        if self.materialize {
+            self.ops.push(d);
+        } else {
+            self.counted += 1;
+        }
     }
 
     /// Sets the component attributed to subsequent operations; returns
@@ -40,7 +73,7 @@ impl TrafficRecorder {
         for _ in 0..n {
             let pc = self.next_pc();
             let d = DynInst::alu(pc, None, [None, None]).with_component(self.component);
-            self.ops.push(d);
+            self.record(d);
         }
     }
 
@@ -48,35 +81,35 @@ impl TrafficRecorder {
     pub fn load(&mut self, addr: u64, size: u64) {
         let pc = self.next_pc();
         let d = DynInst::load(pc, None, None, addr, size).with_component(self.component);
-        self.ops.push(d);
+        self.record(d);
     }
 
     /// Records a store of `size` bytes at `addr`.
     pub fn store(&mut self, addr: u64, size: u64) {
         let pc = self.next_pc();
         let d = DynInst::store(pc, None, None, addr, size).with_component(self.component);
-        self.ops.push(d);
+        self.record(d);
     }
 
     /// Records an `arm` of the token slot at `addr`.
     pub fn arm(&mut self, addr: u64, width: u64) {
         let pc = self.next_pc();
         let d = DynInst::arm(pc, None, addr, width).with_component(self.component);
-        self.ops.push(d);
+        self.record(d);
     }
 
     /// Records a `disarm` of the token slot at `addr`.
     pub fn disarm(&mut self, addr: u64, width: u64) {
         let pc = self.next_pc();
         let d = DynInst::disarm(pc, None, addr, width).with_component(self.component);
-        self.ops.push(d);
+        self.record(d);
     }
 
     /// Records a pre-built micro-op, overriding its component with the
     /// recorder's current attribution.
     pub fn push(&mut self, d: DynInst) {
         let component = self.component;
-        self.ops.push(d.with_component(component));
+        self.record(d.with_component(component));
     }
 
     /// Number of recorded micro-ops.
@@ -92,6 +125,19 @@ impl TrafficRecorder {
     /// Drains the recorded micro-ops in order.
     pub fn drain(&mut self) -> Vec<DynInst> {
         std::mem::take(&mut self.ops)
+    }
+
+    /// Appends the recorded micro-ops to `out` and clears the recorder,
+    /// retaining its buffer capacity (the allocation-free splice used by
+    /// the emulator's step loop).
+    pub fn drain_into(&mut self, out: &mut Vec<DynInst>) {
+        out.append(&mut self.ops);
+    }
+
+    /// Takes the count of micro-ops recorded while materialisation was
+    /// off, resetting it to zero.
+    pub fn take_recorded(&mut self) -> u64 {
+        std::mem::take(&mut self.counted)
     }
 
     /// Read-only view of the recorded micro-ops.
@@ -132,6 +178,38 @@ mod tests {
             assert!(op.pc >= RUNTIME_PC_BASE);
             assert!(op.pc < RUNTIME_PC_BASE + RUNTIME_PC_SPAN);
         }
+    }
+
+    #[test]
+    fn counting_mode_counts_instead_of_materialising() {
+        let mut r = TrafficRecorder::new();
+        r.set_materialize(false);
+        r.alu(3);
+        r.store(0x100, 8);
+        r.arm(0x140, 64);
+        assert!(r.is_empty(), "counting mode must not build ops");
+        assert_eq!(r.take_recorded(), 5);
+        assert_eq!(r.take_recorded(), 0, "take resets the count");
+        // The synthetic PC cursor advances identically in both modes, so
+        // switching back to materialising continues the same window.
+        let mut m = TrafficRecorder::new();
+        m.alu(3);
+        m.store(0x100, 8);
+        m.arm(0x140, 64);
+        r.set_materialize(true);
+        r.load(0x2000, 8);
+        m.load(0x2000, 8);
+        assert_eq!(r.drain().last().unwrap().pc, m.drain().last().unwrap().pc);
+    }
+
+    #[test]
+    fn drain_into_appends_and_retains_capacity() {
+        let mut r = TrafficRecorder::new();
+        r.alu(2);
+        let mut out = vec![DynInst::alu(0x1_0000, None, [None, None])];
+        r.drain_into(&mut out);
+        assert_eq!(out.len(), 3);
+        assert!(r.is_empty());
     }
 
     #[test]

@@ -119,7 +119,8 @@ fn run_differential(name: &str, pc: u64, program: &rest_isa::Program) -> DiffOut
     let rt = RtConfig::rest(Mode::Secure, true);
     let cfg = SimConfig::isca2018(rt);
     let mut emu = Emulator::new(program.clone(), &cfg);
-    let stop = emu.run_functional().clone();
+    emu.run_functional();
+    let stop = emu.take_stop().expect("run_functional stops");
     let (confirmed, outcome) = match &stop {
         StopReason::Violation(v) => (true, format!("violation: {v:?}")),
         other => (false, format!("{other:?}")),

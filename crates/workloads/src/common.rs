@@ -190,7 +190,8 @@ pub(crate) mod testutil {
         let program = w.build(&params);
         let cfg = SimConfig::isca2018(rt);
         let mut emu = Emulator::new(program, &cfg);
-        let stop = emu.run_functional().clone();
+        emu.run_functional();
+        let stop = emu.take_stop().expect("run_functional stops");
         let allocs = emu.runtime().allocator().stats().allocs;
         (stop, emu.insts(), allocs)
     }
