@@ -1,0 +1,8 @@
+//! `faults` — deterministic fault-injection campaign over the REST
+//! defence: workloads × attacks × fault models, five-way outcome
+//! classification, checkpoint/resume. See [`rest_bench::faults`].
+
+fn main() {
+    let cli = rest_bench::cli::BenchCli::parse("faults");
+    rest_bench::faults::run_campaign(&cli);
+}

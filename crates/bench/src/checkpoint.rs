@@ -1,0 +1,247 @@
+//! Campaign checkpoint/resume.
+//!
+//! Long fault-injection campaigns periodically persist their finished
+//! cells to a checkpoint file (schema `rest-ckpt/v1`), so an
+//! interrupted run can be resumed with `--resume` instead of starting
+//! over. The file maps each cell's [`SimJob::cache_key`] to the cell's
+//! serialised JSON:
+//!
+//! ```json
+//! {
+//!   "schema": "rest-ckpt/v1",
+//!   "fingerprint": "faults|test|seed=0x5eedfa17|...",
+//!   "cells": { "<cache key>": { ... }, ... }
+//! }
+//! ```
+//!
+//! The fingerprint binds the checkpoint to one exact campaign
+//! (experiment, scale, seed, row list): resuming with any parameter
+//! changed silently ignores the stale file rather than mixing
+//! incompatible cells. Cell values round-trip through the JSON parser
+//! on insert, so a cell rendered from a resumed checkpoint is
+//! byte-identical to one rendered from a fresh simulation — the
+//! determinism contract (`--resume` output equals uninterrupted
+//! output) holds at the byte level.
+//!
+//! Checkpoint keys are serialised in sorted order (the in-memory map is
+//! unordered); the final experiment document never depends on
+//! checkpoint order because cells are looked up by key.
+//!
+//! [`SimJob::cache_key`]: crate::engine::SimJob::cache_key
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rest_obs::Json;
+
+/// Checkpoint document schema identifier.
+pub const CKPT_SCHEMA: &str = "rest-ckpt/v1";
+
+/// A campaign's persisted partial results.
+pub struct Checkpoint {
+    path: PathBuf,
+    fingerprint: String,
+    cells: HashMap<String, Json>,
+}
+
+impl Checkpoint {
+    /// Opens the checkpoint at `path` for the campaign identified by
+    /// `fingerprint`. When `resume` is set and the file exists with a
+    /// matching schema and fingerprint, its cells are loaded; anything
+    /// else (fresh run, missing file, unparsable file, parameter
+    /// mismatch) starts empty.
+    pub fn open(path: &Path, fingerprint: &str, resume: bool) -> Checkpoint {
+        let mut ckpt = Checkpoint {
+            path: path.to_path_buf(),
+            fingerprint: fingerprint.to_string(),
+            cells: HashMap::new(),
+        };
+        if resume {
+            ckpt.load();
+        }
+        ckpt
+    }
+
+    fn load(&mut self) {
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return;
+        };
+        let Ok(doc) = Json::parse(&text) else {
+            eprintln!(
+                "# checkpoint {}: unparsable, starting fresh",
+                self.path.display()
+            );
+            return;
+        };
+        if doc.get("schema").and_then(Json::as_str) != Some(CKPT_SCHEMA) {
+            eprintln!(
+                "# checkpoint {}: wrong schema, starting fresh",
+                self.path.display()
+            );
+            return;
+        }
+        if doc.get("fingerprint").and_then(Json::as_str) != Some(self.fingerprint.as_str()) {
+            eprintln!(
+                "# checkpoint {}: campaign parameters changed, starting fresh",
+                self.path.display()
+            );
+            return;
+        }
+        if let Some(Json::Obj(members)) = doc.get("cells") {
+            for (key, cell) in members {
+                self.cells.insert(key.clone(), cell.clone());
+            }
+        }
+        eprintln!(
+            "# checkpoint {}: resuming with {} recorded cell(s)",
+            self.path.display(),
+            self.cells.len()
+        );
+    }
+
+    /// The recorded cell for `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.cells.get(key)
+    }
+
+    /// Number of recorded cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cell has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Records a finished cell. The value is canonicalised through a
+    /// serialise→parse round trip so a cell read back from disk on
+    /// resume is indistinguishable from one recorded in-process.
+    pub fn insert(&mut self, key: String, cell: Json) {
+        let canonical = Json::parse(&cell.to_string_pretty()).unwrap_or(cell);
+        self.cells.insert(key, canonical);
+    }
+
+    /// Writes the checkpoint to its path (creating parent directories),
+    /// with cell keys in sorted order for stable bytes.
+    pub fn save(&self) -> io::Result<()> {
+        let mut keys: Vec<&String> = self.cells.keys().collect();
+        keys.sort();
+        let cells = keys
+            .into_iter()
+            .map(|k| (k.clone(), self.cells[k].clone()))
+            .collect();
+        let doc = Json::obj(vec![
+            ("schema", Json::from(CKPT_SCHEMA)),
+            ("fingerprint", Json::Str(self.fingerprint.clone())),
+            ("cells", Json::Obj(cells)),
+        ]);
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut text = doc.to_string_pretty();
+        text.push('\n');
+        std::fs::write(&self.path, text)
+    }
+
+    /// Deletes the checkpoint file — the campaign completed and its
+    /// final document supersedes it. A missing file is not an error.
+    pub fn remove(&self) {
+        match std::fs::remove_file(&self.path) {
+            Ok(()) => eprintln!("# removed checkpoint {}", self.path.display()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => eprintln!(
+                "# FAILED removing checkpoint {}: {e}",
+                self.path.display()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rest-ckpt-test-{}-{name}.json", std::process::id()))
+    }
+
+    fn cell(n: u64) -> Json {
+        Json::obj(vec![("cycles", Json::UInt(n)), ("stop", Json::from("exit-0"))])
+    }
+
+    #[test]
+    fn round_trips_cells_through_disk() {
+        let path = tmp("roundtrip");
+        let mut ckpt = Checkpoint::open(&path, "fp-1", false);
+        assert!(ckpt.is_empty());
+        ckpt.insert("job-a".to_string(), cell(10));
+        ckpt.insert("job-b".to_string(), cell(20));
+        ckpt.save().unwrap();
+
+        let resumed = Checkpoint::open(&path, "fp-1", true);
+        assert_eq!(resumed.len(), 2);
+        assert_eq!(
+            resumed.get("job-a").unwrap().to_string_pretty(),
+            cell(10).to_string_pretty()
+        );
+        assert!(resumed.get("job-c").is_none());
+        ckpt.remove();
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_starts_fresh() {
+        let path = tmp("fingerprint");
+        let mut ckpt = Checkpoint::open(&path, "fp-old", false);
+        ckpt.insert("job-a".to_string(), cell(10));
+        ckpt.save().unwrap();
+
+        let other = Checkpoint::open(&path, "fp-new", true);
+        assert!(other.is_empty(), "changed parameters must not reuse cells");
+        ckpt.remove();
+    }
+
+    #[test]
+    fn without_resume_existing_checkpoints_are_ignored() {
+        let path = tmp("noresume");
+        let mut ckpt = Checkpoint::open(&path, "fp", false);
+        ckpt.insert("job-a".to_string(), cell(10));
+        ckpt.save().unwrap();
+
+        let fresh = Checkpoint::open(&path, "fp", false);
+        assert!(fresh.is_empty());
+        ckpt.remove();
+    }
+
+    #[test]
+    fn garbage_files_are_ignored() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not json at all {{{").unwrap();
+        let ckpt = Checkpoint::open(&path, "fp", true);
+        assert!(ckpt.is_empty());
+        ckpt.remove();
+    }
+
+    #[test]
+    fn saved_bytes_are_stable_across_insertion_order() {
+        let (pa, pb) = (tmp("order-a"), tmp("order-b"));
+        let mut a = Checkpoint::open(&pa, "fp", false);
+        a.insert("k1".to_string(), cell(1));
+        a.insert("k2".to_string(), cell(2));
+        a.save().unwrap();
+        let mut b = Checkpoint::open(&pb, "fp", false);
+        b.insert("k2".to_string(), cell(2));
+        b.insert("k1".to_string(), cell(1));
+        b.save().unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&pa).unwrap(),
+            std::fs::read_to_string(&pb).unwrap()
+        );
+        a.remove();
+        b.remove();
+    }
+}

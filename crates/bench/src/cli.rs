@@ -18,6 +18,11 @@
 //!                        before simulating; fail fast on error-or-worse findings
 //! --reference            simulate on the reference decode path (re-decode every
 //!                        fetch) instead of the decoded-uop cache
+//! --resume               resume an interrupted campaign from its checkpoint
+//! --ckpt PATH            checkpoint path (default: results/<experiment>.ckpt.json)
+//! --max-cells N          stop after N freshly simulated cells, keeping the
+//!                        checkpoint (deterministic interruption for CI)
+//! --fault-seed N         base seed for fault-injection campaigns
 //! --help                 usage
 //! ```
 //!
@@ -64,9 +69,34 @@ pub struct BenchCli {
     /// every instruction on every fetch instead of replaying from the
     /// decoded-uop cache. Output must be byte-identical; CI diffs it.
     pub reference: bool,
+    /// Resume an interrupted campaign from its checkpoint file
+    /// (`--resume`): cells already recorded there are not re-simulated.
+    pub resume: bool,
+    /// Explicit checkpoint path (`--ckpt`); defaults to
+    /// `results/<experiment>.ckpt.json`.
+    pub ckpt: Option<PathBuf>,
+    /// Stop after simulating this many fresh cells (`--max-cells`),
+    /// leaving the checkpoint behind for `--resume` — used by CI to
+    /// interrupt a campaign deterministically.
+    pub max_cells: Option<usize>,
+    /// Base seed for fault-injection campaigns (`--fault-seed`).
+    pub fault_seed: u64,
+}
+
+/// Parses a u64 with an optional `0x` prefix (seeds read naturally in
+/// hex).
+fn parse_u64(v: &str) -> Option<u64> {
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    }
 }
 
 impl BenchCli {
+    /// Default base seed for fault campaigns: fixed so CI runs are
+    /// reproducible without passing `--fault-seed`.
+    pub const DEFAULT_FAULT_SEED: u64 = 0x5EED_FA17;
+
     /// Default worker count: the machine's available parallelism.
     pub fn default_jobs() -> usize {
         std::thread::available_parallelism()
@@ -106,6 +136,10 @@ impl BenchCli {
             profile_out: None,
             verify: false,
             reference: false,
+            resume: false,
+            ckpt: None,
+            max_cells: None,
+            fault_seed: Self::DEFAULT_FAULT_SEED,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -151,6 +185,25 @@ impl BenchCli {
                 }
                 "--verify" => cli.verify = true,
                 "--reference" => cli.reference = true,
+                "--resume" => cli.resume = true,
+                "--ckpt" => {
+                    let v = it.next().ok_or("--ckpt needs a path")?;
+                    cli.ckpt = Some(PathBuf::from(v));
+                }
+                "--max-cells" => {
+                    let v = it.next().ok_or("--max-cells needs a value")?;
+                    cli.max_cells = Some(
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| format!("--max-cells: invalid count {v:?}"))?,
+                    );
+                }
+                "--fault-seed" => {
+                    let v = it.next().ok_or("--fault-seed needs a value")?;
+                    cli.fault_seed = parse_u64(v)
+                        .ok_or_else(|| format!("--fault-seed: invalid seed {v:?}"))?;
+                }
                 "--help" | "-h" => return Err("help".to_string()),
                 other => return Err(format!("unknown argument {other:?}")),
             }
@@ -200,11 +253,20 @@ impl BenchCli {
             .unwrap_or_else(|| PathBuf::from("results/BENCH_baseline.json"))
     }
 
+    /// The checkpoint path: `--ckpt` if given, else
+    /// `results/<experiment>.ckpt.json`.
+    pub fn ckpt_path(&self) -> PathBuf {
+        self.ckpt
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(format!("results/{}.ckpt.json", self.experiment)))
+    }
+
     fn usage(experiment: &str) -> String {
         format!(
             "usage: {experiment} [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]\n\
              \x20                 [--sample-interval N] [--trace-out PATH] [--trace-uops N]\n\
-             \x20                 [--profile-out PATH] [--verify] [--reference]\n\
+             \x20                 [--profile-out PATH] [--verify] [--reference] [--resume]\n\
+             \x20                 [--ckpt PATH] [--max-cells N] [--fault-seed N]\n\
              \n\
              --test               run at test scale (fast smoke check)\n\
              --jobs N             worker threads (default and upper bound:\n\
@@ -222,6 +284,14 @@ impl BenchCli {
              \x20                    fail fast on error-or-worse findings\n\
              --reference          re-decode every fetch instead of using the\n\
              \x20                    decoded-uop cache (differential/perf baseline)\n\
+             --resume             resume an interrupted campaign from its checkpoint;\n\
+             \x20                    recorded cells are not re-simulated\n\
+             --ckpt PATH          checkpoint path for campaign experiments\n\
+             \x20                    (default: results/{experiment}.ckpt.json)\n\
+             --max-cells N        stop after N freshly simulated cells, keeping the\n\
+             \x20                    checkpoint for --resume (CI interruption hook)\n\
+             --fault-seed N       base seed for fault-injection campaigns\n\
+             \x20                    (decimal or 0x-hex; default 0x5eedfa17)\n\
              --help               this message"
         )
     }
@@ -255,6 +325,34 @@ mod tests {
         );
         assert!(!cli.verify);
         assert!(!cli.reference);
+        assert!(!cli.resume);
+        assert_eq!(cli.ckpt, None);
+        assert_eq!(cli.ckpt_path(), PathBuf::from("results/fig7.ckpt.json"));
+        assert_eq!(cli.max_cells, None);
+        assert_eq!(cli.fault_seed, BenchCli::DEFAULT_FAULT_SEED);
+    }
+
+    #[test]
+    fn campaign_flags_parse() {
+        let cli = BenchCli::from_args(
+            "faults",
+            &argv(&[
+                "--resume",
+                "--ckpt",
+                "/tmp/f.ckpt.json",
+                "--max-cells",
+                "5",
+                "--fault-seed",
+                "0x1234",
+            ]),
+        )
+        .unwrap();
+        assert!(cli.resume);
+        assert_eq!(cli.ckpt_path(), PathBuf::from("/tmp/f.ckpt.json"));
+        assert_eq!(cli.max_cells, Some(5));
+        assert_eq!(cli.fault_seed, 0x1234);
+        let decimal = BenchCli::from_args("faults", &argv(&["--fault-seed", "42"])).unwrap();
+        assert_eq!(decimal.fault_seed, 42);
     }
 
     #[test]
@@ -319,6 +417,9 @@ mod tests {
         assert!(BenchCli::from_args("fig7", &argv(&["--sample-interval", "x"])).is_err());
         assert!(BenchCli::from_args("fig7", &argv(&["--trace-uops", "0"])).is_err());
         assert!(BenchCli::from_args("fig7", &argv(&["--trace-out"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--ckpt"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--max-cells", "0"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--fault-seed", "0xzz"])).is_err());
         assert_eq!(
             BenchCli::from_args("fig7", &argv(&["--help"])).unwrap_err(),
             "help"

@@ -86,6 +86,39 @@ pub struct SimJob {
     /// instead of the decoded-uop cache. Results are identical by
     /// construction; CI diffs the two byte-for-byte (`--reference`).
     pub reference_path: bool,
+    /// Attack scenario to run instead of `workload` (fault-injection
+    /// campaigns mix clean workload rows with attack rows). When set,
+    /// `workload` is an ignored placeholder and the verify gate is
+    /// skipped — attacks violate the ARM/DISARM discipline on purpose.
+    pub attack: Option<rest_attacks::Attack>,
+    /// Hardware fault to inject during the run (`rest-faults`).
+    pub fault: Option<rest_faults::FaultSpec>,
+    /// Treat **any** guest stop as a successful simulation instead of
+    /// mapping non-`exit(0)` stops to [`JobError`]s. Fault campaigns
+    /// need the full result (stop reason, output, fault report) for
+    /// every cell — a detected violation is data, not a failure.
+    pub accept_any_stop: bool,
+    /// Guest cycle budget (0 = off): the simulation stops with
+    /// [`StopReason::CycleLimit`] once the pipeline clock (or, for
+    /// functional runs, the committed-uop count) reaches it. This is
+    /// the deterministic half of the watchdog.
+    pub max_cycles: u64,
+    /// Host wall-clock deadline in milliseconds (0 = off): the attempt
+    /// runs on a helper thread and is abandoned with a `"timeout"`
+    /// [`JobError`] when it overruns. Host-speed dependent, so
+    /// experiments that must stay byte-deterministic leave it 0 and
+    /// rely on `max_cycles` instead.
+    pub wall_deadline_ms: u64,
+    /// Bounded retry budget for transient host errors (kind
+    /// `"transient-io"`): up to this many extra attempts with
+    /// exponential backoff before the error is reported.
+    pub retry_transient: u32,
+    /// Test knob: the first N attempts fail with a `"transient-io"`
+    /// error before any simulation runs — exercises the retry path.
+    pub inject_transient_failures: u32,
+    /// Test knob: the attempt panics before simulating — exercises the
+    /// panic-isolation path.
+    pub inject_panic: bool,
 }
 
 impl SimJob {
@@ -106,6 +139,35 @@ impl SimJob {
             trace_uops: 0,
             verify: false,
             reference_path: false,
+            attack: None,
+            fault: None,
+            accept_any_stop: false,
+            max_cycles: 0,
+            wall_deadline_ms: 0,
+            retry_transient: 0,
+            inject_transient_failures: 0,
+            inject_panic: false,
+        }
+    }
+
+    /// A job running attack scenario `attack` under `rt`: any stop is
+    /// accepted (the stop reason *is* the measurement).
+    pub fn for_attack(
+        attack: rest_attacks::Attack,
+        label: impl Into<String>,
+        rt: RtConfig,
+        scale: Scale,
+    ) -> SimJob {
+        let row = FigureRow {
+            name: attack.name(),
+            // Placeholder only: `attack` overrides the workload.
+            workload: Workload::Lbm,
+            seed: 0,
+        };
+        SimJob {
+            attack: Some(attack),
+            accept_any_stop: true,
+            ..SimJob::new(&row, label, rt, scale)
         }
     }
 
@@ -132,7 +194,7 @@ impl SimJob {
     /// do not.
     pub fn cache_key(&self) -> String {
         format!(
-            "{:?}|{:#x}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}|{}|{}",
+            "{:?}|{:#x}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}|{}|{}|{:?}|{:?}|{}|{}|{}|{}|{}|{}",
             self.workload,
             self.seed,
             self.rt,
@@ -152,21 +214,103 @@ impl SimJob {
             // The decode paths must be measured independently — sharing
             // a cached result would defeat the differential gate.
             self.reference_path,
+            // Attack scenario and injected fault define what simulates;
+            // the budget/stop-policy fields change how a run can end;
+            // the failure-injection knobs change the attempt outcome.
+            self.attack,
+            self.fault,
+            self.accept_any_stop,
+            self.max_cycles,
+            self.wall_deadline_ms,
+            self.retry_transient,
+            self.inject_transient_failures,
+            self.inject_panic,
         )
     }
 
     /// Builds the workload and simulates it, mapping panics and
     /// abnormal stops to [`JobError`].
+    ///
+    /// Resilience wrapper around [`SimJob::execute_attempt`]: transient
+    /// errors (kind `"transient-io"`) are retried up to
+    /// `retry_transient` times with exponential backoff, and when
+    /// `wall_deadline_ms` is set each attempt runs under a host
+    /// wall-clock watchdog that abandons overrunning simulations with a
+    /// `"timeout"` error.
     pub fn execute(&self) -> Result<SimResult, JobError> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.execute_watchdogged(attempt);
+            match &outcome {
+                Err(e) if e.is_transient() && attempt < self.retry_transient => {
+                    let backoff = Duration::from_millis(10u64 << attempt.min(6));
+                    eprintln!(
+                        "# {} {}: transient failure (attempt {}), retrying in {:?}: {}",
+                        self.name, self.label, attempt + 1, backoff, e.detail
+                    );
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
+                _ => return outcome,
+            }
+        }
+    }
+
+    /// Runs one attempt, under the host wall-clock watchdog when
+    /// `wall_deadline_ms` is set. The attempt executes on a helper
+    /// thread; on deadline overrun the thread is abandoned (it can't be
+    /// killed safely mid-simulation) and the job reports a `"timeout"`
+    /// error. The deadline-free path stays on the calling thread.
+    fn execute_watchdogged(&self, attempt: u32) -> Result<SimResult, JobError> {
+        if self.wall_deadline_ms == 0 {
+            return self.execute_attempt(attempt);
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        let job = self.clone();
+        std::thread::spawn(move || {
+            // The receiver may have given up; a dead channel is fine.
+            let _ = tx.send(job.execute_attempt(attempt));
+        });
+        match rx.recv_timeout(Duration::from_millis(self.wall_deadline_ms)) {
+            Ok(outcome) => outcome,
+            Err(_) => Err(JobError {
+                kind: "timeout".to_string(),
+                detail: format!(
+                    "{} (seed {:#x}) exceeded the host wall deadline of {} ms under {}",
+                    self.workload, self.seed, self.wall_deadline_ms, self.label
+                ),
+            }),
+        }
+    }
+
+    /// One simulation attempt: builds the program (workload or attack),
+    /// runs it, and maps panics and abnormal stops to [`JobError`]s.
+    /// `attempt` feeds the failure-injection test knobs.
+    pub fn execute_attempt(&self, attempt: u32) -> Result<SimResult, JobError> {
+        if attempt < self.inject_transient_failures {
+            return Err(JobError {
+                kind: "transient-io".to_string(),
+                detail: format!(
+                    "injected transient failure on attempt {attempt} (test knob)"
+                ),
+            });
+        }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let params = WorkloadParams {
-                scale: self.scale,
-                stack_scheme: stack_for(&self.rt),
-                token_width: self.rt.token_width,
-                seed: self.seed,
+            if self.inject_panic {
+                panic!("injected panic (test knob)");
+            }
+            let program = if let Some(attack) = self.attack {
+                attack.build(stack_for(&self.rt))
+            } else {
+                let params = WorkloadParams {
+                    scale: self.scale,
+                    stack_scheme: stack_for(&self.rt),
+                    token_width: self.rt.token_width,
+                    seed: self.seed,
+                };
+                self.workload.build(&params)
             };
-            let program = self.workload.build(&params);
-            if self.verify {
+            if self.verify && self.attack.is_none() {
                 let lint = rest_verify::verify_program(&program);
                 let worst: Vec<_> = lint.at_least(rest_verify::Severity::Error).collect();
                 if !worst.is_empty() {
@@ -196,6 +340,8 @@ impl SimJob {
             cfg.sample_interval = self.sample_interval;
             cfg.trace_uops = self.trace_uops;
             cfg.reference_path = self.reference_path;
+            cfg.max_cycles = self.max_cycles;
+            cfg.fault = self.fault;
             if let Some(budget) = self.max_uops {
                 cfg.max_uops = budget;
             }
@@ -216,35 +362,49 @@ impl SimJob {
             Ok(Err(e)) => return Err(e),
             Ok(Ok(r)) => r,
         };
-        match result.stop {
-            StopReason::Exit(0) => Ok(result),
-            ref stop => Err(JobError {
-                kind: match stop {
-                    StopReason::Halted => "halted",
-                    StopReason::Exit(_) => "nonzero-exit",
-                    StopReason::Violation(_) => "violation",
-                    StopReason::UopLimit => "uop-limit",
-                    StopReason::Fault(_) => "fault",
-                }
-                .to_string(),
-                detail: format!(
-                    "{} (seed {:#x}) stopped with {:?} under {}",
-                    self.workload, self.seed, stop, result.label
-                ),
-            }),
+        if matches!(result.stop, StopReason::Exit(0)) || self.accept_any_stop {
+            return Ok(result);
         }
+        let stop = &result.stop;
+        Err(JobError {
+            kind: match stop {
+                StopReason::Halted => "halted",
+                StopReason::Exit(_) => "nonzero-exit",
+                StopReason::Violation(_) => "violation",
+                StopReason::UopLimit => "uop-limit",
+                StopReason::CycleLimit => "cycle-limit",
+                StopReason::Fault(_) => "fault",
+            }
+            .to_string(),
+            detail: format!(
+                "{} (seed {:#x}) stopped with {:?} under {}",
+                self.workload, self.seed, stop, result.label
+            ),
+        })
     }
 }
 
 /// A simulation that did not complete normally: the guest stopped with
-/// anything other than `exit(0)`, or the simulator panicked.
+/// anything other than `exit(0)`, or the attempt itself failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobError {
-    /// Machine-readable class: `"panic"`, `"violation"`, `"uop-limit"`,
-    /// `"fault"`, `"halted"`, or `"nonzero-exit"`.
+    /// Machine-readable class. Guest stops map to `"violation"`,
+    /// `"uop-limit"`, `"cycle-limit"`, `"fault"`, `"halted"`, or
+    /// `"nonzero-exit"`; attempt failures to `"panic"` (simulator
+    /// panicked), `"timeout"` (host wall-clock watchdog),
+    /// `"transient-io"` (retryable host error), or `"verify"` (static
+    /// lint gate).
     pub kind: String,
     /// Human-readable detail.
     pub detail: String,
+}
+
+impl JobError {
+    /// Whether the error class is worth retrying (host-side transient
+    /// conditions, not deterministic guest outcomes).
+    pub fn is_transient(&self) -> bool {
+        self.kind == "transient-io"
+    }
 }
 
 impl std::fmt::Display for JobError {
@@ -255,6 +415,17 @@ impl std::fmt::Display for JobError {
 
 /// Shared outcome of one job (cached, so cheap to clone).
 pub type JobOutcome = Arc<Result<SimResult, JobError>>;
+
+/// Locks a mutex, recovering the data from a poisoned lock. A panic on
+/// one worker thread (already surfaced as a `"panic"` [`JobError`] by
+/// `catch_unwind`) poisons any mutex it held; unwrapping the poison
+/// would cascade that one failure into panics on every later lock of
+/// the shared cache/timing state, taking the whole sweep down. The
+/// guarded data is only ever mutated by single `insert`/`push` calls,
+/// so the recovered state is consistent.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
 
 /// The job runner: a fixed-size worker pool plus a result cache keyed
 /// by [`SimJob::cache_key`].
@@ -282,7 +453,7 @@ impl Engine {
     /// Draining resets the log, so successive experiments on one
     /// engine can profile separately.
     pub fn take_timings(&self) -> Vec<JobTiming> {
-        std::mem::take(&mut self.timings.lock().unwrap())
+        std::mem::take(&mut lock_recover(&self.timings))
     }
 
     /// Runs every job not already cached, in parallel, and returns one
@@ -290,7 +461,7 @@ impl Engine {
     /// hits resolve to the same shared result).
     pub fn run_all(&self, jobs: &[SimJob]) -> Vec<JobOutcome> {
         let fresh: Vec<&SimJob> = {
-            let cache = self.cache.lock().unwrap();
+            let cache = lock_recover(&self.cache);
             let mut seen = HashSet::new();
             jobs.iter()
                 .filter(|j| {
@@ -331,11 +502,8 @@ impl Engine {
                                 job.name, job.label
                             ),
                         }
-                        fresh_walls.lock().unwrap().insert(job.cache_key(), wall);
-                        self.cache
-                            .lock()
-                            .unwrap()
-                            .insert(job.cache_key(), Arc::new(result));
+                        lock_recover(&fresh_walls).insert(job.cache_key(), wall);
+                        lock_recover(&self.cache).insert(job.cache_key(), Arc::new(result));
                     });
                 }
             });
@@ -348,8 +516,8 @@ impl Engine {
         // for a key that was simulated this call gets the measured
         // time; duplicates and pre-cached keys log as cache hits.
         {
-            let mut walls = fresh_walls.into_inner().unwrap();
-            let mut timings = self.timings.lock().unwrap();
+            let mut walls = fresh_walls.into_inner().unwrap_or_else(|poison| poison.into_inner());
+            let mut timings = lock_recover(&self.timings);
             for job in jobs {
                 let label = format!("{} {}", job.name, job.label);
                 match walls.remove(&job.cache_key()) {
@@ -366,7 +534,7 @@ impl Engine {
                 }
             }
         }
-        let cache = self.cache.lock().unwrap();
+        let cache = lock_recover(&self.cache);
         jobs.iter().map(|j| cache[&j.cache_key()].clone()).collect()
     }
 
@@ -699,5 +867,120 @@ mod tests {
         let err = job.execute().unwrap_err();
         assert_eq!(err.kind, "uop-limit");
         assert!(err.detail.contains("lbm"));
+    }
+
+    #[test]
+    fn injected_panic_becomes_structured_job_error() {
+        let row = lbm_row();
+        let job = SimJob {
+            inject_panic: true,
+            ..SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test)
+        };
+        let err = job.execute().unwrap_err();
+        assert_eq!(err.kind, "panic");
+        assert!(err.detail.contains("injected panic"));
+    }
+
+    #[test]
+    fn panicking_job_does_not_poison_the_engine() {
+        // A panicking cell must neither kill its siblings nor poison
+        // the engine's shared state for later submissions.
+        let row = lbm_row();
+        let engine = Engine::new(2);
+        let panicking = SimJob {
+            inject_panic: true,
+            ..SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test)
+        };
+        let healthy = SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test);
+        let outcomes = engine.run_all(&[panicking, healthy.clone()]);
+        assert_eq!(outcomes[0].as_ref().as_ref().unwrap_err().kind, "panic");
+        assert!(outcomes[1].is_ok());
+        // The engine stays usable afterwards.
+        let again = engine.run_all(std::slice::from_ref(&healthy));
+        assert!(again[0].is_ok());
+        assert_eq!(engine.take_timings().len(), 3);
+    }
+
+    #[test]
+    fn wall_deadline_watchdog_times_out_slow_jobs() {
+        // A 1 ms host deadline is far below any cycle-level simulation;
+        // the watchdog must abandon the attempt with a "timeout" error.
+        let row = lbm_row();
+        let job = SimJob {
+            wall_deadline_ms: 1,
+            ..SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test)
+        };
+        let err = job.execute().unwrap_err();
+        assert_eq!(err.kind, "timeout");
+        assert!(err.detail.contains("1 ms"));
+    }
+
+    #[test]
+    fn transient_failures_are_retried_within_budget() {
+        let row = lbm_row();
+        // Fails twice, succeeds on the third attempt: a budget of two
+        // retries rides out both failures.
+        let job = SimJob {
+            inject_transient_failures: 2,
+            retry_transient: 2,
+            ..SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test)
+        };
+        assert!(job.execute().is_ok());
+        // An insufficient budget surfaces the transient error.
+        let starved = SimJob {
+            inject_transient_failures: 2,
+            retry_transient: 1,
+            ..SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test)
+        };
+        let err = starved.execute().unwrap_err();
+        assert_eq!(err.kind, "transient-io");
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn resilience_fields_participate_in_cache_keys() {
+        let row = lbm_row();
+        let a = SimJob::new(&row, "a", RtConfig::plain(), Scale::Test);
+        for job in [
+            SimJob {
+                attack: Some(rest_attacks::Attack::Heartbleed),
+                ..a.clone()
+            },
+            SimJob {
+                fault: Some(rest_faults::FaultKind::MetaBitClear.default_spec(7)),
+                ..a.clone()
+            },
+            SimJob {
+                accept_any_stop: true,
+                ..a.clone()
+            },
+            SimJob {
+                max_cycles: 1000,
+                ..a.clone()
+            },
+            SimJob {
+                inject_panic: true,
+                ..a.clone()
+            },
+        ] {
+            assert_ne!(a.cache_key(), job.cache_key());
+        }
+    }
+
+    #[test]
+    fn attack_jobs_accept_violation_stops_as_results() {
+        use rest_core::Mode;
+        let job = SimJob::for_attack(
+            rest_attacks::Attack::HeapOverflowWrite,
+            "rest-secure-full",
+            RtConfig::rest(Mode::Secure, true),
+            Scale::Test,
+        );
+        let result = job.execute().expect("any stop is accepted");
+        assert!(
+            matches!(result.stop, StopReason::Violation(_)),
+            "{:?}",
+            result.stop
+        );
     }
 }

@@ -1,0 +1,556 @@
+//! Fault-injection campaign (`faults` binary).
+//!
+//! Sweeps a row set of clean workloads **and** attack scenarios against
+//! every [`rest_faults::FaultKind`] (plus a fault-free reference cell
+//! per row), all under the paper's `rest-secure-full` configuration,
+//! and classifies each run's outcome five ways:
+//!
+//! | outcome | meaning |
+//! |---|---|
+//! | `detected` | the run stopped with a REST violation |
+//! | `masked` | clean exit, checksum matches the fault-free reference |
+//! | `sdc` | clean exit, checksum **differs** — silent data corruption |
+//! | `hang` | the guest cycle/uop budget expired (watchdog) |
+//! | `crash` | guest fault or nonzero exit |
+//!
+//! Two derived flags capture the security-relevant deltas against the
+//! fault-free reference cell of the same row:
+//!
+//! * **missed detection** — the reference detected a violation but the
+//!   faulted run exited clean (a fail-open metadata fault defeated the
+//!   defence),
+//! * **false positive** — the reference exited clean but the faulted
+//!   run raised a violation (a fail-closed fault fired spuriously).
+//!
+//! The campaign writes a detection-coverage table to stdout and a
+//! `rest-faults/v1` JSON document to `results/faults.json`, both
+//! byte-identical at any `--jobs` level. Finished cells are
+//! checkpointed periodically ([`crate::checkpoint`]); an interrupted
+//! campaign (`--max-cells N`, a crash, ^C between chunks) resumes with
+//! `--resume` and produces byte-identical final output.
+
+use rest_attacks::Attack;
+use rest_core::Mode;
+use rest_cpu::{SimResult, StopReason};
+use rest_faults::{FaultKind, FaultSpec};
+use rest_obs::Json;
+use rest_runtime::RtConfig;
+use rest_workloads::{Scale, Workload};
+
+use crate::checkpoint::Checkpoint;
+use crate::cli::BenchCli;
+use crate::engine::{Engine, JobError, SimJob};
+use crate::FigureRow;
+
+/// Campaign document schema identifier.
+pub const SCHEMA: &str = "rest-faults/v1";
+
+/// Cells simulated between checkpoint saves.
+const CKPT_CHUNK: usize = 8;
+
+/// One campaign row: a clean workload (expected to exit 0) or an attack
+/// scenario (expected to be detected when fault-free).
+#[derive(Debug, Clone, Copy)]
+pub enum CampaignRow {
+    /// A benign benchmark row.
+    Workload(FigureRow),
+    /// A memory-error attack scenario.
+    Attack(Attack),
+}
+
+impl CampaignRow {
+    /// Display name of the row.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CampaignRow::Workload(row) => row.name,
+            CampaignRow::Attack(a) => a.name(),
+        }
+    }
+
+    /// `"workload"` or `"attack"` (serialised into the document).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CampaignRow::Workload(_) => "workload",
+            CampaignRow::Attack(_) => "attack",
+        }
+    }
+
+    /// The simulation job for this row under `spec` (None = the
+    /// fault-free reference cell).
+    fn job(&self, label: &str, spec: Option<FaultSpec>, scale: Scale, budget: u64) -> SimJob {
+        let rt = RtConfig::rest(Mode::Secure, true);
+        let mut job = match self {
+            CampaignRow::Workload(row) => SimJob::new(row, label, rt, scale),
+            CampaignRow::Attack(a) => SimJob::for_attack(*a, label, rt, scale),
+        };
+        // Any stop is data here — a violation on an attack row is the
+        // expected reference outcome, not a failure.
+        job.accept_any_stop = true;
+        // Deterministic watchdog: a fault that livelocks the guest
+        // classifies as "hang" identically on every host. The host
+        // wall-clock deadline stays off — it is not deterministic.
+        job.max_cycles = budget;
+        job.fault = spec;
+        job
+    }
+}
+
+/// The campaign's row set: two clean workloads (false-positive
+/// sentinels) and three attacks (missed-detection sentinels).
+pub fn campaign_rows() -> Vec<CampaignRow> {
+    vec![
+        CampaignRow::Workload(FigureRow::of(Workload::Lbm)),
+        CampaignRow::Workload(FigureRow::of(Workload::Sjeng)),
+        CampaignRow::Attack(Attack::HeapOverflowWrite),
+        CampaignRow::Attack(Attack::UseAfterFree),
+        CampaignRow::Attack(Attack::Heartbleed),
+    ]
+}
+
+/// The per-row fault column set: the fault-free reference first, then
+/// one default [`FaultSpec`] per kind. Each row mixes the base seed
+/// with its index so rows corrupt different token bits.
+pub fn campaign_specs(fault_seed: u64, row_idx: usize) -> Vec<Option<FaultSpec>> {
+    let seed = rest_faults::splitmix64(fault_seed ^ (row_idx as u64).wrapping_mul(0x9E37_79B9));
+    let mut specs = vec![None];
+    specs.extend(FaultKind::ALL.iter().map(|k| Some(k.default_spec(seed))));
+    specs
+}
+
+/// Column labels, aligned with [`campaign_specs`] order.
+fn column_labels() -> Vec<&'static str> {
+    let mut labels = vec!["fault-free"];
+    labels.extend(FaultKind::ALL.iter().map(|k| k.name()));
+    labels
+}
+
+/// Guest cycle budget per cell: generous (every fault-free run fits
+/// with two orders of magnitude to spare) but bounded, so a livelocked
+/// guest classifies as `hang` instead of wedging the campaign.
+fn cycle_budget(scale: Scale) -> u64 {
+    match scale {
+        Scale::Test => 20_000_000,
+        Scale::Ref => 400_000_000,
+    }
+}
+
+/// FNV-1a over everything architecturally observable from a clean run:
+/// the guest's output stream, its committed-instruction count, and the
+/// allocator's externally visible counters. Cycle counts are excluded
+/// on purpose — a fault that only perturbs *timing* is masked, not SDC.
+pub fn result_checksum(result: &SimResult) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&result.output);
+    for word in [
+        result.core.insts,
+        result.alloc.allocs,
+        result.alloc.frees,
+        result.alloc.bytes_requested,
+        result.alloc.live_bytes,
+        result.alloc.bad_frees,
+    ] {
+        eat(&word.to_le_bytes());
+    }
+    h
+}
+
+/// Deterministic name for a stop reason.
+fn stop_name(stop: &StopReason) -> String {
+    match stop {
+        StopReason::Exit(0) => "exit-0".to_string(),
+        StopReason::Exit(code) => format!("exit-{code}"),
+        StopReason::Halted => "halted".to_string(),
+        StopReason::Violation(_) => "violation".to_string(),
+        StopReason::UopLimit => "uop-limit".to_string(),
+        StopReason::CycleLimit => "cycle-limit".to_string(),
+        StopReason::Fault(_) => "guest-fault".to_string(),
+    }
+}
+
+fn fault_spec_json(spec: &FaultSpec) -> Json {
+    Json::obj(vec![
+        ("kind", Json::from(spec.kind.name())),
+        ("seed", Json::UInt(spec.seed)),
+        ("window_start", Json::UInt(spec.window_start)),
+        ("window_len", Json::UInt(spec.window_len)),
+        ("trigger_event", Json::UInt(spec.trigger_event())),
+    ])
+}
+
+/// The raw (classification-free) JSON of one finished cell — exactly
+/// what the checkpoint stores. Integer-only members, so the
+/// serialise→parse round trip through the checkpoint is lossless.
+fn raw_cell_json(
+    label: &str,
+    spec: Option<&FaultSpec>,
+    outcome: &Result<SimResult, JobError>,
+) -> Json {
+    let mut members = vec![
+        ("label", Json::from(label)),
+        (
+            "fault",
+            spec.map(fault_spec_json).unwrap_or(Json::Null),
+        ),
+    ];
+    match outcome {
+        Err(e) => members.push((
+            "error",
+            Json::obj(vec![
+                ("kind", Json::from(e.kind.as_str())),
+                ("detail", Json::from(e.detail.as_str())),
+            ]),
+        )),
+        Ok(result) => {
+            let detected = matches!(result.stop, StopReason::Violation(_));
+            let clean = matches!(result.stop, StopReason::Exit(0) | StopReason::Halted);
+            members.push(("stop", Json::Str(stop_name(&result.stop))));
+            members.push(("detected", Json::Bool(detected)));
+            members.push(("clean_exit", Json::Bool(clean)));
+            if clean {
+                members.push((
+                    "checksum",
+                    Json::from(format!("{:#018x}", result_checksum(result))),
+                ));
+            }
+            if let Some(report) = &result.fault {
+                members.push((
+                    "fault_report",
+                    Json::obj(vec![
+                        ("kind", Json::from(report.kind)),
+                        ("triggered", Json::Bool(report.triggered)),
+                        ("site_events", Json::UInt(report.site_events)),
+                        ("trigger_event", Json::UInt(report.trigger_event)),
+                        ("records", Json::UInt(report.records)),
+                        ("suppressed_hits", Json::UInt(report.suppressed_hits)),
+                    ]),
+                ));
+            }
+            // Provenance: how many audit entries the injector left
+            // behind, next to the total (which includes architectural
+            // violations).
+            let injector_entries = result
+                .audit
+                .entries()
+                .iter()
+                .filter(|e| e.detector == rest_obs::FAULT_INJECTOR)
+                .count() as u64;
+            members.push(("audit_total", Json::UInt(result.audit.total())));
+            members.push(("audit_injector_entries", Json::UInt(injector_entries)));
+        }
+    }
+    Json::obj(members)
+}
+
+/// Classification of one stored cell against its row's fault-free
+/// reference cell: `(outcome, missed_detection, false_positive)`.
+fn classify(cell: &Json, reference: &Json) -> (&'static str, bool, bool) {
+    let truthy = |j: &Json, key: &str| j.get(key) == Some(&Json::Bool(true));
+    if cell.get("error").is_some() {
+        return ("error", false, false);
+    }
+    let detected = truthy(cell, "detected");
+    let clean = truthy(cell, "clean_exit");
+    let stop = cell.get("stop").and_then(Json::as_str).unwrap_or("");
+    let ref_detected = truthy(reference, "detected");
+    let ref_clean = truthy(reference, "clean_exit");
+    let outcome = if detected {
+        "detected"
+    } else if stop == "cycle-limit" || stop == "uop-limit" {
+        "hang"
+    } else if clean {
+        // A clean exit whose observable state matches the fault-free
+        // reference is masked; any divergence (including "the
+        // reference never exited cleanly at all") is silent data
+        // corruption.
+        let matches_ref =
+            reference.get("checksum").is_some() && cell.get("checksum") == reference.get("checksum");
+        if matches_ref {
+            "masked"
+        } else {
+            "sdc"
+        }
+    } else {
+        "crash"
+    };
+    let missed_detection = ref_detected && clean;
+    let false_positive = ref_clean && detected;
+    (outcome, missed_detection, false_positive)
+}
+
+/// Appends the classification members to a stored raw cell.
+fn classified_cell(cell: &Json, reference: &Json) -> Json {
+    let (outcome, missed, fp) = classify(cell, reference);
+    let mut members = match cell {
+        Json::Obj(m) => m.clone(),
+        other => vec![("cell".to_string(), other.clone())],
+    };
+    members.push(("outcome".to_string(), Json::from(outcome)));
+    members.push(("missed_detection".to_string(), Json::Bool(missed)));
+    members.push(("false_positive".to_string(), Json::Bool(fp)));
+    Json::Obj(members)
+}
+
+/// Runs the full campaign: simulate (or resume) every cell, checkpoint
+/// periodically, then — unless interrupted by `--max-cells` — classify,
+/// print the coverage table, write `results/faults.json`, and delete
+/// the checkpoint.
+pub fn run_campaign(cli: &BenchCli) {
+    let rows = campaign_rows();
+    let budget = cycle_budget(cli.scale);
+    let labels = column_labels();
+
+    // Every cell of the campaign, row-major, with its stable key.
+    struct Cell {
+        row: usize,
+        spec: Option<FaultSpec>,
+        job: SimJob,
+        key: String,
+    }
+    let mut cells = Vec::new();
+    for (r, row) in rows.iter().enumerate() {
+        for (c, spec) in campaign_specs(cli.fault_seed, r).into_iter().enumerate() {
+            let job = row.job(labels[c], spec, cli.scale, budget);
+            let key = job.cache_key();
+            cells.push(Cell {
+                row: r,
+                spec,
+                job,
+                key,
+            });
+        }
+    }
+
+    // The fingerprint pins the checkpoint to these exact parameters.
+    let fingerprint = format!(
+        "{SCHEMA}|{}|seed={:#x}|budget={}|rows={}",
+        cli.scale_name(),
+        cli.fault_seed,
+        budget,
+        rows.iter().map(CampaignRow::name).collect::<Vec<_>>().join(",")
+    );
+    let mut ckpt = Checkpoint::open(&cli.ckpt_path(), &fingerprint, cli.resume);
+    let engine = Engine::new(cli.jobs);
+
+    let pending: Vec<&Cell> = cells.iter().filter(|c| ckpt.get(&c.key).is_none()).collect();
+    let cell_limit = cli.max_cells.unwrap_or(usize::MAX);
+    let mut fresh = 0usize;
+    let mut interrupted = false;
+    for chunk in pending.chunks(CKPT_CHUNK) {
+        let take = cell_limit.saturating_sub(fresh).min(chunk.len());
+        if take == 0 {
+            interrupted = true;
+            break;
+        }
+        let chunk = &chunk[..take];
+        let jobs: Vec<SimJob> = chunk.iter().map(|c| c.job.clone()).collect();
+        let outcomes = engine.run_all(&jobs);
+        for (cell, outcome) in chunk.iter().zip(&outcomes) {
+            ckpt.insert(
+                cell.key.clone(),
+                raw_cell_json(&cell.job.label, cell.spec.as_ref(), outcome),
+            );
+        }
+        fresh += chunk.len();
+        if let Err(e) = ckpt.save() {
+            eprintln!("# FAILED writing checkpoint: {e}");
+            std::process::exit(1);
+        }
+        if fresh >= cell_limit && fresh < pending.len() {
+            interrupted = true;
+            break;
+        }
+    }
+    if interrupted {
+        eprintln!(
+            "# faults: stopped after {fresh} fresh cell(s) (--max-cells); \
+             {} of {} recorded — rerun with --resume to finish",
+            ckpt.len(),
+            cells.len()
+        );
+        return;
+    }
+
+    // Assemble the final document from the checkpoint (every cell is
+    // recorded by now, whether simulated this run or resumed).
+    let per_row: Vec<Vec<&Json>> = rows
+        .iter()
+        .enumerate()
+        .map(|(r, _)| {
+            cells
+                .iter()
+                .filter(|c| c.row == r)
+                .map(|c| ckpt.get(&c.key).expect("campaign completed every cell"))
+                .collect()
+        })
+        .collect();
+
+    // Coverage counters over all cells, plus the two derived flags.
+    let mut counts: Vec<(&'static str, u64)> = [
+        "detected", "masked", "sdc", "hang", "crash", "error",
+    ]
+    .iter()
+    .map(|&k| (k, 0u64))
+    .collect();
+    let (mut missed_total, mut fp_total) = (0u64, 0u64);
+
+    crate::print_machine_header(
+        "faults — fault-injection detection coverage (rest-secure-full)",
+    );
+    print!("{:<22}{:<10}", "row", "kind");
+    for label in &labels {
+        print!("{label:>20}");
+    }
+    println!();
+    let mut row_docs = Vec::new();
+    for (r, row) in rows.iter().enumerate() {
+        let reference = per_row[r][0];
+        print!("{:<22}{:<10}", row.name(), row.kind());
+        let mut cell_docs = Vec::new();
+        for cell in &per_row[r] {
+            let (outcome, missed, fp) = classify(cell, reference);
+            for entry in counts.iter_mut() {
+                if entry.0 == outcome {
+                    entry.1 += 1;
+                }
+            }
+            missed_total += missed as u64;
+            fp_total += fp as u64;
+            let marker = if missed {
+                " *MISS"
+            } else if fp {
+                " *FP"
+            } else {
+                ""
+            };
+            print!("{:>20}", format!("{outcome}{marker}"));
+            cell_docs.push(classified_cell(cell, reference));
+        }
+        println!();
+        row_docs.push(Json::obj(vec![
+            ("name", Json::from(row.name())),
+            ("kind", Json::from(row.kind())),
+            ("cells", Json::Arr(cell_docs)),
+        ]));
+    }
+    println!();
+    println!(
+        "missed detections: {missed_total}   false positives: {fp_total}"
+    );
+
+    let mut sink = crate::sink::ResultSink::new(cli);
+    sink.push("schema", Json::from(SCHEMA));
+    sink.push("fault_seed", Json::UInt(cli.fault_seed));
+    sink.push("mode", Json::from("rest-secure-full"));
+    sink.push("max_cycles", Json::UInt(budget));
+    sink.push("columns", Json::Arr(labels.iter().map(|&l| Json::from(l)).collect()));
+    sink.push("rows", Json::Arr(row_docs));
+    let mut coverage: Vec<(&str, Json)> = counts
+        .into_iter()
+        .map(|(k, n)| (k, Json::UInt(n)))
+        .collect();
+    coverage.push(("missed_detections", Json::UInt(missed_total)));
+    coverage.push(("false_positives", Json::UInt(fp_total)));
+    sink.push("coverage", Json::obj(coverage));
+    sink.finish();
+    ckpt.remove();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_shape_is_stable() {
+        let rows = campaign_rows();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.iter().filter(|r| r.kind() == "attack").count(), 3);
+        let specs = campaign_specs(BenchCli::DEFAULT_FAULT_SEED, 0);
+        assert_eq!(specs.len(), 1 + FaultKind::ALL.len());
+        assert!(specs[0].is_none());
+        assert_eq!(column_labels().len(), specs.len());
+        // Different rows get different fault seeds.
+        let other = campaign_specs(BenchCli::DEFAULT_FAULT_SEED, 1);
+        assert_ne!(specs[1].unwrap().seed, other[1].unwrap().seed);
+    }
+
+    #[test]
+    fn classification_matrix() {
+        let cell = |detected: bool, clean: bool, stop: &str, sum: Option<&str>| {
+            let mut m = vec![
+                ("detected", Json::Bool(detected)),
+                ("clean_exit", Json::Bool(clean)),
+                ("stop", Json::from(stop)),
+            ];
+            if let Some(s) = sum {
+                m.push(("checksum", Json::from(s)));
+            }
+            Json::obj(m)
+        };
+        let clean_ref = cell(false, true, "exit-0", Some("0xaa"));
+        let detected_ref = cell(true, false, "violation", None);
+
+        // Fault-free cells classify against themselves.
+        assert_eq!(
+            classify(&clean_ref, &clean_ref),
+            ("masked", false, false)
+        );
+        assert_eq!(
+            classify(&detected_ref, &detected_ref),
+            ("detected", false, false)
+        );
+        // Fail-open: reference detected, faulted run sailed through.
+        assert_eq!(
+            classify(&cell(false, true, "exit-0", Some("0xbb")), &detected_ref),
+            ("sdc", true, false)
+        );
+        // Fail-closed: clean reference, faulted run raised a violation.
+        assert_eq!(
+            classify(&cell(true, false, "violation", None), &clean_ref),
+            ("detected", false, true)
+        );
+        // Checksum divergence on a clean row is SDC, not masked.
+        assert_eq!(
+            classify(&cell(false, true, "exit-0", Some("0xbb")), &clean_ref),
+            ("sdc", false, false)
+        );
+        // Budget expiry is a hang; guest faults are crashes.
+        assert_eq!(
+            classify(&cell(false, false, "cycle-limit", None), &clean_ref),
+            ("hang", false, false)
+        );
+        assert_eq!(
+            classify(&cell(false, false, "guest-fault", None), &clean_ref),
+            ("crash", false, false)
+        );
+        // Engine-level failures surface as "error".
+        let err = Json::obj(vec![("error", Json::obj(vec![]))]);
+        assert_eq!(classify(&err, &clean_ref), ("error", false, false));
+    }
+
+    #[test]
+    fn checksum_ignores_cycles_but_sees_output_and_insts() {
+        let base = crate::run(Workload::Lbm, Scale::Test, RtConfig::plain());
+        let mk = |output: &[u8], insts: u64, cycles: u64| {
+            let mut r = base.clone();
+            r.output = output.to_vec();
+            r.core.insts = insts;
+            r.core.cycles = cycles;
+            r
+        };
+        let a = mk(b"hello", 100, 1000);
+        let b = mk(b"hello", 100, 2000); // timing-only divergence
+        let c = mk(b"hellp", 100, 1000);
+        let d = mk(b"hello", 101, 1000);
+        assert_eq!(result_checksum(&a), result_checksum(&b));
+        assert_ne!(result_checksum(&a), result_checksum(&c));
+        assert_ne!(result_checksum(&a), result_checksum(&d));
+    }
+}

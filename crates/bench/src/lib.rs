@@ -12,6 +12,7 @@
 //! | `prose_stats` | §VI-B prose statistics (ROB/IQ/token traffic) |
 //! | `ablations` | design-choice ablations called out in DESIGN.md |
 //! | `perf` | guest-IPS throughput, fast vs reference decode path |
+//! | `faults` | fault-injection detection-coverage campaign ([`faults`]) |
 //!
 //! All binaries are thin wrappers over a shared experiment engine:
 //!
@@ -35,8 +36,10 @@
 //! cargo run --release -p rest-bench --bin fig7 -- --test --jobs 8
 //! ```
 
+pub mod checkpoint;
 pub mod cli;
 pub mod engine;
+pub mod faults;
 pub mod sink;
 pub mod throughput;
 

@@ -72,6 +72,10 @@
 //! * `"audit"` — present only when the run recorded violations: the
 //!   [`rest_obs::AuditLog`] document `{"total", "entries": [{
 //!   "detector", "kind", "pc", "addr", ...}]}`.
+//! * `"fault"` — present only when the run injected a hardware fault
+//!   (`rest-faults`): the [`rest_faults::FaultReport`] summary
+//!   `{"kind", "triggered", "site_events", "trigger_event",
+//!   "records", "suppressed_hits"}`.
 //!
 //! Failed jobs serialise as `"error"` cells; non-finite floats
 //! serialise as `null`.
@@ -184,6 +188,19 @@ pub fn result_json(result: &SimResult) -> Vec<(&'static str, Json)> {
     }
     if !result.audit.is_empty() {
         body.push(("audit", result.audit.to_json()));
+    }
+    if let Some(report) = &result.fault {
+        body.push((
+            "fault",
+            Json::obj(vec![
+                ("kind", Json::from(report.kind)),
+                ("triggered", Json::Bool(report.triggered)),
+                ("site_events", Json::UInt(report.site_events)),
+                ("trigger_event", Json::UInt(report.trigger_event)),
+                ("records", Json::UInt(report.records)),
+                ("suppressed_hits", Json::UInt(report.suppressed_hits)),
+            ]),
+        ));
     }
     body
 }

@@ -26,6 +26,10 @@ fn test_cli() -> BenchCli {
         profile_out: None,
         verify: false,
         reference: false,
+        resume: false,
+        ckpt: None,
+        max_cells: None,
+        fault_seed: BenchCli::DEFAULT_FAULT_SEED,
     }
 }
 

@@ -31,6 +31,11 @@ pub struct ArmedSet {
     slots: HashSet<u64>,
     arms: u64,
     disarms: u64,
+    /// When true, every arm's slot address is appended to `recent` so a
+    /// fault injector can observe architectural arms (including the
+    /// allocator's redzone arms, which never pass through `Inst::Arm`).
+    recording: bool,
+    recent: Vec<u64>,
 }
 
 impl ArmedSet {
@@ -41,6 +46,8 @@ impl ArmedSet {
             slots: HashSet::new(),
             arms: 0,
             disarms: 0,
+            recording: false,
+            recent: Vec::new(),
         }
     }
 
@@ -63,6 +70,9 @@ impl ArmedSet {
         }
         self.slots.insert(addr);
         self.arms += 1;
+        if self.recording {
+            self.recent.push(addr);
+        }
         Ok(())
     }
 
@@ -136,6 +146,30 @@ impl ArmedSet {
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         self.slots.iter().copied()
     }
+
+    /// Enables (or disables) recording of arm slot addresses for fault
+    /// injection. Off by default; costs nothing when disabled.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+        if !on {
+            self.recent.clear();
+        }
+    }
+
+    /// Drains the slot addresses armed since the last call, in program
+    /// order. Empty unless recording is enabled.
+    pub fn take_recent_arms(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.recent)
+    }
+
+    /// Silently drops a slot from the set without counting a disarm and
+    /// without the `DisarmUnarmed` check. This models *hardware* loss of
+    /// the token (a corrupted stored token no longer matches, a dropped
+    /// eviction decays it) — not an architectural disarm, so the paper's
+    /// disarm discipline and the arm/disarm counters are unaffected.
+    pub fn forget(&mut self, addr: u64) -> bool {
+        self.slots.remove(&addr)
+    }
 }
 
 #[cfg(test)]
@@ -186,5 +220,33 @@ mod tests {
         a.arm(0x2000).unwrap();
         assert_eq!(a.armed_count(), 1);
         assert_eq!(a.total_arms(), 2);
+    }
+
+    #[test]
+    fn recording_captures_arms_in_order_and_drains() {
+        let mut a = ArmedSet::new(TokenWidth::B64);
+        a.arm(0x1000).unwrap();
+        assert!(a.take_recent_arms().is_empty(), "off by default");
+        a.set_recording(true);
+        a.arm(0x1040).unwrap();
+        a.arm(0x1080).unwrap();
+        assert_eq!(a.take_recent_arms(), vec![0x1040, 0x1080]);
+        assert!(a.take_recent_arms().is_empty(), "drained");
+        a.set_recording(false);
+        a.arm(0x10c0).unwrap();
+        assert!(a.take_recent_arms().is_empty());
+    }
+
+    #[test]
+    fn forget_drops_silently_without_counting_a_disarm() {
+        let mut a = ArmedSet::new(TokenWidth::B64);
+        a.arm(0x3000).unwrap();
+        assert!(a.forget(0x3000));
+        assert!(!a.forget(0x3000), "already gone");
+        assert!(!a.overlaps(0x3000, 64));
+        assert_eq!(a.total_disarms(), 0, "not an architectural disarm");
+        // A later architectural disarm of the forgotten slot now fails,
+        // exactly as hardware would behave once the token decayed.
+        assert_eq!(a.disarm(0x3000), Err(RestExceptionKind::DisarmUnarmed));
     }
 }

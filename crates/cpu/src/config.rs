@@ -1,3 +1,4 @@
+use rest_faults::FaultSpec;
 use rest_mem::MemConfig;
 use rest_runtime::RtConfig;
 
@@ -119,6 +120,15 @@ pub struct SimConfig {
     /// Safety cap on emulated micro-ops (guards against runaway guest
     /// programs; generously above any workload in this repository).
     pub max_uops: u64,
+    /// Guest cycle budget (0 = disabled). The timing pipeline stops the
+    /// run with [`crate::StopReason::CycleLimit`] once its cycle count
+    /// reaches the budget; functional-only runs apply the same budget to
+    /// retired micro-ops (1 uop ≥ 1 cycle on this machine, so the
+    /// functional check is conservative but always terminates).
+    pub max_cycles: u64,
+    /// Seeded single-shot hardware fault to inject (None = fault-free).
+    /// See `rest_faults::FaultSpec`.
+    pub fault: Option<FaultSpec>,
     /// Record pipeline-stage timestamps for the first N micro-ops
     /// (0 = tracing off). See [`crate::PipelineTrace`].
     pub trace_uops: usize,
@@ -143,6 +153,8 @@ impl SimConfig {
             rt,
             token_seed: 0x5e5f_1e1d,
             max_uops: 400_000_000,
+            max_cycles: 0,
+            fault: None,
             trace_uops: 0,
             sample_interval: 0,
             reference_path: false,

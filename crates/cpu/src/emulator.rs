@@ -2,6 +2,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rest_core::{ArmedSet, Mode, RestException, RestExceptionKind, Token};
+use rest_faults::{FaultHandle, FaultKind, MemEffect};
 use rest_isa::{
     BranchInfo, Component, DecodeOptions, DecodedInst, DecodedProgram, DynInst, EcallNum,
     GuestMemory, Inst, Program, Reg, PC_STEP,
@@ -24,6 +25,9 @@ pub enum StopReason {
     Violation(Violation),
     /// The configured micro-op budget was exhausted.
     UopLimit,
+    /// The configured guest cycle budget was exhausted (the watchdog
+    /// against hung guests; see [`crate::SimConfig::max_cycles`]).
+    CycleLimit,
     /// The machine faulted (bad PC, unknown ecall, …).
     Fault(String),
 }
@@ -64,6 +68,11 @@ pub struct Emulator {
     insts: u64,
     uops: u64,
     max_uops: u64,
+    max_cycles: u64,
+    /// Shared fault-injection state (also cloned into the hierarchy).
+    fault: Option<FaultHandle>,
+    /// Fast flag: a `TokenByteFlip` fault is live and arm recording is on.
+    fault_flip: bool,
     access_checks: bool,
     check_rest: bool,
     perfect_hw: bool,
@@ -92,12 +101,22 @@ impl Emulator {
         } else {
             Some(DecodedProgram::new(&program, decode_opts))
         };
+        let fault = cfg.fault.map(FaultHandle::new);
+        let fault_flip = fault
+            .as_ref()
+            .is_some_and(|f| f.kind() == FaultKind::TokenByteFlip);
+        let mut armed = ArmedSet::new(cfg.rt.token_width);
+        if fault_flip {
+            // Observe every architectural arm (including the allocator's
+            // redzone arms, which never pass through `Inst::Arm`).
+            armed.set_recording(true);
+        }
         Emulator {
             program,
             regs: [0; Reg::COUNT],
             pc: entry,
             mem,
-            armed: ArmedSet::new(cfg.rt.token_width),
+            armed,
             token,
             runtime: Runtime::new(cfg.rt.clone()),
             rec: TrafficRecorder::new(),
@@ -107,6 +126,9 @@ impl Emulator {
             insts: 0,
             uops: 0,
             max_uops: cfg.max_uops,
+            max_cycles: cfg.max_cycles,
+            fault,
+            fault_flip,
             access_checks: cfg.rt.scheme == Scheme::Asan && cfg.rt.access_checks,
             check_rest: cfg.rt.scheme == Scheme::Rest && !cfg.rt.perfect_hw,
             perfect_hw: cfg.rt.perfect_hw,
@@ -138,6 +160,46 @@ impl Emulator {
     /// Why execution stopped, if it has.
     pub fn stop_reason(&self) -> Option<&StopReason> {
         self.stop.as_ref()
+    }
+
+    /// The shared fault-injection handle, if a fault is configured.
+    pub fn fault_handle(&self) -> Option<&FaultHandle> {
+        self.fault.as_ref()
+    }
+
+    /// Forces the run to stop with `reason` unless it already stopped
+    /// (used by the timing loop's cycle watchdog; the architectural stop
+    /// reason, if any, wins).
+    pub fn force_stop(&mut self, reason: StopReason) {
+        if self.stop.is_none() {
+            self.stop = Some(reason);
+        }
+    }
+
+    /// Applies deferred fault effects queued by the memory hierarchy
+    /// (e.g. eviction-time metadata loss): the affected slots leave the
+    /// architectural armed set and their stored tokens decay to zero.
+    pub fn apply_fault_effects(&mut self) {
+        let Some(f) = self.fault.clone() else { return };
+        for eff in f.take_effects() {
+            match eff {
+                MemEffect::DropTokens {
+                    line,
+                    mask,
+                    slot_bytes,
+                } => {
+                    for i in 0..8u64 {
+                        if mask & (1 << i) != 0 {
+                            let slot = line + i * slot_bytes;
+                            if self.armed.forget(slot) {
+                                self.mem.fill(slot, slot_bytes, 0);
+                                self.invalidate_decoded(slot, slot_bytes);
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Takes ownership of the stop reason without cloning it. Call once,
@@ -190,18 +252,39 @@ impl Emulator {
     /// the violation to report, if any.
     fn check_app_access(&self, addr: u64, size: u64, store: bool, pc: u64) -> Option<Violation> {
         if self.check_rest {
+            let kind = if store {
+                RestExceptionKind::TokenStore
+            } else {
+                RestExceptionKind::TokenLoad
+            };
+            // Fail-closed faults: a spuriously-armed slot (flipped
+            // metadata bit or glitched LSQ check) raises an exception on
+            // a perfectly legal access.
+            if let Some(f) = &self.fault {
+                if let Some(slot) = f.spurious_check(addr, size) {
+                    return Some(Violation::Rest(RestException::new(
+                        kind,
+                        slot,
+                        pc,
+                        self.mode.precise_exceptions(),
+                    )));
+                }
+            }
             if let Some(slot) = self.armed.first_overlap(addr, size) {
-                let kind = if store {
-                    RestExceptionKind::TokenStore
-                } else {
-                    RestExceptionKind::TokenLoad
-                };
-                return Some(Violation::Rest(RestException::new(
-                    kind,
-                    slot,
-                    pc,
-                    self.mode.precise_exceptions(),
-                )));
+                // Fail-open faults: the slot's detection is lost (cleared
+                // metadata bit or stuck exception delivery).
+                let lost = self
+                    .fault
+                    .as_ref()
+                    .is_some_and(|f| f.suppress_detection(slot));
+                if !lost {
+                    return Some(Violation::Rest(RestException::new(
+                        kind,
+                        slot,
+                        pc,
+                        self.mode.precise_exceptions(),
+                    )));
+                }
             }
         }
         if self.access_checks {
@@ -290,6 +373,14 @@ impl Emulator {
         }
         if self.uops >= self.max_uops {
             self.stop = Some(StopReason::UopLimit);
+            return false;
+        }
+        // Functional side of the cycle watchdog: one retired micro-op
+        // costs at least a fraction of a cycle, so `uops` bounds how long
+        // a hung guest can spin. The timing loop additionally enforces
+        // the budget against real pipeline cycles.
+        if self.max_cycles > 0 && self.uops >= self.max_cycles {
+            self.stop = Some(StopReason::CycleLimit);
             return false;
         }
         let pc = self.pc;
@@ -500,10 +591,36 @@ impl Emulator {
             }
         }
 
+        if self.fault_flip {
+            self.process_arm_faults();
+        }
         self.pc = next_pc;
         self.insts += 1;
         self.uops += out.count() - before;
         true
+    }
+
+    /// Drains arms recorded this step and, on the trigger arm, flips one
+    /// bit of the stored token in guest memory. The slot leaves the
+    /// armed set (`forget`, not an architectural disarm): the resident
+    /// value no longer matches the token, so the content-based detector
+    /// can never fire on it again — the canonical missed-detection case.
+    fn process_arm_faults(&mut self) {
+        let Some(f) = self.fault.clone() else { return };
+        let w = self.token.width().bytes();
+        for slot in self.armed.take_recent_arms() {
+            if let Some(bit) = f.arm_event(slot, w) {
+                let addr = slot + bit / 8;
+                let byte = self.mem.read_scalar(addr, rest_isa::MemSize::B1);
+                self.mem
+                    .write_scalar(addr, byte ^ (1 << (bit % 8)), rest_isa::MemSize::B1);
+                self.armed.forget(slot);
+                self.invalidate_decoded(addr, 1);
+                // Single-shot: stop paying for arm recording.
+                self.fault_flip = false;
+                self.armed.set_recording(false);
+            }
+        }
     }
 
     /// Runs the program to completion functionally, discarding the

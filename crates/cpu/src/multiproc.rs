@@ -202,6 +202,7 @@ impl MultiSystem {
                     label: p.label,
                     series: None,
                     audit: Default::default(),
+                    fault: None,
                 }
             })
             .collect()

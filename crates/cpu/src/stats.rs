@@ -1,3 +1,4 @@
+use rest_faults::FaultReport;
 use rest_isa::Component;
 use rest_mem::MemStats;
 use rest_obs::{AuditLog, CpiStack, TimeSeries};
@@ -89,6 +90,9 @@ pub struct SimResult {
     pub series: Option<TimeSeries>,
     /// Every REST/ASan violation the run detected, with provenance.
     pub audit: AuditLog,
+    /// Fault-injection summary, when the run was configured with a
+    /// [`crate::SimConfig::fault`] spec (None on fault-free runs).
+    pub fault: Option<FaultReport>,
 }
 
 impl SimResult {
@@ -232,6 +236,7 @@ mod tests {
             label: "plain".into(),
             series: None,
             audit: AuditLog::default(),
+            fault: None,
         };
         let b = SimResult {
             core: CoreStats {
@@ -264,6 +269,7 @@ mod tests {
             label: "plain".into(),
             series: None,
             audit: AuditLog::default(),
+            fault: None,
         };
         r.core.note_component(Component::Allocator);
         r.mem.token_lines_l2_mem = 9;
@@ -333,6 +339,7 @@ mod tests {
             label: "plain".into(),
             series: None,
             audit: AuditLog::default(),
+            fault: None,
         };
         let map = r.stats_map();
         let count = |prefix: &str| map.iter().filter(|(k, _)| k.starts_with(prefix)).count();

@@ -1,7 +1,7 @@
 use rest_core::Mode;
 use rest_isa::Program;
 use rest_mem::Hierarchy;
-use rest_obs::{IntervalSample, TimeSeries};
+use rest_obs::{AuditEntry, IntervalSample, TimeSeries, FAULT_INJECTOR};
 
 use crate::config::SimConfig;
 use crate::emulator::{Emulator, StopReason};
@@ -31,13 +31,22 @@ pub struct System {
     label: String,
     mode: Mode,
     sample_interval: u64,
+    max_cycles: u64,
+    has_fault: bool,
 }
 
 impl System {
     /// Builds the machine for `program` under `cfg`.
     pub fn new(program: Program, cfg: SimConfig) -> System {
         let emulator = Emulator::new(program, &cfg);
-        let hier = Hierarchy::new(cfg.mem.clone());
+        let mut hier = Hierarchy::new(cfg.mem.clone());
+        if let Some(f) = emulator.fault_handle() {
+            // The hierarchy shares the emulator's injection state: the
+            // hardware sites trigger there, the architectural
+            // consequences are applied here.
+            hier.set_fault(f.clone());
+        }
+        let has_fault = emulator.fault_handle().is_some();
         let mut pipeline = Pipeline::new(cfg.core.clone(), hier, cfg.rt.mode);
         pipeline.enable_trace(cfg.trace_uops);
         System {
@@ -46,6 +55,8 @@ impl System {
             label: cfg.rt.label(),
             mode: cfg.rt.mode,
             sample_interval: cfg.sample_interval,
+            max_cycles: cfg.max_cycles,
+            has_fault,
         }
     }
 
@@ -99,6 +110,16 @@ impl System {
             // The timing model has consumed this instruction's micro-ops;
             // its pre-update line snapshots are no longer needed.
             self.emulator.mem.clear_pre_images();
+            if self.has_fault {
+                // Deferred hardware fault effects (eviction-time
+                // metadata loss) become architectural between
+                // instructions.
+                self.emulator.apply_fault_effects();
+            }
+            if self.max_cycles > 0 && self.pipeline.current_cycles() >= self.max_cycles {
+                self.emulator.force_stop(StopReason::CycleLimit);
+                break;
+            }
             if let Some(series) = series.as_mut() {
                 // `insts` advances by exactly one per step, so every
                 // interval boundary is hit exactly once.
@@ -115,6 +136,25 @@ impl System {
         // architectural violation (if the run stopped on one) with its
         // component provenance.
         let mut audit = self.pipeline.take_audit();
+        // Fault-injection provenance: every applied fault and its
+        // downstream consequences, before the architectural violation
+        // (which always stays last).
+        let fault_report = self.emulator.fault_handle().map(|f| {
+            for rec in f.take_records() {
+                audit.record(AuditEntry {
+                    detector: FAULT_INJECTOR,
+                    kind: rec.site,
+                    pc: 0,
+                    addr: rec.addr,
+                    size: 0,
+                    mode: self.mode.name(),
+                    component: "hardware",
+                    precise: true,
+                    insts: rec.event,
+                });
+            }
+            f.report()
+        });
         let stop = self.emulator.take_stop().unwrap_or(StopReason::Halted);
         if let StopReason::Violation(v) = &stop {
             let pc = match v {
@@ -137,6 +177,7 @@ impl System {
             label: self.label,
             series,
             audit,
+            fault: fault_report,
         }
     }
 }
@@ -159,6 +200,49 @@ mod tests {
         p.bne(Reg::T0, Reg::ZERO, lp);
         p.halt();
         p.build()
+    }
+
+    /// A guest that never terminates: `t0` is pinned to 1, so the
+    /// backward branch is always taken.
+    fn infinite_loop_program() -> Program {
+        let mut p = ProgramBuilder::new();
+        let lp = p.new_label();
+        p.li(Reg::T0, 1);
+        p.bind(lp);
+        p.bne(Reg::T0, Reg::ZERO, lp);
+        p.build()
+    }
+
+    #[test]
+    fn cycle_budget_stops_a_hung_guest_on_the_timing_path() {
+        let mut cfg = SimConfig::isca2018(RtConfig::plain());
+        cfg.max_cycles = 10_000;
+        let r = System::new(infinite_loop_program(), cfg).run();
+        assert_eq!(r.stop, StopReason::CycleLimit);
+        // The budget is conservative: the run stops when *either* the
+        // pipeline clock or the committed-uop proxy reaches it (a
+        // high-IPC guest trips the uop proxy first), so the cycle count
+        // never meaningfully overshoots the budget.
+        assert!(r.cycles() > 0);
+        assert!(r.cycles() < 11_000, "overshot the budget: {}", r.cycles());
+    }
+
+    #[test]
+    fn cycle_budget_stops_a_hung_guest_on_the_functional_path() {
+        let mut cfg = SimConfig::isca2018(RtConfig::plain());
+        cfg.max_cycles = 10_000;
+        let mut emu = Emulator::new(infinite_loop_program(), &cfg);
+        assert_eq!(*emu.run_functional(), StopReason::CycleLimit);
+    }
+
+    #[test]
+    fn zero_cycle_budget_means_no_budget() {
+        // max_cycles = 0 (the default) must not stop anything early:
+        // existing experiment bytes depend on it.
+        let cfg = SimConfig::isca2018(RtConfig::plain());
+        assert_eq!(cfg.max_cycles, 0);
+        let r = System::new(sum_loop_program(10_000), cfg).run();
+        assert_eq!(r.stop, StopReason::Halted);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 use rest_core::table1::{cache_decision, Action};
 use rest_core::{Mode, RestExceptionKind, Token};
+use rest_faults::FaultHandle;
 use rest_isa::{GuestMemory, MemAccessKind};
 
 use crate::cache::Cache;
@@ -92,6 +93,11 @@ pub struct Hierarchy {
     /// disables the feature.
     token_cache: std::collections::VecDeque<(u64, u8)>,
     token_cache_entries: usize,
+    /// Seeded fault injection (shared with the emulator). The hierarchy
+    /// hosts the micro-architectural trigger sites: fill-time detection
+    /// masks, arm-driven token-bit writes, and metadata-carrying
+    /// evictions. None on fault-free runs — the hooks cost nothing.
+    fault: Option<FaultHandle>,
 }
 
 impl Hierarchy {
@@ -111,7 +117,14 @@ impl Hierarchy {
             line_fill_tail: 4,
             token_cache: std::collections::VecDeque::new(),
             token_cache_entries: cfg.token_cache_entries,
+            fault: None,
         }
+    }
+
+    /// Attaches shared fault-injection state (cloned from the emulator's
+    /// handle so both sides observe the same trigger counters).
+    pub fn set_fault(&mut self, fault: FaultHandle) {
+        self.fault = Some(fault);
     }
 
     /// Collected statistics.
@@ -210,6 +223,21 @@ impl Hierarchy {
         48
     }
 
+    /// Applies an `EvictionMetaDrop` fault to an outgoing line's token
+    /// mask: on the trigger eviction the metadata is lost (the decay of
+    /// the guarded tokens is queued for the emulator) and the caller
+    /// sees a token-free eviction.
+    fn faulted_eviction_mask(&self, line: u64, mask: u8, token: &Token) -> u8 {
+        if mask != 0 {
+            if let Some(f) = &self.fault {
+                if f.drop_eviction(line, mask, token.width().bytes()) {
+                    return 0;
+                }
+            }
+        }
+        mask
+    }
+
     /// Ensures `line` is resident in the L1-D at `now`, running the token
     /// detector on fills. Returns `(critical_word_at, line_checked_at,
     /// served_by)`.
@@ -229,9 +257,10 @@ impl Hierarchy {
                 self.stats.token_cache_hits += 1;
                 let t = now + self.l1d.config().hit_latency + 1;
                 if let Some(ev) = self.l1d.fill(line, true, mask) {
-                    if ev.token_mask != 0 {
+                    let ev_mask = self.faulted_eviction_mask(ev.addr, ev.token_mask, token);
+                    if ev_mask != 0 {
                         self.stats.token_lines_evicted_l1d += 1;
-                        self.token_cache.push_back((ev.addr, ev.token_mask));
+                        self.token_cache.push_back((ev.addr, ev_mask));
                         while self.token_cache.len() > self.token_cache_entries {
                             self.token_cache.pop_front();
                         }
@@ -259,24 +288,33 @@ impl Hierarchy {
         let (data_at, from_dram) = self.fetch_from_l2(start, line, mem, token);
         let alloc_start = self.l1d_mshrs.allocate(line, now, data_at);
         let data_at = data_at + (alloc_start - now);
-        // Token detector runs as the line streams in.
-        let mask = token.line_token_mask(&mem.read_line(line));
+        // Token detector runs as the line streams in. An injected
+        // metadata-bit fault perturbs the detector's mask: a cleared bit
+        // loses a real detection (fail-open), a set bit plants a
+        // spurious one (fail-closed).
+        let mut mask = token.line_token_mask(&mem.read_line(line));
+        if let Some(f) = &self.fault {
+            mask = f.filter_fill_mask(line, mask, token.width().bytes());
+        }
         if mask != 0 {
             self.stats.token_detections_on_fill += 1;
         }
         if let Some(ev) = self.l1d.fill(line, is_write, mask) {
-            if ev.token_mask != 0 {
+            // Eviction-time metadata loss: the outgoing packet's token
+            // mask is dropped and the decay is queued for the emulator.
+            let ev_mask = self.faulted_eviction_mask(ev.addr, ev.token_mask, token);
+            if ev_mask != 0 {
                 // Lazy materialisation: the token value travels in the
                 // outgoing packet (Table I, Eviction row).
                 self.stats.token_lines_evicted_l1d += 1;
                 if self.token_cache_entries > 0 {
-                    self.token_cache.push_back((ev.addr, ev.token_mask));
+                    self.token_cache.push_back((ev.addr, ev_mask));
                     while self.token_cache.len() > self.token_cache_entries {
                         self.token_cache.pop_front();
                     }
                 }
             }
-            if ev.dirty || ev.token_mask != 0 {
+            if ev.dirty || ev_mask != 0 {
                 self.stats.l1d_writebacks += 1;
                 let drain = self.l2.config().hit_latency;
                 self.l1d_wbuf.push(data_at, drain);
@@ -381,10 +419,20 @@ impl Hierarchy {
         }
         if decision.set_token_bit {
             // Arm: set the bit; the wide value write is deferred to
-            // eviction, so an L1 hit completes in a single cycle.
-            let slot = (addr % 64) / w;
-            self.l1d.set_token_bits(addr, 1u8 << slot);
-            self.l1d.mark_dirty(addr);
+            // eviction, so an L1 hit completes in a single cycle. A
+            // `MetaBitClear` fault can lose exactly this write — the
+            // slot is then armed architecturally but invisible to the
+            // hardware detector until a refill re-detects it.
+            let slot_addr = addr / w * w;
+            let dropped = self
+                .fault
+                .as_ref()
+                .is_some_and(|f| f.suppress_arm_bit(slot_addr));
+            if !dropped {
+                let slot = (addr % 64) / w;
+                self.l1d.set_token_bits(addr, 1u8 << slot);
+                self.l1d.mark_dirty(addr);
+            }
         }
         if decision.clear_slot_unset_bit {
             // Disarm: zero the slot across all data banks; one extra

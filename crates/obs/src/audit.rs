@@ -14,10 +14,21 @@
 
 use crate::json::Json;
 
+/// Detector name for fault-injection provenance entries. `rest-faults`
+/// campaigns record every applied hardware fault — and its downstream
+/// consequences (suppressed detections, self-heals, dropped evictions) —
+/// as audit entries with this detector, the trigger site as the `kind`
+/// (e.g. `"l1d-fill"`, `"lsq-suppress"`), and the affected slot or line
+/// as the `addr`, so a cell's outcome can always be traced back to the
+/// exact injection that caused it. For these entries `insts` carries the
+/// dynamic site-event index, not a committed-instruction count.
+pub const FAULT_INJECTOR: &str = "fault-injector";
+
 /// One recorded violation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AuditEntry {
-    /// Which detector fired: `"rest"` or `"asan"`.
+    /// Which detector fired: `"rest"`, `"asan"`, or
+    /// [`FAULT_INJECTOR`] for injected-fault provenance.
     pub detector: &'static str,
     /// Detector-specific kind (e.g. `"heap-underflow"`,
     /// `"heap-use-after-free"`).
