@@ -88,9 +88,47 @@ pub enum Expectation {
     /// (e.g. REST's zeroed free pool turns an uninitialised-data leak
     /// into a read of zeroes).
     Prevented,
+    /// Lock-and-key schemes with small keys (MTE's 4-bit tags): the
+    /// attack is detected unless the random metadata happens to collide
+    /// (1 in 16 for MTE). Either outcome is within spec, but a miss
+    /// must not be *worse* than the unprotected build.
+    AliasingProne,
     /// The scenario does not apply to this scheme (e.g. disarm probing
     /// without REST hardware).
     NotApplicable,
+}
+
+impl Expectation {
+    /// Serialisation name (kebab-case, stable across reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Expectation::Detected => "detected",
+            Expectation::Undetected => "undetected",
+            Expectation::FalseNegative => "false-negative",
+            Expectation::Prevented => "prevented",
+            Expectation::AliasingProne => "aliasing-prone",
+            Expectation::NotApplicable => "not-applicable",
+        }
+    }
+
+    /// Whether `out` is within this expectation's spec — the single
+    /// predicate [`verify`] and the defense-matrix harness both apply.
+    pub fn admits(self, out: &AttackOutcome) -> bool {
+        match self {
+            // A *delayed* detection still counts as detected, but cannot
+            // promise the secret stayed in: async MTE reports after the
+            // access has gone through.
+            Expectation::Detected => out.detected && (out.delayed || !out.leaked_secret),
+            Expectation::Undetected => !out.detected,
+            Expectation::FalseNegative | Expectation::Prevented => {
+                !out.detected && !out.leaked_secret
+            }
+            // Either the check fired (possibly after the fact) or the
+            // aliased miss at least denied the secret.
+            Expectation::AliasingProne => out.detected || !out.leaked_secret,
+            Expectation::NotApplicable => true,
+        }
+    }
 }
 
 /// Result of running one attack under one configuration.
@@ -98,8 +136,14 @@ pub enum Expectation {
 pub struct AttackOutcome {
     /// How the program stopped.
     pub stop: StopReason,
-    /// Whether a violation was detected (REST exception or ASan report).
+    /// Whether a violation was detected — immediately (the run stopped
+    /// on it) or after the fact (a deferred MTE-async fault latched
+    /// during the run and surfaced at program stop).
     pub detected: bool,
+    /// The detection was deferred: the program ran to completion and
+    /// the fault was only reported at stop (MTE async/asymm TFSR
+    /// semantics). Always false when the run stopped on the violation.
+    pub delayed: bool,
     /// Whether the planted secret reached the program output.
     pub leaked_secret: bool,
 }
@@ -172,11 +216,51 @@ impl Attack {
             (UninitLeak, Scheme::Asan) => Undetected, // ASan does not zero
             (UninitLeak, Scheme::Rest) => Prevented, // zeroed pool: no leak
             (UncheckedLibraryOverflow, Scheme::Asan) => Undetected,
+            // MTE: every heap access is a 4-bit lock-and-key check, so
+            // the spatial and temporal heap attacks are caught unless
+            // the random tags alias (1/16). The 16-byte granule also
+            // covers most of what REST's 64-byte alignment pad gives
+            // away, and tagged pointers break the stride arithmetic of
+            // redzone-jumping (ptr subtraction mixes tag bits).
+            (StackOverflow, Scheme::Mte) => Undetected, // heap-only tags
+            (UninitLeak, Scheme::Mte) => Undetected,    // MTE does not zero
+            (BruteForceDisarm, Scheme::Mte) => NotApplicable,
+            (_, Scheme::Mte) => AliasingProne,
+            // PA: the 8-bit PAC over (base, generation) authenticates
+            // every dereference against the live-allocation registry —
+            // deterministic detection for the heap attacks, including
+            // the padding overread (the registry is granule-exact, so
+            // reads past the padded area fail authentication).
+            (StackOverflow, Scheme::Pa) => Undetected, // heap pointers only
+            (UninitLeak, Scheme::Pa) => Undetected,    // fresh signature, old bytes
+            (BruteForceDisarm, Scheme::Pa) => NotApplicable,
+            (PaddingGapOverread, Scheme::Pa) => Detected,
+            (_, Scheme::Pa) => Detected,
             // Both redzone schemes share the predictability weakness:
             // probes that leap the redzones land in valid neighbouring
             // data (countered by REST's sprinkling, tested separately).
             (JumpOverRedzone, _) => Undetected,
             _ => Detected,
+        }
+    }
+
+    /// The per-scenario runtime adjustments applied before a run: the
+    /// library overflow models an *uninstrumented* routine (libc
+    /// interception off) and the uninit leak forces heap reuse within
+    /// the run (tiny quarantine). [`Attack::run`] and the bench
+    /// defense-matrix harness both apply this, so the two measurement
+    /// paths stage the same scenario.
+    pub fn rt_for(self, rt: RtConfig) -> RtConfig {
+        match self {
+            // Model an uninstrumented library: interception off.
+            Attack::UncheckedLibraryOverflow => RtConfig {
+                intercept_libc: false,
+                ..rt
+            },
+            // Force heap reuse within the run (any freed chunk exceeds
+            // this budget and is recycled immediately).
+            Attack::UninitLeak => rt.with_quarantine(64),
+            _ => rt,
         }
     }
 
@@ -189,27 +273,20 @@ impl Attack {
                 Scheme::Plain => StackScheme::None,
                 Scheme::Asan => StackScheme::Asan,
                 Scheme::Rest => StackScheme::Rest,
+                // Heap-granule schemes: no stack instrumentation.
+                Scheme::Mte | Scheme::Pa => StackScheme::None,
             }
         } else {
             StackScheme::None
         };
-        let rt = match self {
-            // Model an uninstrumented library: interception off.
-            Attack::UncheckedLibraryOverflow => RtConfig {
-                intercept_libc: false,
-                ..rt
-            },
-            // Force heap reuse within the run (any freed chunk exceeds
-            // this budget and is recycled immediately).
-            Attack::UninitLeak => rt.with_quarantine(64),
-            _ => rt,
-        };
+        let rt = self.rt_for(rt);
         let program = self.build(stack);
         let cfg = SimConfig::isca2018(rt);
         let mut emu = Emulator::new(program, &cfg);
         emu.run_functional();
         let stop = emu.take_stop().expect("run_functional stops");
-        let detected = matches!(stop, StopReason::Violation(_));
+        let delayed = emu.take_deferred().is_some();
+        let detected = matches!(stop, StopReason::Violation(_)) || delayed;
         let output = emu.runtime().output().to_vec();
         let leaked_secret = output
             .windows(SECRET.len())
@@ -217,6 +294,7 @@ impl Attack {
         AttackOutcome {
             stop,
             detected,
+            delayed,
             leaked_secret,
         }
     }
@@ -237,18 +315,12 @@ pub fn verify(attack: Attack, rt: RtConfig) -> Result<String, String> {
         return Ok(format!("{attack}: n/a under {}", scheme.name()));
     }
     let out = attack.run(rt);
-    let ok = match expect {
-        Expectation::Detected => out.detected && !out.leaked_secret,
-        Expectation::Undetected => !out.detected,
-        Expectation::FalseNegative | Expectation::Prevented => {
-            !out.detected && !out.leaked_secret
-        }
-        Expectation::NotApplicable => true,
-    };
+    let ok = expect.admits(&out);
     let line = format!(
-        "{attack}: scheme={} expected={expect:?} detected={} leaked={}",
+        "{attack}: scheme={} expected={expect:?} detected={} delayed={} leaked={}",
         scheme.name(),
         out.detected,
+        out.delayed,
         out.leaked_secret
     );
     if ok {
@@ -395,12 +467,17 @@ mod tests {
 
     #[test]
     fn verify_matrix_is_consistent() {
+        use rest_core::MteMode;
         use rest_runtime::Scheme;
         for attack in Attack::ALL {
             for (scheme, cfg) in [
                 (Scheme::Plain, RtConfig::plain()),
                 (Scheme::Asan, RtConfig::asan()),
                 (Scheme::Rest, rest_full()),
+                (Scheme::Mte, RtConfig::mte(MteMode::Sync)),
+                (Scheme::Mte, RtConfig::mte(MteMode::Async)),
+                (Scheme::Mte, RtConfig::mte(MteMode::Asymm)),
+                (Scheme::Pa, RtConfig::pa()),
             ] {
                 let _ = scheme;
                 if let Err(e) = verify(attack, cfg.clone()) {
@@ -408,5 +485,101 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mte_catches_heap_overflow_with_tag_mismatch() {
+        use rest_core::MteMode;
+        let out = Attack::HeapOverflowWrite.run(RtConfig::mte(MteMode::Sync));
+        assert!(out.detected, "{:?}", out.stop);
+        assert!(!out.delayed, "sync mode stops at the access");
+        match out.stop {
+            StopReason::Violation(Violation::Tag(f)) => {
+                assert_ne!(f.ptr_tag, f.mem_tag);
+                assert!(f.precise);
+            }
+            ref other => panic!("expected tag fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pa_catches_spatial_and_temporal_heap_errors() {
+        for attack in [
+            Attack::Heartbleed,
+            Attack::HeapOverflowWrite,
+            Attack::UseAfterFree,
+            Attack::DoubleFree,
+        ] {
+            let out = attack.run(RtConfig::pa());
+            assert!(out.detected, "{attack}: {:?}", out.stop);
+            assert!(!out.leaked_secret, "{attack} must not leak");
+            assert!(
+                matches!(out.stop, StopReason::Violation(Violation::Pac(_))),
+                "{attack}: {:?}",
+                out.stop
+            );
+        }
+    }
+
+    #[test]
+    fn pa_granularity_beats_rests_padding_gap() {
+        // The overread that slips inside REST's 64-byte alignment pad
+        // (§V-C) crosses the PA registry's 16-byte granule boundary and
+        // fails authentication.
+        let out = Attack::PaddingGapOverread.run(RtConfig::pa());
+        assert!(out.detected, "{:?}", out.stop);
+    }
+
+    #[test]
+    fn mte_sync_and_async_flag_the_same_attacks() {
+        // Lockstep differential: the tag *stream* is seeded identically
+        // in both modes, so the set of flagged attacks must be equal —
+        // only the timing (stop-at-access vs report-at-exit) and the
+        // leak window may differ.
+        use rest_core::MteMode;
+        for attack in Attack::ALL {
+            if attack.expectation(Scheme::Mte) == Expectation::NotApplicable {
+                continue;
+            }
+            let sync = attack.run(RtConfig::mte(MteMode::Sync));
+            let async_ = attack.run(RtConfig::mte(MteMode::Async));
+            assert_eq!(
+                sync.detected, async_.detected,
+                "{attack}: sync={:?} async={:?}",
+                sync.stop, async_.stop
+            );
+            if sync.detected {
+                // Sync stops the program at the faulting access…
+                assert!(
+                    matches!(sync.stop, StopReason::Violation(Violation::Tag(_))),
+                    "{attack}: {:?}",
+                    sync.stop
+                );
+                assert!(!sync.delayed);
+                // …async lets it run and reports at stop.
+                assert!(async_.delayed, "{attack}: {:?}", async_.stop);
+                assert!(
+                    !matches!(async_.stop, StopReason::Violation(_)),
+                    "{attack}: async must not stop on the access: {:?}",
+                    async_.stop
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mte_async_widens_the_leak_window() {
+        // The paper-level async trade-off as an executable fact: the
+        // same Heartbleed run is flagged by both modes, but only sync
+        // stops the exfiltration before the secret leaves.
+        use rest_core::MteMode;
+        let sync = Attack::Heartbleed.run(RtConfig::mte(MteMode::Sync));
+        let async_ = Attack::Heartbleed.run(RtConfig::mte(MteMode::Async));
+        assert!(sync.detected && !sync.leaked_secret, "{:?}", sync.stop);
+        assert!(async_.detected && async_.delayed, "{:?}", async_.stop);
+        assert!(
+            async_.leaked_secret,
+            "async detection is post-hoc: the copy already ran"
+        );
     }
 }

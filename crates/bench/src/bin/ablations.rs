@@ -19,25 +19,20 @@
 //! Usage: `cargo run --release -p rest-bench --bin ablations -- \
 //!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
 
-use std::time::Instant;
-
-use rest_bench::cli::BenchCli;
-use rest_bench::engine::{ColumnSpec, Engine, MatrixSpec};
-use rest_bench::sink::ResultSink;
-use rest_bench::{finish_observability, FigureRow};
+use rest_bench::cli::Harness;
+use rest_bench::engine::{ColumnSpec, MatrixSpec};
+use rest_bench::FigureRow;
 use rest_core::Mode;
-use rest_obs::HostProfile;
 use rest_runtime::RtConfig;
 use rest_workloads::Workload;
 
 fn main() {
-    let cli = BenchCli::parse("ablations");
-    let engine = Engine::new(cli.jobs);
+    let mut h = Harness::new("ablations");
 
     // Ablation 1+2: arm/disarm design alternatives.
     let secure_full = RtConfig::rest(Mode::Secure, true);
     let arm_spec = MatrixSpec::new(
-        cli.filter_rows(
+        h.cli.filter_rows(
             [Workload::Gcc, Workload::Xalancbmk, Workload::Sjeng]
                 .into_iter()
                 .map(FigureRow::of)
@@ -57,13 +52,13 @@ fn main() {
                 ..ColumnSpec::new("serialized", secure_full.clone())
             },
         ],
-        cli.scale,
+        h.cli.scale,
     );
 
     // Ablation 3: quarantine budget sweep on xalancbmk (secure heap).
     let budgets = [4u64 << 10, 64 << 10, 1 << 20];
     let budget_spec = MatrixSpec::new(
-        cli.filter_rows(vec![FigureRow::of(Workload::Xalancbmk)]),
+        h.cli.filter_rows(vec![FigureRow::of(Workload::Xalancbmk)]),
         budgets
             .iter()
             .map(|&b| {
@@ -73,13 +68,13 @@ fn main() {
                 )
             })
             .collect(),
-        cli.scale,
+        h.cli.scale,
     );
 
     // Ablation 4: §VIII future-work optimisations.
     let base_cfg = RtConfig::rest(Mode::Secure, false).with_quarantine(16 << 10);
     let future_spec = MatrixSpec::new(
-        cli.filter_rows(
+        h.cli.filter_rows(
             [Workload::Xalancbmk, Workload::Gcc]
                 .into_iter()
                 .map(FigureRow::of)
@@ -93,19 +88,15 @@ fn main() {
                 ..ColumnSpec::new("+token-cache", base_cfg.clone().with_fast_pool())
             },
         ],
-        cli.scale,
+        h.cli.scale,
     );
 
     // Observability flags apply to the first matrix; all three share
-    // the engine, so the profile's job log covers every sweep.
-    let arm_spec = arm_spec.with_observability(&cli);
-    let mut profile = HostProfile::new(&cli.experiment);
-    let started = Instant::now();
-    let arm = engine.run_matrix(&arm_spec);
-    let budget = engine.run_matrix(&budget_spec);
-    let future = engine.run_matrix(&future_spec);
-    profile.add_phase("simulate", started.elapsed());
-    let started = Instant::now();
+    // the harness engine, so the profile's job log covers every sweep.
+    let arm_spec = arm_spec.with_observability(&h.cli);
+    let arm = h.run_matrix(&arm_spec);
+    let budget = h.run_matrix(&budget_spec);
+    let future = h.run_matrix(&future_spec);
 
     println!("# Ablation 1+2 — arm/disarm design alternatives, overhead over plain (%)");
     println!(
@@ -167,12 +158,9 @@ fn main() {
     println!("# re-arming; the dedicated token cache accelerates armed-line");
     println!("# refetches (both proposed as future work in §VIII).");
 
-    let mut sink = ResultSink::new(&cli);
+    let mut sink = h.sink();
     sink.push_matrix("arm_design", &arm);
     sink.push_matrix("quarantine_budget", &budget);
     sink.push_matrix("future_work", &future);
-    sink.finish();
-    profile.add_phase("report", started.elapsed());
-
-    finish_observability(&cli, &engine, &arm, profile);
+    h.finish(sink, &arm);
 }

@@ -1,0 +1,15 @@
+//! Defense matrix: the six protection configurations (`plain`, `asan`,
+//! `rest-secure-full`, `mte-sync`, `mte-async`, `pa`) over the full
+//! benchmark set (runtime overhead) and all attack scenarios
+//! (expectation-checked detection coverage). See
+//! [`rest_bench::defense`] for the campaign semantics.
+//!
+//! Usage: `cargo run --release -p rest-bench --bin defense -- \
+//!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING] \
+//!         [--profile-out PATH]`
+
+use rest_bench::cli::Harness;
+
+fn main() {
+    rest_bench::defense::run_campaign(Harness::new("defense"));
+}

@@ -3,6 +3,6 @@
 //! classification, checkpoint/resume. See [`rest_bench::faults`].
 
 fn main() {
-    let cli = rest_bench::cli::BenchCli::parse("faults");
-    rest_bench::faults::run_campaign(&cli);
+    let mut h = rest_bench::cli::Harness::new("faults");
+    rest_bench::faults::run_campaign(&mut h);
 }

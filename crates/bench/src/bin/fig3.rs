@@ -6,13 +6,10 @@
 //! Usage: `cargo run --release -p rest-bench --bin fig3 -- \
 //!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
 
-use std::time::Instant;
-
-use rest_bench::cli::BenchCli;
-use rest_bench::engine::{ColumnSpec, CoreKind, Engine, MatrixSpec};
-use rest_bench::sink::{Json, ResultSink};
-use rest_bench::{finish_observability, fmt_row, FigureRow};
-use rest_obs::HostProfile;
+use rest_bench::cli::Harness;
+use rest_bench::engine::{ColumnSpec, CoreKind, MatrixSpec};
+use rest_bench::sink::Json;
+use rest_bench::{fmt_row, FigureRow};
 use rest_runtime::{RtConfig, Scheme};
 use rest_workloads::Workload;
 
@@ -47,7 +44,7 @@ fn stages() -> Vec<(&'static str, RtConfig)> {
 }
 
 fn main() {
-    let cli = BenchCli::parse("fig3");
+    let mut h = Harness::new("fig3");
     let columns: Vec<ColumnSpec> = stages()
         .into_iter()
         .map(|(name, rt)| ColumnSpec::new(name, rt))
@@ -55,16 +52,10 @@ fn main() {
     let rows: Vec<FigureRow> = Workload::ALL.into_iter().map(FigureRow::of).collect();
     let spec = MatrixSpec {
         core: CoreKind::InOrder,
-        ..MatrixSpec::new(cli.filter_rows(rows), columns, cli.scale)
+        ..MatrixSpec::new(h.cli.filter_rows(rows), columns, h.cli.scale)
     }
-    .with_observability(&cli);
-
-    let mut profile = HostProfile::new(&cli.experiment);
-    let engine = Engine::new(cli.jobs);
-    let started = Instant::now();
-    let matrix = engine.run_matrix(&spec);
-    profile.add_phase("simulate", started.elapsed());
-    let started = Instant::now();
+    .with_observability(&h.cli);
+    let matrix = h.run_matrix(&spec);
 
     println!("# Figure 3 — ASan overhead breakdown (%, incremental per component)");
     println!("# core: narrow in-order (as in the paper's Figure 3 measurement)");
@@ -101,14 +92,11 @@ fn main() {
     println!("# paper: access validation dominates everywhere; the allocator");
     println!("# contributes heavily for alloc-heavy benchmarks (gcc, xalancbmk).");
 
-    let mut sink = ResultSink::new(&cli);
+    let mut sink = h.sink();
     sink.push("core", Json::from("inorder"));
     sink.push_matrix("matrix", &matrix);
     sink.push("incremental", Json::Arr(incremental_rows));
-    sink.finish();
-    profile.add_phase("report", started.elapsed());
-
-    finish_observability(&cli, &engine, &matrix, profile);
+    h.finish(sink, &matrix);
 }
 
 /// Per-stage incremental overhead percentages plus the cumulative

@@ -6,40 +6,27 @@
 //!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING] \
 //!         [--sample-interval N] [--trace-out PATH] [--profile-out PATH]`
 
-use std::time::Instant;
-
-use rest_bench::cli::BenchCli;
-use rest_bench::engine::{ColumnSpec, Engine, MatrixSpec};
-use rest_bench::sink::ResultSink;
-use rest_bench::{fig7_configs, figure_rows, finish_observability, print_machine_header};
-use rest_obs::HostProfile;
+use rest_bench::cli::Harness;
+use rest_bench::engine::{ColumnSpec, MatrixSpec};
+use rest_bench::{fig7_configs, figure_rows, print_machine_header};
 
 fn main() {
-    let cli = BenchCli::parse("fig7");
+    let mut h = Harness::new("fig7");
     let columns: Vec<ColumnSpec> = fig7_configs()
         .into_iter()
         .map(|rt| ColumnSpec::new(rt.label(), rt))
         .collect();
-    let spec = MatrixSpec::new(cli.filter_rows(figure_rows()), columns, cli.scale)
-        .with_observability(&cli);
+    let spec = MatrixSpec::new(h.cli.filter_rows(figure_rows()), columns, h.cli.scale)
+        .with_observability(&h.cli);
+    let matrix = h.run_matrix(&spec);
 
-    let mut profile = HostProfile::new(&cli.experiment);
-    let engine = Engine::new(cli.jobs);
-    let started = Instant::now();
-    let matrix = engine.run_matrix(&spec);
-    profile.add_phase("simulate", started.elapsed());
-
-    let started = Instant::now();
     print_machine_header("Figure 7 — runtime overhead over plain (%)");
     matrix.print_text_table();
     println!();
     println!("# paper (WtdAriMean): ASan ≈ 40%, REST debug ≈ 23–25%, REST secure ≈ 2%,");
     println!("# PerfectHW within 0.2% of secure; Full ≈ Heap + 0.16%.");
 
-    let mut sink = ResultSink::new(&cli);
+    let mut sink = h.sink();
     sink.push_matrix("matrix", &matrix);
-    sink.finish();
-    profile.add_phase("report", started.elapsed());
-
-    finish_observability(&cli, &engine, &matrix, profile);
+    h.finish(sink, &matrix);
 }

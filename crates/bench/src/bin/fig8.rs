@@ -6,18 +6,14 @@
 //! Usage: `cargo run --release -p rest-bench --bin fig8 -- \
 //!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
 
-use std::time::Instant;
-
-use rest_bench::cli::BenchCli;
-use rest_bench::engine::{ColumnSpec, Engine, MatrixSpec};
-use rest_bench::sink::ResultSink;
-use rest_bench::{fig8_widths, figure_rows, finish_observability, print_machine_header};
+use rest_bench::cli::Harness;
+use rest_bench::engine::{ColumnSpec, MatrixSpec};
+use rest_bench::{fig8_widths, figure_rows, print_machine_header};
 use rest_core::Mode;
-use rest_obs::HostProfile;
 use rest_runtime::RtConfig;
 
 fn main() {
-    let cli = BenchCli::parse("fig8");
+    let mut h = Harness::new("fig8");
     let mut columns = Vec::new();
     for full in [true, false] {
         for width in fig8_widths() {
@@ -28,26 +24,17 @@ fn main() {
             ));
         }
     }
-    let spec = MatrixSpec::new(cli.filter_rows(figure_rows()), columns, cli.scale)
-        .with_observability(&cli);
+    let spec = MatrixSpec::new(h.cli.filter_rows(figure_rows()), columns, h.cli.scale)
+        .with_observability(&h.cli);
+    let matrix = h.run_matrix(&spec);
 
-    let mut profile = HostProfile::new(&cli.experiment);
-    let engine = Engine::new(cli.jobs);
-    let started = Instant::now();
-    let matrix = engine.run_matrix(&spec);
-    profile.add_phase("simulate", started.elapsed());
-
-    let started = Instant::now();
     print_machine_header("Figure 8 — token-width sweep, secure mode, overhead over plain (%)");
     matrix.print_text_table();
     println!();
     println!("# paper: no single token width makes a significant difference;");
     println!("# wider tokens buy robustness without a performance cost.");
 
-    let mut sink = ResultSink::new(&cli);
+    let mut sink = h.sink();
     sink.push_matrix("matrix", &matrix);
-    sink.finish();
-    profile.add_phase("report", started.elapsed());
-
-    finish_observability(&cli, &engine, &matrix, profile);
+    h.finish(sink, &matrix);
 }

@@ -16,14 +16,14 @@
 
 use std::path::PathBuf;
 
-use rest_bench::cli::BenchCli;
+use rest_bench::cli::Harness;
 use rest_bench::throughput::{cells_for, measure_all, ThroughputReport};
 use rest_bench::{figure_rows, print_machine_header, write_text_file};
 use rest_core::Mode;
 use rest_runtime::RtConfig;
 
 fn main() {
-    let cli = BenchCli::parse("perf");
+    let cli = Harness::new("perf").cli;
     let rows = cli.filter_rows(figure_rows());
     // Plain, the heaviest instrumentation (ASan injects uops per
     // access), and the paper's headline REST configuration.

@@ -11,19 +11,16 @@
 //! Usage: `cargo run --release -p rest-bench --bin prose_stats -- \
 //!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
 
-use std::time::Instant;
-
-use rest_bench::cli::BenchCli;
-use rest_bench::engine::{ColumnSpec, Engine, MatrixSpec};
-use rest_bench::sink::{Json, ResultSink};
-use rest_bench::{finish_observability, print_machine_header, FigureRow};
+use rest_bench::cli::Harness;
+use rest_bench::engine::{ColumnSpec, MatrixSpec};
+use rest_bench::sink::Json;
+use rest_bench::{print_machine_header, FigureRow};
 use rest_core::Mode;
-use rest_obs::HostProfile;
 use rest_runtime::RtConfig;
 use rest_workloads::Workload;
 
 fn main() {
-    let cli = BenchCli::parse("prose_stats");
+    let mut h = Harness::new("prose_stats");
     let columns = vec![
         ColumnSpec::new("rest-secure-full", RtConfig::rest(Mode::Secure, true)),
         ColumnSpec::new("rest-debug-full", RtConfig::rest(Mode::Debug, true)),
@@ -33,16 +30,10 @@ fn main() {
         // The prose statistics compare secure vs debug directly; no
         // plain baseline is involved.
         include_plain: false,
-        ..MatrixSpec::new(cli.filter_rows(rows), columns, cli.scale)
+        ..MatrixSpec::new(h.cli.filter_rows(rows), columns, h.cli.scale)
     }
-    .with_observability(&cli);
-
-    let mut profile = HostProfile::new(&cli.experiment);
-    let engine = Engine::new(cli.jobs);
-    let started = Instant::now();
-    let matrix = engine.run_matrix(&spec);
-    profile.add_phase("simulate", started.elapsed());
-    let started = Instant::now();
+    .with_observability(&h.cli);
+    let matrix = h.run_matrix(&spec);
 
     print_machine_header("§VI-B prose statistics — secure vs debug (full protection)");
     println!(
@@ -102,11 +93,8 @@ fn main() {
     println!("# paper: robblk ratio ~10x; xalanc IQ-full gap >100x; xalanc");
     println!("# secure-full token traffic at L2/mem = 0.04 lines/kinst.");
 
-    let mut sink = ResultSink::new(&cli);
+    let mut sink = h.sink();
     sink.push_matrix("matrix", &matrix);
     sink.push("derived", Json::Arr(derived));
-    sink.finish();
-    profile.add_phase("report", started.elapsed());
-
-    finish_observability(&cli, &engine, &matrix, profile);
+    h.finish(sink, &matrix);
 }

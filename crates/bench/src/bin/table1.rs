@@ -8,8 +8,8 @@
 //!
 //! Usage: `cargo run -p rest-bench --bin table1 -- [--json PATH]`
 
-use rest_bench::cli::BenchCli;
-use rest_bench::sink::{Json, ResultSink};
+use rest_bench::cli::Harness;
+use rest_bench::sink::Json;
 use rest_core::table1::{cache_decision, lsq_decision, Action, CacheDecision};
 
 fn describe_lsq(action: Action) -> String {
@@ -77,7 +77,7 @@ fn describe_cache(d: CacheDecision) -> String {
 }
 
 fn main() {
-    let cli = BenchCli::parse("table1");
+    let h = Harness::new("table1");
     println!("# Table I — actions on operations, for L1-D hits and misses");
     println!("# (executable specification; simulator conformance is enforced");
     println!("#  by crates/mem unit tests and tests/table1.rs)");
@@ -103,7 +103,7 @@ fn main() {
         println!();
     }
 
-    let mut sink = ResultSink::new(&cli);
+    let mut sink = h.sink();
     sink.push("actions", Json::Arr(actions));
     sink.finish();
 }

@@ -5,9 +5,9 @@
 //! Usage: `cargo run --release -p rest-bench --bin table3 -- \
 //!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
 
-use rest_bench::cli::BenchCli;
-use rest_bench::engine::{ColumnSpec, Engine, MatrixSpec};
-use rest_bench::sink::{Json, ResultSink};
+use rest_bench::cli::Harness;
+use rest_bench::engine::{ColumnSpec, MatrixSpec};
+use rest_bench::sink::Json;
 use rest_bench::FigureRow;
 use rest_core::Mode;
 use rest_runtime::RtConfig;
@@ -51,17 +51,16 @@ fn prior_rows() -> Vec<Row> {
 }
 
 fn main() {
-    let cli = BenchCli::parse("table3");
+    let mut h = Harness::new("table3");
 
     // Measure REST's overhead class on a representative subset.
     let subset = [Workload::Lbm, Workload::Gcc, Workload::Xalancbmk, Workload::Hmmer];
-    let rows = cli.filter_rows(subset.into_iter().map(FigureRow::of).collect());
+    let rows = h.cli.filter_rows(subset.into_iter().map(FigureRow::of).collect());
     let columns = vec![ColumnSpec::new(
         "rest-secure-full",
         RtConfig::rest(Mode::Secure, true),
     )];
-    let engine = Engine::new(cli.jobs);
-    let matrix = engine.run_matrix(&MatrixSpec::new(rows, columns, cli.scale));
+    let matrix = h.run_matrix(&MatrixSpec::new(rows, columns, h.cli.scale));
 
     let (pct, _) = matrix.summary()[0];
     let class = match pct {
@@ -110,7 +109,7 @@ fn main() {
             ])
         })
         .collect();
-    let mut sink = ResultSink::new(&cli);
+    let mut sink = h.sink();
     sink.push("prior_rows", Json::Arr(prior));
     sink.push(
         "rest_measured",
@@ -121,5 +120,5 @@ fn main() {
         ]),
     );
     sink.push_matrix("matrix", &matrix);
-    sink.finish();
+    h.finish(sink, &matrix);
 }

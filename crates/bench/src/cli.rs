@@ -33,9 +33,13 @@
 //! worker count).
 
 use std::path::PathBuf;
+use std::time::Instant;
 
+use rest_obs::HostProfile;
 use rest_workloads::Scale;
 
+use crate::engine::{Engine, JobOutcome, MatrixResults, MatrixSpec, SimJob};
+use crate::sink::ResultSink;
 use crate::FigureRow;
 
 /// Parsed common command line of one experiment binary.
@@ -297,6 +301,93 @@ impl BenchCli {
     }
 }
 
+/// Shared setup/teardown for the experiment binaries.
+///
+/// Every binary used to open with the same dance — parse the common
+/// command line, build one [`Engine`], wrap the engine runs in a
+/// "simulate" [`HostProfile`] phase, then close with a "report" phase,
+/// the result sink, and the observability artefacts. `Harness` owns
+/// that boilerplate so a binary reduces to *describe the experiment →
+/// print the tables → finish*:
+///
+/// ```ignore
+/// let mut h = Harness::new("fig7");
+/// let matrix = h.run_matrix(&spec);
+/// matrix.print_text_table();
+/// let mut sink = h.sink();
+/// sink.push_matrix("matrix", &matrix);
+/// h.finish(sink, &matrix);
+/// ```
+///
+/// Binaries without an engine phase (e.g. `table1`) use only
+/// [`Harness::sink`]; campaign binaries (`faults`, `defense`) drive
+/// [`Harness::run_all`] in checkpointed chunks.
+pub struct Harness {
+    /// The parsed common command line.
+    pub cli: BenchCli,
+    /// The shared job engine: one per process, so plain baselines are
+    /// simulated once across every matrix the binary runs.
+    pub engine: Engine,
+    profile: HostProfile,
+    /// Start of the report phase, re-based after every engine run so
+    /// [`Harness::finish`] charges only actual reporting time.
+    report_started: Instant,
+}
+
+impl Harness {
+    /// Parses the process arguments (exiting on `--help` or a malformed
+    /// command line) and sets up the engine and host profile.
+    pub fn new(experiment: &str) -> Harness {
+        Harness::from_cli(BenchCli::parse(experiment))
+    }
+
+    /// A harness over an already-parsed command line (testable).
+    pub fn from_cli(cli: BenchCli) -> Harness {
+        Harness {
+            engine: Engine::new(cli.jobs),
+            profile: HostProfile::new(&cli.experiment),
+            report_started: Instant::now(),
+            cli,
+        }
+    }
+
+    /// Runs an experiment matrix on the shared engine; the wall time
+    /// accrues to the profile's "simulate" phase.
+    pub fn run_matrix(&mut self, spec: &MatrixSpec) -> MatrixResults {
+        let started = Instant::now();
+        let matrix = self.engine.run_matrix(spec);
+        self.profile.add_phase("simulate", started.elapsed());
+        self.report_started = Instant::now();
+        matrix
+    }
+
+    /// Runs a plain job list on the shared engine; the wall time
+    /// accrues to the profile's "simulate" phase.
+    pub fn run_all(&mut self, jobs: &[SimJob]) -> Vec<JobOutcome> {
+        let started = Instant::now();
+        let outcomes = self.engine.run_all(jobs);
+        self.profile.add_phase("simulate", started.elapsed());
+        self.report_started = Instant::now();
+        outcomes
+    }
+
+    /// A result sink pre-populated with this experiment's identity.
+    pub fn sink(&self) -> ResultSink {
+        ResultSink::new(&self.cli)
+    }
+
+    /// Writes the finished sink, closes the "report" phase, and emits
+    /// the observability artefacts (Perfetto trace from `matrix` when
+    /// `--trace-out` was given, host profile with the engine's per-job
+    /// timing log).
+    pub fn finish(mut self, sink: ResultSink, matrix: &MatrixResults) {
+        sink.finish();
+        self.profile
+            .add_phase("report", self.report_started.elapsed());
+        crate::finish_observability(&self.cli, &self.engine, matrix, self.profile);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +515,26 @@ mod tests {
             BenchCli::from_args("fig7", &argv(&["--help"])).unwrap_err(),
             "help"
         );
+    }
+
+    #[test]
+    fn harness_shares_one_engine_and_profiles_simulate_time() {
+        let cli = BenchCli::from_args("harness-test", &argv(&["--test", "--jobs", "1"])).unwrap();
+        let mut h = Harness::from_cli(cli);
+        let job = SimJob::plain(
+            &FigureRow::of(rest_workloads::Workload::Lbm),
+            crate::engine::CoreKind::OutOfOrder,
+            Scale::Test,
+        );
+        let first = h.run_all(std::slice::from_ref(&job));
+        let again = h.run_all(std::slice::from_ref(&job));
+        assert!(first[0].is_ok());
+        // The harness engine caches across calls like a bare Engine.
+        assert!(std::sync::Arc::ptr_eq(&first[0], &again[0]));
+        // Both runs accrued into the one "simulate" phase, and the
+        // engine's per-job log recorded the cache hit.
+        assert_eq!(h.engine.take_timings().len(), 2);
+        assert!(!h.sink().to_json_string().is_empty());
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Defense-matrix campaign (`defense` binary).
+//!
+//! Sweeps the six protection configurations the backend seam makes
+//! comparable — `plain`, `asan`, `rest-secure-full`, `mte-sync`,
+//! `mte-async`, `pa` — over two halves:
+//!
+//! * **overheads**: the full 16-row benchmark set, reported as percent
+//!   over the plain baseline (same machinery as Figure 7), and
+//! * **coverage**: every [`Attack`] scenario under every scheme, each
+//!   cell classified from the pipeline run's stop reason, audit log and
+//!   output stream, then judged against the paper's §V expectation.
+//!
+//! Per attack cell the campaign derives the same [`AttackOutcome`] the
+//! functional `rest-attacks` harness produces:
+//!
+//! | field | pipeline derivation |
+//! |---|---|
+//! | `detected` | stopped on a violation, **or** a detection-provenance audit entry exists |
+//! | `delayed` | audit-only detection (MTE async/asymm TFSR: the run completed first) |
+//! | `leaked_secret` | the planted [`SECRET`] reached the guest output |
+//!
+//! and checks it with [`Expectation::admits`] — the exact predicate the
+//! functional path uses, so the two measurement paths cannot drift.
+//! Both halves go into one `rest-defense/v1` JSON document
+//! (`results/defense.json`), byte-identical at any `--jobs` level.
+
+use rest_attacks::{Attack, AttackOutcome, Expectation, SECRET};
+use rest_cpu::{SimResult, StopReason};
+use rest_obs::Json;
+use rest_runtime::RtConfig;
+
+use crate::cli::Harness;
+use crate::engine::{ColumnSpec, JobError, MatrixSpec, SimJob};
+
+/// Campaign document schema identifier.
+pub const SCHEMA: &str = "rest-defense/v1";
+
+/// The compared configurations, by harness label, baseline first.
+pub const SCHEMES: [&str; 6] = [
+    "plain",
+    "asan",
+    "rest-secure-full",
+    "mte-sync",
+    "mte-async",
+    "pa",
+];
+
+/// Audit-log detectors that count as a detection (provenance of the
+/// four check mechanisms; the fault injector's entries do not count).
+const DETECTORS: [&str; 4] = ["rest", "asan", rest_obs::MTE_TAGGER, rest_obs::PA_SIGNER];
+
+/// The campaign's scheme set, resolved through the same
+/// [`RtConfig::from_label`] table the CLI uses.
+pub fn scheme_configs() -> Vec<(&'static str, RtConfig)> {
+    SCHEMES
+        .iter()
+        .map(|&label| {
+            let rt = RtConfig::from_label(label).expect("defense scheme labels are canonical");
+            (label, rt)
+        })
+        .collect()
+}
+
+/// Derives the functional-harness verdict fields from a pipeline run:
+/// precise detections stop the run, deferred ones (MTE async/asymm)
+/// only reach the audit log, and a leak is the secret in the output.
+pub fn outcome_of(result: &SimResult) -> AttackOutcome {
+    let precise = matches!(result.stop, StopReason::Violation(_));
+    let flagged = result
+        .audit
+        .entries()
+        .iter()
+        .any(|e| DETECTORS.contains(&e.detector));
+    let leaked_secret = result
+        .output
+        .windows(SECRET.len())
+        .any(|w| w == SECRET.as_slice());
+    AttackOutcome {
+        stop: result.stop.clone(),
+        detected: precise || flagged,
+        delayed: flagged && !precise,
+        leaked_secret,
+    }
+}
+
+/// Short display/JSON name for an attack cell's outcome.
+fn verdict_name(out: &AttackOutcome) -> &'static str {
+    if out.detected && !out.delayed {
+        "detected"
+    } else if out.delayed {
+        "delayed"
+    } else if out.leaked_secret {
+        "leaked"
+    } else {
+        "quiet"
+    }
+}
+
+/// One classified attack cell: `(json, ok)`.
+fn attack_cell(
+    scheme: &str,
+    expect: Expectation,
+    outcome: &Result<SimResult, JobError>,
+) -> (Json, bool) {
+    let mut members = vec![
+        ("scheme", Json::from(scheme)),
+        ("expectation", Json::from(expect.name())),
+    ];
+    let ok = match outcome {
+        Err(e) => {
+            members.push((
+                "error",
+                Json::obj(vec![
+                    ("kind", Json::from(e.kind.as_str())),
+                    ("detail", Json::from(e.detail.as_str())),
+                ]),
+            ));
+            false
+        }
+        Ok(result) => {
+            let out = outcome_of(result);
+            let detector = result
+                .audit
+                .entries()
+                .iter()
+                .find(|e| DETECTORS.contains(&e.detector))
+                .map(|e| Json::from(e.detector))
+                .unwrap_or(Json::Null);
+            let ok = expect.admits(&out);
+            members.push(("stop", Json::from(format!("{:?}", out.stop))));
+            members.push(("verdict", Json::from(verdict_name(&out))));
+            members.push(("detected", Json::Bool(out.detected)));
+            members.push(("delayed", Json::Bool(out.delayed)));
+            members.push(("leaked_secret", Json::Bool(out.leaked_secret)));
+            members.push(("detector", detector));
+            members.push(("ok", Json::Bool(ok)));
+            ok
+        }
+    };
+    (Json::obj(members), ok)
+}
+
+/// Per-scheme coverage counters over the attack half.
+#[derive(Default, Clone, Copy)]
+struct Coverage {
+    detected: u64,
+    delayed: u64,
+    leaked: u64,
+    unexpected: u64,
+}
+
+/// Runs the full campaign: the overhead matrix, then every attack under
+/// every scheme, printing both tables and writing the document through
+/// the harness sink (so `--json`, `--profile-out` and `--trace-out` all
+/// behave like the other binaries).
+pub fn run_campaign(mut h: Harness) {
+    let cli = h.cli.clone();
+    let configs = scheme_configs();
+
+    // Overhead half: the five hardened schemes against the shared plain
+    // baseline, over the standard benchmark rows.
+    let columns: Vec<ColumnSpec> = configs
+        .iter()
+        .filter(|(label, _)| *label != "plain")
+        .map(|(label, rt)| ColumnSpec::new(*label, rt.clone()))
+        .collect();
+    let spec = MatrixSpec::new(cli.filter_rows(crate::figure_rows()), columns, cli.scale)
+        .with_observability(&cli);
+    let matrix = h.run_matrix(&spec);
+
+    crate::print_machine_header("defense — runtime overhead over plain (%)");
+    matrix.print_text_table();
+    println!();
+
+    // Coverage half: every attack × every scheme, on the pipeline.
+    // Each scenario's runtime tweaks (Attack::rt_for) apply to every
+    // scheme identically, so cells differ only in the protection
+    // mechanism. The `--filter` flag narrows benchmark rows only; the
+    // attack grid always runs in full.
+    let mut jobs = Vec::new();
+    for attack in Attack::ALL {
+        for (label, rt) in &configs {
+            jobs.push(SimJob::for_attack(
+                attack,
+                *label,
+                attack.rt_for(rt.clone()),
+                cli.scale,
+            ));
+        }
+    }
+    let outcomes = h.run_all(&jobs);
+
+    println!("defense — attack coverage (expectation-checked verdict per cell)");
+    print!("{:<28}", "attack");
+    for (label, _) in &configs {
+        print!("{label:>18}");
+    }
+    println!();
+    let mut coverage = vec![Coverage::default(); configs.len()];
+    let mut attack_docs = Vec::new();
+    for (a, attack) in Attack::ALL.iter().enumerate() {
+        print!("{:<28}", attack.name());
+        let mut cell_docs = Vec::new();
+        for (s, (label, rt)) in configs.iter().enumerate() {
+            let expect = attack.expectation(rt.scheme);
+            let outcome = &outcomes[a * configs.len() + s];
+            let (cell, ok) = attack_cell(label, expect, outcome);
+            let cov = &mut coverage[s];
+            if let Ok(result) = outcome.as_ref() {
+                let out = outcome_of(result);
+                cov.detected += out.detected as u64;
+                cov.delayed += out.delayed as u64;
+                cov.leaked += out.leaked_secret as u64;
+                print!(
+                    "{:>18}",
+                    format!("{}{}", verdict_name(&out), if ok { "" } else { " *UNEXP" })
+                );
+            } else {
+                print!("{:>18}", "error *UNEXP");
+            }
+            cov.unexpected += (!ok) as u64;
+            cell_docs.push(cell);
+        }
+        println!();
+        attack_docs.push(Json::obj(vec![
+            ("name", Json::from(attack.name())),
+            ("cells", Json::Arr(cell_docs)),
+        ]));
+    }
+    println!();
+    let unexpected_total: u64 = coverage.iter().map(|c| c.unexpected).sum();
+    println!(
+        "detected per scheme: {}   unexpected cells: {unexpected_total}",
+        configs
+            .iter()
+            .zip(&coverage)
+            .map(|((label, _), c)| format!("{label}={}", c.detected))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    let mut sink = h.sink();
+    sink.push("schema", Json::from(SCHEMA));
+    sink.push(
+        "schemes",
+        Json::Arr(SCHEMES.iter().map(|&l| Json::from(l)).collect()),
+    );
+    sink.push_matrix("overheads", &matrix);
+    sink.push("attacks", Json::Arr(attack_docs));
+    sink.push(
+        "coverage",
+        Json::obj(
+            configs
+                .iter()
+                .zip(&coverage)
+                .map(|((label, _), c)| {
+                    (
+                        *label,
+                        Json::obj(vec![
+                            ("detected", Json::UInt(c.detected)),
+                            ("delayed", Json::UInt(c.delayed)),
+                            ("leaked", Json::UInt(c.leaked)),
+                            ("unexpected", Json::UInt(c.unexpected)),
+                        ]),
+                    )
+                })
+                .collect(),
+        ),
+    );
+    h.finish(sink, &matrix);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rest_core::Mode;
+    use rest_workloads::Scale;
+
+    #[test]
+    fn campaign_shape_is_stable() {
+        let configs = scheme_configs();
+        assert_eq!(configs.len(), 6);
+        assert_eq!(configs[0].0, "plain");
+        // Every label round-trips through the config it resolves to.
+        for (label, rt) in &configs {
+            assert_eq!(rt.label(), *label);
+        }
+        // 6 schemes × 10 attacks + 16 benchmark rows × (1 + 5) cells.
+        assert_eq!(Attack::ALL.len() * configs.len(), 60);
+        assert_eq!(crate::figure_rows().len(), 16);
+    }
+
+    #[test]
+    fn pipeline_outcomes_match_functional_attack_verdicts() {
+        // The derived AttackOutcome must agree with the functional
+        // harness on both a precise and a deferred detection.
+        let rest = SimJob::for_attack(
+            Attack::HeapOverflowWrite,
+            "rest-secure-full",
+            RtConfig::rest(Mode::Secure, true),
+            Scale::Test,
+        )
+        .execute()
+        .unwrap();
+        let out = outcome_of(&rest);
+        assert!(out.detected && !out.delayed && !out.leaked_secret);
+        assert_eq!(verdict_name(&out), "detected");
+        assert!(Attack::HeapOverflowWrite
+            .expectation(rest_runtime::Scheme::Rest)
+            .admits(&out));
+
+        // MTE async: the run completes, the leak happens, and only the
+        // latched TFSR fault (audit entry) records the detection.
+        let rt = RtConfig::from_label("mte-async").unwrap();
+        let job = SimJob::for_attack(
+            Attack::Heartbleed,
+            "mte-async",
+            Attack::Heartbleed.rt_for(rt),
+            Scale::Test,
+        );
+        let mte = job.execute().unwrap();
+        let out = outcome_of(&mte);
+        assert!(out.detected && out.delayed, "stop: {:?}", mte.stop);
+        assert_eq!(verdict_name(&out), "delayed");
+        assert!(mte
+            .audit
+            .entries()
+            .iter()
+            .any(|e| e.detector == rest_obs::MTE_TAGGER));
+    }
+
+    #[test]
+    fn plain_cells_are_quiet_or_leaky_but_never_detected() {
+        let rt = RtConfig::plain();
+        let result = SimJob::for_attack(Attack::Heartbleed, "plain", rt, Scale::Test)
+            .execute()
+            .unwrap();
+        let out = outcome_of(&result);
+        assert!(!out.detected && out.leaked_secret);
+        assert_eq!(verdict_name(&out), "leaked");
+    }
+}

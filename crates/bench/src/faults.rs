@@ -38,8 +38,8 @@ use rest_runtime::RtConfig;
 use rest_workloads::{Scale, Workload};
 
 use crate::checkpoint::Checkpoint;
-use crate::cli::BenchCli;
-use crate::engine::{Engine, JobError, SimJob};
+use crate::cli::Harness;
+use crate::engine::{JobError, SimJob};
 use crate::FigureRow;
 
 /// Campaign document schema identifier.
@@ -302,7 +302,8 @@ fn classified_cell(cell: &Json, reference: &Json) -> Json {
 /// periodically, then — unless interrupted by `--max-cells` — classify,
 /// print the coverage table, write `results/faults.json`, and delete
 /// the checkpoint.
-pub fn run_campaign(cli: &BenchCli) {
+pub fn run_campaign(h: &mut Harness) {
+    let cli = h.cli.clone();
     let rows = campaign_rows();
     let budget = cycle_budget(cli.scale);
     let labels = column_labels();
@@ -337,7 +338,6 @@ pub fn run_campaign(cli: &BenchCli) {
         rows.iter().map(CampaignRow::name).collect::<Vec<_>>().join(",")
     );
     let mut ckpt = Checkpoint::open(&cli.ckpt_path(), &fingerprint, cli.resume);
-    let engine = Engine::new(cli.jobs);
 
     let pending: Vec<&Cell> = cells.iter().filter(|c| ckpt.get(&c.key).is_none()).collect();
     let cell_limit = cli.max_cells.unwrap_or(usize::MAX);
@@ -351,7 +351,7 @@ pub fn run_campaign(cli: &BenchCli) {
         }
         let chunk = &chunk[..take];
         let jobs: Vec<SimJob> = chunk.iter().map(|c| c.job.clone()).collect();
-        let outcomes = engine.run_all(&jobs);
+        let outcomes = h.run_all(&jobs);
         for (cell, outcome) in chunk.iter().zip(&outcomes) {
             ckpt.insert(
                 cell.key.clone(),
@@ -445,7 +445,7 @@ pub fn run_campaign(cli: &BenchCli) {
         "missed detections: {missed_total}   false positives: {fp_total}"
     );
 
-    let mut sink = crate::sink::ResultSink::new(cli);
+    let mut sink = crate::sink::ResultSink::new(&cli);
     sink.push("schema", Json::from(SCHEMA));
     sink.push("fault_seed", Json::UInt(cli.fault_seed));
     sink.push("mode", Json::from("rest-secure-full"));
@@ -466,6 +466,7 @@ pub fn run_campaign(cli: &BenchCli) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cli::BenchCli;
 
     #[test]
     fn campaign_shape_is_stable() {

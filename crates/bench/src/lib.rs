@@ -38,6 +38,7 @@
 
 pub mod checkpoint;
 pub mod cli;
+pub mod defense;
 pub mod engine;
 pub mod faults;
 pub mod sink;
@@ -62,6 +63,8 @@ pub fn stack_for(rt: &RtConfig) -> StackScheme {
         Scheme::Plain => StackScheme::None,
         Scheme::Asan => StackScheme::Asan,
         Scheme::Rest => StackScheme::Rest,
+        // Heap-granule schemes carry no stack instrumentation.
+        Scheme::Mte | Scheme::Pa => StackScheme::None,
     }
 }
 

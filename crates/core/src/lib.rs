@@ -37,6 +37,7 @@
 //! ```
 
 mod armed;
+pub mod backend;
 mod exception;
 mod mode;
 pub mod policy;
@@ -44,6 +45,10 @@ pub mod table1;
 mod token;
 
 pub use armed::ArmedSet;
+pub use backend::{
+    BackendFault, CheckUopKind, DetectTiming, MteBackend, MteMode, NullBackend, PacBackend,
+    PacFault, ProtectionBackend, RestBackend, TagFault, TAG_GRANULE,
+};
 pub use exception::{RestException, RestExceptionKind};
 pub use mode::{Mode, Privilege, PrivilegeError};
 pub use token::{Token, TokenRegister, TokenWidth};

@@ -1,7 +1,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use rest_core::{ArmedSet, Mode, RestException, RestExceptionKind, Token};
+use rest_core::{
+    ArmedSet, BackendFault, CheckUopKind, Mode, ProtectionBackend, RestException,
+    RestExceptionKind, Token,
+};
 use rest_faults::{FaultHandle, FaultKind, MemEffect};
 use rest_isa::{
     BranchInfo, Component, DecodeOptions, DecodedInst, DecodedProgram, DynInst, EcallNum,
@@ -55,7 +58,7 @@ pub struct Emulator {
     /// Functional memory image (readable by the timing model's token
     /// detector).
     pub mem: GuestMemory,
-    armed: ArmedSet,
+    backend: Box<dyn ProtectionBackend>,
     token: Token,
     runtime: Runtime,
     rec: TrafficRecorder,
@@ -74,7 +77,11 @@ pub struct Emulator {
     /// Fast flag: a `TokenByteFlip` fault is live and arm recording is on.
     fault_flip: bool,
     access_checks: bool,
-    check_rest: bool,
+    check_backend: bool,
+    /// Fast flag: the backend stores metadata in the pointer itself, so
+    /// addresses must be canonicalised before touching memory. False for
+    /// REST/ASan/plain, keeping their address paths untouched.
+    tagged_ptrs: bool,
     perfect_hw: bool,
     naive_wide_arm: bool,
     mode: Mode,
@@ -105,18 +112,21 @@ impl Emulator {
         let fault_flip = fault
             .as_ref()
             .is_some_and(|f| f.kind() == FaultKind::TokenByteFlip);
-        let mut armed = ArmedSet::new(cfg.rt.token_width);
+        let mut backend = cfg.rt.build_backend(cfg.token_seed);
         if fault_flip {
             // Observe every architectural arm (including the allocator's
             // redzone arms, which never pass through `Inst::Arm`).
-            armed.set_recording(true);
+            if let Some(armed) = backend.armed_set_mut() {
+                armed.set_recording(true);
+            }
         }
+        let tagged_ptrs = backend.tags_pointers();
         Emulator {
             program,
             regs: [0; Reg::COUNT],
             pc: entry,
             mem,
-            armed,
+            backend,
             token,
             runtime: Runtime::new(cfg.rt.clone()),
             rec: TrafficRecorder::new(),
@@ -130,7 +140,8 @@ impl Emulator {
             fault,
             fault_flip,
             access_checks: cfg.rt.scheme == Scheme::Asan && cfg.rt.access_checks,
-            check_rest: cfg.rt.scheme == Scheme::Rest && !cfg.rt.perfect_hw,
+            check_backend: cfg.rt.checks_in_backend(),
+            tagged_ptrs,
             perfect_hw: cfg.rt.perfect_hw,
             naive_wide_arm: cfg.rt.naive_wide_arm,
             mode: cfg.rt.mode,
@@ -142,9 +153,21 @@ impl Emulator {
         &self.token
     }
 
-    /// The architectural armed-location set.
-    pub fn armed(&self) -> &ArmedSet {
-        &self.armed
+    /// The architectural armed-location set (REST backends only).
+    pub fn armed(&self) -> Option<&ArmedSet> {
+        self.backend.armed_set()
+    }
+
+    /// The active protection backend.
+    pub fn backend(&self) -> &dyn ProtectionBackend {
+        self.backend.as_ref()
+    }
+
+    /// Drains the backend's deferred fault (MTE async/asymm semantics:
+    /// the first mismatch is latched TFSR-style and surfaced when the
+    /// program stops, not at the faulting access).
+    pub fn take_deferred(&mut self) -> Option<Violation> {
+        self.backend.take_deferred().map(Violation::from)
     }
 
     /// The guest runtime (for allocator stats and program output).
@@ -191,7 +214,11 @@ impl Emulator {
                     for i in 0..8u64 {
                         if mask & (1 << i) != 0 {
                             let slot = line + i * slot_bytes;
-                            if self.armed.forget(slot) {
+                            let forgotten = self
+                                .backend
+                                .armed_set_mut()
+                                .is_some_and(|armed| armed.forget(slot));
+                            if forgotten {
                                 self.mem.fill(slot, slot_bytes, 0);
                                 self.invalidate_decoded(slot, slot_bytes);
                             }
@@ -249,41 +276,46 @@ impl Emulator {
     }
 
     /// Validates an application access under the active scheme. Returns
-    /// the violation to report, if any.
-    fn check_app_access(&self, addr: u64, size: u64, store: bool, pc: u64) -> Option<Violation> {
-        if self.check_rest {
-            let kind = if store {
-                RestExceptionKind::TokenStore
-            } else {
-                RestExceptionKind::TokenLoad
-            };
+    /// the violation to report, if any. `ptr` is the address exactly as
+    /// the program computed it (it may carry a tag or PAC in its high
+    /// bits); `addr` is its canonical form.
+    fn check_app_access(
+        &mut self,
+        ptr: u64,
+        addr: u64,
+        size: u64,
+        store: bool,
+        pc: u64,
+    ) -> Option<Violation> {
+        if self.check_backend {
             // Fail-closed faults: a spuriously-armed slot (flipped
             // metadata bit or glitched LSQ check) raises an exception on
-            // a perfectly legal access.
-            if let Some(f) = &self.fault {
-                if let Some(slot) = f.spurious_check(addr, size) {
-                    return Some(Violation::Rest(RestException::new(
-                        kind,
-                        slot,
-                        pc,
-                        self.mode.precise_exceptions(),
-                    )));
+            // a perfectly legal access. REST-only: the fault model
+            // targets the token machinery.
+            if self.backend.uses_line_fill_detection() {
+                if let Some(f) = &self.fault {
+                    if let Some(slot) = f.spurious_check(addr, size) {
+                        let kind = if store {
+                            RestExceptionKind::TokenStore
+                        } else {
+                            RestExceptionKind::TokenLoad
+                        };
+                        return Some(Violation::Rest(RestException::new(
+                            kind,
+                            slot,
+                            pc,
+                            self.mode.precise_exceptions(),
+                        )));
+                    }
                 }
             }
-            if let Some(slot) = self.armed.first_overlap(addr, size) {
+            if let Some(fault) = self.backend.check_access(ptr, size, store, pc) {
                 // Fail-open faults: the slot's detection is lost (cleared
                 // metadata bit or stuck exception delivery).
-                let lost = self
-                    .fault
-                    .as_ref()
-                    .is_some_and(|f| f.suppress_detection(slot));
+                let lost = matches!(&fault, BackendFault::Token(e)
+                    if self.fault.as_ref().is_some_and(|f| f.suppress_detection(e.addr)));
                 if !lost {
-                    return Some(Violation::Rest(RestException::new(
-                        kind,
-                        slot,
-                        pc,
-                        self.mode.precise_exceptions(),
-                    )));
+                    return Some(fault.into());
                 }
             }
         }
@@ -338,6 +370,26 @@ impl Emulator {
             )
             .with_component(Component::AccessCheck),
         );
+    }
+
+    /// Emits the micro-ops of the backend's per-access check, if the
+    /// active backend charges any (MTE synchronous tag fetch, PA
+    /// pointer authentication). REST charges zero — its check rides the
+    /// cache fill — so this never perturbs the REST uop stream.
+    fn emit_backend_check<S: UopSink>(&mut self, out: &mut S, pc: u64, addr: u64, store: bool) {
+        for _ in 0..self.backend.check_uops(store) {
+            let d = match self.backend.check_uop_kind() {
+                // Tag fetch from the packed tag shadow (one byte covers
+                // two granules; modelled as a 1-byte load).
+                CheckUopKind::TagLoad => {
+                    DynInst::load(pc, Some(Reg::TP), None, rest_runtime::tag_addr(addr), 1)
+                }
+                // PACIA/AUTIA-style recompute-and-compare: ALU work, no
+                // memory traffic.
+                CheckUopKind::AuthAlu => DynInst::alu(pc, Some(Reg::TP), [None, None]),
+            };
+            out.push(d.with_component(Component::AccessCheck));
+        }
     }
 
     /// Executes one macro instruction, appending its micro-ops to `out`.
@@ -423,12 +475,20 @@ impl Emulator {
                 size,
                 signed,
             } => {
-                let addr = self.reg(base).wrapping_add(offset as u64);
+                let ptr = self.reg(base).wrapping_add(offset as u64);
+                let addr = if self.tagged_ptrs {
+                    self.backend.canonical_addr(ptr)
+                } else {
+                    ptr
+                };
                 if self.access_checks && e.template.component == Component::App {
                     self.emit_asan_check(out, pc, addr);
                 }
+                if self.tagged_ptrs && e.template.component == Component::App {
+                    self.emit_backend_check(out, pc, addr, false);
+                }
                 out.push(with_mem_addr(e.template, addr));
-                if let Some(v) = self.check_app_access(addr, size.bytes(), false, pc) {
+                if let Some(v) = self.check_app_access(ptr, addr, size.bytes(), false, pc) {
                     self.stop = Some(StopReason::Violation(v));
                 } else {
                     let raw = self.mem.read_scalar(addr, size);
@@ -446,12 +506,20 @@ impl Emulator {
                 offset,
                 size,
             } => {
-                let addr = self.reg(base).wrapping_add(offset as u64);
+                let ptr = self.reg(base).wrapping_add(offset as u64);
+                let addr = if self.tagged_ptrs {
+                    self.backend.canonical_addr(ptr)
+                } else {
+                    ptr
+                };
                 if self.access_checks && e.template.component == Component::App {
                     self.emit_asan_check(out, pc, addr);
                 }
+                if self.tagged_ptrs && e.template.component == Component::App {
+                    self.emit_backend_check(out, pc, addr, true);
+                }
                 out.push(with_mem_addr(e.template, addr));
-                if let Some(v) = self.check_app_access(addr, size.bytes(), true, pc) {
+                if let Some(v) = self.check_app_access(ptr, addr, size.bytes(), true, pc) {
                     self.stop = Some(StopReason::Violation(v));
                 } else {
                     self.mem.write_scalar(addr, self.reg(src), size);
@@ -462,19 +530,24 @@ impl Emulator {
                 out.push(with_mem_addr(e.template, a));
                 if !self.perfect_hw {
                     let w = self.token.width().bytes();
-                    match self.armed.arm(a) {
-                        Ok(()) => {
+                    // A backend without an armed set (MTE/PA) has no
+                    // token machinery: the instruction degrades to the
+                    // already-pushed memory uop with no architectural
+                    // token effect.
+                    match self.backend.armed_set_mut().map(|armed| armed.arm(a)) {
+                        Some(Ok(())) => {
                             for line in (a & !63..a + w).step_by(64) {
                                 self.mem.snapshot_line_pre_image(line);
                             }
                             self.mem.write_bytes(a, self.token.bytes());
                             self.invalidate_decoded(a, w);
                         }
-                        Err(kind) => {
+                        Some(Err(kind)) => {
                             self.stop = Some(StopReason::Violation(Violation::Rest(
                                 RestException::new(kind, a, pc, true),
                             )));
                         }
+                        None => {}
                     }
                 }
             }
@@ -487,15 +560,15 @@ impl Emulator {
                     self.mem.fill(base, w, 0);
                     self.invalidate_decoded(base, w);
                 } else {
-                    match self.armed.disarm(a) {
-                        Ok(()) => {
+                    match self.backend.armed_set_mut().map(|armed| armed.disarm(a)) {
+                        Some(Ok(())) => {
                             for line in (a & !63..a + w).step_by(64) {
                                 self.mem.snapshot_line_pre_image(line);
                             }
                             self.mem.fill(a, w, 0);
                             self.invalidate_decoded(a, w);
                         }
-                        Err(kind) => {
+                        Some(Err(kind)) => {
                             self.stop = Some(StopReason::Violation(Violation::Rest(
                                 RestException::new(
                                     kind,
@@ -505,6 +578,7 @@ impl Emulator {
                                 ),
                             )));
                         }
+                        None => {}
                     }
                 }
             }
@@ -554,9 +628,9 @@ impl Emulator {
                             runtime,
                             mem,
                             rec,
-                            armed,
+                            backend,
                             token,
-                            check_rest,
+                            check_backend,
                             perfect_hw,
                             naive_wide_arm,
                             ..
@@ -564,9 +638,9 @@ impl Emulator {
                         let mut env = RtEnv {
                             mem,
                             rec,
-                            armed,
+                            backend: backend.as_mut(),
                             token,
-                            check_rest: *check_rest,
+                            check_backend: *check_backend,
                             check_shadow: false,
                             perfect_hw: *perfect_hw,
                             naive_wide_arm: *naive_wide_arm,
@@ -608,17 +682,23 @@ impl Emulator {
     fn process_arm_faults(&mut self) {
         let Some(f) = self.fault.clone() else { return };
         let w = self.token.width().bytes();
-        for slot in self.armed.take_recent_arms() {
+        let recent = match self.backend.armed_set_mut() {
+            Some(armed) => armed.take_recent_arms(),
+            None => return,
+        };
+        for slot in recent {
             if let Some(bit) = f.arm_event(slot, w) {
                 let addr = slot + bit / 8;
                 let byte = self.mem.read_scalar(addr, rest_isa::MemSize::B1);
                 self.mem
                     .write_scalar(addr, byte ^ (1 << (bit % 8)), rest_isa::MemSize::B1);
-                self.armed.forget(slot);
+                if let Some(armed) = self.backend.armed_set_mut() {
+                    armed.forget(slot);
+                    // Single-shot: stop paying for arm recording.
+                    armed.set_recording(false);
+                }
                 self.invalidate_decoded(addr, 1);
-                // Single-shot: stop paying for arm recording.
                 self.fault_flip = false;
-                self.armed.set_recording(false);
             }
         }
     }

@@ -156,11 +156,21 @@ impl System {
             f.report()
         });
         let stop = self.emulator.take_stop().unwrap_or(StopReason::Halted);
+        // Delayed detections (MTE async/asymm TFSR semantics): the run
+        // completed architecturally, but the backend latched a fault that
+        // is reported at the next kernel entry — here, program stop. The
+        // stop reason is untouched (the access went through; an async
+        // leak still leaks), only the audit log records the detection.
+        if let Some(v) = self.emulator.take_deferred() {
+            let pc = violation_pc(&v);
+            audit.record(v.audit_entry(
+                self.mode.name(),
+                self.emulator.component_at(pc).name(),
+                core.insts,
+            ));
+        }
         if let StopReason::Violation(v) = &stop {
-            let pc = match v {
-                rest_runtime::Violation::Rest(e) => e.pc,
-                rest_runtime::Violation::Asan(r) => r.pc,
-            };
+            let pc = violation_pc(v);
             audit.record(v.audit_entry(
                 self.mode.name(),
                 self.emulator.component_at(pc).name(),
@@ -179,6 +189,16 @@ impl System {
             audit,
             fault: fault_report,
         }
+    }
+}
+
+/// PC of the faulting access for any violation flavour.
+fn violation_pc(v: &rest_runtime::Violation) -> u64 {
+    match v {
+        rest_runtime::Violation::Rest(e) => e.pc,
+        rest_runtime::Violation::Asan(r) => r.pc,
+        rest_runtime::Violation::Tag(t) => t.pc,
+        rest_runtime::Violation::Pac(p) => p.pc,
     }
 }
 

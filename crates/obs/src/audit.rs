@@ -24,11 +24,23 @@ use crate::json::Json;
 /// dynamic site-event index, not a committed-instruction count.
 pub const FAULT_INJECTOR: &str = "fault-injector";
 
+/// Detector name for MTE-style lock-and-key tag-mismatch detections.
+/// Entries carry the faulting PC and the canonical granule address, so
+/// every tag fault — synchronous or surfaced at exit from the deferred
+/// fault-status record — keeps its backend provenance.
+pub const MTE_TAGGER: &str = "mte-tagger";
+
+/// Detector name for PA-style pointer-authentication failures. Entries
+/// carry the faulting PC and the canonical access address of the failed
+/// authentication.
+pub const PA_SIGNER: &str = "pa-signer";
+
 /// One recorded violation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AuditEntry {
-    /// Which detector fired: `"rest"`, `"asan"`, or
-    /// [`FAULT_INJECTOR`] for injected-fault provenance.
+    /// Which detector fired: `"rest"`, `"asan"`, [`MTE_TAGGER`],
+    /// [`PA_SIGNER`], or [`FAULT_INJECTOR`] for injected-fault
+    /// provenance.
     pub detector: &'static str,
     /// Detector-specific kind (e.g. `"heap-underflow"`,
     /// `"heap-use-after-free"`).

@@ -40,7 +40,7 @@ pub mod perfetto;
 pub mod profile;
 pub mod sample;
 
-pub use audit::{AuditEntry, AuditLog, FAULT_INJECTOR};
+pub use audit::{AuditEntry, AuditLog, FAULT_INJECTOR, MTE_TAGGER, PA_SIGNER};
 pub use cpi::{CpiComponent, CpiStack};
 pub use json::Json;
 pub use perfetto::PerfettoTrace;

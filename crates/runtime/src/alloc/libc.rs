@@ -110,7 +110,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use rest_core::{ArmedSet, Token, TokenWidth};
+    use rest_core::{NullBackend, Token, TokenWidth};
     use rest_isa::GuestMemory;
 
     use crate::traffic::TrafficRecorder;
@@ -118,7 +118,7 @@ mod tests {
     struct Fx {
         mem: GuestMemory,
         rec: TrafficRecorder,
-        armed: ArmedSet,
+        backend: NullBackend,
         token: Token,
     }
 
@@ -128,7 +128,7 @@ mod tests {
             Fx {
                 mem: GuestMemory::new(),
                 rec: TrafficRecorder::new(),
-                armed: ArmedSet::new(TokenWidth::B64),
+                backend: NullBackend,
                 token: Token::generate(TokenWidth::B64, &mut rng),
             }
         }
@@ -137,9 +137,9 @@ mod tests {
             RtEnv {
                 mem: &mut self.mem,
                 rec: &mut self.rec,
-                armed: &mut self.armed,
+                backend: &mut self.backend,
                 token: &self.token,
-                check_rest: false,
+                check_backend: false,
                 check_shadow: false,
                 perfect_hw: false,
                 naive_wide_arm: false,

@@ -9,10 +9,14 @@
 
 mod asan;
 mod libc;
+mod mte;
+mod pac;
 mod rest;
 
 pub use asan::AsanAllocator;
 pub use libc::LibcAllocator;
+pub use mte::MteAllocator;
+pub use pac::PacAllocator;
 pub use rest::RestAllocator;
 
 use std::collections::{HashMap, VecDeque};

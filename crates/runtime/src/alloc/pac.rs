@@ -1,0 +1,243 @@
+use crate::alloc::{
+    note_alloc, note_free, round_up, AllocStats, Allocator, Arena, ChunkInfo, ChunkState, LiveMap,
+};
+use crate::env::RtEnv;
+use crate::layout::{HEAP_BASE, RUNTIME_PC_BASE};
+use crate::violation::Violation;
+use rest_core::backend::CANONICAL_MASK;
+
+/// Header size of a PA chunk (size word + user-size word).
+const HEADER: u64 = 16;
+/// Allocation granule.
+const GRANULE: u64 = 16;
+
+/// The PA-model allocator: pointer signing instead of redzones.
+///
+/// Layout is the *plain* allocator's (`[16 B header][user data]`,
+/// 16-byte granularity, immediate reuse, no redzones, no quarantine):
+/// PA's protection lives entirely in the pointer. malloc signs the
+/// returned pointer with an 8-bit PAC over (base, generation) through
+/// the backend; free authenticates the incoming pointer — catching
+/// double and invalid frees — then bumps the generation so dangling
+/// pointers no longer authenticate. All metadata is registry state in
+/// the backend; unlike MTE there is no tag storage traffic, only the
+/// PACIA/AUTIA-style computations charged as ALU work.
+#[derive(Debug)]
+pub struct PacAllocator {
+    arena: Arena,
+    live: LiveMap,
+    stats: AllocStats,
+}
+
+impl PacAllocator {
+    /// Creates an empty allocator over the standard heap arena.
+    pub fn new() -> PacAllocator {
+        PacAllocator {
+            arena: Arena::new(HEAP_BASE),
+            live: LiveMap::default(),
+            stats: AllocStats::default(),
+        }
+    }
+
+    fn total_for(user: u64) -> u64 {
+        HEADER + round_up(user.max(1), GRANULE)
+    }
+}
+
+impl Default for PacAllocator {
+    fn default() -> Self {
+        PacAllocator::new()
+    }
+}
+
+impl Allocator for PacAllocator {
+    fn name(&self) -> &'static str {
+        "pa"
+    }
+
+    fn malloc(&mut self, env: &mut RtEnv<'_>, size: u64) -> Result<u64, Violation> {
+        let total = Self::total_for(size);
+        let user_len = total - HEADER;
+        env.rec.alu(10); // size classing + PACIA sign computation
+        let (chunk, reused) = match self.arena.pop(total) {
+            Some(c) => {
+                env.rec.load(c, 8); // bin-list unlink reads the header
+                (c, true)
+            }
+            None => match self.arena.grow(HEAP_BASE, total) {
+                Some(c) => (c, false),
+                None => return Ok(0),
+            },
+        };
+        env.store_u64(chunk, total);
+        env.store_u64(chunk + 8, size);
+        let user = chunk + HEADER;
+        // Metadata placement: register the (padded) allocation and sign
+        // the pointer. The registry covers the whole granule-rounded
+        // user area, so intra-padding overreads authenticate — PA's
+        // granularity limit, like MTE's.
+        let signed = env.backend.on_alloc(user, user_len);
+        self.live.insert(
+            user,
+            ChunkInfo {
+                chunk,
+                total,
+                user: size,
+                left_rz: HEADER,
+                state: ChunkState::Live,
+            },
+        );
+        note_alloc(&mut self.stats, size, reused);
+        Ok(signed)
+    }
+
+    fn free(&mut self, env: &mut RtEnv<'_>, ptr: u64) -> Result<(), Violation> {
+        if ptr == 0 {
+            return Ok(());
+        }
+        let user = ptr & CANONICAL_MASK;
+        // AUTIA-style authentication of the freed pointer: a double free
+        // authenticates against the already-bumped generation and an
+        // invalid free against a missing registry entry — both fail
+        // unless the 8-bit PACs collide (1/256).
+        env.rec.alu(6);
+        if let Some(fault) = env.backend.check_access(ptr, 1, false, RUNTIME_PC_BASE) {
+            self.stats.bad_frees += 1;
+            return Err(fault.into());
+        }
+        let Some(info) = self.live.get(user).copied() else {
+            // Unsigned pointer into unmanaged memory: plain-allocator
+            // behaviour, nothing to push.
+            return Ok(());
+        };
+        let user_len = info.total - HEADER;
+        // Metadata retirement: bump the generation.
+        env.backend.on_free(user, user_len);
+        if let Some(i) = self.live.get_mut(user) {
+            i.state = ChunkState::Free;
+        }
+        self.arena.push(info.chunk, info.total);
+        note_free(&mut self.stats, info.user);
+        Ok(())
+    }
+
+    fn usable_size(&self, ptr: u64) -> Option<u64> {
+        self.live
+            .get(ptr & CANONICAL_MASK)
+            .filter(|i| i.state == ChunkState::Live)
+            .map(|i| i.user)
+    }
+
+    fn stats(&self) -> &AllocStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rest_core::backend::PAC_SHIFT;
+    use rest_core::{PacBackend, Token, TokenWidth};
+    use rest_isa::GuestMemory;
+
+    use crate::traffic::TrafficRecorder;
+
+    struct Fx {
+        mem: GuestMemory,
+        rec: TrafficRecorder,
+        backend: PacBackend,
+        token: Token,
+    }
+
+    impl Fx {
+        fn new(seed: u64) -> Fx {
+            let mut rng = StdRng::seed_from_u64(3);
+            Fx {
+                mem: GuestMemory::new(),
+                rec: TrafficRecorder::new(),
+                backend: PacBackend::new(seed),
+                token: Token::generate(TokenWidth::B64, &mut rng),
+            }
+        }
+
+        fn env(&mut self) -> RtEnv<'_> {
+            RtEnv {
+                mem: &mut self.mem,
+                rec: &mut self.rec,
+                backend: &mut self.backend,
+                token: &self.token,
+                check_backend: true,
+                check_shadow: false,
+                perfect_hw: false,
+                naive_wide_arm: false,
+            }
+        }
+    }
+
+    #[test]
+    fn malloc_signs_and_the_signed_pointer_authenticates() {
+        let mut fx = Fx::new(11);
+        let mut env = fx.env();
+        let mut a = PacAllocator::new();
+        let p = a.malloc(&mut env, 40).unwrap();
+        let canon = p & CANONICAL_MASK;
+        assert!(canon >= HEAP_BASE);
+        assert_ne!(p, canon, "pointer must carry a PAC");
+        assert!(env.backend.check_access(p, 8, false, 0).is_none());
+        // The padded tail (40 -> 48) authenticates: granularity limit.
+        assert!(env.backend.check_access(p + 44, 4, false, 0).is_none());
+        // Past the padded area it does not.
+        assert!(env.backend.check_access(p + 48, 8, false, 0).is_some());
+        assert_eq!(a.usable_size(p), Some(40));
+    }
+
+    #[test]
+    fn double_free_fails_authentication() {
+        let mut fx = Fx::new(12);
+        let mut env = fx.env();
+        let mut a = PacAllocator::new();
+        let p = a.malloc(&mut env, 64).unwrap();
+        a.free(&mut env, p).unwrap();
+        let err = a.free(&mut env, p).unwrap_err();
+        assert!(matches!(err, Violation::Pac(_)), "{err:?}");
+        assert_eq!(a.stats().bad_frees, 1);
+    }
+
+    #[test]
+    fn reuse_signs_with_a_new_generation() {
+        let mut fx = Fx::new(13);
+        let mut env = fx.env();
+        let mut a = PacAllocator::new();
+        let p1 = a.malloc(&mut env, 64).unwrap();
+        a.free(&mut env, p1).unwrap();
+        let p2 = a.malloc(&mut env, 64).unwrap();
+        assert_eq!(p1 & CANONICAL_MASK, p2 & CANONICAL_MASK, "chunk reused");
+        let pac1 = (p1 >> PAC_SHIFT) & 0xFF;
+        let pac2 = (p2 >> PAC_SHIFT) & 0xFF;
+        assert_ne!(pac1, pac2, "seed 13 must not collide generations");
+        // The dangling pointer no longer authenticates; the fresh one
+        // does.
+        assert!(env.backend.check_access(p1, 8, false, 0).is_some());
+        assert!(env.backend.check_access(p2, 8, false, 0).is_none());
+    }
+
+    #[test]
+    fn free_of_null_is_noop() {
+        let mut fx = Fx::new(14);
+        let mut env = fx.env();
+        let mut a = PacAllocator::new();
+        a.free(&mut env, 0).unwrap();
+        assert_eq!(a.stats().frees, 0);
+    }
+
+    #[test]
+    fn oom_returns_null() {
+        let mut fx = Fx::new(15);
+        let mut env = fx.env();
+        let mut a = PacAllocator::new();
+        let p = a.malloc(&mut env, crate::alloc::HEAP_LIMIT).unwrap();
+        assert_eq!(p, 0);
+    }
+}

@@ -228,7 +228,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use rest_core::{ArmedSet, RestExceptionKind, Token, TokenWidth};
+    use rest_core::{Mode, RestBackend, RestExceptionKind, Token, TokenWidth};
     use rest_isa::{GuestMemory, MemSize};
 
     use crate::traffic::TrafficRecorder;
@@ -237,7 +237,7 @@ mod tests {
     struct Fx {
         mem: GuestMemory,
         rec: TrafficRecorder,
-        armed: ArmedSet,
+        backend: RestBackend,
         token: Token,
     }
 
@@ -247,7 +247,7 @@ mod tests {
             Fx {
                 mem: GuestMemory::new(),
                 rec: TrafficRecorder::new(),
-                armed: ArmedSet::new(width),
+                backend: RestBackend::new(width, Mode::Secure),
                 token: Token::generate(width, &mut rng),
             }
         }
@@ -256,9 +256,9 @@ mod tests {
             RtEnv {
                 mem: &mut self.mem,
                 rec: &mut self.rec,
-                armed: &mut self.armed,
+                backend: &mut self.backend,
                 token: &self.token,
-                check_rest: true,
+                check_backend: true,
                 check_shadow: false,
                 perfect_hw: false,
                 naive_wide_arm: false,
@@ -402,7 +402,7 @@ mod tests {
         // Everything still armed is accounted for by quarantined chunks
         // and live redzones; disarms never panicked, so the allocator
         // and the armed set agree.
-        assert!(env.armed.armed_count() > 0);
+        assert!(env.backend.armed_set().unwrap().armed_count() > 0);
         assert_eq!(a.stats().allocs, 20);
         assert_eq!(a.stats().frees, 20);
     }

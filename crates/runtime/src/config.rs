@@ -1,4 +1,6 @@
-use rest_core::{Mode, TokenWidth};
+use rest_core::{
+    Mode, MteBackend, MteMode, NullBackend, PacBackend, ProtectionBackend, RestBackend, TokenWidth,
+};
 
 /// Which memory-safety scheme the runtime applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -12,6 +14,11 @@ pub enum Scheme {
     /// REST: token redzones, hardware detection, no access
     /// instrumentation.
     Rest,
+    /// MTE-style 4-bit lock-and-key memory tagging (sync/async/asymm
+    /// checking per [`RtConfig::mte_mode`]).
+    Mte,
+    /// PA-style pointer signing: sign on allocate, authenticate on use.
+    Pa,
 }
 
 impl Scheme {
@@ -21,6 +28,8 @@ impl Scheme {
             Scheme::Plain => "plain",
             Scheme::Asan => "asan",
             Scheme::Rest => "rest",
+            Scheme::Mte => "mte",
+            Scheme::Pa => "pa",
         }
     }
 }
@@ -64,6 +73,8 @@ pub struct RtConfig {
     pub quarantine_bytes: u64,
     /// REST exception precision mode (secure/debug).
     pub mode: Mode,
+    /// MTE only: tag-check mode (sync/async/asymmetric).
+    pub mte_mode: MteMode,
 }
 
 impl RtConfig {
@@ -85,6 +96,7 @@ impl RtConfig {
             token_width: TokenWidth::B64,
             quarantine_bytes: Self::DEFAULT_QUARANTINE,
             mode: Mode::Secure,
+            mte_mode: MteMode::Sync,
         }
     }
 
@@ -102,6 +114,7 @@ impl RtConfig {
             token_width: TokenWidth::B64,
             quarantine_bytes: Self::DEFAULT_QUARANTINE,
             mode: Mode::Secure,
+            mte_mode: MteMode::Sync,
         }
     }
 
@@ -120,6 +133,7 @@ impl RtConfig {
             token_width: TokenWidth::B64,
             quarantine_bytes: Self::DEFAULT_QUARANTINE,
             mode,
+            mte_mode: MteMode::Sync,
         }
     }
 
@@ -129,6 +143,26 @@ impl RtConfig {
         RtConfig {
             perfect_hw: true,
             ..RtConfig::rest(Mode::Secure, full)
+        }
+    }
+
+    /// MTE-style lock-and-key tagging in the given check mode. Tags are
+    /// a heap-granule mechanism: stack protection stays off, matching
+    /// the deployed stack-tagging-disabled configurations.
+    pub fn mte(mte_mode: MteMode) -> RtConfig {
+        RtConfig {
+            scheme: Scheme::Mte,
+            mte_mode,
+            ..RtConfig::plain()
+        }
+    }
+
+    /// PA-style pointer signing: heap pointers signed on allocation and
+    /// authenticated on use.
+    pub fn pa() -> RtConfig {
+        RtConfig {
+            scheme: Scheme::Pa,
+            ..RtConfig::plain()
         }
     }
 
@@ -170,6 +204,63 @@ impl RtConfig {
                 let scope = if self.stack_protection { "full" } else { "heap" };
                 format!("rest-{hw}-{scope}")
             }
+            Scheme::Mte => format!("mte-{}", self.mte_mode.name()),
+            Scheme::Pa => "pa".to_string(),
+        }
+    }
+
+    /// Builds the protection backend this configuration calls for. The
+    /// `seed` feeds the MTE tag stream and the PA signing key; REST's
+    /// token content lives in the system [`rest_core::Token`], not
+    /// here. Plain and ASan get the inert [`NullBackend`] (ASan's
+    /// shadow checks are same-privilege instrumentation outside the
+    /// hardware seam), as does the PerfectHW limit study, whose arms
+    /// degrade to plain stores.
+    pub fn build_backend(&self, seed: u64) -> Box<dyn ProtectionBackend> {
+        match self.scheme {
+            Scheme::Plain | Scheme::Asan => Box::new(NullBackend),
+            Scheme::Rest => Box::new(RestBackend::new(self.token_width, self.mode)),
+            Scheme::Mte => Box::new(MteBackend::new(self.mte_mode, seed)),
+            Scheme::Pa => Box::new(PacBackend::new(seed)),
+        }
+    }
+
+    /// Whether recorded accesses are checked through the backend (the
+    /// hardware-protected schemes; PerfectHW disables real protection).
+    pub fn checks_in_backend(&self) -> bool {
+        match self.scheme {
+            Scheme::Plain | Scheme::Asan => false,
+            Scheme::Rest => !self.perfect_hw,
+            Scheme::Mte | Scheme::Pa => true,
+        }
+    }
+
+    /// Parses a harness label back into the configuration it denotes —
+    /// the inverse of [`RtConfig::label`] over every constructor-built
+    /// configuration, so scheme labels can't silently drift from the
+    /// enum. Returns `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<RtConfig> {
+        match label {
+            "plain" => return Some(RtConfig::plain()),
+            "asan" => return Some(RtConfig::asan()),
+            "pa" => return Some(RtConfig::pa()),
+            "mte-sync" => return Some(RtConfig::mte(MteMode::Sync)),
+            "mte-async" => return Some(RtConfig::mte(MteMode::Async)),
+            "mte-asymm" => return Some(RtConfig::mte(MteMode::Asymm)),
+            _ => {}
+        }
+        let rest = label.strip_prefix("rest-")?;
+        let (hw, scope) = rest.split_once('-')?;
+        let full = match scope {
+            "full" => true,
+            "heap" => false,
+            _ => return None,
+        };
+        match hw {
+            "secure" => Some(RtConfig::rest(Mode::Secure, full)),
+            "debug" => Some(RtConfig::rest(Mode::Debug, full)),
+            "perfecthw" => Some(RtConfig::rest_perfect(full)),
+            _ => None,
         }
     }
 }
@@ -211,6 +302,60 @@ mod tests {
         assert_eq!(RtConfig::rest(Mode::Secure, true).label(), "rest-secure-full");
         assert_eq!(RtConfig::rest(Mode::Debug, false).label(), "rest-debug-heap");
         assert_eq!(RtConfig::rest_perfect(false).label(), "rest-perfecthw-heap");
+    }
+
+    #[test]
+    fn mte_and_pa_constructors() {
+        let m = RtConfig::mte(MteMode::Async);
+        assert_eq!(m.scheme, Scheme::Mte);
+        assert_eq!(m.mte_mode, MteMode::Async);
+        assert!(!m.stack_protection && !m.access_checks && !m.intercept_libc);
+
+        let p = RtConfig::pa();
+        assert_eq!(p.scheme, Scheme::Pa);
+        assert!(!p.stack_protection && !p.access_checks);
+    }
+
+    #[test]
+    fn label_round_trips_exhaustively() {
+        // Every constructor-built configuration the harness can name.
+        let all = [
+            RtConfig::plain(),
+            RtConfig::asan(),
+            RtConfig::rest(Mode::Secure, true),
+            RtConfig::rest(Mode::Secure, false),
+            RtConfig::rest(Mode::Debug, true),
+            RtConfig::rest(Mode::Debug, false),
+            RtConfig::rest_perfect(true),
+            RtConfig::rest_perfect(false),
+            RtConfig::mte(MteMode::Sync),
+            RtConfig::mte(MteMode::Async),
+            RtConfig::mte(MteMode::Asymm),
+            RtConfig::pa(),
+        ];
+        for cfg in all.clone() {
+            let label = cfg.label();
+            let parsed = RtConfig::from_label(&label)
+                .unwrap_or_else(|| panic!("label {label:?} failed to parse"));
+            assert_eq!(parsed, cfg, "round trip drifted for {label:?}");
+            assert_eq!(parsed.label(), label);
+        }
+        // Labels must be pairwise distinct.
+        let labels: Vec<String> = all.iter().map(RtConfig::label).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "duplicate labels: {labels:?}");
+    }
+
+    #[test]
+    fn from_label_rejects_unknown_labels() {
+        for bad in [
+            "", "rest", "rest-", "rest-secure", "rest-secure-", "rest-fast-full",
+            "rest-secure-all", "mte", "mte-", "mte-sync-full", "pa-sync", "asan2",
+        ] {
+            assert!(RtConfig::from_label(bad).is_none(), "accepted {bad:?}");
+        }
     }
 
     #[test]

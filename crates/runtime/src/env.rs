@@ -1,4 +1,4 @@
-use rest_core::{ArmedSet, RestException, RestExceptionKind, Token, TokenWidth};
+use rest_core::{ProtectionBackend, Token, TokenWidth};
 use rest_isa::{GuestMemory, MemSize};
 
 use crate::layout::RUNTIME_PC_BASE;
@@ -12,8 +12,8 @@ use crate::violation::{AsanReport, Violation};
 
 /// The mutable machine context runtime services operate in.
 ///
-/// Bundles the functional memory, the traffic recorder, and the
-/// architectural armed-set so allocators and libc models can perform
+/// Bundles the functional memory, the traffic recorder, and the active
+/// protection backend so allocators and libc models can perform
 /// *recorded, checked* guest-memory operations through one interface.
 #[derive(Debug)]
 pub struct RtEnv<'a> {
@@ -21,13 +21,14 @@ pub struct RtEnv<'a> {
     pub mem: &'a mut GuestMemory,
     /// Micro-op recorder for the timing pipeline.
     pub rec: &'a mut TrafficRecorder,
-    /// Architectural armed-location set.
-    pub armed: &'a mut ArmedSet,
+    /// The active protection backend (armed set / tag map / signing
+    /// registry, behind one seam).
+    pub backend: &'a mut dyn ProtectionBackend,
     /// The system token.
     pub token: &'a Token,
-    /// Check recorded accesses against the armed set (REST scheme with
-    /// real hardware).
-    pub check_rest: bool,
+    /// Check recorded accesses through the backend (hardware-protected
+    /// schemes: REST with real hardware, MTE, PA).
+    pub check_backend: bool,
     /// Check recorded accesses against shadow memory (ASan interception
     /// paths).
     pub check_shadow: bool,
@@ -60,18 +61,14 @@ impl<'a> RtEnv<'a> {
 
     // --- checked (untrusted-range) recorded accesses ---
 
-    fn check(&mut self, addr: u64, size: u64) -> Result<(), Violation> {
-        if self.check_rest {
-            if let Some(slot) = self.armed.first_overlap(addr, size) {
-                return Err(Violation::Rest(RestException::new(
-                    RestExceptionKind::TokenLoad,
-                    slot,
-                    RUNTIME_PC_BASE,
-                    false,
-                )));
+    fn check(&mut self, ptr: u64, size: u64, store: bool) -> Result<(), Violation> {
+        if self.check_backend {
+            if let Some(fault) = self.backend.check_access(ptr, size, store, RUNTIME_PC_BASE) {
+                return Err(fault.into());
             }
         }
         if self.check_shadow {
+            let addr = self.backend.canonical_addr(ptr);
             if let Err(kind) = shadow::classify_access(self.mem, addr, size) {
                 return Err(Violation::Asan(AsanReport {
                     kind,
@@ -84,14 +81,18 @@ impl<'a> RtEnv<'a> {
         Ok(())
     }
 
-    /// Recorded load through the active safety checks.
+    /// Recorded load through the active safety checks. `ptr` may carry
+    /// backend metadata in its upper bits (MTE tag, PAC); memory and the
+    /// recorder see the canonical address.
     ///
     /// # Errors
     ///
     /// Returns the scheme's violation if `[addr, addr+size)` touches a
-    /// token slot (REST) or poisoned shadow (ASan interception).
-    pub fn checked_load(&mut self, addr: u64, size: MemSize) -> Result<u64, Violation> {
-        self.check(addr, size.bytes())?;
+    /// token slot (REST), a mismatched tag granule (MTE), fails pointer
+    /// authentication (PA), or hits poisoned shadow (ASan interception).
+    pub fn checked_load(&mut self, ptr: u64, size: MemSize) -> Result<u64, Violation> {
+        self.check(ptr, size.bytes(), false)?;
+        let addr = self.backend.canonical_addr(ptr);
         self.rec.load(addr, size.bytes());
         Ok(self.mem.read_scalar(addr, size))
     }
@@ -100,20 +101,25 @@ impl<'a> RtEnv<'a> {
     ///
     /// # Errors
     ///
-    /// As for [`RtEnv::checked_load`], with `TokenStore` for REST.
-    pub fn checked_store(&mut self, addr: u64, val: u64, size: MemSize) -> Result<(), Violation> {
-        self.check(addr, size.bytes()).map_err(|v| match v {
-            Violation::Rest(e) => {
-                Violation::Rest(RestException::new(RestExceptionKind::TokenStore, e.addr, e.pc, e.precise))
-            }
-            other => other,
-        })?;
+    /// As for [`RtEnv::checked_load`], with the store-kind violation.
+    pub fn checked_store(&mut self, ptr: u64, val: u64, size: MemSize) -> Result<(), Violation> {
+        self.check(ptr, size.bytes(), true)?;
+        let addr = self.backend.canonical_addr(ptr);
         self.rec.store(addr, size.bytes());
         self.mem.write_scalar(addr, val, size);
         Ok(())
     }
 
     // --- token operations ---
+
+    /// The armed set behind the backend. Token operations are only
+    /// reachable from the REST allocator and stackguard, whose backend
+    /// always carries one.
+    fn armed_mut(&mut self) -> &mut rest_core::ArmedSet {
+        self.backend
+            .armed_set_mut()
+            .expect("token operation on a backend without an armed set")
+    }
 
     /// Arms the token slot at `addr`: records the `arm`, writes the token
     /// bytes into functional memory, and updates the armed set. Under
@@ -142,7 +148,7 @@ impl<'a> RtEnv<'a> {
                 self.rec.store(NAIVE_ARM_SCRATCH, 8);
             }
         }
-        self.armed
+        self.armed_mut()
             .arm(addr)
             .unwrap_or_else(|e| panic!("runtime armed misaligned slot {addr:#x}: {e}"));
         self.mem.write_bytes(addr, self.token.bytes());
@@ -172,7 +178,7 @@ impl<'a> RtEnv<'a> {
                 self.rec.store(NAIVE_ARM_SCRATCH, 8);
             }
         }
-        self.armed
+        self.armed_mut()
             .disarm(addr)
             .unwrap_or_else(|e| panic!("runtime disarmed bad slot {addr:#x}: {e}"));
         self.mem.fill(addr, w, 0);
@@ -209,11 +215,12 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rest_core::{Mode, RestBackend, RestExceptionKind};
 
     struct Fixture {
         mem: GuestMemory,
         rec: TrafficRecorder,
-        armed: ArmedSet,
+        backend: RestBackend,
         token: Token,
     }
 
@@ -224,18 +231,18 @@ mod tests {
             Fixture {
                 mem: GuestMemory::new(),
                 rec: TrafficRecorder::new(),
-                armed: ArmedSet::new(TokenWidth::B64),
+                backend: RestBackend::new(TokenWidth::B64, Mode::Secure),
                 token,
             }
         }
 
-        fn env(&mut self, check_rest: bool, perfect_hw: bool) -> RtEnv<'_> {
+        fn env(&mut self, check_backend: bool, perfect_hw: bool) -> RtEnv<'_> {
             RtEnv {
                 mem: &mut self.mem,
                 rec: &mut self.rec,
-                armed: &mut self.armed,
+                backend: &mut self.backend,
                 token: &self.token,
-                check_rest,
+                check_backend,
                 check_shadow: false,
                 perfect_hw,
                 naive_wide_arm: false,
@@ -248,7 +255,7 @@ mod tests {
         let mut f = Fixture::new();
         let mut env = f.env(true, false);
         env.arm_slot(0x4000_0000);
-        assert!(env.armed.is_armed(0x4000_0000));
+        assert!(env.backend.armed_set().unwrap().is_armed(0x4000_0000));
         assert!(env.mem.bytes_equal(0x4000_0000, env.token.bytes()));
         let _ = env;
         let ops = f.rec.drain();
@@ -277,7 +284,7 @@ mod tests {
         let mut env = f.env(true, false);
         env.arm_slot(0x4000_0000);
         env.disarm_slot(0x4000_0000);
-        assert!(!env.armed.is_armed(0x4000_0000));
+        assert!(!env.backend.armed_set().unwrap().is_armed(0x4000_0000));
         assert!(env.mem.bytes_equal(0x4000_0000, &[0u8; 64]));
         assert!(env.checked_load(0x4000_0000, MemSize::B8).is_ok());
     }
@@ -287,7 +294,7 @@ mod tests {
         let mut f = Fixture::new();
         let mut env = f.env(true, true);
         env.arm_slot(0x4000_0000);
-        assert!(!env.armed.is_armed(0x4000_0000));
+        assert!(!env.backend.armed_set().unwrap().is_armed(0x4000_0000));
         assert!(env.checked_load(0x4000_0000, MemSize::B8).is_ok());
         env.disarm_slot(0x4000_0000);
         let _ = env;
@@ -304,10 +311,41 @@ mod tests {
         let mut f = Fixture::new();
         let mut env = f.env(true, false);
         env.arm_range(0x4000_0000, 256);
-        assert_eq!(env.armed.armed_count(), 4);
+        assert_eq!(env.backend.armed_set().unwrap().armed_count(), 4);
         env.disarm_range(0x4000_0000, 256);
-        assert_eq!(env.armed.armed_count(), 0);
+        assert_eq!(env.backend.armed_set().unwrap().armed_count(), 0);
         let _ = env;
         assert_eq!(f.rec.drain().len(), 8);
+    }
+
+    #[test]
+    fn mte_backend_checks_and_canonicalizes_through_env() {
+        use rest_core::{MteBackend, MteMode};
+        let mut rng = StdRng::seed_from_u64(11);
+        let token = Token::generate(TokenWidth::B64, &mut rng);
+        let mut mem = GuestMemory::new();
+        let mut rec = TrafficRecorder::new();
+        let mut backend = MteBackend::new(MteMode::Sync, 5);
+        let tagged = backend.on_alloc(0x4000_0100, 32);
+        let mut env = RtEnv {
+            mem: &mut mem,
+            rec: &mut rec,
+            backend: &mut backend,
+            token: &token,
+            check_backend: true,
+            check_shadow: false,
+            perfect_hw: false,
+            naive_wide_arm: false,
+        };
+        env.checked_store(tagged, 0xbeef, MemSize::B8).unwrap();
+        assert_eq!(env.checked_load(tagged, MemSize::B8).unwrap(), 0xbeef);
+        // Functional memory saw the canonical address, not the tagged one.
+        assert_eq!(env.mem.read_u64(0x4000_0100), 0xbeef);
+        // Walking off the end with a nonzero key faults (unless the
+        // drawn tag is 0 and aliases untagged memory — not with seed 5).
+        let tag = (tagged >> rest_core::backend::TAG_SHIFT) & 0xF;
+        assert_ne!(tag, 0, "seed 5 draws a nonzero first tag");
+        let err = env.checked_load(tagged + 32, MemSize::B8).unwrap_err();
+        assert!(matches!(err, Violation::Tag(_)), "{err:?}");
     }
 }

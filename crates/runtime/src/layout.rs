@@ -10,6 +10,7 @@
 //! 0x4000_0000  heap          (allocator arena, grows up)
 //! 0x7fff_f000  stack top     (grows down)
 //! 0x1_0000_0000 shadow       (ASan shadow: shadow(a) = BASE + a/8)
+//! 0x2_0000_0000 tag storage  (MTE tags: tag(a) = BASE + a/16)
 //! ```
 
 /// Base of the static-data (sbrk) region.
@@ -40,6 +41,20 @@ pub fn shadow_addr(addr: u64) -> u64 {
     SHADOW_BASE + addr / SHADOW_GRANULE
 }
 
+/// Base of the MTE tag-storage region. Tag fetches and tag-set stores
+/// travel through the cache hierarchy against this region, modeling
+/// tag-carrying DRAM/SRAM the way ASan's shadow models poison bytes.
+pub const TAG_BASE: u64 = 0x2_0000_0000;
+
+/// Bytes of application memory covered by one tag-storage byte (one
+/// 4-bit tag per 16-byte granule; we charge a byte per granule).
+pub const TAG_STORAGE_GRANULE: u64 = 16;
+
+/// Maps an application address to its tag-storage address.
+pub fn tag_addr(addr: u64) -> u64 {
+    TAG_BASE + addr / TAG_STORAGE_GRANULE
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,12 +71,24 @@ mod tests {
         assert!(shadow_addr(0) > STACK_TOP);
     }
 
+    #[test]
+    fn tag_mapping_is_compressing_and_disjoint_from_shadow() {
+        assert_eq!(tag_addr(0), TAG_BASE);
+        assert_eq!(tag_addr(15), TAG_BASE);
+        assert_eq!(tag_addr(16), TAG_BASE + 1);
+        // Tag storage of the whole user region stays within its region
+        // and never collides with the ASan shadow.
+        assert!(tag_addr(STACK_TOP) < TAG_BASE + SHADOW_BASE);
+        assert!(shadow_addr(STACK_TOP) < TAG_BASE);
+    }
+
     // Compile-time layout invariants (const asserts avoid the
     // constant-assertion lint while checking the same facts).
     const _: () = {
         assert!(STATIC_BASE < HEAP_BASE);
         assert!(HEAP_BASE < STACK_TOP);
         assert!(STACK_TOP < SHADOW_BASE);
+        assert!(SHADOW_BASE < TAG_BASE);
         assert!(RUNTIME_PC_BASE + RUNTIME_PC_SPAN <= STATIC_BASE + 0x0100_0000);
     };
 }

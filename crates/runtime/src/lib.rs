@@ -37,7 +37,7 @@ mod stackguard;
 mod traffic;
 mod violation;
 
-pub use alloc::{AllocStats, Allocator, AsanAllocator, LibcAllocator, RestAllocator};
+pub use alloc::{AllocStats, Allocator, AsanAllocator, LibcAllocator, MteAllocator, PacAllocator, RestAllocator};
 pub use config::{RtConfig, Scheme};
 pub use env::RtEnv;
 pub use layout::*;

@@ -1,6 +1,6 @@
 use rest_isa::{Component, EcallNum, MemSize};
 
-use crate::alloc::{Allocator, AsanAllocator, LibcAllocator, RestAllocator};
+use crate::alloc::{Allocator, AsanAllocator, LibcAllocator, MteAllocator, PacAllocator, RestAllocator};
 use crate::config::{RtConfig, Scheme};
 use crate::env::RtEnv;
 use crate::layout::STATIC_BASE;
@@ -51,6 +51,8 @@ impl Runtime {
                 }
                 Box::new(a)
             }
+            Scheme::Mte => Box::new(MteAllocator::new()),
+            Scheme::Pa => Box::new(PacAllocator::new()),
         };
         Runtime {
             cfg,
@@ -246,7 +248,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use rest_core::{ArmedSet, Mode, Token};
+    use rest_core::{Mode, ProtectionBackend, Token};
     use rest_isa::GuestMemory;
 
     use crate::traffic::TrafficRecorder;
@@ -255,7 +257,7 @@ mod tests {
     struct Fx {
         mem: GuestMemory,
         rec: TrafficRecorder,
-        armed: ArmedSet,
+        backend: Box<dyn ProtectionBackend>,
         token: Token,
         cfg: RtConfig,
     }
@@ -266,7 +268,7 @@ mod tests {
             Fx {
                 mem: GuestMemory::new(),
                 rec: TrafficRecorder::new(),
-                armed: ArmedSet::new(cfg.token_width),
+                backend: cfg.build_backend(77),
                 token: Token::generate(cfg.token_width, &mut rng),
                 cfg,
             }
@@ -276,9 +278,9 @@ mod tests {
             RtEnv {
                 mem: &mut self.mem,
                 rec: &mut self.rec,
-                armed: &mut self.armed,
+                backend: &mut *self.backend,
                 token: &self.token,
-                check_rest: self.cfg.scheme == Scheme::Rest && !self.cfg.perfect_hw,
+                check_backend: self.cfg.checks_in_backend(),
                 check_shadow: false,
                 perfect_hw: self.cfg.perfect_hw,
                 naive_wide_arm: false,

@@ -1,7 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
-use rest_core::RestException;
+use rest_core::{BackendFault, PacFault, RestException, TagFault};
 
 /// Class of an ASan-detected violation, derived from the poison value in
 /// the shadow byte the faulting access mapped to.
@@ -75,6 +75,10 @@ pub enum Violation {
     Rest(RestException),
     /// Software-detected ASan report.
     Asan(AsanReport),
+    /// MTE-style lock-and-key tag mismatch.
+    Tag(TagFault),
+    /// PA-style pointer-authentication failure.
+    Pac(PacFault),
 }
 
 impl fmt::Display for Violation {
@@ -82,6 +86,8 @@ impl fmt::Display for Violation {
         match self {
             Violation::Rest(e) => e.fmt(f),
             Violation::Asan(r) => r.fmt(f),
+            Violation::Tag(t) => t.fmt(f),
+            Violation::Pac(p) => p.fmt(f),
         }
     }
 }
@@ -124,6 +130,46 @@ impl Violation {
                 precise: true,
                 insts,
             },
+            Violation::Tag(t) => rest_obs::AuditEntry {
+                detector: rest_obs::MTE_TAGGER,
+                kind: if t.store {
+                    "tag-store-mismatch"
+                } else {
+                    "tag-load-mismatch"
+                },
+                pc: t.pc,
+                addr: t.addr,
+                size: 0,
+                mode,
+                component,
+                precise: t.precise,
+                insts,
+            },
+            Violation::Pac(p) => rest_obs::AuditEntry {
+                detector: rest_obs::PA_SIGNER,
+                kind: if p.store {
+                    "pac-auth-fail-store"
+                } else {
+                    "pac-auth-fail-load"
+                },
+                pc: p.pc,
+                addr: p.addr,
+                size: 0,
+                mode,
+                component,
+                precise: true,
+                insts,
+            },
+        }
+    }
+}
+
+impl From<BackendFault> for Violation {
+    fn from(f: BackendFault) -> Violation {
+        match f {
+            BackendFault::Token(e) => Violation::Rest(e),
+            BackendFault::Tag(t) => Violation::Tag(t),
+            BackendFault::Pac(p) => Violation::Pac(p),
         }
     }
 }
@@ -170,6 +216,37 @@ mod tests {
         assert_eq!(e.pc, 0x20);
         assert!(!e.precise);
         assert_eq!(e.component, "allocator");
+    }
+
+    #[test]
+    fn backend_faults_convert_and_carry_provenance() {
+        let tag: Violation = Violation::from(BackendFault::Tag(TagFault {
+            addr: 0x4000_0100,
+            pc: 0x30,
+            ptr_tag: 5,
+            mem_tag: 2,
+            store: false,
+            precise: false,
+        }));
+        let e = tag.audit_entry("secure", "app", 77);
+        assert_eq!(e.detector, rest_obs::MTE_TAGGER);
+        assert_eq!(e.kind, "tag-load-mismatch");
+        assert_eq!(e.pc, 0x30);
+        assert_eq!(e.addr, 0x4000_0100);
+        assert!(!e.precise);
+
+        let pac: Violation = Violation::from(BackendFault::Pac(PacFault {
+            addr: 0x4000_0200,
+            pc: 0x44,
+            expected: 0xab,
+            found: 0xcd,
+            store: true,
+        }));
+        let e = pac.audit_entry("secure", "app", 78);
+        assert_eq!(e.detector, rest_obs::PA_SIGNER);
+        assert_eq!(e.kind, "pac-auth-fail-store");
+        assert!(e.precise);
+        assert!(pac.to_string().contains("authentication failure"));
     }
 
     #[test]

@@ -5,17 +5,16 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use rest_core::{ArmedSet, Mode, Token};
+use rest_core::{ArmedSet, Mode, ProtectionBackend, Token};
 use rest_isa::{EcallNum, GuestMemory};
 use rest_runtime::{
-    Allocator, EcallOutcome, RestAllocator, RtConfig, RtEnv, Runtime, Scheme, TrafficRecorder,
-    Violation,
+    Allocator, EcallOutcome, RestAllocator, RtConfig, RtEnv, Runtime, TrafficRecorder, Violation,
 };
 
 struct Fx {
     mem: GuestMemory,
     rec: TrafficRecorder,
-    armed: ArmedSet,
+    backend: Box<dyn ProtectionBackend>,
     token: Token,
     cfg: RtConfig,
 }
@@ -26,7 +25,7 @@ impl Fx {
         Fx {
             mem: GuestMemory::new(),
             rec: TrafficRecorder::new(),
-            armed: ArmedSet::new(cfg.token_width),
+            backend: cfg.build_backend(1234),
             token: Token::generate(cfg.token_width, &mut rng),
             cfg,
         }
@@ -36,13 +35,19 @@ impl Fx {
         RtEnv {
             mem: &mut self.mem,
             rec: &mut self.rec,
-            armed: &mut self.armed,
+            backend: self.backend.as_mut(),
             token: &self.token,
-            check_rest: self.cfg.scheme == Scheme::Rest && !self.cfg.perfect_hw,
+            check_backend: self.cfg.checks_in_backend(),
             check_shadow: false,
             perfect_hw: self.cfg.perfect_hw,
             naive_wide_arm: self.cfg.naive_wide_arm,
         }
+    }
+
+    fn armed(&self) -> &ArmedSet {
+        self.backend
+            .armed_set()
+            .expect("fixture scheme carries an armed set")
     }
 }
 
@@ -162,9 +167,9 @@ fn sprinkled_allocator_spaces_chunks_with_armed_decoys() {
     // …and decoys beyond the allocator's own redzones must be armed.
     let redzone_slots = 16 * 2; // two redzones per chunk at this size
     assert!(
-        fx.armed.armed_count() > redzone_slots,
+        fx.armed().armed_count() > redzone_slots,
         "decoys must add armed slots: {} armed",
-        fx.armed.armed_count()
+        fx.armed().armed_count()
     );
 }
 
@@ -175,7 +180,7 @@ fn perfect_hw_runtime_performs_no_arming() {
     let mut rt = Runtime::new(cfg);
     let p = done(call(&mut rt, &mut fx, EcallNum::Malloc, [64, 0, 0, 0, 0, 0]));
     call(&mut rt, &mut fx, EcallNum::Free, [p, 0, 0, 0, 0, 0]);
-    assert_eq!(fx.armed.armed_count(), 0, "PerfectHW must not arm anything");
+    assert_eq!(fx.armed().armed_count(), 0, "PerfectHW must not arm anything");
 }
 
 #[test]
@@ -218,15 +223,15 @@ fn fast_pool_preserves_protection_with_fewer_token_ops() {
             // ...in-bounds use must work...
             fx.mem.write_u64(p, 0xABCD);
             // ...and the redzones must be armed.
-            assert!(fx.armed.is_armed(p - 64), "fast={fast}: left rz");
-            assert!(fx.armed.is_armed(p + 64), "fast={fast}: right rz");
+            assert!(fx.armed().is_armed(p - 64), "fast={fast}: left rz");
+            assert!(fx.armed().is_armed(p + 64), "fast={fast}: right rz");
             call(&mut rt, &mut fx, EcallNum::Free, [p, 0, 0, 0, 0, 0]);
             // Freed chunk is blacklisted (UAF window).
-            assert!(fx.armed.overlaps(p, 8), "fast={fast}: freed must be armed");
-            ops += fx.armed.total_arms() + fx.armed.total_disarms();
+            assert!(fx.armed().overlaps(p, 8), "fast={fast}: freed must be armed");
+            ops += fx.armed().total_arms() + fx.armed().total_disarms();
         }
-        let arms = fx.armed.total_arms();
-        let disarms = fx.armed.total_disarms();
+        let arms = fx.armed().total_arms();
+        let disarms = fx.armed().total_disarms();
         let _ = ops;
         arms + disarms
     };

@@ -1,7 +1,7 @@
 //! Command-line driver for the simulator (`rest-sim`).
 //!
 //! ```text
-//! rest-sim run <program.s> [--scheme plain|asan|rest] [--mode secure|debug]
+//! rest-sim run <program.s> [--scheme plain|asan|rest|mte-*|pa] [--mode secure|debug]
 //!              [--scope full|heap] [--width 16|32|64] [--perfect-hw]
 //!              [--sprinkle] [--trace N] [--quarantine BYTES]
 //! rest-sim workload <name> [--scale test|ref] [same scheme flags]
@@ -59,7 +59,9 @@ USAGE:
   rest-sim list                          list workloads and schemes
 
 OPTIONS:
-  --scheme plain|asan|rest   protection scheme        (default: rest)
+  --scheme LABEL             protection scheme        (default: rest)
+                             labels: plain, asan, rest, pa,
+                             mte-sync|mte-async|mte-asymm, rest-<hw>-<scope>
   --mode secure|debug        REST exception mode      (default: secure)
   --scope full|heap          protection scope         (default: full)
   --width 16|32|64           token width in bytes     (default: 64)
@@ -164,8 +166,6 @@ where
             }
 
             let mut rt = match scheme.as_str() {
-                "plain" => RtConfig::plain(),
-                "asan" => RtConfig::asan(),
                 "rest" => {
                     if perfect {
                         RtConfig::rest_perfect(full)
@@ -173,7 +173,10 @@ where
                         RtConfig::rest(mode, full)
                     }
                 }
-                other => return Err(format!("unknown scheme '{other}'")),
+                // Anything else resolves through the harness labels:
+                // plain, asan, pa, mte-sync/async/asymm, rest-*-*.
+                other => RtConfig::from_label(other)
+                    .ok_or_else(|| format!("unknown scheme '{other}'"))?,
             };
             rt = rt.with_token_width(width);
             if let Some(q) = quarantine {
@@ -264,7 +267,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     p.name, p.alloc_intensity, p.uses_stack_buffers, p.uses_libc_calls
                 );
             }
-            let _ = writeln!(out, "\nschemes: plain, asan, rest (secure|debug, full|heap, 16|32|64B)");
+            let _ = writeln!(out, "\nschemes: plain, asan, rest (secure|debug, full|heap, 16|32|64B), mte-sync|async|asymm, pa");
             Ok(out)
         }
         Command::Run { path, opts } => {
@@ -284,6 +287,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     Scheme::Plain => StackScheme::None,
                     Scheme::Asan => StackScheme::Asan,
                     Scheme::Rest => StackScheme::Rest,
+                    // Heap-granule schemes carry no stack instrumentation.
+                    Scheme::Mte | Scheme::Pa => StackScheme::None,
                 }
             } else {
                 StackScheme::None

@@ -83,6 +83,8 @@ pub fn simulate_workload(workload: Workload, scale: Scale, rt: RtConfig) -> SimR
             Scheme::Plain => StackScheme::None,
             Scheme::Asan => StackScheme::Asan,
             Scheme::Rest => StackScheme::Rest,
+            // Heap-granule schemes carry no stack instrumentation.
+            Scheme::Mte | Scheme::Pa => StackScheme::None,
         }
     } else {
         StackScheme::None

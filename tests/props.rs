@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use rest::core::{ArmedSet, Token, TokenWidth};
+use rest::core::{ArmedSet, RestBackend, Token, TokenWidth};
 use rest::prelude::*;
 use rest::runtime::{Allocator, RestAllocator, RtConfig, TrafficRecorder};
 use rest_isa::GuestMemory;
@@ -71,7 +71,7 @@ proptest! {
         let token = Token::generate(TokenWidth::B64, &mut rng);
         let mut mem = GuestMemory::new();
         let mut rec = TrafficRecorder::new();
-        let mut armed = ArmedSet::new(TokenWidth::B64);
+        let mut backend = RestBackend::new(TokenWidth::B64, Mode::Secure);
         let mut alloc = RestAllocator::new(quarantine, 64);
         let mut live: Vec<(u64, u64)> = Vec::new();
 
@@ -79,9 +79,9 @@ proptest! {
             let mut env = rest::runtime::RtEnv {
                 mem: &mut mem,
                 rec: &mut rec,
-                armed: &mut armed,
+                backend: &mut backend,
                 token: &token,
-                check_rest: true,
+                check_backend: true,
                 check_shadow: false,
                 perfect_hw: false,
                 naive_wide_arm: false,
@@ -97,6 +97,7 @@ proptest! {
             }
         }
         // Every live allocation: interior accessible, bounds armed.
+        let armed = backend.armed();
         for &(ptr, size) in &live {
             prop_assert!(!armed.overlaps(ptr, size), "live data must not be armed");
             let pad = size.div_ceil(64) * 64;
