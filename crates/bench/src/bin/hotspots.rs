@@ -1,0 +1,18 @@
+//! Guest hotspot profiler: the full benchmark set under `plain` and
+//! `rest-secure-full` with per-PC profiling on, rolled up through CFG
+//! recovery into per-block/per-function cycle reports plus the
+//! per-allocation-site check-attribution table. See
+//! [`rest_bench::hotspots`] for the campaign semantics and invariants.
+//!
+//! Writes `results/hotspots.json` (`rest-hotspots/v1`, byte-identical
+//! at any `--jobs`), `results/hotspots.folded` (flamegraph input), and
+//! `results/hotspots.perfetto.json` (counter tracks).
+//!
+//! Usage: `cargo run --release -p rest-bench --bin hotspots -- \
+//!         [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]`
+
+use rest_bench::cli::Harness;
+
+fn main() {
+    rest_bench::hotspots::run_campaign(Harness::new("hotspots"));
+}

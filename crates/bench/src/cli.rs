@@ -14,6 +14,12 @@
 //! --trace-uops N         micro-ops to trace for --trace-out (default 512)
 //! --profile-out PATH     write host wall-time profiling (phases + per-job
 //!                        timings) to PATH (default: results/BENCH_baseline.json)
+//! --telemetry-out PATH   write campaign telemetry (per-job spans, worker
+//!                        utilization, cache + resilience counters) to PATH
+//!                        (default: results/BENCH_telemetry.json)
+//! --campaign-trace-out PATH
+//!                        write a Perfetto trace of the campaign timeline
+//!                        (one track per engine worker) to PATH
 //! --verify               statically lint each guest program with rest-verify
 //!                        before simulating; fail fast on error-or-worse findings
 //! --reference            simulate on the reference decode path (re-decode every
@@ -65,6 +71,11 @@ pub struct BenchCli {
     pub trace_uops: usize,
     /// Host-profiling output path (`--profile-out`), if any.
     pub profile_out: Option<PathBuf>,
+    /// Campaign-telemetry output path (`--telemetry-out`), if any.
+    pub telemetry_out: Option<PathBuf>,
+    /// Campaign-timeline Perfetto trace path (`--campaign-trace-out`),
+    /// if any: one track per engine worker, one slice per fresh job.
+    pub campaign_trace_out: Option<PathBuf>,
     /// Statically verify each program before simulating (`--verify`):
     /// jobs fail fast with error kind `"verify"` instead of running a
     /// program the linter can prove broken.
@@ -138,6 +149,8 @@ impl BenchCli {
             trace_out: None,
             trace_uops: 512,
             profile_out: None,
+            telemetry_out: None,
+            campaign_trace_out: None,
             verify: false,
             reference: false,
             resume: false,
@@ -186,6 +199,14 @@ impl BenchCli {
                 "--profile-out" => {
                     let v = it.next().ok_or("--profile-out needs a path")?;
                     cli.profile_out = Some(PathBuf::from(v));
+                }
+                "--telemetry-out" => {
+                    let v = it.next().ok_or("--telemetry-out needs a path")?;
+                    cli.telemetry_out = Some(PathBuf::from(v));
+                }
+                "--campaign-trace-out" => {
+                    let v = it.next().ok_or("--campaign-trace-out needs a path")?;
+                    cli.campaign_trace_out = Some(PathBuf::from(v));
                 }
                 "--verify" => cli.verify = true,
                 "--reference" => cli.reference = true,
@@ -257,6 +278,16 @@ impl BenchCli {
             .unwrap_or_else(|| PathBuf::from("results/BENCH_baseline.json"))
     }
 
+    /// The campaign-telemetry output path: `--telemetry-out` if given,
+    /// else `results/BENCH_telemetry.json`. Telemetry carries wall
+    /// times, so the default follows the host-dependent `BENCH_` naming
+    /// convention and is never an experiment result document.
+    pub fn telemetry_path(&self) -> PathBuf {
+        self.telemetry_out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results/BENCH_telemetry.json"))
+    }
+
     /// The checkpoint path: `--ckpt` if given, else
     /// `results/<experiment>.ckpt.json`.
     pub fn ckpt_path(&self) -> PathBuf {
@@ -269,8 +300,9 @@ impl BenchCli {
         format!(
             "usage: {experiment} [--test] [--jobs N] [--json PATH] [--filter SUBSTRING]\n\
              \x20                 [--sample-interval N] [--trace-out PATH] [--trace-uops N]\n\
-             \x20                 [--profile-out PATH] [--verify] [--reference] [--resume]\n\
-             \x20                 [--ckpt PATH] [--max-cells N] [--fault-seed N]\n\
+             \x20                 [--profile-out PATH] [--telemetry-out PATH]\n\
+             \x20                 [--campaign-trace-out PATH] [--verify] [--reference]\n\
+             \x20                 [--resume] [--ckpt PATH] [--max-cells N] [--fault-seed N]\n\
              \n\
              --test               run at test scale (fast smoke check)\n\
              --jobs N             worker threads (default and upper bound:\n\
@@ -284,6 +316,12 @@ impl BenchCli {
              \x20                    job's pipeline activity to PATH\n\
              --trace-uops N       micro-ops to trace for --trace-out (default 512)\n\
              --profile-out PATH   write host wall-time profiling to PATH\n\
+             --telemetry-out PATH write campaign telemetry (per-job spans, worker\n\
+             \x20                    utilization, cache + resilience counters) to PATH\n\
+             \x20                    (default: results/BENCH_telemetry.json)\n\
+             --campaign-trace-out PATH\n\
+             \x20                    write a Perfetto trace of the campaign timeline\n\
+             \x20                    (one track per engine worker) to PATH\n\
              --verify             statically lint each guest program before simulating;\n\
              \x20                    fail fast on error-or-worse findings\n\
              --reference          re-decode every fetch instead of using the\n\
@@ -414,6 +452,12 @@ mod tests {
             cli.profile_path(),
             PathBuf::from("results/BENCH_baseline.json")
         );
+        assert_eq!(cli.telemetry_out, None);
+        assert_eq!(
+            cli.telemetry_path(),
+            PathBuf::from("results/BENCH_telemetry.json")
+        );
+        assert_eq!(cli.campaign_trace_out, None);
         assert!(!cli.verify);
         assert!(!cli.reference);
         assert!(!cli.resume);
@@ -487,6 +531,10 @@ mod tests {
                 "128",
                 "--profile-out",
                 "/tmp/prof.json",
+                "--telemetry-out",
+                "/tmp/tele.json",
+                "--campaign-trace-out",
+                "/tmp/campaign.json",
                 "--verify",
             ]),
         )
@@ -495,6 +543,11 @@ mod tests {
         assert_eq!(cli.trace_out, Some(PathBuf::from("/tmp/trace.json")));
         assert_eq!(cli.trace_uops, 128);
         assert_eq!(cli.profile_path(), PathBuf::from("/tmp/prof.json"));
+        assert_eq!(cli.telemetry_path(), PathBuf::from("/tmp/tele.json"));
+        assert_eq!(
+            cli.campaign_trace_out,
+            Some(PathBuf::from("/tmp/campaign.json"))
+        );
         assert!(cli.verify);
     }
 
@@ -508,6 +561,8 @@ mod tests {
         assert!(BenchCli::from_args("fig7", &argv(&["--sample-interval", "x"])).is_err());
         assert!(BenchCli::from_args("fig7", &argv(&["--trace-uops", "0"])).is_err());
         assert!(BenchCli::from_args("fig7", &argv(&["--trace-out"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--telemetry-out"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--campaign-trace-out"])).is_err());
         assert!(BenchCli::from_args("fig7", &argv(&["--ckpt"])).is_err());
         assert!(BenchCli::from_args("fig7", &argv(&["--max-cells", "0"])).is_err());
         assert!(BenchCli::from_args("fig7", &argv(&["--fault-seed", "0xzz"])).is_err());

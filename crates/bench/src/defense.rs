@@ -30,7 +30,7 @@ use rest_obs::Json;
 use rest_runtime::RtConfig;
 
 use crate::cli::Harness;
-use crate::engine::{ColumnSpec, JobError, MatrixSpec, SimJob};
+use crate::engine::{ColumnSpec, JobError, MatrixResults, MatrixSpec, SimJob};
 
 /// Campaign document schema identifier.
 pub const SCHEMA: &str = "rest-defense/v1";
@@ -140,6 +140,136 @@ fn attack_cell(
     (Json::obj(members), ok)
 }
 
+/// Per-scheme aggregate of the allocation-site check attribution: how
+/// many checks each scheme charged to guest allocation sites across the
+/// whole overhead sweep, reconciled three ways against the per-PC
+/// profiler and the backend's own `check_access` count.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CheckAttribution {
+    /// Allocation-site rows absorbed (one per live site per cell).
+    pub sites: u64,
+    /// Allocations / frees / bytes charged to those sites.
+    pub allocs: u64,
+    /// Frees charged to those sites.
+    pub frees: u64,
+    /// Bytes allocated at those sites.
+    pub bytes: u64,
+    /// Check invocations in the site table (includes runtime-internal
+    /// hardened-free validations the per-PC profiler never sees).
+    pub site_checks: u64,
+    /// Injected check micro-ops in the site table.
+    pub site_check_uops: u64,
+    /// Check invocations in the per-PC profiler.
+    pub pc_checks: u64,
+    /// Injected check micro-ops in the per-PC profiler (== the site
+    /// total, asserted per cell).
+    pub pc_check_uops: u64,
+    /// The backend seam's own `check_access` count (== site checks for
+    /// every backend scheme, asserted per cell).
+    pub backend_checks: u64,
+    /// Pointer canonicalizations (REST's tagged-pointer strip).
+    pub canonicalizations: u64,
+    /// Deferred-fault latches (MTE async TFSR-style).
+    pub deferred_latches: u64,
+    /// Faults attributed back to the owning allocation site.
+    pub faults: u64,
+}
+
+impl CheckAttribution {
+    /// Folds one profiled run into the aggregate, asserting the
+    /// per-cell reconciliation invariants. Errors are collection bugs.
+    fn absorb(&mut self, cell: &str, result: &SimResult) -> Result<(), String> {
+        let prof = result
+            .profile
+            .as_ref()
+            .ok_or_else(|| format!("{cell}: result carries no guest profile"))?;
+        let site_checks: u64 = prof.sites.iter().map(|(_, c)| c.checks).sum();
+        let site_check_uops: u64 = prof.sites.iter().map(|(_, c)| c.check_uops).sum();
+        // Check micro-ops reconcile exactly (only pipeline-visible
+        // checks inject them); check counts may exceed the per-PC table
+        // because runtime-internal validations have no access PC.
+        if site_check_uops != prof.check_uops.total() {
+            return Err(format!(
+                "{cell}: site check-uop sum {site_check_uops} != per-PC total {}",
+                prof.check_uops.total()
+            ));
+        }
+        if prof.checks.total() > site_checks {
+            return Err(format!(
+                "{cell}: per-PC checks {} exceed site checks {site_checks}",
+                prof.checks.total()
+            ));
+        }
+        if prof.backend_checks > 0 && site_checks != prof.backend_checks {
+            return Err(format!(
+                "{cell}: site checks {site_checks} != backend checks {}",
+                prof.backend_checks
+            ));
+        }
+        self.sites += prof.sites.len() as u64;
+        for (_, c) in &prof.sites {
+            self.allocs += c.allocs;
+            self.frees += c.frees;
+            self.bytes += c.bytes;
+            self.canonicalizations += c.canonicalizations;
+            self.deferred_latches += c.deferred_latches;
+            self.faults += c.faults;
+        }
+        self.site_checks += site_checks;
+        self.site_check_uops += site_check_uops;
+        self.pc_checks += prof.checks.total();
+        self.pc_check_uops += prof.check_uops.total();
+        self.backend_checks += prof.backend_checks;
+        Ok(())
+    }
+
+    /// The aggregate as a JSON object (one per scheme in the document's
+    /// `check_attribution` member).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("sites", Json::UInt(self.sites)),
+            ("allocs", Json::UInt(self.allocs)),
+            ("frees", Json::UInt(self.frees)),
+            ("bytes", Json::UInt(self.bytes)),
+            ("site_checks", Json::UInt(self.site_checks)),
+            ("site_check_uops", Json::UInt(self.site_check_uops)),
+            ("pc_checks", Json::UInt(self.pc_checks)),
+            ("pc_check_uops", Json::UInt(self.pc_check_uops)),
+            ("backend_checks", Json::UInt(self.backend_checks)),
+            ("canonicalizations", Json::UInt(self.canonicalizations)),
+            ("deferred_latches", Json::UInt(self.deferred_latches)),
+            ("faults", Json::UInt(self.faults)),
+        ])
+    }
+}
+
+/// Aggregates the per-allocation-site check attribution of a profiled
+/// overhead matrix, per scheme: the shared plain baseline first, then
+/// one entry per column in matrix order. Requires the matrix to have
+/// run with `profile_guest` on.
+pub fn check_attribution(
+    matrix: &MatrixResults,
+) -> Result<Vec<(String, CheckAttribution)>, String> {
+    let mut per: Vec<(String, CheckAttribution)> =
+        std::iter::once("plain".to_string())
+            .chain(matrix.columns.iter().map(|c| c.label.clone()))
+            .map(|label| (label, CheckAttribution::default()))
+            .collect();
+    for results in &matrix.rows {
+        if let Some(result) = results.plain_result() {
+            let cell = format!("{} plain", results.row.name);
+            per[0].1.absorb(&cell, result)?;
+        }
+        for (col, _) in matrix.columns.iter().enumerate() {
+            if let Some(result) = results.cell(col) {
+                let cell = format!("{} {}", results.row.name, matrix.columns[col].label);
+                per[col + 1].1.absorb(&cell, result)?;
+            }
+        }
+    }
+    Ok(per)
+}
+
 /// Per-scheme coverage counters over the attack half.
 #[derive(Default, Clone, Copy)]
 struct Coverage {
@@ -164,12 +294,37 @@ pub fn run_campaign(mut h: Harness) {
         .filter(|(label, _)| *label != "plain")
         .map(|(label, rt)| ColumnSpec::new(*label, rt.clone()))
         .collect();
-    let spec = MatrixSpec::new(cli.filter_rows(crate::figure_rows()), columns, cli.scale)
+    let mut spec = MatrixSpec::new(cli.filter_rows(crate::figure_rows()), columns, cli.scale)
         .with_observability(&cli);
+    // Guest profiling rides along so the per-allocation-site check
+    // attribution can be aggregated and reconciled per scheme.
+    spec.profile_guest = true;
     let matrix = h.run_matrix(&spec);
 
     crate::print_machine_header("defense — runtime overhead over plain (%)");
     matrix.print_text_table();
+    println!();
+
+    let attribution = check_attribution(&matrix).unwrap_or_else(|e| {
+        eprintln!("defense: check-attribution invariant violated: {e}");
+        std::process::exit(1);
+    });
+    println!("defense — per-scheme check attribution (summed over allocation sites)");
+    println!(
+        "{:<18}{:>14}{:>16}{:>16}{:>14}{:>12}",
+        "scheme", "site checks", "check uops", "backend chks", "canonical.", "deferred"
+    );
+    for (label, a) in &attribution {
+        println!(
+            "{:<18}{:>14}{:>16}{:>16}{:>14}{:>12}",
+            label,
+            a.site_checks,
+            a.site_check_uops,
+            a.backend_checks,
+            a.canonicalizations,
+            a.deferred_latches
+        );
+    }
     println!();
 
     // Coverage half: every attack × every scheme, on the pipeline.
@@ -246,6 +401,15 @@ pub fn run_campaign(mut h: Harness) {
         Json::Arr(SCHEMES.iter().map(|&l| Json::from(l)).collect()),
     );
     sink.push_matrix("overheads", &matrix);
+    sink.push(
+        "check_attribution",
+        Json::obj(
+            attribution
+                .iter()
+                .map(|(label, a)| (label.as_str(), a.to_json()))
+                .collect(),
+        ),
+    );
     sink.push("attacks", Json::Arr(attack_docs));
     sink.push(
         "coverage",
@@ -327,6 +491,54 @@ mod tests {
             .entries()
             .iter()
             .any(|e| e.detector == rest_obs::MTE_TAGGER));
+    }
+
+    #[test]
+    fn check_attribution_reconciles_per_scheme() {
+        use crate::engine::Engine;
+        use crate::FigureRow;
+        use rest_workloads::Workload;
+
+        let mut spec = MatrixSpec::new(
+            vec![FigureRow::of(Workload::Lbm)],
+            vec![
+                ColumnSpec::new("asan", RtConfig::asan()),
+                ColumnSpec::new(
+                    "rest-secure-full",
+                    RtConfig::from_label("rest-secure-full").unwrap(),
+                ),
+                ColumnSpec::new("mte-sync", RtConfig::from_label("mte-sync").unwrap()),
+            ],
+            Scale::Test,
+        );
+        spec.profile_guest = true;
+        let matrix = Engine::new(2).run_matrix(&spec);
+        let per = check_attribution(&matrix).expect("reconciliation holds");
+        let by_label: std::collections::HashMap<&str, &CheckAttribution> =
+            per.iter().map(|(l, a)| (l.as_str(), a)).collect();
+
+        let plain = by_label["plain"];
+        assert_eq!(plain.site_checks, 0, "plain charges no checks");
+        assert_eq!(plain.backend_checks, 0);
+        assert!(plain.allocs > 0, "sites still record allocations");
+
+        let asan = by_label["asan"];
+        assert!(asan.site_checks > 0);
+        assert_eq!(asan.backend_checks, 0, "ASan is shadow-memory, not a backend");
+        assert!(asan.site_check_uops > 0, "ASan injects check micro-ops");
+        assert_eq!(asan.site_check_uops, asan.pc_check_uops);
+
+        let rest = by_label["rest-secure-full"];
+        assert!(rest.backend_checks > 0);
+        assert_eq!(rest.site_checks, rest.backend_checks);
+        assert_eq!(rest.site_check_uops, 0, "REST checks ride the cache fill");
+        assert_eq!(rest.canonicalizations, 0, "REST keeps pointers untagged");
+
+        let mte = by_label["mte-sync"];
+        assert_eq!(mte.site_checks, mte.backend_checks);
+        assert!(mte.site_check_uops > 0, "MTE sync fetches tags inline");
+        assert_eq!(mte.site_check_uops, mte.pc_check_uops);
+        assert!(mte.canonicalizations > 0, "MTE strips pointer tags");
     }
 
     #[test]

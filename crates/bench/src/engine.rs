@@ -119,6 +119,10 @@ pub struct SimJob {
     /// Test knob: the attempt panics before simulating — exercises the
     /// panic-isolation path.
     pub inject_panic: bool,
+    /// Collect the guest hotspot profile (dense per-PC cycle/uop/check
+    /// counters plus the per-allocation-site table); the result then
+    /// carries a [`rest_cpu::GuestProfile`].
+    pub profile_guest: bool,
 }
 
 impl SimJob {
@@ -147,6 +151,7 @@ impl SimJob {
             retry_transient: 0,
             inject_transient_failures: 0,
             inject_panic: false,
+            profile_guest: false,
         }
     }
 
@@ -194,7 +199,7 @@ impl SimJob {
     /// do not.
     pub fn cache_key(&self) -> String {
         format!(
-            "{:?}|{:#x}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}|{}|{}|{:?}|{:?}|{}|{}|{}|{}|{}|{}",
+            "{:?}|{:#x}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}|{}|{}|{:?}|{:?}|{}|{}|{}|{}|{}|{}|{}",
             self.workload,
             self.seed,
             self.rt,
@@ -225,6 +230,9 @@ impl SimJob {
             self.retry_transient,
             self.inject_transient_failures,
             self.inject_panic,
+            // Profiled results carry the per-PC tables; unprofiled ones
+            // must not alias them.
+            self.profile_guest,
         )
     }
 
@@ -238,6 +246,13 @@ impl SimJob {
     /// wall-clock watchdog that abandons overrunning simulations with a
     /// `"timeout"` error.
     pub fn execute(&self) -> Result<SimResult, JobError> {
+        self.execute_tracked().0
+    }
+
+    /// As [`SimJob::execute`], additionally reporting how many attempts
+    /// the job took (1 for a first-try success; each transient retry
+    /// adds one). The engine records this in the job's telemetry span.
+    pub fn execute_tracked(&self) -> (Result<SimResult, JobError>, u32) {
         let mut attempt = 0u32;
         loop {
             let outcome = self.execute_watchdogged(attempt);
@@ -251,7 +266,7 @@ impl SimJob {
                     std::thread::sleep(backoff);
                     attempt += 1;
                 }
-                _ => return outcome,
+                _ => return (outcome, attempt + 1),
             }
         }
     }
@@ -342,6 +357,7 @@ impl SimJob {
             cfg.reference_path = self.reference_path;
             cfg.max_cycles = self.max_cycles;
             cfg.fault = self.fault;
+            cfg.profile_guest = self.profile_guest;
             if let Some(budget) = self.max_uops {
                 cfg.max_uops = budget;
             }
@@ -416,6 +432,42 @@ impl std::fmt::Display for JobError {
 /// Shared outcome of one job (cached, so cheap to clone).
 pub type JobOutcome = Arc<Result<SimResult, JobError>>;
 
+/// Telemetry span for one submitted job: which worker ran it, when it
+/// started relative to the engine's first submission, how long it
+/// queued and ran, how many attempts it took, and how it ended. Cache
+/// hits record zero durations and zero attempts. Serialised into the
+/// `rest-telemetry/v1` document (host wall times, so `BENCH_*` only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpan {
+    /// The job's display label (`"<row> <column>"`).
+    pub label: String,
+    /// Worker-pool slot that executed the job (0 for cache hits).
+    pub worker: usize,
+    /// Start offset from the engine's first `run_all` submission —
+    /// campaign-relative, so spans from successive matrices share one
+    /// timeline.
+    pub start: Duration,
+    /// Time spent queued before a worker picked the job up.
+    pub queue: Duration,
+    /// Wall time of the execution (all attempts plus backoff).
+    pub run: Duration,
+    /// Attempts taken: 1 for a first-try outcome, +1 per transient
+    /// retry, 0 for cache hits.
+    pub attempts: u32,
+    /// Whether the outcome came from the engine's job cache.
+    pub cached: bool,
+    /// `"ok"`, or the [`JobError`] kind the job ended with.
+    pub outcome: String,
+}
+
+/// What a worker recorded about one freshly executed job.
+struct FreshRun {
+    wall: Duration,
+    queue: Duration,
+    attempts: u32,
+    worker: usize,
+}
+
 /// Locks a mutex, recovering the data from a poisoned lock. A panic on
 /// one worker thread (already surfaced as a `"panic"` [`JobError`] by
 /// `catch_unwind`) poisons any mutex it held; unwrapping the poison
@@ -436,6 +488,10 @@ pub struct Engine {
     workers: usize,
     cache: Mutex<HashMap<String, JobOutcome>>,
     timings: Mutex<Vec<JobTiming>>,
+    spans: Mutex<Vec<JobSpan>>,
+    /// Wall time already consumed by earlier `run_all` calls: spans
+    /// from successive submissions continue one campaign timeline.
+    epoch: Mutex<Duration>,
 }
 
 impl Engine {
@@ -445,7 +501,14 @@ impl Engine {
             workers: workers.max(1),
             cache: Mutex::new(HashMap::new()),
             timings: Mutex::new(Vec::new()),
+            spans: Mutex::new(Vec::new()),
+            epoch: Mutex::new(Duration::ZERO),
         }
+    }
+
+    /// The configured worker-pool size (after the `max(1)` clamp).
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Per-job wall-time records accumulated so far (submission order;
@@ -454,6 +517,13 @@ impl Engine {
     /// engine can profile separately.
     pub fn take_timings(&self) -> Vec<JobTiming> {
         std::mem::take(&mut lock_recover(&self.timings))
+    }
+
+    /// Per-job telemetry spans accumulated so far (submission order,
+    /// one per submitted job — cache hits included). Draining resets
+    /// the log.
+    pub fn take_spans(&self) -> Vec<JobSpan> {
+        std::mem::take(&mut lock_recover(&self.spans))
     }
 
     /// Runs every job not already cached, in parallel, and returns one
@@ -471,22 +541,26 @@ impl Engine {
                 .collect()
         };
         let total = fresh.len();
-        let fresh_walls: Mutex<HashMap<String, Duration>> = Mutex::new(HashMap::new());
+        let base = *lock_recover(&self.epoch);
+        let run_started = Instant::now();
+        let fresh_runs: Mutex<HashMap<String, FreshRun>> = Mutex::new(HashMap::new());
         if total > 0 {
-            let started = Instant::now();
             let next = AtomicUsize::new(0);
             let done = AtomicUsize::new(0);
             let workers = self.workers.min(total);
             std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
+                for w in 0..workers {
+                    let (next, done, fresh) = (&next, &done, &fresh);
+                    let (fresh_runs, cache) = (&fresh_runs, &self.cache);
+                    scope.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= total {
                             break;
                         }
                         let job = fresh[i];
                         let job_started = Instant::now();
-                        let result = job.execute();
+                        let queue = job_started.duration_since(run_started);
+                        let (result, attempts) = job.execute_tracked();
                         let wall = job_started.elapsed();
                         let secs = wall.as_secs_f64();
                         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -502,38 +576,78 @@ impl Engine {
                                 job.name, job.label
                             ),
                         }
-                        lock_recover(&fresh_walls).insert(job.cache_key(), wall);
-                        lock_recover(&self.cache).insert(job.cache_key(), Arc::new(result));
+                        lock_recover(fresh_runs).insert(
+                            job.cache_key(),
+                            FreshRun {
+                                wall,
+                                queue,
+                                attempts,
+                                worker: w,
+                            },
+                        );
+                        lock_recover(cache).insert(job.cache_key(), Arc::new(result));
                     });
                 }
             });
             eprintln!(
                 "# {total} jobs on {workers} workers in {:.2}s",
-                started.elapsed().as_secs_f64()
+                run_started.elapsed().as_secs_f64()
             );
         }
-        // Log per-job wall times in submission order: the first request
-        // for a key that was simulated this call gets the measured
-        // time; duplicates and pre-cached keys log as cache hits.
+        // Log per-job wall times and telemetry spans in submission
+        // order: the first request for a key that was simulated this
+        // call gets the measured record; duplicates and pre-cached keys
+        // log as cache hits.
         {
-            let mut walls = fresh_walls.into_inner().unwrap_or_else(|poison| poison.into_inner());
+            let mut runs = fresh_runs.into_inner().unwrap_or_else(|poison| poison.into_inner());
             let mut timings = lock_recover(&self.timings);
+            let mut spans = lock_recover(&self.spans);
+            let cache = lock_recover(&self.cache);
             for job in jobs {
                 let label = format!("{} {}", job.name, job.label);
-                match walls.remove(&job.cache_key()) {
-                    Some(wall) => timings.push(JobTiming {
-                        label,
-                        wall,
-                        cached: false,
-                    }),
-                    None => timings.push(JobTiming {
-                        label,
-                        wall: Duration::ZERO,
-                        cached: true,
-                    }),
+                let outcome = match cache[&job.cache_key()].as_ref() {
+                    Ok(_) => "ok".to_string(),
+                    Err(e) => e.kind.clone(),
+                };
+                match runs.remove(&job.cache_key()) {
+                    Some(run) => {
+                        timings.push(JobTiming {
+                            label: label.clone(),
+                            wall: run.wall,
+                            cached: false,
+                        });
+                        spans.push(JobSpan {
+                            label,
+                            worker: run.worker,
+                            start: base + run.queue,
+                            queue: run.queue,
+                            run: run.wall,
+                            attempts: run.attempts,
+                            cached: false,
+                            outcome,
+                        });
+                    }
+                    None => {
+                        timings.push(JobTiming {
+                            label: label.clone(),
+                            wall: Duration::ZERO,
+                            cached: true,
+                        });
+                        spans.push(JobSpan {
+                            label,
+                            worker: 0,
+                            start: base,
+                            queue: Duration::ZERO,
+                            run: Duration::ZERO,
+                            attempts: 0,
+                            cached: true,
+                            outcome,
+                        });
+                    }
                 }
             }
         }
+        *lock_recover(&self.epoch) = base + run_started.elapsed();
         let cache = lock_recover(&self.cache);
         jobs.iter().map(|j| cache[&j.cache_key()].clone()).collect()
     }
@@ -555,6 +669,7 @@ impl Engine {
             job.sample_interval = spec.sample_interval;
             job.verify = spec.verify;
             job.reference_path = spec.reference_path;
+            job.profile_guest = spec.profile_guest;
         }
         // Tracing is bounded to the matrix's first job: one Perfetto
         // document per experiment is plenty, and tracing every job
@@ -639,6 +754,11 @@ pub struct MatrixSpec {
     /// Simulate every job on the reference decode path (`--reference`)
     /// instead of the decoded-uop cache; output must stay byte-identical.
     pub reference_path: bool,
+    /// Collect the guest hotspot profile on **every** job of the
+    /// matrix: results then carry per-PC counters and the
+    /// per-allocation-site table (used by the defense campaign's
+    /// check-attribution section).
+    pub profile_guest: bool,
 }
 
 impl MatrixSpec {
@@ -655,6 +775,7 @@ impl MatrixSpec {
             trace_uops: 0,
             verify: false,
             reference_path: false,
+            profile_guest: false,
         }
     }
 
@@ -899,6 +1020,58 @@ mod tests {
         let again = engine.run_all(std::slice::from_ref(&healthy));
         assert!(again[0].is_ok());
         assert_eq!(engine.take_timings().len(), 3);
+    }
+
+    #[test]
+    fn spans_record_workers_attempts_and_cache_hits() {
+        let row = lbm_row();
+        let engine = Engine::new(2);
+        let retried = SimJob {
+            inject_transient_failures: 1,
+            retry_transient: 1,
+            ..SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test)
+        };
+        let outcomes = engine.run_all(&[retried.clone(), retried]);
+        assert!(outcomes[0].is_ok());
+        let spans = engine.take_spans();
+        assert_eq!(spans.len(), 2);
+        // Fresh execution: one transient failure plus the success.
+        assert!(!spans[0].cached);
+        assert_eq!(spans[0].attempts, 2);
+        assert_eq!(spans[0].outcome, "ok");
+        assert!(spans[0].run > Duration::ZERO);
+        // The duplicate resolves from the cache.
+        assert!(spans[1].cached);
+        assert_eq!(spans[1].attempts, 0);
+        assert_eq!(spans[1].run, Duration::ZERO);
+        // A later submission records its error kind and continues the
+        // campaign timeline.
+        let panicking = SimJob {
+            inject_panic: true,
+            ..SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test)
+        };
+        engine.run_all(std::slice::from_ref(&panicking));
+        let later = engine.take_spans();
+        assert_eq!(later.len(), 1);
+        assert_eq!(later[0].outcome, "panic");
+        assert!(later[0].start >= spans[0].run, "epoch must accumulate");
+        // Draining resets the log.
+        assert!(engine.take_spans().is_empty());
+    }
+
+    #[test]
+    fn profile_guest_participates_in_cache_keys_and_results() {
+        let row = lbm_row();
+        let plain = SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test);
+        let profiled = SimJob {
+            profile_guest: true,
+            ..plain.clone()
+        };
+        assert_ne!(plain.cache_key(), profiled.cache_key());
+        let result = profiled.execute().unwrap();
+        let profile = result.profile.expect("profiled job carries the tables");
+        assert_eq!(profile.cycles.total(), result.core.cycles);
+        assert!(plain.execute().unwrap().profile.is_none());
     }
 
     #[test]

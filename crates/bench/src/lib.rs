@@ -13,6 +13,8 @@
 //! | `ablations` | design-choice ablations called out in DESIGN.md |
 //! | `perf` | guest-IPS throughput, fast vs reference decode path |
 //! | `faults` | fault-injection detection-coverage campaign ([`faults`]) |
+//! | `hotspots` | guest hotspot profile — per-block/function cycles and per-site checks ([`hotspots`]) |
+//! | `bench-diff` | throughput regression gate over two `BENCH_throughput.json` files ([`benchdiff`]) |
 //!
 //! All binaries are thin wrappers over a shared experiment engine:
 //!
@@ -36,12 +38,15 @@
 //! cargo run --release -p rest-bench --bin fig7 -- --test --jobs 8
 //! ```
 
+pub mod benchdiff;
 pub mod checkpoint;
 pub mod cli;
 pub mod defense;
 pub mod engine;
 pub mod faults;
+pub mod hotspots;
 pub mod sink;
+pub mod telemetry;
 pub mod throughput;
 
 use rest_core::{Mode, TokenWidth};
@@ -227,19 +232,37 @@ pub fn geo_mean_overhead(plain_cycles: &[u64], hardened_cycles: &[u64]) -> f64 {
 ///   <https://ui.perfetto.dev>),
 /// * the host wall-time profile (`profile`, plus the engine's per-job
 ///   timing log) to `--profile-out` (default
-///   `results/BENCH_baseline.json`).
+///   `results/BENCH_baseline.json`),
+/// * the campaign telemetry document (`rest-telemetry/v1`: per-job
+///   spans, worker utilization, cache + resilience counters) to
+///   `--telemetry-out` (default `results/BENCH_telemetry.json`), and
+///   the campaign-timeline Perfetto trace (one track per worker) when
+///   `--campaign-trace-out PATH` was given.
 ///
-/// Both are reported on stderr only; neither touches stdout or the
-/// experiment's deterministic JSON document.
+/// All of it is reported on stderr only; nothing here touches stdout or
+/// the experiment's deterministic JSON document.
 pub fn finish_observability(
     cli: &cli::BenchCli,
     eng: &engine::Engine,
     matrix: &engine::MatrixResults,
+    profile: rest_obs::HostProfile,
+) {
+    let pipeline_trace = matrix.first_trace().map(|t| t.to_perfetto().render());
+    finish_observability_with(cli, eng, pipeline_trace, profile);
+}
+
+/// As [`finish_observability`], with the pipeline trace (if any)
+/// already rendered — the entry point for binaries that run plain job
+/// lists instead of a [`engine::MatrixResults`].
+pub fn finish_observability_with(
+    cli: &cli::BenchCli,
+    eng: &engine::Engine,
+    pipeline_trace: Option<String>,
     mut profile: rest_obs::HostProfile,
 ) {
     if let Some(path) = &cli.trace_out {
-        match matrix.first_trace() {
-            Some(trace) => write_text_file(path, &trace.to_perfetto().render()),
+        match pipeline_trace {
+            Some(text) => write_text_file(path, &text),
             None => eprintln!(
                 "# --trace-out: the traced job failed or recorded nothing; no trace written"
             ),
@@ -249,6 +272,12 @@ pub fn finish_observability(
         profile.add_job(timing);
     }
     write_text_file(&cli.profile_path(), &profile.render());
+    let report =
+        telemetry::TelemetryReport::new(&cli.experiment, eng.workers(), eng.take_spans());
+    write_text_file(&cli.telemetry_path(), &report.render());
+    if let Some(path) = &cli.campaign_trace_out {
+        write_text_file(path, &report.to_perfetto().render());
+    }
 }
 
 /// Writes `text` to `path` (creating parent directories) and reports

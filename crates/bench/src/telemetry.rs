@@ -1,0 +1,235 @@
+//! Campaign telemetry report: the engine's per-job [`JobSpan`] log
+//! serialised as a `rest-telemetry/v1` document, plus a campaign-level
+//! Perfetto trace with one track per worker.
+//!
+//! Wall times are host-dependent, so the document is written to a
+//! `BENCH_*` path (default `results/BENCH_telemetry.json`) and is never
+//! part of an experiment's deterministic result JSON. The schema and
+//! its validator live in [`rest_obs::telemetry`]; this module only
+//! assembles documents from engine state.
+
+use rest_obs::{Json, PerfettoTrace};
+
+use crate::engine::JobSpan;
+
+/// One campaign's telemetry: every span the engine recorded, under the
+/// experiment's name.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// Campaign (experiment) name.
+    pub campaign: String,
+    /// Worker-pool size after the `--jobs` clamp.
+    pub effective_jobs: usize,
+    /// Per-job spans in submission order.
+    pub spans: Vec<JobSpan>,
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+impl TelemetryReport {
+    /// Builds the report from drained engine spans.
+    pub fn new(campaign: &str, effective_jobs: usize, spans: Vec<JobSpan>) -> TelemetryReport {
+        TelemetryReport {
+            campaign: campaign.to_string(),
+            effective_jobs: effective_jobs.max(1),
+            spans,
+        }
+    }
+
+    /// Per-worker rollup: `(jobs, busy)` for each pool slot.
+    fn worker_rollup(&self) -> Vec<(u64, std::time::Duration)> {
+        let mut rollup = vec![(0u64, std::time::Duration::ZERO); self.effective_jobs];
+        for s in &self.spans {
+            // Cache hits cost no worker time; utilization counts only
+            // freshly executed jobs.
+            if s.cached {
+                continue;
+            }
+            if let Some(w) = rollup.get_mut(s.worker) {
+                w.0 += 1;
+                w.1 += s.run;
+            }
+        }
+        rollup
+    }
+
+    /// Serialises to the `rest-telemetry/v1` document (see
+    /// [`rest_obs::telemetry`] for the shape and invariants).
+    pub fn to_json(&self) -> Json {
+        let workers = self
+            .worker_rollup()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (jobs, busy))| {
+                Json::obj(vec![
+                    ("worker", Json::UInt(i as u64)),
+                    ("jobs", Json::UInt(jobs)),
+                    ("busy_ms", Json::Num(ms(busy))),
+                ])
+            })
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("job", Json::from(s.label.as_str())),
+                    ("worker", Json::UInt(s.worker as u64)),
+                    ("start_ms", Json::Num(ms(s.start))),
+                    ("queue_ms", Json::Num(ms(s.queue))),
+                    ("run_ms", Json::Num(ms(s.run))),
+                    ("attempts", Json::UInt(s.attempts as u64)),
+                    ("cached", Json::Bool(s.cached)),
+                    ("outcome", Json::from(s.outcome.as_str())),
+                ])
+            })
+            .collect();
+        let hits = self.spans.iter().filter(|s| s.cached).count() as u64;
+        let misses = self.spans.len() as u64 - hits;
+        let count = |kind: &str| {
+            self.spans.iter().filter(|s| s.outcome == kind).count() as u64
+        };
+        let retries: u64 = self
+            .spans
+            .iter()
+            .map(|s| u64::from(s.attempts.saturating_sub(1)))
+            .sum();
+        Json::obj(vec![
+            ("schema", Json::from(rest_obs::telemetry::SCHEMA)),
+            ("campaign", Json::from(self.campaign.as_str())),
+            ("effective_jobs", Json::UInt(self.effective_jobs as u64)),
+            ("workers", Json::Arr(workers)),
+            ("spans", Json::Arr(spans)),
+            (
+                "cache",
+                Json::obj(vec![("hits", Json::UInt(hits)), ("misses", Json::UInt(misses))]),
+            ),
+            (
+                "resilience",
+                Json::obj(vec![
+                    ("panics", Json::UInt(count("panic"))),
+                    ("timeouts", Json::UInt(count("timeout"))),
+                    ("transient_retries", Json::UInt(retries)),
+                ]),
+            ),
+        ])
+    }
+
+    /// The document as pretty-printed text with a trailing newline.
+    pub fn render(&self) -> String {
+        let mut text = self.to_json().to_string_pretty();
+        text.push('\n');
+        text
+    }
+
+    /// The campaign timeline as a Chrome trace-event document: one
+    /// track per worker, one slice per freshly executed job (campaign
+    /// milliseconds mapped to the trace's µs field), and a per-worker
+    /// `utilization` counter stepping 1/0 at each slice's edges.
+    pub fn to_perfetto(&self) -> PerfettoTrace {
+        let mut trace = PerfettoTrace::new(&format!("{} campaign", self.campaign));
+        let tracks: Vec<_> = (0..self.effective_jobs)
+            .map(|w| trace.track(&format!("worker {w}")))
+            .collect();
+        for s in &self.spans {
+            if s.cached {
+                continue;
+            }
+            let Some(&track) = tracks.get(s.worker) else {
+                continue;
+            };
+            let ts = ms(s.start) as u64;
+            let dur = (ms(s.run) as u64).max(1);
+            trace.slice(
+                track,
+                &s.label,
+                "job",
+                ts,
+                dur,
+                vec![
+                    ("attempts", Json::UInt(s.attempts as u64)),
+                    ("outcome", Json::from(s.outcome.as_str())),
+                    ("queue_ms", Json::Num(ms(s.queue))),
+                ],
+            );
+            trace.counter(track, "utilization", ts, vec![("busy", Json::UInt(1))]);
+            trace.counter(track, "utilization", ts + dur, vec![("busy", Json::UInt(0))]);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn span(label: &str, worker: usize, run_ms: u64, attempts: u32, cached: bool, outcome: &str) -> JobSpan {
+        JobSpan {
+            label: label.to_string(),
+            worker,
+            start: Duration::from_millis(5),
+            queue: Duration::from_millis(1),
+            run: Duration::from_millis(run_ms),
+            attempts,
+            cached,
+            outcome: outcome.to_string(),
+        }
+    }
+
+    #[test]
+    fn report_document_validates_against_the_schema() {
+        let report = TelemetryReport::new(
+            "defense",
+            2,
+            vec![
+                span("lbm plain", 0, 40, 1, false, "ok"),
+                span("lbm asan", 1, 60, 3, false, "ok"),
+                span("lbm plain", 0, 0, 0, true, "ok"),
+                span("mcf asan", 1, 10, 1, false, "timeout"),
+            ],
+        );
+        let doc = Json::parse(&report.render()).expect("valid JSON");
+        rest_obs::telemetry::validate(&doc).expect("schema-valid");
+        assert_eq!(doc.get("campaign").unwrap().as_str(), Some("defense"));
+        let cache = doc.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.get("misses").unwrap().as_u64(), Some(3));
+        let res = doc.get("resilience").unwrap();
+        assert_eq!(res.get("timeouts").unwrap().as_u64(), Some(1));
+        assert_eq!(res.get("transient_retries").unwrap().as_u64(), Some(2));
+        let workers = doc.get("workers").unwrap().as_arr().unwrap();
+        assert_eq!(workers.len(), 2);
+        // The cached replay of "lbm plain" does not count as worker
+        // utilization — only the fresh run does.
+        assert_eq!(workers[0].get("jobs").unwrap().as_u64(), Some(1));
+        assert_eq!(workers[1].get("jobs").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn perfetto_trace_has_one_track_per_worker_and_skips_cache_hits() {
+        let report = TelemetryReport::new(
+            "fig7",
+            3,
+            vec![
+                span("a plain", 0, 40, 1, false, "ok"),
+                span("a plain", 0, 0, 0, true, "ok"),
+                span("b asan", 2, 25, 1, false, "ok"),
+            ],
+        );
+        let trace = report.to_perfetto();
+        assert_eq!(trace.slice_count(), 2, "cache hits draw no slice");
+        // Each fresh slice contributes a busy-edge pair.
+        assert_eq!(trace.counter_count(), 4);
+        let doc = trace.to_json();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let track_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(track_names, ["worker 0", "worker 1", "worker 2"]);
+    }
+}

@@ -1,0 +1,111 @@
+//! The repository's byte-determinism contract (ISSUE 7, satellite 1):
+//! committed experiment documents (`results/*.json`) must be
+//! byte-identical at any `--jobs` level, which means host-dependent
+//! measurements — wall times, throughput rates, worker counts, job
+//! spans — may only live in `BENCH_`-prefixed files. This test walks
+//! every committed non-`BENCH_` document and rejects any key that
+//! could only have come from the host clock or scheduler.
+//!
+//! It also keeps the committed hotspot profile honest: the document
+//! must validate against `rest-hotspots/v1`, whose checks include the
+//! exact per-block cycle sums the profiler guarantees.
+
+use rest_obs::Json;
+
+/// Keys whose value depends on the host (clock, scheduler, core
+/// count) and therefore must never appear in a deterministic
+/// experiment document.
+const FORBIDDEN_KEYS: [&str; 6] = [
+    "effective_jobs",
+    "speedup",
+    "spans",
+    "workers",
+    "telemetry",
+    "resilience",
+];
+
+/// Key suffixes that denote host-time or host-rate measurements.
+const FORBIDDEN_SUFFIXES: [&str; 3] = ["wall_s", "_ips", "_ms"];
+
+fn results_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Recursively walks a document, reporting every forbidden key with
+/// its path.
+fn scan(doc: &Json, path: &str, violations: &mut Vec<String>) {
+    match doc {
+        Json::Obj(members) => {
+            for (key, value) in members {
+                let here = format!("{path}.{key}");
+                if FORBIDDEN_KEYS.contains(&key.as_str())
+                    || FORBIDDEN_SUFFIXES.iter().any(|s| key.ends_with(s))
+                {
+                    violations.push(here.clone());
+                }
+                scan(value, &here, violations);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                scan(item, &format!("{path}[{i}]"), violations);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn experiment_documents_carry_no_host_dependent_keys() {
+    let dir = results_dir();
+    let mut scanned = 0;
+    let mut violations = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("results/ directory is committed") {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if !name.ends_with(".json") || name.starts_with("BENCH_") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("{name} must parse: {e}"));
+        scanned += 1;
+        scan(&doc, &name, &mut violations);
+    }
+    assert!(scanned > 0, "no committed experiment documents found");
+    assert!(
+        violations.is_empty(),
+        "host-dependent keys belong only in BENCH_ files:\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+#[test]
+fn bench_files_are_the_only_home_for_host_measurements() {
+    // The inverse direction: the committed throughput baseline really
+    // does carry the host-rate keys the gate diffs on, so the scan
+    // above is known to be looking for the right names.
+    let text = std::fs::read_to_string(results_dir().join("BENCH_throughput.json"))
+        .expect("results/BENCH_throughput.json must be committed");
+    let doc = Json::parse(&text).unwrap();
+    let mut violations = Vec::new();
+    scan(&doc, "BENCH_throughput.json", &mut violations);
+    assert!(
+        violations.iter().any(|v| v.ends_with(".fast_ips")),
+        "the throughput baseline carries the gated fast_ips keys"
+    );
+    assert!(violations.iter().any(|v| v.ends_with(".effective_jobs")));
+}
+
+#[test]
+fn committed_hotspot_profile_is_schema_valid() {
+    let text = std::fs::read_to_string(results_dir().join("hotspots.json"))
+        .expect("results/hotspots.json must be committed");
+    let doc = Json::parse(&text).expect("hotspot document parses");
+    rest_obs::hotspots::validate(&doc).expect("matches rest-hotspots/v1");
+    let rows = doc.get("rows").and_then(Json::as_arr).unwrap();
+    assert_eq!(
+        rows.len(),
+        16 * 2,
+        "16 benchmark rows x (plain, rest-secure-full)"
+    );
+}

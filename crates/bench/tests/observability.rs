@@ -30,6 +30,8 @@ fn obs_cli() -> BenchCli {
         trace_out: Some(std::path::PathBuf::from("unused.json")),
         trace_uops: 64,
         profile_out: None,
+        telemetry_out: None,
+        campaign_trace_out: None,
         verify: false,
         reference: false,
         resume: false,

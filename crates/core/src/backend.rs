@@ -269,6 +269,19 @@ pub trait ProtectionBackend: fmt::Debug + Send {
         None
     }
 
+    /// Whether a deferred fault is currently latched (without taking
+    /// it). Lets callers attribute the latch event to the access that
+    /// caused it.
+    fn has_deferred(&self) -> bool {
+        false
+    }
+
+    /// Total `check_access` invocations this backend has performed,
+    /// for reconciliation against site-attributed check counts.
+    fn check_count(&self) -> u64 {
+        0
+    }
+
     /// Detection timing for a flagged access of the given kind.
     fn timing(&self, store: bool) -> DetectTiming;
 
@@ -314,6 +327,8 @@ impl ProtectionBackend for NullBackend {
 pub struct RestBackend {
     armed: ArmedSet,
     mode: Mode,
+    /// Accesses checked against the armed set (for reports).
+    pub checks: u64,
 }
 
 impl RestBackend {
@@ -322,6 +337,7 @@ impl RestBackend {
         RestBackend {
             armed: ArmedSet::new(width),
             mode,
+            checks: 0,
         }
     }
 
@@ -354,6 +370,7 @@ impl ProtectionBackend for RestBackend {
     }
 
     fn check_access(&mut self, ptr: u64, len: u64, store: bool, pc: u64) -> Option<BackendFault> {
+        self.checks += 1;
         let slot = self.armed.first_overlap(ptr, len)?;
         let kind = if store {
             RestExceptionKind::TokenStore
@@ -374,6 +391,10 @@ impl ProtectionBackend for RestBackend {
         } else {
             DetectTiming::Imprecise
         }
+    }
+
+    fn check_count(&self) -> u64 {
+        self.checks
     }
 }
 
@@ -509,6 +530,14 @@ impl ProtectionBackend for MteBackend {
 
     fn take_deferred(&mut self) -> Option<BackendFault> {
         self.pending.take().map(BackendFault::Tag)
+    }
+
+    fn has_deferred(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    fn check_count(&self) -> u64 {
+        self.checks
     }
 
     fn timing(&self, store: bool) -> DetectTiming {
@@ -678,6 +707,10 @@ impl ProtectionBackend for PacBackend {
 
     fn check_uop_kind(&self) -> CheckUopKind {
         CheckUopKind::AuthAlu
+    }
+
+    fn check_count(&self) -> u64 {
+        self.checks
     }
 }
 

@@ -41,6 +41,7 @@ pub mod backend;
 mod exception;
 mod mode;
 pub mod policy;
+pub mod sites;
 pub mod table1;
 mod token;
 
@@ -49,6 +50,7 @@ pub use backend::{
     BackendFault, CheckUopKind, DetectTiming, MteBackend, MteMode, NullBackend, PacBackend,
     PacFault, ProtectionBackend, RestBackend, TagFault, TAG_GRANULE,
 };
+pub use sites::{SiteCounters, SiteTable};
 pub use exception::{RestException, RestExceptionKind};
 pub use mode::{Mode, Privilege, PrivilegeError};
 pub use token::{Token, TokenRegister, TokenWidth};

@@ -1,0 +1,213 @@
+//! Per-allocation-site check attribution.
+//!
+//! The defense matrix reports *how much* each scheme's checks cost in
+//! aggregate; this table records *where* that cost lands. Every
+//! successful `malloc` registers its user range under the guest PC of
+//! the allocating call (the allocation *site*), and every
+//! [`crate::ProtectionBackend::check_access`] outcome — plus ASan's
+//! shadow classifications, which bypass the backend seam — is charged
+//! to the site owning the checked address. Accesses outside any
+//! registered allocation (stack, statics, wild pointers) fall into the
+//! pseudo-site `0`.
+//!
+//! Freed ranges stay registered until their base address is reused, so
+//! use-after-free probes are still attributed to the allocation they
+//! dangle from — exactly the provenance a profiler wants for a UAF.
+//!
+//! All counters are derived from deterministic simulation state, so a
+//! serialized table is byte-identical across runs and worker counts.
+
+use std::collections::BTreeMap;
+
+/// Counters accumulated for one allocation site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteCounters {
+    /// Successful allocations made at this site.
+    pub allocs: u64,
+    /// Frees of chunks allocated at this site.
+    pub frees: u64,
+    /// Total user bytes handed out at this site.
+    pub bytes: u64,
+    /// Check invocations (backend `check_access` or ASan shadow
+    /// classification) against this site's memory.
+    pub checks: u64,
+    /// Check micro-ops injected into the pipeline for those checks.
+    pub check_uops: u64,
+    /// Pointer canonicalisations performed (tag/PAC strip) while
+    /// checking this site's memory.
+    pub canonicalizations: u64,
+    /// Deferred faults latched (MTE-async TFSR) by accesses here.
+    pub deferred_latches: u64,
+    /// Faults raised synchronously by accesses here.
+    pub faults: u64,
+}
+
+impl SiteCounters {
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &SiteCounters) {
+        self.allocs += other.allocs;
+        self.frees += other.frees;
+        self.bytes += other.bytes;
+        self.checks += other.checks;
+        self.check_uops += other.check_uops;
+        self.canonicalizations += other.canonicalizations;
+        self.deferred_latches += other.deferred_latches;
+        self.faults += other.faults;
+    }
+}
+
+/// Site-keyed attribution table: allocation ranges map addresses back
+/// to the guest PC that allocated them, and per-site counters accumulate
+/// check outcomes.
+#[derive(Debug, Default)]
+pub struct SiteTable {
+    /// Site PC -> counters. Site 0 is the unattributed pseudo-site.
+    sites: BTreeMap<u64, SiteCounters>,
+    /// Canonical base -> (exclusive end, site PC). Kept after free (see
+    /// module docs); replaced when the base is reused.
+    ranges: BTreeMap<u64, (u64, u64)>,
+}
+
+impl SiteTable {
+    /// An empty table.
+    pub fn new() -> SiteTable {
+        SiteTable::default()
+    }
+
+    /// Registers an allocation of `len` user bytes at canonical `base`,
+    /// made from guest PC `site`.
+    pub fn note_alloc(&mut self, site: u64, base: u64, len: u64) {
+        let c = self.sites.entry(site).or_default();
+        c.allocs += 1;
+        c.bytes += len;
+        self.ranges.insert(base, (base + len.max(1), site));
+    }
+
+    /// Records a free of the allocation at canonical `base`.
+    pub fn note_free(&mut self, base: u64) {
+        if let Some(&(_, site)) = self.ranges.get(&base) {
+            self.sites.entry(site).or_default().frees += 1;
+        }
+    }
+
+    /// The site owning canonical address `addr` (0 when unattributed).
+    pub fn site_of(&self, addr: u64) -> u64 {
+        match self.ranges.range(..=addr).next_back() {
+            Some((_, &(end, site))) if addr < end => site,
+            _ => 0,
+        }
+    }
+
+    /// Charges one check of canonical `addr` to its owning site.
+    /// `uops` is the number of injected check micro-ops and
+    /// `canonicalized` whether the pointer needed metadata stripped.
+    pub fn note_check(&mut self, addr: u64, uops: u64, canonicalized: bool) {
+        let site = self.site_of(addr);
+        let c = self.sites.entry(site).or_default();
+        c.checks += 1;
+        c.check_uops += uops;
+        c.canonicalizations += u64::from(canonicalized);
+    }
+
+    /// Records a deferred-fault latch (MTE-async TFSR capture) for
+    /// canonical `addr`.
+    pub fn note_deferred(&mut self, addr: u64) {
+        let site = self.site_of(addr);
+        self.sites.entry(site).or_default().deferred_latches += 1;
+    }
+
+    /// Records a synchronously raised fault for canonical `addr`.
+    pub fn note_fault(&mut self, addr: u64) {
+        let site = self.site_of(addr);
+        self.sites.entry(site).or_default().faults += 1;
+    }
+
+    /// Total check invocations across all sites.
+    pub fn total_checks(&self) -> u64 {
+        self.sites.values().map(|c| c.checks).sum()
+    }
+
+    /// Total injected check micro-ops across all sites.
+    pub fn total_check_uops(&self) -> u64 {
+        self.sites.values().map(|c| c.check_uops).sum()
+    }
+
+    /// Sites in ascending PC order (site 0 first when present).
+    pub fn rows(&self) -> impl Iterator<Item = (u64, &SiteCounters)> {
+        self.sites.iter().map(|(&pc, c)| (pc, c))
+    }
+
+    /// Number of distinct sites (including the pseudo-site).
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether no site has recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Drains the table into a sorted row vector.
+    pub fn into_rows(self) -> Vec<(u64, SiteCounters)> {
+        self.sites.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_attribute_checks_to_the_allocating_site() {
+        let mut t = SiteTable::new();
+        t.note_alloc(0x100, 0x8000, 64);
+        t.note_alloc(0x200, 0x9000, 32);
+        t.note_check(0x8000, 1, false);
+        t.note_check(0x8003, 0, true);
+        t.note_check(0x9010, 2, false);
+        t.note_check(0x7fff, 1, false); // below every range
+        t.note_check(0x9020, 1, false); // past the 32-byte range
+        let rows: Vec<_> = t.rows().map(|(pc, c)| (pc, *c)).collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, 0); // unattributed pseudo-site
+        assert_eq!(rows[0].1.checks, 2);
+        assert_eq!(rows[1].0, 0x100);
+        assert_eq!(rows[1].1.checks, 2);
+        assert_eq!(rows[1].1.check_uops, 1);
+        assert_eq!(rows[1].1.canonicalizations, 1);
+        assert_eq!(rows[2].0, 0x200);
+        assert_eq!(rows[2].1.checks, 1);
+        assert_eq!(rows[2].1.check_uops, 2);
+        assert_eq!(t.total_checks(), 5);
+        assert_eq!(t.total_check_uops(), 5);
+    }
+
+    #[test]
+    fn freed_ranges_still_attribute_until_reused() {
+        let mut t = SiteTable::new();
+        t.note_alloc(0xaa, 0x8000, 64);
+        t.note_free(0x8000);
+        // The dangling probe is charged to the original allocation.
+        t.note_deferred(0x8010);
+        t.note_fault(0x8020);
+        // Reuse of the base rebinds the range to the new site.
+        t.note_alloc(0xbb, 0x8000, 64);
+        t.note_check(0x8010, 1, false);
+        let rows: Vec<_> = t.rows().map(|(pc, c)| (pc, *c)).collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 0xaa);
+        assert_eq!(rows[0].1.frees, 1);
+        assert_eq!(rows[0].1.deferred_latches, 1);
+        assert_eq!(rows[0].1.faults, 1);
+        assert_eq!(rows[1].0, 0xbb);
+        assert_eq!(rows[1].1.checks, 1);
+    }
+
+    #[test]
+    fn zero_length_allocations_still_own_their_base() {
+        let mut t = SiteTable::new();
+        t.note_alloc(0x42, 0x8000, 0);
+        assert_eq!(t.site_of(0x8000), 0x42);
+        assert_eq!(t.site_of(0x8001), 0);
+    }
+}

@@ -142,6 +142,11 @@ pub struct SimConfig {
     /// in rest-bench compares the two byte-for-byte); exists so CI can
     /// diff results and perf can measure the speedup.
     pub reference_path: bool,
+    /// Collect the guest hotspot profile: dense per-PC cycle/uop/check
+    /// counters plus the per-allocation-site check attribution table.
+    /// Deterministic simulation state — off by default because the
+    /// dense tables cost memory proportional to program size.
+    pub profile_guest: bool,
 }
 
 impl SimConfig {
@@ -158,6 +163,7 @@ impl SimConfig {
             trace_uops: 0,
             sample_interval: 0,
             reference_path: false,
+            profile_guest: false,
         }
     }
 

@@ -3,7 +3,7 @@ use rand::SeedableRng;
 
 use rest_core::{
     ArmedSet, BackendFault, CheckUopKind, Mode, ProtectionBackend, RestException,
-    RestExceptionKind, Token,
+    RestExceptionKind, SiteTable, Token,
 };
 use rest_faults::{FaultHandle, FaultKind, MemEffect};
 use rest_isa::{
@@ -15,6 +15,7 @@ use rest_runtime::{
 };
 
 use crate::config::SimConfig;
+use crate::profile::CheckCounters;
 
 /// Why the emulated program stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +86,10 @@ pub struct Emulator {
     perfect_hw: bool,
     naive_wide_arm: bool,
     mode: Mode,
+    /// Per-allocation-site check attribution (profiling runs only).
+    sites: Option<Box<SiteTable>>,
+    /// Per-PC check/check-uop counters (profiling runs only).
+    pc_checks: Option<Box<CheckCounters>>,
 }
 
 impl Emulator {
@@ -121,6 +126,10 @@ impl Emulator {
             }
         }
         let tagged_ptrs = backend.tags_pointers();
+        let sites = cfg.profile_guest.then(|| Box::new(SiteTable::new()));
+        let pc_checks = cfg
+            .profile_guest
+            .then(|| Box::new(CheckCounters::new(&program)));
         Emulator {
             program,
             regs: [0; Reg::COUNT],
@@ -145,6 +154,8 @@ impl Emulator {
             perfect_hw: cfg.rt.perfect_hw,
             naive_wide_arm: cfg.rt.naive_wide_arm,
             mode: cfg.rt.mode,
+            sites,
+            pc_checks,
         }
     }
 
@@ -173,6 +184,18 @@ impl Emulator {
     /// The guest runtime (for allocator stats and program output).
     pub fn runtime(&self) -> &Runtime {
         &self.runtime
+    }
+
+    /// Drains the per-allocation-site attribution table (profiling runs
+    /// only; `None` otherwise or after taking).
+    pub fn take_sites(&mut self) -> Option<SiteTable> {
+        self.sites.take().map(|b| *b)
+    }
+
+    /// Drains the per-PC check counters (profiling runs only; `None`
+    /// otherwise or after taking).
+    pub fn take_pc_checks(&mut self) -> Option<CheckCounters> {
+        self.pc_checks.take().map(|b| *b)
     }
 
     /// Software component owning `pc` (audit-log provenance).
@@ -278,7 +301,9 @@ impl Emulator {
     /// Validates an application access under the active scheme. Returns
     /// the violation to report, if any. `ptr` is the address exactly as
     /// the program computed it (it may carry a tag or PAC in its high
-    /// bits); `addr` is its canonical form.
+    /// bits); `addr` is its canonical form. `injected` is how many check
+    /// micro-ops were emitted for this access (charged to the access PC
+    /// and the owning allocation site when profiling is on).
     fn check_app_access(
         &mut self,
         ptr: u64,
@@ -286,6 +311,7 @@ impl Emulator {
         size: u64,
         store: bool,
         pc: u64,
+        injected: u64,
     ) -> Option<Violation> {
         if self.check_backend {
             // Fail-closed faults: a spuriously-armed slot (flipped
@@ -309,7 +335,20 @@ impl Emulator {
                     }
                 }
             }
-            if let Some(fault) = self.backend.check_access(ptr, size, store, pc) {
+            if let Some(prof) = self.pc_checks.as_deref_mut() {
+                prof.note(pc, injected);
+            }
+            let had_deferred = self.backend.has_deferred();
+            let fault = self.backend.check_access(ptr, size, store, pc);
+            if let Some(s) = self.sites.as_deref_mut() {
+                s.note_check(addr, injected, self.tagged_ptrs);
+                if fault.is_some() {
+                    s.note_fault(addr);
+                } else if !had_deferred && self.backend.has_deferred() {
+                    s.note_deferred(addr);
+                }
+            }
+            if let Some(fault) = fault {
                 // Fail-open faults: the slot's detection is lost (cleared
                 // metadata bit or stuck exception delivery).
                 let lost = matches!(&fault, BackendFault::Token(e)
@@ -320,7 +359,17 @@ impl Emulator {
             }
         }
         if self.access_checks {
-            if let Err(kind) = shadow::classify_access(&self.mem, addr, size) {
+            if let Some(prof) = self.pc_checks.as_deref_mut() {
+                prof.note(pc, injected);
+            }
+            let classified = shadow::classify_access(&self.mem, addr, size);
+            if let Some(s) = self.sites.as_deref_mut() {
+                s.note_check(addr, injected, false);
+                if classified.is_err() {
+                    s.note_fault(addr);
+                }
+            }
+            if let Err(kind) = classified {
                 return Some(Violation::Asan(AsanReport {
                     kind,
                     addr,
@@ -481,14 +530,17 @@ impl Emulator {
                 } else {
                     ptr
                 };
+                let check_start = out.count();
                 if self.access_checks && e.template.component == Component::App {
                     self.emit_asan_check(out, pc, addr);
                 }
                 if self.tagged_ptrs && e.template.component == Component::App {
                     self.emit_backend_check(out, pc, addr, false);
                 }
+                let injected = out.count() - check_start;
                 out.push(with_mem_addr(e.template, addr));
-                if let Some(v) = self.check_app_access(ptr, addr, size.bytes(), false, pc) {
+                if let Some(v) = self.check_app_access(ptr, addr, size.bytes(), false, pc, injected)
+                {
                     self.stop = Some(StopReason::Violation(v));
                 } else {
                     let raw = self.mem.read_scalar(addr, size);
@@ -512,14 +564,17 @@ impl Emulator {
                 } else {
                     ptr
                 };
+                let check_start = out.count();
                 if self.access_checks && e.template.component == Component::App {
                     self.emit_asan_check(out, pc, addr);
                 }
                 if self.tagged_ptrs && e.template.component == Component::App {
                     self.emit_backend_check(out, pc, addr, true);
                 }
+                let injected = out.count() - check_start;
                 out.push(with_mem_addr(e.template, addr));
-                if let Some(v) = self.check_app_access(ptr, addr, size.bytes(), true, pc) {
+                if let Some(v) = self.check_app_access(ptr, addr, size.bytes(), true, pc, injected)
+                {
                     self.stop = Some(StopReason::Violation(v));
                 } else {
                     self.mem.write_scalar(addr, self.reg(src), size);
@@ -633,6 +688,7 @@ impl Emulator {
                             check_backend,
                             perfect_hw,
                             naive_wide_arm,
+                            sites,
                             ..
                         } = self;
                         let mut env = RtEnv {
@@ -644,6 +700,8 @@ impl Emulator {
                             check_shadow: false,
                             perfect_hw: *perfect_hw,
                             naive_wide_arm: *naive_wide_arm,
+                            guest_pc: pc,
+                            sites: sites.as_deref_mut(),
                         };
                         let outcome = runtime.ecall(n, args, &mut env);
                         out.splice(&mut self.rec);

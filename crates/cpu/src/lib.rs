@@ -29,6 +29,7 @@ mod config;
 mod emulator;
 mod multiproc;
 mod pipeline;
+mod profile;
 mod stats;
 mod system;
 mod trace;
@@ -38,6 +39,7 @@ pub use config::{CoreConfig, SimConfig};
 pub use emulator::{Emulator, StopReason};
 pub use multiproc::MultiSystem;
 pub use pipeline::Pipeline;
+pub use profile::{CheckCounters, GuestProfile, PcCounters};
 pub use stats::{stats_map_parts, CoreStats, SimResult, ALLOC_KEY_COUNT, CORE_KEY_COUNT};
 pub use system::System;
 pub use trace::{PipelineTrace, TraceEntry};

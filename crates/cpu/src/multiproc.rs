@@ -203,6 +203,7 @@ impl MultiSystem {
                     series: None,
                     audit: Default::default(),
                     fault: None,
+                    profile: None,
                 }
             })
             .collect()

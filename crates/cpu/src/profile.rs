@@ -1,0 +1,164 @@
+//! Guest hotspot profile: dense per-PC cycle/uop/check counters.
+//!
+//! When [`crate::SimConfig::profile_guest`] is on, the emulator counts
+//! per-PC checks and injected check micro-ops as it executes, and the
+//! timing loop attributes committed cycles and retired micro-ops to the
+//! guest PC of the macro instruction that produced them. Runtime-service
+//! micro-ops (the `ecall` splice) are charged to the *calling* guest
+//! instruction — exactly what a guest-level profiler wants: "this
+//! `malloc` call cost N cycles". Because the cycle counter accumulates
+//! the same commit-time deltas as the CPI stack (which sums exactly to
+//! `core.cycles` by construction), per-PC — and therefore per-basic-
+//! block — cycle totals sum exactly to `core.cycles`.
+//!
+//! All counters are deterministic simulation state: a serialized profile
+//! is byte-identical across runs and worker counts.
+
+use rest_core::SiteCounters;
+use rest_isa::{Program, PC_STEP};
+
+/// Dense per-PC counter table covering the program's code segment.
+/// Counts landing outside it (there should be none — runtime traffic is
+/// charged to its guest call site) accumulate in `other`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PcCounters {
+    base: u64,
+    counts: Vec<u64>,
+    other: u64,
+}
+
+impl PcCounters {
+    /// A zeroed table sized for `program`.
+    pub fn new(program: &Program) -> PcCounters {
+        PcCounters {
+            base: Program::CODE_BASE,
+            counts: vec![0; program.len()],
+            other: 0,
+        }
+    }
+
+    /// Adds `n` to the counter for `pc`.
+    #[inline]
+    pub fn add(&mut self, pc: u64, n: u64) {
+        if pc >= self.base && (pc - self.base).is_multiple_of(PC_STEP) {
+            let idx = ((pc - self.base) / PC_STEP) as usize;
+            if let Some(c) = self.counts.get_mut(idx) {
+                *c += n;
+                return;
+            }
+        }
+        self.other += n;
+    }
+
+    /// The counter for `pc` (0 when out of range).
+    pub fn get(&self, pc: u64) -> u64 {
+        if pc < self.base || !(pc - self.base).is_multiple_of(PC_STEP) {
+            return 0;
+        }
+        let idx = ((pc - self.base) / PC_STEP) as usize;
+        self.counts.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Sum over every PC, including the out-of-range bucket.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.other
+    }
+
+    /// Counts that landed outside the code segment.
+    pub fn other(&self) -> u64 {
+        self.other
+    }
+
+    /// `(pc, count)` pairs for every nonzero counter, ascending by PC.
+    pub fn nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(move |(i, &c)| (self.base + i as u64 * PC_STEP, c))
+    }
+}
+
+/// Per-PC check counters maintained by the emulator: check invocations
+/// and injected check micro-ops, keyed by the PC of the checked access.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckCounters {
+    /// Check invocations (backend or shadow) per PC.
+    pub checks: PcCounters,
+    /// Injected check micro-ops (ASan sequence, tag fetch, AUT compute)
+    /// per PC.
+    pub check_uops: PcCounters,
+}
+
+impl CheckCounters {
+    /// A zeroed table sized for `program`.
+    pub fn new(program: &Program) -> CheckCounters {
+        CheckCounters {
+            checks: PcCounters::new(program),
+            check_uops: PcCounters::new(program),
+        }
+    }
+
+    /// Records one check at `pc` that injected `uops` micro-ops.
+    #[inline]
+    pub fn note(&mut self, pc: u64, uops: u64) {
+        self.checks.add(pc, 1);
+        if uops != 0 {
+            self.check_uops.add(pc, uops);
+        }
+    }
+}
+
+/// The complete guest profile a run produces: per-PC cycles, retired
+/// micro-ops, checks, injected check micro-ops, the backend's own check
+/// count (for reconciliation), and the per-allocation-site table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GuestProfile {
+    /// Committed-cycle deltas per guest PC (sums exactly to
+    /// `core.cycles`).
+    pub cycles: PcCounters,
+    /// Retired micro-ops per guest PC (runtime splice charged to the
+    /// calling instruction).
+    pub uops: PcCounters,
+    /// Check invocations per guest PC.
+    pub checks: PcCounters,
+    /// Injected check micro-ops per guest PC.
+    pub check_uops: PcCounters,
+    /// The backend's own `check_access` invocation count.
+    pub backend_checks: u64,
+    /// Per-allocation-site attribution rows, ascending by site PC.
+    pub sites: Vec<(u64, SiteCounters)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rest_isa::ProgramBuilder;
+
+    fn tiny_program() -> Program {
+        let mut p = ProgramBuilder::new();
+        p.nop();
+        p.nop();
+        p.nop();
+        p.halt();
+        p.build()
+    }
+
+    #[test]
+    fn dense_counters_key_by_pc_and_spill_out_of_range() {
+        let p = tiny_program();
+        let mut t = PcCounters::new(&p);
+        let base = Program::CODE_BASE;
+        t.add(base, 5);
+        t.add(base + PC_STEP, 2);
+        t.add(base, 1);
+        t.add(0xdead_0001, 7); // misaligned -> spill
+        t.add(base + 100 * PC_STEP, 3); // past the end -> spill
+        assert_eq!(t.get(base), 6);
+        assert_eq!(t.get(base + PC_STEP), 2);
+        assert_eq!(t.other(), 10);
+        assert_eq!(t.total(), 18);
+        let nz: Vec<_> = t.nonzero().collect();
+        assert_eq!(nz, vec![(base, 6), (base + PC_STEP, 2)]);
+    }
+}

@@ -5,6 +5,7 @@ use rest_obs::{AuditLog, CpiStack, TimeSeries};
 use rest_runtime::AllocStats;
 
 use crate::emulator::StopReason;
+use crate::profile::GuestProfile;
 use crate::trace::PipelineTrace;
 
 /// Pipeline-side statistics.
@@ -93,6 +94,9 @@ pub struct SimResult {
     /// Fault-injection summary, when the run was configured with a
     /// [`crate::SimConfig::fault`] spec (None on fault-free runs).
     pub fault: Option<FaultReport>,
+    /// Guest hotspot profile, when collection was enabled via
+    /// [`crate::SimConfig::profile_guest`].
+    pub profile: Option<GuestProfile>,
 }
 
 impl SimResult {
@@ -237,6 +241,7 @@ mod tests {
             series: None,
             audit: AuditLog::default(),
             fault: None,
+            profile: None,
         };
         let b = SimResult {
             core: CoreStats {
@@ -270,6 +275,7 @@ mod tests {
             series: None,
             audit: AuditLog::default(),
             fault: None,
+            profile: None,
         };
         r.core.note_component(Component::Allocator);
         r.mem.token_lines_l2_mem = 9;
@@ -340,6 +346,7 @@ mod tests {
             series: None,
             audit: AuditLog::default(),
             fault: None,
+            profile: None,
         };
         let map = r.stats_map();
         let count = |prefix: &str| map.iter().filter(|(k, _)| k.starts_with(prefix)).count();

@@ -6,6 +6,7 @@ use rest_obs::{AuditEntry, IntervalSample, TimeSeries, FAULT_INJECTOR};
 use crate::config::SimConfig;
 use crate::emulator::{Emulator, StopReason};
 use crate::pipeline::Pipeline;
+use crate::profile::{GuestProfile, PcCounters};
 use crate::stats::{stats_map_parts, SimResult};
 
 /// A complete simulated machine: functional emulator + timing pipeline.
@@ -33,11 +34,16 @@ pub struct System {
     sample_interval: u64,
     max_cycles: u64,
     has_fault: bool,
+    /// Per-PC (cycles, uops) accumulators when guest profiling is on.
+    profile: Option<(PcCounters, PcCounters)>,
 }
 
 impl System {
     /// Builds the machine for `program` under `cfg`.
     pub fn new(program: Program, cfg: SimConfig) -> System {
+        let profile = cfg
+            .profile_guest
+            .then(|| (PcCounters::new(&program), PcCounters::new(&program)));
         let emulator = Emulator::new(program, &cfg);
         let mut hier = Hierarchy::new(cfg.mem.clone());
         if let Some(f) = emulator.fault_handle() {
@@ -57,6 +63,7 @@ impl System {
             sample_interval: cfg.sample_interval,
             max_cycles: cfg.max_cycles,
             has_fault,
+            profile,
         }
     }
 
@@ -93,6 +100,7 @@ impl System {
         let mut batch = Vec::with_capacity(64);
         loop {
             batch.clear();
+            let step_pc = self.emulator.pc();
             if !self.emulator.step(&mut batch) {
                 break;
             }
@@ -103,9 +111,18 @@ impl System {
             // the token detector observes exactly what a hardware fill
             // would.
             self.pipeline.note_inst(self.emulator.insts());
+            let commit_before = self.pipeline.current_cycles();
             for d in &batch {
                 self.pipeline
                     .process(d, &self.emulator.mem, self.emulator.token());
+            }
+            if let Some((cycles, uops)) = self.profile.as_mut() {
+                // Commit-frontier deltas telescope, so per-PC cycle
+                // totals sum exactly to the final cycle count. Runtime
+                // micro-ops spliced by an `ecall` land in this
+                // instruction's batch and are charged to its PC.
+                cycles.add(step_pc, self.pipeline.current_cycles() - commit_before);
+                uops.add(step_pc, batch.len() as u64);
             }
             // The timing model has consumed this instruction's micro-ops;
             // its pre-update line snapshots are no longer needed.
@@ -177,6 +194,22 @@ impl System {
                 core.insts,
             ));
         }
+        let profile = self.profile.take().map(|(cycles, uops)| {
+            let checks = self.emulator.take_pc_checks().unwrap_or_default();
+            let sites = self
+                .emulator
+                .take_sites()
+                .map(|s| s.into_rows())
+                .unwrap_or_default();
+            GuestProfile {
+                cycles,
+                uops,
+                checks: checks.checks,
+                check_uops: checks.check_uops,
+                backend_checks: self.emulator.backend().check_count(),
+                sites,
+            }
+        });
         SimResult {
             trace,
             core,
@@ -188,6 +221,7 @@ impl System {
             series,
             audit,
             fault: fault_report,
+            profile,
         }
     }
 }
@@ -487,6 +521,170 @@ mod tests {
         let doc = trace.to_perfetto();
         assert_eq!(doc.slice_count(), 64 * 5);
         rest_obs::Json::parse(&doc.render()).expect("perfetto export must parse");
+    }
+
+    #[test]
+    fn deferred_mte_fault_from_direct_access_carries_the_access_pc() {
+        use rest_core::MteMode;
+        // malloc, free, then store through the dangling pointer: under
+        // MTE-async the mismatch latches TFSR-style and surfaces in the
+        // audit log at program stop — but the entry must carry the PC of
+        // the *triggering store*, not the stop PC.
+        let mut p = ProgramBuilder::new();
+        p.li(Reg::A0, 64);
+        p.ecall(EcallNum::Malloc);
+        p.mv(Reg::S0, Reg::A0);
+        p.ecall(EcallNum::Free);
+        let store_idx = p.len() as u64;
+        p.sd(Reg::T0, Reg::S0, 0);
+        p.halt();
+        let store_pc = Program::CODE_BASE + store_idx * rest_isa::PC_STEP;
+        let r = System::new(p.build(), SimConfig::isca2018(RtConfig::mte(MteMode::Async))).run();
+        assert_eq!(r.stop, StopReason::Halted, "async latch must not stop the run");
+        let e = r.audit.entries().last().expect("deferred fault in audit log");
+        assert_eq!(e.detector, "mte-tagger");
+        assert_eq!(e.pc, store_pc, "must be the store PC, not the stop PC");
+        assert_eq!(e.component, "app");
+    }
+
+    #[test]
+    fn deferred_mte_fault_from_an_ecall_carries_the_calling_guest_pc() {
+        use rest_core::MteMode;
+        // Same latch, but the mismatching access happens *inside* the
+        // runtime (memcpy reading a freed source). The audit entry must
+        // carry the guest PC of the memcpy ecall — the regression was
+        // runtime checks reporting a fixed runtime pseudo-PC.
+        let mut p = ProgramBuilder::new();
+        p.li(Reg::A0, 64);
+        p.ecall(EcallNum::Malloc);
+        p.mv(Reg::S0, Reg::A0);
+        p.li(Reg::A0, 64);
+        p.ecall(EcallNum::Malloc);
+        p.mv(Reg::S1, Reg::A0);
+        p.mv(Reg::A0, Reg::S0);
+        p.ecall(EcallNum::Free);
+        p.mv(Reg::A0, Reg::S1); // dst: live
+        p.mv(Reg::A1, Reg::S0); // src: dangling
+        p.li(Reg::A2, 16);
+        p.ecall(EcallNum::Memcpy);
+        let ecall_idx = p.len() as u64 - 1;
+        p.halt();
+        let ecall_pc = Program::CODE_BASE + ecall_idx * rest_isa::PC_STEP;
+        let r = System::new(p.build(), SimConfig::isca2018(RtConfig::mte(MteMode::Async))).run();
+        assert_eq!(r.stop, StopReason::Halted);
+        let e = r.audit.entries().last().expect("deferred fault in audit log");
+        assert_eq!(e.detector, "mte-tagger");
+        assert_eq!(e.pc, ecall_pc, "must be the ecall's guest PC, not a runtime pseudo-PC");
+    }
+
+    fn profiled_heap_workload(rt: RtConfig) -> SimResult {
+        let mut p = ProgramBuilder::new();
+        let lp = p.new_label();
+        p.li(Reg::S1, 50);
+        p.bind(lp);
+        p.li(Reg::A0, 128);
+        p.ecall(EcallNum::Malloc);
+        p.mv(Reg::S0, Reg::A0);
+        let inner = p.new_label();
+        p.li(Reg::T0, 0);
+        p.bind(inner);
+        p.add(Reg::T1, Reg::S0, Reg::T0);
+        p.sd(Reg::T0, Reg::T1, 0);
+        p.ld(Reg::T2, Reg::T1, 0);
+        p.addi(Reg::T0, Reg::T0, 8);
+        p.slti(Reg::T3, Reg::T0, 128);
+        p.bne(Reg::T3, Reg::ZERO, inner);
+        p.mv(Reg::A0, Reg::S0);
+        p.ecall(EcallNum::Free);
+        p.addi(Reg::S1, Reg::S1, -1);
+        p.bne(Reg::S1, Reg::ZERO, lp);
+        p.halt();
+        let mut cfg = SimConfig::isca2018(rt);
+        cfg.profile_guest = true;
+        System::new(p.build(), cfg).run()
+    }
+
+    #[test]
+    fn guest_profile_cycles_and_uops_sum_exactly_to_totals() {
+        for rt in [
+            RtConfig::plain(),
+            RtConfig::asan(),
+            RtConfig::rest(Mode::Secure, true),
+        ] {
+            let r = profiled_heap_workload(rt);
+            assert_eq!(r.stop, StopReason::Halted);
+            let prof = r.profile.as_ref().expect("profiling was enabled");
+            assert_eq!(
+                prof.cycles.total(),
+                r.core.cycles,
+                "per-PC cycles must sum exactly to core.cycles for {}",
+                r.label
+            );
+            assert_eq!(
+                prof.uops.total(),
+                r.core.uops,
+                "per-PC uops must sum exactly to core.uops for {}",
+                r.label
+            );
+            // Every cycle lands on a real code PC: runtime splices are
+            // charged to their calling instruction.
+            assert_eq!(prof.cycles.other(), 0);
+            assert_eq!(prof.uops.other(), 0);
+        }
+    }
+
+    #[test]
+    fn guest_profile_attributes_checks_to_allocation_sites() {
+        use rest_core::MteMode;
+        let r = profiled_heap_workload(RtConfig::mte(MteMode::Sync));
+        let prof = r.profile.as_ref().expect("profiling was enabled");
+        // The site table reconciles with the backend's own counter:
+        // every backend check_access lands on exactly one site row.
+        let site_checks: u64 = prof.sites.iter().map(|(_, c)| c.checks).sum();
+        assert_eq!(site_checks, prof.backend_checks);
+        assert!(prof.backend_checks > 0);
+        // The malloc site exists and owns the loop's accesses.
+        let (site_pc, counters) = prof
+            .sites
+            .iter()
+            .find(|(pc, _)| *pc != 0)
+            .expect("a real allocation site");
+        assert!(*site_pc >= Program::CODE_BASE);
+        assert_eq!(counters.allocs, 50);
+        assert_eq!(counters.frees, 50);
+        assert!(counters.checks > 0);
+        // MTE tags pointers, so checked accesses canonicalise.
+        assert!(counters.canonicalizations > 0);
+        // Per-PC counters cover the program's direct accesses; the site
+        // table additionally captures runtime-internal validations (the
+        // hardened free's tag check), so it can only be larger.
+        assert!(prof.checks.total() <= site_checks);
+        // Injected check micro-ops are only ever emitted for direct
+        // accesses, so those totals agree exactly.
+        let site_uops: u64 = prof.sites.iter().map(|(_, c)| c.check_uops).sum();
+        assert_eq!(prof.check_uops.total(), site_uops);
+        assert!(site_uops > 0, "MTE sync injects a tag fetch per access");
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_the_simulated_machine() {
+        let base = {
+            let mut p = ProgramBuilder::new();
+            p.li(Reg::A0, 64);
+            p.ecall(EcallNum::Malloc);
+            p.sd(Reg::A0, Reg::A0, 0);
+            p.ecall(EcallNum::Free);
+            p.halt();
+            p.build()
+        };
+        let cfg = SimConfig::isca2018(RtConfig::rest(Mode::Secure, true));
+        let plainr = System::new(base.clone(), cfg.clone()).run();
+        let mut prof_cfg = cfg;
+        prof_cfg.profile_guest = true;
+        let profr = System::new(base, prof_cfg).run();
+        assert_eq!(plainr.core.cycles, profr.core.cycles);
+        assert_eq!(plainr.core.uops, profr.core.uops);
+        assert_eq!(plainr.stats_map(), profr.stats_map());
     }
 
     #[test]

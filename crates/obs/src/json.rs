@@ -90,11 +90,17 @@ impl Json {
         }
     }
 
-    /// Parses a JSON document. Rejects trailing garbage.
+    /// Parses a JSON document. Rejects trailing garbage, duplicate
+    /// object keys (a duplicate silently shadows its twin in most
+    /// readers — in a determinism-audited result sink that is always a
+    /// producer bug), and nesting deeper than [`MAX_PARSE_DEPTH`] (the
+    /// recursive-descent parser would otherwise overflow the stack on
+    /// adversarial input like `[[[[…`).
     pub fn parse(text: &str) -> Result<Json, ParseError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -231,9 +237,15 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting [`Json::parse`] accepts. Far above any
+/// document this repository emits (deepest is ~6), far below the stack
+/// budget of the recursive-descent parser.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -286,7 +298,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting exceeds depth limit"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
+        let r = self.array_body();
+        self.depth -= 1;
+        r
+    }
+
+    fn array_body(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -310,6 +337,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
+        let r = self.object_body();
+        self.depth -= 1;
+        r
+    }
+
+    fn object_body(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
@@ -320,6 +354,9 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             let key = self.string()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate object key {key:?}")));
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -526,6 +563,53 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_rejects_truncated_documents_at_every_prefix() {
+        // Every proper prefix of a valid document must fail cleanly
+        // (error, not panic) — the truncated-input error paths.
+        let full = r#"{"a": [1, -2.5, "x\n", {"b": null}], "c": true}"#;
+        for end in 0..full.len() {
+            let prefix = &full[..end];
+            if !prefix.is_char_boundary(end) {
+                continue;
+            }
+            assert!(Json::parse(prefix).is_err(), "prefix {prefix:?} must fail");
+        }
+        assert!(Json::parse(full).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_object_keys() {
+        let err = Json::parse(r#"{"a": 1, "a": 2}"#).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+        // Nested objects are checked too.
+        assert!(Json::parse(r#"{"o": {"x": 1, "x": 1}}"#).is_err());
+        // Same key at different depths is fine.
+        assert!(Json::parse(r#"{"a": {"a": 1}}"#).is_ok());
+        // Duplicates after the colon value are caught before parsing on.
+        assert!(Json::parse(r#"{"k": [1], "k": [2]}"#).is_err());
+    }
+
+    #[test]
+    fn parse_enforces_the_depth_limit() {
+        // Exactly at the limit parses; one deeper fails with an error
+        // (not a stack overflow).
+        let at = "[".repeat(MAX_PARSE_DEPTH) + &"]".repeat(MAX_PARSE_DEPTH);
+        assert!(Json::parse(&at).is_ok());
+        let over = format!("[{at}]");
+        let err = Json::parse(&over).unwrap_err();
+        assert!(err.message.contains("depth"), "{err}");
+        // Mixed object/array nesting counts every container level.
+        let mixed_over = "{\"k\":[".repeat(MAX_PARSE_DEPTH / 2 + 1);
+        assert!(Json::parse(&mixed_over).is_err());
+        // A deep but wide document under the limit still parses.
+        let wide = format!(
+            "[{}]",
+            (0..200).map(|i| i.to_string()).collect::<Vec<_>>().join(",")
+        );
+        assert!(Json::parse(&wide).is_ok());
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! * [`profile`] — **host self-profiling**: wall-time per simulated
 //!   phase and per engine job, for the repository's perf trajectory
 //!   (`results/BENCH_baseline.json`).
+//! * [`hotspots`] — the `rest-hotspots/v1` schema for guest hotspot
+//!   profiles (per-block/per-function cycle rollups plus the
+//!   per-allocation-site check-attribution table), with a validator
+//!   that enforces the exact-sum invariants.
+//! * [`telemetry`] — the `rest-telemetry/v1` schema for campaign-wide
+//!   engine telemetry (per-job spans, worker utilization, cache and
+//!   resilience counters), with a cross-member-consistency validator.
 //! * [`json`] — the hand-rolled, insertion-ordered [`Json`] value tree
 //!   every sink serialises through (the build environment has no
 //!   registry access, so no serde), plus a small parser used by the
@@ -35,14 +42,16 @@
 
 pub mod audit;
 pub mod cpi;
+pub mod hotspots;
 pub mod json;
 pub mod perfetto;
 pub mod profile;
 pub mod sample;
+pub mod telemetry;
 
 pub use audit::{AuditEntry, AuditLog, FAULT_INJECTOR, MTE_TAGGER, PA_SIGNER};
 pub use cpi::{CpiComponent, CpiStack};
-pub use json::Json;
+pub use json::{Json, MAX_PARSE_DEPTH};
 pub use perfetto::PerfettoTrace;
 pub use profile::{HostProfile, JobTiming};
 pub use sample::{Gauges, IntervalSample, TimeSeries};

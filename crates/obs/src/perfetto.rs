@@ -32,11 +32,22 @@ struct Slice {
     args: Vec<(String, Json)>,
 }
 
+struct Counter {
+    name: String,
+    track: TrackId,
+    /// Sample time, in cycles (rendered as µs).
+    ts: u64,
+    /// Series name → value at `ts`; each series renders as one line in
+    /// the counter track.
+    series: Vec<(String, Json)>,
+}
+
 /// Builder for a Chrome trace-event document.
 pub struct PerfettoTrace {
     process_name: String,
     tracks: Vec<String>,
     slices: Vec<Slice>,
+    counters: Vec<Counter>,
 }
 
 impl PerfettoTrace {
@@ -47,6 +58,7 @@ impl PerfettoTrace {
             process_name: process_name.to_string(),
             tracks: Vec::new(),
             slices: Vec::new(),
+            counters: Vec::new(),
         }
     }
 
@@ -79,9 +91,26 @@ impl PerfettoTrace {
         });
     }
 
+    /// Records one counter sample (`ph: "C"`): the values of the named
+    /// counter's series at time `ts`. Perfetto renders each counter
+    /// name as a value-over-time track.
+    pub fn counter(&mut self, track: TrackId, name: &str, ts: u64, series: Vec<(&str, Json)>) {
+        self.counters.push(Counter {
+            name: name.to_string(),
+            track,
+            ts,
+            series: series.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        });
+    }
+
     /// Number of recorded slices (metadata events excluded).
     pub fn slice_count(&self) -> usize {
         self.slices.len()
+    }
+
+    /// Number of recorded counter samples.
+    pub fn counter_count(&self) -> usize {
+        self.counters.len()
     }
 
     /// Serialises the full `{"traceEvents": [...]}` document.
@@ -127,6 +156,16 @@ impl PerfettoTrace {
                     "args",
                     Json::Obj(s.args.clone()),
                 ),
+            ]));
+        }
+        for c in &self.counters {
+            events.push(Json::obj(vec![
+                ("ph", Json::from("C")),
+                ("pid", Json::UInt(PID)),
+                ("tid", Json::UInt(c.track.0)),
+                ("name", Json::from(c.name.as_str())),
+                ("ts", Json::UInt(c.ts)),
+                ("args", Json::Obj(c.series.clone())),
             ]));
         }
         Json::obj(vec![("traceEvents", Json::Arr(events))])
@@ -186,5 +225,94 @@ mod tests {
         let doc = PerfettoTrace::new("empty").to_json();
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
         assert_eq!(events.len(), 1); // just the process_name record
+    }
+
+    #[test]
+    fn counter_events_render_with_their_series() {
+        let mut t = PerfettoTrace::new("campaign");
+        let w = t.track("worker 0");
+        t.counter(w, "utilization", 5, vec![("busy", Json::UInt(1))]);
+        t.counter(w, "utilization", 9, vec![("busy", Json::UInt(0))]);
+        assert_eq!(t.counter_count(), 2);
+        let doc = t.to_json();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let c_events: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        assert_eq!(c_events.len(), 2);
+        assert_eq!(c_events[0].get("ts").unwrap().as_u64(), Some(5));
+        assert_eq!(c_events[0].get("name").unwrap().as_str(), Some("utilization"));
+        assert_eq!(
+            c_events[0].get("args").unwrap().get("busy").unwrap().as_u64(),
+            Some(1)
+        );
+        Json::parse(&t.render()).expect("counter document must parse");
+    }
+
+    #[test]
+    fn tracks_and_slices_keep_registration_and_insertion_order() {
+        let mut t = PerfettoTrace::new("order");
+        let a = t.track("alpha");
+        let b = t.track("beta");
+        let c = t.track("gamma");
+        // Slices inserted out of track order and out of time order must
+        // render exactly in insertion order — the document is a log,
+        // ordering/merging is the viewer's job. That keeps the bytes
+        // deterministic for any producer that is itself deterministic.
+        t.slice(c, "third-track-first", "x", 100, 1, vec![]);
+        t.slice(a, "first-track-second", "x", 50, 1, vec![]);
+        t.slice(b, "second-track-third", "x", 75, 1, vec![]);
+        t.counter(a, "n", 60, vec![("v", Json::UInt(1))]);
+        let doc = t.to_json();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // Metadata first: process_name, then per-track (name, sort_index)
+        // pairs in registration order.
+        let meta: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 1 + 2 * 3);
+        let track_names: Vec<&str> = meta
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(track_names, ["alpha", "beta", "gamma"]);
+        // Sort indices follow tids, so viewers display registration order.
+        for e in meta
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_sort_index"))
+        {
+            assert_eq!(
+                e.get("args").unwrap().get("sort_index").unwrap().as_u64(),
+                e.get("tid").unwrap().as_u64()
+            );
+        }
+        // Then every slice in insertion order, then counters.
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phases, ["M", "M", "M", "M", "M", "M", "M", "X", "X", "X", "C"]);
+        let x_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(
+            x_names,
+            ["third-track-first", "first-track-second", "second-track-third"]
+        );
+        // Identical construction yields identical bytes.
+        let mut t2 = PerfettoTrace::new("order");
+        let a2 = t2.track("alpha");
+        let b2 = t2.track("beta");
+        let c2 = t2.track("gamma");
+        t2.slice(c2, "third-track-first", "x", 100, 1, vec![]);
+        t2.slice(a2, "first-track-second", "x", 50, 1, vec![]);
+        t2.slice(b2, "second-track-third", "x", 75, 1, vec![]);
+        t2.counter(a2, "n", 60, vec![("v", Json::UInt(1))]);
+        assert_eq!(t.render(), t2.render());
     }
 }

@@ -1,0 +1,248 @@
+//! `rest-telemetry/v1` — campaign-wide engine telemetry schema.
+//!
+//! The experiment engine records one *span* per submitted job: which
+//! worker ran it, how long it queued, how long it ran, how many
+//! attempts it took, and how it ended. The harness serialises those
+//! spans — plus per-worker rollups, cache hit/miss counts, and the
+//! resilience counters — into a `rest-telemetry/v1` document.
+//!
+//! Wall times are host-dependent, so telemetry documents follow the
+//! `BENCH_` naming convention (by default
+//! `results/BENCH_telemetry.json`) and are **never** part of an
+//! experiment's deterministic result JSON.
+//!
+//! Like [`crate::hotspots`], this module owns the schema identifier and
+//! the validator; assembly lives in `rest-bench`. The validator checks
+//! cross-member consistency, not just shape: cache hits/misses must
+//! equal the cached/fresh span counts, the panic/timeout counters must
+//! equal the spans that ended that way, and `transient_retries` must
+//! equal the extra attempts recorded across spans.
+
+use crate::json::Json;
+
+/// Schema identifier emitted in (and required of) telemetry documents.
+pub const SCHEMA: &str = "rest-telemetry/v1";
+
+fn req_u64(obj: &Json, key: &str, what: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{what} missing u64 {key:?}"))
+}
+
+fn req_f64(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{what} missing number {key:?}"))
+}
+
+/// Checks that a parsed document matches the `rest-telemetry/v1` shape
+/// and that its summary counters reconcile with its spans.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("unexpected schema {s:?}")),
+        None => return Err("missing \"schema\"".to_string()),
+    }
+    doc.get("campaign")
+        .and_then(Json::as_str)
+        .ok_or("missing \"campaign\"")?;
+    let effective_jobs = req_u64(doc, "effective_jobs", "document")?;
+    if effective_jobs == 0 {
+        return Err("effective_jobs must be >= 1".to_string());
+    }
+
+    let workers = doc
+        .get("workers")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"workers\" array")?;
+    for (i, w) in workers.iter().enumerate() {
+        let id = req_u64(w, "worker", "worker")?;
+        if id != i as u64 {
+            return Err(format!("worker {i} has id {id}; ids must be dense"));
+        }
+        req_u64(w, "jobs", "worker")?;
+        req_f64(w, "busy_ms", "worker")?;
+    }
+
+    let spans = doc
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"spans\" array")?;
+    let (mut cached, mut fresh) = (0u64, 0u64);
+    let (mut panics, mut timeouts, mut retries) = (0u64, 0u64, 0u64);
+    for (i, s) in spans.iter().enumerate() {
+        s.get("job")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("span {i} missing \"job\""))?;
+        let worker = req_u64(s, "worker", "span")?;
+        if worker >= workers.len() as u64 {
+            return Err(format!(
+                "span {i} names worker {worker}, but only {} workers are listed",
+                workers.len()
+            ));
+        }
+        for key in ["start_ms", "queue_ms", "run_ms"] {
+            req_f64(s, key, "span")?;
+        }
+        let attempts = req_u64(s, "attempts", "span")?;
+        let is_cached = match s.get("cached") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err(format!("span {i} missing bool \"cached\"")),
+        };
+        let outcome = s
+            .get("outcome")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("span {i} missing \"outcome\""))?;
+        if is_cached {
+            cached += 1;
+        } else {
+            fresh += 1;
+            if attempts == 0 {
+                return Err(format!("fresh span {i} reports zero attempts"));
+            }
+            retries += attempts - 1;
+        }
+        match outcome {
+            "panic" => panics += 1,
+            "timeout" => timeouts += 1,
+            _ => {}
+        }
+    }
+
+    let cache = doc.get("cache").ok_or("missing \"cache\"")?;
+    if req_u64(cache, "hits", "cache")? != cached {
+        return Err(format!(
+            "cache.hits disagrees with the {cached} cached span(s)"
+        ));
+    }
+    if req_u64(cache, "misses", "cache")? != fresh {
+        return Err(format!(
+            "cache.misses disagrees with the {fresh} fresh span(s)"
+        ));
+    }
+
+    let resilience = doc.get("resilience").ok_or("missing \"resilience\"")?;
+    for (key, want) in [
+        ("panics", panics),
+        ("timeouts", timeouts),
+        ("transient_retries", retries),
+    ] {
+        let got = req_u64(resilience, key, "resilience")?;
+        if got != want {
+            return Err(format!(
+                "resilience.{key} is {got} but the spans record {want}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(job: &str, worker: u64, attempts: u64, cached: bool, outcome: &str) -> Json {
+        Json::obj(vec![
+            ("job", Json::from(job)),
+            ("worker", Json::UInt(worker)),
+            ("start_ms", Json::Num(1.0)),
+            ("queue_ms", Json::Num(0.5)),
+            ("run_ms", Json::Num(12.0)),
+            ("attempts", Json::UInt(attempts)),
+            ("cached", Json::Bool(cached)),
+            ("outcome", Json::from(outcome)),
+        ])
+    }
+
+    fn doc() -> Json {
+        Json::obj(vec![
+            ("schema", Json::from(SCHEMA)),
+            ("campaign", Json::from("hotspots")),
+            ("effective_jobs", Json::UInt(2)),
+            (
+                "workers",
+                Json::Arr(
+                    (0..2)
+                        .map(|w| {
+                            Json::obj(vec![
+                                ("worker", Json::UInt(w)),
+                                ("jobs", Json::UInt(2)),
+                                ("busy_ms", Json::Num(20.0)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "spans",
+                Json::Arr(vec![
+                    span("lbm plain", 0, 1, false, "ok"),
+                    span("lbm rest-secure-full", 1, 3, false, "ok"),
+                    span("lbm plain", 0, 0, true, "ok"),
+                    span("mcf plain", 1, 1, false, "panic"),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj(vec![("hits", Json::UInt(1)), ("misses", Json::UInt(3))]),
+            ),
+            (
+                "resilience",
+                Json::obj(vec![
+                    ("panics", Json::UInt(1)),
+                    ("timeouts", Json::UInt(0)),
+                    ("transient_retries", Json::UInt(2)),
+                ]),
+            ),
+        ])
+    }
+
+    fn patch(mut doc: Json, section: &str, key: &str, value: u64) -> Json {
+        if let Json::Obj(members) = &mut doc {
+            if let Some((_, Json::Obj(sec))) = members.iter_mut().find(|(k, _)| k == section) {
+                for (k, v) in sec.iter_mut() {
+                    if k == key {
+                        *v = Json::UInt(value);
+                    }
+                }
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn well_formed_document_validates() {
+        validate(&doc()).expect("schema-valid");
+    }
+
+    #[test]
+    fn cache_counters_must_reconcile_with_spans() {
+        let err = validate(&patch(doc(), "cache", "hits", 2)).unwrap_err();
+        assert!(err.contains("cache.hits"), "{err}");
+        let err = validate(&patch(doc(), "cache", "misses", 4)).unwrap_err();
+        assert!(err.contains("cache.misses"), "{err}");
+    }
+
+    #[test]
+    fn resilience_counters_must_reconcile_with_spans() {
+        for key in ["panics", "timeouts", "transient_retries"] {
+            let err = validate(&patch(doc(), "resilience", key, 9)).unwrap_err();
+            assert!(err.contains(&format!("resilience.{key}")), "{err}");
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(validate(&Json::Null).is_err());
+        assert!(validate(&Json::obj(vec![("schema", Json::from("other/v9"))])).is_err());
+        // A span pointing at a worker that is not listed.
+        let mut d = doc();
+        if let Json::Obj(members) = &mut d {
+            if let Some((_, Json::Arr(spans))) = members.iter_mut().find(|(k, _)| k == "spans") {
+                spans.push(span("stray", 7, 1, false, "ok"));
+            }
+        }
+        let err = validate(&d).unwrap_err();
+        assert!(err.contains("worker 7"), "{err}");
+    }
+}

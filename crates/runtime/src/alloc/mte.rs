@@ -2,7 +2,7 @@ use crate::alloc::{
     note_alloc, note_free, round_up, AllocStats, Allocator, Arena, ChunkInfo, ChunkState, LiveMap,
 };
 use crate::env::RtEnv;
-use crate::layout::{tag_addr, HEAP_BASE, RUNTIME_PC_BASE};
+use crate::layout::{tag_addr, HEAP_BASE};
 use crate::violation::Violation;
 use rest_core::backend::CANONICAL_MASK;
 
@@ -118,7 +118,7 @@ impl Allocator for MteAllocator {
         // reused chunk — mismatches unless the retag drew the same tag
         // (the 1/16 aliasing miss).
         env.rec.load(tag_addr(user), 8);
-        if let Some(fault) = env.backend.check_access(ptr, 1, false, RUNTIME_PC_BASE) {
+        if let Some(fault) = env.backend_validate(ptr, 1) {
             self.stats.bad_frees += 1;
             return Err(fault.into());
         }
@@ -191,6 +191,8 @@ mod tests {
                 check_shadow: false,
                 perfect_hw: false,
                 naive_wide_arm: false,
+                guest_pc: 0,
+                sites: None,
             }
         }
     }

@@ -2,7 +2,7 @@ use crate::alloc::{
     note_alloc, note_free, round_up, AllocStats, Allocator, Arena, ChunkInfo, ChunkState, LiveMap,
 };
 use crate::env::RtEnv;
-use crate::layout::{HEAP_BASE, RUNTIME_PC_BASE};
+use crate::layout::HEAP_BASE;
 use crate::violation::Violation;
 use rest_core::backend::CANONICAL_MASK;
 
@@ -101,7 +101,7 @@ impl Allocator for PacAllocator {
         // invalid free against a missing registry entry — both fail
         // unless the 8-bit PACs collide (1/256).
         env.rec.alu(6);
-        if let Some(fault) = env.backend.check_access(ptr, 1, false, RUNTIME_PC_BASE) {
+        if let Some(fault) = env.backend_validate(ptr, 1) {
             self.stats.bad_frees += 1;
             return Err(fault.into());
         }
@@ -172,6 +172,8 @@ mod tests {
                 check_shadow: false,
                 perfect_hw: false,
                 naive_wide_arm: false,
+                guest_pc: 0,
+                sites: None,
             }
         }
     }

@@ -262,6 +262,8 @@ mod tests {
                 check_shadow: false,
                 perfect_hw: false,
                 naive_wide_arm: false,
+                guest_pc: 0,
+                sites: None,
             }
         }
     }

@@ -1,7 +1,5 @@
-use rest_core::{ProtectionBackend, Token, TokenWidth};
+use rest_core::{ProtectionBackend, SiteTable, Token, TokenWidth};
 use rest_isa::{GuestMemory, MemSize};
-
-use crate::layout::RUNTIME_PC_BASE;
 
 /// Scratch line used to charge the extra store beats of the
 /// naive-wide-arm ablation (outside every real data region).
@@ -37,6 +35,14 @@ pub struct RtEnv<'a> {
     /// Ablation: arms write the token value eagerly (w/8 stores) instead
     /// of the paper's lazy write-on-eviction single-cycle arm.
     pub naive_wide_arm: bool,
+    /// PC of the guest instruction (the `ecall`) that entered the
+    /// runtime. Checks performed on the program's behalf — memcpy range
+    /// walks, free validation — report faults at this PC, so deferred
+    /// MTE-async faults carry the triggering call site rather than a
+    /// synthetic runtime PC.
+    pub guest_pc: u64,
+    /// Per-allocation-site attribution table, when profiling is on.
+    pub sites: Option<&'a mut SiteTable>,
 }
 
 impl<'a> RtEnv<'a> {
@@ -62,23 +68,76 @@ impl<'a> RtEnv<'a> {
     // --- checked (untrusted-range) recorded accesses ---
 
     fn check(&mut self, ptr: u64, size: u64, store: bool) -> Result<(), Violation> {
+        let addr = self.backend.canonical_addr(ptr);
         if self.check_backend {
-            if let Some(fault) = self.backend.check_access(ptr, size, store, RUNTIME_PC_BASE) {
+            let had_deferred = self.backend.has_deferred();
+            let fault = self.backend.check_access(ptr, size, store, self.guest_pc);
+            if let Some(s) = self.sites.as_deref_mut() {
+                s.note_check(addr, 0, self.backend.tags_pointers());
+                if fault.is_some() {
+                    s.note_fault(addr);
+                } else if !had_deferred && self.backend.has_deferred() {
+                    s.note_deferred(addr);
+                }
+            }
+            if let Some(fault) = fault {
                 return Err(fault.into());
             }
         }
         if self.check_shadow {
-            let addr = self.backend.canonical_addr(ptr);
-            if let Err(kind) = shadow::classify_access(self.mem, addr, size) {
+            let classified = shadow::classify_access(self.mem, addr, size);
+            if let Some(s) = self.sites.as_deref_mut() {
+                s.note_check(addr, 0, false);
+                if classified.is_err() {
+                    s.note_fault(addr);
+                }
+            }
+            if let Err(kind) = classified {
                 return Err(Violation::Asan(AsanReport {
                     kind,
                     addr,
                     size,
-                    pc: RUNTIME_PC_BASE,
+                    pc: self.guest_pc,
                 }));
             }
         }
         Ok(())
+    }
+
+    /// Backend validation of a pointer outside the checked load/store
+    /// path (the hardened allocators' free validation). Faults report
+    /// at the calling guest PC and are attributed like any other check.
+    pub fn backend_validate(&mut self, ptr: u64, len: u64) -> Option<rest_core::BackendFault> {
+        let addr = self.backend.canonical_addr(ptr);
+        let had_deferred = self.backend.has_deferred();
+        let fault = self.backend.check_access(ptr, len, false, self.guest_pc);
+        if let Some(s) = self.sites.as_deref_mut() {
+            s.note_check(addr, 0, self.backend.tags_pointers());
+            if fault.is_some() {
+                s.note_fault(addr);
+            } else if !had_deferred && self.backend.has_deferred() {
+                s.note_deferred(addr);
+            }
+        }
+        fault
+    }
+
+    /// Registers a successful allocation of `len` user bytes at the
+    /// (possibly tagged) pointer `ptr`, attributed to the calling guest
+    /// PC. No-op when site attribution is off.
+    pub fn note_alloc_site(&mut self, ptr: u64, len: u64) {
+        let base = self.backend.canonical_addr(ptr);
+        if let Some(s) = self.sites.as_deref_mut() {
+            s.note_alloc(self.guest_pc, base, len);
+        }
+    }
+
+    /// Records a free of the allocation at `ptr` against its site.
+    pub fn note_free_site(&mut self, ptr: u64) {
+        let base = self.backend.canonical_addr(ptr);
+        if let Some(s) = self.sites.as_deref_mut() {
+            s.note_free(base);
+        }
     }
 
     /// Recorded load through the active safety checks. `ptr` may carry
@@ -246,6 +305,8 @@ mod tests {
                 check_shadow: false,
                 perfect_hw,
                 naive_wide_arm: false,
+                guest_pc: 0,
+                sites: None,
             }
         }
     }
@@ -336,6 +397,8 @@ mod tests {
             check_shadow: false,
             perfect_hw: false,
             naive_wide_arm: false,
+            guest_pc: 0,
+            sites: None,
         };
         env.checked_store(tagged, 0xbeef, MemSize::B8).unwrap();
         assert_eq!(env.checked_load(tagged, MemSize::B8).unwrap(), 0xbeef);
@@ -347,5 +410,61 @@ mod tests {
         assert_ne!(tag, 0, "seed 5 draws a nonzero first tag");
         let err = env.checked_load(tagged + 32, MemSize::B8).unwrap_err();
         assert!(matches!(err, Violation::Tag(_)), "{err:?}");
+    }
+
+    #[test]
+    fn runtime_checks_report_the_calling_guest_pc() {
+        let mut f = Fixture::new();
+        let mut env = f.env(true, false);
+        env.guest_pc = 0x1_2340;
+        env.arm_slot(0x4000_0040);
+        let err = env.checked_load(0x4000_0040, MemSize::B8).unwrap_err();
+        assert!(
+            matches!(err, Violation::Rest(e) if e.pc == 0x1_2340),
+            "runtime check should fault at the guest call site, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn site_table_attributes_env_checks_and_deferred_latches() {
+        use rest_core::{MteBackend, MteMode, SiteTable};
+        let mut rng = StdRng::seed_from_u64(11);
+        let token = Token::generate(TokenWidth::B64, &mut rng);
+        let mut mem = GuestMemory::new();
+        let mut rec = TrafficRecorder::new();
+        let mut backend = MteBackend::new(MteMode::Async, 5);
+        let tagged = backend.on_alloc(0x4000_0100, 32);
+        let mut sites = SiteTable::new();
+        {
+            let mut env = RtEnv {
+                mem: &mut mem,
+                rec: &mut rec,
+                backend: &mut backend,
+                token: &token,
+                check_backend: true,
+                check_shadow: false,
+                perfect_hw: false,
+                naive_wide_arm: false,
+                guest_pc: 0x1_0080,
+                sites: Some(&mut sites),
+            };
+            env.note_alloc_site(tagged, 32);
+            env.checked_store(tagged, 1, MemSize::B8).unwrap();
+            // Async MTE: the out-of-range store latches a deferred
+            // fault instead of raising, and the latch is charged to
+            // the site.
+            env.checked_store(tagged + 32, 1, MemSize::B8).unwrap();
+            assert!(env.backend.has_deferred());
+        }
+        let rows: Vec<_> = sites.rows().map(|(pc, c)| (pc, *c)).collect();
+        assert_eq!(rows.len(), 2, "site + out-of-range pseudo-site: {rows:?}");
+        assert_eq!(rows[1].0, 0x1_0080);
+        assert_eq!(rows[1].1.allocs, 1);
+        assert_eq!(rows[1].1.checks, 1);
+        assert_eq!(rows[1].1.canonicalizations, 1);
+        // The off-the-end granule lies outside the registered range.
+        assert_eq!(rows[0].0, 0);
+        assert_eq!(rows[0].1.deferred_latches, 1);
+        assert_eq!(sites.total_checks(), backend.check_count());
     }
 }

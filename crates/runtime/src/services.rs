@@ -87,10 +87,13 @@ impl Runtime {
     pub fn ecall(&mut self, num: EcallNum, args: [u64; 6], env: &mut RtEnv<'_>) -> EcallOutcome {
         match num {
             EcallNum::Malloc => self.do_malloc(env, args[0]),
-            EcallNum::Free => match self.allocator.free(env, args[0]) {
-                Ok(()) => EcallOutcome::Done(0),
-                Err(v) => EcallOutcome::Violation(v),
-            },
+            EcallNum::Free => {
+                env.note_free_site(args[0]);
+                match self.allocator.free(env, args[0]) {
+                    Ok(()) => EcallOutcome::Done(0),
+                    Err(v) => EcallOutcome::Violation(v),
+                }
+            }
             EcallNum::Calloc => {
                 let bytes = args[0].saturating_mul(args[1]);
                 match self.do_malloc(env, bytes) {
@@ -140,7 +143,13 @@ impl Runtime {
         let r = self.allocator.malloc(env, size);
         env.rec.set_component(prev);
         match r {
-            Ok(ptr) => EcallOutcome::Done(ptr),
+            Ok(ptr) => {
+                if ptr != 0 {
+                    let len = self.allocator.usable_size(ptr).unwrap_or(size).max(size);
+                    env.note_alloc_site(ptr, len);
+                }
+                EcallOutcome::Done(ptr)
+            }
             Err(v) => EcallOutcome::Violation(v),
         }
     }
@@ -157,6 +166,7 @@ impl Runtime {
         if let Err(v) = self.copy_words(env, new_ptr, ptr, old.min(new_size)) {
             return EcallOutcome::Violation(v);
         }
+        env.note_free_site(ptr);
         let prev = env.rec.set_component(Component::Allocator);
         let r = self.allocator.free(env, ptr);
         env.rec.set_component(prev);
@@ -201,7 +211,7 @@ impl Runtime {
                 kind,
                 addr,
                 size: len,
-                pc: 0,
+                pc: env.guest_pc,
             }));
         }
         Ok(())
@@ -284,6 +294,8 @@ mod tests {
                 check_shadow: false,
                 perfect_hw: self.cfg.perfect_hw,
                 naive_wide_arm: false,
+                guest_pc: 0,
+                sites: None,
             }
         }
     }

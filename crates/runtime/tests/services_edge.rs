@@ -41,6 +41,8 @@ impl Fx {
             check_shadow: false,
             perfect_hw: self.cfg.perfect_hw,
             naive_wide_arm: self.cfg.naive_wide_arm,
+            guest_pc: 0,
+            sites: None,
         }
     }
 

@@ -85,6 +85,8 @@ proptest! {
                 check_shadow: false,
                 perfect_hw: false,
                 naive_wide_arm: false,
+                guest_pc: 0,
+                sites: None,
             };
             if do_free && !live.is_empty() {
                 let (ptr, _) = live.swap_remove((size as usize) % live.len());
