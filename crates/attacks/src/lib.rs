@@ -31,6 +31,8 @@
 //! assert!(rest.detected && !rest.leaked_secret);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod programs;
 
 use rest_cpu::{Emulator, SimConfig, StopReason};

@@ -123,6 +123,14 @@ pub struct SimJob {
     /// counters plus the per-allocation-site table); the result then
     /// carries a [`rest_cpu::GuestProfile`].
     pub profile_guest: bool,
+    /// Run the static check-elision pass (`rest-verify`) over the built
+    /// program and hand its map to the simulator: proven-safe accesses
+    /// skip check injection and validation, counted in
+    /// `CoreStats::elided_checks`. Applied to attack rows too: attacks
+    /// with Error+ lint findings get empty maps by construction, and
+    /// any residual elisions on clean-linting attacks are pinned by the
+    /// differential attack-coverage gate (identical stop and audit).
+    pub elide: bool,
 }
 
 impl SimJob {
@@ -152,6 +160,7 @@ impl SimJob {
             inject_transient_failures: 0,
             inject_panic: false,
             profile_guest: false,
+            elide: false,
         }
     }
 
@@ -199,7 +208,7 @@ impl SimJob {
     /// do not.
     pub fn cache_key(&self) -> String {
         format!(
-            "{:?}|{:#x}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}|{}|{}|{:?}|{:?}|{}|{}|{}|{}|{}|{}|{}",
+            "{:?}|{:#x}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}|{}|{}|{:?}|{:?}|{}|{}|{}|{}|{}|{}|{}|{}",
             self.workload,
             self.seed,
             self.rt,
@@ -233,6 +242,10 @@ impl SimJob {
             // Profiled results carry the per-PC tables; unprofiled ones
             // must not alias them.
             self.profile_guest,
+            // Elided runs skip checks at proven-safe PCs; sharing a
+            // cached result with a full run would hide the difference
+            // the differential gate exists to measure.
+            self.elide,
         )
     }
 
@@ -346,10 +359,28 @@ impl SimJob {
                     });
                 }
             }
+            // The elision map is computed from the same program object
+            // the simulator runs, so the PCs line up by construction.
+            // Attack programs with Error+ findings get empty maps;
+            // clean-linting attacks may elide provably in-bounds
+            // accesses. The attack-coverage gate verifies end to end
+            // that detection and audit provenance are unchanged.
+            let elision = if self.elide {
+                let scheme = if self.rt.scheme == rest_runtime::Scheme::Asan {
+                    rest_verify::ElideScheme::Asan
+                } else {
+                    rest_verify::ElideScheme::Rest
+                };
+                let report = rest_verify::elide_program(&program, scheme);
+                Some(Arc::new(report.map))
+            } else {
+                None
+            };
             let mut cfg = match self.core {
                 CoreKind::OutOfOrder => SimConfig::isca2018(self.rt.clone()),
                 CoreKind::InOrder => SimConfig::inorder(self.rt.clone()),
             };
+            cfg.elision = elision;
             cfg.core.serialize_rest_ops = self.serialize_rest_ops;
             cfg.mem.token_cache_entries = self.token_cache_entries;
             cfg.sample_interval = self.sample_interval;

@@ -14,6 +14,7 @@
 //! | `perf` | guest-IPS throughput, fast vs reference decode path |
 //! | `faults` | fault-injection detection-coverage campaign ([`faults`]) |
 //! | `hotspots` | guest hotspot profile — per-block/function cycles and per-site checks ([`hotspots`]) |
+//! | `elide` | static check-elision figure — proven-safe checks skipped, differential + attack-coverage gated ([`elide`]) |
 //! | `bench-diff` | throughput regression gate over two `BENCH_throughput.json` files ([`benchdiff`]) |
 //!
 //! All binaries are thin wrappers over a shared experiment engine:
@@ -38,10 +39,13 @@
 //! cargo run --release -p rest-bench --bin fig7 -- --test --jobs 8
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod benchdiff;
 pub mod checkpoint;
 pub mod cli;
 pub mod defense;
+pub mod elide;
 pub mod engine;
 pub mod faults;
 pub mod hotspots;

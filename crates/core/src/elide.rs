@@ -1,0 +1,136 @@
+//! Static check-elision maps.
+//!
+//! The `rest-verify` elision pass proves, per memory-access PC, that the
+//! REST (or ASan) check at that PC can never fire: either the access is
+//! in-bounds of a live, never-freed allocation or frame slot on every
+//! path ([`ElideClass::MustBeSafe`]), or an identical covering check
+//! already ran at a dominating PC with no intervening token mutation
+//! ([`ElideClass::Redundant`]). The emulator consumes the resulting
+//! [`ElisionMap`] and skips the per-access check machinery at those PCs,
+//! counting each skip in `CoreStats::elided_checks`.
+//!
+//! The map lives in `rest-core` — not in the verifier — because the CPU
+//! crate must consume it without depending on the analysis that produced
+//! it. It is a plain sorted PC→class table; producing a *sound* one is
+//! entirely the producer's burden, and the repo's differential suites
+//! machine-check that burden on every run.
+
+use std::collections::BTreeMap;
+
+/// Why a checked access may skip its runtime check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ElideClass {
+    /// The access can never touch armed/tokened memory on any path:
+    /// in-bounds of a live, never-freed allocation or frame slot.
+    MustBeSafe,
+    /// The same base/offset range was already checked at a dominating PC
+    /// with no intervening free, DISARM/ARM, or base redefinition.
+    Redundant,
+}
+
+impl ElideClass {
+    /// Stable serialization name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ElideClass::MustBeSafe => "must-be-safe",
+            ElideClass::Redundant => "redundant",
+        }
+    }
+
+    /// Inverse of [`ElideClass::name`].
+    pub fn from_name(s: &str) -> Option<ElideClass> {
+        match s {
+            "must-be-safe" => Some(ElideClass::MustBeSafe),
+            "redundant" => Some(ElideClass::Redundant),
+            _ => None,
+        }
+    }
+}
+
+/// Per-program elision verdicts: every memory-access PC the static pass
+/// proved safe, with the class of proof. PCs absent from the map are
+/// `MayFault` and keep their runtime checks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ElisionMap {
+    entries: BTreeMap<u64, ElideClass>,
+}
+
+impl ElisionMap {
+    /// An empty map (nothing elided).
+    pub fn new() -> ElisionMap {
+        ElisionMap::default()
+    }
+
+    /// Records the verdict for one access PC. Later inserts win, but a
+    /// sound producer never classifies one PC twice.
+    pub fn insert(&mut self, pc: u64, class: ElideClass) {
+        self.entries.insert(pc, class);
+    }
+
+    /// The verdict at `pc`, if the PC was proven elidable.
+    pub fn class_at(&self, pc: u64) -> Option<ElideClass> {
+        self.entries.get(&pc).copied()
+    }
+
+    /// Whether the check at `pc` may be skipped.
+    pub fn elides(&self, pc: u64) -> bool {
+        self.entries.contains_key(&pc)
+    }
+
+    /// Number of elided PCs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no PC is elided.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in ascending PC order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, ElideClass)> + '_ {
+        self.entries.iter().map(|(&pc, &c)| (pc, c))
+    }
+
+    /// Count of entries with the given class.
+    pub fn count_of(&self, class: ElideClass) -> usize {
+        self.entries.values().filter(|&&c| c == class).count()
+    }
+}
+
+impl FromIterator<(u64, ElideClass)> for ElisionMap {
+    fn from_iter<T: IntoIterator<Item = (u64, ElideClass)>>(iter: T) -> ElisionMap {
+        ElisionMap {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips_and_counts() {
+        let mut m = ElisionMap::new();
+        assert!(m.is_empty() && !m.elides(0x100));
+        m.insert(0x110, ElideClass::Redundant);
+        m.insert(0x100, ElideClass::MustBeSafe);
+        m.insert(0x120, ElideClass::MustBeSafe);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.class_at(0x110), Some(ElideClass::Redundant));
+        assert_eq!(m.class_at(0x108), None);
+        assert_eq!(m.count_of(ElideClass::MustBeSafe), 2);
+        // Iteration is PC-sorted regardless of insertion order.
+        let pcs: Vec<u64> = m.iter().map(|(pc, _)| pc).collect();
+        assert_eq!(pcs, vec![0x100, 0x110, 0x120]);
+    }
+
+    #[test]
+    fn class_names_round_trip() {
+        for c in [ElideClass::MustBeSafe, ElideClass::Redundant] {
+            assert_eq!(ElideClass::from_name(c.name()), Some(c));
+        }
+        assert_eq!(ElideClass::from_name("may-fault"), None);
+    }
+}

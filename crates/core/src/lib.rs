@@ -36,8 +36,11 @@
 //! assert_eq!(token.match_offsets_in_line(&armed), vec![0]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod armed;
 pub mod backend;
+pub mod elide;
 mod exception;
 mod mode;
 pub mod policy;
@@ -50,6 +53,7 @@ pub use backend::{
     BackendFault, CheckUopKind, DetectTiming, MteBackend, MteMode, NullBackend, PacBackend,
     PacFault, ProtectionBackend, RestBackend, TagFault, TAG_GRANULE,
 };
+pub use elide::{ElideClass, ElisionMap};
 pub use sites::{SiteCounters, SiteTable};
 pub use exception::{RestException, RestExceptionKind};
 pub use mode::{Mode, Privilege, PrivilegeError};

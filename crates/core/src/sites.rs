@@ -66,6 +66,10 @@ pub struct SiteTable {
     /// Canonical base -> (exclusive end, site PC). Kept after free (see
     /// module docs); replaced when the base is reused.
     ranges: BTreeMap<u64, (u64, u64)>,
+    /// Site PC -> checks statically elided against its memory. Kept out
+    /// of [`SiteCounters`] so existing artifact serializations (which
+    /// enumerate counter fields) are unchanged by elision-off runs.
+    elided: BTreeMap<u64, u64>,
 }
 
 impl SiteTable {
@@ -109,6 +113,23 @@ impl SiteTable {
         c.canonicalizations += u64::from(canonicalized);
     }
 
+    /// Records one statically elided check of canonical `addr`,
+    /// attributed to its owning site like [`SiteTable::note_check`].
+    pub fn note_elided(&mut self, addr: u64) {
+        let site = self.site_of(addr);
+        *self.elided.entry(site).or_default() += 1;
+    }
+
+    /// Checks elided against `site`'s memory (0 when none recorded).
+    pub fn elided_at(&self, site: u64) -> u64 {
+        self.elided.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Total statically elided checks across all sites.
+    pub fn total_elided(&self) -> u64 {
+        self.elided.values().sum()
+    }
+
     /// Records a deferred-fault latch (MTE-async TFSR capture) for
     /// canonical `addr`.
     pub fn note_deferred(&mut self, addr: u64) {
@@ -145,6 +166,12 @@ impl SiteTable {
     /// Whether no site has recorded anything.
     pub fn is_empty(&self) -> bool {
         self.sites.is_empty()
+    }
+
+    /// Per-site elided-check rows, ascending by site PC (only sites
+    /// with at least one elided check appear).
+    pub fn elided_rows(&self) -> Vec<(u64, u64)> {
+        self.elided.iter().map(|(&pc, &n)| (pc, n)).collect()
     }
 
     /// Drains the table into a sorted row vector.
@@ -201,6 +228,23 @@ mod tests {
         assert_eq!(rows[0].1.faults, 1);
         assert_eq!(rows[1].0, 0xbb);
         assert_eq!(rows[1].1.checks, 1);
+    }
+
+    #[test]
+    fn elided_checks_attribute_separately_from_counters() {
+        let mut t = SiteTable::new();
+        t.note_alloc(0x100, 0x8000, 64);
+        t.note_check(0x8000, 0, false);
+        t.note_elided(0x8008);
+        t.note_elided(0x8010);
+        t.note_elided(0x7000); // outside every range → pseudo-site 0
+        assert_eq!(t.elided_at(0x100), 2);
+        assert_eq!(t.elided_at(0), 1);
+        assert_eq!(t.total_elided(), 3);
+        // The per-site counter rows are untouched by elided bookkeeping.
+        let (_, c) = t.rows().find(|(pc, _)| *pc == 0x100).unwrap();
+        assert_eq!(c.checks, 1);
+        assert_eq!(t.total_checks(), 1);
     }
 
     #[test]

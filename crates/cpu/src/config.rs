@@ -1,3 +1,6 @@
+use std::sync::Arc;
+
+use rest_core::ElisionMap;
 use rest_faults::FaultSpec;
 use rest_mem::MemConfig;
 use rest_runtime::RtConfig;
@@ -147,6 +150,14 @@ pub struct SimConfig {
     /// Deterministic simulation state — off by default because the
     /// dense tables cost memory proportional to program size.
     pub profile_guest: bool,
+    /// Static check-elision map from `rest-verify`: memory-access PCs
+    /// whose REST/ASan check is proven unable to fire. The emulator
+    /// skips check injection and validation at those PCs (application
+    /// component only), counting each skip in
+    /// `CoreStats::elided_checks`. `None` = every access checked.
+    /// Shared via `Arc` because the engine reuses one map across the
+    /// paired elided/full runs of a workload.
+    pub elision: Option<Arc<ElisionMap>>,
 }
 
 impl SimConfig {
@@ -164,6 +175,7 @@ impl SimConfig {
             sample_interval: 0,
             reference_path: false,
             profile_guest: false,
+            elision: None,
         }
     }
 

@@ -90,6 +90,12 @@ pub struct Emulator {
     sites: Option<Box<SiteTable>>,
     /// Per-PC check/check-uop counters (profiling runs only).
     pc_checks: Option<Box<CheckCounters>>,
+    /// Dense per-PC elision verdicts (index `(pc - CODE_BASE)/PC_STEP`),
+    /// built from [`SimConfig::elision`] when the active scheme actually
+    /// checks accesses. `None` = nothing elided.
+    elide: Option<Box<[bool]>>,
+    /// Checks skipped via the elision map.
+    elided_checks: u64,
 }
 
 impl Emulator {
@@ -130,6 +136,24 @@ impl Emulator {
         let pc_checks = cfg
             .profile_guest
             .then(|| Box::new(CheckCounters::new(&program)));
+        let access_checks = cfg.rt.scheme == Scheme::Asan && cfg.rt.access_checks;
+        // The elision table only matters when the run checks accesses at
+        // all; a plain/baseline run has no checks to skip, and building
+        // the table there would only invite misattribution.
+        let elide = cfg
+            .elision
+            .as_ref()
+            .filter(|_| cfg.rt.checks_in_backend() || access_checks)
+            .map(|map| {
+                let mut table = vec![false; program.len()].into_boxed_slice();
+                for (pc, _) in map.iter() {
+                    let idx = pc.wrapping_sub(Program::CODE_BASE) / PC_STEP;
+                    if let Some(slot) = table.get_mut(idx as usize) {
+                        *slot = true;
+                    }
+                }
+                table
+            });
         Emulator {
             program,
             regs: [0; Reg::COUNT],
@@ -148,7 +172,7 @@ impl Emulator {
             max_cycles: cfg.max_cycles,
             fault,
             fault_flip,
-            access_checks: cfg.rt.scheme == Scheme::Asan && cfg.rt.access_checks,
+            access_checks,
             check_backend: cfg.rt.checks_in_backend(),
             tagged_ptrs,
             perfect_hw: cfg.rt.perfect_hw,
@@ -156,6 +180,8 @@ impl Emulator {
             mode: cfg.rt.mode,
             sites,
             pc_checks,
+            elide,
+            elided_checks: 0,
         }
     }
 
@@ -381,6 +407,37 @@ impl Emulator {
         None
     }
 
+    /// True when the static elision map proves the check at `pc` cannot
+    /// fire. Only application accesses are ever elided — runtime and
+    /// instrumentation components never carry injected checks anyway.
+    #[inline]
+    fn check_elided(&self, pc: u64, component: Component) -> bool {
+        if component != Component::App {
+            return false;
+        }
+        match &self.elide {
+            Some(t) => {
+                let idx = pc.wrapping_sub(Program::CODE_BASE) / PC_STEP;
+                t.get(idx as usize).copied().unwrap_or(false)
+            }
+            None => false,
+        }
+    }
+
+    /// Records a check skipped via the static elision map, attributing
+    /// it to the owning allocation site when profiling is on.
+    fn note_elided(&mut self, addr: u64) {
+        self.elided_checks += 1;
+        if let Some(s) = self.sites.as_deref_mut() {
+            s.note_elided(addr);
+        }
+    }
+
+    /// Checks skipped so far via the static elision map.
+    pub fn elided_checks(&self) -> u64 {
+        self.elided_checks
+    }
+
     /// Emits the micro-ops of the ASan per-access check (component 3 of
     /// Figure 3), matching the sequence LLVM's pass emits before every
     /// instrumented access: shadow-address arithmetic (shift + add), the
@@ -530,17 +587,25 @@ impl Emulator {
                 } else {
                     ptr
                 };
+                let elided = self.check_elided(pc, e.template.component);
                 let check_start = out.count();
-                if self.access_checks && e.template.component == Component::App {
-                    self.emit_asan_check(out, pc, addr);
-                }
-                if self.tagged_ptrs && e.template.component == Component::App {
-                    self.emit_backend_check(out, pc, addr, false);
+                if !elided {
+                    if self.access_checks && e.template.component == Component::App {
+                        self.emit_asan_check(out, pc, addr);
+                    }
+                    if self.tagged_ptrs && e.template.component == Component::App {
+                        self.emit_backend_check(out, pc, addr, false);
+                    }
                 }
                 let injected = out.count() - check_start;
                 out.push(with_mem_addr(e.template, addr));
-                if let Some(v) = self.check_app_access(ptr, addr, size.bytes(), false, pc, injected)
-                {
+                let violation = if elided {
+                    self.note_elided(addr);
+                    None
+                } else {
+                    self.check_app_access(ptr, addr, size.bytes(), false, pc, injected)
+                };
+                if let Some(v) = violation {
                     self.stop = Some(StopReason::Violation(v));
                 } else {
                     let raw = self.mem.read_scalar(addr, size);
@@ -564,17 +629,25 @@ impl Emulator {
                 } else {
                     ptr
                 };
+                let elided = self.check_elided(pc, e.template.component);
                 let check_start = out.count();
-                if self.access_checks && e.template.component == Component::App {
-                    self.emit_asan_check(out, pc, addr);
-                }
-                if self.tagged_ptrs && e.template.component == Component::App {
-                    self.emit_backend_check(out, pc, addr, true);
+                if !elided {
+                    if self.access_checks && e.template.component == Component::App {
+                        self.emit_asan_check(out, pc, addr);
+                    }
+                    if self.tagged_ptrs && e.template.component == Component::App {
+                        self.emit_backend_check(out, pc, addr, true);
+                    }
                 }
                 let injected = out.count() - check_start;
                 out.push(with_mem_addr(e.template, addr));
-                if let Some(v) = self.check_app_access(ptr, addr, size.bytes(), true, pc, injected)
-                {
+                let violation = if elided {
+                    self.note_elided(addr);
+                    None
+                } else {
+                    self.check_app_access(ptr, addr, size.bytes(), true, pc, injected)
+                };
+                if let Some(v) = violation {
                     self.stop = Some(StopReason::Violation(v));
                 } else {
                     self.mem.write_scalar(addr, self.reg(src), size);

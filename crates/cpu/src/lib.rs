@@ -24,6 +24,8 @@
 //! (ROB-blocked-by-store cycles, IQ-full cycles, token traffic at the
 //! L2/memory interface, …).
 
+#![forbid(unsafe_code)]
+
 mod bpred;
 mod config;
 mod emulator;

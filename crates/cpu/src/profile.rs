@@ -128,6 +128,10 @@ pub struct GuestProfile {
     pub backend_checks: u64,
     /// Per-allocation-site attribution rows, ascending by site PC.
     pub sites: Vec<(u64, SiteCounters)>,
+    /// Per-site statically elided checks, ascending by site PC (empty
+    /// unless the run carried an elision map — kept separate from
+    /// `sites` so elision-off artifacts stay byte-identical).
+    pub elided_sites: Vec<(u64, u64)>,
 }
 
 #[cfg(test)]

@@ -45,6 +45,12 @@ pub struct CoreStats {
     pub lsq_rest_exceptions: u64,
     /// I-cache fetch stalls (cycles).
     pub fetch_stall_cycles: u64,
+    /// Checks skipped because the static elision map proved them unable
+    /// to fire (see [`crate::SimConfig::elision`]). Kept out of
+    /// [`stats_map_parts`] so the flat counter snapshot — and every
+    /// artifact serialized from it — is byte-identical for runs without
+    /// an elision map.
+    pub elided_checks: u64,
     /// Commit-time cycle attribution. The components always sum to
     /// `cycles` (valid after [`crate::Pipeline::finish`]); built by the
     /// pipeline as each micro-op advances the commit frontier.
@@ -332,7 +338,8 @@ mod tests {
             lsq_stall_cycles: _,
             lsq_rest_exceptions: _,
             fetch_stall_cycles: _,
-            cpi: _, // emitted as its own `cpi` JSON object, not a map key
+            elided_checks: _, // deliberately not a map key: elision-off artifacts stay byte-identical
+            cpi: _,           // emitted as its own `cpi` JSON object, not a map key
         } = CoreStats::default();
 
         let r = SimResult {

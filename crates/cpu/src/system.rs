@@ -148,6 +148,7 @@ impl System {
         let core = self.pipeline.finish();
         let mut core = core;
         core.insts = self.emulator.insts();
+        core.elided_checks = self.emulator.elided_checks();
         let trace = self.pipeline.take_trace();
         // Hardware detections recorded by the pipeline, then the
         // architectural violation (if the run stopped on one) with its
@@ -196,10 +197,13 @@ impl System {
         }
         let profile = self.profile.take().map(|(cycles, uops)| {
             let checks = self.emulator.take_pc_checks().unwrap_or_default();
-            let sites = self
+            let (sites, elided_sites) = self
                 .emulator
                 .take_sites()
-                .map(|s| s.into_rows())
+                .map(|s| {
+                    let elided = s.elided_rows();
+                    (s.into_rows(), elided)
+                })
                 .unwrap_or_default();
             GuestProfile {
                 cycles,
@@ -208,6 +212,7 @@ impl System {
                 check_uops: checks.check_uops,
                 backend_checks: self.emulator.backend().check_count(),
                 sites,
+                elided_sites,
             }
         });
         SimResult {

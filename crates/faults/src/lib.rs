@@ -30,6 +30,8 @@
 //! emulator (architectural effects) and the memory hierarchy (micro-
 //! architectural trigger sites).
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex, MutexGuard};
 

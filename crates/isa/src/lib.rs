@@ -44,6 +44,8 @@
 //! assert_eq!(program.len(), 6);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod asm;
 mod decoded;
 mod dyninst;

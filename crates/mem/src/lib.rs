@@ -26,6 +26,8 @@
 //! emulator. The token detector therefore compares real line bytes,
 //! making detection genuinely content-based as in the paper.
 
+#![forbid(unsafe_code)]
+
 mod cache;
 mod config;
 mod dram;

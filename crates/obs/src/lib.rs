@@ -26,6 +26,10 @@
 //!   profiles (per-block/per-function cycle rollups plus the
 //!   per-allocation-site check-attribution table), with a validator
 //!   that enforces the exact-sum invariants.
+//! * [`elide`] — the `rest-elide/v1` schema for static check-elision
+//!   maps, with a validator for the count/sortedness invariants (a
+//!   malformed elision map is a security bug, so CI re-validates every
+//!   committed artifact).
 //! * [`telemetry`] — the `rest-telemetry/v1` schema for campaign-wide
 //!   engine telemetry (per-job spans, worker utilization, cache and
 //!   resilience counters), with a cross-member-consistency validator.
@@ -40,8 +44,11 @@
 //! plain data: collection stays zero-cost-when-off because the *users*
 //! of these types gate sampling and tracing behind configuration.
 
+#![forbid(unsafe_code)]
+
 pub mod audit;
 pub mod cpi;
+pub mod elide;
 pub mod hotspots;
 pub mod json;
 pub mod perfetto;
@@ -51,6 +58,7 @@ pub mod telemetry;
 
 pub use audit::{AuditEntry, AuditLog, FAULT_INJECTOR, MTE_TAGGER, PA_SIGNER};
 pub use cpi::{CpiComponent, CpiStack};
+pub use elide::{validate_elide, ELIDE_SCHEMA};
 pub use json::{Json, MAX_PARSE_DEPTH};
 pub use perfetto::PerfettoTrace;
 pub use profile::{HostProfile, JobTiming};

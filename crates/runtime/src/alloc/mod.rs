@@ -90,8 +90,9 @@ pub(crate) enum ChunkState {
     Quarantined = 2,
 }
 
-/// Arena limit: 256 MiB of heap address space.
-pub(crate) const HEAP_LIMIT: u64 = 256 * 1024 * 1024;
+/// Arena limit: 256 MiB of heap address space (re-exported to guest
+/// tooling as [`crate::layout::HEAP_SPAN`]).
+pub(crate) const HEAP_LIMIT: u64 = crate::layout::HEAP_SPAN;
 
 /// Shared arena: bump pointer plus segregated free bins keyed by total
 /// chunk size.

@@ -19,6 +19,14 @@ pub const STATIC_BASE: u64 = 0x0010_0000;
 /// Base of the heap arena.
 pub const HEAP_BASE: u64 = 0x4000_0000;
 
+/// Architectural ceiling on the heap arena: `Arena::grow` refuses to
+/// move the break past `HEAP_BASE + HEAP_SPAN`, so every heap address —
+/// user bytes, redzones, and quarantined chunks alike — lives inside
+/// `[HEAP_BASE, HEAP_BASE + HEAP_SPAN)`. Static analyses (the check
+/// elision pass in `rest-verify`) rely on this bound to separate heap
+/// tokens from stack and static tokens.
+pub const HEAP_SPAN: u64 = 256 * 1024 * 1024;
+
 /// Initial stack pointer (stack grows toward lower addresses).
 pub const STACK_TOP: u64 = 0x7fff_f000;
 

@@ -27,6 +27,8 @@
 //! arm flows through the simulated pipeline and caches and shows up in
 //! the measured overhead, exactly as in the paper's evaluation.
 
+#![forbid(unsafe_code)]
+
 pub mod alloc;
 mod config;
 mod env;

@@ -107,7 +107,7 @@ impl VerifyResult {
 
 /// Statically verifies `program`, running every pass.
 pub fn verify_program(program: &Program) -> VerifyResult {
-    Analyzer::new(program).run()
+    Analyzer::new(program).execute()
 }
 
 // ---------------------------------------------------------------------
@@ -116,7 +116,7 @@ pub fn verify_program(program: &Program) -> VerifyResult {
 
 /// Which service created an allocation site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AllocKind {
+pub(crate) enum AllocKind {
     Malloc,
     Calloc,
     Realloc,
@@ -124,16 +124,16 @@ enum AllocKind {
 }
 
 #[derive(Debug, Clone)]
-struct SiteInfo {
-    pc: u64,
-    kind: AllocKind,
+pub(crate) struct SiteInfo {
+    pub(crate) pc: u64,
+    pub(crate) kind: AllocKind,
     /// User size when every visit saw the same constant.
-    size: Option<u64>,
-    size_conflict: bool,
+    pub(crate) size: Option<u64>,
+    pub(crate) size_conflict: bool,
 }
 
 impl SiteInfo {
-    fn usable_size(&self) -> Option<u64> {
+    pub(crate) fn usable_size(&self) -> Option<u64> {
         if self.size_conflict {
             None
         } else {
@@ -143,20 +143,20 @@ impl SiteInfo {
 
     /// User area rounded up to the token granule (the allocator pads the
     /// user area so the trailing redzone is granule-aligned).
-    fn padded_size(&self) -> Option<u64> {
+    pub(crate) fn padded_size(&self) -> Option<u64> {
         self.usable_size()
             .map(|s| s.max(1).div_ceil(GRANULE) * GRANULE)
     }
 
     /// Allocator redzone length on each side of a heap chunk (mirrors
     /// `rest-runtime`'s `redzone_for`).
-    fn redzone_len(&self) -> Option<u64> {
+    pub(crate) fn redzone_len(&self) -> Option<u64> {
         self.usable_size()
             .map(|s| (s / 4).clamp(GRANULE, 2048).div_ceil(GRANULE) * GRANULE)
     }
 
     /// Whether the allocator arms redzones around this site's chunks.
-    fn has_allocator_redzones(&self) -> bool {
+    pub(crate) fn has_allocator_redzones(&self) -> bool {
         !matches!(self.kind, AllocKind::Sbrk)
     }
 }
@@ -167,7 +167,7 @@ impl SiteInfo {
 
 /// An armable location, resolved to a singleton address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Loc {
+pub(crate) enum Loc {
     /// Absolute address (main-frame or static arithmetic).
     Abs(u64),
     /// Function-entry `sp` + offset.
@@ -187,26 +187,26 @@ impl Loc {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ArmInfo {
+pub(crate) struct ArmInfo {
     /// Armed on every path (false = only on some).
-    must: bool,
+    pub(crate) must: bool,
     /// PC of the arming instruction.
-    arm_pc: u64,
+    pub(crate) arm_pc: u64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
-struct State {
-    regs: [AbsVal; Reg::COUNT],
-    armed: BTreeMap<Loc, ArmInfo>,
+pub(crate) struct State {
+    pub(crate) regs: [AbsVal; Reg::COUNT],
+    pub(crate) armed: BTreeMap<Loc, ArmInfo>,
     /// Freed allocation sites (true = freed on every path).
-    freed: BTreeMap<SiteId, bool>,
+    pub(crate) freed: BTreeMap<SiteId, bool>,
     /// An `arm` executed at an address the analysis could not resolve;
     /// suppresses disarm-of-unarmed must-trap claims downstream.
-    armed_unknown: bool,
+    pub(crate) armed_unknown: bool,
 }
 
 impl State {
-    fn entry(is_main: bool) -> State {
+    pub(crate) fn entry(is_main: bool) -> State {
         let mut regs = [if is_main { AbsVal::Undef } else { AbsVal::Top }; Reg::COUNT];
         regs[Reg::ZERO.index()] = AbsVal::val(0);
         if !is_main {
@@ -220,11 +220,11 @@ impl State {
         }
     }
 
-    fn get(&self, r: Reg) -> AbsVal {
+    pub(crate) fn get(&self, r: Reg) -> AbsVal {
         self.regs[r.index()]
     }
 
-    fn set(&mut self, r: Reg, v: AbsVal) {
+    pub(crate) fn set(&mut self, r: Reg, v: AbsVal) {
         if r != Reg::ZERO {
             self.regs[r.index()] = v;
         }
@@ -279,11 +279,11 @@ impl State {
 // The analyzer
 // ---------------------------------------------------------------------
 
-struct Analyzer<'p> {
-    program: &'p Program,
-    cfg: Cfg,
+pub(crate) struct Analyzer<'p> {
+    pub(crate) program: &'p Program,
+    pub(crate) cfg: Cfg,
     code_end: u64,
-    sites: Vec<SiteInfo>,
+    pub(crate) sites: Vec<SiteInfo>,
     site_by_pc: BTreeMap<u64, SiteId>,
     /// Every static `sbrk` request is a granule multiple, so every sbrk
     /// result is granule-aligned (the break starts aligned).
@@ -296,10 +296,43 @@ struct Analyzer<'p> {
     unknown_store: bool,
     /// Site → first PC that loads from it.
     loaded_sites: BTreeMap<SiteId, u64>,
+    /// Function currently being analyzed (index into `cfg.functions`).
+    cur_fn: usize,
+    /// Retain per-function fixpoint in-states in `saved_states` (the
+    /// elision pass re-walks blocks from them; `verify_program` skips
+    /// the cost).
+    pub(crate) keep_states: bool,
+    /// Function index → block index → in-state at the narrowed fixpoint.
+    pub(crate) saved_states: BTreeMap<usize, BTreeMap<usize, State>>,
+    /// Absolute addresses with a guest `arm` anywhere in the program.
+    pub(crate) abs_arms: BTreeSet<u64>,
+    /// Allocation sites with a guest `arm` somewhere inside the chunk.
+    pub(crate) heap_arm_sites: BTreeSet<SiteId>,
+    /// Function index → entry-sp offsets armed within that function.
+    pub(crate) sp_arms: BTreeMap<usize, BTreeSet<i64>>,
+    /// Every resolved arm: (function, location, arm PC).
+    pub(crate) arm_records: BTreeSet<(usize, Loc, u64)>,
+    /// An `arm` at an unresolvable address anywhere in the program.
+    pub(crate) unknown_arm: bool,
+    /// Sites freed — must or may — anywhere in the program. Unlike the
+    /// flow-sensitive `State::freed` (which reallocation clears), this
+    /// set is monotone: stale aliases into a site that is *ever* freed
+    /// can dangle into token-filled quarantine, so elision must treat
+    /// the site as freed on every path.
+    pub(crate) may_freed: BTreeSet<SiteId>,
+    /// A `free`/`realloc` whose argument is not a resolvable allocation
+    /// base: any heap chunk may be quarantined.
+    pub(crate) unknown_free: bool,
+    /// Functions containing at least one sp-relative memory access.
+    fns_with_sp_access: BTreeSet<usize>,
+    /// Any memory access through an absolute (numeric) address.
+    has_abs_access: bool,
+    /// Any memory access through an unresolvable (`Top`/`Undef`) base.
+    unknown_access: bool,
 }
 
 impl<'p> Analyzer<'p> {
-    fn new(program: &'p Program) -> Analyzer<'p> {
+    pub(crate) fn new(program: &'p Program) -> Analyzer<'p> {
         let cfg = Cfg::build(program);
         let code_end = Program::CODE_BASE + program.len() as u64 * PC_STEP;
         Analyzer {
@@ -313,6 +346,19 @@ impl<'p> Analyzer<'p> {
             stored_sites: BTreeSet::new(),
             unknown_store: false,
             loaded_sites: BTreeMap::new(),
+            cur_fn: 0,
+            keep_states: false,
+            saved_states: BTreeMap::new(),
+            abs_arms: BTreeSet::new(),
+            heap_arm_sites: BTreeSet::new(),
+            sp_arms: BTreeMap::new(),
+            arm_records: BTreeSet::new(),
+            unknown_arm: false,
+            may_freed: BTreeSet::new(),
+            unknown_free: false,
+            fns_with_sp_access: BTreeSet::new(),
+            has_abs_access: false,
+            unknown_access: false,
         }
     }
 
@@ -332,7 +378,7 @@ impl<'p> Analyzer<'p> {
         }
     }
 
-    fn run(mut self) -> VerifyResult {
+    pub(crate) fn execute(&mut self) -> VerifyResult {
         // Structural lints first.
         for bi in self.cfg.unreachable_blocks() {
             let b = &self.cfg.blocks[bi];
@@ -375,7 +421,37 @@ impl<'p> Analyzer<'p> {
             }
         }
 
-        let mut findings: Vec<Finding> = self.findings.into_values().collect();
+        // Flow-insensitive pass: arms whose guarded location no access in
+        // the whole program can reach — the ARM/DISARM pair burns cycles
+        // and arms a token nothing can trip over. Any unresolvable access
+        // (a `Top`/`Undef` base) could touch anything, so it suppresses
+        // the pass entirely.
+        if !self.unknown_access {
+            for (fi, loc, pc) in self.arm_records.clone() {
+                let dead = match loc {
+                    Loc::Sp(_) => !self.fns_with_sp_access.contains(&fi),
+                    Loc::Heap(site, _) => {
+                        !self.stored_sites.contains(&site)
+                            && !self.loaded_sites.contains_key(&site)
+                    }
+                    Loc::Abs(_) => !self.has_abs_access,
+                };
+                if dead {
+                    self.report(
+                        "dead-arm",
+                        Severity::Warning,
+                        pc,
+                        format!(
+                            "{} is armed but no reachable access can touch the guarded \
+                             region; the arm/disarm pair is dead instrumentation",
+                            loc.describe()
+                        ),
+                    );
+                }
+            }
+        }
+
+        let mut findings: Vec<Finding> = std::mem::take(&mut self.findings).into_values().collect();
         findings.sort_by(|a, b| (a.pc, a.pass).cmp(&(b.pc, b.pass)));
         VerifyResult {
             findings,
@@ -388,6 +464,7 @@ impl<'p> Analyzer<'p> {
 
     fn analyze_function(&mut self, fi: usize) {
         let func = self.cfg.functions[fi].clone();
+        self.cur_fn = fi;
         let is_main = fi == 0;
         let members: BTreeSet<usize> = func.blocks.iter().copied().collect();
         let Some(&entry_bi) = self.cfg.index.get(&func.entry) else {
@@ -469,6 +546,10 @@ impl<'p> Analyzer<'p> {
         // Collection pass over the fixpoint states.
         for (&bi, state) in &in_states.clone() {
             self.transfer_block(bi, state.clone(), is_main, true);
+        }
+
+        if self.keep_states {
+            self.saved_states.insert(fi, in_states);
         }
     }
 
@@ -592,7 +673,7 @@ impl<'p> Analyzer<'p> {
         v
     }
 
-    fn transfer_inst(
+    pub(crate) fn transfer_inst(
         &mut self,
         pc: u64,
         inst: &Inst,
@@ -671,15 +752,28 @@ impl<'p> Analyzer<'p> {
         match self.resolve_loc(v) {
             Some(loc) => {
                 if collect {
+                    self.arm_records.insert((self.cur_fn, loc, pc));
+                    match loc {
+                        Loc::Abs(a) => {
+                            self.abs_arms.insert(a);
+                        }
+                        Loc::Sp(o) => {
+                            self.sp_arms.entry(self.cur_fn).or_default().insert(o);
+                        }
+                        Loc::Heap(site, _) => {
+                            self.heap_arm_sites.insert(site);
+                        }
+                    }
                     if let Some(prev) = state.armed.get(&loc) {
                         if prev.must {
                             let at = prev.arm_pc;
                             self.report(
-                                "arm-balance",
+                                "rearm-redundant",
                                 Severity::Warning,
                                 pc,
                                 format!(
-                                    "{} is re-armed while already armed (first at pc {at:#x})",
+                                    "{} is re-armed while already armed (first at pc {at:#x}); \
+                                     the second arm re-fills an already-token-filled granule",
                                     loc.describe()
                                 ),
                             );
@@ -704,6 +798,7 @@ impl<'p> Analyzer<'p> {
             None => {
                 state.armed_unknown = true;
                 if collect {
+                    self.unknown_arm = true;
                     self.report(
                         "arm-balance",
                         Severity::Warning,
@@ -945,9 +1040,21 @@ impl<'p> Analyzer<'p> {
             EcallNum::Realloc => {
                 // The runtime allocates anew, copies, and frees the old
                 // chunk.
-                if let AbsVal::Ptr { site, off, .. } = arg(state, Reg::A0) {
-                    if off.singleton() == Some(0) {
-                        self.note_free(pc, site, state, collect);
+                match arg(state, Reg::A0) {
+                    AbsVal::Ptr { site, off, .. } => {
+                        if collect {
+                            self.may_freed.insert(site);
+                        }
+                        if off.singleton() == Some(0) {
+                            self.note_free(pc, site, state, collect);
+                        }
+                    }
+                    // realloc(NULL, n) behaves as malloc: nothing freed.
+                    AbsVal::Num { val, .. } if val.singleton() == Some(0) => {}
+                    _ => {
+                        if collect {
+                            self.unknown_free = true;
+                        }
                     }
                 }
                 let size = size_of(&arg(state, Reg::A1));
@@ -981,31 +1088,45 @@ impl<'p> Analyzer<'p> {
             }
             EcallNum::Free => {
                 match arg(state, Reg::A0) {
-                    AbsVal::Ptr { site, off, .. } => match off.singleton() {
-                        Some(0) => self.note_free(pc, site, state, collect),
-                        Some(o) => {
-                            if collect {
-                                self.report(
-                                    "ecall-abi",
-                                    Severity::Error,
-                                    pc,
-                                    format!(
-                                        "free of an interior pointer (allocation base {o:+} \
-                                         bytes); the allocator rejects non-base pointers"
-                                    ),
-                                );
+                    AbsVal::Ptr { site, off, .. } => {
+                        if collect {
+                            self.may_freed.insert(site);
+                        }
+                        match off.singleton() {
+                            Some(0) => self.note_free(pc, site, state, collect),
+                            Some(o) => {
+                                if collect {
+                                    self.report(
+                                        "ecall-abi",
+                                        Severity::Error,
+                                        pc,
+                                        format!(
+                                            "free of an interior pointer (allocation base {o:+} \
+                                             bytes); the allocator rejects non-base pointers"
+                                        ),
+                                    );
+                                }
+                            }
+                            None => {
+                                // May free: every prior must-freed stays must;
+                                // this site becomes may-freed.
+                                state.freed.entry(site).or_insert(false);
                             }
                         }
-                        None => {
-                            // May free: every prior must-freed stays must;
-                            // this site becomes may-freed.
-                            state.freed.entry(site).or_insert(false);
-                        }
-                    },
+                    }
                     AbsVal::Undef => {
                         let _ = self.read(Reg::A0, state, pc, is_main, collect);
+                        if collect {
+                            self.unknown_free = true;
+                        }
                     }
-                    _ => {}
+                    // free(NULL) is a no-op.
+                    AbsVal::Num { val, .. } if val.singleton() == Some(0) => {}
+                    _ => {
+                        if collect {
+                            self.unknown_free = true;
+                        }
+                    }
                 }
                 state.set(Reg::A0, AbsVal::val(0));
             }
@@ -1202,6 +1323,7 @@ impl<'p> Analyzer<'p> {
                 }
             }
             AbsVal::SpRel { off } => {
+                self.fns_with_sp_access.insert(self.cur_fn);
                 if !collect {
                     return;
                 }
@@ -1235,6 +1357,7 @@ impl<'p> Analyzer<'p> {
                 }
             }
             AbsVal::Num { val, .. } => {
+                self.has_abs_access = true;
                 if !collect {
                     return;
                 }
@@ -1278,6 +1401,7 @@ impl<'p> Analyzer<'p> {
                 }
             }
             AbsVal::Top | AbsVal::Undef => {
+                self.unknown_access = true;
                 if store {
                     self.unknown_store = true;
                 }
@@ -1361,7 +1485,7 @@ impl<'p> Analyzer<'p> {
 
     /// Refines `state` along the `taken`/not-taken edge of `branch`;
     /// `None` means the edge is infeasible.
-    fn refine_branch(&self, branch: &Inst, state: &State, taken: bool) -> Option<State> {
+    pub(crate) fn refine_branch(&self, branch: &Inst, state: &State, taken: bool) -> Option<State> {
         let Inst::Branch {
             cond, src1, src2, ..
         } = *branch
@@ -1407,10 +1531,11 @@ fn refine_int(a: &SInt, cond: BranchCond, c: i64, taken: bool, a_is_lhs: bool) -
             }
             let mut out = *a;
             if out.lo == Some(c) {
-                out = out.clamp(Some(c + 1), None)?;
+                // c == i64::MAX leaves no value above it: infeasible.
+                out = out.clamp(Some(c.checked_add(1)?), None)?;
             }
             if out.hi == Some(c) {
-                out = out.clamp(None, Some(c - 1))?;
+                out = out.clamp(None, Some(c.checked_sub(1)?))?;
             }
             Some(out)
         }

@@ -105,7 +105,9 @@ impl SInt {
             return false;
         }
         match (self.lo, self.stride) {
-            (Some(l), s) if s > 1 => (v - l) % s as i64 == 0,
+            // i128 keeps the residue test exact when `v - l` would
+            // overflow i64 (e.g. lo near i64::MIN, v near i64::MAX).
+            (Some(l), s) if s > 1 => (v as i128 - l as i128) % s as i128 == 0,
             (Some(l), 0) => v == l,
             _ => true,
         }
@@ -329,6 +331,10 @@ impl SInt {
                 return SInt::top();
             }
             match (self.lo, self.hi) {
+                // mask == i64::MIN gives g == 2^63, which doesn't fit
+                // i64 — but every non-negative i64 is < 2^63, so the
+                // align-down collapses to zero exactly.
+                (Some(l), Some(_)) if l >= 0 && g > i64::MAX as u64 => SInt::val(0),
                 (Some(l), Some(h)) if l >= 0 => {
                     let gi = g as i64;
                     SInt {
@@ -356,17 +362,28 @@ impl SInt {
             (a, b) => a.or(b),
         };
         // Snap onto the stride lattice (values ≡ old lo mod stride).
+        // All snap arithmetic runs in i128: `l - anchor` overflows i64
+        // when the bounds straddle the extremes, and the snapped bound
+        // itself can land outside i64 — in which case no member of the
+        // residue class exists on that side and the edge is infeasible.
         if let (Some(anchor), s) = (self.lo, self.stride) {
             if s > 1 {
+                let s = s as i128;
                 if let Some(l) = lo {
-                    let rem = (l - anchor).rem_euclid(s as i64);
+                    let rem = (l as i128 - anchor as i128).rem_euclid(s);
                     if rem != 0 {
-                        lo = Some(l + (s as i64 - rem));
+                        match i64::try_from(l as i128 + (s - rem)) {
+                            Ok(snapped) => lo = Some(snapped),
+                            Err(_) => return None,
+                        }
                     }
                 }
                 if let Some(h) = hi {
-                    let rem = (h - anchor).rem_euclid(s as i64);
-                    hi = Some(h - rem);
+                    let rem = (h as i128 - anchor as i128).rem_euclid(s);
+                    match i64::try_from(h as i128 - rem) {
+                        Ok(snapped) => hi = Some(snapped),
+                        Err(_) => return None,
+                    }
                 }
             }
         }
@@ -594,6 +611,80 @@ mod tests {
         let sum = byte.add(&SInt::val(16));
         assert_eq!(sum.lo, Some(16));
         assert_eq!(sum.hi, Some(16392));
+    }
+
+    #[test]
+    fn clamp_survives_the_i64_extremes() {
+        // Bounds straddling the extremes: `l - anchor` would overflow
+        // i64 inside the stride snap.
+        let wide = SInt {
+            lo: Some(i64::MIN),
+            hi: Some(i64::MAX),
+            stride: 8,
+        };
+        // Members are ≡ i64::MIN ≡ 0 (mod 8); the next one at or above
+        // i64::MAX - 10 is i64::MAX - 7.
+        let c = wide.clamp(Some(i64::MAX - 10), None).unwrap();
+        assert_eq!(c.lo, Some(i64::MAX - 7));
+        // And above i64::MAX - 3 no member exists at all: the snapped
+        // bound would pass i64::MAX, so the edge is infeasible.
+        assert!(wide.clamp(Some(i64::MAX - 3), None).is_none());
+        // Snapping the lower bound up past i64::MAX: no member exists.
+        let high = SInt {
+            lo: Some(i64::MAX - 9),
+            hi: Some(i64::MAX),
+            stride: 16,
+        };
+        assert!(high.clamp(Some(i64::MAX - 5), None).is_none());
+        // Snapping the upper bound down past i64::MIN: no member either.
+        let low = SInt {
+            lo: Some(i64::MIN + 7),
+            hi: Some(i64::MIN + 7),
+            stride: 0,
+        };
+        assert!(low.clamp(None, Some(i64::MIN + 3)).is_none());
+    }
+
+    #[test]
+    fn contains_is_exact_across_the_full_range() {
+        let wide = SInt {
+            lo: Some(i64::MIN),
+            hi: Some(i64::MAX),
+            stride: 2,
+        };
+        // i64::MIN is even and i64::MAX is odd: membership must not
+        // wrap. (A raw `v - l` here overflows and flips the answer.)
+        assert!(wide.contains(i64::MIN));
+        assert!(!wide.contains(i64::MAX));
+        assert!(wide.contains(0));
+    }
+
+    #[test]
+    fn and_mask_handles_the_sign_bit_mask() {
+        // mask == i64::MIN is align-down by 2^63: every non-negative
+        // value collapses to 0.
+        let v = SInt::range(0, 123_456);
+        assert_eq!(v.and_mask(i64::MIN), SInt::val(0));
+        // Negative inputs stay Top (the idiom only covers align-down of
+        // non-negative cursors).
+        assert_eq!(SInt::range(-5, 5).and_mask(i64::MIN), SInt::top());
+    }
+
+    #[test]
+    fn arithmetic_saturates_to_top_at_the_extremes() {
+        let max = SInt::val(i64::MAX);
+        assert_eq!(max.add(&SInt::val(1)), SInt::top());
+        // Negating i64::MIN has no i64 representation: the bound is
+        // dropped rather than wrapped.
+        let min = SInt {
+            lo: Some(i64::MIN),
+            hi: Some(0),
+            stride: 1,
+        };
+        let n = min.neg();
+        assert_eq!(n.lo, Some(0));
+        assert_eq!(n.hi, None);
+        assert_eq!(SInt::val(i64::MIN).mul(&SInt::val(-1)), SInt::top());
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! * [`analysis`] runs a forward worklist fixpoint per function and
 //!   reports arm/disarm imbalance, statically guaranteed REST
 //!   violations (`must-trap`), and a suite of general lints;
+//! * [`dom`] builds per-function dominator trees over the recovered
+//!   CFG (Cooper–Harvey–Kennedy, irreducible-safe);
+//! * [`elide`] proves per-access-PC check-elision verdicts
+//!   (`MustBeSafe` / `Redundant`) on top of the fixpoint and emits
+//!   `rest-elide/v1` maps the emulator consumes to skip checks;
 //! * [`report`] renders deterministic JSON for `results/lint.json`.
 //!
 //! The `restlint` binary lints the whole in-tree corpus: every workload
@@ -41,12 +46,18 @@
 //! assert_eq!(result.findings.iter().filter(|f| f.severity == Severity::MustTrap).count(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod cfg;
+pub mod dom;
 pub mod domain;
+pub mod elide;
 pub mod report;
 
 pub use analysis::{verify_program, Finding, Severity, VerifyResult};
 pub use cfg::{Block, Cfg, Function, Succ};
+pub use dom::DomTree;
 pub use domain::{AbsVal, SInt, SiteId};
+pub use elide::{elide_program, ElideScheme, ElisionReport, ELIDE_SCHEMA};
 pub use report::{report_json, DiffOutcome, ProgramReport, REPORT_SCHEMA};

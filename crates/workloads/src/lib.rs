@@ -31,6 +31,8 @@
 //! assert!(program.len() > 10);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod astar;
 mod bzip2;
 mod common;
