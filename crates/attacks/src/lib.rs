@@ -35,7 +35,7 @@
 
 mod programs;
 
-use rest_cpu::{Emulator, SimConfig, StopReason};
+use rest_cpu::{Emulator, ExecEngine, SimConfig, StopReason};
 use rest_isa::Program;
 use rest_runtime::{RtConfig, Scheme, StackScheme};
 

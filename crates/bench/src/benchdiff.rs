@@ -1,6 +1,7 @@
 //! Throughput regression gate: compares a freshly measured
-//! `rest-throughput/v1` document against a committed baseline and fails
-//! when the sweep-wide fast-path guest-IPS regressed beyond tolerance.
+//! `rest-throughput/v2` document against a committed baseline and fails
+//! when the sweep-wide fast-path or trace-tier guest-IPS regressed
+//! beyond tolerance.
 //!
 //! The `bench-diff` binary wraps [`diff`]:
 //!
@@ -54,6 +55,10 @@ pub struct DiffReport {
     pub baseline_ips: f64,
     /// Current sweep-wide fast-path guest-IPS.
     pub current_ips: f64,
+    /// Baseline sweep-wide trace-tier guest-IPS (`summary.trace_ips`).
+    pub baseline_trace_ips: f64,
+    /// Current sweep-wide trace-tier guest-IPS.
+    pub current_trace_ips: f64,
     /// Regression tolerance in percent.
     pub tolerance_pct: f64,
     /// Cells present in both documents, in current-document order.
@@ -63,19 +68,31 @@ pub struct DiffReport {
     pub unmatched: Vec<String>,
 }
 
+fn pct(current: f64, baseline: f64) -> f64 {
+    if baseline > 0.0 {
+        (current / baseline - 1.0) * 100.0
+    } else {
+        0.0
+    }
+}
+
 impl DiffReport {
-    /// Aggregate change in percent (negative = slower than baseline).
+    /// Aggregate fast-path change in percent (negative = slower than
+    /// baseline).
     pub fn delta_pct(&self) -> f64 {
-        if self.baseline_ips > 0.0 {
-            (self.current_ips / self.baseline_ips - 1.0) * 100.0
-        } else {
-            0.0
-        }
+        pct(self.current_ips, self.baseline_ips)
     }
 
-    /// Whether the aggregate guest-IPS regressed beyond tolerance.
+    /// Aggregate trace-tier change in percent.
+    pub fn trace_delta_pct(&self) -> f64 {
+        pct(self.current_trace_ips, self.baseline_trace_ips)
+    }
+
+    /// Whether either aggregate guest-IPS (fast path or trace tier)
+    /// regressed beyond tolerance.
     pub fn regressed(&self) -> bool {
         self.delta_pct() < -self.tolerance_pct
+            || self.trace_delta_pct() < -self.tolerance_pct
     }
 
     /// The human-readable comparison table plus verdict line.
@@ -104,7 +121,7 @@ impl DiffReport {
         let _ = writeln!(
             out,
             "{:<18}{:<20}{:>14.0}{:>14.0}{:>+9.2}%",
-            "AGGREGATE",
+            "AGGREGATE (fast)",
             "",
             self.baseline_ips,
             self.current_ips,
@@ -112,20 +129,31 @@ impl DiffReport {
         );
         let _ = writeln!(
             out,
-            "{}: aggregate fast-path guest-IPS {:+.2}% vs baseline (tolerance -{:.2}%)",
+            "{:<18}{:<20}{:>14.0}{:>14.0}{:>+9.2}%",
+            "AGGREGATE (trace)",
+            "",
+            self.baseline_trace_ips,
+            self.current_trace_ips,
+            self.trace_delta_pct()
+        );
+        let _ = writeln!(
+            out,
+            "{}: aggregate guest-IPS fast {:+.2}% / trace {:+.2}% vs baseline \
+             (tolerance -{:.2}%)",
             if self.regressed() { "REGRESSION" } else { "OK" },
             self.delta_pct(),
+            self.trace_delta_pct(),
             self.tolerance_pct
         );
         out
     }
 }
 
-fn summary_ips(doc: &Json, which: &str) -> Result<f64, String> {
+fn summary_ips(doc: &Json, key: &str, which: &str) -> Result<f64, String> {
     doc.get("summary")
-        .and_then(|s| s.get("fast_ips"))
+        .and_then(|s| s.get(key))
         .and_then(Json::as_f64)
-        .ok_or_else(|| format!("{which}: missing summary.fast_ips"))
+        .ok_or_else(|| format!("{which}: missing summary.{key}"))
 }
 
 fn cell_map(doc: &Json) -> Vec<(String, f64)> {
@@ -145,9 +173,10 @@ fn cell_map(doc: &Json) -> Vec<(String, f64)> {
         .unwrap_or_default()
 }
 
-/// Validates both documents against `rest-throughput/v1` and compares
-/// their aggregate fast-path guest-IPS (plus per-cell deltas for the
-/// report). Schema violations are errors, not passes.
+/// Validates both documents against `rest-throughput/v2` and compares
+/// their aggregate fast-path and trace-tier guest-IPS (plus per-cell
+/// fast-path deltas for the report). Schema violations are errors, not
+/// passes.
 pub fn diff(baseline: &Json, current: &Json, tolerance_pct: f64) -> Result<DiffReport, String> {
     ThroughputReport::validate(baseline).map_err(|e| format!("baseline: {e}"))?;
     ThroughputReport::validate(current).map_err(|e| format!("current: {e}"))?;
@@ -178,8 +207,10 @@ pub fn diff(baseline: &Json, current: &Json, tolerance_pct: f64) -> Result<DiffR
         }
     }
     Ok(DiffReport {
-        baseline_ips: summary_ips(baseline, "baseline")?,
-        current_ips: summary_ips(current, "current")?,
+        baseline_ips: summary_ips(baseline, "fast_ips", "baseline")?,
+        current_ips: summary_ips(current, "fast_ips", "current")?,
+        baseline_trace_ips: summary_ips(baseline, "trace_ips", "baseline")?,
+        current_trace_ips: summary_ips(current, "trace_ips", "current")?,
         tolerance_pct,
         cells,
         unmatched,
@@ -197,7 +228,16 @@ pub fn load(path: &std::path::Path) -> Result<Json, String> {
 mod tests {
     use super::*;
 
+    /// Builds a schema-valid v2 document. Each cell carries a fast-path
+    /// guest-IPS; the trace tier defaults to 2x fast unless overridden
+    /// via `doc_with_trace`.
     fn doc(ips_per_cell: &[(&str, &str, f64)]) -> Json {
+        let total: f64 = ips_per_cell.iter().map(|&(_, _, i)| i).sum();
+        let mean = total / ips_per_cell.len().max(1) as f64;
+        doc_with_trace(ips_per_cell, mean * 2.0)
+    }
+
+    fn doc_with_trace(ips_per_cell: &[(&str, &str, f64)], trace_ips: f64) -> Json {
         let total: f64 = ips_per_cell.iter().map(|&(_, _, i)| i).sum();
         let mean = total / ips_per_cell.len().max(1) as f64;
         Json::obj(vec![
@@ -216,10 +256,13 @@ mod tests {
                                 ("guest_insts", Json::UInt(1000)),
                                 ("guest_uops", Json::UInt(1100)),
                                 ("fast_wall_s", Json::Num(0.1)),
+                                ("trace_wall_s", Json::Num(0.05)),
                                 ("reference_wall_s", Json::Num(0.3)),
                                 ("fast_ips", Json::Num(ips)),
+                                ("trace_ips", Json::Num(ips * 2.0)),
                                 ("reference_ips", Json::Num(ips / 3.0)),
                                 ("speedup", Json::Num(3.0)),
+                                ("trace_speedup", Json::Num(2.0)),
                             ])
                         })
                         .collect(),
@@ -231,8 +274,10 @@ mod tests {
                     ("cells", Json::UInt(ips_per_cell.len() as u64)),
                     ("guest_insts", Json::UInt(1000 * ips_per_cell.len() as u64)),
                     ("fast_ips", Json::Num(mean)),
+                    ("trace_ips", Json::Num(trace_ips)),
                     ("reference_ips", Json::Num(mean / 3.0)),
                     ("speedup", Json::Num(3.0)),
+                    ("trace_speedup", Json::Num(2.0)),
                 ]),
             ),
         ])
@@ -260,6 +305,19 @@ mod tests {
         assert!(report.render().contains("REGRESSION"));
         // The same delta passes under a looser tolerance.
         assert!(!diff(&base, &curr, 15.0).unwrap().regressed());
+    }
+
+    #[test]
+    fn trace_tier_regression_fails_even_when_fast_path_holds() {
+        let cells = [("lbm", "plain", 1000.0)];
+        let base = doc_with_trace(&cells, 2000.0);
+        // Fast path identical, trace tier 20% below baseline.
+        let curr = doc_with_trace(&cells, 1600.0);
+        let report = diff(&base, &curr, 5.0).unwrap();
+        assert!(report.regressed(), "{}", report.render());
+        assert!((report.delta_pct()).abs() < 1e-9);
+        assert!((report.trace_delta_pct() + 20.0).abs() < 1e-9);
+        assert!(report.render().contains("REGRESSION"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
-//! Throughput regression gate: compares a fresh `rest-throughput/v1`
+//! Throughput regression gate: compares a fresh `rest-throughput/v2`
 //! document against a committed baseline and exits nonzero when the
-//! sweep-wide fast-path guest-IPS regressed beyond tolerance. See
-//! [`rest_bench::benchdiff`].
+//! sweep-wide fast-path or trace-tier guest-IPS regressed beyond
+//! tolerance. See [`rest_bench::benchdiff`].
 //!
 //! ```text
 //! bench-diff --baseline results/BENCH_throughput.json \
@@ -19,7 +19,7 @@ use rest_bench::benchdiff::{diff, load, DEFAULT_TOLERANCE_PCT};
 const USAGE: &str = "usage: bench-diff --baseline PATH --current PATH \
                      [--tolerance PCT] [--warn-only]\n\
                      \n\
-                     --baseline PATH   committed rest-throughput/v1 document\n\
+                     --baseline PATH   committed rest-throughput/v2 document\n\
                      --current PATH    freshly measured document to gate\n\
                      --tolerance PCT   allowed aggregate guest-IPS drop (default 5)\n\
                      --warn-only       report a regression without failing (exit 0)";

@@ -1,13 +1,13 @@
 //! Guest-throughput benchmark: guest instructions per host second on
-//! the functional emulator, decoded-uop-cache fast path versus the
-//! re-decode-every-fetch reference path, per benchmark row and
-//! protection configuration.
+//! the functional emulator — superblock-trace tier, decoded-uop-cache
+//! fast path, and re-decode-every-fetch reference path — per benchmark
+//! row and protection configuration.
 //!
-//! Every cell doubles as a differential check — the two paths must
+//! Every cell doubles as a differential check — the three tiers must
 //! retire identical instruction and micro-op counts with identical stop
 //! reasons, or the sweep fails.
 //!
-//! Writes `results/BENCH_throughput.json` (`rest-throughput/v1`); wall
+//! Writes `results/BENCH_throughput.json` (`rest-throughput/v2`); wall
 //! times are nondeterministic, so the file follows the `BENCH_` naming
 //! convention and is never byte-compared in CI.
 //!
@@ -47,7 +47,7 @@ fn main() {
         cells: measured,
     };
 
-    print_machine_header("Guest throughput — fast vs reference decode path (guest-IPS)");
+    print_machine_header("Guest throughput — trace vs fast vs reference execution tier (guest-IPS)");
     report.print_text_table();
 
     let path = cli

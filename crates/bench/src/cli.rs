@@ -24,6 +24,8 @@
 //!                        before simulating; fail fast on error-or-worse findings
 //! --reference            simulate on the reference decode path (re-decode every
 //!                        fetch) instead of the decoded-uop cache
+//! --trace                simulate on the superblock-trace tier (decoded-uop
+//!                        cache plus run-time trace compilation of hot loops)
 //! --resume               resume an interrupted campaign from its checkpoint
 //! --ckpt PATH            checkpoint path (default: results/<experiment>.ckpt.json)
 //! --max-cells N          stop after N freshly simulated cells, keeping the
@@ -41,6 +43,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use rest_cpu::ExecTier;
 use rest_obs::HostProfile;
 use rest_workloads::Scale;
 
@@ -84,6 +87,10 @@ pub struct BenchCli {
     /// every instruction on every fetch instead of replaying from the
     /// decoded-uop cache. Output must be byte-identical; CI diffs it.
     pub reference: bool,
+    /// Simulate on the superblock-trace tier (`--trace`): decoded-uop
+    /// cache plus run-time trace compilation of hot loops. Output must
+    /// be byte-identical; CI diffs it.
+    pub trace: bool,
     /// Resume an interrupted campaign from its checkpoint file
     /// (`--resume`): cells already recorded there are not re-simulated.
     pub resume: bool,
@@ -111,6 +118,19 @@ impl BenchCli {
     /// Default base seed for fault campaigns: fixed so CI runs are
     /// reproducible without passing `--fault-seed`.
     pub const DEFAULT_FAULT_SEED: u64 = 0x5EED_FA17;
+
+    /// The execution tier the flags select: `--trace` wins over
+    /// `--reference` (the more-specialised tier), default is the
+    /// decoded-uop cache.
+    pub fn exec_tier(&self) -> ExecTier {
+        if self.trace {
+            ExecTier::Trace
+        } else if self.reference {
+            ExecTier::Reference
+        } else {
+            ExecTier::Fast
+        }
+    }
 
     /// Default worker count: the machine's available parallelism.
     pub fn default_jobs() -> usize {
@@ -153,6 +173,7 @@ impl BenchCli {
             campaign_trace_out: None,
             verify: false,
             reference: false,
+            trace: false,
             resume: false,
             ckpt: None,
             max_cells: None,
@@ -210,6 +231,7 @@ impl BenchCli {
                 }
                 "--verify" => cli.verify = true,
                 "--reference" => cli.reference = true,
+                "--trace" => cli.trace = true,
                 "--resume" => cli.resume = true,
                 "--ckpt" => {
                     let v = it.next().ok_or("--ckpt needs a path")?;
@@ -302,7 +324,8 @@ impl BenchCli {
              \x20                 [--sample-interval N] [--trace-out PATH] [--trace-uops N]\n\
              \x20                 [--profile-out PATH] [--telemetry-out PATH]\n\
              \x20                 [--campaign-trace-out PATH] [--verify] [--reference]\n\
-             \x20                 [--resume] [--ckpt PATH] [--max-cells N] [--fault-seed N]\n\
+             \x20                 [--trace] [--resume] [--ckpt PATH] [--max-cells N]\n\
+             \x20                 [--fault-seed N]\n\
              \n\
              --test               run at test scale (fast smoke check)\n\
              --jobs N             worker threads (default and upper bound:\n\
@@ -326,6 +349,8 @@ impl BenchCli {
              \x20                    fail fast on error-or-worse findings\n\
              --reference          re-decode every fetch instead of using the\n\
              \x20                    decoded-uop cache (differential/perf baseline)\n\
+             --trace              superblock-trace execution tier: decoded-uop cache\n\
+             \x20                    plus run-time trace compilation of hot loops\n\
              --resume             resume an interrupted campaign from its checkpoint;\n\
              \x20                    recorded cells are not re-simulated\n\
              --ckpt PATH          checkpoint path for campaign experiments\n\
@@ -460,6 +485,7 @@ mod tests {
         assert_eq!(cli.campaign_trace_out, None);
         assert!(!cli.verify);
         assert!(!cli.reference);
+        assert!(!cli.trace);
         assert!(!cli.resume);
         assert_eq!(cli.ckpt, None);
         assert_eq!(cli.ckpt_path(), PathBuf::from("results/fig7.ckpt.json"));
@@ -516,6 +542,19 @@ mod tests {
     fn reference_flag_parses() {
         let cli = BenchCli::from_args("fig7", &argv(&["--reference"])).unwrap();
         assert!(cli.reference);
+        assert_eq!(cli.exec_tier(), ExecTier::Reference);
+    }
+
+    #[test]
+    fn trace_flag_parses_and_wins_tier_selection() {
+        let cli = BenchCli::from_args("fig7", &argv(&[])).unwrap();
+        assert_eq!(cli.exec_tier(), ExecTier::Fast);
+        let cli = BenchCli::from_args("fig7", &argv(&["--trace"])).unwrap();
+        assert!(cli.trace);
+        assert_eq!(cli.exec_tier(), ExecTier::Trace);
+        // Both flags: the more-specialised tier wins deterministically.
+        let cli = BenchCli::from_args("fig7", &argv(&["--reference", "--trace"])).unwrap();
+        assert_eq!(cli.exec_tier(), ExecTier::Trace);
     }
 
     #[test]

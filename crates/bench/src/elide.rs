@@ -33,7 +33,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rest_attacks::Attack;
-use rest_cpu::{Emulator, SimConfig, SimResult, StopReason};
+use rest_cpu::{Emulator, ExecEngine, SimConfig, SimResult, StopReason};
 use rest_obs::Json;
 use rest_runtime::RtConfig;
 use rest_verify::{elide_program, ElideScheme, ElisionReport};

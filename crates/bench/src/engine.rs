@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use rest_cpu::{SimConfig, SimResult, StopReason, System};
+use rest_cpu::{ExecTier, SimConfig, SimResult, StopReason, System};
 use rest_obs::JobTiming;
 use rest_runtime::RtConfig;
 use rest_workloads::{Scale, Workload, WorkloadParams};
@@ -82,10 +82,11 @@ pub struct SimJob {
     /// simulating, failing fast (kind `"verify"`) on any error-or-worse
     /// finding instead of burning cycles on a bad program.
     pub verify: bool,
-    /// Simulate on the reference decode path (re-decode every fetch)
-    /// instead of the decoded-uop cache. Results are identical by
-    /// construction; CI diffs the two byte-for-byte (`--reference`).
-    pub reference_path: bool,
+    /// Functional execution tier: reference re-decode (`--reference`),
+    /// the decoded-uop cache (default), or superblock traces
+    /// (`--trace`). Results are identical by construction; CI diffs the
+    /// tiers byte-for-byte.
+    pub tier: ExecTier,
     /// Attack scenario to run instead of `workload` (fault-injection
     /// campaigns mix clean workload rows with attack rows). When set,
     /// `workload` is an ignored placeholder and the verify gate is
@@ -150,7 +151,7 @@ impl SimJob {
             sample_interval: 0,
             trace_uops: 0,
             verify: false,
-            reference_path: false,
+            tier: ExecTier::Fast,
             attack: None,
             fault: None,
             accept_any_stop: false,
@@ -225,9 +226,10 @@ impl SimJob {
             // The verify gate can turn a would-be simulation into a
             // verify error, so gated and ungated runs are distinct.
             self.verify,
-            // The decode paths must be measured independently — sharing
-            // a cached result would defeat the differential gate.
-            self.reference_path,
+            // The execution tiers must be measured independently —
+            // sharing a cached result would defeat the differential
+            // gate.
+            self.tier.label(),
             // Attack scenario and injected fault define what simulates;
             // the budget/stop-policy fields change how a run can end;
             // the failure-injection knobs change the attempt outcome.
@@ -385,7 +387,7 @@ impl SimJob {
             cfg.mem.token_cache_entries = self.token_cache_entries;
             cfg.sample_interval = self.sample_interval;
             cfg.trace_uops = self.trace_uops;
-            cfg.reference_path = self.reference_path;
+            cfg.tier = self.tier;
             cfg.max_cycles = self.max_cycles;
             cfg.fault = self.fault;
             cfg.profile_guest = self.profile_guest;
@@ -699,7 +701,7 @@ impl Engine {
         for job in &mut jobs {
             job.sample_interval = spec.sample_interval;
             job.verify = spec.verify;
-            job.reference_path = spec.reference_path;
+            job.tier = spec.tier;
             job.profile_guest = spec.profile_guest;
         }
         // Tracing is bounded to the matrix's first job: one Perfetto
@@ -782,9 +784,9 @@ pub struct MatrixSpec {
     /// Run the static verifier over every program before simulating
     /// (`--verify`): jobs with error-or-worse lint findings fail fast.
     pub verify: bool,
-    /// Simulate every job on the reference decode path (`--reference`)
-    /// instead of the decoded-uop cache; output must stay byte-identical.
-    pub reference_path: bool,
+    /// Execution tier applied to every job (`--reference` / `--trace`);
+    /// output must stay byte-identical across tiers.
+    pub tier: ExecTier,
     /// Collect the guest hotspot profile on **every** job of the
     /// matrix: results then carry per-PC counters and the
     /// per-allocation-site table (used by the defense campaign's
@@ -805,7 +807,7 @@ impl MatrixSpec {
             sample_interval: 0,
             trace_uops: 0,
             verify: false,
-            reference_path: false,
+            tier: ExecTier::Fast,
             profile_guest: false,
         }
     }
@@ -822,7 +824,7 @@ impl MatrixSpec {
             0
         };
         self.verify = cli.verify;
-        self.reference_path = cli.reference;
+        self.tier = cli.exec_tier();
         self
     }
 }
@@ -956,10 +958,16 @@ mod tests {
         };
         assert_ne!(a.cache_key(), gated.cache_key());
         let reference = SimJob {
-            reference_path: true,
+            tier: ExecTier::Reference,
             ..a.clone()
         };
         assert_ne!(a.cache_key(), reference.cache_key());
+        let trace = SimJob {
+            tier: ExecTier::Trace,
+            ..a.clone()
+        };
+        assert_ne!(a.cache_key(), trace.cache_key());
+        assert_ne!(reference.cache_key(), trace.cache_key());
     }
 
     #[test]
@@ -969,7 +977,7 @@ mod tests {
             .execute()
             .unwrap();
         let reference = SimJob {
-            reference_path: true,
+            tier: ExecTier::Reference,
             ..SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test)
         }
         .execute()
@@ -977,6 +985,15 @@ mod tests {
         assert_eq!(fast.stats_map(), reference.stats_map());
         assert_eq!(fast.stop, reference.stop);
         assert_eq!(fast.output, reference.output);
+        let trace = SimJob {
+            tier: ExecTier::Trace,
+            ..SimJob::plain(&row, CoreKind::OutOfOrder, Scale::Test)
+        }
+        .execute()
+        .unwrap();
+        assert_eq!(fast.stats_map(), trace.stats_map());
+        assert_eq!(fast.stop, trace.stop);
+        assert_eq!(fast.output, trace.output);
     }
 
     #[test]

@@ -55,6 +55,13 @@ fn scan(doc: &Json, path: &str, violations: &mut Vec<String>) {
     }
 }
 
+/// Whether a committed results file is exempt from the byte-determinism
+/// contract. Only files matching the exact `BENCH_*.json` shape qualify
+/// — a stray `bench_foo.json` or `xBENCH_foo.json` is still scanned.
+fn is_bench_file(name: &str) -> bool {
+    name.starts_with("BENCH_") && name.ends_with(".json")
+}
+
 #[test]
 fn experiment_documents_carry_no_host_dependent_keys() {
     let dir = results_dir();
@@ -63,7 +70,7 @@ fn experiment_documents_carry_no_host_dependent_keys() {
     for entry in std::fs::read_dir(&dir).expect("results/ directory is committed") {
         let path = entry.unwrap().path();
         let name = path.file_name().unwrap().to_string_lossy().to_string();
-        if !name.ends_with(".json") || name.starts_with("BENCH_") {
+        if !name.ends_with(".json") || is_bench_file(&name) {
             continue;
         }
         let text = std::fs::read_to_string(&path).unwrap();
@@ -81,19 +88,76 @@ fn experiment_documents_carry_no_host_dependent_keys() {
 
 #[test]
 fn bench_files_are_the_only_home_for_host_measurements() {
-    // The inverse direction: the committed throughput baseline really
-    // does carry the host-rate keys the gate diffs on, so the scan
-    // above is known to be looking for the right names.
-    let text = std::fs::read_to_string(results_dir().join("BENCH_throughput.json"))
-        .expect("results/BENCH_throughput.json must be committed");
-    let doc = Json::parse(&text).unwrap();
+    // The inverse direction (the negative test): every committed
+    // `BENCH_` document really does carry host-dependent keys — if one
+    // didn't, its measurements could silently migrate into an
+    // experiment document without the scan above noticing, and the
+    // exemption would be hiding nothing. This also pins the exemption
+    // list itself: the three nondeterministic artefacts the harness
+    // writes today must all be present and all be exempt.
+    let dir = results_dir();
+    let mut bench_files = Vec::new();
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let name = entry
+            .unwrap()
+            .path()
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .to_string();
+        if is_bench_file(&name) {
+            bench_files.push(name);
+        }
+    }
+    bench_files.sort();
+    for required in [
+        "BENCH_elision.json",
+        "BENCH_telemetry.json",
+        "BENCH_throughput.json",
+    ] {
+        assert!(
+            bench_files.iter().any(|n| n == required),
+            "results/{required} must be committed (have {bench_files:?})"
+        );
+    }
+    for name in &bench_files {
+        let text = std::fs::read_to_string(dir.join(name)).unwrap();
+        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("{name} must parse: {e}"));
+        let mut violations = Vec::new();
+        scan(&doc, name, &mut violations);
+        assert!(
+            !violations.is_empty(),
+            "{name} carries no host-dependent keys — it does not need the BENCH_ exemption"
+        );
+    }
+
+    // Spot-check the specific keys each gate relies on.
     let mut violations = Vec::new();
-    scan(&doc, "BENCH_throughput.json", &mut violations);
+    let throughput =
+        Json::parse(&std::fs::read_to_string(dir.join("BENCH_throughput.json")).unwrap()).unwrap();
+    scan(&throughput, "BENCH_throughput.json", &mut violations);
     assert!(
         violations.iter().any(|v| v.ends_with(".fast_ips")),
         "the throughput baseline carries the gated fast_ips keys"
     );
+    assert!(
+        violations.iter().any(|v| v.ends_with(".trace_ips")),
+        "the throughput baseline carries the gated trace_ips keys"
+    );
     assert!(violations.iter().any(|v| v.ends_with(".effective_jobs")));
+
+    violations.clear();
+    let elision =
+        Json::parse(&std::fs::read_to_string(dir.join("BENCH_elision.json")).unwrap()).unwrap();
+    scan(&elision, "BENCH_elision.json", &mut violations);
+    assert!(violations.iter().any(|v| v.ends_with("_wall_s")));
+
+    violations.clear();
+    let telemetry =
+        Json::parse(&std::fs::read_to_string(dir.join("BENCH_telemetry.json")).unwrap()).unwrap();
+    scan(&telemetry, "BENCH_telemetry.json", &mut violations);
+    assert!(violations.iter().any(|v| v.ends_with(".spans")));
+    assert!(violations.iter().any(|v| v.ends_with("_ms")));
 }
 
 #[test]

@@ -28,6 +28,7 @@ fn test_cli() -> BenchCli {
         campaign_trace_out: None,
         verify: false,
         reference: false,
+        trace: false,
         resume: false,
         ckpt: None,
         max_cells: None,

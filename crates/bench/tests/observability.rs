@@ -34,6 +34,7 @@ fn obs_cli() -> BenchCli {
         campaign_trace_out: None,
         verify: false,
         reference: false,
+        trace: false,
         resume: false,
         ckpt: None,
         max_cells: None,

@@ -1,7 +1,35 @@
 use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::exception::RestExceptionKind;
 use crate::token::TokenWidth;
+
+/// Multiplicative hasher for armed-slot addresses. The membership probe
+/// in [`ArmedSet::first_overlap`] sits on the per-access hot path of
+/// every REST simulation, where SipHash's per-lookup cost dominates;
+/// slot addresses are token-width aligned and low-entropy, and a single
+/// Fibonacci multiply spreads them well. [`ArmedSet::iter`] order is
+/// explicitly unspecified and never reaches deterministic artifacts, so
+/// the hash function cannot leak into results.
+#[derive(Default)]
+struct SlotHasher(u64);
+
+impl Hasher for SlotHasher {
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("slot addresses hash via write_u64");
+    }
+
+    fn write_u64(&mut self, slot: u64) {
+        self.0 = slot.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Armed-slot membership set with the fast multiplicative hasher.
+type SlotSet = HashSet<u64, BuildHasherDefault<SlotHasher>>;
 
 /// The architectural set of armed (token-holding) locations.
 ///
@@ -28,7 +56,7 @@ use crate::token::TokenWidth;
 pub struct ArmedSet {
     width: TokenWidth,
     /// Base addresses of armed slots (each `width.bytes()` long).
-    slots: HashSet<u64>,
+    slots: SlotSet,
     arms: u64,
     disarms: u64,
     /// When true, every arm's slot address is appended to `recent` so a
@@ -43,7 +71,7 @@ impl ArmedSet {
     pub fn new(width: TokenWidth) -> ArmedSet {
         ArmedSet {
             width,
-            slots: HashSet::new(),
+            slots: SlotSet::default(),
             arms: 0,
             disarms: 0,
             recording: false,
@@ -95,6 +123,7 @@ impl ArmedSet {
     }
 
     /// Whether the slot at exactly `addr` is armed.
+    #[inline]
     pub fn is_armed(&self, addr: u64) -> bool {
         self.slots.contains(&addr)
     }
@@ -102,12 +131,14 @@ impl ArmedSet {
     /// Whether `[addr, addr+size)` overlaps any armed slot. This is the
     /// architectural counterpart of "the access touches a line slot whose
     /// token bit is set".
+    #[inline]
     pub fn overlaps(&self, addr: u64, size: u64) -> bool {
         self.first_overlap(addr, size).is_some()
     }
 
     /// Base address of the first armed slot overlapped by
     /// `[addr, addr+size)`, if any.
+    #[inline]
     pub fn first_overlap(&self, addr: u64, size: u64) -> Option<u64> {
         if size == 0 {
             return None;

@@ -5,6 +5,36 @@ use rest_faults::FaultSpec;
 use rest_mem::MemConfig;
 use rest_runtime::RtConfig;
 
+/// Functional execution tier. All three tiers are architecturally
+/// identical by construction — the differential gate in `rest-bench`
+/// holds their micro-op streams and stats byte-for-byte equal — and
+/// differ only in how much static work they amortise per fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecTier {
+    /// Re-decode every instruction on every fetch. The slow oracle CI
+    /// diffs the other tiers against.
+    Reference,
+    /// Replay prebuilt micro-op templates from the decoded-uop cache.
+    #[default]
+    Fast,
+    /// The decoded-uop cache plus run-time superblock traces: hot
+    /// straight-line regions discovered at backward-branch targets are
+    /// compiled into fused trace ops and dispatched without per-step
+    /// fetch/budget overhead. See `crate::superblock`.
+    Trace,
+}
+
+impl ExecTier {
+    /// Stable label used in cache keys and result columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecTier::Reference => "reference",
+            ExecTier::Fast => "fast",
+            ExecTier::Trace => "trace",
+        }
+    }
+}
+
 /// Core (pipeline) configuration — the processor side of Table II.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoreConfig {
@@ -139,12 +169,12 @@ pub struct SimConfig {
     /// committed macro instructions into the result's time-series
     /// (0 = sampling off). See [`rest_obs::TimeSeries`].
     pub sample_interval: u64,
-    /// Use the reference decode path: re-decode every instruction on
-    /// every fetch instead of replaying from the decoded-uop cache.
-    /// Architecturally identical by construction (the differential gate
-    /// in rest-bench compares the two byte-for-byte); exists so CI can
-    /// diff results and perf can measure the speedup.
-    pub reference_path: bool,
+    /// Functional execution tier: reference re-decode, decoded-uop
+    /// cache, or superblock traces. Architecturally identical by
+    /// construction (the differential gate in rest-bench compares the
+    /// tiers byte-for-byte); exists so CI can diff results and perf can
+    /// measure the speedups.
+    pub tier: ExecTier,
     /// Collect the guest hotspot profile: dense per-PC cycle/uop/check
     /// counters plus the per-allocation-site check attribution table.
     /// Deterministic simulation state — off by default because the
@@ -173,7 +203,7 @@ impl SimConfig {
             fault: None,
             trace_uops: 0,
             sample_interval: 0,
-            reference_path: false,
+            tier: ExecTier::Fast,
             profile_guest: false,
             elision: None,
         }

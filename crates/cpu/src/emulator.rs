@@ -14,8 +14,10 @@ use rest_runtime::{
     shadow, AsanReport, EcallOutcome, RtEnv, Runtime, Scheme, TrafficRecorder, Violation,
 };
 
-use crate::config::SimConfig;
+use crate::config::{ExecTier, SimConfig};
+use crate::exec::ExecEngine;
 use crate::profile::CheckCounters;
+use crate::superblock::{self, TraceCache, TraceOp};
 
 /// Why the emulated program stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,7 +70,17 @@ pub struct Emulator {
     /// code segment.
     decoded: Option<DecodedProgram>,
     decode_opts: DecodeOptions,
+    /// Superblock trace store (`Some` only on the trace tier).
+    /// Invalidated together with `decoded` on ARM/DISARM code-segment
+    /// writes.
+    traces: Option<Box<TraceCache>>,
     stop: Option<StopReason>,
+    /// Latched by `take_stop`: a taken emulator is permanently stopped.
+    /// Without the latch, taking the reason would clear `stop` and make
+    /// a later `step`/`step_quiet`/`run_functional` silently resume —
+    /// exactly the loss mode consumers mixing the three entry points
+    /// would hit.
+    stop_taken: bool,
     insts: u64,
     uops: u64,
     max_uops: u64,
@@ -114,11 +126,13 @@ impl Emulator {
             arm_width: cfg.rt.token_width.bytes(),
             arm_as_store: cfg.rt.perfect_hw,
         };
-        let decoded = if cfg.reference_path {
+        let decoded = if cfg.tier == ExecTier::Reference {
             None
         } else {
             Some(DecodedProgram::new(&program, decode_opts))
         };
+        let traces =
+            (cfg.tier == ExecTier::Trace).then(|| Box::new(TraceCache::new(program.len())));
         let fault = cfg.fault.map(FaultHandle::new);
         let fault_flip = fault
             .as_ref()
@@ -165,7 +179,9 @@ impl Emulator {
             rec: TrafficRecorder::new(),
             decoded,
             decode_opts,
+            traces,
             stop: None,
+            stop_taken: false,
             insts: 0,
             uops: 0,
             max_uops: cfg.max_uops,
@@ -229,11 +245,6 @@ impl Emulator {
         self.program.component_at(pc)
     }
 
-    /// Why execution stopped, if it has.
-    pub fn stop_reason(&self) -> Option<&StopReason> {
-        self.stop.as_ref()
-    }
-
     /// The shared fault-injection handle, if a fault is configured.
     pub fn fault_handle(&self) -> Option<&FaultHandle> {
         self.fault.as_ref()
@@ -241,9 +252,9 @@ impl Emulator {
 
     /// Forces the run to stop with `reason` unless it already stopped
     /// (used by the timing loop's cycle watchdog; the architectural stop
-    /// reason, if any, wins).
+    /// reason, if any — including one already taken — wins).
     pub fn force_stop(&mut self, reason: StopReason) {
-        if self.stop.is_none() {
+        if self.stop.is_none() && !self.stop_taken {
             self.stop = Some(reason);
         }
     }
@@ -278,13 +289,6 @@ impl Emulator {
         }
     }
 
-    /// Takes ownership of the stop reason without cloning it. Call once,
-    /// after the run loop has exited; a taken emulator must not be
-    /// stepped again (clearing the reason makes `step` resume).
-    pub fn take_stop(&mut self) -> Option<StopReason> {
-        self.stop.take()
-    }
-
     /// Decoded-uop cache statistics: `(invalidations, entries re-decoded)`.
     /// Zeroes on the reference path, which has no cache.
     pub fn decode_cache_stats(&self) -> (u64, u64) {
@@ -294,24 +298,32 @@ impl Emulator {
         }
     }
 
+    /// Superblock trace statistics: `(traces compiled, traces
+    /// invalidated)`. Zeroes off the trace tier.
+    pub fn trace_stats(&self) -> (u64, u64) {
+        match &self.traces {
+            Some(t) => t.stats(),
+            None => (0, 0),
+        }
+    }
+
+    /// Macro instructions retired inside trace dispatch (coverage
+    /// telemetry; zero off the trace tier).
+    pub fn traced_insts(&self) -> u64 {
+        self.traces.as_ref().map_or(0, |t| t.traced_insts())
+    }
+
+    /// The runtime traffic recorder's synthetic-PC cursor. The lockstep
+    /// differentials assert it advances identically across execution
+    /// tiers and sinks (counting mode advances it exactly like
+    /// materialising mode).
+    pub fn rt_pc_cursor(&self) -> u64 {
+        self.rec.pc_cursor()
+    }
+
     /// Current architectural value of `r` (for tests and debuggers).
     pub fn reg_value(&self, r: Reg) -> u64 {
         self.regs[r.index()]
-    }
-
-    /// Current program counter.
-    pub fn pc(&self) -> u64 {
-        self.pc
-    }
-
-    /// Macro instructions retired so far.
-    pub fn insts(&self) -> u64 {
-        self.insts
-    }
-
-    /// Micro-ops emitted so far (including injected ones).
-    pub fn uops(&self) -> u64 {
-        self.uops
     }
 
     fn reg(&self, r: Reg) -> u64 {
@@ -344,8 +356,8 @@ impl Emulator {
             // metadata bit or glitched LSQ check) raises an exception on
             // a perfectly legal access. REST-only: the fault model
             // targets the token machinery.
-            if self.backend.uses_line_fill_detection() {
-                if let Some(f) = &self.fault {
+            if let Some(f) = &self.fault {
+                if self.backend.uses_line_fill_detection() {
                     if let Some(slot) = f.spurious_check(addr, size) {
                         let kind = if store {
                             RestExceptionKind::TokenStore
@@ -364,7 +376,9 @@ impl Emulator {
             if let Some(prof) = self.pc_checks.as_deref_mut() {
                 prof.note(pc, injected);
             }
-            let had_deferred = self.backend.has_deferred();
+            // `had_deferred` feeds only the site profiler, so skip the
+            // backend query on unprofiled runs (the common case).
+            let had_deferred = self.sites.is_some() && self.backend.has_deferred();
             let fault = self.backend.check_access(ptr, size, store, pc);
             if let Some(s) = self.sites.as_deref_mut() {
                 s.note_check(addr, injected, self.tagged_ptrs);
@@ -498,25 +512,19 @@ impl Emulator {
         }
     }
 
-    /// Executes one macro instruction, appending its micro-ops to `out`.
-    /// Returns `false` once the program has stopped.
-    pub fn step(&mut self, out: &mut Vec<DynInst>) -> bool {
-        self.step_sink(out)
-    }
-
-    /// Executes one macro instruction without materialising micro-ops
-    /// (they are counted for the uop budget, nothing more) — the
-    /// functional fast path.
-    pub fn step_quiet(&mut self) -> bool {
-        let mut sink = CountingSink::default();
-        self.step_sink(&mut sink)
-    }
-
-    /// Invalidates decoded entries covered by an ARM/DISARM-visible
-    /// guest write to `[addr, addr + len)`.
+    /// Invalidates decoded entries — and any superblock traces spanning
+    /// them — covered by an ARM/DISARM-visible guest write to the
+    /// half-open range `[addr, addr + len)`. This is the single choke
+    /// point every self-modification path funnels through (ARM/DISARM
+    /// execution, perfect-HW disarms, fault-injected token decay), so
+    /// stale fused checks can never execute: a trace dies the moment any
+    /// byte of its span is rewritten, before the next dispatch.
     fn invalidate_decoded(&mut self, addr: u64, len: u64) {
         if let Some(cache) = self.decoded.as_mut() {
             cache.invalidate_range(&self.program, addr, len);
+        }
+        if let Some(traces) = self.traces.as_mut() {
+            traces.invalidate_range(addr, len);
         }
     }
 
@@ -526,7 +534,7 @@ impl Emulator {
     /// architectural effect, and replays the micro-op template with its
     /// dynamic fields patched in.
     fn step_sink<S: UopSink>(&mut self, out: &mut S) -> bool {
-        if self.stop.is_some() {
+        if self.stop.is_some() || self.stop_taken {
             return false;
         }
         if self.uops >= self.max_uops {
@@ -834,13 +842,353 @@ impl Emulator {
         }
     }
 
-    /// Runs the program to completion functionally, discarding the
-    /// micro-op stream (for fast architectural tests and the perf
-    /// harness's guest-IPS measurement).
-    pub fn run_functional(&mut self) -> &StopReason {
+    /// Compiles (or marks dead) the superblock headed at entry `idx`.
+    fn compile_trace_at(&mut self, idx: usize) {
+        let Some(decoded) = self.decoded.as_ref() else {
+            return;
+        };
+        let cfg = superblock::TraceCompileCfg {
+            access_checks: self.access_checks,
+            tagged_ptrs: self.tagged_ptrs,
+            load_check_uops: u64::from(self.backend.check_uops(false)),
+            store_check_uops: u64::from(self.backend.check_uops(true)),
+            elide: self.elide.as_deref(),
+        };
+        let compiled = superblock::compile(decoded, idx, &cfg);
+        let cache = self.traces.as_mut().expect("trace tier");
+        match compiled {
+            Some(t) => cache.install(idx, t),
+            None => cache.mark_dead(idx),
+        }
+    }
+
+    /// Trace-aware run loop (the trace tier's whole-run dispatcher):
+    /// executes compiled superblocks at hot heads and falls back to the
+    /// exact per-step path everywhere else. Runs at least `min_insts`
+    /// macro instructions (a trace pass may overshoot) or until the
+    /// program stops; returns how many were executed.
+    ///
+    /// Heads heat up on arrival via *any* control transfer (the PC is
+    /// not the sequential successor of the previously executed
+    /// instruction) — loop headers arrive backward, but function entries
+    /// and post-call continuations arrive forward via `jal`/`jalr` and
+    /// are every bit as hot in call-heavy code. Sequential arrivals skip
+    /// the trace probe entirely, so straight-line fallback execution
+    /// pays nothing for the tier. Fault-injection runs pin every step to
+    /// the per-step path: the per-step arm-fault hook must see each
+    /// instruction.
+    fn run_traced<S: UopSink>(&mut self, out: &mut S, min_insts: u64) -> u64 {
+        let start = self.insts;
+        // PC of the most recently executed instruction (`u64::MAX` =
+        // none yet, which makes the first iteration a transfer arrival).
+        let mut prev = u64::MAX;
+        while self.insts - start < min_insts {
+            let pc = self.pc;
+            if pc != prev.wrapping_add(PC_STEP) && self.fault.is_none() {
+                if let Some(idx) = self.traces.as_ref().and_then(|t| t.index_of(pc)) {
+                    let cache = self.traces.as_mut().expect("trace tier");
+                    let mut ready = cache.has(idx);
+                    if !ready && cache.bump(idx) {
+                        self.compile_trace_at(idx);
+                        ready = self.traces.as_ref().expect("trace tier").has(idx);
+                    }
+                    if ready {
+                        let (ran, last_pc) = self.run_trace(idx, out);
+                        if ran > 0 {
+                            prev = last_pc;
+                            continue;
+                        }
+                    }
+                }
+            }
+            prev = pc;
+            if !self.step_sink(out) {
+                break;
+            }
+        }
+        self.insts - start
+    }
+
+    /// Executes the trace installed at head `idx` until a side exit,
+    /// violation, budget precondition failure, or (for non-looping
+    /// traces) the end of the straight line. Returns `(instructions
+    /// executed, PC of the last executed instruction)`; zero executed
+    /// means the caller must fall back to the per-step path to make
+    /// progress.
+    fn run_trace<S: UopSink>(&mut self, idx: usize, out: &mut S) -> (u64, u64) {
+        if self.stop.is_some() || self.stop_taken {
+            return (0, 0);
+        }
+        let Some(t) = self.traces.as_mut().expect("trace tier").checkout(idx) else {
+            return (0, 0);
+        };
+        let head = t.head;
+        let n = t.ops.len();
+        let mut insts_run = 0u64;
+        let mut local_uops = 0u64;
+        let mut last_pc = head;
+        'pass: loop {
+            // Budget precondition for one full pass: every instruction
+            // emits at least one micro-op, so if the whole pass fits
+            // under the budget, no per-step budget stop could have fired
+            // mid-trace; anything tighter falls back to the exact
+            // per-step path (which also handles the cycle watchdog).
+            let projected = self.uops + local_uops + t.total_uops;
+            if projected > self.max_uops || (self.max_cycles > 0 && projected > self.max_cycles) {
+                // `self.pc` still equals `head`: nothing of this pass ran.
+                break 'pass;
+            }
+            let mut i = 0usize;
+            'line: while i < n {
+                let pc = head + i as u64 * PC_STEP;
+                // Every op that starts executing retires (violations
+                // included), exactly as in `step_sink`.
+                insts_run += 1;
+                match t.ops[i] {
+                    TraceOp::Alu { op, dst, src1, src2 } => {
+                        let v = op.apply(self.reg(src1), self.reg(src2));
+                        self.set_reg(dst, v);
+                        local_uops += 1;
+                        if S::MATERIALIZE {
+                            out.push(t.templates[i]);
+                        }
+                    }
+                    TraceOp::AluImm { op, dst, src, imm } => {
+                        let v = op.apply(self.reg(src), imm as u64);
+                        self.set_reg(dst, v);
+                        local_uops += 1;
+                        if S::MATERIALIZE {
+                            out.push(t.templates[i]);
+                        }
+                    }
+                    TraceOp::Li { dst, imm } => {
+                        self.set_reg(dst, imm as u64);
+                        local_uops += 1;
+                        if S::MATERIALIZE {
+                            out.push(t.templates[i]);
+                        }
+                    }
+                    TraceOp::Nop => {
+                        local_uops += 1;
+                        if S::MATERIALIZE {
+                            out.push(t.templates[i]);
+                        }
+                    }
+                    TraceOp::Load {
+                        dst,
+                        base,
+                        offset,
+                        size,
+                        signed,
+                        app,
+                        elided,
+                        injected,
+                    } => {
+                        let ptr = self.reg(base).wrapping_add(offset as u64);
+                        let addr = if self.tagged_ptrs {
+                            self.backend.canonical_addr(ptr)
+                        } else {
+                            ptr
+                        };
+                        if S::MATERIALIZE && !elided {
+                            if self.access_checks && app {
+                                self.emit_asan_check(out, pc, addr);
+                            }
+                            if self.tagged_ptrs && app {
+                                self.emit_backend_check(out, pc, addr, false);
+                            }
+                        }
+                        local_uops += injected + 1;
+                        if S::MATERIALIZE {
+                            out.push(with_mem_addr(t.templates[i], addr));
+                        }
+                        let violation = if elided {
+                            self.note_elided(addr);
+                            None
+                        } else {
+                            self.check_app_access(ptr, addr, size.bytes(), false, pc, injected)
+                        };
+                        if let Some(v) = violation {
+                            self.stop = Some(StopReason::Violation(v));
+                            self.pc = pc + PC_STEP;
+                            last_pc = pc;
+                            break 'pass;
+                        }
+                        let raw = self.mem.read_scalar(addr, size);
+                        let v = if signed {
+                            sign_extend(raw, size.bytes())
+                        } else {
+                            raw
+                        };
+                        self.set_reg(dst, v);
+                    }
+                    TraceOp::Store {
+                        src,
+                        base,
+                        offset,
+                        size,
+                        app,
+                        elided,
+                        injected,
+                    } => {
+                        let ptr = self.reg(base).wrapping_add(offset as u64);
+                        let addr = if self.tagged_ptrs {
+                            self.backend.canonical_addr(ptr)
+                        } else {
+                            ptr
+                        };
+                        if S::MATERIALIZE && !elided {
+                            if self.access_checks && app {
+                                self.emit_asan_check(out, pc, addr);
+                            }
+                            if self.tagged_ptrs && app {
+                                self.emit_backend_check(out, pc, addr, true);
+                            }
+                        }
+                        local_uops += injected + 1;
+                        if S::MATERIALIZE {
+                            out.push(with_mem_addr(t.templates[i], addr));
+                        }
+                        let violation = if elided {
+                            self.note_elided(addr);
+                            None
+                        } else {
+                            self.check_app_access(ptr, addr, size.bytes(), true, pc, injected)
+                        };
+                        if let Some(v) = violation {
+                            self.stop = Some(StopReason::Violation(v));
+                            self.pc = pc + PC_STEP;
+                            last_pc = pc;
+                            break 'pass;
+                        }
+                        self.mem.write_scalar(addr, self.reg(src), size);
+                    }
+                    TraceOp::Branch {
+                        cond,
+                        src1,
+                        src2,
+                        target,
+                    } => {
+                        let taken = cond.eval(self.reg(src1), self.reg(src2));
+                        let next_pc = if taken { target } else { pc + PC_STEP };
+                        local_uops += 1;
+                        if S::MATERIALIZE {
+                            out.push(with_branch_outcome(t.templates[i], taken, next_pc));
+                        }
+                        if taken {
+                            last_pc = pc;
+                            if target == head {
+                                // Loop specialisation: a loop-closing
+                                // branch re-enters op 0 after the budget
+                                // recheck, without leaving dispatch.
+                                continue 'pass;
+                            }
+                            if target > pc {
+                                // Forward target inside the trace:
+                                // continue this pass at the target op
+                                // (skipping ops only — the pass's uop
+                                // total stays below `total_uops`, so
+                                // the budget precondition still holds).
+                                let off = target - head;
+                                let j = (off / PC_STEP) as usize;
+                                if off % PC_STEP == 0 && j < n {
+                                    i = j;
+                                    continue 'line;
+                                }
+                            }
+                            self.pc = target;
+                            break 'pass;
+                        }
+                    }
+                    TraceOp::Jal { dst, target } => {
+                        self.set_reg(dst, pc + PC_STEP);
+                        local_uops += 1;
+                        if S::MATERIALIZE {
+                            out.push(t.templates[i]);
+                        }
+                        last_pc = pc;
+                        self.pc = target;
+                        break 'pass;
+                    }
+                    TraceOp::Jalr { dst, base, offset } => {
+                        // Read `base` before writing `dst` (they may be
+                        // the same register), exactly like `step_sink`.
+                        let target = self.reg(base).wrapping_add(offset as u64);
+                        self.set_reg(dst, pc + PC_STEP);
+                        local_uops += 1;
+                        if S::MATERIALIZE {
+                            out.push(with_branch_outcome(t.templates[i], true, target));
+                        }
+                        last_pc = pc;
+                        self.pc = target;
+                        break 'pass;
+                    }
+                }
+                i += 1;
+            }
+            // Fell off the straight line without a side exit.
+            self.pc = head + n as u64 * PC_STEP;
+            last_pc = head + (n as u64 - 1) * PC_STEP;
+            break 'pass;
+        }
+        self.insts += insts_run;
+        self.uops += local_uops;
+        let cache = self.traces.as_mut().expect("trace tier");
+        cache.count_traced(insts_run);
+        cache.restore(idx, t);
+        (insts_run, last_pc)
+    }
+}
+
+impl ExecEngine for Emulator {
+    fn step(&mut self, out: &mut Vec<DynInst>) -> bool {
+        self.step_sink(out)
+    }
+
+    fn step_quiet(&mut self) -> bool {
         let mut sink = CountingSink::default();
-        while self.step_sink(&mut sink) {}
+        self.step_sink(&mut sink)
+    }
+
+    fn stop_reason(&self) -> Option<&StopReason> {
+        self.stop.as_ref()
+    }
+
+    fn take_stop(&mut self) -> Option<StopReason> {
+        self.stop_taken = true;
+        self.stop.take()
+    }
+
+    fn insts(&self) -> u64 {
+        self.insts
+    }
+
+    fn uops(&self) -> u64 {
+        self.uops
+    }
+
+    fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    fn run_functional(&mut self) -> &StopReason {
+        let mut sink = CountingSink::default();
+        if self.traces.is_some() {
+            self.run_traced(&mut sink, u64::MAX);
+        } else {
+            while self.step_sink(&mut sink) {}
+        }
         self.stop.as_ref().expect("stopped")
+    }
+
+    fn run_chunk(&mut self, out: &mut Vec<DynInst>, min_insts: u64) -> u64 {
+        if self.traces.is_some() {
+            self.run_traced(out, min_insts)
+        } else {
+            let start = self.insts;
+            while self.insts - start < min_insts && self.step_sink(out) {}
+            self.insts - start
+        }
     }
 }
 
@@ -1137,5 +1485,149 @@ mod tests {
         assert!(uops
             .iter()
             .any(|u| u.component == Component::Allocator && u.kind == OpKind::Arm));
+    }
+
+    /// Satellite: the `take_stop` contract. Taking the stop reason must
+    /// leave the engine permanently stopped — no consumer idiom (step,
+    /// step_quiet, run_functional's loop) may resume it, no later stop
+    /// may overwrite history, and a second take returns `None`.
+    #[test]
+    fn take_stop_permanently_stops_the_engine() {
+        let mut p = ProgramBuilder::new();
+        p.li(Reg::A0, 0);
+        p.ecall(EcallNum::Exit);
+        p.halt(); // would run if the engine wrongly resumed
+        let cfg = SimConfig::isca2018(RtConfig::plain());
+        let mut emu = Emulator::new(p.build(), &cfg);
+        while emu.step_quiet() {}
+        let insts = emu.insts();
+        assert_eq!(emu.take_stop(), Some(StopReason::Exit(0)));
+
+        // Taken: the reason is gone and the engine refuses to execute.
+        assert_eq!(emu.take_stop(), None, "second take must return None");
+        assert_eq!(emu.stop_reason(), None);
+        assert!(!emu.step_quiet(), "step_quiet must not resume a taken engine");
+        let mut buf = Vec::new();
+        assert!(!emu.step(&mut buf), "step must not resume a taken engine");
+        assert!(buf.is_empty(), "a refused step must not emit micro-ops");
+        assert_eq!(emu.insts(), insts, "no instruction may retire after take");
+
+        // A forced stop after consumption must not resurrect the engine
+        // with a different history either.
+        emu.force_stop(StopReason::Halted);
+        assert_eq!(emu.stop_reason(), None, "taken engines ignore force_stop");
+    }
+
+    fn hot_loop_program(iters: i64) -> Program {
+        let mut p = ProgramBuilder::new();
+        let lp = p.new_label();
+        p.li(Reg::A0, 0);
+        p.li(Reg::T0, iters);
+        p.bind(lp);
+        p.add(Reg::A0, Reg::A0, Reg::T0);
+        p.addi(Reg::T0, Reg::T0, -1);
+        p.bne(Reg::T0, Reg::ZERO, lp);
+        p.halt();
+        p.build()
+    }
+
+    #[test]
+    fn trace_tier_compiles_hot_loops_and_matches_the_fast_path() {
+        let mut cfg = SimConfig::isca2018(RtConfig::plain());
+        cfg.tier = ExecTier::Trace;
+        let mut traced = Emulator::new(hot_loop_program(500), &cfg);
+        traced.run_functional();
+        let (compiled, _) = traced.trace_stats();
+        assert!(compiled >= 1, "a 500-iteration loop must compile a trace");
+
+        let fast_cfg = SimConfig::isca2018(RtConfig::plain());
+        let mut fast = Emulator::new(hot_loop_program(500), &fast_cfg);
+        fast.run_functional();
+        assert_eq!(traced.insts(), fast.insts());
+        assert_eq!(traced.uops(), fast.uops());
+        assert_eq!(traced.pc(), fast.pc());
+        assert_eq!(traced.regs[Reg::A0.index()], fast.regs[Reg::A0.index()]);
+        assert_eq!(traced.take_stop(), fast.take_stop());
+    }
+
+    #[test]
+    fn trace_tier_respects_the_uop_budget_exactly() {
+        // The budget must stop the trace tier at the same instruction
+        // the per-step path stops at, even when the limit lands in the
+        // middle of a would-be trace pass.
+        for max_uops in [50, 97, 403, 1000] {
+            let mut cfg = SimConfig::isca2018(RtConfig::plain());
+            cfg.max_uops = max_uops;
+            cfg.tier = ExecTier::Trace;
+            let mut traced = Emulator::new(hot_loop_program(10_000), &cfg);
+            traced.run_functional();
+
+            let mut cfg = SimConfig::isca2018(RtConfig::plain());
+            cfg.max_uops = max_uops;
+            let mut fast = Emulator::new(hot_loop_program(10_000), &cfg);
+            fast.run_functional();
+
+            assert_eq!(traced.insts(), fast.insts(), "budget {max_uops}");
+            assert_eq!(traced.uops(), fast.uops(), "budget {max_uops}");
+            assert_eq!(traced.take_stop(), fast.take_stop(), "budget {max_uops}");
+        }
+    }
+
+    #[test]
+    fn arm_invalidates_overlapping_traces_before_the_next_dispatch() {
+        // A hot loop that, once warmed, ARMs a slot *inside the code
+        // segment image of its own body* would execute stale fused
+        // checks if invalidation missed. Here we drive the invalidation
+        // path directly: run a loop hot, then arm a slot covering its
+        // span and observe the trace cache drop it.
+        let mut cfg = SimConfig::isca2018(RtConfig::rest(Mode::Secure, true));
+        cfg.tier = ExecTier::Trace;
+        let mut p = ProgramBuilder::new();
+        let lp = p.new_label();
+        p.li(Reg::A0, 0);
+        p.li(Reg::T0, 200);
+        p.bind(lp);
+        p.add(Reg::A0, Reg::A0, Reg::T0);
+        p.addi(Reg::T0, Reg::T0, -1);
+        p.bne(Reg::T0, Reg::ZERO, lp);
+        // After the loop goes cold: arm + disarm a heap slot. The
+        // addresses are data, not code, so the *code-segment clamp*
+        // inside invalidate_range must keep the trace alive.
+        p.li(Reg::T1, 0x30_0040);
+        p.arm(Reg::T1);
+        p.disarm(Reg::T1);
+        p.halt();
+        let mut emu = Emulator::new(p.build(), &cfg);
+        emu.run_functional();
+        let (compiled, invalidated) = emu.trace_stats();
+        assert!(compiled >= 1, "loop must compile");
+        assert_eq!(
+            invalidated, 0,
+            "data-address arms must not kill code traces (clamp to code segment)"
+        );
+        assert_eq!(emu.take_stop(), Some(StopReason::Halted));
+
+        // Now the direct invalidation check at the cache level: a write
+        // over the loop body's span must drop the trace.
+        let mut cache = crate::superblock::TraceCache::new(8);
+        let decoded = DecodedProgram::new(
+            &hot_loop_program(5),
+            DecodeOptions {
+                arm_width: 8,
+                arm_as_store: false,
+            },
+        );
+        let compile_cfg = superblock::TraceCompileCfg {
+            access_checks: false,
+            tagged_ptrs: false,
+            load_check_uops: 0,
+            store_check_uops: 0,
+            elide: None,
+        };
+        let t = superblock::compile(&decoded, 2, &compile_cfg).expect("loop body compiles");
+        cache.install(2, t);
+        assert!(cache.has(2));
+        cache.invalidate_range(Program::CODE_BASE + 2 * PC_STEP, 1);
+        assert!(!cache.has(2), "overlapping write must invalidate the trace");
     }
 }

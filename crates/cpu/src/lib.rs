@@ -29,16 +29,19 @@
 mod bpred;
 mod config;
 mod emulator;
+mod exec;
 mod multiproc;
 mod pipeline;
 mod profile;
 mod stats;
+mod superblock;
 mod system;
 mod trace;
 
 pub use bpred::BranchPredictor;
-pub use config::{CoreConfig, SimConfig};
+pub use config::{CoreConfig, ExecTier, SimConfig};
 pub use emulator::{Emulator, StopReason};
+pub use exec::ExecEngine;
 pub use multiproc::MultiSystem;
 pub use pipeline::Pipeline;
 pub use profile::{CheckCounters, GuestProfile, PcCounters};

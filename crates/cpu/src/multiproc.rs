@@ -17,6 +17,7 @@ use rest_mem::{Hierarchy, LineReader};
 
 use crate::config::SimConfig;
 use crate::emulator::{Emulator, StopReason};
+use crate::exec::ExecEngine;
 use crate::pipeline::Pipeline;
 use crate::stats::SimResult;
 

@@ -5,6 +5,7 @@ use rest_obs::{AuditEntry, IntervalSample, TimeSeries, FAULT_INJECTOR};
 
 use crate::config::SimConfig;
 use crate::emulator::{Emulator, StopReason};
+use crate::exec::ExecEngine;
 use crate::pipeline::Pipeline;
 use crate::profile::{GuestProfile, PcCounters};
 use crate::stats::{stats_map_parts, SimResult};

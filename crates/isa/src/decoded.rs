@@ -223,9 +223,21 @@ impl DecodedProgram {
         self.entries.is_empty()
     }
 
-    /// Invalidates and re-derives every entry whose PC lies in
-    /// `[addr, addr + len)` — the ARM/DISARM-visible self-modification
-    /// boundary. Returns the number of entries re-decoded.
+    /// Invalidates and re-derives every entry overlapped by the
+    /// **half-open** byte range `[addr, addr + len)` — the
+    /// ARM/DISARM-visible self-modification boundary. Returns the number
+    /// of entries re-decoded.
+    ///
+    /// Boundary contract (trace invalidation reuses these semantics, so
+    /// they are pinned by tests):
+    ///
+    /// * `len == 0` denotes the empty range and touches nothing;
+    /// * an entry is covered iff its `PC_STEP`-byte cell intersects the
+    ///   range, so a range ending exactly on an instruction boundary
+    ///   (`addr + len == entry pc`) does **not** cover that entry;
+    /// * the range is clamped to the code segment: a write straddling
+    ///   the last entry re-decodes it once, and `addr + len` saturates
+    ///   at `u64::MAX` rather than wrapping.
     pub fn invalidate_range(&mut self, p: &Program, addr: u64, len: u64) -> usize {
         if len == 0 || self.entries.is_empty() {
             return 0;
@@ -375,6 +387,65 @@ mod tests {
         // A straddling range clamps to the code segment.
         let all = cache.invalidate_range(&p, 0, u64::MAX);
         assert_eq!(all, p.len());
+    }
+
+    #[test]
+    fn invalidate_range_is_half_open() {
+        let p = sample();
+        let mut cache = DecodedProgram::new(&p, opts());
+        let base = Program::CODE_BASE;
+        // [base, base + PC_STEP) covers exactly the first entry: the
+        // range ends on the second entry's boundary without touching it.
+        assert_eq!(cache.invalidate_range(&p, base, PC_STEP), 1);
+        // A 1-byte write to an entry's last byte covers only that entry.
+        assert_eq!(cache.invalidate_range(&p, base + PC_STEP - 1, 1), 1);
+        // A range ending exactly where an entry starts excludes it, even
+        // mid-segment.
+        assert_eq!(
+            cache.invalidate_range(&p, base + PC_STEP, 2 * PC_STEP),
+            2,
+            "[pc1, pc3) covers entries 1 and 2, not 3"
+        );
+        assert_eq!(cache.invalidations(), 3);
+        assert_eq!(cache.redecoded(), 4);
+    }
+
+    #[test]
+    fn invalidate_range_zero_len_touches_nothing_everywhere() {
+        let p = sample();
+        let mut cache = DecodedProgram::new(&p, opts());
+        // len == 0 is the empty range no matter where it points: below,
+        // at, inside, and past the code segment.
+        for addr in [
+            0,
+            Program::CODE_BASE,
+            Program::CODE_BASE + 2,
+            Program::CODE_BASE + (p.len() as u64 - 1) * PC_STEP,
+            u64::MAX,
+        ] {
+            assert_eq!(cache.invalidate_range(&p, addr, 0), 0, "addr {addr:#x}");
+        }
+        assert_eq!(cache.invalidations(), 0);
+        assert_eq!(cache.redecoded(), 0);
+    }
+
+    #[test]
+    fn invalidate_range_clamps_writes_straddling_the_last_entry() {
+        let p = sample();
+        let mut cache = DecodedProgram::new(&p, opts());
+        let last_pc = Program::CODE_BASE + (p.len() as u64 - 1) * PC_STEP;
+        // A 64-byte token write starting inside the last entry covers
+        // exactly that one entry — the tail past the segment is clamped.
+        assert_eq!(cache.invalidate_range(&p, last_pc + 1, 64), 1);
+        // A range beginning exactly at the segment end is empty
+        // (half-open: the end boundary belongs to no entry).
+        let end = Program::CODE_BASE + p.len() as u64 * PC_STEP;
+        assert_eq!(cache.invalidate_range(&p, end, 64), 0);
+        // addr + len saturates instead of wrapping around the address
+        // space: a huge range anchored near u64::MAX misses the segment.
+        assert_eq!(cache.invalidate_range(&p, u64::MAX - 8, u64::MAX), 0);
+        assert_eq!(cache.invalidations(), 1);
+        assert_eq!(cache.redecoded(), 1);
     }
 
     #[test]

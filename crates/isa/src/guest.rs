@@ -1,3 +1,4 @@
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -52,9 +53,22 @@ type PageMap<V> = HashMap<u64, V, BuildHasherDefault<PageHasher>>;
 /// assert_eq!(mem.read_u64(0x1000), 0xdead_beef);
 /// assert_eq!(mem.read_u64(0x2000), 0); // demand-zero
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct GuestMemory {
-    pages: PageMap<Box<[u8; PAGE_SIZE as usize]>>,
+    /// Page frames, appended on first touch and never removed, so frame
+    /// indices stay stable for the lifetime of the memory.
+    frames: Vec<Box<[u8; PAGE_SIZE as usize]>>,
+    /// Page number → index into `frames`.
+    table: PageMap<u32>,
+    /// One-entry translation cache `(page number, frame index)` of the
+    /// most recently resolved *resident* page. Guest access streams are
+    /// heavily page-local, so this converts most lookups — every load,
+    /// store, and shadow poke pays one — into a compare and a vector
+    /// index. Sound because pages are never unmapped; absent pages
+    /// (demand-zero reads) are never cached. The sentinel page number
+    /// `u64::MAX` is unreachable (real page numbers top out at
+    /// `u64::MAX / PAGE_SIZE`).
+    last: Cell<(u64, u32)>,
     bytes_written: u64,
     /// Pre-update images of cache lines about to be modified by
     /// `arm`/`disarm` effects within the current macro instruction. The
@@ -64,23 +78,62 @@ pub struct GuestMemory {
     pre_line_images: PageMap<[u8; 64]>,
 }
 
+impl Default for GuestMemory {
+    fn default() -> GuestMemory {
+        GuestMemory {
+            frames: Vec::new(),
+            table: PageMap::default(),
+            last: Cell::new((u64::MAX, 0)),
+            bytes_written: 0,
+            pre_line_images: PageMap::default(),
+        }
+    }
+}
+
 impl GuestMemory {
     /// Creates an empty (all-zero) address space.
     pub fn new() -> GuestMemory {
         GuestMemory::default()
     }
 
+    #[inline]
     fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
-        self.pages.get(&(addr / PAGE_SIZE)).map(|b| &**b)
+        let pno = addr / PAGE_SIZE;
+        let (cached_pno, cached_idx) = self.last.get();
+        let idx = if cached_pno == pno {
+            cached_idx
+        } else {
+            let idx = *self.table.get(&pno)?;
+            self.last.set((pno, idx));
+            idx
+        };
+        Some(&self.frames[idx as usize])
     }
 
+    #[inline]
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE as usize] {
-        self.pages
-            .entry(addr / PAGE_SIZE)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+        let pno = addr / PAGE_SIZE;
+        let (cached_pno, cached_idx) = self.last.get();
+        let idx = if cached_pno == pno {
+            cached_idx
+        } else {
+            let idx = match self.table.get(&pno) {
+                Some(&i) => i,
+                None => {
+                    let i = u32::try_from(self.frames.len()).expect("page count fits u32");
+                    self.frames.push(Box::new([0u8; PAGE_SIZE as usize]));
+                    self.table.insert(pno, i);
+                    i
+                }
+            };
+            self.last.set((pno, idx));
+            idx
+        };
+        &mut self.frames[idx as usize]
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&self, addr: u64) -> u8 {
         match self.page(addr) {
             Some(p) => p[(addr % PAGE_SIZE) as usize],
@@ -89,6 +142,7 @@ impl GuestMemory {
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u64, val: u8) {
         self.bytes_written += 1;
         self.page_mut(addr)[(addr % PAGE_SIZE) as usize] = val;
@@ -138,17 +192,53 @@ impl GuestMemory {
     }
 
     /// Reads a little-endian scalar of the given width.
+    ///
+    /// Scalars that stay within one page (the overwhelmingly common case
+    /// — pages end on 4 KiB boundaries, so no wrap either) take one
+    /// lookup and a width-specialised fixed-size copy; a variable-length
+    /// copy here would lower to a `memcpy` call on the hottest path of
+    /// the whole simulator.
+    #[inline]
     pub fn read_scalar(&self, addr: u64, size: MemSize) -> u64 {
-        let mut buf = [0u8; 8];
         let n = size.bytes() as usize;
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + n <= PAGE_SIZE as usize {
+            let Some(p) = self.page(addr) else { return 0 };
+            return match size {
+                MemSize::B1 => u64::from(p[off]),
+                MemSize::B2 => {
+                    u64::from(u16::from_le_bytes(p[off..off + 2].try_into().unwrap()))
+                }
+                MemSize::B4 => {
+                    u64::from(u32::from_le_bytes(p[off..off + 4].try_into().unwrap()))
+                }
+                MemSize::B8 => u64::from_le_bytes(p[off..off + 8].try_into().unwrap()),
+            };
+        }
+        let mut buf = [0u8; 8];
         self.read_bytes(addr, &mut buf[..n]);
         u64::from_le_bytes(buf)
     }
 
-    /// Writes the low `size` bytes of `val`, little-endian.
+    /// Writes the low `size` bytes of `val`, little-endian (same
+    /// single-page fast path as [`GuestMemory::read_scalar`]).
+    #[inline]
     pub fn write_scalar(&mut self, addr: u64, val: u64, size: MemSize) {
-        let bytes = val.to_le_bytes();
-        self.write_bytes(addr, &bytes[..size.bytes() as usize]);
+        let n = size.bytes() as usize;
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + n <= PAGE_SIZE as usize {
+            let p = self.page_mut(addr);
+            match size {
+                MemSize::B1 => p[off] = val as u8,
+                MemSize::B2 => p[off..off + 2].copy_from_slice(&(val as u16).to_le_bytes()),
+                MemSize::B4 => p[off..off + 4].copy_from_slice(&(val as u32).to_le_bytes()),
+                MemSize::B8 => p[off..off + 8].copy_from_slice(&val.to_le_bytes()),
+            }
+            self.bytes_written += n as u64;
+        } else {
+            let bytes = val.to_le_bytes();
+            self.write_bytes(addr, &bytes[..n]);
+        }
     }
 
     /// Reads a little-endian `u16`.
@@ -222,7 +312,7 @@ impl GuestMemory {
 
     /// Number of pages actually materialised.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.frames.len()
     }
 
     /// Total bytes written over the lifetime of this memory (a cheap

@@ -144,6 +144,13 @@ impl TrafficRecorder {
     pub fn ops(&self) -> &[DynInst] {
         &self.ops
     }
+
+    /// Current synthetic-PC cursor offset (advances identically in
+    /// materialising and counting modes; lockstep differentials assert
+    /// it matches across execution tiers).
+    pub fn pc_cursor(&self) -> u64 {
+        self.pc_cursor
+    }
 }
 
 #[cfg(test)]

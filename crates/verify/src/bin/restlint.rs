@@ -22,7 +22,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rest_core::{Mode, TokenWidth};
-use rest_cpu::{Emulator, SimConfig, StopReason};
+use rest_cpu::{Emulator, ExecEngine, SimConfig, StopReason};
 use rest_runtime::{RtConfig, StackScheme};
 use rest_verify::{report_json, verify_program, DiffOutcome, ProgramReport, Severity};
 use rest_workloads::{Scale, Workload, WorkloadParams, GOBMK_INPUTS};

@@ -178,7 +178,7 @@ mod tests {
 #[cfg(test)]
 pub(crate) mod testutil {
     use rest_core::Mode;
-    use rest_cpu::{Emulator, SimConfig, StopReason};
+    use rest_cpu::{Emulator, ExecEngine, SimConfig, StopReason};
     use rest_runtime::{RtConfig, StackScheme};
 
     use crate::{Workload, WorkloadParams};

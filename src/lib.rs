@@ -60,7 +60,7 @@ pub use rest_workloads as workloads;
 pub mod prelude {
     pub use rest_attacks::{Attack, AttackOutcome, Expectation};
     pub use rest_core::{Mode, RestException, RestExceptionKind, Token, TokenWidth};
-    pub use rest_cpu::{SimConfig, SimResult, StopReason, System};
+    pub use rest_cpu::{ExecEngine, ExecTier, SimConfig, SimResult, StopReason, System};
     pub use rest_isa::{EcallNum, Inst, MemSize, Program, ProgramBuilder, Reg};
     pub use rest_runtime::{RtConfig, Scheme, StackScheme, Violation};
     pub use rest_workloads::{Scale, Workload, WorkloadParams};
