@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 mod programs;
+pub mod regress;
 
 use rest_cpu::{Emulator, ExecEngine, SimConfig, StopReason};
 use rest_isa::Program;
@@ -111,6 +112,20 @@ impl Expectation {
             Expectation::AliasingProne => "aliasing-prone",
             Expectation::NotApplicable => "not-applicable",
         }
+    }
+
+    /// Inverse of [`Expectation::name`], for deserialising regression
+    /// sidecars (`expect <scheme> <name>` lines).
+    pub fn from_name(name: &str) -> Option<Expectation> {
+        Some(match name {
+            "detected" => Expectation::Detected,
+            "undetected" => Expectation::Undetected,
+            "false-negative" => Expectation::FalseNegative,
+            "prevented" => Expectation::Prevented,
+            "aliasing-prone" => Expectation::AliasingProne,
+            "not-applicable" => Expectation::NotApplicable,
+            _ => return None,
+        })
     }
 
     /// Whether `out` is within this expectation's spec — the single

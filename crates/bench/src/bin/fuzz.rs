@@ -1,0 +1,9 @@
+//! Adversarial-corpus fuzz campaign (`results/fuzz.json`).
+//!
+//! Runs the tri-oracle differential campaign from [`rest_bench::fuzz`]:
+//! seeded generator rounds until two consecutive rounds surface no new
+//! disagreement signature, minimizing one exemplar per signature.
+
+fn main() {
+    rest_bench::fuzz::main();
+}

@@ -103,6 +103,16 @@ pub struct BenchCli {
     pub max_cells: Option<usize>,
     /// Base seed for fault-injection campaigns (`--fault-seed`).
     pub fault_seed: u64,
+    /// Seed for the adversarial-corpus generator (`--fuzz-seed`).
+    pub fuzz_seed: u64,
+    /// Programs per fuzz-campaign round (`--round-size`).
+    pub round_size: usize,
+    /// Minimum programs a fuzz campaign must generate before it may
+    /// declare itself dry (`--min-programs`).
+    pub min_programs: usize,
+    /// Directory to write minimized regression reproducers to
+    /// (`--emit-regress`), if any.
+    pub emit_regress: Option<PathBuf>,
 }
 
 /// Parses a u64 with an optional `0x` prefix (seeds read naturally in
@@ -118,6 +128,10 @@ impl BenchCli {
     /// Default base seed for fault campaigns: fixed so CI runs are
     /// reproducible without passing `--fault-seed`.
     pub const DEFAULT_FAULT_SEED: u64 = 0x5EED_FA17;
+
+    /// Default seed for the adversarial-corpus generator: fixed so CI
+    /// campaigns are reproducible without passing `--fuzz-seed`.
+    pub const DEFAULT_FUZZ_SEED: u64 = 0xF0CC_5EED;
 
     /// The execution tier the flags select: `--trace` wins over
     /// `--reference` (the more-specialised tier), default is the
@@ -178,6 +192,10 @@ impl BenchCli {
             ckpt: None,
             max_cells: None,
             fault_seed: Self::DEFAULT_FAULT_SEED,
+            fuzz_seed: Self::DEFAULT_FUZZ_SEED,
+            round_size: 2500,
+            min_programs: 10_000,
+            emit_regress: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -250,6 +268,31 @@ impl BenchCli {
                     let v = it.next().ok_or("--fault-seed needs a value")?;
                     cli.fault_seed = parse_u64(v)
                         .ok_or_else(|| format!("--fault-seed: invalid seed {v:?}"))?;
+                }
+                "--fuzz-seed" => {
+                    let v = it.next().ok_or("--fuzz-seed needs a value")?;
+                    cli.fuzz_seed = parse_u64(v)
+                        .ok_or_else(|| format!("--fuzz-seed: invalid seed {v:?}"))?;
+                }
+                "--round-size" => {
+                    let v = it.next().ok_or("--round-size needs a value")?;
+                    cli.round_size = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--round-size: invalid count {v:?}"))?;
+                }
+                "--min-programs" => {
+                    let v = it.next().ok_or("--min-programs needs a value")?;
+                    cli.min_programs = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--min-programs: invalid count {v:?}"))?;
+                }
+                "--emit-regress" => {
+                    let v = it.next().ok_or("--emit-regress needs a directory")?;
+                    cli.emit_regress = Some(PathBuf::from(v));
                 }
                 "--help" | "-h" => return Err("help".to_string()),
                 other => return Err(format!("unknown argument {other:?}")),
@@ -325,7 +368,8 @@ impl BenchCli {
              \x20                 [--profile-out PATH] [--telemetry-out PATH]\n\
              \x20                 [--campaign-trace-out PATH] [--verify] [--reference]\n\
              \x20                 [--trace] [--resume] [--ckpt PATH] [--max-cells N]\n\
-             \x20                 [--fault-seed N]\n\
+             \x20                 [--fault-seed N] [--fuzz-seed N] [--round-size N]\n\
+             \x20                 [--min-programs N] [--emit-regress DIR]\n\
              \n\
              --test               run at test scale (fast smoke check)\n\
              --jobs N             worker threads (default and upper bound:\n\
@@ -359,6 +403,13 @@ impl BenchCli {
              \x20                    checkpoint for --resume (CI interruption hook)\n\
              --fault-seed N       base seed for fault-injection campaigns\n\
              \x20                    (decimal or 0x-hex; default 0x5eedfa17)\n\
+             --fuzz-seed N        seed for the adversarial-corpus generator\n\
+             \x20                    (decimal or 0x-hex; default 0xf0cc5eed)\n\
+             --round-size N       programs per fuzz-campaign round (default 2500)\n\
+             --min-programs N     programs a fuzz campaign must reach before it may\n\
+             \x20                    stop dry (default 10000)\n\
+             --emit-regress DIR   write minimized fuzz reproducers (.s + .trace)\n\
+             \x20                    into DIR\n\
              --help               this message"
         )
     }
@@ -491,6 +542,10 @@ mod tests {
         assert_eq!(cli.ckpt_path(), PathBuf::from("results/fig7.ckpt.json"));
         assert_eq!(cli.max_cells, None);
         assert_eq!(cli.fault_seed, BenchCli::DEFAULT_FAULT_SEED);
+        assert_eq!(cli.fuzz_seed, BenchCli::DEFAULT_FUZZ_SEED);
+        assert_eq!(cli.round_size, 2500);
+        assert_eq!(cli.min_programs, 10_000);
+        assert_eq!(cli.emit_regress, None);
     }
 
     #[test]
@@ -514,6 +569,30 @@ mod tests {
         assert_eq!(cli.fault_seed, 0x1234);
         let decimal = BenchCli::from_args("faults", &argv(&["--fault-seed", "42"])).unwrap();
         assert_eq!(decimal.fault_seed, 42);
+    }
+
+    #[test]
+    fn fuzz_flags_parse() {
+        let cli = BenchCli::from_args(
+            "fuzz",
+            &argv(&[
+                "--fuzz-seed",
+                "0xabc",
+                "--round-size",
+                "250",
+                "--min-programs",
+                "500",
+                "--emit-regress",
+                "/tmp/regress",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(cli.fuzz_seed, 0xabc);
+        assert_eq!(cli.round_size, 250);
+        assert_eq!(cli.min_programs, 500);
+        assert_eq!(cli.emit_regress, Some(PathBuf::from("/tmp/regress")));
+        let decimal = BenchCli::from_args("fuzz", &argv(&["--fuzz-seed", "7"])).unwrap();
+        assert_eq!(decimal.fuzz_seed, 7);
     }
 
     #[test]
@@ -605,6 +684,10 @@ mod tests {
         assert!(BenchCli::from_args("fig7", &argv(&["--ckpt"])).is_err());
         assert!(BenchCli::from_args("fig7", &argv(&["--max-cells", "0"])).is_err());
         assert!(BenchCli::from_args("fig7", &argv(&["--fault-seed", "0xzz"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--fuzz-seed", "0xzz"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--round-size", "0"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--min-programs", "0"])).is_err());
+        assert!(BenchCli::from_args("fig7", &argv(&["--emit-regress"])).is_err());
         assert_eq!(
             BenchCli::from_args("fig7", &argv(&["--help"])).unwrap_err(),
             "help"

@@ -10,6 +10,12 @@
 //!   cell classified from the pipeline run's stop reason, audit log and
 //!   output stream, then judged against the paper's §V expectation.
 //!
+//! A third section rides along when `tests/regress/` holds minimized
+//! fuzz-campaign reproducers ([`rest_attacks::regress`]): each one
+//! replays under every scheme and is judged with the same
+//! [`Expectation::admits`] predicate against the expectations measured
+//! at emission time. Any out-of-spec cell fails the campaign.
+//!
 //! Per attack cell the campaign derives the same [`AttackOutcome`] the
 //! functional `rest-attacks` harness produces:
 //!
@@ -29,8 +35,10 @@ use rest_cpu::{SimResult, StopReason};
 use rest_obs::Json;
 use rest_runtime::RtConfig;
 
+use std::sync::Arc;
+
 use crate::cli::Harness;
-use crate::engine::{ColumnSpec, JobError, MatrixResults, MatrixSpec, SimJob};
+use crate::engine::{ColumnSpec, JobError, MatrixResults, MatrixSpec, RegressProg, SimJob};
 
 /// Campaign document schema identifier.
 pub const SCHEMA: &str = "rest-defense/v1";
@@ -394,6 +402,75 @@ pub fn run_campaign(mut h: Harness) {
             .join(" ")
     );
 
+    // Regression corpus: minimized fuzzer reproducers from
+    // `tests/regress/`, replayed under the same six schemes and judged
+    // with the same `Expectation::admits` predicate as the attacks.
+    // The sidecar expectations were *measured* at emission time, so a
+    // behaviour change anywhere in the stack flips a cell here.
+    let corpus = rest_attacks::regress::corpus().unwrap_or_else(|e| {
+        eprintln!("defense: regression corpus failed to load: {e}");
+        std::process::exit(1);
+    });
+    let mut regress_jobs = Vec::new();
+    for case in &corpus {
+        let asm = Arc::new(case.asm.clone());
+        for (label, rt) in &configs {
+            regress_jobs.push(SimJob::for_regress(
+                RegressProg {
+                    name: case.name.clone(),
+                    asm: Arc::clone(&asm),
+                },
+                *label,
+                rt.clone(),
+                cli.scale,
+            ));
+        }
+    }
+    let regress_outcomes = h.run_all(&regress_jobs);
+    let mut regress_docs = Vec::new();
+    let mut regress_unexpected: u64 = 0;
+    if !corpus.is_empty() {
+        println!();
+        println!("defense — regression corpus (minimized fuzzer reproducers, same judge)");
+        print!("{:<38}", "case");
+        for (label, _) in &configs {
+            print!("{label:>18}");
+        }
+        println!();
+    }
+    for (c, case) in corpus.iter().enumerate() {
+        print!("{:<38}", case.name);
+        let mut cell_docs = Vec::new();
+        for (s, (label, _)) in configs.iter().enumerate() {
+            let expect = case.expectation(label);
+            let outcome = &regress_outcomes[c * configs.len() + s];
+            let (cell, ok) = attack_cell(label, expect, outcome);
+            if let Ok(result) = outcome.as_ref() {
+                let out = outcome_of(result);
+                print!(
+                    "{:>18}",
+                    format!("{}{}", verdict_name(&out), if ok { "" } else { " *UNEXP" })
+                );
+            } else {
+                print!("{:>18}", "error *UNEXP");
+            }
+            regress_unexpected += (!ok) as u64;
+            cell_docs.push(cell);
+        }
+        println!();
+        regress_docs.push(Json::obj(vec![
+            ("name", Json::from(case.name.as_str())),
+            ("cells", Json::Arr(cell_docs)),
+        ]));
+    }
+    if !corpus.is_empty() {
+        println!();
+        println!(
+            "regression cases: {}   unexpected cells: {regress_unexpected}",
+            corpus.len()
+        );
+    }
+
     let mut sink = h.sink();
     sink.push("schema", Json::from(SCHEMA));
     sink.push(
@@ -411,6 +488,7 @@ pub fn run_campaign(mut h: Harness) {
         ),
     );
     sink.push("attacks", Json::Arr(attack_docs));
+    sink.push("regressions", Json::Arr(regress_docs));
     sink.push(
         "coverage",
         Json::obj(
@@ -432,6 +510,10 @@ pub fn run_campaign(mut h: Harness) {
         ),
     );
     h.finish(sink, &matrix);
+    if regress_unexpected > 0 {
+        eprintln!("defense: {regress_unexpected} regression-corpus cells out of spec");
+        std::process::exit(1);
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,9 @@
 //! the campaign verifies end to end that every attack stops with the
 //! same outcome and the same audit provenance as the un-elided run —
 //! zero detection loss is an output of the artifact, not a promise.
+//! Minimized fuzz-campaign reproducers committed under `tests/regress/`
+//! ([`rest_attacks::regress`]) run through the identical full/elided
+//! differential gate, so every fuzzer find also pins elision soundness.
 //!
 //! Two artefacts come out of one campaign:
 //!
@@ -40,7 +43,7 @@ use rest_verify::{elide_program, ElideScheme, ElisionReport};
 use rest_workloads::{Scale, WorkloadParams};
 
 use crate::cli::Harness;
-use crate::engine::SimJob;
+use crate::engine::{RegressProg, SimJob};
 use crate::{stack_for, FigureRow};
 
 /// The campaign's column labels, in job order: each base scheme is
@@ -221,6 +224,36 @@ impl AttackRow {
     }
 }
 
+/// One regression-corpus row: a minimized fuzzer reproducer from
+/// `tests/regress/` replayed with checks in full and elided, held to
+/// the same differential gate as the attacks.
+#[derive(Debug, Clone)]
+pub struct RegressRow {
+    /// Corpus file stem.
+    pub name: String,
+    /// Whether the (identical) runs stopped on a violation.
+    pub detected: bool,
+    /// Audit-log entries recorded (identical in both runs).
+    pub audit_entries: u64,
+    /// Whether the reproducer's elision map is empty.
+    pub map_empty: bool,
+    /// Checks dynamically skipped in the elided run (0 whenever
+    /// `map_empty`).
+    pub elided_dynamic: u64,
+}
+
+impl RegressRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::from(self.name.as_str())),
+            ("detected", Json::Bool(self.detected)),
+            ("audit_entries", Json::UInt(self.audit_entries)),
+            ("map_empty", Json::Bool(self.map_empty)),
+            ("elided_dynamic", Json::UInt(self.elided_dynamic)),
+        ])
+    }
+}
+
 /// Fails the campaign if the full and elided runs of one cell differ in
 /// any architecturally visible way: stop reason, guest output bytes, or
 /// the audit log (entry-for-entry, provenance included).
@@ -332,6 +365,8 @@ pub struct ElideFigure {
     pub rows: Vec<ElideRow>,
     /// Attack-coverage rows, in [`Attack::ALL`] order.
     pub attacks: Vec<AttackRow>,
+    /// Regression-corpus rows, in corpus (sorted-name) order.
+    pub regressions: Vec<RegressRow>,
 }
 
 impl ElideFigure {
@@ -378,6 +413,7 @@ impl ElideFigure {
                 "attacks_detected",
                 Json::UInt(self.attacks.iter().filter(|a| a.detected).count() as u64),
             ),
+            ("regressions", Json::UInt(self.regressions.len() as u64)),
         ])
     }
 
@@ -389,6 +425,11 @@ impl ElideFigure {
     /// The `attacks` member.
     pub fn attacks_json(&self) -> Json {
         Json::Arr(self.attacks.iter().map(AttackRow::to_json).collect())
+    }
+
+    /// The `regressions` member.
+    pub fn regressions_json(&self) -> Json {
+        Json::Arr(self.regressions.iter().map(RegressRow::to_json).collect())
     }
 
     /// Prints the per-row summary table to stdout.
@@ -592,9 +633,41 @@ pub fn run_campaign(mut h: Harness) {
             [full, elided]
         })
         .collect();
-    let all: Vec<SimJob> = jobs.iter().chain(attack_jobs.iter()).cloned().collect();
+    // Regression corpus: each minimized reproducer runs as a
+    // full/elided pair under the headline scheme, held to the same
+    // differential gate as the attacks.
+    let corpus = rest_attacks::regress::corpus().unwrap_or_else(|e| {
+        fail(&format!("regression corpus failed to load: {e}"));
+    });
+    let regress_jobs: Vec<SimJob> = corpus
+        .iter()
+        .flat_map(|case| {
+            let full = SimJob::for_regress(
+                RegressProg {
+                    name: case.name.clone(),
+                    asm: Arc::new(case.asm.clone()),
+                },
+                "rest-secure-full",
+                rest_rt.clone(),
+                cli.scale,
+            );
+            let elided = SimJob {
+                elide: true,
+                label: "rest-elided".to_string(),
+                ..full.clone()
+            };
+            [full, elided]
+        })
+        .collect();
+    let all: Vec<SimJob> = jobs
+        .iter()
+        .chain(attack_jobs.iter())
+        .chain(regress_jobs.iter())
+        .cloned()
+        .collect();
     let outcomes = h.run_all(&all);
-    let (row_outcomes, attack_outcomes) = outcomes.split_at(jobs.len());
+    let (row_outcomes, rest_outcomes) = outcomes.split_at(jobs.len());
+    let (attack_outcomes, regress_outcomes) = rest_outcomes.split_at(attack_jobs.len());
 
     crate::print_machine_header(
         "elide — static check-elision: proven-safe accesses skip their checks",
@@ -602,6 +675,7 @@ pub fn run_campaign(mut h: Harness) {
     let mut figure = ElideFigure {
         rows: Vec::new(),
         attacks: Vec::new(),
+        regressions: Vec::new(),
     };
     for (row, chunk) in rows.iter().zip(row_outcomes.chunks(4)) {
         let mut cells = Vec::new();
@@ -645,6 +719,37 @@ pub fn run_campaign(mut h: Harness) {
             elided_dynamic: elided.core.elided_checks,
         });
     }
+    for (case, chunk) in corpus.iter().zip(regress_outcomes.chunks(2)) {
+        let full = match chunk[0].as_ref() {
+            Ok(r) => r,
+            Err(e) => fail(&format!("regress {} full run failed: {e}", case.name)),
+        };
+        let elided = match chunk[1].as_ref() {
+            Ok(r) => r,
+            Err(e) => fail(&format!("regress {} elided run failed: {e}", case.name)),
+        };
+        if let Err(e) = assert_differential(&format!("regress {}", case.name), full, elided) {
+            fail(&format!("DETECTION LOSS: {e}"));
+        }
+        let program = match rest_isa::parse_asm(&case.asm) {
+            Ok(p) => p,
+            Err(e) => fail(&format!("regress {}: unparseable assembly: {e:?}", case.name)),
+        };
+        let map = elide_program(&program, ElideScheme::Rest).map;
+        if map.is_empty() && elided.core.elided_checks != 0 {
+            fail(&format!(
+                "regress {}: {} checks skipped with an empty map",
+                case.name, elided.core.elided_checks
+            ));
+        }
+        figure.regressions.push(RegressRow {
+            name: case.name.clone(),
+            detected: matches!(full.stop, StopReason::Violation(_)),
+            audit_entries: full.audit.total(),
+            map_empty: map.is_empty(),
+            elided_dynamic: elided.core.elided_checks,
+        });
+    }
     // The headline acceptance gate: without --filter, at least 4 rows
     // must elide >= 20% of their access PCs.
     if cli.filter.is_none() && figure.rows_at_20pct() < 4 {
@@ -667,6 +772,7 @@ pub fn run_campaign(mut h: Harness) {
     );
     sink.push("rows", figure.rows_json());
     sink.push("attacks", figure.attacks_json());
+    sink.push("regressions", figure.regressions_json());
     sink.push("programs", programs);
     sink.push("summary", figure.summary_json());
 

@@ -132,6 +132,32 @@ pub struct SimJob {
     /// any residual elisions on clean-linting attacks are pinned by the
     /// differential attack-coverage gate (identical stop and audit).
     pub elide: bool,
+    /// Minimized regression program to run instead of `workload`
+    /// (assembly text from `tests/regress/`, see `rest_attacks::regress`).
+    /// Like `attack`, the workload is an ignored placeholder and the
+    /// verify gate is skipped — reproducers trip REST on purpose.
+    pub regress: Option<RegressProg>,
+}
+
+/// A regression-corpus program: minimized reproducer assembly replayed
+/// by defense/elide campaigns alongside the hand-written attacks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegressProg {
+    /// Corpus file stem (`"oob-write-agree-detected"`, …).
+    pub name: String,
+    /// Assembly text (shared: one corpus load serves every scheme).
+    pub asm: Arc<String>,
+}
+
+/// FNV-1a over a byte string — regression assembly identity in cache
+/// keys without embedding the whole program text.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
 }
 
 impl SimJob {
@@ -162,7 +188,31 @@ impl SimJob {
             inject_panic: false,
             profile_guest: false,
             elide: false,
+            regress: None,
         }
+    }
+
+    /// A job replaying regression-corpus program `prog` under `rt`: any
+    /// stop is accepted (the stop reason *is* the measurement).
+    pub fn for_regress(
+        prog: RegressProg,
+        label: impl Into<String>,
+        rt: RtConfig,
+        scale: Scale,
+    ) -> SimJob {
+        let row = FigureRow {
+            name: "regress",
+            // Placeholder only: `regress` overrides the workload.
+            workload: Workload::Lbm,
+            seed: 0,
+        };
+        let mut job = SimJob {
+            accept_any_stop: true,
+            ..SimJob::new(&row, label, rt, scale)
+        };
+        job.name = prog.name.clone();
+        job.regress = Some(prog);
+        job
     }
 
     /// A job running attack scenario `attack` under `rt`: any stop is
@@ -208,8 +258,15 @@ impl SimJob {
     /// influences the simulated outcome participates; display strings
     /// do not.
     pub fn cache_key(&self) -> String {
+        // Regression programs are identified by name + assembly hash:
+        // two corpus files never alias, and editing a reproducer's
+        // assembly invalidates its cached result.
+        let regress = match &self.regress {
+            Some(p) => format!("{}#{:#x}", p.name, fnv1a(p.asm.as_bytes())),
+            None => String::new(),
+        };
         format!(
-            "{:?}|{:#x}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}|{}|{}|{:?}|{:?}|{}|{}|{}|{}|{}|{}|{}|{}",
+            "{:?}|{:#x}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}|{}|{}|{:?}|{:?}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
             self.workload,
             self.seed,
             self.rt,
@@ -248,6 +305,7 @@ impl SimJob {
             // cached result with a full run would hide the difference
             // the differential gate exists to measure.
             self.elide,
+            regress,
         )
     }
 
@@ -331,6 +389,16 @@ impl SimJob {
             }
             let program = if let Some(attack) = self.attack {
                 attack.build(stack_for(&self.rt))
+            } else if let Some(prog) = &self.regress {
+                match rest_isa::parse_asm(&prog.asm) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        return Err(JobError {
+                            kind: "regress-parse".to_string(),
+                            detail: format!("regression case {}: {e}", prog.name),
+                        })
+                    }
+                }
             } else {
                 let params = WorkloadParams {
                     scale: self.scale,
@@ -340,7 +408,7 @@ impl SimJob {
                 };
                 self.workload.build(&params)
             };
-            if self.verify && self.attack.is_none() {
+            if self.verify && self.attack.is_none() && self.regress.is_none() {
                 let lint = rest_verify::verify_program(&program);
                 let worst: Vec<_> = lint.at_least(rest_verify::Severity::Error).collect();
                 if !worst.is_empty() {
@@ -683,6 +751,45 @@ impl Engine {
         *lock_recover(&self.epoch) = base + run_started.elapsed();
         let cache = lock_recover(&self.cache);
         jobs.iter().map(|j| cache[&j.cache_key()].clone()).collect()
+    }
+
+    /// Runs `count` independent tasks on the worker pool and returns
+    /// their results **in index order** — worker scheduling affects
+    /// wall-clock only, so output built from the results is
+    /// byte-identical at any `--jobs` level. Used by campaigns whose
+    /// unit of work is not a [`SimJob`] (the fuzz campaign's tri-oracle
+    /// cells); tasks are expected to catch their own panics.
+    pub fn run_tasks<T: Send, F: Fn(usize) -> T + Sync>(&self, count: usize, task: F) -> Vec<T> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(count);
+        if workers <= 1 {
+            return (0..count).map(task).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let (next, slots, task) = (&next, &slots, &task);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let result = task(i);
+                    *lock_recover(&slots[i]) = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|poison| poison.into_inner())
+                    .expect("every task slot filled")
+            })
+            .collect()
     }
 
     /// Runs a full experiment matrix. Plain baselines (when
@@ -1183,9 +1290,59 @@ mod tests {
                 inject_panic: true,
                 ..a.clone()
             },
+            SimJob {
+                regress: Some(RegressProg {
+                    name: "case".to_string(),
+                    asm: Arc::new("main:\n    li a0, 0\n    ecall 5\n".to_string()),
+                }),
+                ..a.clone()
+            },
         ] {
             assert_ne!(a.cache_key(), job.cache_key());
         }
+        // Two corpus files with different assembly must not alias.
+        let mk = |asm: &str| SimJob {
+            regress: Some(RegressProg {
+                name: "case".to_string(),
+                asm: Arc::new(asm.to_string()),
+            }),
+            ..a.clone()
+        };
+        assert_ne!(
+            mk("main:\n    li a0, 0\n    ecall 5\n").cache_key(),
+            mk("main:\n    li a0, 1\n    ecall 5\n").cache_key()
+        );
+    }
+
+    #[test]
+    fn regress_jobs_run_parsed_assembly() {
+        let prog = RegressProg {
+            name: "exit-only".to_string(),
+            asm: Arc::new("main:\n    li a0, 0\n    ecall 5\n".to_string()),
+        };
+        let job = SimJob::for_regress(prog, "plain", RtConfig::plain(), Scale::Test);
+        let result = job.execute().expect("minimal program runs");
+        assert!(matches!(result.stop, StopReason::Exit(0)));
+        let broken = SimJob::for_regress(
+            RegressProg {
+                name: "broken".to_string(),
+                asm: Arc::new("main:\n    not-an-instruction\n".to_string()),
+            },
+            "plain",
+            RtConfig::plain(),
+            Scale::Test,
+        );
+        assert_eq!(broken.execute().unwrap_err().kind, "regress-parse");
+    }
+
+    #[test]
+    fn run_tasks_returns_results_in_index_order() {
+        for workers in [1, 2, 8] {
+            let engine = Engine::new(workers);
+            let results = engine.run_tasks(37, |i| i * i);
+            assert_eq!(results, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(Engine::new(4).run_tasks(0, |i| i).is_empty());
     }
 
     #[test]

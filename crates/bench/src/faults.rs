@@ -38,7 +38,7 @@ use rest_runtime::RtConfig;
 use rest_workloads::{Scale, Workload};
 
 use crate::checkpoint::Checkpoint;
-use crate::cli::Harness;
+use crate::cli::{BenchCli, Harness};
 use crate::engine::{JobError, SimJob};
 use crate::FigureRow;
 
@@ -47,6 +47,42 @@ pub const SCHEMA: &str = "rest-faults/v1";
 
 /// Cells simulated between checkpoint saves.
 const CKPT_CHUNK: usize = 8;
+
+/// The campaign's expected fail-open cells at the default seed and test
+/// scale: `(row, fault kind)` pairs where the fault-free reference
+/// detects the attack but the faulted run sails through. Each is a
+/// *documented* weakness of the injected fault model, not a simulator
+/// bug:
+///
+/// * `meta-bit-clear` / `token-byte-flip` on `heap-overflow-write` —
+///   the fault corrupts the armed redzone token before the overflow
+///   lands, so the tripwire compare no longer matches and the store
+///   goes through silently (fail-open metadata loss).
+/// * `exception-suppress` on `heap-overflow-write` and
+///   `use-after-free` — the detection fires but the fault swallows the
+///   precise exception, so the guest keeps running (fail-open delivery
+///   loss).
+///
+/// Any campaign run at [`BenchCli::DEFAULT_FAULT_SEED`]/`--test` whose
+/// missed-detection set differs from this table **in either
+/// direction** exits 1: a vanished miss is a silent fault-model change
+/// just as much as a new one.
+pub const KNOWN_MISSED_DETECTIONS: [(&str, &str); 4] = [
+    ("heap-overflow-write", "meta-bit-clear"),
+    ("heap-overflow-write", "token-byte-flip"),
+    ("heap-overflow-write", "exception-suppress"),
+    ("use-after-free", "exception-suppress"),
+];
+
+/// The expected fail-closed cells at the default seed and test scale:
+/// clean workloads where a fault spuriously raises a violation.
+/// `exception-spurious` plants a trap with no underlying access
+/// violation, so both benign rows flag it; held to the same
+/// both-direction drift gate as [`KNOWN_MISSED_DETECTIONS`].
+pub const KNOWN_FALSE_POSITIVES: [(&str, &str); 2] = [
+    ("lbm", "exception-spurious"),
+    ("sjeng", "exception-spurious"),
+];
 
 /// One campaign row: a clean workload (expected to exit 0) or an attack
 /// scenario (expected to be detected when fault-free).
@@ -400,6 +436,14 @@ pub fn run_campaign(h: &mut Harness) {
     .map(|&k| (k, 0u64))
     .collect();
     let (mut missed_total, mut fp_total) = (0u64, 0u64);
+    let (mut actual_missed, mut actual_fps) = (Vec::new(), Vec::new());
+    let fault_kind = |cell: &Json| {
+        cell.get("fault")
+            .and_then(|f| f.get("kind"))
+            .and_then(Json::as_str)
+            .unwrap_or("fault-free")
+            .to_string()
+    };
 
     crate::print_machine_header(
         "faults — fault-injection detection coverage (rest-secure-full)",
@@ -423,6 +467,12 @@ pub fn run_campaign(h: &mut Harness) {
             }
             missed_total += missed as u64;
             fp_total += fp as u64;
+            if missed {
+                actual_missed.push((row.name().to_string(), fault_kind(cell)));
+            }
+            if fp {
+                actual_fps.push((row.name().to_string(), fault_kind(cell)));
+            }
             let marker = if missed {
                 " *MISS"
             } else if fp {
@@ -445,6 +495,51 @@ pub fn run_campaign(h: &mut Harness) {
         "missed detections: {missed_total}   false positives: {fp_total}"
     );
 
+    // The expected-outcome drift gate only binds the configuration the
+    // committed document (and the tables above) describe; other seeds
+    // or scales legitimately produce different fail-open/fail-closed
+    // sets and are reported without judgement.
+    let expected_checked =
+        cli.fault_seed == BenchCli::DEFAULT_FAULT_SEED && cli.scale == Scale::Test;
+    let diff_known = |what: &str, known: &[(&str, &str)], actual: &[(String, String)]| {
+        let mut drift = Vec::new();
+        for (row, kind) in known {
+            if !actual.iter().any(|(r, k)| r == row && k == kind) {
+                drift.push(format!("{what} ({row}, {kind}) expected but gone"));
+            }
+        }
+        for (row, kind) in actual {
+            if !known.iter().any(|(r, k)| r == row && k == kind) {
+                drift.push(format!("{what} ({row}, {kind}) appeared, not in the known table"));
+            }
+        }
+        drift
+    };
+    let mut drift = Vec::new();
+    if expected_checked {
+        drift.extend(diff_known(
+            "missed detection",
+            &KNOWN_MISSED_DETECTIONS,
+            &actual_missed,
+        ));
+        drift.extend(diff_known(
+            "false positive",
+            &KNOWN_FALSE_POSITIVES,
+            &actual_fps,
+        ));
+    }
+
+    let known_json = |known: &[(&str, &str)]| {
+        Json::Arr(
+            known
+                .iter()
+                .map(|&(row, kind)| {
+                    Json::obj(vec![("row", Json::from(row)), ("fault", Json::from(kind))])
+                })
+                .collect(),
+        )
+    };
+
     let mut sink = crate::sink::ResultSink::new(&cli);
     sink.push("schema", Json::from(SCHEMA));
     sink.push("fault_seed", Json::UInt(cli.fault_seed));
@@ -459,8 +554,28 @@ pub fn run_campaign(h: &mut Harness) {
     coverage.push(("missed_detections", Json::UInt(missed_total)));
     coverage.push(("false_positives", Json::UInt(fp_total)));
     sink.push("coverage", Json::obj(coverage));
+    sink.push(
+        "expected_outcomes",
+        Json::obj(vec![
+            ("checked", Json::Bool(expected_checked)),
+            ("known_missed_detections", known_json(&KNOWN_MISSED_DETECTIONS)),
+            ("known_false_positives", known_json(&KNOWN_FALSE_POSITIVES)),
+        ]),
+    );
     sink.finish();
     ckpt.remove();
+
+    if !drift.is_empty() {
+        eprintln!(
+            "faults: detection coverage drifted from the known-outcome table \
+             (update KNOWN_MISSED_DETECTIONS / KNOWN_FALSE_POSITIVES deliberately \
+             if the fault model changed):"
+        );
+        for line in &drift {
+            eprintln!("faults:   {line}");
+        }
+        std::process::exit(1);
+    }
 }
 
 #[cfg(test)]
@@ -534,6 +649,66 @@ mod tests {
         // Engine-level failures surface as "error".
         let err = Json::obj(vec![("error", Json::obj(vec![]))]);
         assert_eq!(classify(&err, &clean_ref), ("error", false, false));
+    }
+
+    #[test]
+    fn committed_document_matches_known_outcome_tables() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/faults.json");
+        let text = std::fs::read_to_string(path).expect("results/faults.json is committed");
+        let doc = Json::parse(&text).expect("committed document parses");
+        // The committed document is the configuration the tables bind.
+        assert_eq!(
+            doc.get("fault_seed").and_then(Json::as_u64),
+            Some(BenchCli::DEFAULT_FAULT_SEED)
+        );
+        assert_eq!(doc.get("scale").and_then(Json::as_str), Some("test"));
+
+        let mut missed = Vec::new();
+        let mut fps = Vec::new();
+        for row in doc.get("rows").and_then(Json::as_arr).unwrap() {
+            let name = row.get("name").and_then(Json::as_str).unwrap().to_string();
+            for cell in row.get("cells").and_then(Json::as_arr).unwrap() {
+                let kind = cell
+                    .get("fault")
+                    .and_then(|f| f.get("kind"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("fault-free")
+                    .to_string();
+                if cell.get("missed_detection") == Some(&Json::Bool(true)) {
+                    missed.push((name.clone(), kind.clone()));
+                }
+                if cell.get("false_positive") == Some(&Json::Bool(true)) {
+                    fps.push((name.clone(), kind));
+                }
+            }
+        }
+        let owned = |t: &[(&str, &str)]| -> Vec<(String, String)> {
+            t.iter()
+                .map(|&(r, k)| (r.to_string(), k.to_string()))
+                .collect()
+        };
+        assert_eq!(missed, owned(&KNOWN_MISSED_DETECTIONS), "fail-open set drifted");
+        assert_eq!(fps, owned(&KNOWN_FALSE_POSITIVES), "fail-closed set drifted");
+
+        // The document's own copy of the tables matches the source.
+        let expected = doc.get("expected_outcomes").expect("tables serialised");
+        assert_eq!(expected.get("checked"), Some(&Json::Bool(true)));
+        let doc_pairs = |key: &str| -> Vec<(String, String)> {
+            expected
+                .get(key)
+                .and_then(Json::as_arr)
+                .unwrap()
+                .iter()
+                .map(|e| {
+                    (
+                        e.get("row").and_then(Json::as_str).unwrap().to_string(),
+                        e.get("fault").and_then(Json::as_str).unwrap().to_string(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(doc_pairs("known_missed_detections"), owned(&KNOWN_MISSED_DETECTIONS));
+        assert_eq!(doc_pairs("known_false_positives"), owned(&KNOWN_FALSE_POSITIVES));
     }
 
     #[test]

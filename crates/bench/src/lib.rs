@@ -15,6 +15,7 @@
 //! | `faults` | fault-injection detection-coverage campaign ([`faults`]) |
 //! | `hotspots` | guest hotspot profile — per-block/function cycles and per-site checks ([`hotspots`]) |
 //! | `elide` | static check-elision figure — proven-safe checks skipped, differential + attack-coverage gated ([`elide`]) |
+//! | `fuzz` | adversarial-corpus tri-oracle campaign — generate-until-dry, auto-minimized regressions ([`fuzz`]) |
 //! | `bench-diff` | throughput regression gate over two `BENCH_throughput.json` files ([`benchdiff`]) |
 //!
 //! All binaries are thin wrappers over a shared experiment engine:
@@ -48,6 +49,7 @@ pub mod defense;
 pub mod elide;
 pub mod engine;
 pub mod faults;
+pub mod fuzz;
 pub mod hotspots;
 pub mod sink;
 pub mod telemetry;

@@ -39,6 +39,10 @@ fn obs_cli() -> BenchCli {
         ckpt: None,
         max_cells: None,
         fault_seed: BenchCli::DEFAULT_FAULT_SEED,
+        fuzz_seed: BenchCli::DEFAULT_FUZZ_SEED,
+        round_size: 2500,
+        min_programs: 10_000,
+        emit_regress: None,
     }
 }
 

@@ -1,0 +1,224 @@
+//! 1-minimal reproducer shrinking.
+//!
+//! Given a case whose oracle class is interesting (any class — the
+//! campaign minimizes one exemplar per signature), the minimizer
+//! deterministically shrinks the trace while preserving the class:
+//! suffix truncation, single-op deletion, and constant shrinking, run
+//! to a fixpoint. The result is 1-minimal with respect to op deletion:
+//! removing any single remaining op changes the oracle class. Because
+//! every pass is deterministic and the oracle is deterministic, the
+//! same input always shrinks to the byte-identical reproducer, and
+//! minimizing a minimized case is a no-op.
+
+use crate::gen::{Case, TraceOp};
+use crate::oracle::run_case;
+use rest_runtime::RtConfig;
+
+/// Candidate ladder for shrinking one numeric constant: try 1, half,
+/// and decrement — strictly smaller values only.
+fn shrink_ladder(v: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    for candidate in [1, v / 2, v.saturating_sub(1)] {
+        if candidate < v && candidate >= 1 && !out.contains(&candidate) {
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+/// Per-op constant-shrink candidates, smallest-first.
+fn shrink_op(op: &TraceOp) -> Vec<TraceOp> {
+    match *op {
+        TraceOp::Malloc { slot, size } => shrink_ladder(size)
+            .into_iter()
+            .map(|size| TraceOp::Malloc { slot, size })
+            .collect(),
+        TraceOp::Store { slot, off, width, val } => {
+            let mut out: Vec<TraceOp> = shrink_ladder(off.unsigned_abs())
+                .into_iter()
+                .map(|o| TraceOp::Store { slot, off: (o as i64) * off.signum(), width, val })
+                .collect();
+            if val > 0 {
+                out.push(TraceOp::Store { slot, off, width, val: 0 });
+            }
+            out
+        }
+        TraceOp::Load { slot, off, width, emit } => shrink_ladder(off.unsigned_abs())
+            .into_iter()
+            .map(|o| TraceOp::Load { slot, off: (o as i64) * off.signum(), width, emit })
+            .collect(),
+        TraceOp::Hash { slot, len } => shrink_ladder(len)
+            .into_iter()
+            .map(|len| TraceOp::Hash { slot, len })
+            .collect(),
+        TraceOp::Free { .. } | TraceOp::Arm { .. } => Vec::new(),
+    }
+}
+
+/// Shrinks `case` to a 1-minimal reproducer of its oracle class.
+///
+/// The returned case keeps the original index and ground-truth label
+/// (provenance), but its op list is the smallest the deterministic
+/// passes reach. The target class is the *current* class of `case`
+/// under `rt`, so minimizing an already-minimal case is the identity.
+pub fn minimize(case: &Case, rt: &RtConfig) -> Case {
+    let target = run_case(case, rt).class;
+    let mut best = case.clone();
+
+    let keeps_class = |ops: &[TraceOp], base: &Case| {
+        let candidate = Case {
+            index: base.index,
+            ops: ops.to_vec(),
+            truth: base.truth,
+        };
+        (run_case(&candidate, rt).class == target).then_some(candidate)
+    };
+
+    loop {
+        let before = best.ops.clone();
+
+        // Pass 1: suffix truncation — largest cut first.
+        let mut keep = 1;
+        while keep < best.ops.len() {
+            if let Some(smaller) = keeps_class(&best.ops[..keep], &best) {
+                best = smaller;
+                break;
+            }
+            keep += 1;
+        }
+
+        // Pass 2: single-op deletion, last-to-first (later ops are more
+        // likely to be the trailing bug ops we must keep, but earlier
+        // benign ops usually delete — reverse order keeps indices valid).
+        let mut i = best.ops.len();
+        while i > 0 {
+            i -= 1;
+            let mut ops = best.ops.clone();
+            ops.remove(i);
+            if let Some(smaller) = keeps_class(&ops, &best) {
+                best = smaller;
+            }
+        }
+
+        // Pass 3: constant shrinking, per op, smallest candidate first.
+        for i in 0..best.ops.len() {
+            for replacement in shrink_op(&best.ops[i]) {
+                let mut ops = best.ops.clone();
+                ops[i] = replacement;
+                if let Some(smaller) = keeps_class(&ops, &best) {
+                    best = smaller;
+                    break;
+                }
+            }
+        }
+
+        if best.ops == before {
+            return best;
+        }
+    }
+}
+
+/// True when removing any single op from `case` changes its class —
+/// the 1-minimality property [`minimize`] guarantees.
+pub fn is_one_minimal(case: &Case, rt: &RtConfig) -> bool {
+    let target = run_case(case, rt).class;
+    (0..case.ops.len()).all(|i| {
+        let mut ops = case.ops.clone();
+        ops.remove(i);
+        let candidate = Case {
+            index: case.index,
+            ops,
+            truth: case.truth,
+        };
+        run_case(&candidate, rt).class != target
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{BugKind, CaseStream, GroundTruth};
+    use crate::oracle::{campaign_rt, Class};
+
+    /// A synthetic disagreement: benign noise followed by a detectable
+    /// OOB write the minimizer must isolate.
+    fn noisy_oob() -> Case {
+        Case {
+            index: 17,
+            ops: vec![
+                TraceOp::Malloc { slot: 0, size: 200 },
+                TraceOp::Store { slot: 0, off: 0, width: 8, val: 42 },
+                TraceOp::Load { slot: 0, off: 0, width: 8, emit: true },
+                TraceOp::Hash { slot: 0, len: 8 },
+                TraceOp::Malloc { slot: 3, size: 100 },
+                TraceOp::Store { slot: 3, off: 130, width: 2, val: 9 },
+            ],
+            truth: GroundTruth::Detect(BugKind::OobWrite),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_one_minimal_reproducer() {
+        let rt = campaign_rt();
+        let case = noisy_oob();
+        assert_eq!(run_case(&case, &rt).class, Class::AgreeDetected);
+        let min = minimize(&case, &rt);
+        assert_eq!(run_case(&min, &rt).class, Class::AgreeDetected);
+        // The benign noise is gone: just the allocation and the bad store.
+        assert_eq!(min.ops.len(), 2, "minimized ops: {:?}", min.ops);
+        assert!(is_one_minimal(&min, &rt));
+        // Provenance survives.
+        assert_eq!(min.index, 17);
+        assert_eq!(min.truth, GroundTruth::Detect(BugKind::OobWrite));
+    }
+
+    #[test]
+    fn minimization_is_idempotent_and_deterministic() {
+        let rt = campaign_rt();
+        let case = noisy_oob();
+        let once = minimize(&case, &rt);
+        let twice = minimize(&once, &rt);
+        assert_eq!(once, twice, "minimize(minimize(x)) == minimize(x)");
+        let again = minimize(&case, &rt);
+        assert_eq!(once, again, "same input, same reproducer");
+    }
+
+    #[test]
+    fn minimizes_generated_bugs_without_losing_class() {
+        let rt = campaign_rt();
+        let mut stream = CaseStream::new(0xBEEF);
+        let mut shrunk_any = false;
+        let mut checked = 0;
+        while checked < 6 {
+            let case = stream.next_case();
+            if case.truth == GroundTruth::Clean {
+                continue;
+            }
+            checked += 1;
+            let class = run_case(&case, &rt).class;
+            let min = minimize(&case, &rt);
+            assert_eq!(run_case(&min, &rt).class, class);
+            assert!(min.ops.len() <= case.ops.len());
+            assert!(is_one_minimal(&min, &rt));
+            shrunk_any |= min.ops.len() < case.ops.len();
+        }
+        assert!(shrunk_any, "at least one generated case shrinks");
+    }
+
+    #[test]
+    fn clean_cases_shrink_to_nothing_or_stay_clean() {
+        let rt = campaign_rt();
+        let case = Case {
+            index: 0,
+            ops: vec![
+                TraceOp::Malloc { slot: 0, size: 64 },
+                TraceOp::Store { slot: 0, off: 0, width: 1, val: 1 },
+            ],
+            truth: GroundTruth::Clean,
+        };
+        let min = minimize(&case, &rt);
+        assert_eq!(run_case(&min, &rt).class, Class::AgreeClean);
+        // An empty-op clean program is still clean, so everything deletes.
+        assert!(min.ops.is_empty(), "minimized: {:?}", min.ops);
+    }
+}

@@ -1,0 +1,11 @@
+# rest-fuzz minimized reproducer
+# seed: 0xf0cc5eed  case: 5
+# signature: arm-imbalance/known-miss-arm-leak
+    li a0, 11
+    li a7, 1
+    ecall
+    addi s5, a0, 0
+    arm s5
+    li a0, 0
+    li a7, 5
+    ecall

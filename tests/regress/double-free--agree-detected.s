@@ -1,0 +1,16 @@
+# rest-fuzz minimized reproducer
+# seed: 0xf0cc5eed  case: 20
+# signature: double-free/agree-detected
+    li a0, 1
+    li a7, 1
+    ecall
+    addi s5, a0, 0
+    addi a0, s5, 0
+    li a7, 2
+    ecall
+    addi a0, s5, 0
+    li a7, 2
+    ecall
+    li a0, 0
+    li a7, 5
+    ecall

@@ -1,0 +1,11 @@
+# rest-fuzz minimized reproducer
+# seed: 0xf0cc5eed  case: 3
+# signature: oob-read/agree-detected
+    li a0, 1
+    li a7, 1
+    ecall
+    addi s5, a0, 0
+    ld4u t0, 61(s5)
+    li a0, 0
+    li a7, 5
+    ecall

@@ -1,0 +1,12 @@
+# rest-fuzz minimized reproducer
+# seed: 0xf0cc5eed  case: 2
+# signature: oob-write/agree-detected
+    li a0, 1
+    li a7, 1
+    ecall
+    addi s5, a0, 0
+    li t0, 0
+    st2 t0, 63(s5)
+    li a0, 0
+    li a7, 5
+    ecall

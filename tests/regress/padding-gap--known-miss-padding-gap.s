@@ -1,0 +1,14 @@
+# rest-fuzz minimized reproducer
+# seed: 0xf0cc5eed  case: 13
+# signature: padding-gap/known-miss-padding-gap
+    li a0, 184
+    li a7, 1
+    ecall
+    addi s5, a0, 0
+    ld1u t0, 187(s5)
+    addi a0, t0, 0
+    li a7, 6
+    ecall
+    li a0, 0
+    li a7, 5
+    ecall

@@ -1,0 +1,14 @@
+# rest-fuzz minimized reproducer
+# seed: 0xf0cc5eed  case: 8
+# signature: uninit-read/known-miss-uninit-read
+    li a0, 30
+    li a7, 1
+    ecall
+    addi s5, a0, 0
+    ld2u t0, 8(s5)
+    addi a0, t0, 0
+    li a7, 6
+    ecall
+    li a0, 0
+    li a7, 5
+    ecall

@@ -1,0 +1,14 @@
+# rest-fuzz minimized reproducer
+# seed: 0xf0cc5eed  case: 0
+# signature: use-after-free/agree-detected
+    li a0, 1
+    li a7, 1
+    ecall
+    addi s5, a0, 0
+    addi a0, s5, 0
+    li a7, 2
+    ecall
+    ld1u t0, 1(s5)
+    li a0, 0
+    li a7, 5
+    ecall
